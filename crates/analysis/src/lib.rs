@@ -1,0 +1,15 @@
+//! Theory toolkit for §3 and Appendix B of the paper.
+//!
+//! * [`sn`] — the closed-form expected iteration count S_N (Equation 1)
+//!   and the Figure 3 series with its √N / 2√N envelopes,
+//! * [`procedure1`] — Monte-Carlo simulation of the ball-queue model,
+//! * [`markov`] — the overestimation-only / underestimation-only analyses
+//!   of Appendix B.
+
+pub mod markov;
+pub mod procedure1;
+pub mod sn;
+
+pub use markov::{overestimate_only_bound, underestimate_only_expected};
+pub use procedure1::{simulate_mean, simulate_once};
+pub use sn::{s_n, sn_series, SnPoint};

@@ -1,0 +1,79 @@
+//! Monte-Carlo simulation of Procedure 1 (§3.3.1) — the ball-queue model
+//! whose expected termination time is S_N.
+//!
+//! A queue holds N balls, initially unmarked. Each step takes the head
+//! ball; if marked, stop; otherwise mark it and reinsert it at a uniformly
+//! random position. The simulation validates Lemma 1 empirically and backs
+//! the Figure 3 harness with observed means next to the closed form.
+
+use rand::RngExt;
+use reopt_common::rng::derive_rng;
+
+/// Run Procedure 1 once; returns the number of steps until termination
+/// (the step that observes a marked head counts, as in Lemma 1's proof).
+pub fn simulate_once(n: usize, rng: &mut reopt_common::rng::Rng) -> u64 {
+    assert!(n > 0);
+    // Queue of ball ids; marked[i] tracks marking.
+    let mut queue: Vec<u32> = (0..n as u32).collect();
+    let mut marked = vec![false; n];
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        let head = queue[0];
+        if marked[head as usize] {
+            return steps - 1; // the paper counts marking steps only
+        }
+        marked[head as usize] = true;
+        queue.remove(0);
+        let pos = rng.random_range(0..n); // uniform over N positions
+        let pos = pos.min(queue.len());
+        queue.insert(pos, head);
+    }
+}
+
+/// Mean steps over `trials` independent runs.
+pub fn simulate_mean(n: usize, trials: usize, seed: u64) -> f64 {
+    let mut rng = derive_rng(seed, "procedure1");
+    let total: u64 = (0..trials).map(|_| simulate_once(n, &mut rng)).sum();
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sn::s_n;
+
+    #[test]
+    fn simulation_matches_closed_form_small_n() {
+        for n in [2usize, 5, 10, 25] {
+            let mean = simulate_mean(n, 20_000, 42);
+            let expected = s_n(n as u64);
+            let rel = (mean - expected).abs() / expected;
+            assert!(
+                rel < 0.05,
+                "N={n}: simulated {mean} vs closed form {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_matches_closed_form_n_100() {
+        let mean = simulate_mean(100, 5_000, 7);
+        let expected = s_n(100);
+        let rel = (mean - expected).abs() / expected;
+        assert!(rel < 0.08, "simulated {mean} vs closed form {expected}");
+    }
+
+    #[test]
+    fn single_ball_terminates_in_one_step() {
+        // N=1: mark in step 1, observe marked in step 2 → counted as 1.
+        let mean = simulate_mean(1, 100, 3);
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(simulate_mean(20, 100, 5), simulate_mean(20, 100, 5));
+        assert_ne!(simulate_mean(20, 1000, 5), simulate_mean(20, 1000, 6));
+    }
+}

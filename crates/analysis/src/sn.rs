@@ -1,0 +1,126 @@
+//! The closed-form expected step count S_N (Lemma 1, Equation 1) and its
+//! O(√N) bound (Theorem 3).
+//!
+//! ```text
+//! S_N = Σ_{k=1}^{N} k · (1 - 1/N)(1 - 2/N)···(1 - (k-1)/N) · k/N
+//! ```
+//!
+//! Figure 3 plots S_N against √N and 2√N for N up to 1000; the
+//! `fig03_sn_curve` harness regenerates that series from this module.
+
+/// Compute S_N by Equation 1. `n = 0` returns 0.
+pub fn s_n(n: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mut sum = 0.0;
+    // Running product Π_{j=1}^{k-1} (1 - j/N); k = 1 term has empty product.
+    let mut prod = 1.0;
+    for k in 1..=n {
+        let kf = k as f64;
+        sum += kf * prod * (kf / nf);
+        prod *= 1.0 - kf / nf; // extend the product for the next k
+        if prod <= 0.0 {
+            break; // k = N reached: all further terms vanish
+        }
+    }
+    sum
+}
+
+/// The series (N, S_N) for N in `1..=max_n` with the reference envelopes
+/// √N and 2√N — the exact content of Figure 3.
+pub fn sn_series(max_n: u64) -> Vec<SnPoint> {
+    (1..=max_n)
+        .map(|n| SnPoint {
+            n,
+            s_n: s_n(n),
+            sqrt_n: (n as f64).sqrt(),
+            two_sqrt_n: 2.0 * (n as f64).sqrt(),
+        })
+        .collect()
+}
+
+/// One point of the Figure 3 series.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct SnPoint {
+    /// Search-space size.
+    pub n: u64,
+    /// Expected steps (Equation 1).
+    pub s_n: f64,
+    /// √N reference.
+    pub sqrt_n: f64,
+    /// 2√N reference.
+    pub two_sqrt_n: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_cases_by_hand() {
+        // N = 1: the single ball is marked in step 1, terminates at step 2?
+        // Equation 1 for N=1: k=1 term: 1 · (empty product) · 1/1 = 1.
+        assert!((s_n(1) - 1.0).abs() < 1e-12);
+        // N = 2: k=1: 1·1·(1/2) = 0.5; k=2: 2·(1-1/2)·(2/2) = 1.0 → 1.5.
+        assert!((s_n(2) - 1.5).abs() < 1e-12);
+        // N = 3: k=1: 1/3; k=2: 2·(2/3)·(2/3) = 8/9; k=3: 3·(2/3)(1/3)·1 = 2/3.
+        let expected = 1.0 / 3.0 + 8.0 / 9.0 + 2.0 / 3.0;
+        assert!((s_n(3) - expected).abs() < 1e-12);
+        assert_eq!(s_n(0), 0.0);
+    }
+
+    #[test]
+    fn growth_is_monotone() {
+        let mut prev = 0.0;
+        for n in 1..200 {
+            let v = s_n(n);
+            assert!(v > prev, "S_N not monotone at {n}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn theorem3_bound_envelope() {
+        // Figure 3's visual claim: √N ≤ S_N ≤ 2√N over the plotted range
+        // (the lower inequality holds for N ≥ 2).
+        for n in 2..=1000u64 {
+            let v = s_n(n);
+            let sq = (n as f64).sqrt();
+            assert!(v >= sq, "S_{n} = {v} < √N = {sq}");
+            assert!(v <= 2.0 * sq, "S_{n} = {v} > 2√N = {}", 2.0 * sq);
+        }
+    }
+
+    #[test]
+    fn matches_paper_example_value() {
+        // §3.3.2 remark: "if N = 1000 … we have S_N = 39".
+        let v = s_n(1000);
+        assert!((38.0..40.5).contains(&v), "S_1000 = {v}");
+        // And S_100 ≈ 12 (the paper: S_{N/M} = 12 for N=1000, M=10 →
+        // S_100).
+        let v = s_n(100);
+        assert!((11.5..13.0).contains(&v), "S_100 = {v}");
+    }
+
+    #[test]
+    fn series_covers_requested_range() {
+        let series = sn_series(50);
+        assert_eq!(series.len(), 50);
+        assert_eq!(series[0].n, 1);
+        assert_eq!(series[49].n, 50);
+        for p in &series {
+            assert!((p.two_sqrt_n - 2.0 * p.sqrt_n).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn large_n_remains_finite_and_sane() {
+        let v = s_n(1_000_000);
+        assert!(v.is_finite());
+        // ≈ sqrt(π/2 · N) ≈ 1.2533·√N for large N.
+        let ratio = v / (1_000_000f64).sqrt();
+        assert!((1.2..1.3).contains(&ratio), "ratio {ratio}");
+    }
+}

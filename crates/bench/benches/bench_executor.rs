@@ -1,0 +1,108 @@
+//! Executor micro-benchmarks: scans and the three join algorithms on
+//! synthetic integer tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use reopt_common::{ColId, TableId};
+use reopt_executor::execute_plan;
+use reopt_plan::physical::PlanNodeInfo;
+use reopt_plan::query::ColRef;
+use reopt_plan::{AccessPath, JoinAlgo, PhysicalPlan, Predicate, QueryBuilder};
+use reopt_storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema};
+
+fn make_db(rows: usize) -> Database {
+    let mut db = Database::new();
+    for name in ["l", "r"] {
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("k", LogicalType::Int),
+                ColumnDef::new("v", LogicalType::Int),
+            ])?;
+            let mut t = Table::new(
+                id,
+                name,
+                schema,
+                vec![
+                    Column::from_i64(LogicalType::Int, (0..rows as i64).map(|i| i % 10_000).collect()),
+                    Column::from_i64(LogicalType::Int, (0..rows as i64).collect()),
+                ],
+            )?;
+            t.create_index(ColId::new(0))?;
+            Ok(t)
+        })
+        .unwrap();
+    }
+    db
+}
+
+fn scan_plan(access: AccessPath) -> PhysicalPlan {
+    PhysicalPlan::Scan {
+        rel: reopt_common::RelId::new(0),
+        table: TableId::new(0),
+        access,
+        info: PlanNodeInfo::default(),
+    }
+}
+
+fn join_plan(algo: JoinAlgo) -> PhysicalPlan {
+    PhysicalPlan::Join {
+        algo,
+        left: Box::new(scan_plan(AccessPath::SeqScan)),
+        right: Box::new(PhysicalPlan::Scan {
+            rel: reopt_common::RelId::new(1),
+            table: TableId::new(1),
+            access: AccessPath::SeqScan,
+            info: PlanNodeInfo::default(),
+        }),
+        keys: vec![(
+            ColRef::new(reopt_common::RelId::new(0), ColId::new(0)),
+            ColRef::new(reopt_common::RelId::new(1), ColId::new(0)),
+        )],
+        info: PlanNodeInfo::default(),
+    }
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let db = make_db(100_000);
+    let mut qb = QueryBuilder::new();
+    let rel = qb.add_relation(TableId::new(0));
+    qb.add_predicate(Predicate::eq(rel, ColId::new(0), 7i64));
+    let q = qb.build();
+    let mut g = c.benchmark_group("executor/scan");
+    g.bench_function("seq_scan_eq", |b| {
+        let plan = scan_plan(AccessPath::SeqScan);
+        b.iter(|| black_box(execute_plan(&db, &q, &plan).unwrap().join_rows))
+    });
+    g.bench_function("index_scan_eq", |b| {
+        let plan = scan_plan(AccessPath::IndexScan { col: ColId::new(0) });
+        b.iter(|| black_box(execute_plan(&db, &q, &plan).unwrap().join_rows))
+    });
+    g.finish();
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor/join");
+    for rows in [10_000usize, 50_000] {
+        let db = make_db(rows);
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(TableId::new(0));
+        let b_rel = qb.add_relation(TableId::new(1));
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b_rel, ColId::new(0)));
+        let q = qb.build();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::IndexNested] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{algo:?}"), rows),
+                &rows,
+                |b, _| {
+                    let plan = join_plan(algo);
+                    b.iter(|| black_box(execute_plan(&db, &q, &plan).unwrap().join_rows))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scans, bench_joins);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Optimizer micro-benchmarks: DP join enumeration across query sizes,
+//! the GEQO fallback, and plan re-costing under Γ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use reopt_common::{ColId, RelSet, TableId};
+use reopt_optimizer::{CardOverrides, Optimizer};
+use reopt_plan::query::ColRef;
+use reopt_plan::{Predicate, Query, QueryBuilder};
+use reopt_stats::{analyze_database, AnalyzeOpts, DatabaseStats};
+use reopt_storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema};
+
+fn chain_db(k: usize, vals: i64, per: usize) -> Database {
+    let mut db = Database::new();
+    for t in 0..k {
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("a", LogicalType::Int),
+                ColumnDef::new("b", LogicalType::Int),
+            ])?;
+            let mut data = Vec::new();
+            for v in 0..vals {
+                data.extend(std::iter::repeat_n(v, per));
+            }
+            let mut tbl = Table::new(
+                id,
+                format!("r{t}"),
+                schema,
+                vec![
+                    Column::from_i64(LogicalType::Int, data.clone()),
+                    Column::from_i64(LogicalType::Int, data),
+                ],
+            )?;
+            tbl.create_index(ColId::new(0))?;
+            tbl.create_index(ColId::new(1))?;
+            Ok(tbl)
+        })
+        .unwrap();
+    }
+    db
+}
+
+fn chain_query(k: usize) -> Query {
+    let mut qb = QueryBuilder::new();
+    let rels: Vec<_> = (0..k).map(|i| qb.add_relation(TableId::from(i))).collect();
+    for (i, &r) in rels.iter().enumerate() {
+        qb.add_predicate(Predicate::eq(r, ColId::new(0), (i % 2) as i64));
+    }
+    for w in rels.windows(2) {
+        qb.add_join(
+            ColRef::new(w[0], ColId::new(1)),
+            ColRef::new(w[1], ColId::new(1)),
+        );
+    }
+    qb.build()
+}
+
+fn setup(k: usize) -> (Database, DatabaseStats) {
+    let db = chain_db(k, 50, 4);
+    let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+    (db, stats)
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimizer/dp");
+    for k in [4usize, 6, 8, 10] {
+        let (db, stats) = setup(k);
+        let q = chain_query(k);
+        g.bench_with_input(BenchmarkId::new("chain", k), &k, |b, _| {
+            let opt = Optimizer::new(&db, &stats);
+            b.iter(|| black_box(opt.optimize(&q).unwrap().plan.est_cost()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_geqo(c: &mut Criterion) {
+    let k = 14;
+    let (db, stats) = setup(k);
+    let q = chain_query(k);
+    let opt = Optimizer::new(&db, &stats); // 14 > geqo_threshold 12
+    c.bench_function("optimizer/geqo_14rel", |b| {
+        b.iter(|| black_box(opt.optimize(&q).unwrap().plan.est_cost()))
+    });
+}
+
+fn bench_overrides(c: &mut Criterion) {
+    let (db, stats) = setup(6);
+    let q = chain_query(6);
+    let opt = Optimizer::new(&db, &stats);
+    let planned = opt.optimize(&q).unwrap();
+    let mut gamma = CardOverrides::new();
+    for (i, s) in planned.plan.logical_tree().join_sets().iter().enumerate() {
+        gamma.insert(*s, (i as f64 + 1.0) * 100.0);
+    }
+    gamma.insert(RelSet::first_n(2), 1.0);
+    let mut group = c.benchmark_group("optimizer/gamma");
+    group.bench_function("reoptimize_with_gamma", |b| {
+        b.iter(|| black_box(opt.optimize_with(&q, &gamma).unwrap().plan.est_cost()))
+    });
+    group.bench_function("cost_plan_under_gamma", |b| {
+        b.iter(|| black_box(opt.cost_plan(&q, &planned.plan, &gamma).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp, bench_geqo, bench_overrides);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end re-optimization loop benchmarks: the full Algorithm 1 cost
+//! for OTT and TPC-H-like queries (the paper's "re-optimization time is
+//! ignorable" claim, measured directly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use reopt_common::rng::derive_rng_indexed;
+use reopt_core::ReOptimizer;
+use reopt_optimizer::Optimizer;
+use reopt_sampling::{SampleConfig, SampleStore};
+use reopt_stats::{analyze_database, AnalyzeOpts};
+use reopt_workloads::ott::{build_ott_database, ott_query, recommended_sample_ratio, OttConfig};
+use reopt_workloads::tpch::{build_tpch_database, instantiate, TpchConfig};
+
+fn bench_ott_loop(c: &mut Criterion) {
+    let config = OttConfig::default();
+    let db = build_ott_database(&config).unwrap();
+    let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+    let samples = SampleStore::build(
+        &db,
+        SampleConfig {
+            ratio: recommended_sample_ratio(&config),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let opt = Optimizer::new(&db, &stats);
+    let re = ReOptimizer::new(&opt, &samples);
+    let q = ott_query(&db, &[0, 0, 0, 0, 1]).unwrap();
+    c.bench_function("reopt/ott_5rel_loop", |b| {
+        b.iter(|| black_box(re.run(&q).unwrap().num_rounds()))
+    });
+}
+
+fn bench_tpch_loop(c: &mut Criterion) {
+    let db = build_tpch_database(&TpchConfig {
+        scale: 0.01,
+        ..Default::default()
+    })
+    .unwrap();
+    let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+    let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+    let opt = Optimizer::new(&db, &stats);
+    let re = ReOptimizer::new(&opt, &samples);
+    let mut g = c.benchmark_group("reopt/tpch_loop");
+    for name in ["q3", "q9", "q21"] {
+        let mut rng = derive_rng_indexed(9, name, 0);
+        let q = instantiate(&db, name, &mut rng).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(re.run(&q).unwrap().num_rounds()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ott_loop, bench_tpch_loop);
+criterion_main!(benches);

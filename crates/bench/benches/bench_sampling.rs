@@ -1,0 +1,49 @@
+//! Sampling micro-benchmarks: sample construction and plan validation —
+//! the per-round overhead of the re-optimization loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use reopt_optimizer::{Optimizer, OptimizerConfig};
+use reopt_sampling::{validate_plan, SampleConfig, SampleStore, ValidationOpts};
+use reopt_stats::{analyze_database, AnalyzeOpts};
+use reopt_workloads::ott::{build_ott_database, ott_query, OttConfig};
+
+fn bench_sample_build(c: &mut Criterion) {
+    let db = build_ott_database(&OttConfig::default()).unwrap();
+    let mut g = c.benchmark_group("sampling/build");
+    for ratio in [0.01f64, 0.05, 0.2] {
+        g.bench_with_input(BenchmarkId::new("ratio", format!("{ratio}")), &ratio, |b, &r| {
+            b.iter(|| {
+                let s = SampleStore::build(
+                    &db,
+                    SampleConfig {
+                        ratio: r,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                black_box(s.database().total_rows())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let db = build_ott_database(&OttConfig::default()).unwrap();
+    let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+    let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+    let opt = Optimizer::with_config(&db, &stats, OptimizerConfig::postgres_like());
+    let q = ott_query(&db, &[0, 0, 0, 0, 1]).unwrap();
+    let planned = opt.optimize(&q).unwrap();
+    c.bench_function("sampling/validate_5rel_plan", |b| {
+        b.iter(|| {
+            let v = validate_plan(&q, &planned.plan, &samples, &ValidationOpts::default()).unwrap();
+            black_box(v.delta.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_sample_build, bench_validation);
+criterion_main!(benches);

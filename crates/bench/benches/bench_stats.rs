@@ -1,0 +1,55 @@
+//! Statistics micro-benchmarks: ANALYZE over wide columns and the
+//! selectivity estimation hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use reopt_stats::{analyze_column, eq_join_selectivity, AnalyzeOpts};
+use reopt_storage::{Column, LogicalType};
+
+fn uniform_column(rows: usize, distinct: i64) -> Column {
+    Column::from_i64(
+        LogicalType::Int,
+        (0..rows as i64).map(|i| i % distinct).collect(),
+    )
+}
+
+fn skewed_column(rows: usize) -> Column {
+    // 50% one value, rest spread.
+    let mut data = vec![0i64; rows / 2];
+    data.extend((0..(rows / 2) as i64).map(|i| i % 5000 + 1));
+    Column::from_i64(LogicalType::Int, data)
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats/analyze");
+    for rows in [100_000usize, 1_000_000] {
+        let uni = uniform_column(rows, 10_000);
+        g.bench_with_input(BenchmarkId::new("uniform", rows), &rows, |b, _| {
+            b.iter(|| black_box(analyze_column(&uni, &AnalyzeOpts::default()).n_distinct))
+        });
+        let skew = skewed_column(rows);
+        g.bench_with_input(BenchmarkId::new("skewed", rows), &rows, |b, _| {
+            b.iter(|| black_box(analyze_column(&skew, &AnalyzeOpts::default()).mcv.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_selectivity(c: &mut Criterion) {
+    let col = skewed_column(1_000_000);
+    let s = analyze_column(&col, &AnalyzeOpts::default());
+    let mut g = c.benchmark_group("stats/selectivity");
+    g.bench_function("eq_mcv_hit", |b| b.iter(|| black_box(s.eq_selectivity(0))));
+    g.bench_function("eq_histogram", |b| b.iter(|| black_box(s.eq_selectivity(4321))));
+    g.bench_function("range", |b| {
+        b.iter(|| black_box(s.between_selectivity(100, 2_000)))
+    });
+    g.bench_function("eqjoinsel", |b| {
+        b.iter(|| black_box(eq_join_selectivity(&s, &s, 1e6, 1e6)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analyze, bench_selectivity);
+criterion_main!(benches);

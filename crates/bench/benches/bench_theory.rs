@@ -1,0 +1,30 @@
+//! Theory-toolkit benchmarks: the S_N closed form and the Procedure 1
+//! simulation (Figure 3's ingredients).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use reopt_analysis::{s_n, simulate_mean};
+
+fn bench_sn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theory/s_n");
+    for n in [1_000u64, 100_000, 1_000_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(s_n(n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_procedure1(c: &mut Criterion) {
+    c.bench_function("theory/procedure1_n100_x100", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(simulate_mean(100, 100, seed))
+        })
+    });
+}
+
+criterion_group!(benches, bench_sn, bench_procedure1);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Design-choice ablations (sampling ratio, search space, leaf validation).
+fn main() {
+    let quick = reopt_bench::quick_mode();
+    for t in reopt_bench::experiments::ablations::run(quick).expect("ablations") {
+        println!("{t}");
+    }
+}

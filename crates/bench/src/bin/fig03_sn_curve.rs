@@ -1,0 +1,7 @@
+//! Figure 3 + Appendix B harness.
+fn main() {
+    let quick = reopt_bench::quick_mode();
+    for t in reopt_bench::experiments::theory::run(quick) {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Figures 4, 5, 6: TPC-H-like, uniform database (z = 0).
+fn main() {
+    let quick = reopt_bench::quick_mode();
+    for t in reopt_bench::experiments::tpch::run(0.0, quick).expect("tpch uniform experiment") {
+        println!("{t}");
+    }
+}

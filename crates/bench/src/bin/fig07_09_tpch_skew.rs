@@ -1,0 +1,7 @@
+//! Figures 7, 8, 9: TPC-H-like, skewed database (z = 1).
+fn main() {
+    let quick = reopt_bench::quick_mode();
+    for t in reopt_bench::experiments::tpch::run(1.0, quick).expect("tpch skew experiment") {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Figures 10, 11, 16, 17, 18: the Optimizer Torture Test.
+fn main() {
+    let quick = reopt_bench::quick_mode();
+    for t in reopt_bench::experiments::ott::run(quick).expect("ott experiment") {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Figures 12, 13: OTT under the "commercial A/B" optimizer profiles.
+fn main() {
+    let quick = reopt_bench::quick_mode();
+    for t in reopt_bench::experiments::commercial::run(quick).expect("commercial experiment") {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Figures 14, 15: per-round plan runtimes during re-optimization.
+fn main() {
+    let quick = reopt_bench::quick_mode();
+    for t in reopt_bench::experiments::rounds::run(quick).expect("rounds experiment") {
+        println!("{t}");
+    }
+}

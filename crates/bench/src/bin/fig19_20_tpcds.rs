@@ -1,0 +1,7 @@
+//! Figures 19, 20: TPC-DS-like workload.
+fn main() {
+    let quick = reopt_bench::quick_mode();
+    for t in reopt_bench::experiments::tpcds::run(quick).expect("tpcds experiment") {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Run every figure harness in sequence (pass --quick for a fast pass).
+fn main() {
+    let quick = reopt_bench::quick_mode();
+    println!("reproducing all figures (quick = {quick})\n");
+    for t in reopt_bench::experiments::theory::run(quick) {
+        println!("{t}");
+    }
+    for t in reopt_bench::experiments::tpch::run(0.0, quick).expect("fig 4-6") {
+        println!("{t}");
+    }
+    for t in reopt_bench::experiments::tpch::run(1.0, quick).expect("fig 7-9") {
+        println!("{t}");
+    }
+    for t in reopt_bench::experiments::ott::run(quick).expect("fig 10/11/16/17/18") {
+        println!("{t}");
+    }
+    for t in reopt_bench::experiments::commercial::run(quick).expect("fig 12-13") {
+        println!("{t}");
+    }
+    for t in reopt_bench::experiments::rounds::run(quick).expect("fig 14-15") {
+        println!("{t}");
+    }
+    for t in reopt_bench::experiments::tpcds::run(quick).expect("fig 19-20") {
+        println!("{t}");
+    }
+    for t in reopt_bench::experiments::ablations::run(quick).expect("ablations") {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,10 @@
+//! One module per experiment family; the `fig*` binaries are thin wrappers
+//! around these so `reproduce_all` can chain them in-process.
+
+pub mod ablations;
+pub mod commercial;
+pub mod ott;
+pub mod rounds;
+pub mod theory;
+pub mod tpcds;
+pub mod tpch;

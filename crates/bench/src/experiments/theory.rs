@@ -1,0 +1,61 @@
+//! Figure 3 + Appendix B: the S_N curve against its √N envelopes, the
+//! Monte-Carlo check of Procedure 1, and the over/underestimation-only
+//! step bounds.
+
+use crate::harness::TextTable;
+use reopt_analysis::{
+    overestimate_only_bound, s_n, simulate_mean, sn_series, underestimate_only_expected,
+};
+
+/// Render the Figure 3 series (sampled at round values of N) plus the
+/// simulation cross-check and the Appendix B bounds.
+pub fn run(quick: bool) -> Vec<TextTable> {
+    let mut fig3 = TextTable::new(
+        "Figure 3 — expected re-optimization steps S_N vs N (paper: S_N grows like sqrt(N), between sqrt(N) and 2*sqrt(N))",
+        &["N", "S_N (Eq.1)", "sqrt(N)", "2*sqrt(N)", "simulated"],
+    );
+    let ns: &[u64] = if quick {
+        &[1, 10, 50, 100, 500, 1000]
+    } else {
+        &[1, 10, 25, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+    };
+    let trials = if quick { 2_000 } else { 10_000 };
+    let series = sn_series(1000);
+    for &n in ns {
+        let p = series[(n - 1) as usize];
+        let sim = simulate_mean(n as usize, trials, 0xf163);
+        fig3.push(vec![
+            n.to_string(),
+            format!("{:.2}", p.s_n),
+            format!("{:.2}", p.sqrt_n),
+            format!("{:.2}", p.two_sqrt_n),
+            format!("{sim:.2}"),
+        ]);
+    }
+
+    let mut appb = TextTable::new(
+        "Appendix B — error-direction step bounds (paper example: N=1000, M=10: S_N=39 vs S_(N/M)=12)",
+        &["scenario", "parameters", "bound/expectation"],
+    );
+    appb.push(vec![
+        "overestimates only (Thm 7)".into(),
+        "m = 4 joins".into(),
+        format!("≤ {} steps", overestimate_only_bound(4)),
+    ]);
+    appb.push(vec![
+        "overestimates only (Thm 7)".into(),
+        "m = 7 joins".into(),
+        format!("≤ {} steps", overestimate_only_bound(7)),
+    ]);
+    appb.push(vec![
+        "unrestricted (Thm 4)".into(),
+        "N = 1000".into(),
+        format!("E[steps] = {:.1}", s_n(1000)),
+    ]);
+    appb.push(vec![
+        "underestimates only".into(),
+        "N = 1000, M = 10 edges".into(),
+        format!("E[steps] ≤ S_(N/M) = {:.1}", underestimate_only_expected(1000, 10)),
+    ]);
+    vec![fig3, appb]
+}

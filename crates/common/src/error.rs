@@ -1,0 +1,85 @@
+//! Workspace-wide error type.
+//!
+//! The engine is a library, so errors are values, never panics. Each
+//! subsystem maps its failure modes onto one of the variants below; the
+//! string payloads carry human-readable context (table/column names, plan
+//! descriptions).
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Unified error type for the whole engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A named entity (table, column, index, statistics entry) was not found.
+    NotFound(String),
+    /// The caller supplied something structurally invalid (mismatched column
+    /// lengths, a join predicate over a relation that is not in the query,
+    /// an empty query, ...).
+    Invalid(String),
+    /// A requested feature is deliberately outside the engine's algebra
+    /// (e.g. non-equi joins in the join enumerator).
+    Unsupported(String),
+    /// Internal invariant violation. Seeing this is a bug in the engine.
+    Internal(String),
+}
+
+impl Error {
+    /// Shorthand for [`Error::NotFound`].
+    pub fn not_found(what: impl Into<String>) -> Self {
+        Error::NotFound(what.into())
+    }
+
+    /// Shorthand for [`Error::Invalid`].
+    pub fn invalid(what: impl Into<String>) -> Self {
+        Error::Invalid(what.into())
+    }
+
+    /// Shorthand for [`Error::Unsupported`].
+    pub fn unsupported(what: impl Into<String>) -> Self {
+        Error::Unsupported(what.into())
+    }
+
+    /// Shorthand for [`Error::Internal`].
+    pub fn internal(what: impl Into<String>) -> Self {
+        Error::Internal(what.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(s) => write!(f, "not found: {s}"),
+            Error::Invalid(s) => write!(f, "invalid: {s}"),
+            Error::Unsupported(s) => write!(f, "unsupported: {s}"),
+            Error::Internal(s) => write!(f, "internal error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::not_found("table lineitem");
+        assert_eq!(e.to_string(), "not found: table lineitem");
+        let e = Error::invalid("join predicate references absent relation");
+        assert!(e.to_string().starts_with("invalid:"));
+        let e = Error::unsupported("theta join");
+        assert!(e.to_string().contains("theta join"));
+        let e = Error::internal("dp table miss");
+        assert!(e.to_string().contains("internal"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::not_found("x"), Error::not_found("x"));
+        assert_ne!(Error::not_found("x"), Error::invalid("x"));
+    }
+}

@@ -1,0 +1,149 @@
+//! FxHash-style fast hashing.
+//!
+//! The optimizer's DP table, the executor's hash joins and the Γ statistics
+//! store are all integer-keyed hash maps on the hot path. The standard
+//! library's SipHash is collision-hardened but slow for small integer keys;
+//! the classic Fx multiply-and-rotate hash (as used inside rustc) is an
+//! order of magnitude cheaper and adequate because keys are never
+//! attacker-controlled here.
+//!
+//! Implemented locally (~40 lines) rather than pulling `rustc-hash`, which
+//! is not on the approved dependency list.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-and-rotate hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash a single `u64` with the Fx mix — handy for fingerprint combination.
+#[inline]
+pub fn fx_mix(seed: u64, word: u64) -> u64 {
+    (seed.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"lineitem"), hash_of(&"lineitem"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a collision-resistance claim, just sanity that low bits differ
+        // for sequential keys (the map uses the low bits for bucketing).
+        let a = hash_of(&1u64);
+        let b = hash_of(&2u64);
+        assert_ne!(a, b);
+        assert_ne!(a & 0xffff, b & 0xffff);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m[&1], "one");
+
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        s.insert((1, 2));
+        assert!(s.contains(&(1, 2)));
+        assert!(!s.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn unaligned_tail_bytes_hash() {
+        // 11 bytes exercises the chunk remainder path.
+        let bytes: [u8; 11] = *b"hello world";
+        let mut h1 = FxHasher::default();
+        h1.write(&bytes);
+        let mut h2 = FxHasher::default();
+        h2.write(&bytes);
+        assert_eq!(h1.finish(), h2.finish());
+
+        let mut h3 = FxHasher::default();
+        h3.write(b"hello worle");
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn fx_mix_differs_by_seed_and_word() {
+        assert_ne!(fx_mix(0, 1), fx_mix(0, 2));
+        assert_ne!(fx_mix(1, 1), fx_mix(2, 1));
+    }
+}

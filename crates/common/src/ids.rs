@@ -1,0 +1,93 @@
+//! Strongly-typed identifiers.
+//!
+//! * [`TableId`] — a base table in the catalog (global across the database).
+//! * [`ColId`] — a column *within* its table (0-based position).
+//! * [`RelId`] — a relation *occurrence* within one query (0-based position
+//!   in the query's `FROM` list). The same base table may appear under two
+//!   different `RelId`s (self-joins), which is why plans and statistics are
+//!   keyed by `RelId`, not `TableId`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a raw index.
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Raw index, convenient for slice addressing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(raw: usize) -> Self {
+                Self(raw as u32)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a base table in the catalog.
+    TableId,
+    "t"
+);
+id_type!(
+    /// Identifier of a column within its table (positional).
+    ColId,
+    "c"
+);
+id_type!(
+    /// Identifier of a relation occurrence within a query (positional in the
+    /// `FROM` list). At most [`crate::relset::MAX_RELS`] relations per query.
+    RelId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let t = TableId::new(3);
+        assert_eq!(t.index(), 3);
+        assert_eq!(t.to_string(), "t3");
+        assert_eq!(TableId::from(3usize), t);
+        assert_eq!(TableId::from(3u32), t);
+
+        let r = RelId::new(0);
+        assert_eq!(r.to_string(), "r0");
+        let c = ColId::new(7);
+        assert_eq!(c.to_string(), "c7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(RelId::new(1) < RelId::new(2));
+        assert!(ColId::new(0) < ColId::new(10));
+    }
+}

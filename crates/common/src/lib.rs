@@ -1,0 +1,23 @@
+//! Shared substrate for the `reopt` workspace.
+//!
+//! This crate holds the small, dependency-free building blocks every other
+//! crate needs:
+//!
+//! * [`error`] — the workspace-wide [`error::Error`] type,
+//! * [`ids`] — strongly-typed identifiers for tables, columns and relations,
+//! * [`relset`] — [`relset::RelSet`], a bitset over the base
+//!   relations of a query (the canonical key of the paper's Γ statistics),
+//! * [`hash`] — an FxHash-style fast hasher plus `FxHashMap`/`FxHashSet`
+//!   aliases (integer-keyed maps are hot in the optimizer and executor),
+//! * [`rng`] — deterministic RNG plumbing so every experiment is replayable.
+
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod relset;
+pub mod rng;
+
+pub use error::{Error, Result};
+pub use hash::{FxHashMap, FxHashSet};
+pub use ids::{ColId, RelId, TableId};
+pub use relset::RelSet;

@@ -1,0 +1,300 @@
+//! [`RelSet`]: a set of relation occurrences of one query, as a `u64` bitset.
+//!
+//! The paper's Γ ("validated cardinalities") is keyed by *which base
+//! relations a join subtree covers* — within a single query the local
+//! predicates per relation are fixed, so the relation set identifies the
+//! logical join result uniquely (§2.2, §3.1). `RelSet` is that key. It is
+//! also the subset key of the optimizer's dynamic-programming table.
+//!
+//! Queries are limited to [`MAX_RELS`] = 64 relation occurrences, far above
+//! anything the paper evaluates (OTT uses 5–6, TPC-H ≤ 8).
+
+use crate::ids::RelId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of relation occurrences per query.
+pub const MAX_RELS: usize = 64;
+
+/// An immutable set of [`RelId`]s, represented as a 64-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct RelSet(u64);
+
+impl RelSet {
+    /// The empty set.
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// Set containing a single relation.
+    pub fn single(rel: RelId) -> Self {
+        debug_assert!(rel.index() < MAX_RELS, "relation index out of range");
+        RelSet(1u64 << rel.index())
+    }
+
+    /// Set containing relations `0..n`.
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= MAX_RELS, "at most {MAX_RELS} relations per query");
+        if n == MAX_RELS {
+            RelSet(u64::MAX)
+        } else {
+            RelSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Build from an iterator of relations.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = RelId>>(iter: I) -> Self {
+        let mut s = RelSet::EMPTY;
+        for r in iter {
+            s = s.with(r);
+        }
+        s
+    }
+
+    /// Raw bit mask (stable across runs; used in fingerprints).
+    pub const fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// Construct directly from a raw mask.
+    pub const fn from_mask(mask: u64) -> Self {
+        RelSet(mask)
+    }
+
+    /// Number of relations in the set.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when the set contains no relation.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, rel: RelId) -> bool {
+        debug_assert!(rel.index() < MAX_RELS);
+        self.0 & (1u64 << rel.index()) != 0
+    }
+
+    /// This set plus `rel`.
+    #[must_use]
+    pub fn with(self, rel: RelId) -> Self {
+        debug_assert!(rel.index() < MAX_RELS);
+        RelSet(self.0 | (1u64 << rel.index()))
+    }
+
+    /// This set minus `rel`.
+    #[must_use]
+    pub fn without(self, rel: RelId) -> Self {
+        debug_assert!(rel.index() < MAX_RELS);
+        RelSet(self.0 & !(1u64 << rel.index()))
+    }
+
+    /// Set union.
+    #[must_use]
+    pub const fn union(self, other: RelSet) -> Self {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub const fn intersect(self, other: RelSet) -> Self {
+        RelSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[must_use]
+    pub const fn difference(self, other: RelSet) -> Self {
+        RelSet(self.0 & !other.0)
+    }
+
+    /// True when the two sets share no relation.
+    pub const fn is_disjoint(self, other: RelSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// True when `self ⊆ other`.
+    pub const fn is_subset_of(self, other: RelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate members in ascending [`RelId`] order.
+    pub fn iter(self) -> RelSetIter {
+        RelSetIter(self.0)
+    }
+
+    /// The member with the smallest index, if any.
+    pub fn min_rel(self) -> Option<RelId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(RelId::new(self.0.trailing_zeros()))
+        }
+    }
+
+    /// Iterate all *non-empty, proper* subsets of this set.
+    ///
+    /// Classic subset-enumeration trick: for mask `m`, `s = (s - 1) & m`
+    /// walks every submask exactly once in decreasing numeric order. Used by
+    /// the DPsub join enumerator.
+    pub fn proper_subsets(self) -> SubsetIter {
+        SubsetIter {
+            mask: self.0,
+            // Start from the largest proper subset.
+            next: self.0.wrapping_sub(1) & self.0,
+            done: self.0 == 0,
+        }
+    }
+}
+
+impl fmt::Debug for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for r in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", r.0)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<RelId> for RelSet {
+    fn from_iter<I: IntoIterator<Item = RelId>>(iter: I) -> Self {
+        RelSet::from_iter(iter)
+    }
+}
+
+/// Iterator over the members of a [`RelSet`].
+pub struct RelSetIter(u64);
+
+impl Iterator for RelSetIter {
+    type Item = RelId;
+
+    fn next(&mut self) -> Option<RelId> {
+        if self.0 == 0 {
+            None
+        } else {
+            let tz = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(RelId::new(tz))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RelSetIter {}
+
+/// Iterator over the non-empty proper subsets of a [`RelSet`].
+pub struct SubsetIter {
+    mask: u64,
+    next: u64,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = RelSet;
+
+    fn next(&mut self) -> Option<RelSet> {
+        if self.done || self.next == 0 {
+            return None;
+        }
+        let out = RelSet(self.next);
+        self.next = self.next.wrapping_sub(1) & self.mask;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(ids: &[u32]) -> RelSet {
+        ids.iter().map(|&i| RelId::new(i)).collect()
+    }
+
+    #[test]
+    fn basic_set_algebra() {
+        let a = rs(&[0, 2, 5]);
+        let b = rs(&[2, 3]);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(RelId::new(2)));
+        assert!(!a.contains(RelId::new(1)));
+        assert_eq!(a.union(b), rs(&[0, 2, 3, 5]));
+        assert_eq!(a.intersect(b), rs(&[2]));
+        assert_eq!(a.difference(b), rs(&[0, 5]));
+        assert!(rs(&[0, 5]).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(a.is_disjoint(rs(&[1, 3])));
+        assert!(!a.is_disjoint(b));
+    }
+
+    #[test]
+    fn with_without_roundtrip() {
+        let a = RelSet::EMPTY.with(RelId::new(4)).with(RelId::new(1));
+        assert_eq!(a, rs(&[1, 4]));
+        assert_eq!(a.without(RelId::new(4)), rs(&[1]));
+        assert_eq!(a.without(RelId::new(9)), a);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let a = rs(&[7, 0, 3]);
+        let v: Vec<u32> = a.iter().map(|r| r.0).collect();
+        assert_eq!(v, vec![0, 3, 7]);
+        assert_eq!(a.iter().len(), 3);
+        assert_eq!(a.min_rel(), Some(RelId::new(0)));
+        assert_eq!(RelSet::EMPTY.min_rel(), None);
+    }
+
+    #[test]
+    fn first_n_covers_prefix() {
+        assert_eq!(RelSet::first_n(0), RelSet::EMPTY);
+        assert_eq!(RelSet::first_n(3), rs(&[0, 1, 2]));
+        assert_eq!(RelSet::first_n(64).len(), 64);
+    }
+
+    #[test]
+    fn proper_subset_enumeration_is_complete_and_proper() {
+        let a = rs(&[1, 3, 4]);
+        let subs: Vec<RelSet> = a.proper_subsets().collect();
+        // 2^3 - 2 = 6 non-empty proper subsets.
+        assert_eq!(subs.len(), 6);
+        for s in &subs {
+            assert!(s.is_subset_of(a));
+            assert!(!s.is_empty());
+            assert_ne!(*s, a);
+        }
+        // All distinct.
+        let mut dedup = subs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), subs.len());
+    }
+
+    #[test]
+    fn proper_subsets_of_trivial_sets() {
+        assert_eq!(RelSet::EMPTY.proper_subsets().count(), 0);
+        assert_eq!(rs(&[5]).proper_subsets().count(), 0);
+        assert_eq!(rs(&[5, 9]).proper_subsets().count(), 2);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", rs(&[0, 2])), "{0,2}");
+        assert_eq!(format!("{:?}", RelSet::EMPTY), "{}");
+    }
+}

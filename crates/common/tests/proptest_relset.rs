@@ -1,0 +1,85 @@
+//! Property tests for the RelSet bitset — the key type of Γ and of the
+//! optimizer's DP table, where a subtle set-algebra bug would corrupt
+//! plans silently.
+
+use proptest::prelude::*;
+use reopt_common::{RelId, RelSet};
+
+fn relset() -> impl Strategy<Value = RelSet> {
+    any::<u64>().prop_map(RelSet::from_mask)
+}
+
+proptest! {
+    #[test]
+    fn union_intersect_difference_laws(a in relset(), b in relset()) {
+        // De Morgan-ish consistency through the mask representation.
+        prop_assert_eq!(a.union(b).mask(), a.mask() | b.mask());
+        prop_assert_eq!(a.intersect(b).mask(), a.mask() & b.mask());
+        prop_assert_eq!(a.difference(b).mask(), a.mask() & !b.mask());
+        // Difference and intersection partition `a`.
+        prop_assert_eq!(a.difference(b).union(a.intersect(b)), a);
+        // Disjointness symmetric and consistent with intersection.
+        prop_assert_eq!(a.is_disjoint(b), a.intersect(b).is_empty());
+        prop_assert_eq!(a.is_disjoint(b), b.is_disjoint(a));
+    }
+
+    #[test]
+    fn subset_relation(a in relset(), b in relset()) {
+        prop_assert_eq!(a.is_subset_of(b), a.union(b) == b);
+        prop_assert!(a.intersect(b).is_subset_of(a));
+        prop_assert!(a.is_subset_of(a.union(b)));
+    }
+
+    #[test]
+    fn iteration_round_trips(a in relset()) {
+        let rebuilt: RelSet = a.iter().collect();
+        prop_assert_eq!(rebuilt, a);
+        prop_assert_eq!(a.iter().count(), a.len());
+        // Sorted ascending.
+        let ids: Vec<u32> = a.iter().map(|r| r.0).collect();
+        prop_assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn with_without_inverse(a in relset(), idx in 0u32..64) {
+        let r = RelId::new(idx);
+        prop_assert!(a.with(r).contains(r));
+        prop_assert!(!a.without(r).contains(r));
+        if !a.contains(r) {
+            prop_assert_eq!(a.with(r).without(r), a);
+        }
+    }
+
+    #[test]
+    fn proper_subsets_are_proper_and_complete(mask in 0u64..256) {
+        let a = RelSet::from_mask(mask);
+        let subs: Vec<RelSet> = a.proper_subsets().collect();
+        // Count: 2^n - 2 for n ≥ 1 members (excludes empty and full).
+        let expected = if a.is_empty() { 0 } else { (1usize << a.len()) - 2 };
+        prop_assert_eq!(subs.len(), expected);
+        for s in &subs {
+            prop_assert!(s.is_subset_of(a));
+            prop_assert!(!s.is_empty());
+            prop_assert_ne!(*s, a);
+        }
+        // Each subset paired with its complement-in-a is a partition.
+        for s in &subs {
+            let c = a.difference(*s);
+            prop_assert_eq!(s.union(c), a);
+            prop_assert!(s.is_disjoint(c));
+        }
+    }
+
+    #[test]
+    fn min_rel_is_minimum(a in relset()) {
+        match a.min_rel() {
+            None => prop_assert!(a.is_empty()),
+            Some(m) => {
+                prop_assert!(a.contains(m));
+                for r in a.iter() {
+                    prop_assert!(m.0 <= r.0);
+                }
+            }
+        }
+    }
+}

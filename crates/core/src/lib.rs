@@ -1,0 +1,19 @@
+//! The paper's contribution: **sampling-based query re-optimization**
+//! (Algorithm 1 of Wu, Naughton & Singh, SIGMOD 2016).
+//!
+//! Given an [`Optimizer`](reopt_optimizer::Optimizer) and a
+//! [`SampleStore`](reopt_sampling::SampleStore), the
+//! [`reopt::ReOptimizer`] repeatedly asks the optimizer for a
+//! plan, dry-runs the plan's join subtrees over the samples, feeds the
+//! validated cardinalities (Γ) back, and stops when the plan no longer
+//! changes. [`report::ReoptReport`] captures the full trace —
+//! enough to regenerate every re-optimization figure of the paper and to
+//! machine-check Theorems 1, 2 and 5 on real runs.
+
+pub mod multi_seed;
+pub mod reopt;
+pub mod report;
+
+pub use multi_seed::{run_multi_seed, MultiSeedReport};
+pub use reopt::{ReOptConfig, ReOptimizer};
+pub use report::{ReoptReport, ReoptSummary, RoundReport};

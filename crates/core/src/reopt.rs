@@ -1,0 +1,510 @@
+//! Algorithm 1 — sampling-based query re-optimization.
+//!
+//! ```text
+//! Γ ← ∅; P₀ ← null; i ← 1
+//! loop:
+//!     Pᵢ ← GetPlanFromOptimizer(Γ)
+//!     if Pᵢ = Pᵢ₋₁: break
+//!     Δᵢ ← GetCardinalityEstimatesBySampling(Pᵢ)
+//!     Γ ← Γ ∪ Δᵢ
+//!     i ← i + 1
+//! return Pᵢ
+//! ```
+//!
+//! The loop is guaranteed to terminate (Corollary 1): each non-terminal
+//! round must add at least one previously unseen join to Γ, and the join
+//! space is finite. [`ReOptConfig`] adds the practical stopping strategies
+//! the paper discusses in §5.4 (round cap, time budget, best-plan-so-far
+//! fallback), all of which are *off* by default so the textbook algorithm
+//! runs unmodified.
+
+use std::time::{Duration, Instant};
+
+use crate::report::{ReoptReport, RoundReport};
+use reopt_common::Result;
+use reopt_optimizer::{CardOverrides, Optimizer};
+use reopt_plan::transform::{classify_transformation, is_covered_by};
+use reopt_plan::{JoinTree, PhysicalPlan, Query};
+use reopt_sampling::{validate_plan, SampleStore, ValidationOpts};
+
+/// Stopping strategy and validation knobs for the re-optimization loop.
+#[derive(Debug, Clone)]
+pub struct ReOptConfig {
+    /// Hard cap on optimizer invocations (safety net; the paper observed
+    /// fewer than 10 rounds for every tested query).
+    pub max_rounds: usize,
+    /// Optional wall-clock budget for the whole loop (§5.4's timeout
+    /// strategy).
+    pub time_budget: Option<Duration>,
+    /// When the loop is stopped early (cap or budget), re-cost all plans
+    /// generated so far under the final Γ and return the cheapest (§5.4's
+    /// "best plan among the plans generated so far").
+    pub pick_best_on_stop: bool,
+    /// Sampling validation options.
+    pub validation: ValidationOpts,
+    /// Conservative acceptance (§7's second future-work item): only accept
+    /// a sampling-validated cardinality into Γ when it disagrees with the
+    /// optimizer's native estimate by at least this factor (in either
+    /// direction). `None` (the default) reproduces the paper's
+    /// "unconditionally accept" behaviour; `Some(2.0)` ignores corrections
+    /// smaller than 2×, trading repair opportunities for robustness to
+    /// sampling noise.
+    pub min_discrepancy_factor: Option<f64>,
+}
+
+impl Default for ReOptConfig {
+    fn default() -> Self {
+        ReOptConfig {
+            max_rounds: 32,
+            time_budget: None,
+            pick_best_on_stop: true,
+            validation: ValidationOpts::default(),
+            min_discrepancy_factor: None,
+        }
+    }
+}
+
+/// The re-optimizer: an optimizer plus a sample store.
+#[derive(Debug)]
+pub struct ReOptimizer<'a> {
+    optimizer: &'a Optimizer<'a>,
+    samples: &'a SampleStore,
+    config: ReOptConfig,
+}
+
+impl<'a> ReOptimizer<'a> {
+    /// Re-optimizer with default configuration.
+    pub fn new(optimizer: &'a Optimizer<'a>, samples: &'a SampleStore) -> Self {
+        Self::with_config(optimizer, samples, ReOptConfig::default())
+    }
+
+    /// Re-optimizer with explicit configuration.
+    pub fn with_config(
+        optimizer: &'a Optimizer<'a>,
+        samples: &'a SampleStore,
+        config: ReOptConfig,
+    ) -> Self {
+        ReOptimizer {
+            optimizer,
+            samples,
+            config,
+        }
+    }
+
+    /// The underlying optimizer.
+    pub fn optimizer(&self) -> &'a Optimizer<'a> {
+        self.optimizer
+    }
+
+    /// The sample store.
+    pub fn samples(&self) -> &'a SampleStore {
+        self.samples
+    }
+
+    /// Run Algorithm 1 on `query`.
+    pub fn run(&self, query: &Query) -> Result<ReoptReport> {
+        let t_start = Instant::now();
+        let mut gamma = CardOverrides::new();
+        let mut rounds: Vec<RoundReport> = Vec::new();
+        let mut prev_plan: Option<PhysicalPlan> = None;
+        let mut prev_trees: Vec<JoinTree> = Vec::new();
+        let mut converged = false;
+
+        loop {
+            let round = rounds.len() + 1;
+            let t0 = Instant::now();
+            let planned = self.optimizer.optimize_with(query, &gamma)?;
+            let optimize_time = t0.elapsed();
+            let tree = planned.plan.logical_tree();
+            let transform = prev_plan
+                .as_ref()
+                .map(|p| classify_transformation(&p.logical_tree(), &tree));
+            let covered = {
+                let refs: Vec<&JoinTree> = prev_trees.iter().collect();
+                is_covered_by(&tree, &refs)
+            };
+            let same = prev_plan
+                .as_ref()
+                .is_some_and(|p| p.same_structure(&planned.plan));
+
+            if same {
+                // Terminal round: Pᵢ = Pᵢ₋₁, no validation needed.
+                let (_, vcost) = self.optimizer.cost_plan(query, &planned.plan, &gamma)?;
+                rounds.push(RoundReport {
+                    round,
+                    est_rows: planned.plan.est_rows(),
+                    est_cost: planned.plan.est_cost(),
+                    plan: planned.plan,
+                    transform,
+                    covered_by_previous: covered,
+                    gamma_new_entries: 0,
+                    validated_cost: vcost,
+                    optimize_time,
+                    validation_time: Duration::ZERO,
+                });
+                converged = true;
+                break;
+            }
+
+            let v = validate_plan(query, &planned.plan, self.samples, &self.config.validation)?;
+            let delta = match self.config.min_discrepancy_factor {
+                Some(factor) => self.filter_small_corrections(query, &gamma, &v.delta, factor)?,
+                None => v.delta,
+            };
+            let fresh = gamma.merge(&delta);
+            let (_, vcost) = self.optimizer.cost_plan(query, &planned.plan, &gamma)?;
+            rounds.push(RoundReport {
+                round,
+                est_rows: planned.plan.est_rows(),
+                est_cost: planned.plan.est_cost(),
+                plan: planned.plan.clone(),
+                transform,
+                covered_by_previous: covered,
+                gamma_new_entries: fresh,
+                validated_cost: vcost,
+                optimize_time,
+                validation_time: v.elapsed,
+            });
+            prev_trees.push(tree);
+            prev_plan = Some(planned.plan);
+
+            if rounds.len() >= self.config.max_rounds {
+                break;
+            }
+            if let Some(budget) = self.config.time_budget {
+                if t_start.elapsed() > budget {
+                    break;
+                }
+            }
+        }
+
+        // Final plan selection.
+        let final_plan = if converged {
+            rounds.last().unwrap().plan.clone()
+        } else if self.config.pick_best_on_stop {
+            // §5.4: under the final Γ, the cheapest of the generated plans.
+            let mut best: Option<(f64, &PhysicalPlan)> = None;
+            for r in &rounds {
+                let (_, cost) = self.optimizer.cost_plan(query, &r.plan, &gamma)?;
+                if best.is_none_or(|(c, _)| cost < c) {
+                    best = Some((cost, &r.plan));
+                }
+            }
+            best.expect("at least one round ran").1.clone()
+        } else {
+            rounds.last().unwrap().plan.clone()
+        };
+
+        Ok(ReoptReport {
+            rounds,
+            final_plan,
+            converged,
+            reopt_time: t_start.elapsed(),
+            gamma,
+        })
+    }
+
+    /// Conservative acceptance: drop Δ entries whose sampling estimate is
+    /// within `factor` of the optimizer's current estimate (native stats
+    /// overridden by the Γ accumulated so far).
+    fn filter_small_corrections(
+        &self,
+        query: &Query,
+        gamma: &CardOverrides,
+        delta: &CardOverrides,
+        factor: f64,
+    ) -> Result<CardOverrides> {
+        let factor = factor.max(1.0);
+        let mut kept = CardOverrides::new();
+        for (set, sampled) in delta.iter() {
+            let native = self.optimizer.estimate_rows(query, gamma, set)?;
+            let (lo, hi) = (native / factor, native * factor);
+            if sampled < lo || sampled > hi {
+                kept.insert(set, sampled);
+            }
+        }
+        Ok(kept)
+    }
+
+    /// Theorem 6 check: the final plan costs no more (under the final Γ)
+    /// than any of its local transformations — operand swaps and
+    /// single-node operator substitutions. Returns the number of
+    /// alternatives examined.
+    pub fn verify_theorem6(&self, query: &Query, report: &ReoptReport) -> Result<usize> {
+        let (_, final_cost) = self
+            .optimizer
+            .cost_plan(query, &report.final_plan, &report.gamma)?;
+        let alternatives = reopt_plan::local_transformations(&report.final_plan);
+        let examined = alternatives.len();
+        for alt in alternatives {
+            let (_, alt_cost) = self.optimizer.cost_plan(query, &alt, &report.gamma)?;
+            if final_cost > alt_cost * (1.0 + 1e-9) {
+                return Err(reopt_common::Error::internal(format!(
+                    "Theorem 6 violated: local transformation costs {alt_cost}, final costs {final_cost}\n{}",
+                    alt.explain()
+                )));
+            }
+        }
+        Ok(examined)
+    }
+
+    /// Theorem 5 check: under the final Γ (which prices every plan the
+    /// loop generated), the final plan's estimated cost must not exceed
+    /// any earlier plan's. Returns the (final_cost, costs-per-round) pair
+    /// for reporting.
+    pub fn verify_final_optimality(
+        &self,
+        query: &Query,
+        report: &ReoptReport,
+    ) -> Result<(f64, Vec<f64>)> {
+        let mut costs = Vec::with_capacity(report.rounds.len());
+        for r in &report.rounds {
+            let (_, c) = self.optimizer.cost_plan(query, &r.plan, &report.gamma)?;
+            costs.push(c);
+        }
+        let (_, final_cost) = self
+            .optimizer
+            .cost_plan(query, &report.final_plan, &report.gamma)?;
+        Ok((final_cost, costs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::{ColId, TableId};
+    use reopt_plan::query::ColRef;
+    use reopt_plan::{Predicate, QueryBuilder};
+    use reopt_sampling::SampleConfig;
+    use reopt_stats::{analyze_database, AnalyzeOpts};
+    use reopt_storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema};
+
+    /// OTT-style chain database: `k` relations R(A, B) with B = A,
+    /// `vals` distinct values × `per` rows.
+    fn ott_db(k: usize, vals: i64, per: usize) -> Database {
+        let mut db = Database::new();
+        for t in 0..k {
+            db.add_table_with(|id| {
+                let schema = TableSchema::new(vec![
+                    ColumnDef::new("a", LogicalType::Int),
+                    ColumnDef::new("b", LogicalType::Int),
+                ])?;
+                let mut data = Vec::new();
+                for v in 0..vals {
+                    data.extend(std::iter::repeat_n(v, per));
+                }
+                let mut tbl = Table::new(
+                    id,
+                    format!("r{t}"),
+                    schema,
+                    vec![
+                        Column::from_i64(LogicalType::Int, data.clone()),
+                        Column::from_i64(LogicalType::Int, data),
+                    ],
+                )?;
+                tbl.create_index(ColId::new(0))?;
+                tbl.create_index(ColId::new(1))?;
+                Ok(tbl)
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    fn ott_query(k: usize, consts: &[i64]) -> Query {
+        let mut qb = QueryBuilder::new();
+        let rels: Vec<_> = (0..k).map(|i| qb.add_relation(TableId::from(i))).collect();
+        for (i, &r) in rels.iter().enumerate() {
+            qb.add_predicate(Predicate::eq(r, ColId::new(0), consts[i]));
+        }
+        for w in rels.windows(2) {
+            qb.add_join(
+                ColRef::new(w[0], ColId::new(1)),
+                ColRef::new(w[1], ColId::new(1)),
+            );
+        }
+        qb.build()
+    }
+
+    struct Fixture {
+        db: Database,
+    }
+
+    impl Fixture {
+        fn new(k: usize, vals: i64, per: usize) -> Self {
+            Fixture {
+                db: ott_db(k, vals, per),
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_queries_converge_in_two_rounds() {
+        // A 2-relation non-empty query: sampling confirms the estimates
+        // roughly, the plan should stabilize quickly (≤ 3 rounds).
+        let f = Fixture::new(2, 100, 20);
+        let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(&f.db, SampleConfig::default()).unwrap();
+        let opt = Optimizer::new(&f.db, &stats);
+        let re = ReOptimizer::new(&opt, &samples);
+        let q = ott_query(2, &[0, 0]);
+        let report = re.run(&q).unwrap();
+        assert!(report.converged);
+        assert!(report.num_rounds() <= 3, "rounds: {}", report.num_rounds());
+        // Final round is Identical to its predecessor.
+        assert!(report.rounds.last().unwrap().transform.is_some());
+    }
+
+    #[test]
+    fn ott_empty_join_first_after_reoptimization() {
+        // 4-relation OTT chain with constants (0,0,0,1): the r2 ⋈ r3 edge
+        // is empty. Re-optimization must discover a near-zero join and the
+        // final plan must be dramatically cheaper under Γ.
+        let f = Fixture::new(4, 50, 20); // 1000 rows per table
+        let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(&f.db, SampleConfig::default()).unwrap();
+        let opt = Optimizer::new(&f.db, &stats);
+        let re = ReOptimizer::new(&opt, &samples);
+        let q = ott_query(4, &[0, 0, 0, 1]);
+        let report = re.run(&q).unwrap();
+        assert!(report.converged, "did not converge");
+        // Γ must contain at least one near-empty validated join.
+        let has_empty = report.gamma.iter().any(|(s, rows)| s.len() >= 2 && rows <= 1.5);
+        assert!(has_empty, "no empty join discovered in Γ");
+        // Theorem 5: final plan no worse than any generated plan under Γ.
+        let (final_cost, costs) = re.verify_final_optimality(&q, &report).unwrap();
+        for (i, c) in costs.iter().enumerate() {
+            assert!(
+                final_cost <= c * (1.0 + 1e-9),
+                "round {} plan is cheaper ({c}) than final ({final_cost})",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_transformation_chain_holds() {
+        let f = Fixture::new(5, 50, 20);
+        let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(&f.db, SampleConfig::default()).unwrap();
+        let opt = Optimizer::new(&f.db, &stats);
+        let re = ReOptimizer::new(&opt, &samples);
+        for consts in [[0, 0, 0, 0, 1], [0, 0, 0, 1, 1], [0, 1, 0, 1, 0]] {
+            let q = ott_query(5, &consts);
+            let report = re.run(&q).unwrap();
+            report
+                .verify_theorem2()
+                .unwrap_or_else(|e| panic!("theorem 2 violated for {consts:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn max_rounds_cap_stops_loop() {
+        let f = Fixture::new(4, 50, 20);
+        let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(&f.db, SampleConfig::default()).unwrap();
+        let opt = Optimizer::new(&f.db, &stats);
+        let config = ReOptConfig {
+            max_rounds: 1,
+            ..Default::default()
+        };
+        let re = ReOptimizer::with_config(&opt, &samples, config);
+        let q = ott_query(4, &[0, 0, 0, 1]);
+        let report = re.run(&q).unwrap();
+        assert_eq!(report.num_rounds(), 1);
+        // With one round the loop cannot have converged...
+        assert!(!report.converged);
+        // ...and pick_best_on_stop returns the only plan generated.
+        assert!(report.final_plan.same_structure(&report.rounds[0].plan));
+    }
+
+    #[test]
+    fn reoptimization_is_deterministic() {
+        let f = Fixture::new(4, 50, 20);
+        let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(&f.db, SampleConfig::default()).unwrap();
+        let opt = Optimizer::new(&f.db, &stats);
+        let re = ReOptimizer::new(&opt, &samples);
+        let q = ott_query(4, &[0, 0, 1, 0]);
+        let r1 = re.run(&q).unwrap();
+        let r2 = re.run(&q).unwrap();
+        assert_eq!(r1.num_rounds(), r2.num_rounds());
+        assert!(r1.final_plan.same_structure(&r2.final_plan));
+    }
+
+    #[test]
+    fn conservative_acceptance_suppresses_small_corrections() {
+        let f = Fixture::new(4, 50, 20);
+        let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(
+            &f.db,
+            SampleConfig {
+                ratio: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let opt = Optimizer::new(&f.db, &stats);
+        let q = ott_query(4, &[0, 0, 0, 1]);
+
+        // An absurd discrepancy threshold: every correction is suppressed,
+        // Γ never grows, and the loop terminates with the original plan.
+        let config = ReOptConfig {
+            min_discrepancy_factor: Some(1e12),
+            ..Default::default()
+        };
+        let re = ReOptimizer::with_config(&opt, &samples, config);
+        let report = re.run(&q).unwrap();
+        assert!(report.converged);
+        assert_eq!(report.gamma.len(), 0);
+        assert!(!report.plan_changed());
+        assert_eq!(report.num_rounds(), 2);
+
+        // A moderate threshold still lets the orders-of-magnitude OTT
+        // errors through: the plan is repaired as usual.
+        let config = ReOptConfig {
+            min_discrepancy_factor: Some(3.0),
+            ..Default::default()
+        };
+        let re = ReOptimizer::with_config(&opt, &samples, config);
+        let report = re.run(&q).unwrap();
+        assert!(report.converged);
+        assert!(!report.gamma.is_empty(), "large errors must still be accepted");
+        // Only the big-discrepancy sets were recorded.
+        for (set, rows) in report.gamma.iter() {
+            let native = opt
+                .estimate_rows(&q, &CardOverrides::new(), set)
+                .unwrap();
+            let ratio = (rows.max(1e-9) / native.max(1e-9)).max(native / rows.max(1e-9));
+            assert!(ratio >= 2.0, "small correction slipped through: {set} {rows} vs {native}");
+        }
+    }
+
+    #[test]
+    fn gamma_growth_is_monotone_and_bounded() {
+        let f = Fixture::new(4, 50, 20);
+        let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(&f.db, SampleConfig::default()).unwrap();
+        let opt = Optimizer::new(&f.db, &stats);
+        let re = ReOptimizer::new(&opt, &samples);
+        let q = ott_query(4, &[0, 0, 0, 1]);
+        let report = re.run(&q).unwrap();
+        // Theorem 1: if a round adds nothing new to Γ (its plan was
+        // covered by earlier plans), the *next* round must terminate the
+        // loop with an identical plan.
+        for (i, r) in report.rounds.iter().enumerate() {
+            if i + 1 < report.rounds.len() && r.gamma_new_entries == 0 {
+                let next = &report.rounds[i + 1];
+                assert_eq!(
+                    next.transform,
+                    Some(reopt_plan::transform::TransformKind::Identical),
+                    "round {} added nothing but round {} did not terminate",
+                    r.round,
+                    next.round
+                );
+            }
+        }
+        // And the loop did make progress: Γ is non-trivial at the end.
+        assert!(report.gamma.len() >= 2, "Γ has {} entries", report.gamma.len());
+    }
+}

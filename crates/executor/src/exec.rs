@@ -1,0 +1,973 @@
+//! Plan execution.
+
+use std::time::Instant;
+
+use crate::agg::{aggregate, AggOutput};
+use crate::metrics::ExecMetrics;
+use crate::rowset::RowSet;
+use reopt_common::{ColId, Error, FxHashMap, RelId, RelSet, Result};
+use reopt_plan::{AccessPath, CmpOp, JoinAlgo, PhysicalPlan, Predicate, Query};
+use reopt_plan::query::ColRef;
+use reopt_storage::value::NULL_SENTINEL;
+use reopt_storage::{Database, Table};
+
+/// Executor limits.
+#[derive(Debug, Clone)]
+pub struct ExecOpts {
+    /// Abort when any single operator output exceeds this many rows —
+    /// a safety valve against truly pathological plans (the OTT's bad plans
+    /// are *meant* to be painful, but not to OOM the process).
+    pub max_intermediate_rows: u64,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        ExecOpts {
+            max_intermediate_rows: 100_000_000,
+        }
+    }
+}
+
+/// Result of [`Executor::run_traced`]: the join result plus the observed
+/// cardinality of every plan node — what the sampling validator reads off
+/// a "dry run" over the sample tables.
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// Final join result.
+    pub rows: RowSet,
+    /// (relation set, output rows) for every node, post-order.
+    pub node_cards: Vec<(RelSet, u64)>,
+    /// Execution counters.
+    pub metrics: ExecMetrics,
+}
+
+/// Result of running a full query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Cardinality of the join result (before aggregation).
+    pub join_rows: u64,
+    /// Aggregate output, when the query has an aggregate stage.
+    pub agg: Option<AggOutput>,
+    /// Execution counters.
+    pub metrics: ExecMetrics,
+}
+
+/// A plan executor bound to a database.
+#[derive(Debug)]
+pub struct Executor<'a> {
+    db: &'a Database,
+    opts: ExecOpts,
+}
+
+/// Convenience: execute `plan` for `query` against `db` with default options.
+pub fn execute_plan(db: &Database, query: &Query, plan: &PhysicalPlan) -> Result<QueryOutput> {
+    Executor::new(db).run(query, plan)
+}
+
+/// Convenience: execute and return only the join cardinality.
+pub fn execute_query(db: &Database, query: &Query, plan: &PhysicalPlan) -> Result<u64> {
+    Ok(execute_plan(db, query, plan)?.join_rows)
+}
+
+impl<'a> Executor<'a> {
+    /// Executor with default options.
+    pub fn new(db: &'a Database) -> Self {
+        Executor {
+            db,
+            opts: ExecOpts::default(),
+        }
+    }
+
+    /// Executor with explicit options.
+    pub fn with_opts(db: &'a Database, opts: ExecOpts) -> Self {
+        Executor { db, opts }
+    }
+
+    /// Execute the full query: join pipeline plus optional aggregation.
+    pub fn run(&self, query: &Query, plan: &PhysicalPlan) -> Result<QueryOutput> {
+        let start = Instant::now();
+        let mut state = ExecState::new(false);
+        let rows = self.exec_node(query, plan, &mut state)?;
+        let agg = match &query.aggregate {
+            Some(spec) => Some(aggregate(self.db, query, &rows, spec)?),
+            None => None,
+        };
+        state.metrics.elapsed = start.elapsed();
+        Ok(QueryOutput {
+            join_rows: rows.len() as u64,
+            agg,
+            metrics: state.metrics,
+        })
+    }
+
+    /// Execute the join pipeline only, returning the row set.
+    pub fn run_rowset(&self, query: &Query, plan: &PhysicalPlan) -> Result<(RowSet, ExecMetrics)> {
+        let start = Instant::now();
+        let mut state = ExecState::new(false);
+        let rows = self.exec_node(query, plan, &mut state)?;
+        state.metrics.elapsed = start.elapsed();
+        Ok((rows, state.metrics))
+    }
+
+    /// Execute the join pipeline and record every node's output
+    /// cardinality — the sampling validator's entry point.
+    pub fn run_traced(&self, query: &Query, plan: &PhysicalPlan) -> Result<TracedRun> {
+        let start = Instant::now();
+        let mut state = ExecState::new(true);
+        let rows = self.exec_node(query, plan, &mut state)?;
+        state.metrics.elapsed = start.elapsed();
+        Ok(TracedRun {
+            rows,
+            node_cards: state.trace,
+            metrics: state.metrics,
+        })
+    }
+
+    fn check_cap(&self, rows: u64) -> Result<()> {
+        if rows > self.opts.max_intermediate_rows {
+            return Err(Error::invalid(format!(
+                "intermediate result of {rows} rows exceeds cap {}",
+                self.opts.max_intermediate_rows
+            )));
+        }
+        Ok(())
+    }
+
+    fn exec_node(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        state: &mut ExecState,
+    ) -> Result<RowSet> {
+        let out = match plan {
+            PhysicalPlan::Scan {
+                rel,
+                table,
+                access,
+                ..
+            } => self.exec_scan(query, *rel, *table, *access, &mut state.metrics)?,
+            PhysicalPlan::Join {
+                algo,
+                left,
+                right,
+                keys,
+                ..
+            } => match algo {
+                JoinAlgo::IndexNested => {
+                    let outer = self.exec_node(query, left, state)?;
+                    self.exec_index_nested(query, &outer, right, keys, &mut state.metrics)?
+                }
+                _ => {
+                    let l = self.exec_node(query, left, state)?;
+                    let r = self.exec_node(query, right, state)?;
+                    match algo {
+                        JoinAlgo::Hash => self.exec_hash_join(query, &l, &r, keys)?,
+                        JoinAlgo::Merge => self.exec_merge_join(query, &l, &r, keys)?,
+                        JoinAlgo::NestedLoop => self.exec_nested_loop(query, &l, &r, keys)?,
+                        JoinAlgo::IndexNested => unreachable!(),
+                    }
+                }
+            },
+        };
+        state.metrics.record_output(out.len() as u64);
+        if state.tracing {
+            state.trace.push((plan.relset(), out.len() as u64));
+        }
+        self.check_cap(out.len() as u64)?;
+        Ok(out)
+    }
+
+    fn exec_scan(
+        &self,
+        query: &Query,
+        rel: RelId,
+        table_id: reopt_common::TableId,
+        access: AccessPath,
+        metrics: &mut ExecMetrics,
+    ) -> Result<RowSet> {
+        let table = self.db.table(table_id)?;
+        let preds = query.local_predicates(rel);
+        let compiled = compile_predicates(table, preds)?;
+
+        let rows: Vec<u32> = match access {
+            AccessPath::SeqScan => {
+                metrics.rows_scanned += table.row_count() as u64;
+                let mut out = Vec::new();
+                'rows: for row in 0..table.row_count() as u32 {
+                    for p in &compiled {
+                        if !p.matches(row) {
+                            continue 'rows;
+                        }
+                    }
+                    out.push(row);
+                }
+                out
+            }
+            AccessPath::IndexScan { col } => {
+                // Find the driving equality predicate on `col`.
+                let driver = compiled
+                    .iter()
+                    .position(|p| p.col == col && p.op == CmpOp::Eq)
+                    .ok_or_else(|| {
+                        Error::internal(format!(
+                            "index scan on {rel}.{col} without an equality predicate"
+                        ))
+                    })?;
+                let index = table.index(col).ok_or_else(|| {
+                    Error::internal(format!("index scan on unindexed column {col}"))
+                })?;
+                metrics.index_probes += 1;
+                let candidates: &[u32] = match compiled[driver].c1 {
+                    Some(v) => index.probe(v),
+                    None => &[], // constant absent from dictionary
+                };
+                let mut out = Vec::with_capacity(candidates.len());
+                'cand: for &row in candidates {
+                    for (i, p) in compiled.iter().enumerate() {
+                        if i != driver && !p.matches(row) {
+                            continue 'cand;
+                        }
+                    }
+                    out.push(row);
+                }
+                out
+            }
+        };
+        Ok(RowSet::single(rel, rows))
+    }
+
+    /// Gather the raw key values for `key` columns over a row set.
+    fn gather_keys(&self, query: &Query, rows: &RowSet, cols: &[ColRef]) -> Result<Vec<Vec<i64>>> {
+        let mut out = Vec::with_capacity(cols.len());
+        for c in cols {
+            let table = self.db.table(query.table_of(c.rel)?)?;
+            let data = table.column(c.col)?.data();
+            let ids = rows.rowids(c.rel)?;
+            out.push(ids.iter().map(|&r| data[r as usize]).collect());
+        }
+        Ok(out)
+    }
+
+    fn split_keys(keys: &[(ColRef, ColRef)], left: &RowSet) -> (Vec<ColRef>, Vec<ColRef>) {
+        // Plan keys are (left-input column, right-input column) by
+        // construction, but be robust to orientation.
+        let lset = left.relset();
+        let mut lcols = Vec::with_capacity(keys.len());
+        let mut rcols = Vec::with_capacity(keys.len());
+        for (a, b) in keys {
+            if lset.contains(a.rel) {
+                lcols.push(*a);
+                rcols.push(*b);
+            } else {
+                lcols.push(*b);
+                rcols.push(*a);
+            }
+        }
+        (lcols, rcols)
+    }
+
+    fn exec_hash_join(
+        &self,
+        query: &Query,
+        left: &RowSet,
+        right: &RowSet,
+        keys: &[(ColRef, ColRef)],
+    ) -> Result<RowSet> {
+        if keys.is_empty() {
+            return self.exec_nested_loop(query, left, right, keys);
+        }
+        let (lcols, rcols) = Self::split_keys(keys, left);
+        let lkeys = self.gather_keys(query, left, &lcols)?;
+        let rkeys = self.gather_keys(query, right, &rcols)?;
+
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        if keys.len() == 1 {
+            // Fast path: single i64 key.
+            let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+            for (i, &v) in rkeys[0].iter().enumerate() {
+                if v != NULL_SENTINEL {
+                    table.entry(v).or_default().push(i as u32);
+                }
+            }
+            for (i, &v) in lkeys[0].iter().enumerate() {
+                if v == NULL_SENTINEL {
+                    continue;
+                }
+                if let Some(matches) = table.get(&v) {
+                    for &j in matches {
+                        pairs.push((i as u32, j));
+                    }
+                }
+            }
+        } else {
+            let mut table: FxHashMap<Vec<i64>, Vec<u32>> = FxHashMap::default();
+            'rrows: for j in 0..right.len() {
+                let mut k = Vec::with_capacity(keys.len());
+                for col in &rkeys {
+                    if col[j] == NULL_SENTINEL {
+                        continue 'rrows;
+                    }
+                    k.push(col[j]);
+                }
+                table.entry(k).or_default().push(j as u32);
+            }
+            'lrows: for i in 0..left.len() {
+                let mut k = Vec::with_capacity(keys.len());
+                for col in &lkeys {
+                    if col[i] == NULL_SENTINEL {
+                        continue 'lrows;
+                    }
+                    k.push(col[i]);
+                }
+                if let Some(matches) = table.get(&k) {
+                    for &j in matches {
+                        pairs.push((i as u32, j));
+                    }
+                }
+            }
+        }
+        RowSet::combine(left, right, &pairs)
+    }
+
+    fn exec_merge_join(
+        &self,
+        query: &Query,
+        left: &RowSet,
+        right: &RowSet,
+        keys: &[(ColRef, ColRef)],
+    ) -> Result<RowSet> {
+        if keys.is_empty() {
+            return self.exec_nested_loop(query, left, right, keys);
+        }
+        let (lcols, rcols) = Self::split_keys(keys, left);
+        let lkeys = self.gather_keys(query, left, &lcols)?;
+        let rkeys = self.gather_keys(query, right, &rcols)?;
+
+        let key_at = |cols: &[Vec<i64>], i: usize| -> Vec<i64> {
+            cols.iter().map(|c| c[i]).collect()
+        };
+        let non_null = |cols: &[Vec<i64>], i: usize| cols.iter().all(|c| c[i] != NULL_SENTINEL);
+
+        let mut lidx: Vec<u32> = (0..left.len() as u32)
+            .filter(|&i| non_null(&lkeys, i as usize))
+            .collect();
+        let mut ridx: Vec<u32> = (0..right.len() as u32)
+            .filter(|&j| non_null(&rkeys, j as usize))
+            .collect();
+        lidx.sort_by_key(|&i| key_at(&lkeys, i as usize));
+        ridx.sort_by_key(|&j| key_at(&rkeys, j as usize));
+
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lidx.len() && j < ridx.len() {
+            let lk = key_at(&lkeys, lidx[i] as usize);
+            let rk = key_at(&rkeys, ridx[j] as usize);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Extent of the equal runs on both sides.
+                    let i_end = (i..lidx.len())
+                        .take_while(|&x| key_at(&lkeys, lidx[x] as usize) == lk)
+                        .last()
+                        .unwrap()
+                        + 1;
+                    let j_end = (j..ridx.len())
+                        .take_while(|&x| key_at(&rkeys, ridx[x] as usize) == rk)
+                        .last()
+                        .unwrap()
+                        + 1;
+                    for &li in &lidx[i..i_end] {
+                        for &rj in &ridx[j..j_end] {
+                            pairs.push((li, rj));
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        RowSet::combine(left, right, &pairs)
+    }
+
+    fn exec_nested_loop(
+        &self,
+        query: &Query,
+        left: &RowSet,
+        right: &RowSet,
+        keys: &[(ColRef, ColRef)],
+    ) -> Result<RowSet> {
+        let (lcols, rcols) = Self::split_keys(keys, left);
+        let lkeys = self.gather_keys(query, left, &lcols)?;
+        let rkeys = self.gather_keys(query, right, &rcols)?;
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for i in 0..left.len() {
+            'inner: for j in 0..right.len() {
+                for (lc, rc) in lkeys.iter().zip(&rkeys) {
+                    let (a, b) = (lc[i], rc[j]);
+                    if a == NULL_SENTINEL || b == NULL_SENTINEL || a != b {
+                        continue 'inner;
+                    }
+                }
+                pairs.push((i as u32, j as u32));
+            }
+        }
+        RowSet::combine(left, right, &pairs)
+    }
+
+    fn exec_index_nested(
+        &self,
+        query: &Query,
+        outer: &RowSet,
+        inner_plan: &PhysicalPlan,
+        keys: &[(ColRef, ColRef)],
+        metrics: &mut ExecMetrics,
+    ) -> Result<RowSet> {
+        let PhysicalPlan::Scan {
+            rel: inner_rel,
+            table: inner_table,
+            ..
+        } = inner_plan
+        else {
+            return Err(Error::internal(
+                "index nested loop join requires a base-table scan inner",
+            ));
+        };
+        if keys.is_empty() {
+            return Err(Error::internal("index nested loop join without keys"));
+        }
+        let table = self.db.table(*inner_table)?;
+        let compiled = compile_predicates(table, query.local_predicates(*inner_rel))?;
+
+        // Orient keys: outer side vs inner side.
+        let mut outer_cols = Vec::new();
+        let mut inner_cols = Vec::new();
+        for (a, b) in keys {
+            if a.rel == *inner_rel {
+                inner_cols.push(*a);
+                outer_cols.push(*b);
+            } else {
+                inner_cols.push(*b);
+                outer_cols.push(*a);
+            }
+        }
+        // The first key drives the index probe; the rest are residuals.
+        let probe_col = inner_cols[0].col;
+        let index = table.index(probe_col).ok_or_else(|| {
+            Error::internal(format!(
+                "index nested loop join: column {probe_col} of table `{}` is not indexed",
+                table.name()
+            ))
+        })?;
+
+        let outer_keys = self.gather_keys(query, outer, &outer_cols)?;
+        let inner_residual_cols: Vec<&[i64]> = inner_cols
+            .iter()
+            .skip(1)
+            .map(|c| table.column(c.col).map(|col| col.data()))
+            .collect::<Result<_>>()?;
+
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut inner_rows: Vec<u32> = Vec::new();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..outer.len() {
+            let probe = outer_keys[0][i];
+            if probe == NULL_SENTINEL {
+                continue;
+            }
+            metrics.index_probes += 1;
+            'cand: for &row in index.probe(probe) {
+                // Residual key equalities.
+                for (k, col) in inner_residual_cols.iter().enumerate() {
+                    let ov = outer_keys[k + 1][i];
+                    let iv = col[row as usize];
+                    if ov == NULL_SENTINEL || iv == NULL_SENTINEL || ov != iv {
+                        continue 'cand;
+                    }
+                }
+                // Inner local predicates.
+                for p in &compiled {
+                    if !p.matches(row) {
+                        continue 'cand;
+                    }
+                }
+                pairs.push((i as u32, inner_rows.len() as u32));
+                inner_rows.push(row);
+            }
+        }
+        let inner_set = RowSet::single(*inner_rel, inner_rows);
+        RowSet::combine(outer, &inner_set, &pairs)
+    }
+}
+
+/// Mutable per-execution state threaded through the operator recursion.
+struct ExecState {
+    metrics: ExecMetrics,
+    tracing: bool,
+    trace: Vec<(RelSet, u64)>,
+}
+
+impl ExecState {
+    fn new(tracing: bool) -> Self {
+        ExecState {
+            metrics: ExecMetrics::default(),
+            tracing,
+            trace: Vec::new(),
+        }
+    }
+}
+
+/// A predicate with its constants encoded against the target table.
+struct CompiledPred<'a> {
+    col: ColId,
+    op: CmpOp,
+    /// Encoded first constant; `None` means "matches nothing" (dictionary
+    /// miss).
+    c1: Option<i64>,
+    c2: i64,
+    data: &'a [i64],
+}
+
+impl CompiledPred<'_> {
+    #[inline]
+    fn matches(&self, row: u32) -> bool {
+        let v = self.data[row as usize];
+        if v == NULL_SENTINEL {
+            return false; // SQL: comparisons with NULL are not true
+        }
+        match self.c1 {
+            Some(c1) => self.op.eval(v, c1, self.c2),
+            None => false,
+        }
+    }
+}
+
+fn compile_predicates<'a>(table: &'a Table, preds: &[Predicate]) -> Result<Vec<CompiledPred<'a>>> {
+    preds
+        .iter()
+        .map(|p| {
+            let column = table.column(p.col)?;
+            let c1 = column.encode_constant(&p.value)?;
+            let c2 = match &p.value2 {
+                Some(v) => column.encode_constant(v)?.unwrap_or(i64::MAX),
+                None => 0,
+            };
+            Ok(CompiledPred {
+                col: p.col,
+                op: p.op,
+                c1,
+                c2,
+                data: column.data(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::TableId;
+    use reopt_plan::physical::PlanNodeInfo;
+    use reopt_plan::QueryBuilder;
+    use reopt_storage::{Column, ColumnDef, LogicalType, TableSchema};
+
+    /// Two tables: t0(k, v) with k=0,1,2,3,4 ×2; t1(k, w) with k=0..9.
+    fn test_db() -> Database {
+        let mut db = Database::new();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("k", LogicalType::Int),
+                ColumnDef::new("v", LogicalType::Int),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "t0",
+                schema,
+                vec![
+                    Column::from_i64(LogicalType::Int, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4]),
+                    Column::from_i64(LogicalType::Int, (0..10).collect()),
+                ],
+            )?;
+            t.create_index(ColId::new(0))?;
+            Ok(t)
+        })
+        .unwrap();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("k", LogicalType::Int),
+                ColumnDef::new("w", LogicalType::Int),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "t1",
+                schema,
+                vec![
+                    Column::from_i64(LogicalType::Int, (0..10).collect()),
+                    Column::from_i64(LogicalType::Int, (100..110).collect()),
+                ],
+            )?;
+            t.create_index(ColId::new(0))?;
+            Ok(t)
+        })
+        .unwrap();
+        db
+    }
+
+    fn scan(rel: u32, table: u32, access: AccessPath) -> PhysicalPlan {
+        PhysicalPlan::Scan {
+            rel: RelId::new(rel),
+            table: TableId::new(table),
+            access,
+            info: PlanNodeInfo::default(),
+        }
+    }
+
+    fn join(
+        algo: JoinAlgo,
+        l: PhysicalPlan,
+        r: PhysicalPlan,
+        keys: Vec<(ColRef, ColRef)>,
+    ) -> PhysicalPlan {
+        PhysicalPlan::Join {
+            algo,
+            left: Box::new(l),
+            right: Box::new(r),
+            keys,
+            info: PlanNodeInfo::default(),
+        }
+    }
+
+    fn two_table_query(db: &Database) -> Query {
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("t0").unwrap());
+        let b = qb.add_relation(db.table_id("t1").unwrap());
+        qb.add_join(
+            ColRef::new(a, ColId::new(0)),
+            ColRef::new(b, ColId::new(0)),
+        );
+        qb.build()
+    }
+
+    fn keyrefs() -> Vec<(ColRef, ColRef)> {
+        vec![(
+            ColRef::new(RelId::new(0), ColId::new(0)),
+            ColRef::new(RelId::new(1), ColId::new(0)),
+        )]
+    }
+
+    #[test]
+    fn seq_scan_filters_predicates() {
+        let db = test_db();
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("t0").unwrap());
+        qb.add_predicate(Predicate::eq(a, ColId::new(0), 2i64));
+        let q = qb.build();
+        let out = execute_plan(&db, &q, &scan(0, 0, AccessPath::SeqScan)).unwrap();
+        assert_eq!(out.join_rows, 2);
+        assert_eq!(out.metrics.rows_scanned, 10);
+    }
+
+    #[test]
+    fn index_scan_equivalent_to_seq_scan() {
+        let db = test_db();
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("t0").unwrap());
+        qb.add_predicate(Predicate::eq(a, ColId::new(0), 3i64));
+        qb.add_predicate(Predicate::gt(a, ColId::new(1), 5i64));
+        let q = qb.build();
+        let seq = execute_plan(&db, &q, &scan(0, 0, AccessPath::SeqScan)).unwrap();
+        let idx = execute_plan(
+            &db,
+            &q,
+            &scan(0, 0, AccessPath::IndexScan { col: ColId::new(0) }),
+        )
+        .unwrap();
+        assert_eq!(seq.join_rows, idx.join_rows);
+        assert_eq!(idx.join_rows, 1); // k=3 rows are rowids 3 (v=3) and 8 (v=8); only v=8 > 5
+        assert!(idx.metrics.index_probes >= 1);
+        assert_eq!(idx.metrics.rows_scanned, 0);
+    }
+
+    #[test]
+    fn all_join_algorithms_agree() {
+        let db = test_db();
+        let q = two_table_query(&db);
+        // Every t0 row matches exactly one t1 row: expect 10.
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
+            let p = join(
+                algo,
+                scan(0, 0, AccessPath::SeqScan),
+                scan(1, 1, AccessPath::SeqScan),
+                keyrefs(),
+            );
+            let out = execute_plan(&db, &q, &p).unwrap();
+            assert_eq!(out.join_rows, 10, "{algo:?}");
+        }
+        // Index nested loops (inner = t1 scan, index on k).
+        let p = join(
+            JoinAlgo::IndexNested,
+            scan(0, 0, AccessPath::SeqScan),
+            scan(1, 1, AccessPath::SeqScan),
+            keyrefs(),
+        );
+        let out = execute_plan(&db, &q, &p).unwrap();
+        assert_eq!(out.join_rows, 10);
+        assert!(out.metrics.index_probes >= 10);
+    }
+
+    #[test]
+    fn join_respects_local_predicates() {
+        let db = test_db();
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("t0").unwrap());
+        let b = qb.add_relation(db.table_id("t1").unwrap());
+        qb.add_predicate(Predicate::le(b, ColId::new(0), 1i64));
+        qb.add_join(
+            ColRef::new(a, ColId::new(0)),
+            ColRef::new(b, ColId::new(0)),
+        );
+        let q = qb.build();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop, JoinAlgo::IndexNested]
+        {
+            let p = join(
+                algo,
+                scan(0, 0, AccessPath::SeqScan),
+                scan(1, 1, AccessPath::SeqScan),
+                keyrefs(),
+            );
+            let out = execute_plan(&db, &q, &p).unwrap();
+            // t1 keeps k ∈ {0,1}; each matches 2 rows of t0.
+            assert_eq!(out.join_rows, 4, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn reversed_operands_still_match() {
+        let db = test_db();
+        let q = two_table_query(&db);
+        // Join with t1 as the outer side.
+        let p = join(
+            JoinAlgo::Hash,
+            scan(1, 1, AccessPath::SeqScan),
+            scan(0, 0, AccessPath::SeqScan),
+            keyrefs(),
+        );
+        let out = execute_plan(&db, &q, &p).unwrap();
+        assert_eq!(out.join_rows, 10);
+    }
+
+    #[test]
+    fn nulls_never_join() {
+        let mut db = Database::new();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![ColumnDef::new("k", LogicalType::Int)])?;
+            Table::new(
+                id,
+                "l",
+                schema,
+                vec![Column::from_i64(
+                    LogicalType::Int,
+                    vec![1, NULL_SENTINEL, 2],
+                )],
+            )
+        })
+        .unwrap();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![ColumnDef::new("k", LogicalType::Int)])?;
+            let mut t = Table::new(
+                id,
+                "r",
+                schema,
+                vec![Column::from_i64(
+                    LogicalType::Int,
+                    vec![NULL_SENTINEL, 1, 1],
+                )],
+            )?;
+            t.create_index(ColId::new(0))?;
+            Ok(t)
+        })
+        .unwrap();
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("l").unwrap());
+        let b = qb.add_relation(db.table_id("r").unwrap());
+        qb.add_join(
+            ColRef::new(a, ColId::new(0)),
+            ColRef::new(b, ColId::new(0)),
+        );
+        let q = qb.build();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop, JoinAlgo::IndexNested]
+        {
+            let p = join(
+                algo,
+                scan(0, 0, AccessPath::SeqScan),
+                scan(1, 1, AccessPath::SeqScan),
+                keyrefs(),
+            );
+            let out = execute_plan(&db, &q, &p).unwrap();
+            // Only l.k=1 matches r's two k=1 rows.
+            assert_eq!(out.join_rows, 2, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn intermediate_cap_aborts_execution() {
+        let db = test_db();
+        let q = two_table_query(&db);
+        let p = join(
+            JoinAlgo::Hash,
+            scan(0, 0, AccessPath::SeqScan),
+            scan(1, 1, AccessPath::SeqScan),
+            keyrefs(),
+        );
+        let exec = Executor::with_opts(
+            &db,
+            ExecOpts {
+                max_intermediate_rows: 5,
+            },
+        );
+        assert!(exec.run(&q, &p).is_err());
+    }
+
+    #[test]
+    fn metrics_track_rows() {
+        let db = test_db();
+        let q = two_table_query(&db);
+        let p = join(
+            JoinAlgo::Hash,
+            scan(0, 0, AccessPath::SeqScan),
+            scan(1, 1, AccessPath::SeqScan),
+            keyrefs(),
+        );
+        let out = execute_plan(&db, &q, &p).unwrap();
+        assert_eq!(out.metrics.rows_scanned, 20);
+        // 10 (scan) + 10 (scan) + 10 (join) outputs.
+        assert_eq!(out.metrics.rows_produced, 30);
+        assert_eq!(out.metrics.peak_intermediate_rows, 10);
+    }
+
+    #[test]
+    fn multi_key_joins_agree_across_algorithms() {
+        // Two tables joined on BOTH columns: (k, v) pairs must match.
+        let mut db = Database::new();
+        for name in ["m0", "m1"] {
+            db.add_table_with(|id| {
+                let schema = TableSchema::new(vec![
+                    ColumnDef::new("k", LogicalType::Int),
+                    ColumnDef::new("v", LogicalType::Int),
+                ])?;
+                let mut t = Table::new(
+                    id,
+                    name,
+                    schema,
+                    vec![
+                        Column::from_i64(LogicalType::Int, vec![1, 1, 2, 2, 3, NULL_SENTINEL]),
+                        Column::from_i64(LogicalType::Int, vec![10, 20, 10, 20, 30, 30]),
+                    ],
+                )?;
+                t.create_index(ColId::new(0))?;
+                Ok(t)
+            })
+            .unwrap();
+        }
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("m0").unwrap());
+        let b = qb.add_relation(db.table_id("m1").unwrap());
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
+        qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+        let q = qb.build();
+        let keys = vec![
+            (
+                ColRef::new(RelId::new(0), ColId::new(0)),
+                ColRef::new(RelId::new(1), ColId::new(0)),
+            ),
+            (
+                ColRef::new(RelId::new(0), ColId::new(1)),
+                ColRef::new(RelId::new(1), ColId::new(1)),
+            ),
+        ];
+        // Expected: each of the five non-NULL rows matches exactly itself.
+        let mut results = Vec::new();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop, JoinAlgo::IndexNested]
+        {
+            let p = join(
+                algo,
+                scan(0, 0, AccessPath::SeqScan),
+                scan(1, 1, AccessPath::SeqScan),
+                keys.clone(),
+            );
+            let out = execute_plan(&db, &q, &p).unwrap();
+            results.push((algo, out.join_rows));
+        }
+        for (algo, rows) in &results {
+            assert_eq!(*rows, 5, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn multi_key_join_rejects_partial_matches() {
+        // Keys match on k but not on v: zero output.
+        let mut db = Database::new();
+        for (name, v) in [("p0", 1i64), ("p1", 2i64)] {
+            db.add_table_with(|id| {
+                let schema = TableSchema::new(vec![
+                    ColumnDef::new("k", LogicalType::Int),
+                    ColumnDef::new("v", LogicalType::Int),
+                ])?;
+                let mut t = Table::new(
+                    id,
+                    name,
+                    schema,
+                    vec![
+                        Column::from_i64(LogicalType::Int, vec![7, 8]),
+                        Column::from_i64(LogicalType::Int, vec![v, v]),
+                    ],
+                )?;
+                t.create_index(ColId::new(0))?;
+                Ok(t)
+            })
+            .unwrap();
+        }
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("p0").unwrap());
+        let b = qb.add_relation(db.table_id("p1").unwrap());
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
+        qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+        let q = qb.build();
+        let keys = vec![
+            (
+                ColRef::new(RelId::new(0), ColId::new(0)),
+                ColRef::new(RelId::new(1), ColId::new(0)),
+            ),
+            (
+                ColRef::new(RelId::new(0), ColId::new(1)),
+                ColRef::new(RelId::new(1), ColId::new(1)),
+            ),
+        ];
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop, JoinAlgo::IndexNested]
+        {
+            let p = join(
+                algo,
+                scan(0, 0, AccessPath::SeqScan),
+                scan(1, 1, AccessPath::SeqScan),
+                keys.clone(),
+            );
+            assert_eq!(execute_plan(&db, &q, &p).unwrap().join_rows, 0, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn dictionary_miss_matches_nothing() {
+        let mut db = Database::new();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![ColumnDef::new("tag", LogicalType::Dict)])?;
+            Table::new(id, "d", schema, vec![Column::from_strings(&["a", "b"])])
+        })
+        .unwrap();
+        let mut qb = QueryBuilder::new();
+        let r = qb.add_relation(db.table_id("d").unwrap());
+        qb.add_predicate(Predicate::eq(r, ColId::new(0), "zzz"));
+        let q = qb.build();
+        let out = execute_plan(&db, &q, &scan(0, 0, AccessPath::SeqScan)).unwrap();
+        assert_eq!(out.join_rows, 0);
+    }
+}

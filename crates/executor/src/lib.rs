@@ -1,0 +1,28 @@
+//! Columnar query executor.
+//!
+//! Executes [`PhysicalPlan`](reopt_plan::PhysicalPlan)s against a
+//! [`Database`](reopt_storage::Database). The same executor runs plans over
+//! the base tables *and* over sample tables — the paper's re-optimization
+//! loop literally executes the optimizer's tentative plans on the samples
+//! ("dry runs", §6), so sharing the execution path is both simpler and more
+//! faithful.
+//!
+//! Intermediate results are [`rowset::RowSet`]s: per-relation
+//! vectors of row ids into the base tables, aligned by output position.
+//! Joins therefore never copy payload columns; values are gathered lazily
+//! from the stored columns when needed (join keys, aggregates).
+//!
+//! Operators: sequential scan, index scan, hash join, sort-merge join,
+//! naive nested loops, index nested loops, and a hash-aggregation epilogue.
+
+pub mod agg;
+pub mod exec;
+pub mod explain;
+pub mod metrics;
+pub mod rowset;
+
+pub use agg::AggOutput;
+pub use exec::{execute_plan, execute_query, ExecOpts, Executor, QueryOutput, TracedRun};
+pub use explain::explain_analyze;
+pub use metrics::ExecMetrics;
+pub use rowset::RowSet;

@@ -1,0 +1,64 @@
+//! Execution metrics: what "actual cost" means in the experiments.
+
+use std::time::Duration;
+
+/// Counters collected while executing one plan.
+#[derive(Debug, Clone, Default)]
+pub struct ExecMetrics {
+    /// Rows read from base tables by scans (before filtering).
+    pub rows_scanned: u64,
+    /// Rows produced across all operators (sum of every operator's output;
+    /// the dominant term for bad join orders).
+    pub rows_produced: u64,
+    /// Largest single intermediate result.
+    pub peak_intermediate_rows: u64,
+    /// Index probes performed.
+    pub index_probes: u64,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+impl ExecMetrics {
+    /// Fold an operator output size into the counters.
+    pub fn record_output(&mut self, rows: u64) {
+        self.rows_produced += rows;
+        self.peak_intermediate_rows = self.peak_intermediate_rows.max(rows);
+    }
+
+    /// Merge another metrics object (e.g. from a sub-execution).
+    pub fn merge(&mut self, other: &ExecMetrics) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_produced += other.rows_produced;
+        self.peak_intermediate_rows = self
+            .peak_intermediate_rows
+            .max(other.peak_intermediate_rows);
+        self.index_probes += other.index_probes;
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_merge() {
+        let mut m = ExecMetrics::default();
+        m.record_output(10);
+        m.record_output(3);
+        assert_eq!(m.rows_produced, 13);
+        assert_eq!(m.peak_intermediate_rows, 10);
+
+        let mut other = ExecMetrics {
+            rows_scanned: 5,
+            elapsed: Duration::from_millis(2),
+            ..Default::default()
+        };
+        other.record_output(100);
+        m.merge(&other);
+        assert_eq!(m.rows_scanned, 5);
+        assert_eq!(m.rows_produced, 113);
+        assert_eq!(m.peak_intermediate_rows, 100);
+        assert_eq!(m.elapsed, Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,254 @@
+//! The cost model: PostgreSQL's five cost units over simple operator
+//! formulas.
+//!
+//! §5.1.2 of the paper calibrates exactly these five parameters
+//! (`seq_page_cost`, `random_page_cost`, `cpu_tuple_cost`,
+//! `cpu_index_tuple_cost`, `cpu_operator_cost`) and shows that calibration
+//! alone sometimes changes plan choice. The formulas below are
+//! PostgreSQL-shaped but simplified: base-table scans pay page I/O,
+//! intermediate results are in-memory (matching the engine's executor), and
+//! there is no startup/total cost split.
+
+use serde::{Deserialize, Serialize};
+
+/// The five cost units. Values are abstract "cost points"; only ratios
+/// matter for plan choice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostUnits {
+    /// Cost of a sequentially fetched page.
+    pub seq_page_cost: f64,
+    /// Cost of a randomly fetched page.
+    pub random_page_cost: f64,
+    /// CPU cost of processing one tuple.
+    pub cpu_tuple_cost: f64,
+    /// CPU cost of processing one index entry.
+    pub cpu_index_tuple_cost: f64,
+    /// CPU cost of evaluating one operator/predicate.
+    pub cpu_operator_cost: f64,
+}
+
+impl CostUnits {
+    /// PostgreSQL's default values.
+    pub fn postgres_defaults() -> Self {
+        CostUnits {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            cpu_index_tuple_cost: 0.005,
+            cpu_operator_cost: 0.0025,
+        }
+    }
+}
+
+impl Default for CostUnits {
+    fn default() -> Self {
+        Self::postgres_defaults()
+    }
+}
+
+/// Operator cost formulas over the units.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CostModel {
+    /// The unit vector in force.
+    pub units: CostUnits,
+}
+
+impl CostModel {
+    /// Model with explicit units.
+    pub fn new(units: CostUnits) -> Self {
+        CostModel { units }
+    }
+
+    /// Sequential scan of a base table: all pages + per-tuple CPU +
+    /// per-tuple predicate evaluation.
+    pub fn seq_scan(&self, pages: f64, table_rows: f64, num_preds: usize) -> f64 {
+        let u = &self.units;
+        pages * u.seq_page_cost
+            + table_rows * u.cpu_tuple_cost
+            + table_rows * num_preds as f64 * u.cpu_operator_cost
+    }
+
+    /// Index equality probe returning `matched_rows` of a table with
+    /// `table_rows` rows over `table_pages` pages, with `residual_preds`
+    /// further predicates applied. Heap I/O is charged *fractionally* —
+    /// `matched × pages/rows` random pages, i.e. proportional to bytes
+    /// actually touched. (Charging a whole page per matched row, as a
+    /// disk-resident model would, overprices probes by orders of magnitude
+    /// on an in-memory executor and breaks the cost-consistency the
+    /// paper's Assumption 1 needs; see DESIGN.md §5.)
+    pub fn index_scan(
+        &self,
+        table_pages: f64,
+        table_rows: f64,
+        matched_rows: f64,
+        residual_preds: usize,
+    ) -> f64 {
+        let u = &self.units;
+        let pages_per_row = table_pages / table_rows.max(1.0);
+        let heap_pages = matched_rows * pages_per_row;
+        u.random_page_cost * (1.0 + heap_pages) // 1 page of index descent
+            + matched_rows * (u.cpu_index_tuple_cost + u.cpu_tuple_cost)
+            + matched_rows * residual_preds as f64 * u.cpu_operator_cost
+    }
+
+    /// Hash join: build the right input, probe with the left.
+    /// Input costs are *not* included.
+    pub fn hash_join(&self, left_rows: f64, right_rows: f64, out_rows: f64) -> f64 {
+        let u = &self.units;
+        right_rows * (u.cpu_operator_cost + u.cpu_tuple_cost) // build
+            + left_rows * u.cpu_operator_cost // probe
+            + out_rows * u.cpu_tuple_cost // emit
+    }
+
+    /// Sort-merge join: sort both sides, merge, emit.
+    pub fn merge_join(&self, left_rows: f64, right_rows: f64, out_rows: f64) -> f64 {
+        let u = &self.units;
+        let sort = |n: f64| {
+            if n <= 1.0 {
+                0.0
+            } else {
+                2.0 * n * n.log2() * u.cpu_operator_cost
+            }
+        };
+        sort(left_rows)
+            + sort(right_rows)
+            + (left_rows + right_rows) * u.cpu_operator_cost
+            + out_rows * u.cpu_tuple_cost
+    }
+
+    /// Naive nested loops (materialized inner, compared pairwise).
+    pub fn nested_loop(&self, left_rows: f64, right_rows: f64, out_rows: f64) -> f64 {
+        let u = &self.units;
+        left_rows * right_rows * u.cpu_operator_cost + out_rows * u.cpu_tuple_cost
+    }
+
+    /// Index nested loops: per outer row, one index probe plus matched
+    /// inner tuples; heap I/O charged fractionally as in
+    /// [`CostModel::index_scan`]. The inner's scan cost is *replaced* by
+    /// this, so the caller must not add the inner scan cost.
+    pub fn index_nested_loop(
+        &self,
+        outer_rows: f64,
+        inner_table_pages: f64,
+        inner_table_rows: f64,
+        out_rows: f64,
+        residual_preds: usize,
+    ) -> f64 {
+        let u = &self.units;
+        let matched_per_probe = if outer_rows > 0.0 {
+            out_rows / outer_rows
+        } else {
+            0.0
+        };
+        let pages_per_row = inner_table_pages / inner_table_rows.max(1.0);
+        let per_probe = u.random_page_cost * matched_per_probe * pages_per_row
+            + u.cpu_operator_cost
+            + matched_per_probe
+                * (u.cpu_index_tuple_cost
+                    + u.cpu_tuple_cost
+                    + residual_preds as f64 * u.cpu_operator_cost);
+        outer_rows * per_probe + out_rows * u.cpu_tuple_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn defaults_match_postgres() {
+        let u = CostUnits::postgres_defaults();
+        assert_eq!(u.seq_page_cost, 1.0);
+        assert_eq!(u.random_page_cost, 4.0);
+        assert_eq!(u.cpu_tuple_cost, 0.01);
+        assert_eq!(u.cpu_index_tuple_cost, 0.005);
+        assert_eq!(u.cpu_operator_cost, 0.0025);
+    }
+
+    #[test]
+    fn seq_scan_scales_with_pages_and_predicates() {
+        let m = model();
+        let base = m.seq_scan(100.0, 10_000.0, 0);
+        assert!(m.seq_scan(200.0, 10_000.0, 0) > base);
+        assert!(m.seq_scan(100.0, 10_000.0, 3) > base);
+        // 100 pages + 10k tuples = 100 + 100 = 200.
+        assert!((base - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_scan_beats_seq_scan_for_selective_probes() {
+        let m = model();
+        // 1M-row, 10k-page table; probe matches 100 rows.
+        let idx = m.index_scan(10_000.0, 1_000_000.0, 100.0, 0);
+        let seq = m.seq_scan(10_000.0, 1_000_000.0, 1);
+        assert!(idx < seq, "index {idx} vs seq {seq}");
+    }
+
+    #[test]
+    fn index_scan_loses_for_unselective_probes() {
+        let m = model();
+        // Probe matching nearly the whole table: random pages + per-tuple
+        // CPU swamp the sequential scan.
+        let idx = m.index_scan(10_000.0, 1_000_000.0, 1_000_000.0, 0);
+        let seq = m.seq_scan(10_000.0, 1_000_000.0, 1);
+        assert!(idx > seq, "index {idx} vs seq {seq}");
+    }
+
+    #[test]
+    fn hash_beats_nl_on_large_inputs() {
+        let m = model();
+        let h = m.hash_join(100_000.0, 100_000.0, 100_000.0);
+        let nl = m.nested_loop(100_000.0, 100_000.0, 100_000.0);
+        assert!(h < nl / 100.0);
+    }
+
+    #[test]
+    fn merge_join_pays_sorts() {
+        let m = model();
+        let mj = m.merge_join(100_000.0, 100_000.0, 100_000.0);
+        let hj = m.hash_join(100_000.0, 100_000.0, 100_000.0);
+        assert!(mj > hj, "merge {mj} vs hash {hj}");
+    }
+
+    #[test]
+    fn index_nl_wins_for_tiny_outer() {
+        let m = model();
+        // 10 outer rows probing a big table: far cheaper than hashing the
+        // whole inner (1M rows).
+        let inl = m.index_nested_loop(10.0, 10_000.0, 1_000_000.0, 10.0, 0);
+        let build_all = m.hash_join(10.0, 1_000_000.0, 10.0);
+        assert!(inl < build_all, "inl {inl} vs hash {build_all}");
+    }
+
+    #[test]
+    fn index_nl_loses_for_huge_outer() {
+        let m = model();
+        // 1M outer probes each matching 10 rows: hashing the inner wins.
+        let inl = m.index_nested_loop(1_000_000.0, 10_000.0, 1_000_000.0, 1e7, 0);
+        let hash = m.hash_join(1_000_000.0, 1_000_000.0, 1e7);
+        assert!(inl > hash, "inl {inl} vs hash {hash}");
+    }
+
+    #[test]
+    fn costs_are_monotone_in_output() {
+        let m = model();
+        assert!(m.hash_join(1e4, 1e4, 1e6) > m.hash_join(1e4, 1e4, 1e2));
+        assert!(m.merge_join(1e4, 1e4, 1e6) > m.merge_join(1e4, 1e4, 1e2));
+        assert!(m.nested_loop(1e3, 1e3, 1e6) > m.nested_loop(1e3, 1e3, 1e2));
+        assert!(
+            m.index_nested_loop(1e3, 1e3, 1e5, 1e6, 0)
+                > m.index_nested_loop(1e3, 1e3, 1e5, 1e2, 0)
+        );
+    }
+
+    #[test]
+    fn zero_outer_rows_index_nl_is_free_of_probes() {
+        let m = model();
+        let c = m.index_nested_loop(0.0, 1000.0, 1e5, 0.0, 2);
+        assert_eq!(c, 0.0);
+    }
+}

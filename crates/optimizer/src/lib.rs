@@ -1,0 +1,34 @@
+//! Cost-based query optimizer (the engine's stand-in for PostgreSQL's
+//! planner) with externally injectable cardinalities.
+//!
+//! Components:
+//!
+//! * [`cost`] — the five-unit PostgreSQL-style cost model (§5.1.2),
+//! * [`cardinality`] — native estimation (histograms/MCVs/AVI) overridden
+//!   by Γ,
+//! * [`overrides`] — Γ, the paper's store of sampling-validated
+//!   cardinalities,
+//! * [`dp`] — bottom-up dynamic-programming join enumeration,
+//! * [`geqo`] — the genetic fallback beyond `geqo_threshold` relations,
+//! * [`calibration`] — offline measurement of the cost units,
+//! * [`profiles`] — PostgreSQL-like plus "commercial A/B" configurations
+//!   (Figures 12–13),
+//! * [`optimizer`] — the façade: `optimize_with(query, Γ)`.
+
+pub mod calibration;
+pub mod cardinality;
+pub mod cost;
+pub mod dp;
+pub mod geqo;
+pub mod optimizer;
+pub mod overrides;
+pub mod profiles;
+
+pub use calibration::{calibrate, CalibrationReport};
+pub use cardinality::{CardEstConfig, CardinalityEstimator};
+pub use cost::{CostModel, CostUnits};
+pub use dp::{OperatorSet, SearchStats};
+pub use geqo::GeqoConfig;
+pub use optimizer::{Optimizer, OptimizerConfig, Planned};
+pub use overrides::CardOverrides;
+pub use profiles::SystemProfile;

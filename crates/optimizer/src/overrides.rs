@@ -1,0 +1,133 @@
+//! Γ — the store of sampling-validated cardinalities.
+//!
+//! Algorithm 1 maintains Γ, "the sampling-based cardinality estimates for
+//! joins that have been validated". Within one query, a validated join
+//! result is identified by the set of base relations it covers (its local
+//! predicates are fixed), so Γ is a map `RelSet → rows`. The optimizer's
+//! cardinality estimator consults Γ *before* its native statistics and
+//! accepts the entry unconditionally (§7 discusses this design choice).
+
+use reopt_common::{FxHashMap, RelSet};
+
+/// Validated cardinalities for one query (the paper's Γ).
+#[derive(Debug, Clone, Default)]
+pub struct CardOverrides {
+    map: FxHashMap<RelSet, f64>,
+}
+
+impl CardOverrides {
+    /// Empty Γ (round 1 of Algorithm 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The validated row count for exactly `set`, if present.
+    pub fn get(&self, set: RelSet) -> Option<f64> {
+        self.map.get(&set).copied()
+    }
+
+    /// Whether `set` has been validated.
+    pub fn contains(&self, set: RelSet) -> bool {
+        self.map.contains_key(&set)
+    }
+
+    /// Record a validated cardinality. Overwrites an existing entry (the
+    /// newest sample run wins; in practice re-validation of the same set
+    /// yields the same number because sampling is deterministic per query).
+    pub fn insert(&mut self, set: RelSet, rows: f64) {
+        self.map.insert(set, rows.max(0.0));
+    }
+
+    /// Γ ← Γ ∪ Δ (line 10 of Algorithm 1). Returns the number of sets that
+    /// were not previously present — zero means Δ added nothing new, the
+    /// premise of Theorem 1's convergence condition.
+    pub fn merge(&mut self, delta: &CardOverrides) -> usize {
+        let mut fresh = 0;
+        for (&set, &rows) in &delta.map {
+            if self.map.insert(set, rows).is_none() {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Number of validated sets.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been validated yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate the validated (set, rows) pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelSet, f64)> + '_ {
+        self.map.iter().map(|(&s, &r)| (s, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::RelId;
+
+    fn rs(ids: &[u32]) -> RelSet {
+        ids.iter().map(|&i| RelId::new(i)).collect()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut g = CardOverrides::new();
+        assert!(g.is_empty());
+        g.insert(rs(&[0, 1]), 1234.0);
+        assert_eq!(g.get(rs(&[0, 1])), Some(1234.0));
+        assert!(g.contains(rs(&[0, 1])));
+        assert!(!g.contains(rs(&[0, 2])));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn negative_rows_clamped_to_zero() {
+        let mut g = CardOverrides::new();
+        g.insert(rs(&[0]), -5.0);
+        assert_eq!(g.get(rs(&[0])), Some(0.0));
+    }
+
+    #[test]
+    fn merge_counts_only_new_sets() {
+        let mut g = CardOverrides::new();
+        g.insert(rs(&[0, 1]), 10.0);
+
+        let mut d = CardOverrides::new();
+        d.insert(rs(&[0, 1]), 12.0); // update, not new
+        d.insert(rs(&[1, 2]), 7.0); // new
+        let fresh = g.merge(&d);
+        assert_eq!(fresh, 1);
+        assert_eq!(g.len(), 2);
+        // Newest value wins.
+        assert_eq!(g.get(rs(&[0, 1])), Some(12.0));
+    }
+
+    #[test]
+    fn merge_of_covered_delta_adds_nothing() {
+        // Theorem 1's premise: when Δ ⊆ Γ (set-wise), Γ is unchanged.
+        let mut g = CardOverrides::new();
+        g.insert(rs(&[0, 1]), 10.0);
+        g.insert(rs(&[0, 1, 2]), 100.0);
+        let mut d = CardOverrides::new();
+        d.insert(rs(&[0, 1]), 10.0);
+        assert_eq!(g.merge(&d), 0);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn iteration_covers_all_entries() {
+        let mut g = CardOverrides::new();
+        g.insert(rs(&[0]), 1.0);
+        g.insert(rs(&[1]), 2.0);
+        let mut got: Vec<(RelSet, f64)> = g.iter().collect();
+        got.sort_by_key(|(s, _)| *s);
+        assert_eq!(got, vec![(rs(&[0]), 1.0), (rs(&[1]), 2.0)]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Optimizer profiles standing in for the paper's three host systems.
+//!
+//! Figures 12–13 run the OTT against two commercial RDBMSs ("system A" and
+//! "system B") and find the same catastrophic behaviour as PostgreSQL. We
+//! cannot ship those optimizers, so the experiment substitutes two
+//! *independently configured* optimizer profiles of this engine (DESIGN.md
+//! §2). What the experiment actually demonstrates — histogram + AVI
+//! estimation cannot see the OTT's correlation regardless of the search
+//! strategy or cost model in front of it — carries over unchanged.
+
+use crate::cardinality::CardEstConfig;
+use crate::cost::CostUnits;
+use crate::dp::OperatorSet;
+use crate::optimizer::OptimizerConfig;
+
+/// Named optimizer profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemProfile {
+    /// PostgreSQL-like: bushy DP, MCV join refinement, default units.
+    PostgresLike,
+    /// "Commercial system A": left-deep DP only, no MCV join refinement,
+    /// default page costs.
+    CommercialA,
+    /// "Commercial system B": bushy DP, no MCV join refinement, a
+    /// different unit vector (I/O-heavier, CPU-lighter).
+    CommercialB,
+}
+
+impl SystemProfile {
+    /// Materialize the profile's configuration.
+    pub fn config(self) -> OptimizerConfig {
+        match self {
+            SystemProfile::PostgresLike => OptimizerConfig::postgres_like(),
+            SystemProfile::CommercialA => OptimizerConfig {
+                cost_units: CostUnits::postgres_defaults(),
+                cardinality: CardEstConfig {
+                    mcv_join_refinement: false,
+                },
+                operators: OperatorSet::default(),
+                left_deep_only: true,
+                geqo_threshold: 12,
+                geqo: Default::default(),
+            },
+            SystemProfile::CommercialB => OptimizerConfig {
+                cost_units: CostUnits {
+                    seq_page_cost: 1.0,
+                    random_page_cost: 8.0,
+                    cpu_tuple_cost: 0.005,
+                    cpu_index_tuple_cost: 0.0025,
+                    cpu_operator_cost: 0.001,
+                },
+                cardinality: CardEstConfig {
+                    mcv_join_refinement: false,
+                },
+                operators: OperatorSet::default(),
+                left_deep_only: false,
+                geqo_threshold: 12,
+                geqo: Default::default(),
+            },
+        }
+    }
+
+    /// Display name used by the figure harnesses.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemProfile::PostgresLike => "postgres-like",
+            SystemProfile::CommercialA => "system-A",
+            SystemProfile::CommercialB => "system-B",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_where_expected() {
+        let pg = SystemProfile::PostgresLike.config();
+        let a = SystemProfile::CommercialA.config();
+        let b = SystemProfile::CommercialB.config();
+        assert!(pg.cardinality.mcv_join_refinement);
+        assert!(!a.cardinality.mcv_join_refinement);
+        assert!(!b.cardinality.mcv_join_refinement);
+        assert!(a.left_deep_only);
+        assert!(!b.left_deep_only);
+        assert_ne!(b.cost_units.random_page_cost, pg.cost_units.random_page_cost);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SystemProfile::PostgresLike.name(), "postgres-like");
+        assert_eq!(SystemProfile::CommercialA.name(), "system-A");
+        assert_eq!(SystemProfile::CommercialB.name(), "system-B");
+    }
+}

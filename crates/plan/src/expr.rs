@@ -1,0 +1,301 @@
+//! Predicates: local comparisons against constants and equi-join clauses.
+
+use std::fmt;
+
+use reopt_storage::Value;
+use reopt_common::{ColId, RelId};
+
+/// Comparison operator of a local predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `BETWEEN lo AND hi` (inclusive); the second constant rides in
+    /// [`Predicate::value2`].
+    Between,
+}
+
+impl CmpOp {
+    /// Whether the operator requires an ordered column type.
+    pub fn needs_order(self) -> bool {
+        !matches!(self, CmpOp::Eq | CmpOp::Ne)
+    }
+
+    /// Evaluate the operator on raw encoded values.
+    #[inline]
+    pub fn eval(self, v: i64, c1: i64, c2: i64) -> bool {
+        match self {
+            CmpOp::Eq => v == c1,
+            CmpOp::Ne => v != c1,
+            CmpOp::Lt => v < c1,
+            CmpOp::Le => v <= c1,
+            CmpOp::Gt => v > c1,
+            CmpOp::Ge => v >= c1,
+            CmpOp::Between => v >= c1 && v <= c2,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Between => "BETWEEN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A local predicate `rel.col OP constant` (conjunct of the query's `F`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Relation occurrence the predicate applies to.
+    pub rel: RelId,
+    /// Column within that relation's table.
+    pub col: ColId,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// First constant.
+    pub value: Value,
+    /// Second constant, only used by [`CmpOp::Between`].
+    pub value2: Option<Value>,
+}
+
+impl Predicate {
+    /// `rel.col = v`.
+    pub fn eq(rel: RelId, col: ColId, v: impl Into<Value>) -> Self {
+        Predicate {
+            rel,
+            col,
+            op: CmpOp::Eq,
+            value: v.into(),
+            value2: None,
+        }
+    }
+
+    /// `rel.col <> v`.
+    pub fn ne(rel: RelId, col: ColId, v: impl Into<Value>) -> Self {
+        Predicate {
+            rel,
+            col,
+            op: CmpOp::Ne,
+            value: v.into(),
+            value2: None,
+        }
+    }
+
+    /// `rel.col < v`.
+    pub fn lt(rel: RelId, col: ColId, v: impl Into<Value>) -> Self {
+        Predicate {
+            rel,
+            col,
+            op: CmpOp::Lt,
+            value: v.into(),
+            value2: None,
+        }
+    }
+
+    /// `rel.col <= v`.
+    pub fn le(rel: RelId, col: ColId, v: impl Into<Value>) -> Self {
+        Predicate {
+            rel,
+            col,
+            op: CmpOp::Le,
+            value: v.into(),
+            value2: None,
+        }
+    }
+
+    /// `rel.col > v`.
+    pub fn gt(rel: RelId, col: ColId, v: impl Into<Value>) -> Self {
+        Predicate {
+            rel,
+            col,
+            op: CmpOp::Gt,
+            value: v.into(),
+            value2: None,
+        }
+    }
+
+    /// `rel.col >= v`.
+    pub fn ge(rel: RelId, col: ColId, v: impl Into<Value>) -> Self {
+        Predicate {
+            rel,
+            col,
+            op: CmpOp::Ge,
+            value: v.into(),
+            value2: None,
+        }
+    }
+
+    /// `rel.col BETWEEN lo AND hi` (inclusive).
+    pub fn between(rel: RelId, col: ColId, lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
+        Predicate {
+            rel,
+            col,
+            op: CmpOp::Between,
+            value: lo.into(),
+            value2: Some(hi.into()),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            CmpOp::Between => write!(
+                f,
+                "{}.{} BETWEEN {} AND {}",
+                self.rel,
+                self.col,
+                self.value,
+                self.value2.as_ref().unwrap_or(&Value::Null)
+            ),
+            op => write!(f, "{}.{} {} {}", self.rel, self.col, op, self.value),
+        }
+    }
+}
+
+/// An equi-join predicate `left_rel.left_col = right_rel.right_col`.
+///
+/// Stored in canonical orientation (smaller `RelId` on the left) so that
+/// join-graph comparisons are order-insensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinPredicate {
+    /// Left side (smaller `RelId` after canonicalization).
+    pub left_rel: RelId,
+    /// Column on the left relation.
+    pub left_col: ColId,
+    /// Right side.
+    pub right_rel: RelId,
+    /// Column on the right relation.
+    pub right_col: ColId,
+}
+
+impl JoinPredicate {
+    /// Build in canonical orientation. Self-join predicates within one
+    /// relation occurrence are not representable (and not needed).
+    pub fn new(a_rel: RelId, a_col: ColId, b_rel: RelId, b_col: ColId) -> Self {
+        if a_rel <= b_rel {
+            JoinPredicate {
+                left_rel: a_rel,
+                left_col: a_col,
+                right_rel: b_rel,
+                right_col: b_col,
+            }
+        } else {
+            JoinPredicate {
+                left_rel: b_rel,
+                left_col: b_col,
+                right_rel: a_rel,
+                right_col: a_col,
+            }
+        }
+    }
+
+    /// The column this predicate needs on relation `rel`, if `rel` is one
+    /// of its endpoints.
+    pub fn col_on(&self, rel: RelId) -> Option<ColId> {
+        if rel == self.left_rel {
+            Some(self.left_col)
+        } else if rel == self.right_rel {
+            Some(self.right_col)
+        } else {
+            None
+        }
+    }
+
+    /// The endpoint opposite to `rel`.
+    pub fn other_side(&self, rel: RelId) -> Option<(RelId, ColId)> {
+        if rel == self.left_rel {
+            Some((self.right_rel, self.right_col))
+        } else if rel == self.right_rel {
+            Some((self.left_rel, self.left_col))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{} = {}.{}",
+            self.left_rel, self.left_col, self.right_rel, self.right_col
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        assert!(CmpOp::Eq.eval(5, 5, 0));
+        assert!(!CmpOp::Eq.eval(5, 6, 0));
+        assert!(CmpOp::Ne.eval(5, 6, 0));
+        assert!(CmpOp::Lt.eval(4, 5, 0));
+        assert!(CmpOp::Le.eval(5, 5, 0));
+        assert!(CmpOp::Gt.eval(6, 5, 0));
+        assert!(CmpOp::Ge.eval(5, 5, 0));
+        assert!(CmpOp::Between.eval(5, 1, 9));
+        assert!(!CmpOp::Between.eval(0, 1, 9));
+        assert!(!CmpOp::Between.eval(10, 1, 9));
+    }
+
+    #[test]
+    fn order_requirements() {
+        assert!(!CmpOp::Eq.needs_order());
+        assert!(!CmpOp::Ne.needs_order());
+        assert!(CmpOp::Lt.needs_order());
+        assert!(CmpOp::Between.needs_order());
+    }
+
+    #[test]
+    fn predicate_constructors_and_display() {
+        let p = Predicate::eq(RelId::new(0), ColId::new(1), 5i64);
+        assert_eq!(p.to_string(), "r0.c1 = 5");
+        let p = Predicate::between(RelId::new(2), ColId::new(0), 1i64, 9i64);
+        assert_eq!(p.to_string(), "r2.c0 BETWEEN 1 AND 9");
+        assert_eq!(p.value2, Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn join_predicate_canonical_orientation() {
+        let a = JoinPredicate::new(RelId::new(3), ColId::new(1), RelId::new(1), ColId::new(2));
+        let b = JoinPredicate::new(RelId::new(1), ColId::new(2), RelId::new(3), ColId::new(1));
+        assert_eq!(a, b);
+        assert_eq!(a.left_rel, RelId::new(1));
+        assert_eq!(a.to_string(), "r1.c2 = r3.c1");
+    }
+
+    #[test]
+    fn join_predicate_side_lookups() {
+        let j = JoinPredicate::new(RelId::new(0), ColId::new(4), RelId::new(2), ColId::new(7));
+        assert_eq!(j.col_on(RelId::new(0)), Some(ColId::new(4)));
+        assert_eq!(j.col_on(RelId::new(2)), Some(ColId::new(7)));
+        assert_eq!(j.col_on(RelId::new(1)), None);
+        assert_eq!(
+            j.other_side(RelId::new(0)),
+            Some((RelId::new(2), ColId::new(7)))
+        );
+        assert_eq!(j.other_side(RelId::new(9)), None);
+    }
+}

@@ -1,0 +1,256 @@
+//! Logical join trees and the paper's representations of them.
+//!
+//! §3.1 represents a join tree as "the set of ordered logical joins
+//! contained in P", e.g. `T2 = {A ⋈ B, C ⋈ D, A ⋈ B ⋈ C ⋈ D}`; Appendix E
+//! encodes trees bottom-up/left-to-right (`code(T)`). Both views reduce to
+//! looking at the *internal nodes* of the binary tree:
+//!
+//! * an **ordered** join is the pair `(rels(left child), rels(right child))`
+//!   — sensitive to operand order, so `A ⋈ B ≠ B ⋈ A`;
+//! * an **unordered** join is just `rels(node)` — the set of base relations
+//!   the node covers (within one tree, node relation-sets are unique).
+//!
+//! Definition 1 (local vs global transformation) compares unordered join
+//! sets; Definition 2 (coverage) asks whether every unordered join of one
+//! tree appears among those of a set of trees.
+
+use std::fmt;
+
+use reopt_common::{RelId, RelSet};
+
+/// A binary logical join tree over relation occurrences.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinTree {
+    /// A base relation occurrence.
+    Leaf(RelId),
+    /// A join of two subtrees (operand order is meaningful).
+    Join(Box<JoinTree>, Box<JoinTree>),
+}
+
+impl JoinTree {
+    /// Leaf constructor.
+    pub fn leaf(rel: RelId) -> Self {
+        JoinTree::Leaf(rel)
+    }
+
+    /// Join constructor.
+    pub fn join(left: JoinTree, right: JoinTree) -> Self {
+        JoinTree::Join(Box::new(left), Box::new(right))
+    }
+
+    /// Build a left-deep tree joining `rels` in the given order.
+    pub fn left_deep(rels: &[RelId]) -> Option<Self> {
+        let (&first, rest) = rels.split_first()?;
+        let mut t = JoinTree::leaf(first);
+        for &r in rest {
+            t = JoinTree::join(t, JoinTree::leaf(r));
+        }
+        Some(t)
+    }
+
+    /// The set of base relations this tree covers.
+    pub fn relset(&self) -> RelSet {
+        match self {
+            JoinTree::Leaf(r) => RelSet::single(*r),
+            JoinTree::Join(l, r) => l.relset().union(r.relset()),
+        }
+    }
+
+    /// Number of joins (internal nodes); a leaf has zero.
+    pub fn num_joins(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 0,
+            JoinTree::Join(l, r) => 1 + l.num_joins() + r.num_joins(),
+        }
+    }
+
+    /// Whether the tree is left-deep (every right child is a leaf).
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Join(l, r) => matches!(**r, JoinTree::Leaf(_)) && l.is_left_deep(),
+        }
+    }
+
+    /// The **ordered** joins of the tree: one `(left rels, right rels)`
+    /// pair per internal node, bottom-up left-to-right.
+    pub fn ordered_joins(&self) -> Vec<(RelSet, RelSet)> {
+        let mut out = Vec::with_capacity(self.num_joins());
+        self.collect_ordered(&mut out);
+        out
+    }
+
+    fn collect_ordered(&self, out: &mut Vec<(RelSet, RelSet)>) -> RelSet {
+        match self {
+            JoinTree::Leaf(r) => RelSet::single(*r),
+            JoinTree::Join(l, r) => {
+                let ls = l.collect_ordered(out);
+                let rs = r.collect_ordered(out);
+                out.push((ls, rs));
+                ls.union(rs)
+            }
+        }
+    }
+
+    /// The **unordered** joins of the tree: the relation set covered by
+    /// each internal node, sorted ascending (by mask) for set comparison.
+    /// This is the paper's `tree(P)` with order erased — the basis of
+    /// Definitions 1 and 2.
+    pub fn join_sets(&self) -> Vec<RelSet> {
+        let mut out: Vec<RelSet> = self
+            .ordered_joins()
+            .into_iter()
+            .map(|(l, r)| l.union(r))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Appendix E's `code(T)` encoding, with leaves named by relation index
+    /// (e.g. `(r0r1, r2r0r1, ...)` — leaf order preserved within a join).
+    pub fn encoding(&self) -> String {
+        fn leaves(t: &JoinTree, out: &mut Vec<RelId>) {
+            match t {
+                JoinTree::Leaf(r) => out.push(*r),
+                JoinTree::Join(l, r) => {
+                    leaves(l, out);
+                    leaves(r, out);
+                }
+            }
+        }
+        fn encode(t: &JoinTree, parts: &mut Vec<String>) {
+            if let JoinTree::Join(l, r) = t {
+                encode(l, parts);
+                encode(r, parts);
+                let mut ls = Vec::new();
+                leaves(t, &mut ls);
+                parts.push(
+                    ls.iter()
+                        .map(|r| format!("r{}", r.0))
+                        .collect::<Vec<_>>()
+                        .join(""),
+                );
+            }
+        }
+        let mut parts = Vec::new();
+        encode(self, &mut parts);
+        format!("({})", parts.join(","))
+    }
+}
+
+impl fmt::Display for JoinTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinTree::Leaf(r) => write!(f, "{r}"),
+            JoinTree::Join(l, r) => write!(f, "({l} ⋈ {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    /// The paper's Figure 1 trees over A=r0, B=r1, C=r2, D=r3.
+    fn fig1() -> (JoinTree, JoinTree, JoinTree, JoinTree) {
+        // T1 = ((A ⋈ B) ⋈ C) ⋈ D — left-deep.
+        let t1 = JoinTree::left_deep(&[r(0), r(1), r(2), r(3)]).unwrap();
+        // T1' = (C ⋈ (A ⋈ B)) ⋈ D.
+        let t1p = JoinTree::join(
+            JoinTree::join(
+                JoinTree::leaf(r(2)),
+                JoinTree::join(JoinTree::leaf(r(0)), JoinTree::leaf(r(1))),
+            ),
+            JoinTree::leaf(r(3)),
+        );
+        // T2 = (A ⋈ B) ⋈ (C ⋈ D) — bushy.
+        let t2 = JoinTree::join(
+            JoinTree::join(JoinTree::leaf(r(0)), JoinTree::leaf(r(1))),
+            JoinTree::join(JoinTree::leaf(r(2)), JoinTree::leaf(r(3))),
+        );
+        // T2' = (C ⋈ D) ⋈ (A ⋈ B).
+        let t2p = JoinTree::join(
+            JoinTree::join(JoinTree::leaf(r(2)), JoinTree::leaf(r(3))),
+            JoinTree::join(JoinTree::leaf(r(0)), JoinTree::leaf(r(1))),
+        );
+        (t1, t1p, t2, t2p)
+    }
+
+    #[test]
+    fn relset_and_join_count() {
+        let (t1, _, t2, _) = fig1();
+        assert_eq!(t1.relset(), RelSet::first_n(4));
+        assert_eq!(t2.relset(), RelSet::first_n(4));
+        assert_eq!(t1.num_joins(), 3);
+        assert_eq!(JoinTree::leaf(r(0)).num_joins(), 0);
+    }
+
+    #[test]
+    fn left_deep_shape() {
+        let (t1, t1p, t2, _) = fig1();
+        assert!(t1.is_left_deep());
+        assert!(!t2.is_left_deep());
+        // T1' has C ⋈ (A ⋈ B): right child is not a leaf.
+        assert!(!t1p.is_left_deep());
+    }
+
+    #[test]
+    fn fig1_ordered_joins_distinguish_t1_t1p() {
+        let (t1, t1p, _, _) = fig1();
+        assert_ne!(t1.ordered_joins(), t1p.ordered_joins());
+        // But their unordered join sets match: local transformations.
+        assert_eq!(t1.join_sets(), t1p.join_sets());
+    }
+
+    #[test]
+    fn fig1_t2_representation_matches_paper() {
+        // The paper: T2 = {A⋈B, C⋈D, A⋈B⋈C⋈D}.
+        let (_, _, t2, t2p) = fig1();
+        let sets = t2.join_sets();
+        let ab = RelSet::single(r(0)).with(r(1));
+        let cd = RelSet::single(r(2)).with(r(3));
+        let abcd = RelSet::first_n(4);
+        let mut expected = vec![ab, cd, abcd];
+        expected.sort();
+        assert_eq!(sets, expected);
+        // T2' is a local transformation of T2.
+        assert_eq!(t2.join_sets(), t2p.join_sets());
+        assert_ne!(t2.ordered_joins(), t2p.ordered_joins());
+    }
+
+    #[test]
+    fn t1_vs_t2_are_global_transformations() {
+        let (t1, _, t2, _) = fig1();
+        assert_ne!(t1.join_sets(), t2.join_sets());
+    }
+
+    #[test]
+    fn encoding_matches_appendix_e() {
+        let (t1, t1p, t2, t2p) = fig1();
+        // Appendix E example: T1 -> (AB, ABC, ABCD); T2 -> (AB, CD, ABCD).
+        assert_eq!(t1.encoding(), "(r0r1,r0r1r2,r0r1r2r3)");
+        assert_eq!(t2.encoding(), "(r0r1,r2r3,r0r1r2r3)");
+        // T1' -> (AB, CAB, CABD); T2' -> (CD, AB, CDAB).
+        assert_eq!(t1p.encoding(), "(r0r1,r2r0r1,r2r0r1r3)");
+        assert_eq!(t2p.encoding(), "(r2r3,r0r1,r2r3r0r1)");
+    }
+
+    #[test]
+    fn left_deep_builder() {
+        assert!(JoinTree::left_deep(&[]).is_none());
+        let single = JoinTree::left_deep(&[r(5)]).unwrap();
+        assert_eq!(single, JoinTree::leaf(r(5)));
+        let t = JoinTree::left_deep(&[r(1), r(0)]).unwrap();
+        assert_eq!(t.encoding(), "(r1r0)");
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let (_, _, t2, _) = fig1();
+        assert_eq!(t2.to_string(), "((r0 ⋈ r1) ⋈ (r2 ⋈ r3))");
+    }
+}

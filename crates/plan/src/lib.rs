@@ -1,0 +1,31 @@
+//! Query representation: logical algebra, join trees and physical plans.
+//!
+//! The paper works on select–equijoin(–aggregate) queries
+//! `σ_F(R1 ⋈ … ⋈ RK)` (§4.1). This crate defines:
+//!
+//! * [`expr`] — local predicates and equi-join predicates,
+//! * [`query`] — the [`query::Query`] type, its builder, the join
+//!   graph, and aggregate specifications,
+//! * [`join_tree`] — logical [`join_tree::JoinTree`]s, the
+//!   paper's `tree(P)` set representation (§3.1) and `code(T)` encoding
+//!   (Appendix E),
+//! * [`transform`] — local/global transformation classification
+//!   (Definition 1/4), structural equivalence (Definition 3) and plan
+//!   coverage (Definition 2),
+//! * [`physical`] — physical plans (access paths + join operators) with
+//!   structural fingerprints, the objects Algorithm 1 compares across
+//!   rounds.
+
+pub mod expr;
+pub mod join_tree;
+pub mod physical;
+pub mod query;
+pub mod sql;
+pub mod transform;
+
+pub use expr::{CmpOp, JoinPredicate, Predicate};
+pub use join_tree::JoinTree;
+pub use physical::{AccessPath, JoinAlgo, PhysicalPlan, PlanNodeInfo};
+pub use query::{AggExpr, AggFunc, AggSpec, ColRef, JoinGraph, Query, QueryBuilder};
+pub use sql::to_sql;
+pub use transform::{classify_transformation, is_covered_by, local_transformations, TransformKind};

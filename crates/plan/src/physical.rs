@@ -1,0 +1,432 @@
+//! Physical plans: access paths, join algorithms and structural identity.
+//!
+//! A physical plan is what the optimizer emits and what Algorithm 1
+//! compares across rounds ("if P_i is the same as P_{i-1}, break"). Plan
+//! identity is *structural*: join order plus operator and access-path
+//! choices. Cost/cardinality annotations ([`PlanNodeInfo`]) are explicitly
+//! excluded from identity — two rounds may re-derive the same plan with
+//! different estimates, and that still terminates the loop.
+
+use std::fmt::Write as _;
+
+use crate::join_tree::JoinTree;
+use crate::query::ColRef;
+use reopt_common::hash::fx_mix;
+use reopt_common::{ColId, RelId, RelSet, TableId};
+
+/// How a base relation is read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPath {
+    /// Full sequential scan, filtering all local predicates.
+    SeqScan,
+    /// Probe the hash index on `col` with the constant of an equality
+    /// predicate; remaining local predicates are applied as residuals.
+    IndexScan {
+        /// The indexed column being probed.
+        col: ColId,
+    },
+}
+
+/// Physical join algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinAlgo {
+    /// Hash join: build on the right (inner) input, probe with the left.
+    Hash,
+    /// Sort-merge join: sort both inputs on the join keys, then merge.
+    Merge,
+    /// Naive nested loops (used only when no equi-key exists or inputs are
+    /// tiny).
+    NestedLoop,
+    /// Index nested loops: the right input must be a base-table scan whose
+    /// join column is indexed; each outer row probes the index.
+    IndexNested,
+}
+
+/// Optimizer annotations carried on each node. Not part of plan identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanNodeInfo {
+    /// Estimated output rows (from whatever estimator produced the plan —
+    /// native statistics or Γ-overridden).
+    pub est_rows: f64,
+    /// Estimated cumulative cost of the subtree.
+    pub est_cost: f64,
+}
+
+impl Default for PlanNodeInfo {
+    fn default() -> Self {
+        PlanNodeInfo {
+            est_rows: 0.0,
+            est_cost: 0.0,
+        }
+    }
+}
+
+/// A physical plan tree.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Base relation access.
+    Scan {
+        /// Relation occurrence this scan produces.
+        rel: RelId,
+        /// Base table scanned.
+        table: TableId,
+        /// Access path.
+        access: AccessPath,
+        /// Optimizer annotations.
+        info: PlanNodeInfo,
+    },
+    /// Binary join.
+    Join {
+        /// Join algorithm.
+        algo: JoinAlgo,
+        /// Outer / probe input.
+        left: Box<PhysicalPlan>,
+        /// Inner / build input.
+        right: Box<PhysicalPlan>,
+        /// Equi-join keys: (column on left input, column on right input).
+        keys: Vec<(ColRef, ColRef)>,
+        /// Optimizer annotations.
+        info: PlanNodeInfo,
+    },
+}
+
+impl PhysicalPlan {
+    /// The relations this subtree covers.
+    pub fn relset(&self) -> RelSet {
+        match self {
+            PhysicalPlan::Scan { rel, .. } => RelSet::single(*rel),
+            PhysicalPlan::Join { left, right, .. } => left.relset().union(right.relset()),
+        }
+    }
+
+    /// Annotations of the root node.
+    pub fn info(&self) -> &PlanNodeInfo {
+        match self {
+            PhysicalPlan::Scan { info, .. } | PhysicalPlan::Join { info, .. } => info,
+        }
+    }
+
+    /// Estimated rows at the root.
+    pub fn est_rows(&self) -> f64 {
+        self.info().est_rows
+    }
+
+    /// Estimated total cost.
+    pub fn est_cost(&self) -> f64 {
+        self.info().est_cost
+    }
+
+    /// Number of join nodes.
+    pub fn num_joins(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan { .. } => 0,
+            PhysicalPlan::Join { left, right, .. } => 1 + left.num_joins() + right.num_joins(),
+        }
+    }
+
+    /// The logical join tree skeleton (the paper's `tree(P)`).
+    pub fn logical_tree(&self) -> JoinTree {
+        match self {
+            PhysicalPlan::Scan { rel, .. } => JoinTree::leaf(*rel),
+            PhysicalPlan::Join { left, right, .. } => {
+                JoinTree::join(left.logical_tree(), right.logical_tree())
+            }
+        }
+    }
+
+    /// Structural identity: same shape, operators, access paths and keys.
+    /// Ignores [`PlanNodeInfo`].
+    pub fn same_structure(&self, other: &PhysicalPlan) -> bool {
+        match (self, other) {
+            (
+                PhysicalPlan::Scan {
+                    rel: r1,
+                    table: t1,
+                    access: a1,
+                    ..
+                },
+                PhysicalPlan::Scan {
+                    rel: r2,
+                    table: t2,
+                    access: a2,
+                    ..
+                },
+            ) => r1 == r2 && t1 == t2 && a1 == a2,
+            (
+                PhysicalPlan::Join {
+                    algo: g1,
+                    left: l1,
+                    right: rr1,
+                    keys: k1,
+                    ..
+                },
+                PhysicalPlan::Join {
+                    algo: g2,
+                    left: l2,
+                    right: rr2,
+                    keys: k2,
+                    ..
+                },
+            ) => g1 == g2 && k1 == k2 && l1.same_structure(l2) && rr1.same_structure(rr2),
+            _ => false,
+        }
+    }
+
+    /// A 64-bit structural fingerprint consistent with
+    /// [`PhysicalPlan::same_structure`].
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            PhysicalPlan::Scan {
+                rel,
+                table,
+                access,
+                ..
+            } => {
+                let mut h = fx_mix(0x5ca9, rel.0 as u64);
+                h = fx_mix(h, table.0 as u64);
+                h = match access {
+                    AccessPath::SeqScan => fx_mix(h, 1),
+                    AccessPath::IndexScan { col } => fx_mix(fx_mix(h, 2), col.0 as u64),
+                };
+                h
+            }
+            PhysicalPlan::Join {
+                algo,
+                left,
+                right,
+                keys,
+                ..
+            } => {
+                let tag = match algo {
+                    JoinAlgo::Hash => 11,
+                    JoinAlgo::Merge => 12,
+                    JoinAlgo::NestedLoop => 13,
+                    JoinAlgo::IndexNested => 14,
+                };
+                let mut h = fx_mix(0x10e1, tag);
+                h = fx_mix(h, left.fingerprint());
+                h = fx_mix(h, right.fingerprint());
+                for (a, b) in keys {
+                    h = fx_mix(h, ((a.rel.0 as u64) << 32) | a.col.0 as u64);
+                    h = fx_mix(h, ((b.rel.0 as u64) << 32) | b.col.0 as u64);
+                }
+                h
+            }
+        }
+    }
+
+    /// Visit every node (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a PhysicalPlan)) {
+        f(self);
+        if let PhysicalPlan::Join { left, right, .. } = self {
+            left.visit(f);
+            right.visit(f);
+        }
+    }
+
+    /// All join subtrees (pre-order) — the nodes sampling validates.
+    pub fn join_subtrees(&self) -> Vec<&PhysicalPlan> {
+        let mut out = Vec::new();
+        self.visit(&mut |n| {
+            if matches!(n, PhysicalPlan::Join { .. }) {
+                out.push(n);
+            }
+        });
+        out
+    }
+
+    /// Multi-line EXPLAIN-style rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            PhysicalPlan::Scan {
+                rel,
+                table,
+                access,
+                info,
+            } => {
+                let path = match access {
+                    AccessPath::SeqScan => "SeqScan".to_string(),
+                    AccessPath::IndexScan { col } => format!("IndexScan[{col}]"),
+                };
+                let _ = writeln!(
+                    out,
+                    "{path} {rel} (table {table})  rows={:.1} cost={:.1}",
+                    info.est_rows, info.est_cost
+                );
+            }
+            PhysicalPlan::Join {
+                algo,
+                left,
+                right,
+                keys,
+                info,
+            } => {
+                let keys_s = keys
+                    .iter()
+                    .map(|(a, b)| format!("{a}={b}"))
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
+                let _ = writeln!(
+                    out,
+                    "{algo:?}Join on [{keys_s}]  rows={:.1} cost={:.1}",
+                    info.est_rows, info.est_cost
+                );
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: u32, access: AccessPath) -> PhysicalPlan {
+        PhysicalPlan::Scan {
+            rel: RelId::new(rel),
+            table: TableId::new(rel),
+            access,
+            info: PlanNodeInfo::default(),
+        }
+    }
+
+    fn key(lr: u32, lc: u32, rr: u32, rc: u32) -> (ColRef, ColRef) {
+        (
+            ColRef::new(RelId::new(lr), ColId::new(lc)),
+            ColRef::new(RelId::new(rr), ColId::new(rc)),
+        )
+    }
+
+    fn hash_join(l: PhysicalPlan, r: PhysicalPlan, k: (ColRef, ColRef)) -> PhysicalPlan {
+        PhysicalPlan::Join {
+            algo: JoinAlgo::Hash,
+            left: Box::new(l),
+            right: Box::new(r),
+            keys: vec![k],
+            info: PlanNodeInfo {
+                est_rows: 10.0,
+                est_cost: 99.0,
+            },
+        }
+    }
+
+    #[test]
+    fn relset_and_joins() {
+        let p = hash_join(
+            scan(0, AccessPath::SeqScan),
+            scan(1, AccessPath::SeqScan),
+            key(0, 0, 1, 0),
+        );
+        assert_eq!(p.relset(), RelSet::first_n(2));
+        assert_eq!(p.num_joins(), 1);
+        assert_eq!(p.join_subtrees().len(), 1);
+        assert_eq!(p.est_rows(), 10.0);
+        assert_eq!(p.est_cost(), 99.0);
+    }
+
+    #[test]
+    fn logical_tree_extraction() {
+        let p = hash_join(
+            hash_join(
+                scan(0, AccessPath::SeqScan),
+                scan(1, AccessPath::SeqScan),
+                key(0, 0, 1, 0),
+            ),
+            scan(2, AccessPath::SeqScan),
+            key(1, 0, 2, 0),
+        );
+        let t = p.logical_tree();
+        assert_eq!(t.encoding(), "(r0r1,r0r1r2)");
+        assert!(t.is_left_deep());
+    }
+
+    #[test]
+    fn structural_identity_ignores_estimates() {
+        let mut a = hash_join(
+            scan(0, AccessPath::SeqScan),
+            scan(1, AccessPath::SeqScan),
+            key(0, 0, 1, 0),
+        );
+        let b = hash_join(
+            scan(0, AccessPath::SeqScan),
+            scan(1, AccessPath::SeqScan),
+            key(0, 0, 1, 0),
+        );
+        assert!(a.same_structure(&b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        if let PhysicalPlan::Join { info, .. } = &mut a {
+            info.est_rows = 1e9;
+            info.est_cost = 1e9;
+        }
+        assert!(a.same_structure(&b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn identity_distinguishes_operators_and_paths() {
+        let a = hash_join(
+            scan(0, AccessPath::SeqScan),
+            scan(1, AccessPath::SeqScan),
+            key(0, 0, 1, 0),
+        );
+        let mut b = a.clone();
+        if let PhysicalPlan::Join { algo, .. } = &mut b {
+            *algo = JoinAlgo::Merge;
+        }
+        assert!(!a.same_structure(&b));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        let c = hash_join(
+            scan(0, AccessPath::IndexScan { col: ColId::new(0) }),
+            scan(1, AccessPath::SeqScan),
+            key(0, 0, 1, 0),
+        );
+        assert!(!a.same_structure(&c));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn identity_distinguishes_operand_order() {
+        let a = hash_join(
+            scan(0, AccessPath::SeqScan),
+            scan(1, AccessPath::SeqScan),
+            key(0, 0, 1, 0),
+        );
+        let b = hash_join(
+            scan(1, AccessPath::SeqScan),
+            scan(0, AccessPath::SeqScan),
+            key(1, 0, 0, 0),
+        );
+        assert!(!a.same_structure(&b));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // But they are local transformations of each other.
+        use crate::transform::{classify_transformation, TransformKind};
+        assert_eq!(
+            classify_transformation(&a.logical_tree(), &b.logical_tree()),
+            TransformKind::Local
+        );
+    }
+
+    #[test]
+    fn explain_is_readable() {
+        let p = hash_join(
+            scan(0, AccessPath::IndexScan { col: ColId::new(2) }),
+            scan(1, AccessPath::SeqScan),
+            key(0, 0, 1, 0),
+        );
+        let s = p.explain();
+        assert!(s.contains("HashJoin on [r0.c0=r1.c0]"));
+        assert!(s.contains("IndexScan[c2] r0"));
+        assert!(s.contains("SeqScan r1"));
+    }
+}

@@ -1,0 +1,553 @@
+//! Queries, the query builder, join graphs and aggregate specifications.
+
+use std::fmt;
+
+use crate::expr::{JoinPredicate, Predicate};
+use reopt_common::{ColId, Error, RelId, RelSet, Result};
+use reopt_common::relset::MAX_RELS;
+use reopt_common::TableId;
+use reopt_storage::{Database, LogicalType};
+
+/// A reference to a column of a relation occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ColRef {
+    /// The relation occurrence.
+    pub rel: RelId,
+    /// The column within its table.
+    pub col: ColId,
+}
+
+impl ColRef {
+    /// Construct a column reference.
+    pub fn new(rel: RelId, col: ColId) -> Self {
+        ColRef { rel, col }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.rel, self.col)
+    }
+}
+
+/// Aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+    /// `AVG(col)`.
+    Avg,
+}
+
+/// One aggregate expression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column; `None` only for `COUNT(*)`.
+    pub input: Option<ColRef>,
+}
+
+impl AggExpr {
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        AggExpr {
+            func: AggFunc::Count,
+            input: None,
+        }
+    }
+
+    /// `SUM(rel.col)`.
+    pub fn sum(c: ColRef) -> Self {
+        AggExpr {
+            func: AggFunc::Sum,
+            input: Some(c),
+        }
+    }
+
+    /// `MIN(rel.col)`.
+    pub fn min(c: ColRef) -> Self {
+        AggExpr {
+            func: AggFunc::Min,
+            input: Some(c),
+        }
+    }
+
+    /// `MAX(rel.col)`.
+    pub fn max(c: ColRef) -> Self {
+        AggExpr {
+            func: AggFunc::Max,
+            input: Some(c),
+        }
+    }
+
+    /// `AVG(rel.col)`.
+    pub fn avg(c: ColRef) -> Self {
+        AggExpr {
+            func: AggFunc::Avg,
+            input: Some(c),
+        }
+    }
+}
+
+/// Grouped aggregation applied on top of the join result.
+///
+/// The aggregate is *not* part of plan search — the paper's technique
+/// targets the join order (§2), and the engine evaluates the aggregate as a
+/// final pipeline stage on whatever join order was chosen.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AggSpec {
+    /// Grouping columns (empty = a single global group).
+    pub group_by: Vec<ColRef>,
+    /// Aggregate expressions.
+    pub aggs: Vec<AggExpr>,
+}
+
+/// A select–equijoin(–aggregate) query: `σ_F(R1 ⋈ … ⋈ RK)` with an
+/// optional aggregate on top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Base table of each relation occurrence, indexed by `RelId`.
+    pub relations: Vec<TableId>,
+    /// Local predicates, grouped by relation occurrence (`local[rel]`).
+    pub local: Vec<Vec<Predicate>>,
+    /// Equi-join predicates (canonical orientation, deduplicated).
+    pub joins: Vec<JoinPredicate>,
+    /// Optional aggregation applied after the joins.
+    pub aggregate: Option<AggSpec>,
+}
+
+impl Query {
+    /// Number of relation occurrences.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// The set of all relations of the query.
+    pub fn all_rels(&self) -> RelSet {
+        RelSet::first_n(self.relations.len())
+    }
+
+    /// Base table of relation `rel`.
+    pub fn table_of(&self, rel: RelId) -> Result<TableId> {
+        self.relations
+            .get(rel.index())
+            .copied()
+            .ok_or_else(|| Error::not_found(format!("relation {rel}")))
+    }
+
+    /// Local predicates of relation `rel`.
+    pub fn local_predicates(&self, rel: RelId) -> &[Predicate] {
+        self.local
+            .get(rel.index())
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Build the join graph of this query.
+    pub fn join_graph(&self) -> JoinGraph {
+        JoinGraph::new(self.num_relations(), &self.joins)
+    }
+
+    /// Validate the query against a database: referenced tables/columns
+    /// exist, range predicates only target ordered columns, the join graph
+    /// is connected, and constants are type-compatible.
+    pub fn validate(&self, db: &Database) -> Result<()> {
+        if self.relations.is_empty() {
+            return Err(Error::invalid("query has no relations"));
+        }
+        if self.relations.len() > MAX_RELS {
+            return Err(Error::invalid(format!(
+                "query has {} relations; the engine supports at most {MAX_RELS}",
+                self.relations.len()
+            )));
+        }
+        if self.local.len() != self.relations.len() {
+            return Err(Error::internal(
+                "local predicate buckets misaligned with relations",
+            ));
+        }
+        for (i, &table) in self.relations.iter().enumerate() {
+            let t = db.table(table)?;
+            for p in &self.local[i] {
+                if p.rel.index() != i {
+                    return Err(Error::internal(format!(
+                        "predicate {p} filed under relation r{i}"
+                    )));
+                }
+                let def = t.schema().column(p.col)?;
+                if p.op.needs_order() && !def.ty.is_ordered() {
+                    return Err(Error::invalid(format!(
+                        "range predicate {p} on unordered column `{}`",
+                        def.name
+                    )));
+                }
+                // Type-check the constants (encode_constant errors on
+                // incompatible types).
+                let col = t.column(p.col)?;
+                col.encode_constant(&p.value)?;
+                if let Some(v2) = &p.value2 {
+                    col.encode_constant(v2)?;
+                }
+            }
+        }
+        for j in &self.joins {
+            let lt = db.table(self.table_of(j.left_rel)?)?;
+            let rt = db.table(self.table_of(j.right_rel)?)?;
+            lt.schema().column(j.left_col)?;
+            rt.schema().column(j.right_col)?;
+            if j.left_rel == j.right_rel {
+                return Err(Error::invalid(format!(
+                    "join predicate {j} relates a relation to itself"
+                )));
+            }
+            // Joining dict columns across different dictionaries would
+            // compare unrelated codes.
+            let ldef = lt.schema().column(j.left_col)?;
+            let rdef = rt.schema().column(j.right_col)?;
+            if (ldef.ty == LogicalType::Dict || rdef.ty == LogicalType::Dict)
+                && self.table_of(j.left_rel)? != self.table_of(j.right_rel)?
+            {
+                return Err(Error::unsupported(format!(
+                    "join {j} over dictionary columns of different tables"
+                )));
+            }
+        }
+        if self.num_relations() > 1 && !self.join_graph().is_connected() {
+            return Err(Error::unsupported(
+                "query's join graph is disconnected (cross products are not planned)",
+            ));
+        }
+        if let Some(agg) = &self.aggregate {
+            for c in agg
+                .group_by
+                .iter()
+                .chain(agg.aggs.iter().filter_map(|a| a.input.as_ref()))
+            {
+                let t = db.table(self.table_of(c.rel)?)?;
+                t.schema().column(c.col)?;
+            }
+            if agg.aggs.is_empty() && agg.group_by.is_empty() {
+                return Err(Error::invalid("empty aggregate specification"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Adjacency view of a query's join predicates.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    num_rels: usize,
+    edges: Vec<JoinPredicate>,
+    /// adjacency[rel] = indexes into `edges`.
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl JoinGraph {
+    /// Build from the query's join predicates.
+    pub fn new(num_rels: usize, joins: &[JoinPredicate]) -> Self {
+        let mut adjacency = vec![Vec::new(); num_rels];
+        for (i, j) in joins.iter().enumerate() {
+            if j.left_rel.index() < num_rels && j.right_rel.index() < num_rels {
+                adjacency[j.left_rel.index()].push(i);
+                adjacency[j.right_rel.index()].push(i);
+            }
+        }
+        JoinGraph {
+            num_rels,
+            edges: joins.to_vec(),
+            adjacency,
+        }
+    }
+
+    /// Number of relations.
+    pub fn num_rels(&self) -> usize {
+        self.num_rels
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[JoinPredicate] {
+        &self.edges
+    }
+
+    /// Number of edges — the `M` of the paper's Appendix B analysis.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The join predicates connecting `left` to `right` (both directions).
+    pub fn edges_between(&self, left: RelSet, right: RelSet) -> Vec<JoinPredicate> {
+        self.edges
+            .iter()
+            .filter(|j| {
+                (left.contains(j.left_rel) && right.contains(j.right_rel))
+                    || (right.contains(j.left_rel) && left.contains(j.right_rel))
+            })
+            .copied()
+            .collect()
+    }
+
+    /// All join predicates with both endpoints inside `set`.
+    pub fn edges_within(&self, set: RelSet) -> Vec<JoinPredicate> {
+        self.edges
+            .iter()
+            .filter(|j| set.contains(j.left_rel) && set.contains(j.right_rel))
+            .copied()
+            .collect()
+    }
+
+    /// Whether `left` and `right` are connected by at least one edge.
+    pub fn connects(&self, left: RelSet, right: RelSet) -> bool {
+        self.edges.iter().any(|j| {
+            (left.contains(j.left_rel) && right.contains(j.right_rel))
+                || (right.contains(j.left_rel) && left.contains(j.right_rel))
+        })
+    }
+
+    /// Whether the sub-graph induced by `set` is connected.
+    pub fn is_set_connected(&self, set: RelSet) -> bool {
+        let Some(start) = set.min_rel() else {
+            return true;
+        };
+        let mut seen = RelSet::single(start);
+        let mut frontier = vec![start];
+        while let Some(r) = frontier.pop() {
+            for &ei in &self.adjacency[r.index()] {
+                let j = &self.edges[ei];
+                for other in [j.left_rel, j.right_rel] {
+                    if set.contains(other) && !seen.contains(other) {
+                        seen = seen.with(other);
+                        frontier.push(other);
+                    }
+                }
+            }
+        }
+        seen == set
+    }
+
+    /// Whether the whole join graph is connected.
+    pub fn is_connected(&self) -> bool {
+        self.is_set_connected(RelSet::first_n(self.num_rels))
+    }
+
+    /// Relations adjacent to `set` (connected by an edge but outside it).
+    pub fn neighbors(&self, set: RelSet) -> RelSet {
+        let mut out = RelSet::EMPTY;
+        for r in set.iter() {
+            for &ei in &self.adjacency[r.index()] {
+                let j = &self.edges[ei];
+                for other in [j.left_rel, j.right_rel] {
+                    if !set.contains(other) {
+                        out = out.with(other);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Fluent builder for [`Query`].
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    relations: Vec<TableId>,
+    local: Vec<Vec<Predicate>>,
+    joins: Vec<JoinPredicate>,
+    aggregate: Option<AggSpec>,
+}
+
+impl QueryBuilder {
+    /// Start an empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a relation occurrence over `table`; returns its [`RelId`].
+    pub fn add_relation(&mut self, table: TableId) -> RelId {
+        let rel = RelId::from(self.relations.len());
+        self.relations.push(table);
+        self.local.push(Vec::new());
+        rel
+    }
+
+    /// Add a local predicate.
+    pub fn add_predicate(&mut self, p: Predicate) -> &mut Self {
+        assert!(
+            p.rel.index() < self.relations.len(),
+            "predicate references unknown relation {}",
+            p.rel
+        );
+        self.local[p.rel.index()].push(p);
+        self
+    }
+
+    /// Add an equi-join predicate (deduplicated).
+    pub fn add_join(&mut self, a: ColRef, b: ColRef) -> &mut Self {
+        let j = JoinPredicate::new(a.rel, a.col, b.rel, b.col);
+        if !self.joins.contains(&j) {
+            self.joins.push(j);
+        }
+        self
+    }
+
+    /// Set the aggregate stage.
+    pub fn aggregate(&mut self, spec: AggSpec) -> &mut Self {
+        self.aggregate = Some(spec);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Query {
+        Query {
+            relations: self.relations,
+            local: self.local,
+            joins: self.joins,
+            aggregate: self.aggregate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_storage::{Column, ColumnDef, Table, TableSchema};
+
+    fn test_db() -> Database {
+        let mut db = Database::new();
+        for name in ["a", "b", "c"] {
+            db.add_table_with(|id| {
+                let schema = TableSchema::new(vec![
+                    ColumnDef::new("k", LogicalType::Int),
+                    ColumnDef::new("tag", LogicalType::Dict),
+                ])?;
+                Table::new(
+                    id,
+                    name,
+                    schema,
+                    vec![
+                        Column::from_i64(LogicalType::Int, vec![1, 2, 3]),
+                        Column::from_strings(&["x", "y", "z"]),
+                    ],
+                )
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    fn chain_query(db: &Database) -> Query {
+        // a ⋈ b ⋈ c on k, with a filter on a.k.
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("a").unwrap());
+        let b = qb.add_relation(db.table_id("b").unwrap());
+        let c = qb.add_relation(db.table_id("c").unwrap());
+        qb.add_predicate(Predicate::eq(a, ColId::new(0), 1i64));
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
+        qb.add_join(ColRef::new(b, ColId::new(0)), ColRef::new(c, ColId::new(0)));
+        qb.build()
+    }
+
+    #[test]
+    fn builder_assembles_query() {
+        let db = test_db();
+        let q = chain_query(&db);
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.local_predicates(RelId::new(0)).len(), 1);
+        assert_eq!(q.local_predicates(RelId::new(1)).len(), 0);
+        assert!(q.validate(&db).is_ok());
+        assert_eq!(q.all_rels().len(), 3);
+    }
+
+    #[test]
+    fn duplicate_joins_are_deduplicated() {
+        let db = test_db();
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("a").unwrap());
+        let b = qb.add_relation(db.table_id("b").unwrap());
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
+        qb.add_join(ColRef::new(b, ColId::new(0)), ColRef::new(a, ColId::new(0)));
+        let q = qb.build();
+        assert_eq!(q.joins.len(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_disconnected_graph() {
+        let db = test_db();
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("a").unwrap());
+        let _b = qb.add_relation(db.table_id("b").unwrap());
+        let c = qb.add_relation(db.table_id("c").unwrap());
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(c, ColId::new(0)));
+        let q = qb.build();
+        assert!(matches!(q.validate(&db), Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn validation_rejects_range_on_dict() {
+        let db = test_db();
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("a").unwrap());
+        qb.add_predicate(Predicate::lt(a, ColId::new(1), 5i64));
+        let q = qb.build();
+        assert!(q.validate(&db).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_columns_and_empty() {
+        let db = test_db();
+        let empty = QueryBuilder::new().build();
+        assert!(empty.validate(&db).is_err());
+
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("a").unwrap());
+        qb.add_predicate(Predicate::eq(a, ColId::new(9), 1i64));
+        assert!(qb.build().validate(&db).is_err());
+    }
+
+    #[test]
+    fn join_graph_topology() {
+        let db = test_db();
+        let q = chain_query(&db);
+        let g = q.join_graph();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.is_connected());
+        let r0 = RelSet::single(RelId::new(0));
+        let r2 = RelSet::single(RelId::new(2));
+        assert!(!g.connects(r0, r2));
+        assert!(g.connects(r0, RelSet::single(RelId::new(1))));
+        assert_eq!(g.neighbors(r0), RelSet::single(RelId::new(1)));
+        let r01 = r0.with(RelId::new(1));
+        assert_eq!(g.neighbors(r01), r2);
+        assert!(g.is_set_connected(r01));
+        assert!(!g.is_set_connected(r0.union(r2)));
+        assert_eq!(g.edges_within(r01).len(), 1);
+        assert_eq!(g.edges_between(r01, r2).len(), 1);
+    }
+
+    #[test]
+    fn aggregate_validation() {
+        let db = test_db();
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("a").unwrap());
+        qb.aggregate(AggSpec {
+            group_by: vec![ColRef::new(a, ColId::new(1))],
+            aggs: vec![AggExpr::count_star(), AggExpr::sum(ColRef::new(a, ColId::new(0)))],
+        });
+        assert!(qb.build().validate(&db).is_ok());
+
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("a").unwrap());
+        qb.aggregate(AggSpec {
+            group_by: vec![],
+            aggs: vec![AggExpr::min(ColRef::new(a, ColId::new(9)))],
+        });
+        assert!(qb.build().validate(&db).is_err());
+    }
+}

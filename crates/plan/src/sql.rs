@@ -1,0 +1,214 @@
+//! SQL-flavoured rendering of queries — for logs, examples and debugging.
+//!
+//! The engine has no SQL parser (queries are built programmatically), but a
+//! readable SQL-ish rendering makes experiment output self-describing:
+//! every figure harness row can be traced back to a recognizable query.
+
+use crate::expr::CmpOp;
+use crate::query::{AggFunc, Query};
+use reopt_common::RelId;
+use reopt_storage::Database;
+
+/// Render `query` as SQL-flavoured text against `db`'s catalog names.
+///
+/// Relation occurrences are aliased `t0, t1, …` in `RelId` order, so
+/// self-joins are unambiguous. The output is for humans; it is not parsed
+/// back.
+pub fn to_sql(query: &Query, db: &Database) -> String {
+    let alias = |r: RelId| format!("t{}", r.0);
+    let col_name = |r: RelId, c: reopt_common::ColId| -> String {
+        query
+            .table_of(r)
+            .ok()
+            .and_then(|t| db.table(t).ok())
+            .and_then(|t| t.schema().column(c).ok().map(|d| d.name.clone()))
+            .unwrap_or_else(|| format!("{c}"))
+    };
+
+    let mut out = String::new();
+    out.push_str("SELECT ");
+    match &query.aggregate {
+        Some(agg) => {
+            let mut items: Vec<String> = agg
+                .group_by
+                .iter()
+                .map(|g| format!("{}.{}", alias(g.rel), col_name(g.rel, g.col)))
+                .collect();
+            for a in &agg.aggs {
+                let f = match a.func {
+                    AggFunc::Count => "COUNT",
+                    AggFunc::Sum => "SUM",
+                    AggFunc::Min => "MIN",
+                    AggFunc::Max => "MAX",
+                    AggFunc::Avg => "AVG",
+                };
+                match &a.input {
+                    Some(c) => items.push(format!(
+                        "{f}({}.{})",
+                        alias(c.rel),
+                        col_name(c.rel, c.col)
+                    )),
+                    None => items.push(format!("{f}(*)")),
+                }
+            }
+            out.push_str(&items.join(", "));
+        }
+        None => out.push('*'),
+    }
+
+    out.push_str("\nFROM ");
+    let froms: Vec<String> = (0..query.num_relations())
+        .map(|i| {
+            let r = RelId::from(i);
+            let name = query
+                .table_of(r)
+                .ok()
+                .and_then(|t| db.table(t).ok().map(|t| t.name().to_string()))
+                .unwrap_or_else(|| "?".into());
+            format!("{name} AS {}", alias(r))
+        })
+        .collect();
+    out.push_str(&froms.join(", "));
+
+    let mut conds: Vec<String> = Vec::new();
+    for j in &query.joins {
+        conds.push(format!(
+            "{}.{} = {}.{}",
+            alias(j.left_rel),
+            col_name(j.left_rel, j.left_col),
+            alias(j.right_rel),
+            col_name(j.right_rel, j.right_col)
+        ));
+    }
+    for i in 0..query.num_relations() {
+        for p in query.local_predicates(RelId::from(i)) {
+            let lhs = format!("{}.{}", alias(p.rel), col_name(p.rel, p.col));
+            match p.op {
+                CmpOp::Between => {
+                    conds.push(format!(
+                        "{lhs} BETWEEN {} AND {}",
+                        render_value(&p.value),
+                        p.value2.as_ref().map(render_value).unwrap_or_default()
+                    ));
+                }
+                op => conds.push(format!("{lhs} {op} {}", render_value(&p.value))),
+            }
+        }
+    }
+    if !conds.is_empty() {
+        out.push_str("\nWHERE ");
+        out.push_str(&conds.join("\n  AND "));
+    }
+    if let Some(agg) = &query.aggregate {
+        if !agg.group_by.is_empty() {
+            out.push_str("\nGROUP BY ");
+            let keys: Vec<String> = agg
+                .group_by
+                .iter()
+                .map(|g| format!("{}.{}", alias(g.rel), col_name(g.rel, g.col)))
+                .collect();
+            out.push_str(&keys.join(", "));
+        }
+    }
+    out.push(';');
+    out
+}
+
+fn render_value(v: &reopt_storage::Value) -> String {
+    match v {
+        reopt_storage::Value::Str(s) => format!("'{s}'"),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{AggExpr, AggSpec, ColRef, QueryBuilder};
+    use crate::Predicate;
+    use reopt_common::ColId;
+    use reopt_storage::{Column, ColumnDef, LogicalType, Table, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("o_orderkey", LogicalType::Int),
+                ColumnDef::new("o_orderdate", LogicalType::Date),
+            ])?;
+            Table::new(
+                id,
+                "orders",
+                schema,
+                vec![
+                    Column::from_i64(LogicalType::Int, vec![1]),
+                    Column::from_i64(LogicalType::Date, vec![1]),
+                ],
+            )
+        })
+        .unwrap();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("l_orderkey", LogicalType::Int),
+                ColumnDef::new("l_shipmode", LogicalType::Dict),
+            ])?;
+            Table::new(
+                id,
+                "lineitem",
+                schema,
+                vec![
+                    Column::from_i64(LogicalType::Int, vec![1]),
+                    Column::from_strings(&["AIR"]),
+                ],
+            )
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn renders_joins_filters_and_aggregates() {
+        let db = db();
+        let mut qb = QueryBuilder::new();
+        let o = qb.add_relation(db.table_id("orders").unwrap());
+        let l = qb.add_relation(db.table_id("lineitem").unwrap());
+        qb.add_join(ColRef::new(o, ColId::new(0)), ColRef::new(l, ColId::new(0)));
+        qb.add_predicate(Predicate::between(o, ColId::new(1), 10i64, 99i64));
+        qb.add_predicate(Predicate::eq(l, ColId::new(1), "AIR"));
+        qb.aggregate(AggSpec {
+            group_by: vec![ColRef::new(o, ColId::new(0))],
+            aggs: vec![AggExpr::count_star()],
+        });
+        let sql = to_sql(&qb.build(), &db);
+        assert!(sql.contains("SELECT t0.o_orderkey, COUNT(*)"), "{sql}");
+        assert!(sql.contains("FROM orders AS t0, lineitem AS t1"), "{sql}");
+        assert!(sql.contains("t0.o_orderkey = t1.l_orderkey"), "{sql}");
+        assert!(sql.contains("t0.o_orderdate BETWEEN 10 AND 99"), "{sql}");
+        assert!(sql.contains("t1.l_shipmode = 'AIR'"), "{sql}");
+        assert!(sql.contains("GROUP BY t0.o_orderkey"), "{sql}");
+        assert!(sql.ends_with(';'), "{sql}");
+    }
+
+    #[test]
+    fn renders_select_star_without_aggregate() {
+        let db = db();
+        let mut qb = QueryBuilder::new();
+        let _ = qb.add_relation(db.table_id("orders").unwrap());
+        let sql = to_sql(&qb.build(), &db);
+        assert!(sql.starts_with("SELECT *"), "{sql}");
+        assert!(!sql.contains("WHERE"));
+        assert!(!sql.contains("GROUP BY"));
+    }
+
+    #[test]
+    fn self_joins_get_distinct_aliases() {
+        let db = db();
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("orders").unwrap());
+        let b = qb.add_relation(db.table_id("orders").unwrap());
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
+        let sql = to_sql(&qb.build(), &db);
+        assert!(sql.contains("orders AS t0, orders AS t1"), "{sql}");
+        assert!(sql.contains("t0.o_orderkey = t1.o_orderkey"), "{sql}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Local/global transformation classification and plan coverage —
+//! Definitions 1–4 of the paper.
+
+use crate::join_tree::JoinTree;
+use crate::physical::{JoinAlgo, PhysicalPlan};
+use reopt_common::FxHashSet;
+use reopt_common::RelSet;
+
+/// Relationship between two join trees of the same query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformKind {
+    /// Identical trees (same ordered joins) — also "structurally
+    /// equivalent" in the sense of Definition 3.
+    Identical,
+    /// Local transformation: same *unordered* logical joins
+    /// (Definition 1) but not identical.
+    Local,
+    /// Global transformation: different unordered logical joins.
+    Global,
+}
+
+/// Classify `next` relative to `prev`.
+///
+/// Note the paper's convention that a tree is a local transformation of
+/// itself; [`TransformKind::Identical`] refines that case so Algorithm 1's
+/// termination test (P_i = P_{i-1}) is expressible with the same machinery.
+pub fn classify_transformation(prev: &JoinTree, next: &JoinTree) -> TransformKind {
+    if prev.ordered_joins() == next.ordered_joins() {
+        TransformKind::Identical
+    } else if prev.join_sets() == next.join_sets() {
+        TransformKind::Local
+    } else {
+        TransformKind::Global
+    }
+}
+
+/// Definition 2: is `plan` covered by `plans`, i.e. is every unordered
+/// join of `plan` contained in the union of the others' joins?
+///
+/// When this holds for the optimizer's newest plan, sampling-based
+/// validation adds nothing new to Γ and Algorithm 1 terminates in the next
+/// round (Theorem 1).
+pub fn is_covered_by(plan: &JoinTree, plans: &[&JoinTree]) -> bool {
+    let mut covered: FxHashSet<RelSet> = FxHashSet::default();
+    for p in plans {
+        covered.extend(p.join_sets());
+    }
+    plan.join_sets().iter().all(|s| covered.contains(s))
+}
+
+/// Enumerate local transformations of a physical plan (Definition 1 over
+/// plans): every combination of operand swaps at the join nodes, plus
+/// single-node physical-operator changes. Used by the Theorem 6 check —
+/// the re-optimized plan must be no costlier than any of these under the
+/// final Γ.
+///
+/// Operand swaps compose (2^joins variants); operator substitutions are
+/// applied one node at a time to keep the enumeration linear. Index-nested
+/// joins are not *swapped* (the swapped orientation requires the new inner
+/// to be an indexed base scan, which is not generally executable), but
+/// they *are* substituted by hash/merge/nested-loop variants — their
+/// marker inner scan executes as an ordinary filtered scan.
+pub fn local_transformations(plan: &PhysicalPlan) -> Vec<PhysicalPlan> {
+    let mut out = Vec::new();
+    // 1. All operand-swap combinations.
+    let swappable = collect_swappable(plan);
+    let n = swappable.len().min(12); // cap the 2^n enumeration defensively
+    for mask in 1u32..(1u32 << n) {
+        let mut idx = 0;
+        out.push(swap_by_mask(plan, mask, &mut idx));
+    }
+    // 2. Single-node operator substitutions (on the original orientation).
+    let join_count = plan.num_joins();
+    for node in 0..join_count {
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop] {
+            let mut idx = 0;
+            let candidate = substitute_algo(plan, node, algo, &mut idx);
+            if !candidate.same_structure(plan) {
+                out.push(candidate);
+            }
+        }
+    }
+    out
+}
+
+/// Count swappable join nodes (pre-order), excluding index-nested joins.
+fn collect_swappable(plan: &PhysicalPlan) -> Vec<()> {
+    let mut v = Vec::new();
+    plan.visit(&mut |n| {
+        if let PhysicalPlan::Join { algo, .. } = n {
+            if *algo != JoinAlgo::IndexNested {
+                v.push(());
+            }
+        }
+    });
+    v
+}
+
+fn swap_by_mask(plan: &PhysicalPlan, mask: u32, idx: &mut u32) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::Scan { .. } => plan.clone(),
+        PhysicalPlan::Join {
+            algo,
+            left,
+            right,
+            keys,
+            info,
+        } => {
+            let l = swap_by_mask(left, mask, idx);
+            let r = swap_by_mask(right, mask, idx);
+            let swap_here = if *algo != JoinAlgo::IndexNested {
+                let bit = *idx;
+                *idx += 1;
+                bit < 12 && mask & (1 << bit) != 0
+            } else {
+                false
+            };
+            if swap_here {
+                PhysicalPlan::Join {
+                    algo: *algo,
+                    left: Box::new(r),
+                    right: Box::new(l),
+                    keys: keys.iter().map(|(a, b)| (*b, *a)).collect(),
+                    info: *info,
+                }
+            } else {
+                PhysicalPlan::Join {
+                    algo: *algo,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    keys: keys.clone(),
+                    info: *info,
+                }
+            }
+        }
+    }
+}
+
+fn substitute_algo(
+    plan: &PhysicalPlan,
+    target: usize,
+    new_algo: JoinAlgo,
+    idx: &mut usize,
+) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::Scan { .. } => plan.clone(),
+        PhysicalPlan::Join {
+            algo,
+            left,
+            right,
+            keys,
+            info,
+        } => {
+            let here = *idx;
+            *idx += 1;
+            let l = substitute_algo(left, target, new_algo, idx);
+            let r = substitute_algo(right, target, new_algo, idx);
+            let algo_out = if here == target { new_algo } else { *algo };
+            PhysicalPlan::Join {
+                algo: algo_out,
+                left: Box::new(l),
+                right: Box::new(r),
+                keys: keys.clone(),
+                info: *info,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::RelId;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn leaf(i: u32) -> JoinTree {
+        JoinTree::leaf(r(i))
+    }
+
+    #[test]
+    fn identical_trees() {
+        let t = JoinTree::left_deep(&[r(0), r(1), r(2)]).unwrap();
+        assert_eq!(classify_transformation(&t, &t.clone()), TransformKind::Identical);
+    }
+
+    #[test]
+    fn commuted_operands_are_local() {
+        // A ⋈ B vs B ⋈ A (the paper's explicit example under Definition 1).
+        let ab = JoinTree::join(leaf(0), leaf(1));
+        let ba = JoinTree::join(leaf(1), leaf(0));
+        assert_eq!(classify_transformation(&ab, &ba), TransformKind::Local);
+    }
+
+    #[test]
+    fn fig1_classifications() {
+        let t1 = JoinTree::left_deep(&[r(0), r(1), r(2), r(3)]).unwrap();
+        let t1p = JoinTree::join(
+            JoinTree::join(leaf(2), JoinTree::join(leaf(0), leaf(1))),
+            leaf(3),
+        );
+        let t2 = JoinTree::join(
+            JoinTree::join(leaf(0), leaf(1)),
+            JoinTree::join(leaf(2), leaf(3)),
+        );
+        let t2p = JoinTree::join(
+            JoinTree::join(leaf(2), leaf(3)),
+            JoinTree::join(leaf(0), leaf(1)),
+        );
+        assert_eq!(classify_transformation(&t1, &t1p), TransformKind::Local);
+        assert_eq!(classify_transformation(&t2, &t2p), TransformKind::Local);
+        assert_eq!(classify_transformation(&t1, &t2), TransformKind::Global);
+        assert_eq!(classify_transformation(&t1p, &t2p), TransformKind::Global);
+    }
+
+    #[test]
+    fn coverage_by_own_transformations() {
+        // Any plan is covered by a set containing a local transformation
+        // of it (Corollary 2's premise).
+        let t2 = JoinTree::join(
+            JoinTree::join(leaf(0), leaf(1)),
+            JoinTree::join(leaf(2), leaf(3)),
+        );
+        let t2p = JoinTree::join(
+            JoinTree::join(leaf(2), leaf(3)),
+            JoinTree::join(leaf(0), leaf(1)),
+        );
+        assert!(is_covered_by(&t2p, &[&t2]));
+        assert!(is_covered_by(&t2, &[&t2]));
+    }
+
+    #[test]
+    fn coverage_via_union_of_plans() {
+        // Example 1's scenario: T2's join C⋈D is not covered by T1 alone…
+        let t1 = JoinTree::left_deep(&[r(0), r(1), r(2), r(3)]).unwrap();
+        let t2 = JoinTree::join(
+            JoinTree::join(leaf(0), leaf(1)),
+            JoinTree::join(leaf(2), leaf(3)),
+        );
+        assert!(!is_covered_by(&t2, &[&t1]));
+        // …but the union {T1, T2} covers a tree mixing their joins.
+        let t3 = JoinTree::join(
+            JoinTree::join(leaf(2), leaf(3)),
+            JoinTree::join(leaf(1), leaf(0)),
+        );
+        assert!(is_covered_by(&t3, &[&t1, &t2]));
+    }
+
+    #[test]
+    fn local_transformations_are_local_and_distinct() {
+        use crate::physical::{AccessPath, PlanNodeInfo};
+        use crate::query::ColRef;
+        use reopt_common::{ColId, TableId};
+
+        let scan = |rel: u32| PhysicalPlan::Scan {
+            rel: RelId::new(rel),
+            table: TableId::new(rel),
+            access: AccessPath::SeqScan,
+            info: PlanNodeInfo::default(),
+        };
+        let key = |a: u32, b: u32| {
+            (
+                ColRef::new(RelId::new(a), ColId::new(0)),
+                ColRef::new(RelId::new(b), ColId::new(0)),
+            )
+        };
+        let plan = PhysicalPlan::Join {
+            algo: JoinAlgo::Hash,
+            left: Box::new(PhysicalPlan::Join {
+                algo: JoinAlgo::Merge,
+                left: Box::new(scan(0)),
+                right: Box::new(scan(1)),
+                keys: vec![key(0, 1)],
+                info: PlanNodeInfo::default(),
+            }),
+            right: Box::new(scan(2)),
+            keys: vec![key(1, 2)],
+            info: PlanNodeInfo::default(),
+        };
+        let variants = local_transformations(&plan);
+        // 2 swappable joins -> 3 swap variants; + operator substitutions.
+        assert!(variants.len() >= 3 + 2, "got {}", variants.len());
+        let base_sets = plan.logical_tree().join_sets();
+        for v in &variants {
+            // Every variant is a local transformation (or identical tree
+            // with a different operator).
+            assert_eq!(v.logical_tree().join_sets(), base_sets);
+            assert!(!v.same_structure(&plan), "variant equals original");
+        }
+        // All variants structurally distinct from each other.
+        let mut prints: Vec<u64> = variants.iter().map(|v| v.fingerprint()).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), variants.len());
+    }
+
+    #[test]
+    fn index_nested_joins_substituted_but_not_swapped() {
+        use crate::physical::{AccessPath, PlanNodeInfo};
+        use crate::query::ColRef;
+        use reopt_common::{ColId, TableId};
+        let scan = |rel: u32| PhysicalPlan::Scan {
+            rel: RelId::new(rel),
+            table: TableId::new(rel),
+            access: AccessPath::SeqScan,
+            info: PlanNodeInfo::default(),
+        };
+        let plan = PhysicalPlan::Join {
+            algo: JoinAlgo::IndexNested,
+            left: Box::new(scan(0)),
+            right: Box::new(scan(1)),
+            keys: vec![(
+                ColRef::new(RelId::new(0), ColId::new(0)),
+                ColRef::new(RelId::new(1), ColId::new(0)),
+            )],
+            info: PlanNodeInfo::default(),
+        };
+        let variants = local_transformations(&plan);
+        // No swap variants; three operator substitutions.
+        assert_eq!(variants.len(), 3);
+        for v in &variants {
+            // Operand order unchanged (never swapped)...
+            assert_eq!(v.logical_tree().ordered_joins(), plan.logical_tree().ordered_joins());
+            // ...and the algorithm is no longer IndexNested.
+            if let PhysicalPlan::Join { algo, .. } = v {
+                assert_ne!(*algo, JoinAlgo::IndexNested);
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_with_empty_set_fails_for_joins() {
+        let t = JoinTree::join(leaf(0), leaf(1));
+        assert!(!is_covered_by(&t, &[]));
+        // A bare leaf has no joins, so it is vacuously covered.
+        let l = leaf(0);
+        assert!(is_covered_by(&l, &[]));
+    }
+}

@@ -1,0 +1,11 @@
+//! Sampling subsystem: offline Bernoulli samples, the Haas et al. join
+//! selectivity estimator (§2.1 of the paper), and plan validation — the
+//! `GetCardinalityEstimatesBySampling` step of Algorithm 1.
+
+pub mod estimator;
+pub mod sampler;
+pub mod validator;
+
+pub use estimator::{cardinality_estimate, scale_up, selectivity_estimate};
+pub use sampler::{SampleConfig, SampleStore};
+pub use validator::{validate_plan, Validation, ValidationOpts};

@@ -1,0 +1,191 @@
+//! Sample-table construction.
+//!
+//! The paper keeps one offline sample per base table (5% in all
+//! experiments, following Wu et al. 2013) and runs tentative plans over
+//! them. [`SampleStore`] materializes Bernoulli row samples as a *parallel
+//! database*: sample tables carry the same [`TableId`]s as their parents,
+//! so any physical plan valid on the base database executes unchanged on
+//! the sample database — including index scans, because indexes are
+//! rebuilt on the sampled rows.
+
+use rand::RngExt;
+use reopt_common::rng::derive_rng;
+use reopt_common::{Result, TableId};
+use reopt_storage::Database;
+
+/// Sampling configuration.
+#[derive(Debug, Clone)]
+pub struct SampleConfig {
+    /// Sampling ratio in (0, 1]; the paper uses 0.05.
+    pub ratio: f64,
+    /// Tables with at most this many rows are copied whole (sampling a
+    /// 25-row dimension table would only add noise).
+    pub small_table_rows: usize,
+    /// Seed for the Bernoulli draws.
+    pub seed: u64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            ratio: 0.05,
+            small_table_rows: 200,
+            seed: 0x5a3b1e,
+        }
+    }
+}
+
+/// Per-table samples materialized as a parallel [`Database`].
+#[derive(Debug, Clone)]
+pub struct SampleStore {
+    sample_db: Database,
+    /// `full_rows / sample_rows` per table (1.0 for full copies).
+    scale: Vec<f64>,
+    config: SampleConfig,
+}
+
+impl SampleStore {
+    /// Draw Bernoulli samples of every table in `db`.
+    pub fn build(db: &Database, config: SampleConfig) -> Result<SampleStore> {
+        assert!(
+            config.ratio > 0.0 && config.ratio <= 1.0,
+            "sampling ratio must be in (0, 1]"
+        );
+        let mut sample_db = Database::new();
+        let mut scale = Vec::with_capacity(db.len());
+        for table in db.tables() {
+            let full_rows = table.row_count();
+            let rows: Vec<u32> = if full_rows <= config.small_table_rows || config.ratio >= 1.0 {
+                (0..full_rows as u32).collect()
+            } else {
+                let mut rng =
+                    derive_rng(config.seed, &format!("sample:{}", table.name()));
+                (0..full_rows as u32)
+                    .filter(|_| rng.random_bool(config.ratio))
+                    .collect()
+            };
+            let sample_rows = rows.len().max(1);
+            scale.push(full_rows as f64 / sample_rows as f64);
+            let name = format!("{}__sample", table.name());
+            sample_db.add_table_with(|id| table.subset(id, name, &rows))?;
+        }
+        Ok(SampleStore {
+            sample_db,
+            scale,
+            config,
+        })
+    }
+
+    /// The sample database (table ids parallel the base database).
+    pub fn database(&self) -> &Database {
+        &self.sample_db
+    }
+
+    /// Scale factor `|R| / |R^s|` for `table`.
+    pub fn scale_factor(&self, table: TableId) -> f64 {
+        self.scale.get(table.index()).copied().unwrap_or(1.0)
+    }
+
+    /// Number of sampled rows of `table`.
+    pub fn sample_rows(&self, table: TableId) -> Result<usize> {
+        Ok(self.sample_db.table(table)?.row_count())
+    }
+
+    /// The configuration used to build this store.
+    pub fn config(&self) -> &SampleConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::ColId;
+    use reopt_storage::{Column, ColumnDef, LogicalType, Table, TableSchema};
+
+    fn db_with_rows(n: i64) -> Database {
+        let mut db = Database::new();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![ColumnDef::new("k", LogicalType::Int)])?;
+            let mut t = Table::new(
+                id,
+                "t",
+                schema,
+                vec![Column::from_i64(LogicalType::Int, (0..n).collect())],
+            )?;
+            t.create_index(ColId::new(0))?;
+            Ok(t)
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn sample_size_tracks_ratio() {
+        let db = db_with_rows(100_000);
+        let store = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        let n = store.sample_rows(TableId::new(0)).unwrap();
+        // 5% of 100k = 5000 ± noise.
+        assert!((4000..6000).contains(&n), "sample of {n} rows");
+        let s = store.scale_factor(TableId::new(0));
+        assert!((s - 100_000.0 / n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_tables_are_copied_whole() {
+        let db = db_with_rows(150);
+        let store = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        assert_eq!(store.sample_rows(TableId::new(0)).unwrap(), 150);
+        assert_eq!(store.scale_factor(TableId::new(0)), 1.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let db = db_with_rows(10_000);
+        let a = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        let b = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        assert_eq!(
+            a.database().table(TableId::new(0)).unwrap().column(ColId::new(0)).unwrap().data(),
+            b.database().table(TableId::new(0)).unwrap().column(ColId::new(0)).unwrap().data()
+        );
+        let c = SampleStore::build(
+            &db,
+            SampleConfig {
+                seed: 99,
+                ..SampleConfig::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(
+            a.database().table(TableId::new(0)).unwrap().row_count(),
+            0
+        );
+        // Different seed almost surely draws a different sample.
+        assert_ne!(
+            a.database().table(TableId::new(0)).unwrap().column(ColId::new(0)).unwrap().data(),
+            c.database().table(TableId::new(0)).unwrap().column(ColId::new(0)).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn indexes_survive_sampling() {
+        let db = db_with_rows(100_000);
+        let store = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        let t = store.database().table(TableId::new(0)).unwrap();
+        assert!(t.has_index(ColId::new(0)));
+    }
+
+    #[test]
+    fn full_ratio_copies_everything() {
+        let db = db_with_rows(5000);
+        let store = SampleStore::build(
+            &db,
+            SampleConfig {
+                ratio: 1.0,
+                ..SampleConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(store.sample_rows(TableId::new(0)).unwrap(), 5000);
+    }
+}

@@ -1,0 +1,229 @@
+//! Plan validation: `GetCardinalityEstimatesBySampling(P)` of Algorithm 1.
+//!
+//! The plan is executed once over the sample database (a "dry run"); every
+//! join subtree's observed cardinality is scaled back to the full database
+//! by the product of the participating tables' sampling scale factors —
+//! the Haas et al. estimator of §2.1 generalized to selection–join
+//! subtrees. The result Δ maps each validated relation set to its
+//! estimated full-size cardinality.
+
+use std::time::Duration;
+
+use crate::estimator::scale_up;
+use crate::sampler::SampleStore;
+use reopt_common::Result;
+use reopt_executor::{ExecOpts, Executor};
+use reopt_optimizer::CardOverrides;
+use reopt_plan::{PhysicalPlan, Query};
+
+/// Validation options.
+#[derive(Debug, Clone)]
+pub struct ValidationOpts {
+    /// Also validate single-relation (selection) cardinalities. The paper
+    /// focuses sampling on join predicates (§2: "the major source of
+    /// errors"), so this defaults to off; turning it on additionally
+    /// repairs correlated *local* conjunctions.
+    pub validate_leaves: bool,
+    /// Minimum rows recorded for a validated set. PostgreSQL clamps all
+    /// cardinalities to ≥ 1; keeping the clamp makes empty joins "almost
+    /// free" rather than degenerate-zero in downstream cost arithmetic.
+    pub min_rows: f64,
+    /// Row cap for the dry run (samples are small; a blow-up here signals
+    /// a catastrophic plan over the samples too).
+    pub max_intermediate_rows: u64,
+}
+
+impl Default for ValidationOpts {
+    fn default() -> Self {
+        ValidationOpts {
+            validate_leaves: false,
+            min_rows: 1.0,
+            max_intermediate_rows: 50_000_000,
+        }
+    }
+}
+
+/// The outcome of validating one plan.
+#[derive(Debug, Clone)]
+pub struct Validation {
+    /// Δ — validated cardinalities keyed by relation set.
+    pub delta: CardOverrides,
+    /// Wall time of the dry run.
+    pub elapsed: Duration,
+    /// Rows produced while running over the samples (overhead metric).
+    pub sample_rows_produced: u64,
+}
+
+/// Run `plan` over the samples and return Δ.
+pub fn validate_plan(
+    query: &Query,
+    plan: &PhysicalPlan,
+    samples: &SampleStore,
+    opts: &ValidationOpts,
+) -> Result<Validation> {
+    let exec = Executor::with_opts(
+        samples.database(),
+        ExecOpts {
+            max_intermediate_rows: opts.max_intermediate_rows,
+        },
+    );
+    let traced = exec.run_traced(query, plan)?;
+
+    let mut delta = CardOverrides::new();
+    for (set, sample_rows) in &traced.node_cards {
+        if set.len() < 2 && !opts.validate_leaves {
+            continue;
+        }
+        let scale: f64 = set
+            .iter()
+            .map(|rel| {
+                query
+                    .table_of(rel)
+                    .map(|t| samples.scale_factor(t))
+                    .unwrap_or(1.0)
+            })
+            .product();
+        let estimate = scale_up(*sample_rows, scale, opts.min_rows);
+        delta.insert(*set, estimate);
+    }
+    Ok(Validation {
+        delta,
+        elapsed: traced.metrics.elapsed,
+        sample_rows_produced: traced.metrics.rows_produced,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::SampleConfig;
+    use reopt_common::{ColId, RelId, RelSet, TableId};
+    use reopt_plan::physical::PlanNodeInfo;
+    use reopt_plan::query::ColRef;
+    use reopt_plan::{AccessPath, JoinAlgo, Predicate, QueryBuilder};
+    use reopt_storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema};
+
+    /// Two OTT-style tables: a(A, B) and b(A, B), with B = A, `vals`
+    /// distinct values and `per` rows per value.
+    fn ott_pair(vals: i64, per: usize) -> Database {
+        let mut db = Database::new();
+        for name in ["a", "b"] {
+            db.add_table_with(|id| {
+                let schema = TableSchema::new(vec![
+                    ColumnDef::new("a", LogicalType::Int),
+                    ColumnDef::new("b", LogicalType::Int),
+                ])?;
+                let mut data = Vec::new();
+                for v in 0..vals {
+                    data.extend(std::iter::repeat_n(v, per));
+                }
+                let mut t = Table::new(
+                    id,
+                    name,
+                    schema,
+                    vec![
+                        Column::from_i64(LogicalType::Int, data.clone()),
+                        Column::from_i64(LogicalType::Int, data),
+                    ],
+                )?;
+                t.create_index(ColId::new(0))?;
+                t.create_index(ColId::new(1))?;
+                Ok(t)
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    fn pair_query(c1: i64, c2: i64) -> (reopt_plan::Query, PhysicalPlan) {
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(TableId::new(0));
+        let b = qb.add_relation(TableId::new(1));
+        qb.add_predicate(Predicate::eq(a, ColId::new(0), c1));
+        qb.add_predicate(Predicate::eq(b, ColId::new(0), c2));
+        qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+        let q = qb.build();
+        let plan = PhysicalPlan::Join {
+            algo: JoinAlgo::Hash,
+            left: Box::new(PhysicalPlan::Scan {
+                rel: RelId::new(0),
+                table: TableId::new(0),
+                access: AccessPath::SeqScan,
+                info: PlanNodeInfo::default(),
+            }),
+            right: Box::new(PhysicalPlan::Scan {
+                rel: RelId::new(1),
+                table: TableId::new(1),
+                access: AccessPath::SeqScan,
+                info: PlanNodeInfo::default(),
+            }),
+            keys: vec![(
+                ColRef::new(RelId::new(0), ColId::new(1)),
+                ColRef::new(RelId::new(1), ColId::new(1)),
+            )],
+            info: PlanNodeInfo::default(),
+        };
+        (q, plan)
+    }
+
+    #[test]
+    fn validates_join_sets_only_by_default() {
+        let db = ott_pair(100, 40); // 4000 rows each
+        let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        let (q, plan) = pair_query(0, 0);
+        let v = validate_plan(&q, &plan, &samples, &ValidationOpts::default()).unwrap();
+        assert_eq!(v.delta.len(), 1);
+        assert!(v.delta.contains(RelSet::first_n(2)));
+    }
+
+    #[test]
+    fn leaf_validation_optional() {
+        let db = ott_pair(100, 40);
+        let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        let (q, plan) = pair_query(0, 0);
+        let opts = ValidationOpts {
+            validate_leaves: true,
+            ..Default::default()
+        };
+        let v = validate_plan(&q, &plan, &samples, &opts).unwrap();
+        assert_eq!(v.delta.len(), 3); // 2 leaves + 1 join
+        assert!(v.delta.contains(RelSet::single(RelId::new(0))));
+    }
+
+    #[test]
+    fn nonempty_join_estimate_is_in_the_right_ballpark() {
+        // True size: per² = 1600 (both filters keep value 0, all pairs
+        // match). With 5%+5% samples the estimate is noisy but must be
+        // within a factor of a few — far from the native estimate's ~40.
+        let db = ott_pair(100, 40);
+        let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        let (q, plan) = pair_query(0, 0);
+        let v = validate_plan(&q, &plan, &samples, &ValidationOpts::default()).unwrap();
+        let est = v.delta.get(RelSet::first_n(2)).unwrap();
+        assert!(
+            est > 200.0 && est < 8000.0,
+            "estimate {est} too far from truth 1600"
+        );
+    }
+
+    #[test]
+    fn empty_join_detected_and_clamped() {
+        let db = ott_pair(100, 40);
+        let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        let (q, plan) = pair_query(0, 1); // disjoint constants: empty join
+        let v = validate_plan(&q, &plan, &samples, &ValidationOpts::default()).unwrap();
+        let est = v.delta.get(RelSet::first_n(2)).unwrap();
+        assert_eq!(est, 1.0, "empty join must clamp to min_rows");
+    }
+
+    #[test]
+    fn validation_reports_timing_and_volume() {
+        let db = ott_pair(100, 40);
+        let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        let (q, plan) = pair_query(0, 0);
+        let v = validate_plan(&q, &plan, &samples, &ValidationOpts::default()).unwrap();
+        assert!(v.sample_rows_produced > 0);
+        // elapsed is a Duration; just ensure it is recorded.
+        assert!(v.elapsed.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Per-column, per-table and per-database statistics containers, plus
+//! local-predicate selectivity estimation (PostgreSQL's `var_eq_const` /
+//! `scalarineqsel` logic).
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::EquiDepthHistogram;
+use crate::mcv::McvList;
+use reopt_common::{ColId, Error, Result, TableId};
+
+/// Lower bound applied to every selectivity so downstream cost arithmetic
+/// never sees exact zeros from the *statistical* estimator. (The sampling
+/// estimator is allowed to report zero and is clamped at the cardinality
+/// level instead.)
+pub const MIN_SELECTIVITY: f64 = 1e-10;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Total rows in the table at ANALYZE time.
+    pub row_count: u64,
+    /// Fraction of NULL rows.
+    pub null_frac: f64,
+    /// Number of distinct non-NULL values.
+    pub n_distinct: f64,
+    /// Minimum non-NULL value.
+    pub min: Option<i64>,
+    /// Maximum non-NULL value.
+    pub max: Option<i64>,
+    /// Most common values and frequencies.
+    pub mcv: McvList,
+    /// Equi-depth histogram over the non-MCV values.
+    pub histogram: Option<EquiDepthHistogram>,
+}
+
+impl ColumnStats {
+    /// Stats for an empty column.
+    pub fn empty() -> Self {
+        ColumnStats {
+            row_count: 0,
+            null_frac: 0.0,
+            n_distinct: 0.0,
+            min: None,
+            max: None,
+            mcv: McvList::empty(),
+            histogram: None,
+        }
+    }
+
+    /// Fraction of rows that are non-NULL and not covered by the MCV list.
+    pub fn other_frac(&self) -> f64 {
+        (1.0 - self.null_frac - self.mcv.total_freq()).max(0.0)
+    }
+
+    /// Distinct values outside the MCV list.
+    pub fn n_distinct_other(&self) -> f64 {
+        (self.n_distinct - self.mcv.len() as f64).max(1.0)
+    }
+
+    /// Selectivity of `col = c` (PostgreSQL `var_eq_const`): exact frequency
+    /// if `c` is an MCV, otherwise the non-MCV mass spread uniformly over
+    /// the non-MCV distinct values.
+    pub fn eq_selectivity(&self, c: i64) -> f64 {
+        if self.row_count == 0 {
+            return MIN_SELECTIVITY;
+        }
+        if let Some(f) = self.mcv.freq_of(c) {
+            return f.max(MIN_SELECTIVITY);
+        }
+        // Out-of-range constants still get the generic estimate, as in
+        // PostgreSQL (it has no proof the constant is absent).
+        (self.other_frac() / self.n_distinct_other()).max(MIN_SELECTIVITY)
+    }
+
+    /// Selectivity of `col <> c`.
+    pub fn ne_selectivity(&self, c: i64) -> f64 {
+        ((1.0 - self.null_frac) - self.eq_selectivity(c)).max(MIN_SELECTIVITY)
+    }
+
+    /// Selectivity of `col < c` (strict).
+    pub fn lt_selectivity(&self, c: i64) -> f64 {
+        self.range_below(c)
+    }
+
+    /// Selectivity of `col <= c`.
+    pub fn le_selectivity(&self, c: i64) -> f64 {
+        self.range_below(c.saturating_add(1))
+    }
+
+    /// Selectivity of `col > c` (strict).
+    pub fn gt_selectivity(&self, c: i64) -> f64 {
+        ((1.0 - self.null_frac) - self.le_selectivity(c)).max(MIN_SELECTIVITY)
+    }
+
+    /// Selectivity of `col >= c`.
+    pub fn ge_selectivity(&self, c: i64) -> f64 {
+        ((1.0 - self.null_frac) - self.lt_selectivity(c)).max(MIN_SELECTIVITY)
+    }
+
+    /// Selectivity of `lo <= col <= hi`.
+    pub fn between_selectivity(&self, lo: i64, hi: i64) -> f64 {
+        if hi < lo {
+            return MIN_SELECTIVITY;
+        }
+        (self.range_below(hi.saturating_add(1)) - self.range_below(lo)).max(MIN_SELECTIVITY)
+    }
+
+    /// Fraction of all rows with value strictly below `c`: MCV portion is
+    /// summed exactly; the histogram portion is interpolated and weighted by
+    /// the non-MCV mass.
+    fn range_below(&self, c: i64) -> f64 {
+        if self.row_count == 0 {
+            return MIN_SELECTIVITY;
+        }
+        let mcv_part = self.mcv.freq_where(|v| v < c);
+        let hist_part = match &self.histogram {
+            Some(h) => h.fraction_below(c) * self.other_frac(),
+            // No histogram: all non-MCV mass either below or above min/max.
+            None => match (self.min, self.max) {
+                (Some(mn), Some(mx)) => {
+                    if c > mx {
+                        self.other_frac()
+                    } else if c <= mn {
+                        0.0
+                    } else {
+                        0.5 * self.other_frac()
+                    }
+                }
+                _ => 0.0,
+            },
+        };
+        (mcv_part + hist_part).clamp(MIN_SELECTIVITY, 1.0)
+    }
+}
+
+/// Statistics for all columns of one table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableStats {
+    /// The table these stats describe.
+    pub table: TableId,
+    /// Row count at ANALYZE time.
+    pub row_count: u64,
+    /// Per-column stats, positionally aligned with the schema.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Stats accessor for one column.
+    pub fn column(&self, col: ColId) -> Result<&ColumnStats> {
+        self.columns
+            .get(col.index())
+            .ok_or_else(|| Error::not_found(format!("stats for column {col} of {}", self.table)))
+    }
+}
+
+/// Statistics for a whole database, indexed by [`TableId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DatabaseStats {
+    tables: Vec<TableStats>,
+}
+
+impl DatabaseStats {
+    /// Assemble from per-table stats (must be in `TableId` order).
+    pub fn new(tables: Vec<TableStats>) -> Result<Self> {
+        for (i, t) in tables.iter().enumerate() {
+            if t.table.index() != i {
+                return Err(Error::invalid(format!(
+                    "table stats out of order: slot {i} holds {}",
+                    t.table
+                )));
+            }
+        }
+        Ok(DatabaseStats { tables })
+    }
+
+    /// Stats for `table`.
+    pub fn table(&self, table: TableId) -> Result<&TableStats> {
+        self.tables
+            .get(table.index())
+            .ok_or_else(|| Error::not_found(format!("stats for table {table}")))
+    }
+
+    /// Stats for a column of a table.
+    pub fn column(&self, table: TableId, col: ColId) -> Result<&ColumnStats> {
+        self.table(table)?.column(col)
+    }
+
+    /// All table stats in id order.
+    pub fn tables(&self) -> &[TableStats] {
+        &self.tables
+    }
+
+    /// Serialize to JSON — persist ANALYZE results across processes (the
+    /// paper's setting keeps statistics and samples offline; this is the
+    /// statistics half).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| Error::internal(format!("stats to_json: {e}")))
+    }
+
+    /// Load from [`DatabaseStats::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let stats: DatabaseStats = serde_json::from_str(json)
+            .map_err(|e| Error::invalid(format!("stats from_json: {e}")))?;
+        DatabaseStats::new(stats.tables)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1000 rows: value 7 appears 500 times (MCV), values 100..=599 once
+    /// each (histogram).
+    fn mixed_stats() -> ColumnStats {
+        let tail: Vec<i64> = (100..600).collect();
+        ColumnStats {
+            row_count: 1000,
+            null_frac: 0.0,
+            n_distinct: 501.0,
+            min: Some(7),
+            max: Some(599),
+            mcv: McvList::new(vec![(7, 0.5)]),
+            histogram: EquiDepthHistogram::from_sorted(&tail, 50),
+        }
+    }
+
+    #[test]
+    fn eq_uses_mcv_exactly() {
+        let s = mixed_stats();
+        assert!((s.eq_selectivity(7) - 0.5).abs() < 1e-12);
+        // Non-MCV: other mass 0.5 over 500 distinct -> 0.001.
+        assert!((s.eq_selectivity(250) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ne_complements_eq() {
+        let s = mixed_stats();
+        assert!((s.ne_selectivity(7) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_combines_mcv_and_histogram() {
+        let s = mixed_stats();
+        // col < 100: only the MCV value 7 qualifies.
+        assert!((s.lt_selectivity(100) - 0.5).abs() < 1e-9);
+        // col < 350: MCV + half the histogram mass = 0.5 + 0.25.
+        let got = s.lt_selectivity(350);
+        assert!((got - 0.75).abs() < 0.02, "got {got}");
+        // col >= 100: the histogram half.
+        let got = s.ge_selectivity(100);
+        assert!((got - 0.5).abs() < 0.02, "got {got}");
+    }
+
+    #[test]
+    fn between_is_difference_of_ranges() {
+        let s = mixed_stats();
+        let got = s.between_selectivity(100, 599);
+        assert!((got - 0.5).abs() < 0.02, "got {got}");
+        assert_eq!(s.between_selectivity(10, 5), MIN_SELECTIVITY);
+    }
+
+    #[test]
+    fn nulls_reduce_inequality_mass() {
+        let mut s = mixed_stats();
+        s.null_frac = 0.2;
+        // 1 - null_frac bounds every inequality.
+        assert!(s.gt_selectivity(0) <= 0.8 + 1e-9);
+        assert!(s.ge_selectivity(i64::MIN + 1) <= 0.8 + 1e-9);
+    }
+
+    #[test]
+    fn empty_column_never_divides_by_zero() {
+        let s = ColumnStats::empty();
+        assert!(s.eq_selectivity(1) > 0.0);
+        assert!(s.lt_selectivity(1) > 0.0);
+        assert!(s.between_selectivity(0, 10) > 0.0);
+    }
+
+    #[test]
+    fn no_histogram_fallback_uses_min_max() {
+        // All 4 values are MCVs; no histogram stored.
+        let s = ColumnStats {
+            row_count: 100,
+            null_frac: 0.0,
+            n_distinct: 4.0,
+            min: Some(10),
+            max: Some(40),
+            mcv: McvList::new(vec![(10, 0.25), (20, 0.25), (30, 0.25), (40, 0.25)]),
+            histogram: None,
+        };
+        assert!((s.lt_selectivity(25) - 0.5).abs() < 1e-9);
+        assert!((s.eq_selectivity(20) - 0.25).abs() < 1e-12);
+        assert!(s.lt_selectivity(10) < 1e-9 + MIN_SELECTIVITY);
+        assert!((s.lt_selectivity(50) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn database_stats_indexing() {
+        let t0 = TableStats {
+            table: TableId::new(0),
+            row_count: 10,
+            columns: vec![ColumnStats::empty()],
+        };
+        let t1 = TableStats {
+            table: TableId::new(1),
+            row_count: 20,
+            columns: vec![],
+        };
+        let db = DatabaseStats::new(vec![t0, t1]).unwrap();
+        assert_eq!(db.table(TableId::new(1)).unwrap().row_count, 20);
+        assert!(db.column(TableId::new(0), ColId::new(0)).is_ok());
+        assert!(db.column(TableId::new(0), ColId::new(1)).is_err());
+        assert!(db.table(TableId::new(2)).is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_estimates() {
+        let s = mixed_stats();
+        let t = TableStats {
+            table: TableId::new(0),
+            row_count: 1000,
+            columns: vec![s],
+        };
+        let db = DatabaseStats::new(vec![t]).unwrap();
+        let json = db.to_json().unwrap();
+        let back = DatabaseStats::from_json(&json).unwrap();
+        let a = db.column(TableId::new(0), ColId::new(0)).unwrap();
+        let b = back.column(TableId::new(0), ColId::new(0)).unwrap();
+        // MCV lookups must survive the round trip (index is rebuilt).
+        assert_eq!(b.mcv.freq_of(7), Some(0.5));
+        for probe in [7i64, 100, 250, 599, 1000] {
+            assert!((a.eq_selectivity(probe) - b.eq_selectivity(probe)).abs() < 1e-12);
+            assert!((a.lt_selectivity(probe) - b.lt_selectivity(probe)).abs() < 1e-12);
+        }
+        assert_eq!(a.n_distinct, b.n_distinct);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(DatabaseStats::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn out_of_order_table_stats_rejected() {
+        let t1 = TableStats {
+            table: TableId::new(1),
+            row_count: 20,
+            columns: vec![],
+        };
+        assert!(DatabaseStats::new(vec![t1]).is_err());
+    }
+}

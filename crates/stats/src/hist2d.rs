@@ -1,0 +1,166 @@
+//! Two-dimensional equi-width histograms — the paper's Example 2 (§5.3.1).
+//!
+//! The paper argues that even *multidimensional* histograms cannot separate
+//! the empty from the non-empty OTT queries unless the buckets degenerate
+//! to exact joint distributions: with `l × l` buckets over an `m`-value
+//! domain (bucket side `m/l`), the diagonal data `B = A` fills the diagonal
+//! buckets, and the uniformity-within-bucket assumption then assigns the
+//! *same* selectivity `1/(8 l²)` to the in-bucket pairs `(c, c)` and
+//! `(c, c±1)` even though only the former occur.
+//!
+//! This module implements such a histogram so the claim is testable — see
+//! `hist2d_cannot_separate_ott` in the tests, which reproduces the
+//! selectivity arithmetic of Example 2 exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D equi-width histogram over the box `[min_a, max_a] × [min_b, max_b]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hist2d {
+    min_a: i64,
+    max_a: i64,
+    min_b: i64,
+    max_b: i64,
+    buckets_per_dim: usize,
+    /// Row-major bucket counts (`a` index major).
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Hist2d {
+    /// Build from paired columns with `buckets_per_dim` buckets per axis.
+    pub fn build(a: &[i64], b: &[i64], buckets_per_dim: usize) -> Option<Self> {
+        if a.is_empty() || a.len() != b.len() || buckets_per_dim == 0 {
+            return None;
+        }
+        let (min_a, max_a) = (*a.iter().min()?, *a.iter().max()?);
+        let (min_b, max_b) = (*b.iter().min()?, *b.iter().max()?);
+        let mut h = Hist2d {
+            min_a,
+            max_a,
+            min_b,
+            max_b,
+            buckets_per_dim,
+            counts: vec![0; buckets_per_dim * buckets_per_dim],
+            total: a.len() as u64,
+        };
+        for (&x, &y) in a.iter().zip(b) {
+            let i = h.bucket_index(x, min_a, max_a);
+            let j = h.bucket_index(y, min_b, max_b);
+            h.counts[i * buckets_per_dim + j] += 1;
+        }
+        Some(h)
+    }
+
+    fn bucket_index(&self, v: i64, min: i64, max: i64) -> usize {
+        if max == min {
+            return 0;
+        }
+        let width = (max - min + 1) as f64 / self.buckets_per_dim as f64;
+        let idx = ((v - min) as f64 / width) as usize;
+        idx.min(self.buckets_per_dim - 1)
+    }
+
+    /// Estimated probability of the *point* predicate `A = a ∧ B = b`,
+    /// under the uniformity-within-bucket assumption.
+    pub fn point_probability(&self, a: i64, b: i64) -> f64 {
+        if a < self.min_a || a > self.max_a || b < self.min_b || b > self.max_b {
+            return 0.0;
+        }
+        let i = self.bucket_index(a, self.min_a, self.max_a);
+        let j = self.bucket_index(b, self.min_b, self.max_b);
+        let bucket_mass = self.counts[i * self.buckets_per_dim + j] as f64 / self.total as f64;
+        // Cells per bucket = (side_a × side_b); uniform within the bucket.
+        let side_a = ((self.max_a - self.min_a + 1) as f64 / self.buckets_per_dim as f64).max(1.0);
+        let side_b = ((self.max_b - self.min_b + 1) as f64 / self.buckets_per_dim as f64).max(1.0);
+        bucket_mass / (side_a * side_b)
+    }
+
+    /// Number of buckets per dimension.
+    pub fn buckets_per_dim(&self) -> usize {
+        self.buckets_per_dim
+    }
+
+    /// Total number of rows summarized.
+    pub fn total_rows(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 2: B = A over an m-value domain, l = m/2 buckets
+    /// per dimension, perfect 2-D histograms on both (A1,B1) and (A2,B2).
+    /// The estimated selectivity of the OTT query
+    /// `σ(A1=c1 ∧ A2=c2 ∧ B1=B2)(R1 × R2)` is
+    /// `Σ_b Pr(A1=c1, B1=b)·Pr(A2=c2, B2=b)`, which the histogram puts at
+    /// `1/(8l²)` for *both* the non-empty query (c1=c2=0) and the empty one
+    /// (c1=0, c2=1) — the two are indistinguishable.
+    #[test]
+    fn hist2d_cannot_separate_ott() {
+        let m: i64 = 100;
+        let l = (m / 2) as usize; // 50 buckets per dim, 2500 buckets total
+        let a: Vec<i64> = (0..m).collect();
+        let b = a.clone(); // perfectly correlated: B = A
+        let h = Hist2d::build(&a, &b, l).unwrap();
+
+        // Point probability within a diagonal bucket: mass 1/l over a 2×2
+        // cell block = 1/(4l), identically for (0,0) and the absent (0,1).
+        let p_diag = h.point_probability(0, 0); // truly 1/m
+        let p_off = h.point_probability(0, 1); // truly 0
+        assert!(p_diag > 0.0);
+        assert!((p_diag - p_off).abs() < 1e-12);
+        assert!((p_diag - 1.0 / (4.0 * l as f64)).abs() < 1e-12);
+
+        // Query selectivity: Σ_b Pr(A1=c1,B1=b)·Pr(A2=c2,B2=b).
+        let query_sel = |c1: i64, c2: i64| -> f64 {
+            (0..m)
+                .map(|bv| h.point_probability(c1, bv) * h.point_probability(c2, bv))
+                .sum()
+        };
+        let s_nonempty = query_sel(0, 0); // truly 1/m² per cross-product pair
+        let s_empty = query_sel(0, 1); // truly 0
+        let expected = 1.0 / (8.0 * (l as f64) * (l as f64)); // paper's ŝ
+        assert!(
+            (s_nonempty - expected).abs() < 1e-12,
+            "got {s_nonempty}, expected {expected}"
+        );
+        // Identical estimates — empty and non-empty cannot be separated.
+        assert!((s_nonempty - s_empty).abs() < 1e-15);
+    }
+
+    #[test]
+    fn off_bucket_pairs_are_zero() {
+        let m: i64 = 100;
+        let a: Vec<i64> = (0..m).collect();
+        let h = Hist2d::build(&a, &a, 50).unwrap();
+        // (0, 10) falls in an empty bucket: estimated zero.
+        assert_eq!(h.point_probability(0, 10), 0.0);
+        // Out of range.
+        assert_eq!(h.point_probability(-5, 0), 0.0);
+        assert_eq!(h.point_probability(0, 1000), 0.0);
+    }
+
+    #[test]
+    fn perfect_buckets_recover_joint_distribution() {
+        // With one bucket per value the joint distribution is exact.
+        let m: i64 = 10;
+        let a: Vec<i64> = (0..m).collect();
+        let h = Hist2d::build(&a, &a, m as usize).unwrap();
+        assert!((h.point_probability(3, 3) - 0.1).abs() < 1e-12);
+        assert_eq!(h.point_probability(3, 4), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(Hist2d::build(&[], &[], 4).is_none());
+        assert!(Hist2d::build(&[1], &[1, 2], 4).is_none());
+        assert!(Hist2d::build(&[1, 2], &[1, 2], 0).is_none());
+        // Constant columns collapse to a single bucket.
+        let h = Hist2d::build(&[5, 5, 5], &[7, 7, 7], 4).unwrap();
+        assert!(h.point_probability(5, 7) > 0.0);
+        assert_eq!(h.total_rows(), 3);
+    }
+}

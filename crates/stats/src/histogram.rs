@@ -1,0 +1,178 @@
+//! Equi-depth histograms over the non-MCV population of a column.
+//!
+//! As in PostgreSQL, the histogram divides the *sorted non-MCV values* into
+//! buckets of (approximately) equal population and records only the bucket
+//! bounds. Range selectivities interpolate linearly within a bucket — the
+//! uniformity-within-bucket assumption Example 2 of the paper leans on.
+
+use serde::{Deserialize, Serialize};
+
+/// An equi-depth histogram: `bounds.len() - 1` buckets of equal population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EquiDepthHistogram {
+    /// Bucket bounds, ascending: bucket `i` spans `[bounds[i], bounds[i+1])`,
+    /// except the last bucket which is closed on both sides.
+    bounds: Vec<i64>,
+}
+
+impl EquiDepthHistogram {
+    /// Build from a *sorted* slice of values, with at most `max_buckets`
+    /// buckets. Returns `None` for fewer than 2 values — no histogram is
+    /// stored (PostgreSQL behaves the same way).
+    pub fn from_sorted(sorted: &[i64], max_buckets: usize) -> Option<Self> {
+        if sorted.len() < 2 || max_buckets == 0 {
+            return None;
+        }
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+        let buckets = max_buckets.min(sorted.len() - 1).max(1);
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for i in 0..=buckets {
+            // Evenly spaced quantile positions over the value population.
+            let pos = (i * (sorted.len() - 1)) / buckets;
+            bounds.push(sorted[pos]);
+        }
+        Some(EquiDepthHistogram { bounds })
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Bucket bounds (ascending).
+    pub fn bounds(&self) -> &[i64] {
+        &self.bounds
+    }
+
+    /// Smallest recorded value.
+    pub fn min(&self) -> i64 {
+        self.bounds[0]
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> i64 {
+        *self.bounds.last().unwrap()
+    }
+
+    /// Fraction of the histogram population strictly below `c`, with linear
+    /// interpolation inside the containing bucket (PostgreSQL's
+    /// `ineq_histogram_selectivity`).
+    pub fn fraction_below(&self, c: i64) -> f64 {
+        let n = self.num_buckets() as f64;
+        if c <= self.min() {
+            return 0.0;
+        }
+        if c > self.max() {
+            return 1.0;
+        }
+        // Find the bucket containing c: largest i with bounds[i] < c.
+        let i = match self.bounds.binary_search(&c) {
+            // c equals a bound; everything in buckets < i is below. With
+            // duplicate bounds, binary_search may land anywhere in the run:
+            // walk left to the first occurrence.
+            Ok(mut idx) => {
+                while idx > 0 && self.bounds[idx - 1] == c {
+                    idx -= 1;
+                }
+                return idx as f64 / n;
+            }
+            Err(ins) => ins - 1, // bounds[ins-1] < c < bounds[ins]
+        };
+        let lo = self.bounds[i];
+        let hi = self.bounds[i + 1];
+        let frac_in_bucket = if hi > lo {
+            (c - lo) as f64 / (hi - lo) as f64
+        } else {
+            0.5
+        };
+        (i as f64 + frac_in_bucket) / n
+    }
+
+    /// Fraction of the population in `[lo, hi]` (inclusive), assuming
+    /// within-bucket uniformity.
+    pub fn fraction_between(&self, lo: i64, hi: i64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        // [lo, hi] = below(hi+1) - below(lo); saturating to dodge overflow.
+        let upper = self.fraction_below(hi.saturating_add(1));
+        let lower = self.fraction_below(lo);
+        (upper - lower).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_hist() -> EquiDepthHistogram {
+        // 0..=100 inclusive, 10 buckets.
+        let vals: Vec<i64> = (0..=100).collect();
+        EquiDepthHistogram::from_sorted(&vals, 10).unwrap()
+    }
+
+    #[test]
+    fn construction_limits() {
+        assert!(EquiDepthHistogram::from_sorted(&[], 10).is_none());
+        assert!(EquiDepthHistogram::from_sorted(&[1], 10).is_none());
+        assert!(EquiDepthHistogram::from_sorted(&[1, 2], 0).is_none());
+        let h = EquiDepthHistogram::from_sorted(&[1, 2], 10).unwrap();
+        assert_eq!(h.num_buckets(), 1);
+        assert_eq!((h.min(), h.max()), (1, 2));
+    }
+
+    #[test]
+    fn uniform_bounds_are_even() {
+        let h = uniform_hist();
+        assert_eq!(h.num_buckets(), 10);
+        assert_eq!(h.bounds(), &[0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+    }
+
+    #[test]
+    fn fraction_below_interpolates() {
+        let h = uniform_hist();
+        assert_eq!(h.fraction_below(0), 0.0);
+        assert_eq!(h.fraction_below(-5), 0.0);
+        assert!((h.fraction_below(50) - 0.5).abs() < 1e-9);
+        assert!((h.fraction_below(55) - 0.55).abs() < 1e-9);
+        assert_eq!(h.fraction_below(101), 1.0);
+        assert!((h.fraction_below(100) - 1.0).abs() < 0.11); // inside last bucket
+    }
+
+    #[test]
+    fn fraction_between_ranges() {
+        let h = uniform_hist();
+        let f = h.fraction_between(20, 39);
+        assert!((f - 0.20).abs() < 0.02, "got {f}");
+        assert_eq!(h.fraction_between(50, 40), 0.0);
+        assert!((h.fraction_between(0, 100) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skewed_population_equalizes_depth() {
+        // 90 copies of 1, then 2..=11 once each: equi-depth bounds must
+        // concentrate around 1.
+        let mut vals = vec![1i64; 90];
+        vals.extend(2..=11);
+        let h = EquiDepthHistogram::from_sorted(&vals, 10).unwrap();
+        // At least the first several bounds pin at 1.
+        assert!(h.bounds().iter().filter(|&&b| b == 1).count() >= 8);
+        // below(2) covers ~90% of population.
+        assert!(h.fraction_below(2) >= 0.8);
+    }
+
+    #[test]
+    fn duplicate_bound_runs_resolve_to_leftmost() {
+        let vals = vec![1, 1, 1, 1, 5, 9];
+        let h = EquiDepthHistogram::from_sorted(&vals, 5).unwrap();
+        // fraction_below(1) must be 0 regardless of duplicate bounds.
+        assert_eq!(h.fraction_below(1), 0.0);
+    }
+
+    #[test]
+    fn between_handles_extreme_constants() {
+        let h = uniform_hist();
+        assert!((h.fraction_between(i64::MIN + 1, i64::MAX) - 1.0).abs() < 1e-9);
+        assert_eq!(h.fraction_between(200, 300), 0.0);
+    }
+}

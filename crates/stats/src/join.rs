@@ -1,0 +1,185 @@
+//! Equi-join selectivity estimation (PostgreSQL's `eqjoinsel`).
+//!
+//! The paper (§4.2.1) describes the two regimes its host optimizer uses for
+//! a join predicate `B1 = B2`:
+//!
+//! * without MCVs on both sides: the System-R reduction factor
+//!   `1 / max(nd(B1), nd(B2))` [Selinger et al. 1979];
+//! * with MCVs on both sides: "join" the two MCV lists — the matched MCV
+//!   mass is exact, and only the residual non-MCV mass falls back to the
+//!   uniform rule. This is the refinement that makes skewed (z=1) TPC-H
+//!   estimable for the baseline optimizer.
+//!
+//! `n_distinct` values are clamped by the estimated input cardinalities
+//! (PostgreSQL does the same): a filter that keeps 100 rows cannot feed
+//! more than 100 distinct join keys.
+
+use crate::column_stats::{ColumnStats, MIN_SELECTIVITY};
+
+/// Selectivity of the equi-join predicate between two columns described by
+/// `s1` and `s2`, where the joining inputs are estimated to carry
+/// `rows1`/`rows2` tuples (used to clamp distinct counts).
+///
+/// The result is a fraction of the *cross product* `rows1 × rows2`.
+pub fn eq_join_selectivity(s1: &ColumnStats, s2: &ColumnStats, rows1: f64, rows2: f64) -> f64 {
+    let nd1 = clamp_nd(s1.n_distinct, rows1);
+    let nd2 = clamp_nd(s2.n_distinct, rows2);
+
+    if s1.mcv.is_empty() || s2.mcv.is_empty() {
+        // System-R rule, discounted by NULL fractions.
+        let sel = (1.0 - s1.null_frac) * (1.0 - s2.null_frac) / nd1.max(nd2).max(1.0);
+        return sel.max(MIN_SELECTIVITY);
+    }
+
+    // MCV-join refinement.
+    let mut match_freq = 0.0; // Σ f1(v)·f2(v) over MCVs present on both sides
+    let mut matched1 = 0.0; // Σ f1(v) over matched MCVs
+    let mut matched2 = 0.0;
+    for &(v, f1) in s1.mcv.entries() {
+        if let Some(f2) = s2.mcv.freq_of(v) {
+            match_freq += f1 * f2;
+            matched1 += f1;
+            matched2 += f2;
+        }
+    }
+    let unmatched1 = (s1.mcv.total_freq() - matched1).max(0.0); // MCV1-only mass
+    let unmatched2 = (s2.mcv.total_freq() - matched2).max(0.0);
+    let other1 = s1.other_frac(); // non-MCV, non-NULL mass
+    let other2 = s2.other_frac();
+    let nd_other1 = (nd1 - s1.mcv.len() as f64).max(1.0);
+    let nd_other2 = (nd2 - s2.mcv.len() as f64).max(1.0);
+
+    // A value that is an MCV on one side but not on the other joins against
+    // the other side's non-MCV mass spread over its distinct values; the
+    // two non-MCV masses join under the uniform rule.
+    let sel = match_freq
+        + unmatched1 * other2 / nd_other2
+        + unmatched2 * other1 / nd_other1
+        + other1 * other2 / nd_other1.max(nd_other2);
+
+    sel.clamp(MIN_SELECTIVITY, 1.0)
+}
+
+fn clamp_nd(nd: f64, rows: f64) -> f64 {
+    if rows.is_finite() && rows >= 1.0 && nd > rows {
+        rows
+    } else {
+        nd.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::EquiDepthHistogram;
+    use crate::mcv::McvList;
+
+    fn uniform_stats(n_distinct: f64, rows: u64) -> ColumnStats {
+        let domain: Vec<i64> = (0..n_distinct as i64).collect();
+        ColumnStats {
+            row_count: rows,
+            null_frac: 0.0,
+            n_distinct,
+            min: Some(0),
+            max: Some(n_distinct as i64 - 1),
+            mcv: McvList::empty(),
+            histogram: EquiDepthHistogram::from_sorted(&domain, 100),
+        }
+    }
+
+    #[test]
+    fn system_r_rule_without_mcvs() {
+        let a = uniform_stats(1000.0, 100_000);
+        let b = uniform_stats(500.0, 50_000);
+        let sel = eq_join_selectivity(&a, &b, 100_000.0, 50_000.0);
+        assert!((sel - 1.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nd_clamped_by_input_rows() {
+        let a = uniform_stats(1000.0, 100_000);
+        let b = uniform_stats(500.0, 50_000);
+        // Filtered inputs of 100 rows each: nd clamps to 100 on both sides.
+        let sel = eq_join_selectivity(&a, &b, 100.0, 100.0);
+        assert!((sel - 1.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_mcv_lists_join_exactly() {
+        // Two columns, each 50% value 1 and 50% value 2 (both MCVs).
+        let mcv = McvList::new(vec![(1, 0.5), (2, 0.5)]);
+        let s = ColumnStats {
+            row_count: 1000,
+            null_frac: 0.0,
+            n_distinct: 2.0,
+            min: Some(1),
+            max: Some(2),
+            mcv,
+            histogram: None,
+        };
+        let sel = eq_join_selectivity(&s, &s, 1000.0, 1000.0);
+        // Exact: 0.5*0.5 + 0.5*0.5 = 0.5.
+        assert!((sel - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_mcv_lists_join_to_near_zero() {
+        let s1 = ColumnStats {
+            row_count: 1000,
+            null_frac: 0.0,
+            n_distinct: 2.0,
+            min: Some(1),
+            max: Some(2),
+            mcv: McvList::new(vec![(1, 0.5), (2, 0.5)]),
+            histogram: None,
+        };
+        let s2 = ColumnStats {
+            row_count: 1000,
+            null_frac: 0.0,
+            n_distinct: 2.0,
+            min: Some(3),
+            max: Some(4),
+            mcv: McvList::new(vec![(3, 0.5), (4, 0.5)]),
+            histogram: None,
+        };
+        let sel = eq_join_selectivity(&s1, &s2, 1000.0, 1000.0);
+        // No matched MCVs, no residual mass on either side.
+        assert!(sel <= MIN_SELECTIVITY * 10.0, "got {sel}");
+    }
+
+    #[test]
+    fn skewed_vs_uniform_mixes_regimes() {
+        // s1: 90% value 7, rest uniform over 100..1099.
+        let tail: Vec<i64> = (100..1100).collect();
+        let s1 = ColumnStats {
+            row_count: 10_000,
+            null_frac: 0.0,
+            n_distinct: 1001.0,
+            min: Some(7),
+            max: Some(1099),
+            mcv: McvList::new(vec![(7, 0.9)]),
+            histogram: EquiDepthHistogram::from_sorted(&tail, 100),
+        };
+        // s2: uniform with no MCVs over 1000 values incl. 7.
+        let s2 = uniform_stats(1000.0, 10_000);
+        let sel = eq_join_selectivity(&s1, &s2, 10_000.0, 10_000.0);
+        // Falls back to System-R because one side lacks MCVs:
+        assert!((sel - 1.0 / 1001.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn null_fractions_discount_matches() {
+        let mut a = uniform_stats(100.0, 1000);
+        a.null_frac = 0.5;
+        let b = uniform_stats(100.0, 1000);
+        let sel = eq_join_selectivity(&a, &b, 1000.0, 1000.0);
+        assert!((sel - 0.5 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_never_exceeds_one_or_hits_zero() {
+        let a = uniform_stats(1.0, 10);
+        let sel = eq_join_selectivity(&a, &a, 10.0, 10.0);
+        assert!(sel <= 1.0 && sel > 0.0);
+    }
+}

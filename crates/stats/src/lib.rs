@@ -1,0 +1,34 @@
+//! Statistics subsystem — the engine's analogue of PostgreSQL's `pg_stats`.
+//!
+//! The paper (§4.2.1) describes exactly which statistics its host optimizer
+//! keeps per column and how they are used; this crate reproduces that
+//! machinery:
+//!
+//! * number of distinct values `n_distinct`,
+//! * most-common values (MCVs) with exact frequencies,
+//! * an equi-depth histogram over the non-MCV values,
+//! * null fraction and min/max.
+//!
+//! [`analyze`] builds these from stored tables (`ANALYZE`);
+//! [`column_stats::ColumnStats`] answers selectivity questions
+//! for local predicates; [`join`] implements the System-R / PostgreSQL
+//! `eqjoinsel` logic for equi-join predicates, including the MCV-join
+//! refinement the paper highlights.
+//!
+//! Everything here embodies the *attribute-value-independence* (AVI)
+//! assumption when combined by the optimizer — which is precisely the
+//! assumption the paper's correlated workloads defeat and its sampling
+//! loop repairs.
+
+pub mod analyze;
+pub mod column_stats;
+pub mod hist2d;
+pub mod histogram;
+pub mod join;
+pub mod mcv;
+
+pub use analyze::{analyze_column, analyze_database, analyze_table, AnalyzeOpts};
+pub use column_stats::{ColumnStats, DatabaseStats, TableStats};
+pub use histogram::EquiDepthHistogram;
+pub use join::eq_join_selectivity;
+pub use mcv::McvList;

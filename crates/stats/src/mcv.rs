@@ -1,0 +1,131 @@
+//! Most-common-value (MCV) lists.
+
+use serde::{Deserialize, Serialize};
+
+use reopt_common::FxHashMap;
+
+/// A list of a column's most common values with their exact frequencies
+/// (fractions of all rows, including NULL rows, as in PostgreSQL).
+///
+/// Serialized as the bare entry list; the lookup index and cached total
+/// are rebuilt on deserialization, so persisted statistics stay queryable.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "Vec<(i64, f64)>", into = "Vec<(i64, f64)>")]
+pub struct McvList {
+    /// (value, frequency) sorted by descending frequency, ties by value.
+    entries: Vec<(i64, f64)>,
+    /// Fast lookup value → frequency.
+    index: FxHashMap<i64, f64>,
+    /// Cached sum of all frequencies.
+    total: f64,
+}
+
+impl From<Vec<(i64, f64)>> for McvList {
+    fn from(entries: Vec<(i64, f64)>) -> Self {
+        McvList::new(entries)
+    }
+}
+
+impl From<McvList> for Vec<(i64, f64)> {
+    fn from(m: McvList) -> Self {
+        m.entries
+    }
+}
+
+impl McvList {
+    /// Empty list (column has no values common enough to record).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build from (value, frequency) pairs; sorts and indexes them.
+    pub fn new(mut entries: Vec<(i64, f64)>) -> Self {
+        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let index = entries.iter().copied().collect();
+        let total = entries.iter().map(|e| e.1).sum();
+        McvList {
+            entries,
+            index,
+            total,
+        }
+    }
+
+    /// Frequency of `value` if it is an MCV.
+    pub fn freq_of(&self, value: i64) -> Option<f64> {
+        self.index.get(&value).copied()
+    }
+
+    /// Sum of recorded frequencies (fraction of rows covered by MCVs).
+    pub fn total_freq(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no value is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in descending-frequency order.
+    pub fn entries(&self) -> &[(i64, f64)] {
+        &self.entries
+    }
+
+    /// Sum of frequencies of MCVs `v` satisfying `pred(v)` — used for range
+    /// selectivity over the MCV population.
+    pub fn freq_where<F: Fn(i64) -> bool>(&self, pred: F) -> f64 {
+        self.entries
+            .iter()
+            .filter(|(v, _)| pred(*v))
+            .map(|(_, f)| f)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_by_descending_frequency() {
+        let m = McvList::new(vec![(1, 0.1), (2, 0.5), (3, 0.2)]);
+        let vals: Vec<i64> = m.entries().iter().map(|e| e.0).collect();
+        assert_eq!(vals, vec![2, 3, 1]);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn lookup_and_totals() {
+        let m = McvList::new(vec![(10, 0.25), (20, 0.25)]);
+        assert_eq!(m.freq_of(10), Some(0.25));
+        assert_eq!(m.freq_of(99), None);
+        assert!((m.total_freq() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn freq_where_filters() {
+        let m = McvList::new(vec![(1, 0.1), (2, 0.2), (3, 0.3)]);
+        let f = m.freq_where(|v| v >= 2);
+        assert!((f - 0.5).abs() < 1e-12);
+        assert_eq!(m.freq_where(|_| false), 0.0);
+    }
+
+    #[test]
+    fn empty_list_behaviour() {
+        let m = McvList::empty();
+        assert!(m.is_empty());
+        assert_eq!(m.total_freq(), 0.0);
+        assert_eq!(m.freq_of(1), None);
+    }
+
+    #[test]
+    fn frequency_ties_break_by_value() {
+        let m = McvList::new(vec![(5, 0.2), (1, 0.2), (3, 0.2)]);
+        let vals: Vec<i64> = m.entries().iter().map(|e| e.0).collect();
+        assert_eq!(vals, vec![1, 3, 5]);
+    }
+}

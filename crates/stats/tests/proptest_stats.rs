@@ -1,0 +1,106 @@
+//! Property tests for the statistics subsystem: ANALYZE must produce
+//! estimates that are valid probabilities, internally consistent, and
+//! exact wherever the MCV list covers the whole domain.
+
+use proptest::prelude::*;
+use reopt_stats::{analyze_column, eq_join_selectivity, AnalyzeOpts};
+use reopt_storage::value::NULL_SENTINEL;
+use reopt_storage::{Column, LogicalType};
+
+fn data_strategy() -> impl Strategy<Value = Vec<i64>> {
+    // Mixtures of domains and sizes, with NULLs and a heavy hitter mixed in.
+    (1usize..2000, 1i64..500).prop_flat_map(|(rows, domain)| {
+        proptest::collection::vec(
+            prop_oneof![
+                8 => (0..domain).boxed(),
+                1 => Just(0i64).boxed(),           // heavy hitter
+                1 => Just(NULL_SENTINEL).boxed(),  // NULLs
+            ],
+            rows..rows + 1,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every selectivity is a probability; eq-selectivities over the MCV
+    /// domain sum to ≤ 1.
+    #[test]
+    fn selectivities_are_probabilities(data in data_strategy(), probe in -10i64..510) {
+        let col = Column::from_i64(LogicalType::Int, data);
+        let s = analyze_column(&col, &AnalyzeOpts::default());
+        for sel in [
+            s.eq_selectivity(probe),
+            s.ne_selectivity(probe),
+            s.lt_selectivity(probe),
+            s.le_selectivity(probe),
+            s.gt_selectivity(probe),
+            s.ge_selectivity(probe),
+            s.between_selectivity(probe, probe + 10),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&sel), "sel {sel}");
+        }
+        // lt + ge ≈ non-null mass (within clamping slack).
+        let lt = s.lt_selectivity(probe);
+        let ge = s.ge_selectivity(probe);
+        prop_assert!(lt + ge <= 1.0 + 1e-6, "lt {lt} + ge {ge}");
+    }
+
+    /// Range selectivity is monotone in the bound.
+    #[test]
+    fn range_selectivity_is_monotone(data in data_strategy()) {
+        let col = Column::from_i64(LogicalType::Int, data);
+        let s = analyze_column(&col, &AnalyzeOpts::default());
+        let mut prev = 0.0f64;
+        for c in (-20..520).step_by(20) {
+            let sel = s.lt_selectivity(c);
+            prop_assert!(sel + 1e-9 >= prev, "lt({c}) = {sel} < {prev}");
+            prev = sel;
+        }
+    }
+
+    /// When every distinct value fits in the MCV list, eq-estimates are
+    /// exact frequencies.
+    #[test]
+    fn small_domains_estimate_exactly(rows in 1usize..500, domain in 1i64..50) {
+        let data: Vec<i64> = (0..rows as i64).map(|i| i % domain).collect();
+        let col = Column::from_i64(LogicalType::Int, data.clone());
+        let s = analyze_column(&col, &AnalyzeOpts::default());
+        for v in 0..domain {
+            let truth = data.iter().filter(|&&x| x == v).count() as f64 / rows as f64;
+            if truth > 0.0 {
+                let est = s.eq_selectivity(v);
+                prop_assert!((est - truth).abs() < 1e-9, "v={v}: est {est} vs {truth}");
+            }
+        }
+    }
+
+    /// n_distinct and null_frac are exact under full-scan ANALYZE.
+    #[test]
+    fn analyze_counts_are_exact(data in data_strategy()) {
+        let col = Column::from_i64(LogicalType::Int, data.clone());
+        let s = analyze_column(&col, &AnalyzeOpts::default());
+        let nulls = data.iter().filter(|&&v| v == NULL_SENTINEL).count();
+        let distinct: std::collections::HashSet<i64> =
+            data.iter().copied().filter(|&v| v != NULL_SENTINEL).collect();
+        prop_assert_eq!(s.n_distinct as usize, distinct.len());
+        prop_assert!((s.null_frac - nulls as f64 / data.len() as f64).abs() < 1e-12);
+        prop_assert_eq!(s.min, distinct.iter().min().copied());
+        prop_assert_eq!(s.max, distinct.iter().max().copied());
+    }
+
+    /// Join selectivity is symmetric and a probability.
+    #[test]
+    fn join_selectivity_symmetric(a in data_strategy(), b in data_strategy()) {
+        let ca = Column::from_i64(LogicalType::Int, a);
+        let cb = Column::from_i64(LogicalType::Int, b);
+        let sa = analyze_column(&ca, &AnalyzeOpts::default());
+        let sb = analyze_column(&cb, &AnalyzeOpts::default());
+        let (ra, rb) = (ca.len() as f64, cb.len() as f64);
+        let ab = eq_join_selectivity(&sa, &sb, ra, rb);
+        let ba = eq_join_selectivity(&sb, &sa, rb, ra);
+        prop_assert!((ab - ba).abs() < 1e-12, "{ab} vs {ba}");
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+}

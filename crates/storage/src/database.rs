@@ -1,0 +1,156 @@
+//! The database catalog: a set of named tables.
+
+use crate::table::Table;
+use reopt_common::{Error, FxHashMap, Result, TableId};
+
+/// An in-memory database: tables addressable by id or name.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    by_name: FxHashMap<String, TableId>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next table id to be assigned by [`Database::add_table_with`].
+    pub fn next_table_id(&self) -> TableId {
+        TableId::from(self.tables.len())
+    }
+
+    /// Register a fully-built table. Its id must equal
+    /// [`Database::next_table_id`] and its name must be fresh.
+    pub fn add_table(&mut self, table: Table) -> Result<TableId> {
+        if table.id() != self.next_table_id() {
+            return Err(Error::invalid(format!(
+                "table `{}` has id {}, expected {}",
+                table.name(),
+                table.id(),
+                self.next_table_id()
+            )));
+        }
+        if self.by_name.contains_key(table.name()) {
+            return Err(Error::invalid(format!(
+                "duplicate table name `{}`",
+                table.name()
+            )));
+        }
+        let id = table.id();
+        self.by_name.insert(table.name().to_owned(), id);
+        self.tables.push(table);
+        Ok(id)
+    }
+
+    /// Build-and-register: the closure receives the id the table must use.
+    pub fn add_table_with<F>(&mut self, build: F) -> Result<TableId>
+    where
+        F: FnOnce(TableId) -> Result<Table>,
+    {
+        let id = self.next_table_id();
+        let table = build(id)?;
+        self.add_table(table)
+    }
+
+    /// Table by id.
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        self.tables
+            .get(id.index())
+            .ok_or_else(|| Error::not_found(format!("table {id}")))
+    }
+
+    /// Mutable table by id (index creation).
+    pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
+        self.tables
+            .get_mut(id.index())
+            .ok_or_else(|| Error::not_found(format!("table {id}")))
+    }
+
+    /// Table by name.
+    pub fn table_by_name(&self, name: &str) -> Result<&Table> {
+        let id = self
+            .by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::not_found(format!("table `{name}`")))?;
+        self.table(id)
+    }
+
+    /// Id of the table named `name`.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::not_found(format!("table `{name}`")))
+    }
+
+    /// All tables in id order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total rows across all tables (diagnostics).
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::row_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::schema::{ColumnDef, LogicalType, TableSchema};
+
+    fn tiny_table(id: TableId, name: &str) -> Table {
+        let schema = TableSchema::new(vec![ColumnDef::new("k", LogicalType::Int)]).unwrap();
+        Table::new(
+            id,
+            name,
+            schema,
+            vec![Column::from_i64(LogicalType::Int, vec![1, 2, 3])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut db = Database::new();
+        let id = db.add_table_with(|id| Ok(tiny_table(id, "a"))).unwrap();
+        assert_eq!(db.table(id).unwrap().name(), "a");
+        assert_eq!(db.table_by_name("a").unwrap().id(), id);
+        assert_eq!(db.table_id("a").unwrap(), id);
+        assert_eq!(db.len(), 1);
+        assert!(!db.is_empty());
+        assert_eq!(db.total_rows(), 3);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_ids() {
+        let mut db = Database::new();
+        db.add_table_with(|id| Ok(tiny_table(id, "a"))).unwrap();
+        // Duplicate name.
+        assert!(db.add_table_with(|id| Ok(tiny_table(id, "a"))).is_err());
+        // Wrong id.
+        assert!(db.add_table(tiny_table(TableId::new(7), "b")).is_err());
+    }
+
+    #[test]
+    fn missing_lookups_error() {
+        let db = Database::new();
+        assert!(db.table(TableId::new(0)).is_err());
+        assert!(db.table_by_name("a").is_err());
+        assert!(db.table_id("a").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! In-memory columnar storage engine.
+//!
+//! This crate is the substrate that stands in for PostgreSQL's heap and
+//! index access methods in the paper's prototype. It provides:
+//!
+//! * [`value`] — the scalar type system. All stored scalars are `i64` at
+//!   rest (dates = epoch days, money = cents, strings = dictionary codes);
+//!   [`value::Value`] is the typed API surface.
+//! * [`mod@column`] — [`column::Column`]: a typed `i64` vector with an
+//!   optional string dictionary.
+//! * [`schema`] — column/table schemas and logical types.
+//! * [`table`] — [`table::Table`]: schema + columns + hash indexes.
+//! * [`database`] — [`database::Database`]: the catalog.
+//! * [`page`] — page accounting used by the optimizer's I/O cost model.
+//!
+//! The engine is read-optimized and append-only: workload generators build
+//! tables in bulk, queries never mutate them. That matches the paper's
+//! setting (static benchmark databases, `ANALYZE` once, then query).
+
+pub mod column;
+pub mod database;
+pub mod page;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use database::Database;
+pub use schema::{ColumnDef, LogicalType, TableSchema};
+pub use table::Table;
+pub use value::Value;

@@ -1,0 +1,62 @@
+//! Page accounting for the I/O cost model.
+//!
+//! The engine is in-memory, but the optimizer's cost model (like
+//! PostgreSQL's) reasons about page reads: sequential page fetches cost
+//! `seq_page_cost`, random fetches `random_page_cost`. This module defines
+//! how logical row counts translate into page counts so those terms are
+//! well-defined. Costing is what decides plan choice — the paper's whole
+//! point is what happens when the *cardinalities* feeding these formulas
+//! are wrong — so the page model just needs to be monotone and consistent,
+//! not byte-exact.
+
+/// Bytes per heap page (PostgreSQL's default block size).
+pub const PAGE_SIZE: u64 = 8192;
+
+/// Number of heap pages needed for `rows` tuples of `row_width` bytes.
+///
+/// A minimum of one page is charged for any non-empty relation; an empty
+/// relation still occupies one page (matching PostgreSQL, which never
+/// estimates zero pages for an existing table).
+pub fn pages_for(rows: u64, row_width: u64) -> u64 {
+    let bytes = rows.saturating_mul(row_width.max(1));
+    bytes.div_ceil(PAGE_SIZE).max(1)
+}
+
+/// Fractional pages for a *estimated* (possibly fractional) row count; used
+/// by the cost model on intermediate results.
+pub fn pages_for_estimate(rows: f64, row_width: u64) -> f64 {
+    let bytes = rows.max(0.0) * row_width.max(1) as f64;
+    (bytes / PAGE_SIZE as f64).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimum_one_page() {
+        assert_eq!(pages_for(0, 8), 1);
+        assert_eq!(pages_for(1, 8), 1);
+        assert!(pages_for_estimate(0.0, 8) >= 1.0);
+    }
+
+    #[test]
+    fn pages_round_up() {
+        // 1025 rows * 8 bytes = 8200 bytes -> 2 pages.
+        assert_eq!(pages_for(1025, 8), 2);
+        assert_eq!(pages_for(1024, 8), 1);
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_rows() {
+        let a = pages_for_estimate(10_000.0, 16);
+        let b = pages_for_estimate(20_000.0, 16);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn zero_width_defends_against_division_blowups() {
+        assert_eq!(pages_for(100, 0), 1);
+        assert!(pages_for_estimate(100.0, 0).is_finite());
+    }
+}

@@ -1,0 +1,152 @@
+//! Table and column schemas.
+
+use serde::{Deserialize, Serialize};
+
+use reopt_common::{ColId, Error, Result};
+
+/// Logical type of a column. All variants are stored as `i64`; the logical
+/// type drives display, statistics interpretation and planner checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogicalType {
+    /// Plain integer (keys, quantities, synthetic attributes).
+    Int,
+    /// Date stored as days since epoch. Ordered; range predicates allowed.
+    Date,
+    /// Money stored as integer cents. Ordered; range predicates allowed.
+    Money,
+    /// Dictionary-coded string. Unordered; equality predicates only.
+    Dict,
+}
+
+impl LogicalType {
+    /// Whether `<`/`<=`/`>`/`>=`/`BETWEEN` predicates make sense.
+    pub fn is_ordered(self) -> bool {
+        !matches!(self, LogicalType::Dict)
+    }
+}
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within its table.
+    pub name: String,
+    /// Logical type.
+    pub ty: LogicalType,
+    /// Byte width used by page accounting (defaults to 8).
+    pub width: u32,
+}
+
+impl ColumnDef {
+    /// A column with the default 8-byte width.
+    pub fn new(name: impl Into<String>, ty: LogicalType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            width: 8,
+        }
+    }
+
+    /// Override the byte width (e.g. to model wide varchar payloads that
+    /// inflate a table's page count without storing the payload).
+    pub fn with_width(mut self, width: u32) -> Self {
+        self.width = width;
+        self
+    }
+}
+
+/// Schema of a table: an ordered list of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TableSchema {
+    columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Build a schema from column definitions.
+    ///
+    /// Column names must be unique.
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(Error::invalid(format!("duplicate column name `{}`", c.name)));
+            }
+        }
+        Ok(TableSchema { columns })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Definition of column `col`.
+    pub fn column(&self, col: ColId) -> Result<&ColumnDef> {
+        self.columns
+            .get(col.index())
+            .ok_or_else(|| Error::not_found(format!("column {col}")))
+    }
+
+    /// Resolve a column by name.
+    pub fn col_by_name(&self, name: &str) -> Result<ColId> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(ColId::from)
+            .ok_or_else(|| Error::not_found(format!("column `{name}`")))
+    }
+
+    /// Total tuple byte width (sum of column widths), for page accounting.
+    pub fn row_width(&self) -> u64 {
+        self.columns.iter().map(|c| c.width as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(vec![
+            ColumnDef::new("id", LogicalType::Int),
+            ColumnDef::new("ship_date", LogicalType::Date),
+            ColumnDef::new("comment", LogicalType::Dict).with_width(44),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_id() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.col_by_name("ship_date").unwrap(), ColId::new(1));
+        assert_eq!(s.column(ColId::new(2)).unwrap().name, "comment");
+        assert!(s.col_by_name("nope").is_err());
+        assert!(s.column(ColId::new(9)).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = TableSchema::new(vec![
+            ColumnDef::new("a", LogicalType::Int),
+            ColumnDef::new("a", LogicalType::Int),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn row_width_sums_declared_widths() {
+        assert_eq!(schema().row_width(), 8 + 8 + 44);
+    }
+
+    #[test]
+    fn orderedness_by_type() {
+        assert!(LogicalType::Int.is_ordered());
+        assert!(LogicalType::Date.is_ordered());
+        assert!(LogicalType::Money.is_ordered());
+        assert!(!LogicalType::Dict.is_ordered());
+    }
+}

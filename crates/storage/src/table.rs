@@ -1,0 +1,274 @@
+//! Tables: schema + columns + optional hash indexes.
+
+use crate::column::Column;
+use crate::page::{pages_for, PAGE_SIZE};
+use crate::schema::TableSchema;
+use crate::value::NULL_SENTINEL;
+use reopt_common::{ColId, Error, FxHashMap, Result, TableId};
+
+/// An equality (hash) index over one column: value → row ids.
+///
+/// This models a B-tree/hash index on the base table; the optimizer's
+/// index-nested-loop access path and the executor's index probes both use
+/// it. NULLs are not indexed.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: FxHashMap<i64, Vec<u32>>,
+}
+
+impl HashIndex {
+    /// Build over a raw column.
+    pub fn build(data: &[i64]) -> Self {
+        let mut map: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+        for (row, &v) in data.iter().enumerate() {
+            if v != NULL_SENTINEL {
+                map.entry(v).or_default().push(row as u32);
+            }
+        }
+        HashIndex { map }
+    }
+
+    /// Rows matching `value` (empty slice when absent).
+    pub fn probe(&self, value: i64) -> &[u32] {
+        self.map.get(&value).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Number of distinct indexed keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A stored base table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    id: TableId,
+    name: String,
+    schema: TableSchema,
+    columns: Vec<Column>,
+    indexes: FxHashMap<ColId, HashIndex>,
+    row_count: usize,
+}
+
+impl Table {
+    /// Assemble a table from columns. All columns must match the schema's
+    /// arity and have equal lengths.
+    pub fn new(
+        id: TableId,
+        name: impl Into<String>,
+        schema: TableSchema,
+        columns: Vec<Column>,
+    ) -> Result<Self> {
+        let name = name.into();
+        if columns.len() != schema.arity() {
+            return Err(Error::invalid(format!(
+                "table `{name}`: {} columns supplied for arity-{} schema",
+                columns.len(),
+                schema.arity()
+            )));
+        }
+        let row_count = columns.first().map_or(0, Column::len);
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != row_count {
+                return Err(Error::invalid(format!(
+                    "table `{name}`: column {i} has {} rows, expected {row_count}",
+                    c.len()
+                )));
+            }
+            let declared = schema.column(ColId::from(i))?.ty;
+            if c.ty() != declared {
+                return Err(Error::invalid(format!(
+                    "table `{name}`: column {i} is {:?}, schema declares {declared:?}",
+                    c.ty()
+                )));
+            }
+        }
+        Ok(Table {
+            id,
+            name,
+            schema,
+            columns,
+            indexes: FxHashMap::default(),
+            row_count,
+        })
+    }
+
+    /// Catalog identifier.
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column accessor.
+    pub fn column(&self, col: ColId) -> Result<&Column> {
+        self.columns
+            .get(col.index())
+            .ok_or_else(|| Error::not_found(format!("table `{}` column {col}", self.name)))
+    }
+
+    /// Column accessor by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        let id = self.schema.col_by_name(name)?;
+        self.column(id)
+    }
+
+    /// Create (or rebuild) a hash index over `col`.
+    pub fn create_index(&mut self, col: ColId) -> Result<()> {
+        let data = self.column(col)?.data();
+        let idx = HashIndex::build(data);
+        self.indexes.insert(col, idx);
+        Ok(())
+    }
+
+    /// The index over `col`, if one exists.
+    pub fn index(&self, col: ColId) -> Option<&HashIndex> {
+        self.indexes.get(&col)
+    }
+
+    /// Whether `col` is indexed.
+    pub fn has_index(&self, col: ColId) -> bool {
+        self.indexes.contains_key(&col)
+    }
+
+    /// Heap pages occupied by this table (see [`crate::page`]).
+    pub fn heap_pages(&self) -> u64 {
+        pages_for(self.row_count as u64, self.schema.row_width())
+    }
+
+    /// Bytes per page, re-exported for cost-model readability.
+    pub fn page_size(&self) -> u64 {
+        PAGE_SIZE
+    }
+
+    /// Derive a new table holding only `rows` (used to materialize sample
+    /// tables). Indexes are rebuilt on the sampled data for the columns that
+    /// were indexed on the parent.
+    pub fn subset(&self, id: TableId, name: impl Into<String>, rows: &[u32]) -> Result<Table> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| match c.dict() {
+                Some(d) => Column::from_codes(c.gather(rows), d.clone()),
+                None => Column::from_i64(c.ty(), c.gather(rows)),
+            })
+            .collect();
+        let mut t = Table::new(id, name, self.schema.clone(), columns)?;
+        for col in self.indexes.keys() {
+            t.create_index(*col)?;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, LogicalType};
+
+    fn sample_table() -> Table {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("k", LogicalType::Int),
+            ColumnDef::new("v", LogicalType::Int),
+        ])
+        .unwrap();
+        Table::new(
+            TableId::new(0),
+            "t",
+            schema,
+            vec![
+                Column::from_i64(LogicalType::Int, vec![1, 2, 2, 3]),
+                Column::from_i64(LogicalType::Int, vec![10, 20, 21, 30]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape() {
+        let schema = TableSchema::new(vec![ColumnDef::new("k", LogicalType::Int)]).unwrap();
+        // Wrong arity.
+        assert!(Table::new(TableId::new(0), "t", schema.clone(), vec![]).is_err());
+        // Ragged columns.
+        let schema2 = TableSchema::new(vec![
+            ColumnDef::new("a", LogicalType::Int),
+            ColumnDef::new("b", LogicalType::Int),
+        ])
+        .unwrap();
+        assert!(Table::new(
+            TableId::new(0),
+            "t",
+            schema2,
+            vec![
+                Column::from_i64(LogicalType::Int, vec![1]),
+                Column::from_i64(LogicalType::Int, vec![1, 2]),
+            ],
+        )
+        .is_err());
+        // Type mismatch.
+        assert!(Table::new(
+            TableId::new(0),
+            "t",
+            schema,
+            vec![Column::from_i64(LogicalType::Date, vec![1])],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn index_probe() {
+        let mut t = sample_table();
+        t.create_index(ColId::new(0)).unwrap();
+        let idx = t.index(ColId::new(0)).unwrap();
+        assert_eq!(idx.probe(2), &[1, 2]);
+        assert_eq!(idx.probe(9), &[] as &[u32]);
+        assert_eq!(idx.distinct_keys(), 3);
+        assert!(t.has_index(ColId::new(0)));
+        assert!(!t.has_index(ColId::new(1)));
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let idx = HashIndex::build(&[5, NULL_SENTINEL, 5]);
+        assert_eq!(idx.probe(5), &[0, 2]);
+        assert_eq!(idx.probe(NULL_SENTINEL), &[] as &[u32]);
+    }
+
+    #[test]
+    fn subset_preserves_schema_and_indexes() {
+        let mut t = sample_table();
+        t.create_index(ColId::new(0)).unwrap();
+        let s = t.subset(TableId::new(9), "t_sample", &[0, 2]).unwrap();
+        assert_eq!(s.row_count(), 2);
+        assert_eq!(s.column(ColId::new(0)).unwrap().data(), &[1, 2]);
+        assert_eq!(s.column(ColId::new(1)).unwrap().data(), &[10, 21]);
+        // Index was rebuilt on the subset.
+        assert_eq!(s.index(ColId::new(0)).unwrap().probe(2), &[1]);
+    }
+
+    #[test]
+    fn heap_pages_scale_with_rows() {
+        let t = sample_table();
+        assert_eq!(t.heap_pages(), 1);
+        // 4 rows * 16 bytes = 64 bytes -> 1 page of 8192.
+        assert_eq!(t.page_size(), 8192);
+    }
+}

@@ -1,0 +1,182 @@
+//! Scalar values and the string dictionary.
+//!
+//! Storage keeps every scalar as an `i64` (the engine's join and selection
+//! columns are integers, dates, or dictionary-coded categoricals — see
+//! DESIGN.md §5). [`Value`] is the typed view used at the API boundary:
+//! query construction, result display, and tests.
+
+use std::fmt;
+use std::sync::Arc;
+
+use reopt_common::FxHashMap;
+
+/// A typed scalar at the API surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit integer (also carries dates as epoch days and money as cents).
+    Int(i64),
+    /// 64-bit float — produced by aggregation, never stored in base tables.
+    Float(f64),
+    /// A string; stored dictionary-coded.
+    Str(Arc<str>),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The float payload, widening ints.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+/// Sentinel `i64` used to encode NULL inside storage columns.
+///
+/// `i64::MIN` never occurs in generated data (domains are small positive
+/// ranges), and the stats/executor layers treat it specially.
+pub const NULL_SENTINEL: i64 = i64::MIN;
+
+/// An interning dictionary mapping strings to dense `i64` codes.
+///
+/// Dictionary codes are assigned in first-insertion order, so code order is
+/// *not* lexicographic; equality predicates are exact, range predicates over
+/// dictionary columns are rejected by the planner.
+#[derive(Debug, Clone, Default)]
+pub struct StringDict {
+    by_code: Vec<Arc<str>>,
+    by_str: FxHashMap<Arc<str>, i64>,
+}
+
+impl StringDict {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its code (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> i64 {
+        if let Some(&code) = self.by_str.get(s) {
+            return code;
+        }
+        let code = self.by_code.len() as i64;
+        let arc: Arc<str> = Arc::from(s);
+        self.by_code.push(arc.clone());
+        self.by_str.insert(arc, code);
+        code
+    }
+
+    /// Look up an existing code without interning.
+    pub fn code_of(&self, s: &str) -> Option<i64> {
+        self.by_str.get(s).copied()
+    }
+
+    /// The string for `code`, if in range.
+    pub fn lookup(&self, code: i64) -> Option<&Arc<str>> {
+        usize::try_from(code).ok().and_then(|i| self.by_code.get(i))
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.by_code.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_code.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_float(), Some(5.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Float(2.5).as_int(), None);
+        assert_eq!(Value::from("abc").as_str(), Some("abc"));
+        assert_eq!(Value::Null.as_int(), None);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::from("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn dict_interning_is_stable() {
+        let mut d = StringDict::new();
+        let a = d.intern("ASIA");
+        let b = d.intern("EUROPE");
+        let a2 = d.intern("ASIA");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.lookup(a).map(|s| &**s), Some("ASIA"));
+        assert_eq!(d.code_of("EUROPE"), Some(b));
+        assert_eq!(d.code_of("AFRICA"), None);
+        assert_eq!(d.lookup(99), None);
+        assert_eq!(d.lookup(-1), None);
+    }
+
+    #[test]
+    fn codes_are_dense_from_zero() {
+        let mut d = StringDict::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("c"), 2);
+    }
+}

@@ -1,0 +1,14 @@
+//! Workload generators and query templates for the paper's evaluation:
+//!
+//! * [`tpch`] — TPC-H-like schema/data (uniform and skewed z=1) with the
+//!   21 query templates of §5.2, including the correlated "hard" set,
+//! * [`ott`] — the Optimizer Torture Test of §4,
+//! * [`tpcds`] — the TPC-DS-like workload of Appendix A.2 (incl. Q50'),
+//! * [`zipf`] — the shared Zipfian sampler (TPCDSkew's `z` knob).
+
+pub mod ott;
+pub mod tpcds;
+pub mod tpch;
+pub mod zipf;
+
+pub use zipf::Zipf;

@@ -1,0 +1,421 @@
+//! The Optimizer Torture Test (§4): database, queries, and the Appendix D
+//! closed-form size analysis.
+//!
+//! Design recap:
+//!
+//! * K relations `R_k(A_k, B_k)` with `B_k = A_k` (Algorithm 2's extreme
+//!   correlation), `Pr(A_k)` uniform;
+//! * queries `σ(A_1=c_1 ∧ … ∧ A_K=c_K)(R_1 ⋈_{B} R_2 ⋈_B … ⋈_B R_K)`
+//!   joined in a chain on the B columns;
+//! * a query is non-empty iff `c_1 = … = c_K` (Equation 3), in which case
+//!   it produces `Π_k rows_k / n(A_k)` tuples, while histogram-based
+//!   optimizers estimate the *same* cardinality either way (Lemma 4).
+//!
+//! The paper extends the six largest TPC-H tables with the (A, B) columns
+//! of a 1 GB database; at library scale we generate six standalone tables
+//! whose relative sizes follow those TPC-H tables. `rows_per_value`
+//! controls the blow-up factor M (the paper's ≈100; scaled down by default
+//! so the worst plans stay painful-but-runnable — see DESIGN.md).
+
+use rand::RngExt;
+use reopt_common::rng::derive_rng;
+use reopt_common::{ColId, RelId, Result};
+use reopt_plan::query::ColRef;
+use reopt_plan::{Predicate, Query, QueryBuilder};
+use reopt_storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema};
+
+/// Column index of `A` in every OTT table.
+pub const COL_A: ColId = ColId::new(0);
+/// Column index of `B` in every OTT table.
+pub const COL_B: ColId = ColId::new(1);
+
+/// OTT database configuration.
+#[derive(Debug, Clone)]
+pub struct OttConfig {
+    /// Rows per distinct value — the paper's M ≈ 100. The non-empty
+    /// j-table sub-join produces M^j rows, so the default is scaled down
+    /// to keep bad plans runnable in CI while preserving the
+    /// orders-of-magnitude gap.
+    pub rows_per_value: usize,
+    /// Relative table sizes (in distinct values) for the six tables,
+    /// echoing lineitem : orders : partsupp : part : customer : supplier.
+    pub distinct_values: [usize; 6],
+    /// Generator seed (Algorithm 2 draws one independent stream per
+    /// relation).
+    pub seed: u64,
+    /// Shuffle each column independently (keeps A=B pairing intact) so
+    /// rows are not value-clustered on disk order.
+    pub shuffle: bool,
+}
+
+impl Default for OttConfig {
+    fn default() -> Self {
+        OttConfig {
+            rows_per_value: 20,
+            distinct_values: [600, 150, 80, 40, 30, 10],
+            seed: 0x077,
+            shuffle: true,
+        }
+    }
+}
+
+/// The sampling ratio that preserves the paper's *effective* sample
+/// statistic on a scaled-down OTT database.
+///
+/// The paper samples 5% of tables holding ~100 rows per distinct value,
+/// i.e. ~5 sampled rows per value group — enough for the Haas estimator to
+/// tell empty joins from non-empty ones. A scaled-down database with
+/// `rows_per_value` = M needs ratio ≈ 5/M for the same discrimination
+/// power (DESIGN.md lists this under substitutions).
+pub fn recommended_sample_ratio(config: &OttConfig) -> f64 {
+    (5.0 / config.rows_per_value as f64).clamp(0.05, 1.0)
+}
+
+/// Names of the six OTT tables.
+pub const OTT_TABLE_NAMES: [&str; 6] = [
+    "ott_lineitem",
+    "ott_orders",
+    "ott_partsupp",
+    "ott_part",
+    "ott_customer",
+    "ott_supplier",
+];
+
+/// Generate the OTT database (Algorithm 2): for each table, draw A
+/// uniformly, set B = A, and index both columns.
+pub fn build_ott_database(config: &OttConfig) -> Result<Database> {
+    let mut db = Database::new();
+    for (t, name) in OTT_TABLE_NAMES.iter().enumerate() {
+        let values = config.distinct_values[t];
+        let rows = values * config.rows_per_value;
+        // Algorithm 2 line 2: an independent seed per relation.
+        let mut rng = derive_rng(config.seed, &format!("ott:{name}"));
+        let mut a: Vec<i64> = (0..rows).map(|i| (i % values) as i64).collect();
+        if config.shuffle {
+            for i in (1..a.len()).rev() {
+                let j = rng.random_range(0..=i);
+                a.swap(i, j);
+            }
+        }
+        let b = a.clone(); // Algorithm 2 line 4: B_k = A_k
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("a", LogicalType::Int),
+                ColumnDef::new("b", LogicalType::Int),
+            ])?;
+            let mut tbl = Table::new(
+                id,
+                *name,
+                schema,
+                vec![
+                    Column::from_i64(LogicalType::Int, a.clone()),
+                    Column::from_i64(LogicalType::Int, b.clone()),
+                ],
+            )?;
+            tbl.create_index(COL_A)?;
+            tbl.create_index(COL_B)?;
+            Ok(tbl)
+        })?;
+    }
+    Ok(db)
+}
+
+/// Build one OTT query over the first `constants.len()` tables:
+/// selections `A_k = constants[k]`, chain joins `B_k = B_{k+1}`.
+pub fn ott_query(db: &Database, constants: &[i64]) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let mut rels: Vec<RelId> = Vec::with_capacity(constants.len());
+    for (k, &c) in constants.iter().enumerate() {
+        let table = db.table_by_name(OTT_TABLE_NAMES[k])?.id();
+        let rel = qb.add_relation(table);
+        qb.add_predicate(Predicate::eq(rel, COL_A, c));
+        rels.push(rel);
+    }
+    for w in rels.windows(2) {
+        qb.add_join(ColRef::new(w[0], COL_B), ColRef::new(w[1], COL_B));
+    }
+    Ok(qb.build())
+}
+
+/// The §5.3 query suites: `n` tables with `m` selections `A = 0` and the
+/// rest `A = 1`, in every arrangement, plus the 0/1-swapped variants —
+/// 10 queries for (n=5, m=4) and 30 for (n=6, m=4), as in the paper.
+pub fn ott_query_suite(n: usize, m: usize) -> Vec<Vec<i64>> {
+    assert!(m <= n && n <= 6);
+    let mut out = Vec::new();
+    // Choose which positions carry the minority constant.
+    let minority = n - m;
+    let mut positions: Vec<usize> = (0..minority).collect();
+    loop {
+        for &(maj, min) in &[(0i64, 1i64), (1, 0)] {
+            let mut consts = vec![maj; n];
+            for &p in &positions {
+                consts[p] = min;
+            }
+            out.push(consts);
+        }
+        // Next combination of `minority` positions out of n.
+        let mut i = minority;
+        loop {
+            if i == 0 {
+                return dedup_preserving_order(out);
+            }
+            i -= 1;
+            if positions[i] != i + n - minority {
+                positions[i] += 1;
+                for j in i + 1..minority {
+                    positions[j] = positions[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn dedup_preserving_order(v: Vec<Vec<i64>>) -> Vec<Vec<i64>> {
+    let mut seen = std::collections::HashSet::new();
+    v.into_iter().filter(|c| seen.insert(c.clone())).collect()
+}
+
+/// Appendix D: true size of an OTT query when Equation 3 holds
+/// (`Π_k rows_k / n(A_k)`), zero otherwise.
+pub fn true_query_size(config: &OttConfig, constants: &[i64]) -> f64 {
+    let all_equal = constants.windows(2).all(|w| w[0] == w[1]);
+    if !all_equal {
+        return 0.0;
+    }
+    constants
+        .iter()
+        .enumerate()
+        .map(|(k, _)| {
+            let values = config.distinct_values[k] as f64;
+            let rows = values * config.rows_per_value as f64;
+            rows / values // = rows_per_value
+        })
+        .product()
+}
+
+/// Appendix D: the optimizer's estimate `(1/L^{K-1}) Π_k rows_k/n(A_k)`
+/// under exact per-column histograms and AVI, with `L` the (shared)
+/// domain size of the join columns. The estimate is identical whether the
+/// query is empty or not. For heterogeneous domains we use the paper's
+/// formula with `L = max_k n(B_k)` as the System-R rule would.
+pub fn estimated_query_size(config: &OttConfig, k: usize) -> f64 {
+    let m = config.rows_per_value as f64;
+    // Filtered relation k carries ~M rows; nd clamps to min(L_k, M).
+    let mut est = m; // rows of the first filtered relation
+    for t in 1..k {
+        let l = config.distinct_values[t].min(config.distinct_values[t - 1]) as f64;
+        let nd = l.min(m);
+        est = est * m / nd.max(1.0);
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::TableId;
+    use reopt_executor::execute_query;
+    use reopt_plan::physical::PlanNodeInfo;
+    use reopt_plan::{AccessPath, JoinAlgo, PhysicalPlan};
+
+    fn tiny_config() -> OttConfig {
+        OttConfig {
+            rows_per_value: 5,
+            distinct_values: [40, 30, 20, 10, 8, 6],
+            seed: 9,
+            shuffle: true,
+        }
+    }
+
+    #[test]
+    fn database_shape_follows_config() {
+        let cfg = tiny_config();
+        let db = build_ott_database(&cfg).unwrap();
+        assert_eq!(db.len(), 6);
+        let li = db.table_by_name("ott_lineitem").unwrap();
+        assert_eq!(li.row_count(), 40 * 5);
+        assert!(li.has_index(COL_A));
+        assert!(li.has_index(COL_B));
+    }
+
+    #[test]
+    fn b_equals_a_everywhere() {
+        let cfg = tiny_config();
+        let db = build_ott_database(&cfg).unwrap();
+        for name in OTT_TABLE_NAMES {
+            let t = db.table_by_name(name).unwrap();
+            assert_eq!(
+                t.column(COL_A).unwrap().data(),
+                t.column(COL_B).unwrap().data(),
+                "B != A in {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn each_value_appears_rows_per_value_times() {
+        let cfg = tiny_config();
+        let db = build_ott_database(&cfg).unwrap();
+        let t = db.table_by_name("ott_part").unwrap();
+        let mut counts = std::collections::HashMap::new();
+        for &v in t.column(COL_A).unwrap().data() {
+            *counts.entry(v).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 10);
+        assert!(counts.values().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn suite_counts_match_paper() {
+        // (n=5, m=4) → 10 queries; (n=6, m=4) → 30 queries.
+        assert_eq!(ott_query_suite(5, 4).len(), 10);
+        assert_eq!(ott_query_suite(6, 4).len(), 30);
+        // All constants vectors distinct.
+        let suite = ott_query_suite(6, 4);
+        let set: std::collections::HashSet<_> = suite.iter().collect();
+        assert_eq!(set.len(), 30);
+    }
+
+    #[test]
+    fn true_size_formula_matches_execution() {
+        let cfg = tiny_config();
+        let db = build_ott_database(&cfg).unwrap();
+        // Non-empty 2-table query: all constants 0.
+        let q = ott_query(&db, &[0, 0]).unwrap();
+        let plan = PhysicalPlan::Join {
+            algo: JoinAlgo::Hash,
+            left: Box::new(PhysicalPlan::Scan {
+                rel: RelId::new(0),
+                table: TableId::new(0),
+                access: AccessPath::SeqScan,
+                info: PlanNodeInfo::default(),
+            }),
+            right: Box::new(PhysicalPlan::Scan {
+                rel: RelId::new(1),
+                table: TableId::new(1),
+                access: AccessPath::SeqScan,
+                info: PlanNodeInfo::default(),
+            }),
+            keys: vec![(
+                ColRef::new(RelId::new(0), COL_B),
+                ColRef::new(RelId::new(1), COL_B),
+            )],
+            info: PlanNodeInfo::default(),
+        };
+        let rows = execute_query(&db, &q, &plan).unwrap();
+        assert_eq!(rows as f64, true_query_size(&cfg, &[0, 0]));
+        assert_eq!(true_query_size(&cfg, &[0, 0]), 25.0); // M² = 5²
+
+        // Empty query: mixed constants.
+        let q = ott_query(&db, &[0, 1]).unwrap();
+        let rows = execute_query(&db, &q, &plan).unwrap();
+        assert_eq!(rows, 0);
+        assert_eq!(true_query_size(&cfg, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn estimate_is_independent_of_constants() {
+        // Lemma 4's punchline is captured by `estimated_query_size` taking
+        // only K, never the constants.
+        let cfg = tiny_config();
+        let e3 = estimated_query_size(&cfg, 3);
+        assert!(e3 > 0.0);
+        // M = 5, nd clamp 5: est = 5 · (5/5) · (5/5) = 5.
+        assert!((e3 - 5.0).abs() < 1e-9);
+    }
+
+    /// Appendix C / Example 3: the joint distribution cannot be recovered
+    /// from per-relation marginals. Generate (A1, A2) jointly with
+    /// p(0,0)=0.1, p(1,1)=0.9; after projecting to marginals (what split
+    /// tables preserve), the natural cross-product inference yields
+    /// p'(0,0)=0.01, p'(1,1)=0.81 — the "observed" distribution the paper
+    /// derives, and the one the OTT join actually produces.
+    #[test]
+    fn appendix_c_marginals_lose_the_joint_distribution() {
+        let n = 10_000usize;
+        // True joint: 10% (0,0), 90% (1,1) — deterministic construction.
+        let a1: Vec<i64> = (0..n).map(|i| (i >= n / 10) as i64).collect();
+        let a2 = a1.clone();
+        // Cross product of the marginals (what joining the split tables on
+        // a trivially-true key would see): count pairs.
+        let count1 = |v: i64| a1.iter().filter(|&&x| x == v).count() as f64 / n as f64;
+        let count2 = |v: i64| a2.iter().filter(|&&x| x == v).count() as f64 / n as f64;
+        let p00_cross = count1(0) * count2(0);
+        let p11_cross = count1(1) * count2(1);
+        let p01_cross = count1(0) * count2(1);
+        assert!((p00_cross - 0.01).abs() < 1e-9);
+        assert!((p11_cross - 0.81).abs() < 1e-9);
+        assert!((p01_cross - 0.09).abs() < 1e-9);
+        // The true joint differs: p(0,0)=0.1, p(0,1)=0.
+        let p00_true = a1
+            .iter()
+            .zip(&a2)
+            .filter(|(x, y)| **x == 0 && **y == 0)
+            .count() as f64
+            / n as f64;
+        let p01_true = a1
+            .iter()
+            .zip(&a2)
+            .filter(|(x, y)| **x == 0 && **y == 1)
+            .count() as f64
+            / n as f64;
+        assert!((p00_true - 0.1).abs() < 1e-9);
+        assert_eq!(p01_true, 0.0);
+        // Hence Algorithm 2 generates per-relation data with B = A instead
+        // of splitting a jointly-generated table (the paper's point).
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = tiny_config();
+        let a = build_ott_database(&cfg).unwrap();
+        let b = build_ott_database(&cfg).unwrap();
+        for name in OTT_TABLE_NAMES {
+            assert_eq!(
+                a.table_by_name(name).unwrap().column(COL_A).unwrap().data(),
+                b.table_by_name(name).unwrap().column(COL_A).unwrap().data()
+            );
+        }
+    }
+
+    #[test]
+    fn recommended_ratio_preserves_effective_sample() {
+        let c = OttConfig {
+            rows_per_value: 20,
+            ..Default::default()
+        };
+        assert!((recommended_sample_ratio(&c) - 0.25).abs() < 1e-12);
+        let c = OttConfig {
+            rows_per_value: 100,
+            ..Default::default()
+        };
+        assert!((recommended_sample_ratio(&c) - 0.05).abs() < 1e-12);
+        let c = OttConfig {
+            rows_per_value: 2,
+            ..Default::default()
+        };
+        assert_eq!(recommended_sample_ratio(&c), 1.0);
+    }
+
+    #[test]
+    fn query_structure_is_a_chain() {
+        let cfg = tiny_config();
+        let db = build_ott_database(&cfg).unwrap();
+        let q = ott_query(&db, &[0, 0, 0, 1, 1]).unwrap();
+        assert_eq!(q.num_relations(), 5);
+        assert_eq!(q.joins.len(), 4);
+        assert!(q.validate(&db).is_ok());
+        let g = q.join_graph();
+        // Chain: endpoints have degree 1.
+        assert_eq!(
+            g.neighbors(reopt_common::RelSet::single(RelId::new(0))).len(),
+            1
+        );
+        assert_eq!(
+            g.neighbors(reopt_common::RelSet::single(RelId::new(4))).len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! TPC-DS-like data generation.
+
+use rand::RngExt;
+
+use crate::tpcds::{cols, DATE_DOMAIN_DAYS};
+use crate::zipf::Zipf;
+use reopt_common::rng::derive_rng;
+use reopt_common::Result;
+use reopt_storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpcdsConfig {
+    /// Fraction of the reference size (1.0 → store_sales ≈ 120 k rows).
+    pub scale: f64,
+    /// Zipf exponent for item/customer popularity.
+    pub zipf_z: f64,
+    /// Fraction of store sales that get returned.
+    pub return_rate: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TpcdsConfig {
+    fn default() -> Self {
+        TpcdsConfig {
+            scale: 1.0,
+            zipf_z: 0.0,
+            return_rate: 0.10,
+            seed: 0xd5,
+        }
+    }
+}
+
+/// Number of item brands.
+pub const NUM_BRANDS: usize = 50;
+/// Number of item categories.
+pub const NUM_CATEGORIES: usize = 10;
+/// Number of store states.
+pub const NUM_STATES: usize = 10;
+/// Number of ship-mode types.
+pub const NUM_SM_TYPES: usize = 5;
+
+/// Build the TPC-DS-like database.
+pub fn build_tpcds_database(config: &TpcdsConfig) -> Result<Database> {
+    let s = config.scale.max(0.01);
+    let n_items = ((2000.0 * s) as usize).max(50);
+    let n_stores = 12usize;
+    let n_customers = ((5000.0 * s) as usize).max(50);
+    let n_warehouses = 5usize;
+    let n_ship_modes = 20usize;
+    let n_web_sites = 10usize;
+    let n_store_sales = ((120_000.0 * s) as usize).max(500);
+    let n_web_sales = ((30_000.0 * s) as usize).max(200);
+
+    let mut db = Database::new();
+    let int = |v: Vec<i64>| Column::from_i64(LogicalType::Int, v);
+    let date = |v: Vec<i64>| Column::from_i64(LogicalType::Date, v);
+    let money = |v: Vec<i64>| Column::from_i64(LogicalType::Money, v);
+
+    // --- date_dim --------------------------------------------------------
+    db.add_table_with(|id| {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("d_date_sk", LogicalType::Int),
+            ColumnDef::new("d_year", LogicalType::Int),
+            ColumnDef::new("d_moy", LogicalType::Int),
+            ColumnDef::new("d_qoy", LogicalType::Int),
+        ])?;
+        let days: Vec<i64> = (0..DATE_DOMAIN_DAYS).collect();
+        let mut t = Table::new(
+            id,
+            "date_dim",
+            schema,
+            vec![
+                int(days.clone()),
+                int(days.iter().map(|d| d / 365).collect()),
+                int(days.iter().map(|d| (d % 365) / 31).collect()),
+                int(days.iter().map(|d| ((d % 365) / 31) / 3).collect()),
+            ],
+        )?;
+        t.create_index(cols::date_dim::DATE_SK)?;
+        t.create_index(cols::date_dim::YEAR)?;
+        Ok(t)
+    })?;
+
+    // --- item ------------------------------------------------------------
+    {
+        let mut rng = derive_rng(config.seed, "item");
+        let brands: Vec<String> = (0..NUM_BRANDS).map(|i| format!("DSBRAND#{i:03}")).collect();
+        let cats: Vec<String> = (0..NUM_CATEGORIES).map(|i| format!("CAT#{i:02}")).collect();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("i_item_sk", LogicalType::Int),
+                ColumnDef::new("i_brand", LogicalType::Dict),
+                ColumnDef::new("i_category", LogicalType::Dict),
+                ColumnDef::new("i_price", LogicalType::Money),
+            ])?;
+            let bcol: Vec<&str> = (0..n_items)
+                .map(|_| brands[rng.random_range(0..NUM_BRANDS)].as_str())
+                .collect();
+            let ccol: Vec<&str> = (0..n_items)
+                .map(|_| cats[rng.random_range(0..NUM_CATEGORIES)].as_str())
+                .collect();
+            let mut t = Table::new(
+                id,
+                "item",
+                schema,
+                vec![
+                    int((0..n_items as i64).collect()),
+                    Column::from_strings(&bcol),
+                    Column::from_strings(&ccol),
+                    money((0..n_items).map(|_| rng.random_range(100..50_000i64)).collect()),
+                ],
+            )?;
+            t.create_index(cols::item::ITEM_SK)?;
+            t.create_index(cols::item::BRAND)?;
+            t.create_index(cols::item::CATEGORY)?;
+            Ok(t)
+        })?;
+    }
+
+    // --- store -----------------------------------------------------------
+    {
+        let mut rng = derive_rng(config.seed, "store");
+        let states: Vec<String> = (0..NUM_STATES).map(|i| format!("ST{i:02}")).collect();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("s_store_sk", LogicalType::Int),
+                ColumnDef::new("s_state", LogicalType::Dict),
+            ])?;
+            let scol: Vec<&str> = (0..n_stores)
+                .map(|_| states[rng.random_range(0..NUM_STATES)].as_str())
+                .collect();
+            let mut t = Table::new(
+                id,
+                "store",
+                schema,
+                vec![int((0..n_stores as i64).collect()), Column::from_strings(&scol)],
+            )?;
+            t.create_index(cols::store::STORE_SK)?;
+            Ok(t)
+        })?;
+    }
+
+    // --- customer --------------------------------------------------------
+    {
+        let mut rng = derive_rng(config.seed, "ds-customer");
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("c_customer_sk", LogicalType::Int),
+                ColumnDef::new("c_birth_year", LogicalType::Int),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "ds_customer",
+                schema,
+                vec![
+                    int((0..n_customers as i64).collect()),
+                    int((0..n_customers)
+                        .map(|_| rng.random_range(1930..2005i64))
+                        .collect()),
+                ],
+            )?;
+            t.create_index(cols::customer::CUST_SK)?;
+            Ok(t)
+        })?;
+    }
+
+    // --- warehouse / ship_mode / web_site ---------------------------------
+    db.add_table_with(|id| {
+        let schema = TableSchema::new(vec![ColumnDef::new("w_warehouse_sk", LogicalType::Int)])?;
+        let mut t = Table::new(
+            id,
+            "warehouse",
+            schema,
+            vec![int((0..n_warehouses as i64).collect())],
+        )?;
+        t.create_index(cols::warehouse::WAREHOUSE_SK)?;
+        Ok(t)
+    })?;
+    {
+        let mut rng = derive_rng(config.seed, "ship_mode");
+        let types: Vec<String> = (0..NUM_SM_TYPES).map(|i| format!("SMTYPE#{i}")).collect();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("sm_ship_mode_sk", LogicalType::Int),
+                ColumnDef::new("sm_type", LogicalType::Dict),
+            ])?;
+            let tcol: Vec<&str> = (0..n_ship_modes)
+                .map(|_| types[rng.random_range(0..NUM_SM_TYPES)].as_str())
+                .collect();
+            let mut t = Table::new(
+                id,
+                "ship_mode",
+                schema,
+                vec![
+                    int((0..n_ship_modes as i64).collect()),
+                    Column::from_strings(&tcol),
+                ],
+            )?;
+            t.create_index(cols::ship_mode::SHIP_MODE_SK)?;
+            Ok(t)
+        })?;
+    }
+    db.add_table_with(|id| {
+        let schema = TableSchema::new(vec![ColumnDef::new("web_site_sk", LogicalType::Int)])?;
+        let mut t = Table::new(
+            id,
+            "web_site",
+            schema,
+            vec![int((0..n_web_sites as i64).collect())],
+        )?;
+        t.create_index(cols::web_site::SITE_SK)?;
+        Ok(t)
+    })?;
+
+    // --- store_sales + store_returns --------------------------------------
+    {
+        let mut rng = derive_rng(config.seed, "store_sales");
+        let item_dist = Zipf::new(n_items, config.zipf_z);
+        let cust_dist = Zipf::new(n_customers, config.zipf_z);
+        let mut sold = Vec::with_capacity(n_store_sales);
+        let mut item = Vec::with_capacity(n_store_sales);
+        let mut store = Vec::with_capacity(n_store_sales);
+        let mut cust = Vec::with_capacity(n_store_sales);
+        let mut ticket = Vec::with_capacity(n_store_sales);
+        let mut qty = Vec::with_capacity(n_store_sales);
+        let mut price = Vec::with_capacity(n_store_sales);
+        // Returns are derived from sales: matching (item, ticket) and a
+        // returned date 1..=60 days after the sale — the correlation the
+        // q50p experiment leans on.
+        let mut r_date = Vec::new();
+        let mut r_item = Vec::new();
+        let mut r_ticket = Vec::new();
+        let mut r_amt = Vec::new();
+        for k in 0..n_store_sales {
+            let d = rng.random_range(0..DATE_DOMAIN_DAYS - 61);
+            sold.push(d);
+            let it = item_dist.sample(&mut rng) as i64;
+            item.push(it);
+            store.push(rng.random_range(0..n_stores as i64));
+            cust.push(cust_dist.sample(&mut rng) as i64);
+            ticket.push(k as i64);
+            qty.push(rng.random_range(1..=100i64));
+            price.push(rng.random_range(100..50_000i64));
+            if rng.random_bool(config.return_rate.clamp(0.0, 1.0)) {
+                r_date.push(d + rng.random_range(1..=60i64));
+                r_item.push(it);
+                r_ticket.push(k as i64);
+                r_amt.push(rng.random_range(100..50_000i64));
+            }
+        }
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("ss_sold_date_sk", LogicalType::Date),
+                ColumnDef::new("ss_item_sk", LogicalType::Int),
+                ColumnDef::new("ss_store_sk", LogicalType::Int),
+                ColumnDef::new("ss_customer_sk", LogicalType::Int),
+                ColumnDef::new("ss_ticket_number", LogicalType::Int),
+                ColumnDef::new("ss_quantity", LogicalType::Int),
+                ColumnDef::new("ss_sales_price", LogicalType::Money),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "store_sales",
+                schema,
+                vec![
+                    date(sold.clone()),
+                    int(item.clone()),
+                    int(store.clone()),
+                    int(cust.clone()),
+                    int(ticket.clone()),
+                    int(qty.clone()),
+                    money(price.clone()),
+                ],
+            )?;
+            t.create_index(cols::store_sales::SOLD_DATE_SK)?;
+            t.create_index(cols::store_sales::ITEM_SK)?;
+            t.create_index(cols::store_sales::STORE_SK)?;
+            t.create_index(cols::store_sales::CUST_SK)?;
+            t.create_index(cols::store_sales::TICKET)?;
+            Ok(t)
+        })?;
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("sr_returned_date_sk", LogicalType::Date),
+                ColumnDef::new("sr_item_sk", LogicalType::Int),
+                ColumnDef::new("sr_ticket_number", LogicalType::Int),
+                ColumnDef::new("sr_return_amt", LogicalType::Money),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "store_returns",
+                schema,
+                vec![
+                    date(r_date.clone()),
+                    int(r_item.clone()),
+                    int(r_ticket.clone()),
+                    money(r_amt.clone()),
+                ],
+            )?;
+            t.create_index(cols::store_returns::ITEM_SK)?;
+            t.create_index(cols::store_returns::TICKET)?;
+            Ok(t)
+        })?;
+    }
+
+    // --- web_sales ---------------------------------------------------------
+    {
+        let mut rng = derive_rng(config.seed, "web_sales");
+        let item_dist = Zipf::new(n_items, config.zipf_z);
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("ws_sold_date_sk", LogicalType::Date),
+                ColumnDef::new("ws_item_sk", LogicalType::Int),
+                ColumnDef::new("ws_warehouse_sk", LogicalType::Int),
+                ColumnDef::new("ws_ship_mode_sk", LogicalType::Int),
+                ColumnDef::new("ws_web_site_sk", LogicalType::Int),
+                ColumnDef::new("ws_quantity", LogicalType::Int),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "web_sales",
+                schema,
+                vec![
+                    date((0..n_web_sales)
+                        .map(|_| rng.random_range(0..DATE_DOMAIN_DAYS))
+                        .collect()),
+                    int((0..n_web_sales)
+                        .map(|_| item_dist.sample(&mut rng) as i64)
+                        .collect()),
+                    int((0..n_web_sales)
+                        .map(|_| rng.random_range(0..n_warehouses as i64))
+                        .collect()),
+                    int((0..n_web_sales)
+                        .map(|_| rng.random_range(0..n_ship_modes as i64))
+                        .collect()),
+                    int((0..n_web_sales)
+                        .map(|_| rng.random_range(0..n_web_sites as i64))
+                        .collect()),
+                    int((0..n_web_sales)
+                        .map(|_| rng.random_range(1..=100i64))
+                        .collect()),
+                ],
+            )?;
+            t.create_index(cols::web_sales::ITEM_SK)?;
+            t.create_index(cols::web_sales::SOLD_DATE_SK)?;
+            Ok(t)
+        })?;
+    }
+
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcds::tables;
+
+    fn tiny() -> TpcdsConfig {
+        TpcdsConfig {
+            scale: 0.05,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ids_and_names_line_up() {
+        let db = build_tpcds_database(&tiny()).unwrap();
+        assert_eq!(db.table_id("date_dim").unwrap(), tables::DATE_DIM);
+        assert_eq!(db.table_id("item").unwrap(), tables::ITEM);
+        assert_eq!(db.table_id("store").unwrap(), tables::STORE);
+        assert_eq!(db.table_id("ds_customer").unwrap(), tables::CUSTOMER);
+        assert_eq!(db.table_id("warehouse").unwrap(), tables::WAREHOUSE);
+        assert_eq!(db.table_id("ship_mode").unwrap(), tables::SHIP_MODE);
+        assert_eq!(db.table_id("web_site").unwrap(), tables::WEB_SITE);
+        assert_eq!(db.table_id("store_sales").unwrap(), tables::STORE_SALES);
+        assert_eq!(db.table_id("store_returns").unwrap(), tables::STORE_RETURNS);
+        assert_eq!(db.table_id("web_sales").unwrap(), tables::WEB_SALES);
+    }
+
+    #[test]
+    fn returns_match_sales() {
+        let db = build_tpcds_database(&tiny()).unwrap();
+        let ss = db.table(tables::STORE_SALES).unwrap();
+        let sr = db.table(tables::STORE_RETURNS).unwrap();
+        // ~10% return rate.
+        let ratio = sr.row_count() as f64 / ss.row_count() as f64;
+        assert!((0.05..0.15).contains(&ratio), "return ratio {ratio}");
+        // Every return's ticket refers to a sale with the same item, and
+        // the returned date is 1..=60 days after the sale.
+        let ss_item = ss.column(cols::store_sales::ITEM_SK).unwrap().data();
+        let ss_date = ss.column(cols::store_sales::SOLD_DATE_SK).unwrap().data();
+        let sr_item = sr.column(cols::store_returns::ITEM_SK).unwrap().data();
+        let sr_ticket = sr.column(cols::store_returns::TICKET).unwrap().data();
+        let sr_date = sr.column(cols::store_returns::RETURNED_DATE_SK).unwrap().data();
+        for i in 0..sr.row_count() {
+            let sale_row = sr_ticket[i] as usize; // tickets are row ids
+            assert_eq!(sr_item[i], ss_item[sale_row]);
+            let gap = sr_date[i] - ss_date[sale_row];
+            assert!((1..=60).contains(&gap), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn date_dim_covers_domain() {
+        let db = build_tpcds_database(&tiny()).unwrap();
+        let dd = db.table(tables::DATE_DIM).unwrap();
+        assert_eq!(dd.row_count() as i64, DATE_DOMAIN_DAYS);
+        let years = dd.column(cols::date_dim::YEAR).unwrap().data();
+        assert_eq!(years[0], 0);
+        assert_eq!(years[(DATE_DOMAIN_DAYS - 1) as usize], 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = build_tpcds_database(&tiny()).unwrap();
+        let b = build_tpcds_database(&tiny()).unwrap();
+        assert_eq!(
+            a.table(tables::STORE_SALES).unwrap().column(cols::store_sales::ITEM_SK).unwrap().data(),
+            b.table(tables::STORE_SALES).unwrap().column(cols::store_sales::ITEM_SK).unwrap().data()
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! TPC-DS-like benchmark workload (Appendix A.2 of the paper).
+//!
+//! A star/snowflake subset: two fact tables (`store_sales`, `web_sales`),
+//! a returns fact (`store_returns`) generated *from* store sales so the
+//! (item, ticket) linkage and the sold-to-returned date correlation are
+//! real, plus the dimensions the paper's discussed queries touch
+//! (`date_dim`, `item`, `store`, `customer`, `warehouse`, `ship_mode`,
+//! `web_site`).
+//!
+//! Query templates model the subset of the paper's 29 TPC-DS queries whose
+//! behaviour Appendix A.2 analyses — including `q50` (accurate estimates,
+//! no plan change) and the paper's hand-tweaked `q50p` variant whose
+//! correlated date windows re-optimization *does* improve by ~2×.
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{build_tpcds_database, TpcdsConfig};
+pub use queries::{all_template_names, instantiate, is_hard_template};
+
+use reopt_common::TableId;
+
+/// Fixed table ids, in generation order.
+pub mod tables {
+    use super::TableId;
+    /// `date_dim`
+    pub const DATE_DIM: TableId = TableId::new(0);
+    /// `item`
+    pub const ITEM: TableId = TableId::new(1);
+    /// `store`
+    pub const STORE: TableId = TableId::new(2);
+    /// `customer`
+    pub const CUSTOMER: TableId = TableId::new(3);
+    /// `warehouse`
+    pub const WAREHOUSE: TableId = TableId::new(4);
+    /// `ship_mode`
+    pub const SHIP_MODE: TableId = TableId::new(5);
+    /// `web_site`
+    pub const WEB_SITE: TableId = TableId::new(6);
+    /// `store_sales`
+    pub const STORE_SALES: TableId = TableId::new(7);
+    /// `store_returns`
+    pub const STORE_RETURNS: TableId = TableId::new(8);
+    /// `web_sales`
+    pub const WEB_SALES: TableId = TableId::new(9);
+}
+
+/// Column positions per table.
+pub mod cols {
+    use reopt_common::ColId;
+
+    /// `date_dim` columns.
+    pub mod date_dim {
+        use super::ColId;
+        /// Surrogate key = day number.
+        pub const DATE_SK: ColId = ColId::new(0);
+        /// Year 0..=6.
+        pub const YEAR: ColId = ColId::new(1);
+        /// Month of year 0..=11.
+        pub const MOY: ColId = ColId::new(2);
+        /// Quarter of year 0..=3.
+        pub const QOY: ColId = ColId::new(3);
+    }
+
+    /// `item` columns.
+    pub mod item {
+        use super::ColId;
+        /// Surrogate key.
+        pub const ITEM_SK: ColId = ColId::new(0);
+        /// Brand (dict, 50 values).
+        pub const BRAND: ColId = ColId::new(1);
+        /// Category (dict, 10 values).
+        pub const CATEGORY: ColId = ColId::new(2);
+        /// Current price (cents).
+        pub const PRICE: ColId = ColId::new(3);
+    }
+
+    /// `store` columns.
+    pub mod store {
+        use super::ColId;
+        /// Surrogate key.
+        pub const STORE_SK: ColId = ColId::new(0);
+        /// State (dict, 10 values).
+        pub const STATE: ColId = ColId::new(1);
+    }
+
+    /// `customer` columns.
+    pub mod customer {
+        use super::ColId;
+        /// Surrogate key.
+        pub const CUST_SK: ColId = ColId::new(0);
+        /// Birth year.
+        pub const BIRTH_YEAR: ColId = ColId::new(1);
+    }
+
+    /// `warehouse` columns.
+    pub mod warehouse {
+        use super::ColId;
+        /// Surrogate key.
+        pub const WAREHOUSE_SK: ColId = ColId::new(0);
+    }
+
+    /// `ship_mode` columns.
+    pub mod ship_mode {
+        use super::ColId;
+        /// Surrogate key.
+        pub const SHIP_MODE_SK: ColId = ColId::new(0);
+        /// Type (dict, 5 values).
+        pub const TYPE: ColId = ColId::new(1);
+    }
+
+    /// `web_site` columns.
+    pub mod web_site {
+        use super::ColId;
+        /// Surrogate key.
+        pub const SITE_SK: ColId = ColId::new(0);
+    }
+
+    /// `store_sales` columns.
+    pub mod store_sales {
+        use super::ColId;
+        /// FK → date_dim (sold date).
+        pub const SOLD_DATE_SK: ColId = ColId::new(0);
+        /// FK → item.
+        pub const ITEM_SK: ColId = ColId::new(1);
+        /// FK → store.
+        pub const STORE_SK: ColId = ColId::new(2);
+        /// FK → customer.
+        pub const CUST_SK: ColId = ColId::new(3);
+        /// Ticket number (shared with the matching return).
+        pub const TICKET: ColId = ColId::new(4);
+        /// Quantity.
+        pub const QUANTITY: ColId = ColId::new(5);
+        /// Sales price (cents).
+        pub const PRICE: ColId = ColId::new(6);
+    }
+
+    /// `store_returns` columns.
+    pub mod store_returns {
+        use super::ColId;
+        /// FK → date_dim (returned date; correlated with the sale date).
+        pub const RETURNED_DATE_SK: ColId = ColId::new(0);
+        /// FK → item (matches the sale's item).
+        pub const ITEM_SK: ColId = ColId::new(1);
+        /// Ticket number (matches the sale's ticket).
+        pub const TICKET: ColId = ColId::new(2);
+        /// Return amount (cents).
+        pub const RETURN_AMT: ColId = ColId::new(3);
+    }
+
+    /// `web_sales` columns.
+    pub mod web_sales {
+        use super::ColId;
+        /// FK → date_dim.
+        pub const SOLD_DATE_SK: ColId = ColId::new(0);
+        /// FK → item.
+        pub const ITEM_SK: ColId = ColId::new(1);
+        /// FK → warehouse.
+        pub const WAREHOUSE_SK: ColId = ColId::new(2);
+        /// FK → ship_mode.
+        pub const SHIP_MODE_SK: ColId = ColId::new(3);
+        /// FK → web_site.
+        pub const SITE_SK: ColId = ColId::new(4);
+        /// Quantity.
+        pub const QUANTITY: ColId = ColId::new(5);
+    }
+}
+
+/// Days in the date dimension (7 years).
+pub const DATE_DOMAIN_DAYS: i64 = 7 * 365;

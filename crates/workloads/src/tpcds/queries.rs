@@ -1,0 +1,942 @@
+//! TPC-DS-like query templates (the paper's Appendix A.2 subset).
+//!
+//! Sixteen templates named after the TPC-DS queries whose behaviour the
+//! paper discusses, plus `q50p` — the paper's hand-tweaked Q50 variant
+//! whose shifted dimension predicates interact with the sale→return date
+//! correlation and *do* benefit from re-optimization (the paper reports a
+//! 57% runtime reduction; everything else re-optimizes to the same plan).
+
+use rand::RngExt;
+
+use crate::tpcds::gen::{NUM_BRANDS, NUM_CATEGORIES};
+use crate::tpcds::{cols, tables};
+use reopt_common::rng::Rng;
+use reopt_common::{Error, Result};
+use reopt_plan::query::{AggExpr, AggSpec, ColRef};
+use reopt_plan::{Predicate, Query, QueryBuilder};
+use reopt_storage::Database;
+
+/// All template names — 29 stock templates (the paper's Appendix A.2
+/// count) plus the tweaked `q50p`.
+pub const TEMPLATE_NAMES: [&str; 30] = [
+    "q3", "q7", "q19", "q25", "q26", "q28", "q29", "q37", "q42", "q43", "q45", "q48", "q50",
+    "q50p", "q52", "q53", "q55", "q60", "q61", "q62", "q63", "q65", "q69", "q73", "q84", "q88",
+    "q91", "q93", "q96", "q99",
+];
+
+/// Template names in order.
+pub fn all_template_names() -> &'static [&'static str] {
+    &TEMPLATE_NAMES
+}
+
+/// The templates that stress correlated estimates (only `q50p`, by
+/// construction — the paper found the stock TPC-DS queries well-estimated).
+pub fn is_hard_template(name: &str) -> bool {
+    name == "q50p"
+}
+
+/// Build one randomized instance of template `name`.
+pub fn instantiate(db: &Database, name: &str, rng: &mut Rng) -> Result<Query> {
+    let _ = db;
+    match name {
+        "q3" => q3(rng),
+        "q7" => q7(rng),
+        "q19" => q19(rng),
+        "q25" => q25(rng),
+        "q26" => q26(rng),
+        "q28" => q28(rng),
+        "q29" => q29(rng),
+        "q37" => q37(rng),
+        "q42" => q42(rng),
+        "q43" => q43(rng),
+        "q45" => q45(rng),
+        "q48" => q48(rng),
+        "q50" => q50(rng, false),
+        "q50p" => q50(rng, true),
+        "q52" => q52(rng),
+        "q53" => q53(rng),
+        "q55" => q55(rng),
+        "q60" => q60(rng),
+        "q61" => q61(rng),
+        "q62" => q62(rng),
+        "q63" => q63(rng),
+        "q65" => q65(rng),
+        "q69" => q69(rng),
+        "q73" => q73(rng),
+        "q84" => q84(rng),
+        "q88" => q88(rng),
+        "q91" => q91(rng),
+        "q93" => q93(rng),
+        "q96" => q96(rng),
+        "q99" => q99(rng),
+        other => Err(Error::not_found(format!("TPC-DS template `{other}`"))),
+    }
+}
+
+fn brand(rng: &mut Rng) -> String {
+    format!("DSBRAND#{:03}", rng.random_range(0..NUM_BRANDS))
+}
+
+fn category(rng: &mut Rng) -> String {
+    format!("CAT#{:02}", rng.random_range(0..NUM_CATEGORIES))
+}
+
+fn year(rng: &mut Rng) -> i64 {
+    rng.random_range(0..7i64)
+}
+
+fn moy(rng: &mut Rng) -> i64 {
+    rng.random_range(0..12i64)
+}
+
+/// ss ⋈ date ⋈ item with brand/month filters (TPC-DS Q3 shape).
+fn q3(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
+    qb.add_predicate(Predicate::eq(i, cols::item::BRAND, brand(rng).as_str()));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(d, cols::date_dim::YEAR)],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ date ⋈ item ⋈ store (Q7 shape).
+fn q7(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    let s = qb.add_relation(tables::STORE);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::STORE_SK),
+        ColRef::new(s, cols::store::STORE_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::BRAND)],
+        aggs: vec![AggExpr::avg(ColRef::new(ss, cols::store_sales::QUANTITY))],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ date ⋈ item ⋈ customer ⋈ store (Q19 shape).
+fn q19(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    let c = qb.add_relation(tables::CUSTOMER);
+    let s = qb.add_relation(tables::STORE);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::CUST_SK),
+        ColRef::new(c, cols::customer::CUST_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::STORE_SK),
+        ColRef::new(s, cols::store::STORE_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
+    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::BRAND)],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ sr ⋈ d1 ⋈ d2 ⋈ store (Q25 shape: sale and its return).
+fn q25(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let sr = qb.add_relation(tables::STORE_RETURNS);
+    let d1 = qb.add_relation(tables::DATE_DIM);
+    let d2 = qb.add_relation(tables::DATE_DIM);
+    let s = qb.add_relation(tables::STORE);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(sr, cols::store_returns::ITEM_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::TICKET),
+        ColRef::new(sr, cols::store_returns::TICKET),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d1, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(sr, cols::store_returns::RETURNED_DATE_SK),
+        ColRef::new(d2, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::STORE_SK),
+        ColRef::new(s, cols::store::STORE_SK),
+    );
+    let y = year(rng);
+    qb.add_predicate(Predicate::eq(d1, cols::date_dim::YEAR, y));
+    qb.add_predicate(Predicate::eq(d2, cols::date_dim::YEAR, y));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(s, cols::store::STATE)],
+        aggs: vec![AggExpr::sum(ColRef::new(sr, cols::store_returns::RETURN_AMT))],
+    });
+    Ok(qb.build())
+}
+
+/// Single-table bucketed aggregate (Q28 shape — the paper notes it only
+/// touches one table, so re-optimization is a no-op by construction).
+fn q28(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let qlo = rng.random_range(1..=80i64);
+    qb.add_predicate(Predicate::between(
+        ss,
+        cols::store_sales::QUANTITY,
+        qlo,
+        qlo + 19,
+    ));
+    let plo = rng.random_range(100..40_000i64);
+    qb.add_predicate(Predicate::between(
+        ss,
+        cols::store_sales::PRICE,
+        plo,
+        plo + 9_999,
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![
+            AggExpr::avg(ColRef::new(ss, cols::store_sales::PRICE)),
+            AggExpr::count_star(),
+        ],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ sr ⋈ d1 ⋈ d2 ⋈ item (Q29 shape).
+fn q29(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let sr = qb.add_relation(tables::STORE_RETURNS);
+    let d1 = qb.add_relation(tables::DATE_DIM);
+    let d2 = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(sr, cols::store_returns::ITEM_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::TICKET),
+        ColRef::new(sr, cols::store_returns::TICKET),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d1, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(sr, cols::store_returns::RETURNED_DATE_SK),
+        ColRef::new(d2, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(d1, cols::date_dim::MOY, moy(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::BRAND)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ date ⋈ item (Q42 shape).
+fn q42(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::CATEGORY)],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ date ⋈ store (Q43 shape).
+fn q43(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let s = qb.add_relation(tables::STORE);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::STORE_SK),
+        ColRef::new(s, cols::store::STORE_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(s, cols::store::STATE)],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// ws ⋈ item ⋈ date (Q45 shape on the web channel).
+fn q45(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ws = qb.add_relation(tables::WEB_SALES);
+    let i = qb.add_relation(tables::ITEM);
+    let d = qb.add_relation(tables::DATE_DIM);
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::QOY, rng.random_range(0..4i64)));
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::CATEGORY)],
+        aggs: vec![AggExpr::sum(ColRef::new(ws, cols::web_sales::QUANTITY))],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ store ⋈ date with a quantity band (Q48 shape).
+fn q48(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let s = qb.add_relation(tables::STORE);
+    let d = qb.add_relation(tables::DATE_DIM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::STORE_SK),
+        ColRef::new(s, cols::store::STORE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    let qlo = rng.random_range(1..=60i64);
+    qb.add_predicate(Predicate::between(
+        ss,
+        cols::store_sales::QUANTITY,
+        qlo,
+        qlo + 39,
+    ));
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::QUANTITY))],
+    });
+    Ok(qb.build())
+}
+
+/// Q50 (and the paper's tweaked Q50'): sales joined to their returns,
+/// stores, and both date dimensions.
+///
+/// * `q50` filters only the *return* date (year + month), as in TPC-DS —
+///   the optimizer's estimates are accurate and the plan does not change;
+/// * `q50p` (`tweaked = true`) also pins the *sale* date to the same
+///   month. Returns follow sales by 1–60 days, so the conjunction across
+///   the two dimension filters is ~20–40× more selective under AVI than
+///   in reality — exactly the correlated-predicate situation the paper
+///   manufactured by "modifying the predicates over the dimension tables".
+fn q50(rng: &mut Rng, tweaked: bool) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let sr = qb.add_relation(tables::STORE_RETURNS);
+    let s = qb.add_relation(tables::STORE);
+    let d1 = qb.add_relation(tables::DATE_DIM); // sold
+    let d2 = qb.add_relation(tables::DATE_DIM); // returned
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(sr, cols::store_returns::ITEM_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::TICKET),
+        ColRef::new(sr, cols::store_returns::TICKET),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::STORE_SK),
+        ColRef::new(s, cols::store::STORE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d1, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(sr, cols::store_returns::RETURNED_DATE_SK),
+        ColRef::new(d2, cols::date_dim::DATE_SK),
+    );
+    let y = year(rng);
+    let m = moy(rng);
+    qb.add_predicate(Predicate::eq(d2, cols::date_dim::YEAR, y));
+    qb.add_predicate(Predicate::eq(d2, cols::date_dim::MOY, m));
+    if tweaked {
+        qb.add_predicate(Predicate::eq(d1, cols::date_dim::YEAR, y));
+        qb.add_predicate(Predicate::eq(d1, cols::date_dim::MOY, m));
+    }
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(s, cols::store::STATE)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ date ⋈ item, brand report (Q52 shape).
+fn q52(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::BRAND)],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ date ⋈ item — the paper's "fact with two small dimension tables"
+/// (Q55 shape).
+fn q55(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::BRAND)],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// ws ⋈ warehouse ⋈ ship_mode ⋈ web_site ⋈ date — "a fact table with one
+/// small and three tiny dimensions" (Q62 shape).
+fn q62(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ws = qb.add_relation(tables::WEB_SALES);
+    let w = qb.add_relation(tables::WAREHOUSE);
+    let sm = qb.add_relation(tables::SHIP_MODE);
+    let site = qb.add_relation(tables::WEB_SITE);
+    let d = qb.add_relation(tables::DATE_DIM);
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::WAREHOUSE_SK),
+        ColRef::new(w, cols::warehouse::WAREHOUSE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::SHIP_MODE_SK),
+        ColRef::new(sm, cols::ship_mode::SHIP_MODE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::SITE_SK),
+        ColRef::new(site, cols::web_site::SITE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(sm, cols::ship_mode::TYPE)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ store ⋈ date counting narrow sales (Q96 shape).
+fn q96(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let s = qb.add_relation(tables::STORE);
+    let d = qb.add_relation(tables::DATE_DIM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::STORE_SK),
+        ColRef::new(s, cols::store::STORE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
+    let qlo = rng.random_range(1..=90i64);
+    qb.add_predicate(Predicate::between(
+        ss,
+        cols::store_sales::QUANTITY,
+        qlo,
+        qlo + 9,
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// ws ⋈ date ⋈ ship_mode ⋈ warehouse (Q99 shape).
+fn q99(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ws = qb.add_relation(tables::WEB_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let sm = qb.add_relation(tables::SHIP_MODE);
+    let w = qb.add_relation(tables::WAREHOUSE);
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::SHIP_MODE_SK),
+        ColRef::new(sm, cols::ship_mode::SHIP_MODE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::WAREHOUSE_SK),
+        ColRef::new(w, cols::warehouse::WAREHOUSE_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::QOY, rng.random_range(0..4i64)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(sm, cols::ship_mode::TYPE)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// ws ⋈ date ⋈ item on the web channel (Q26 shape).
+fn q26(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ws = qb.add_relation(tables::WEB_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::BRAND)],
+        aggs: vec![AggExpr::avg(ColRef::new(ws, cols::web_sales::QUANTITY))],
+    });
+    Ok(qb.build())
+}
+
+/// item price-band inventory check (Q37 shape, web channel).
+fn q37(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let i = qb.add_relation(tables::ITEM);
+    let ws = qb.add_relation(tables::WEB_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    qb.add_join(
+        ColRef::new(i, cols::item::ITEM_SK),
+        ColRef::new(ws, cols::web_sales::ITEM_SK),
+    );
+    qb.add_join(
+        ColRef::new(ws, cols::web_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    let plo = rng.random_range(100..30_000i64);
+    qb.add_predicate(Predicate::between(i, cols::item::PRICE, plo, plo + 10_000));
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::QOY, rng.random_range(0..4i64)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::BRAND)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ date ⋈ item, manager roll-up (Q53 shape).
+fn q53(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::QOY, rng.random_range(0..4i64)));
+    qb.add_predicate(Predicate::eq(i, cols::item::BRAND, brand(rng).as_str()));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(d, cols::date_dim::YEAR)],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// category revenue in a month (Q60 shape, store channel).
+fn q60(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
+    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::ITEM_SK)],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ store ⋈ date ⋈ item (Q61 shape, promotional revenue ratio core).
+fn q61(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let s = qb.add_relation(tables::STORE);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::STORE_SK),
+        ColRef::new(s, cols::store::STORE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
+    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ date ⋈ item, brand by month (Q63 shape).
+fn q63(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(i, cols::item::BRAND, brand(rng).as_str()));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(d, cols::date_dim::MOY)],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// ss ⋈ store ⋈ item per-item revenue extremes (Q65 shape — the paper
+/// discusses its fact-dominant join).
+fn q65(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let s = qb.add_relation(tables::STORE);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::STORE_SK),
+        ColRef::new(s, cols::store::STORE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::BRAND)],
+        aggs: vec![
+            AggExpr::min(ColRef::new(ss, cols::store_sales::PRICE)),
+            AggExpr::max(ColRef::new(ss, cols::store_sales::PRICE)),
+        ],
+    });
+    Ok(qb.build())
+}
+
+/// customer cohort purchases (Q69 shape).
+fn q69(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let c = qb.add_relation(tables::CUSTOMER);
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    qb.add_join(
+        ColRef::new(c, cols::customer::CUST_SK),
+        ColRef::new(ss, cols::store_sales::CUST_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    let by = rng.random_range(1930..1990i64);
+    qb.add_predicate(Predicate::between(c, cols::customer::BIRTH_YEAR, by, by + 10));
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::QOY, rng.random_range(0..4i64)));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// frequent-shopper count (Q73 shape).
+fn q73(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let s = qb.add_relation(tables::STORE);
+    let c = qb.add_relation(tables::CUSTOMER);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::SOLD_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::STORE_SK),
+        ColRef::new(s, cols::store::STORE_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::CUST_SK),
+        ColRef::new(c, cols::customer::CUST_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(c, cols::customer::CUST_SK)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// returns joined back to customers (Q84 shape via the sales bridge).
+fn q84(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let sr = qb.add_relation(tables::STORE_RETURNS);
+    let c = qb.add_relation(tables::CUSTOMER);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(sr, cols::store_returns::ITEM_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::TICKET),
+        ColRef::new(sr, cols::store_returns::TICKET),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::CUST_SK),
+        ColRef::new(c, cols::customer::CUST_SK),
+    );
+    let by = rng.random_range(1930..1995i64);
+    qb.add_predicate(Predicate::between(c, cols::customer::BIRTH_YEAR, by, by + 5));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// single-table time-band counts (Q88 shape).
+fn q88(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let qlo = rng.random_range(1..=50i64);
+    qb.add_predicate(Predicate::between(
+        ss,
+        cols::store_sales::QUANTITY,
+        qlo,
+        qlo + 9,
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(ss, cols::store_sales::STORE_SK)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// returns by month (Q91 shape: store_returns ⋈ date ⋈ item).
+fn q91(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let sr = qb.add_relation(tables::STORE_RETURNS);
+    let d = qb.add_relation(tables::DATE_DIM);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(sr, cols::store_returns::RETURNED_DATE_SK),
+        ColRef::new(d, cols::date_dim::DATE_SK),
+    );
+    qb.add_join(
+        ColRef::new(sr, cols::store_returns::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
+    qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(i, cols::item::CATEGORY)],
+        aggs: vec![AggExpr::sum(ColRef::new(sr, cols::store_returns::RETURN_AMT))],
+    });
+    Ok(qb.build())
+}
+
+/// actual sales after returns (Q93 shape: ss ⋈ sr ⋈ item).
+fn q93(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ss = qb.add_relation(tables::STORE_SALES);
+    let sr = qb.add_relation(tables::STORE_RETURNS);
+    let i = qb.add_relation(tables::ITEM);
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(sr, cols::store_returns::ITEM_SK),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::TICKET),
+        ColRef::new(sr, cols::store_returns::TICKET),
+    );
+    qb.add_join(
+        ColRef::new(ss, cols::store_sales::ITEM_SK),
+        ColRef::new(i, cols::item::ITEM_SK),
+    );
+    qb.add_predicate(Predicate::eq(i, cols::item::BRAND, brand(rng).as_str()));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
+    });
+    Ok(qb.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcds::gen::{build_tpcds_database, TpcdsConfig};
+    use reopt_common::rng::derive_rng_indexed;
+
+    fn db() -> Database {
+        build_tpcds_database(&TpcdsConfig {
+            scale: 0.05,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn all_templates_instantiate_and_validate() {
+        let db = db();
+        for name in all_template_names() {
+            for inst in 0..2u64 {
+                let mut rng = derive_rng_indexed(2, name, inst);
+                let q = instantiate(&db, name, &mut rng)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                q.validate(&db)
+                    .unwrap_or_else(|e| panic!("{name} instance {inst}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn q50_variants_differ_only_in_d1_predicates() {
+        let db = db();
+        let mut r1 = derive_rng_indexed(2, "q50", 0);
+        let mut r2 = derive_rng_indexed(2, "q50", 0);
+        let plain = instantiate(&db, "q50", &mut r1).unwrap();
+        let tweaked = instantiate(&db, "q50p", &mut r2).unwrap();
+        assert_eq!(plain.joins, tweaked.joins);
+        let count_preds =
+            |q: &Query| -> usize { (0..q.num_relations()).map(|i| q.local[i].len()).sum() };
+        assert_eq!(count_preds(&tweaked), count_preds(&plain) + 2);
+    }
+
+    #[test]
+    fn only_q50p_is_hard() {
+        for n in all_template_names() {
+            assert_eq!(is_hard_template(n), *n == "q50p", "{n}");
+        }
+    }
+
+    #[test]
+    fn q28_is_single_table() {
+        let db = db();
+        let mut rng = derive_rng_indexed(2, "q28", 0);
+        let q = instantiate(&db, "q28", &mut rng).unwrap();
+        assert_eq!(q.num_relations(), 1);
+    }
+
+    #[test]
+    fn unknown_template_errors() {
+        let db = db();
+        let mut rng = derive_rng_indexed(2, "x", 0);
+        assert!(instantiate(&db, "q1", &mut rng).is_err());
+    }
+}

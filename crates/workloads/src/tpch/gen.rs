@@ -1,0 +1,607 @@
+//! TPC-H-like data generation.
+
+use rand::RngExt;
+
+use crate::tpch::{cols, DATE_DOMAIN_DAYS};
+use crate::zipf::Zipf;
+use reopt_common::rng::{derive_rng, Rng};
+use reopt_common::Result;
+use reopt_storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Fraction of TPC-H scale factor 1 (0.02 → lineitem ≈ 120 k rows).
+    pub scale: f64,
+    /// Zipf exponent for foreign-key popularity and value skew
+    /// (0 = uniform database, 1 = the paper's skewed database).
+    pub zipf_z: f64,
+    /// Probability that a part's container/type follow its brand — the
+    /// correlation strength behind the "hard" queries. 0 disables the
+    /// correlation entirely (an ablation knob).
+    pub correlation: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale: 0.02,
+            zipf_z: 0.0,
+            correlation: 0.9,
+            seed: 0x79c4,
+        }
+    }
+}
+
+impl TpchConfig {
+    /// Row counts derived from the scale factor (TPC-H SF-1 baselines).
+    pub fn sizes(&self) -> TpchSizes {
+        let s = self.scale.max(0.0005);
+        let f = |base: f64, min: usize| ((base * s) as usize).max(min);
+        TpchSizes {
+            suppliers: f(10_000.0, 20),
+            customers: f(150_000.0, 100),
+            parts: f(200_000.0, 100),
+            partsupps_per_part: 4,
+            orders: f(1_500_000.0, 500),
+            max_lines_per_order: 7,
+        }
+    }
+}
+
+/// Derived table sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchSizes {
+    /// Supplier rows.
+    pub suppliers: usize,
+    /// Customer rows.
+    pub customers: usize,
+    /// Part rows.
+    pub parts: usize,
+    /// Partsupp rows per part.
+    pub partsupps_per_part: usize,
+    /// Orders rows.
+    pub orders: usize,
+    /// Max lineitems per order (1..=max, avg ≈ max/2).
+    pub max_lines_per_order: usize,
+}
+
+const REGION_NAMES: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"];
+const ORDERSTATUS: [&str; 3] = ["F", "O", "P"];
+const RETURNFLAGS: [&str; 3] = ["A", "N", "R"];
+const LINESTATUS: [&str; 2] = ["F", "O"];
+
+/// Number of distinct part brands.
+pub const NUM_BRANDS: usize = 25;
+/// Number of distinct part types.
+pub const NUM_TYPES: usize = 150;
+/// Number of distinct part containers.
+pub const NUM_CONTAINERS: usize = 40;
+
+fn dict_strings(prefix: &str, n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("{prefix}#{i:03}")).collect()
+}
+
+/// Build the full TPC-H-like database with indexes on keys and the
+/// equality-predicate columns the templates use.
+pub fn build_tpch_database(config: &TpchConfig) -> Result<Database> {
+    let sizes = config.sizes();
+    let mut db = Database::new();
+    let int = |v: Vec<i64>| Column::from_i64(LogicalType::Int, v);
+    let date = |v: Vec<i64>| Column::from_i64(LogicalType::Date, v);
+    let money = |v: Vec<i64>| Column::from_i64(LogicalType::Money, v);
+
+    // --- region ---------------------------------------------------------
+    db.add_table_with(|id| {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("r_regionkey", LogicalType::Int),
+            ColumnDef::new("r_name", LogicalType::Dict),
+        ])?;
+        let mut t = Table::new(
+            id,
+            "region",
+            schema,
+            vec![int((0..5).collect()), Column::from_strings(&REGION_NAMES)],
+        )?;
+        t.create_index(cols::region::REGIONKEY)?;
+        t.create_index(cols::region::NAME)?;
+        Ok(t)
+    })?;
+
+    // --- nation ---------------------------------------------------------
+    db.add_table_with(|id| {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("n_nationkey", LogicalType::Int),
+            ColumnDef::new("n_regionkey", LogicalType::Int),
+            ColumnDef::new("n_name", LogicalType::Dict),
+        ])?;
+        let names: Vec<String> = dict_strings("NATION", 25);
+        let mut t = Table::new(
+            id,
+            "nation",
+            schema,
+            vec![
+                int((0..25).collect()),
+                int((0..25).map(|i| i % 5).collect()),
+                Column::from_strings(&names),
+            ],
+        )?;
+        t.create_index(cols::nation::NATIONKEY)?;
+        t.create_index(cols::nation::REGIONKEY)?;
+        t.create_index(cols::nation::NAME)?;
+        Ok(t)
+    })?;
+
+    // --- supplier -------------------------------------------------------
+    {
+        let mut rng = derive_rng(config.seed, "supplier");
+        let n = sizes.suppliers;
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("s_suppkey", LogicalType::Int),
+                ColumnDef::new("s_nationkey", LogicalType::Int),
+                ColumnDef::new("s_acctbal", LogicalType::Money),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "supplier",
+                schema,
+                vec![
+                    int((0..n as i64).collect()),
+                    int((0..n).map(|_| rng.random_range(0..25i64)).collect()),
+                    money((0..n).map(|_| rng.random_range(-99_999..999_999i64)).collect()),
+                ],
+            )?;
+            t.create_index(cols::supplier::SUPPKEY)?;
+            t.create_index(cols::supplier::NATIONKEY)?;
+            Ok(t)
+        })?;
+    }
+
+    // --- customer -------------------------------------------------------
+    {
+        let mut rng = derive_rng(config.seed, "customer");
+        let n = sizes.customers;
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("c_custkey", LogicalType::Int),
+                ColumnDef::new("c_nationkey", LogicalType::Int),
+                ColumnDef::new("c_mktsegment", LogicalType::Dict),
+                ColumnDef::new("c_acctbal", LogicalType::Money),
+            ])?;
+            let segs: Vec<&str> = (0..n)
+                .map(|_| SEGMENTS[rng.random_range(0..SEGMENTS.len())])
+                .collect();
+            let mut t = Table::new(
+                id,
+                "customer",
+                schema,
+                vec![
+                    int((0..n as i64).collect()),
+                    int((0..n).map(|_| rng.random_range(0..25i64)).collect()),
+                    Column::from_strings(&segs),
+                    money((0..n).map(|_| rng.random_range(-99_999..999_999i64)).collect()),
+                ],
+            )?;
+            t.create_index(cols::customer::CUSTKEY)?;
+            t.create_index(cols::customer::NATIONKEY)?;
+            t.create_index(cols::customer::MKTSEGMENT)?;
+            Ok(t)
+        })?;
+    }
+
+    // --- part -----------------------------------------------------------
+    {
+        let mut rng = derive_rng(config.seed, "part");
+        let n = sizes.parts;
+        let brand_names = dict_strings("BRAND", NUM_BRANDS);
+        let type_names = dict_strings("TYPE", NUM_TYPES);
+        let container_names = dict_strings("CONTAINER", NUM_CONTAINERS);
+        // Brand skew follows z.
+        let brand_dist = Zipf::new(NUM_BRANDS, config.zipf_z);
+
+        let mut brands = Vec::with_capacity(n);
+        let mut types = Vec::with_capacity(n);
+        let mut containers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let b = brand_dist.sample(&mut rng);
+            brands.push(brand_names[b].as_str());
+            // Correlated attributes: with probability `correlation`, the
+            // type/container are functions of the brand; otherwise
+            // uniform. This is the §4 "correlation makes queries hard"
+            // mechanism in miniature.
+            let correlated = rng.random_bool(config.correlation.clamp(0.0, 1.0));
+            let ty = if correlated {
+                b * (NUM_TYPES / NUM_BRANDS) + rng.random_range(0..2usize)
+            } else {
+                rng.random_range(0..NUM_TYPES)
+            };
+            types.push(type_names[ty].as_str());
+            let ct = if correlated {
+                b % NUM_CONTAINERS
+            } else {
+                rng.random_range(0..NUM_CONTAINERS)
+            };
+            containers.push(container_names[ct].as_str());
+        }
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("p_partkey", LogicalType::Int),
+                ColumnDef::new("p_brand", LogicalType::Dict),
+                ColumnDef::new("p_type", LogicalType::Dict),
+                ColumnDef::new("p_container", LogicalType::Dict),
+                ColumnDef::new("p_size", LogicalType::Int),
+                ColumnDef::new("p_retailprice", LogicalType::Money),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "part",
+                schema,
+                vec![
+                    int((0..n as i64).collect()),
+                    Column::from_strings(&brands),
+                    Column::from_strings(&types),
+                    Column::from_strings(&containers),
+                    int((0..n).map(|_| rng.random_range(1..=50i64)).collect()),
+                    money((0..n).map(|_| rng.random_range(90_000..200_000i64)).collect()),
+                ],
+            )?;
+            t.create_index(cols::part::PARTKEY)?;
+            t.create_index(cols::part::BRAND)?;
+            t.create_index(cols::part::TYPE)?;
+            t.create_index(cols::part::CONTAINER)?;
+            Ok(t)
+        })?;
+    }
+
+    // --- partsupp -------------------------------------------------------
+    {
+        let mut rng = derive_rng(config.seed, "partsupp");
+        let n = sizes.parts * sizes.partsupps_per_part;
+        let mut pk = Vec::with_capacity(n);
+        let mut sk = Vec::with_capacity(n);
+        for p in 0..sizes.parts {
+            for s in 0..sizes.partsupps_per_part {
+                pk.push(p as i64);
+                // Spread suppliers deterministically as dbgen does.
+                sk.push(((p + s * (sizes.suppliers / 4 + 1)) % sizes.suppliers) as i64);
+            }
+        }
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("ps_partkey", LogicalType::Int),
+                ColumnDef::new("ps_suppkey", LogicalType::Int),
+                ColumnDef::new("ps_availqty", LogicalType::Int),
+                ColumnDef::new("ps_supplycost", LogicalType::Money),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "partsupp",
+                schema,
+                vec![
+                    int(pk.clone()),
+                    int(sk.clone()),
+                    int((0..n).map(|_| rng.random_range(1..10_000i64)).collect()),
+                    money((0..n).map(|_| rng.random_range(100..100_000i64)).collect()),
+                ],
+            )?;
+            t.create_index(cols::partsupp::PARTKEY)?;
+            t.create_index(cols::partsupp::SUPPKEY)?;
+            Ok(t)
+        })?;
+    }
+
+    // --- orders + lineitem (generated together for correlations) --------
+    {
+        let mut rng = derive_rng(config.seed, "orders");
+        let n_orders = sizes.orders;
+        let cust_dist = Zipf::new(sizes.customers, config.zipf_z);
+        let part_dist = Zipf::new(sizes.parts, config.zipf_z);
+        let supp_dist = Zipf::new(sizes.suppliers, config.zipf_z);
+
+        let mut o_orderkey = Vec::with_capacity(n_orders);
+        let mut o_custkey = Vec::with_capacity(n_orders);
+        let mut o_orderdate = Vec::with_capacity(n_orders);
+        let mut o_priority: Vec<&str> = Vec::with_capacity(n_orders);
+        let mut o_prio_idx = Vec::with_capacity(n_orders);
+        let mut o_status: Vec<&str> = Vec::with_capacity(n_orders);
+        let mut o_totalprice = Vec::with_capacity(n_orders);
+
+        for k in 0..n_orders {
+            o_orderkey.push(k as i64);
+            o_custkey.push(cust_dist.sample(&mut rng) as i64);
+            // Order dates cover all but the last 151 days, as in dbgen.
+            o_orderdate.push(rng.random_range(0..DATE_DOMAIN_DAYS - 151));
+            let prio = rng.random_range(0..PRIORITIES.len());
+            o_prio_idx.push(prio);
+            o_priority.push(PRIORITIES[prio]);
+            o_status.push(ORDERSTATUS[rng.random_range(0..3)]);
+            o_totalprice.push(rng.random_range(100_000..50_000_000i64));
+        }
+
+        // lineitem rides on the orders stream so dates/modes correlate.
+        let mut l_orderkey = Vec::new();
+        let mut l_partkey = Vec::new();
+        let mut l_suppkey = Vec::new();
+        let mut l_quantity = Vec::new();
+        let mut l_extprice = Vec::new();
+        let mut l_discount = Vec::new();
+        let mut l_ship = Vec::new();
+        let mut l_commit = Vec::new();
+        let mut l_receipt = Vec::new();
+        let mut l_rflag: Vec<&str> = Vec::new();
+        let mut l_status: Vec<&str> = Vec::new();
+        let mut l_mode: Vec<&str> = Vec::new();
+        let mut lrng = derive_rng(config.seed, "lineitem");
+
+        for k in 0..n_orders {
+            let lines = 1 + lrng.random_range(0..sizes.max_lines_per_order);
+            for _ in 0..lines {
+                l_orderkey.push(k as i64);
+                l_partkey.push(part_dist.sample(&mut lrng) as i64);
+                l_suppkey.push(supp_dist.sample(&mut lrng) as i64);
+                l_quantity.push(lrng.random_range(1..=50i64));
+                l_extprice.push(lrng.random_range(100_000..10_000_000i64));
+                l_discount.push(lrng.random_range(0..=1000i64)); // basis points
+                // Correlation 1: ship date = order date + U(1, 121).
+                let ship = o_orderdate[k] + lrng.random_range(1..=121i64);
+                // Correlation 2: receipt date = ship date + U(1, 30).
+                let receipt = ship + lrng.random_range(1..=30i64);
+                let commit = o_orderdate[k] + lrng.random_range(30..=90i64);
+                l_ship.push(ship);
+                l_commit.push(commit);
+                l_receipt.push(receipt);
+                l_rflag.push(RETURNFLAGS[lrng.random_range(0..3)]);
+                l_status.push(LINESTATUS[lrng.random_range(0..2)]);
+                // Correlation 3: urgent orders overwhelmingly ship by AIR.
+                let mode = if o_prio_idx[k] <= 1
+                    && lrng.random_bool(config.correlation.clamp(0.0, 1.0))
+                {
+                    SHIPMODES[lrng.random_range(0..2)] // AIR / AIR REG
+                } else {
+                    SHIPMODES[lrng.random_range(0..SHIPMODES.len())]
+                };
+                l_mode.push(mode);
+            }
+        }
+
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("o_orderkey", LogicalType::Int),
+                ColumnDef::new("o_custkey", LogicalType::Int),
+                ColumnDef::new("o_orderdate", LogicalType::Date),
+                ColumnDef::new("o_orderpriority", LogicalType::Dict),
+                ColumnDef::new("o_orderstatus", LogicalType::Dict),
+                ColumnDef::new("o_totalprice", LogicalType::Money),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "orders",
+                schema,
+                vec![
+                    int(o_orderkey.clone()),
+                    int(o_custkey.clone()),
+                    date(o_orderdate.clone()),
+                    Column::from_strings(&o_priority),
+                    Column::from_strings(&o_status),
+                    money(o_totalprice.clone()),
+                ],
+            )?;
+            t.create_index(cols::orders::ORDERKEY)?;
+            t.create_index(cols::orders::CUSTKEY)?;
+            t.create_index(cols::orders::ORDERPRIORITY)?;
+            Ok(t)
+        })?;
+
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("l_orderkey", LogicalType::Int),
+                ColumnDef::new("l_partkey", LogicalType::Int),
+                ColumnDef::new("l_suppkey", LogicalType::Int),
+                ColumnDef::new("l_quantity", LogicalType::Int),
+                ColumnDef::new("l_extendedprice", LogicalType::Money),
+                ColumnDef::new("l_discount", LogicalType::Int),
+                ColumnDef::new("l_shipdate", LogicalType::Date),
+                ColumnDef::new("l_commitdate", LogicalType::Date),
+                ColumnDef::new("l_receiptdate", LogicalType::Date),
+                ColumnDef::new("l_returnflag", LogicalType::Dict),
+                ColumnDef::new("l_linestatus", LogicalType::Dict),
+                ColumnDef::new("l_shipmode", LogicalType::Dict),
+            ])?;
+            let mut t = Table::new(
+                id,
+                "lineitem",
+                schema,
+                vec![
+                    int(l_orderkey.clone()),
+                    int(l_partkey.clone()),
+                    int(l_suppkey.clone()),
+                    int(l_quantity.clone()),
+                    money(l_extprice.clone()),
+                    int(l_discount.clone()),
+                    date(l_ship.clone()),
+                    date(l_commit.clone()),
+                    date(l_receipt.clone()),
+                    Column::from_strings(&l_rflag),
+                    Column::from_strings(&l_status),
+                    Column::from_strings(&l_mode),
+                ],
+            )?;
+            t.create_index(cols::lineitem::ORDERKEY)?;
+            t.create_index(cols::lineitem::PARTKEY)?;
+            t.create_index(cols::lineitem::SUPPKEY)?;
+            t.create_index(cols::lineitem::SHIPMODE)?;
+            Ok(t)
+        })?;
+    }
+
+    Ok(db)
+}
+
+/// Convenience used by templates: a seeded RNG for instance `i` of a
+/// template.
+pub fn instance_rng(config_seed: u64, template: &str, instance: u64) -> Rng {
+    reopt_common::rng::derive_rng_indexed(config_seed, template, instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::tables;
+
+    fn tiny() -> TpchConfig {
+        TpchConfig {
+            scale: 0.002,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn schema_and_ids_line_up() {
+        let db = build_tpch_database(&tiny()).unwrap();
+        assert_eq!(db.table_id("region").unwrap(), tables::REGION);
+        assert_eq!(db.table_id("nation").unwrap(), tables::NATION);
+        assert_eq!(db.table_id("supplier").unwrap(), tables::SUPPLIER);
+        assert_eq!(db.table_id("customer").unwrap(), tables::CUSTOMER);
+        assert_eq!(db.table_id("part").unwrap(), tables::PART);
+        assert_eq!(db.table_id("partsupp").unwrap(), tables::PARTSUPP);
+        assert_eq!(db.table_id("orders").unwrap(), tables::ORDERS);
+        assert_eq!(db.table_id("lineitem").unwrap(), tables::LINEITEM);
+        // Column name ↔ constant alignment (spot checks).
+        let li = db.table(tables::LINEITEM).unwrap();
+        assert_eq!(
+            li.schema().col_by_name("l_receiptdate").unwrap(),
+            cols::lineitem::RECEIPTDATE
+        );
+        let p = db.table(tables::PART).unwrap();
+        assert_eq!(
+            p.schema().col_by_name("p_container").unwrap(),
+            cols::part::CONTAINER
+        );
+    }
+
+    #[test]
+    fn sizes_scale_sanely() {
+        let db = build_tpch_database(&tiny()).unwrap();
+        let orders = db.table(tables::ORDERS).unwrap().row_count();
+        let lineitem = db.table(tables::LINEITEM).unwrap().row_count();
+        assert!(orders >= 500);
+        // 1..=7 lines per order, so lineitem between 1× and 7× orders.
+        assert!(lineitem >= orders && lineitem <= orders * 7);
+        assert_eq!(db.table(tables::REGION).unwrap().row_count(), 5);
+        assert_eq!(db.table(tables::NATION).unwrap().row_count(), 25);
+    }
+
+    #[test]
+    fn fk_integrity() {
+        let db = build_tpch_database(&tiny()).unwrap();
+        let n_cust = db.table(tables::CUSTOMER).unwrap().row_count() as i64;
+        for &v in db
+            .table(tables::ORDERS)
+            .unwrap()
+            .column(cols::orders::CUSTKEY)
+            .unwrap()
+            .data()
+        {
+            assert!(v >= 0 && v < n_cust);
+        }
+        let n_orders = db.table(tables::ORDERS).unwrap().row_count() as i64;
+        for &v in db
+            .table(tables::LINEITEM)
+            .unwrap()
+            .column(cols::lineitem::ORDERKEY)
+            .unwrap()
+            .data()
+        {
+            assert!(v >= 0 && v < n_orders);
+        }
+    }
+
+    #[test]
+    fn receiptdate_tracks_shipdate() {
+        let db = build_tpch_database(&tiny()).unwrap();
+        let li = db.table(tables::LINEITEM).unwrap();
+        let ship = li.column(cols::lineitem::SHIPDATE).unwrap().data();
+        let receipt = li.column(cols::lineitem::RECEIPTDATE).unwrap().data();
+        for (s, r) in ship.iter().zip(receipt) {
+            assert!(r > s && r - s <= 30, "receipt {r} vs ship {s}");
+        }
+    }
+
+    #[test]
+    fn container_brand_correlation_present() {
+        let db = build_tpch_database(&TpchConfig {
+            scale: 0.01,
+            ..Default::default()
+        })
+        .unwrap();
+        let p = db.table(tables::PART).unwrap();
+        let brands = p.column(cols::part::BRAND).unwrap().data();
+        let containers = p.column(cols::part::CONTAINER).unwrap().data();
+        // The modal container per brand should dominate far beyond the
+        // 1/40 a uniform distribution would give.
+        let mut by_brand: std::collections::HashMap<i64, Vec<i64>> = Default::default();
+        for (b, c) in brands.iter().zip(containers) {
+            by_brand.entry(*b).or_default().push(*c);
+        }
+        let (b, cs) = by_brand.iter().next().unwrap();
+        let mut freq: std::collections::HashMap<i64, usize> = Default::default();
+        for c in cs {
+            *freq.entry(*c).or_default() += 1;
+        }
+        let modal = freq.values().max().unwrap();
+        let frac = *modal as f64 / cs.len() as f64;
+        assert!(frac > 0.5, "brand {b}: modal container fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_order_customers() {
+        let uniform = build_tpch_database(&TpchConfig {
+            scale: 0.005,
+            zipf_z: 0.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let skewed = build_tpch_database(&TpchConfig {
+            scale: 0.005,
+            zipf_z: 1.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let top_share = |db: &Database| {
+            let c = db
+                .table(tables::ORDERS)
+                .unwrap()
+                .column(cols::orders::CUSTKEY)
+                .unwrap();
+            let mut freq: std::collections::HashMap<i64, usize> = Default::default();
+            for &v in c.data() {
+                *freq.entry(v).or_default() += 1;
+            }
+            let max = *freq.values().max().unwrap();
+            max as f64 / c.len() as f64
+        };
+        assert!(top_share(&skewed) > 5.0 * top_share(&uniform));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = build_tpch_database(&tiny()).unwrap();
+        let b = build_tpch_database(&tiny()).unwrap();
+        assert_eq!(
+            a.table(tables::LINEITEM).unwrap().column(cols::lineitem::SHIPDATE).unwrap().data(),
+            b.table(tables::LINEITEM).unwrap().column(cols::lineitem::SHIPDATE).unwrap().data()
+        );
+    }
+}

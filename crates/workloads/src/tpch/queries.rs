@@ -1,0 +1,903 @@
+//! The 21 TPC-H-like query templates (Q15 excluded, as in the paper).
+//!
+//! Templates approximate the join structure and predicate placement of the
+//! TPC-H queries within the engine's select–equijoin–aggregate algebra
+//! (non-equi subqueries, `LIKE` and `EXISTS` are replaced by their
+//! selectivity-equivalent equality/range counterparts; DESIGN.md §2 lists
+//! the substitutions). Constants are drawn per instance from a seeded RNG,
+//! mirroring the paper's "10 random instances per template".
+//!
+//! The **hard** templates — Q8, Q9, Q17, Q21 — place conjunctions across
+//! the generator's correlated column pairs, so the native optimizer
+//! underestimates them by one to two orders of magnitude while sampling
+//! does not. These are the queries the paper reports big wins on; the
+//! remaining templates are estimated well and should re-optimize to the
+//! same plan.
+
+use rand::RngExt;
+
+use crate::tpch::gen::{NUM_BRANDS, NUM_CONTAINERS, NUM_TYPES};
+use crate::tpch::{cols, tables, DATE_DOMAIN_DAYS};
+use reopt_common::rng::Rng;
+use reopt_common::{Error, Result};
+use reopt_plan::query::{AggExpr, AggSpec, ColRef};
+use reopt_plan::{Predicate, Query, QueryBuilder};
+use reopt_storage::Database;
+
+/// All template names, in paper order.
+pub const TEMPLATE_NAMES: [&str; 21] = [
+    "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "q10", "q11", "q12", "q13", "q14",
+    "q16", "q17", "q18", "q19", "q20", "q21", "q22",
+];
+
+/// Template names, in paper order.
+pub fn all_template_names() -> &'static [&'static str] {
+    &TEMPLATE_NAMES
+}
+
+/// The templates whose predicates cross correlated column pairs.
+pub fn is_hard_template(name: &str) -> bool {
+    matches!(name, "q8" | "q9" | "q17" | "q21")
+}
+
+/// Build one randomized instance of template `name`.
+pub fn instantiate(db: &Database, name: &str, rng: &mut Rng) -> Result<Query> {
+    let result = match name {
+        "q1" => q1(rng),
+        "q2" => q2(rng),
+        "q3" => q3(rng),
+        "q4" => q4(rng),
+        "q5" => q5(rng),
+        "q6" => q6(rng),
+        "q7" => q7(rng),
+        "q8" => q8(rng),
+        "q9" => q9(rng),
+        "q10" => q10(rng),
+        "q11" => q11(rng),
+        "q12" => q12(rng),
+        "q13" => q13(rng),
+        "q14" => q14(rng),
+        "q16" => q16(rng),
+        "q17" => q17(rng),
+        "q18" => q18(rng),
+        "q19" => q19(rng),
+        "q20" => q20(rng),
+        "q21" => q21(rng),
+        "q22" => q22(rng),
+        other => Err(Error::not_found(format!("TPC-H template `{other}`"))),
+    };
+    let _ = db; // templates reference fixed table ids; db kept for symmetry
+    result
+}
+
+// ---------------------------------------------------------------------
+// Constant pickers.
+
+fn brand_name(i: usize) -> String {
+    format!("BRAND#{i:03}")
+}
+
+fn type_name(i: usize) -> String {
+    format!("TYPE#{i:03}")
+}
+
+fn container_name(i: usize) -> String {
+    format!("CONTAINER#{i:03}")
+}
+
+fn nation_name(i: usize) -> String {
+    format!("NATION#{i:03}")
+}
+
+fn random_brand(rng: &mut Rng) -> usize {
+    rng.random_range(0..NUM_BRANDS)
+}
+
+/// A container value correlated with `brand` (the generator's rule).
+fn correlated_container(brand: usize) -> String {
+    container_name(brand % NUM_CONTAINERS)
+}
+
+/// A type value correlated with `brand`.
+fn correlated_type(brand: usize) -> String {
+    type_name(brand * (NUM_TYPES / NUM_BRANDS))
+}
+
+fn random_region(rng: &mut Rng) -> &'static str {
+    ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"][rng.random_range(0..5)]
+}
+
+fn random_segment(rng: &mut Rng) -> &'static str {
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"][rng.random_range(0..5)]
+}
+
+fn random_priority(rng: &mut Rng) -> &'static str {
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"][rng.random_range(0..5)]
+}
+
+fn random_shipmode(rng: &mut Rng) -> &'static str {
+    ["AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"][rng.random_range(0..7)]
+}
+
+/// First day of a random year within the domain.
+fn random_year_start(rng: &mut Rng) -> i64 {
+    rng.random_range(0..6i64) * 365
+}
+
+// ---------------------------------------------------------------------
+// Templates. Each returns a built (not yet validated) Query.
+
+/// Q1: pricing summary over lineitem (no join).
+fn q1(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let l = qb.add_relation(tables::LINEITEM);
+    let cutoff = DATE_DOMAIN_DAYS - rng.random_range(60..=120i64);
+    qb.add_predicate(Predicate::le(l, cols::lineitem::SHIPDATE, cutoff));
+    qb.aggregate(AggSpec {
+        group_by: vec![
+            ColRef::new(l, cols::lineitem::RETURNFLAG),
+            ColRef::new(l, cols::lineitem::LINESTATUS),
+        ],
+        aggs: vec![
+            AggExpr::count_star(),
+            AggExpr::sum(ColRef::new(l, cols::lineitem::QUANTITY)),
+            AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE)),
+            AggExpr::avg(ColRef::new(l, cols::lineitem::DISCOUNT)),
+        ],
+    });
+    Ok(qb.build())
+}
+
+/// Q2: minimum-cost supplier (part ⋈ partsupp ⋈ supplier ⋈ nation ⋈ region).
+fn q2(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let p = qb.add_relation(tables::PART);
+    let ps = qb.add_relation(tables::PARTSUPP);
+    let s = qb.add_relation(tables::SUPPLIER);
+    let n = qb.add_relation(tables::NATION);
+    let r = qb.add_relation(tables::REGION);
+    qb.add_join(
+        ColRef::new(p, cols::part::PARTKEY),
+        ColRef::new(ps, cols::partsupp::PARTKEY),
+    );
+    qb.add_join(
+        ColRef::new(ps, cols::partsupp::SUPPKEY),
+        ColRef::new(s, cols::supplier::SUPPKEY),
+    );
+    qb.add_join(
+        ColRef::new(s, cols::supplier::NATIONKEY),
+        ColRef::new(n, cols::nation::NATIONKEY),
+    );
+    qb.add_join(
+        ColRef::new(n, cols::nation::REGIONKEY),
+        ColRef::new(r, cols::region::REGIONKEY),
+    );
+    qb.add_predicate(Predicate::eq(
+        p,
+        cols::part::SIZE,
+        rng.random_range(1..=50i64),
+    ));
+    qb.add_predicate(Predicate::eq(r, cols::region::NAME, random_region(rng)));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![
+            AggExpr::min(ColRef::new(ps, cols::partsupp::SUPPLYCOST)),
+            AggExpr::count_star(),
+        ],
+    });
+    Ok(qb.build())
+}
+
+/// Q3: shipping priority (customer ⋈ orders ⋈ lineitem).
+fn q3(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let c = qb.add_relation(tables::CUSTOMER);
+    let o = qb.add_relation(tables::ORDERS);
+    let l = qb.add_relation(tables::LINEITEM);
+    qb.add_join(
+        ColRef::new(c, cols::customer::CUSTKEY),
+        ColRef::new(o, cols::orders::CUSTKEY),
+    );
+    qb.add_join(
+        ColRef::new(o, cols::orders::ORDERKEY),
+        ColRef::new(l, cols::lineitem::ORDERKEY),
+    );
+    let d = rng.random_range(365..DATE_DOMAIN_DAYS - 400);
+    qb.add_predicate(Predicate::eq(
+        c,
+        cols::customer::MKTSEGMENT,
+        random_segment(rng),
+    ));
+    qb.add_predicate(Predicate::lt(o, cols::orders::ORDERDATE, d));
+    qb.add_predicate(Predicate::gt(l, cols::lineitem::SHIPDATE, d));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(o, cols::orders::ORDERKEY)],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// Q4: order priority checking (orders ⋈ lineitem). The paper's
+/// `l_commitdate < l_receiptdate` inter-column predicate is outside the
+/// algebra; a ship-mode equality takes its selectivity role.
+fn q4(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let o = qb.add_relation(tables::ORDERS);
+    let l = qb.add_relation(tables::LINEITEM);
+    qb.add_join(
+        ColRef::new(o, cols::orders::ORDERKEY),
+        ColRef::new(l, cols::lineitem::ORDERKEY),
+    );
+    let d = random_year_start(rng) + rng.random_range(0..270i64);
+    qb.add_predicate(Predicate::between(o, cols::orders::ORDERDATE, d, d + 89));
+    qb.add_predicate(Predicate::eq(
+        l,
+        cols::lineitem::SHIPMODE,
+        random_shipmode(rng),
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(o, cols::orders::ORDERPRIORITY)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// Q5: local supplier volume (6 relations, cycle through nation keys).
+fn q5(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let c = qb.add_relation(tables::CUSTOMER);
+    let o = qb.add_relation(tables::ORDERS);
+    let l = qb.add_relation(tables::LINEITEM);
+    let s = qb.add_relation(tables::SUPPLIER);
+    let n = qb.add_relation(tables::NATION);
+    let r = qb.add_relation(tables::REGION);
+    qb.add_join(
+        ColRef::new(c, cols::customer::CUSTKEY),
+        ColRef::new(o, cols::orders::CUSTKEY),
+    );
+    qb.add_join(
+        ColRef::new(o, cols::orders::ORDERKEY),
+        ColRef::new(l, cols::lineitem::ORDERKEY),
+    );
+    qb.add_join(
+        ColRef::new(l, cols::lineitem::SUPPKEY),
+        ColRef::new(s, cols::supplier::SUPPKEY),
+    );
+    // Local suppliers: customer and supplier share a nation.
+    qb.add_join(
+        ColRef::new(c, cols::customer::NATIONKEY),
+        ColRef::new(s, cols::supplier::NATIONKEY),
+    );
+    qb.add_join(
+        ColRef::new(s, cols::supplier::NATIONKEY),
+        ColRef::new(n, cols::nation::NATIONKEY),
+    );
+    qb.add_join(
+        ColRef::new(n, cols::nation::REGIONKEY),
+        ColRef::new(r, cols::region::REGIONKEY),
+    );
+    let y = random_year_start(rng);
+    qb.add_predicate(Predicate::eq(r, cols::region::NAME, random_region(rng)));
+    qb.add_predicate(Predicate::between(o, cols::orders::ORDERDATE, y, y + 364));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(n, cols::nation::NAME)],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// Q6: revenue forecast (lineitem only).
+fn q6(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let l = qb.add_relation(tables::LINEITEM);
+    let y = random_year_start(rng);
+    let disc = rng.random_range(200..=800i64);
+    qb.add_predicate(Predicate::between(l, cols::lineitem::SHIPDATE, y, y + 364));
+    qb.add_predicate(Predicate::between(
+        l,
+        cols::lineitem::DISCOUNT,
+        disc - 100,
+        disc + 100,
+    ));
+    qb.add_predicate(Predicate::lt(l, cols::lineitem::QUANTITY, 24i64));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// Q7: volume shipping between two nations (nation self-join).
+fn q7(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let s = qb.add_relation(tables::SUPPLIER);
+    let l = qb.add_relation(tables::LINEITEM);
+    let o = qb.add_relation(tables::ORDERS);
+    let c = qb.add_relation(tables::CUSTOMER);
+    let n1 = qb.add_relation(tables::NATION);
+    let n2 = qb.add_relation(tables::NATION);
+    qb.add_join(
+        ColRef::new(s, cols::supplier::SUPPKEY),
+        ColRef::new(l, cols::lineitem::SUPPKEY),
+    );
+    qb.add_join(
+        ColRef::new(l, cols::lineitem::ORDERKEY),
+        ColRef::new(o, cols::orders::ORDERKEY),
+    );
+    qb.add_join(
+        ColRef::new(o, cols::orders::CUSTKEY),
+        ColRef::new(c, cols::customer::CUSTKEY),
+    );
+    qb.add_join(
+        ColRef::new(s, cols::supplier::NATIONKEY),
+        ColRef::new(n1, cols::nation::NATIONKEY),
+    );
+    qb.add_join(
+        ColRef::new(c, cols::customer::NATIONKEY),
+        ColRef::new(n2, cols::nation::NATIONKEY),
+    );
+    let a = rng.random_range(0..25usize);
+    let b = (a + 1 + rng.random_range(0..24usize)) % 25;
+    qb.add_predicate(Predicate::eq(n1, cols::nation::NAME, nation_name(a).as_str()));
+    qb.add_predicate(Predicate::eq(n2, cols::nation::NAME, nation_name(b).as_str()));
+    let y = random_year_start(rng);
+    qb.add_predicate(Predicate::between(
+        l,
+        cols::lineitem::SHIPDATE,
+        y,
+        y + 2 * 365 - 1,
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// Q8 (hard): national market share — 8 relations, with a correlated
+/// `p_type ∧ p_container` conjunction that AVI underestimates badly.
+fn q8(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let p = qb.add_relation(tables::PART);
+    let l = qb.add_relation(tables::LINEITEM);
+    let s = qb.add_relation(tables::SUPPLIER);
+    let o = qb.add_relation(tables::ORDERS);
+    let c = qb.add_relation(tables::CUSTOMER);
+    let n1 = qb.add_relation(tables::NATION); // customer nation
+    let r = qb.add_relation(tables::REGION);
+    let n2 = qb.add_relation(tables::NATION); // supplier nation
+    qb.add_join(
+        ColRef::new(p, cols::part::PARTKEY),
+        ColRef::new(l, cols::lineitem::PARTKEY),
+    );
+    qb.add_join(
+        ColRef::new(l, cols::lineitem::SUPPKEY),
+        ColRef::new(s, cols::supplier::SUPPKEY),
+    );
+    qb.add_join(
+        ColRef::new(l, cols::lineitem::ORDERKEY),
+        ColRef::new(o, cols::orders::ORDERKEY),
+    );
+    qb.add_join(
+        ColRef::new(o, cols::orders::CUSTKEY),
+        ColRef::new(c, cols::customer::CUSTKEY),
+    );
+    qb.add_join(
+        ColRef::new(c, cols::customer::NATIONKEY),
+        ColRef::new(n1, cols::nation::NATIONKEY),
+    );
+    qb.add_join(
+        ColRef::new(n1, cols::nation::REGIONKEY),
+        ColRef::new(r, cols::region::REGIONKEY),
+    );
+    qb.add_join(
+        ColRef::new(s, cols::supplier::NATIONKEY),
+        ColRef::new(n2, cols::nation::NATIONKEY),
+    );
+    let brand = random_brand(rng);
+    qb.add_predicate(Predicate::eq(
+        p,
+        cols::part::TYPE,
+        correlated_type(brand).as_str(),
+    ));
+    qb.add_predicate(Predicate::eq(
+        p,
+        cols::part::CONTAINER,
+        correlated_container(brand).as_str(),
+    ));
+    qb.add_predicate(Predicate::eq(r, cols::region::NAME, random_region(rng)));
+    let y = random_year_start(rng);
+    qb.add_predicate(Predicate::between(
+        o,
+        cols::orders::ORDERDATE,
+        y,
+        y + 2 * 365 - 1,
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(n2, cols::nation::NAME)],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// Q9 (hard): product-type profit — the paper's `p_name LIKE` becomes a
+/// correlated `p_brand ∧ p_type` pair.
+fn q9(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let p = qb.add_relation(tables::PART);
+    let ps = qb.add_relation(tables::PARTSUPP);
+    let l = qb.add_relation(tables::LINEITEM);
+    let s = qb.add_relation(tables::SUPPLIER);
+    let o = qb.add_relation(tables::ORDERS);
+    let n = qb.add_relation(tables::NATION);
+    qb.add_join(
+        ColRef::new(p, cols::part::PARTKEY),
+        ColRef::new(l, cols::lineitem::PARTKEY),
+    );
+    qb.add_join(
+        ColRef::new(ps, cols::partsupp::PARTKEY),
+        ColRef::new(p, cols::part::PARTKEY),
+    );
+    qb.add_join(
+        ColRef::new(ps, cols::partsupp::SUPPKEY),
+        ColRef::new(s, cols::supplier::SUPPKEY),
+    );
+    qb.add_join(
+        ColRef::new(l, cols::lineitem::SUPPKEY),
+        ColRef::new(s, cols::supplier::SUPPKEY),
+    );
+    qb.add_join(
+        ColRef::new(l, cols::lineitem::ORDERKEY),
+        ColRef::new(o, cols::orders::ORDERKEY),
+    );
+    qb.add_join(
+        ColRef::new(s, cols::supplier::NATIONKEY),
+        ColRef::new(n, cols::nation::NATIONKEY),
+    );
+    let brand = random_brand(rng);
+    qb.add_predicate(Predicate::eq(
+        p,
+        cols::part::BRAND,
+        brand_name(brand).as_str(),
+    ));
+    qb.add_predicate(Predicate::eq(
+        p,
+        cols::part::TYPE,
+        correlated_type(brand).as_str(),
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(n, cols::nation::NAME)],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// Q10: returned items (customer ⋈ orders ⋈ lineitem ⋈ nation).
+fn q10(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let c = qb.add_relation(tables::CUSTOMER);
+    let o = qb.add_relation(tables::ORDERS);
+    let l = qb.add_relation(tables::LINEITEM);
+    let n = qb.add_relation(tables::NATION);
+    qb.add_join(
+        ColRef::new(c, cols::customer::CUSTKEY),
+        ColRef::new(o, cols::orders::CUSTKEY),
+    );
+    qb.add_join(
+        ColRef::new(o, cols::orders::ORDERKEY),
+        ColRef::new(l, cols::lineitem::ORDERKEY),
+    );
+    qb.add_join(
+        ColRef::new(c, cols::customer::NATIONKEY),
+        ColRef::new(n, cols::nation::NATIONKEY),
+    );
+    let d = random_year_start(rng) + rng.random_range(0..270i64);
+    qb.add_predicate(Predicate::between(o, cols::orders::ORDERDATE, d, d + 89));
+    qb.add_predicate(Predicate::eq(l, cols::lineitem::RETURNFLAG, "R"));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(c, cols::customer::CUSTKEY)],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// Q11: important stock (partsupp ⋈ supplier ⋈ nation).
+fn q11(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ps = qb.add_relation(tables::PARTSUPP);
+    let s = qb.add_relation(tables::SUPPLIER);
+    let n = qb.add_relation(tables::NATION);
+    qb.add_join(
+        ColRef::new(ps, cols::partsupp::SUPPKEY),
+        ColRef::new(s, cols::supplier::SUPPKEY),
+    );
+    qb.add_join(
+        ColRef::new(s, cols::supplier::NATIONKEY),
+        ColRef::new(n, cols::nation::NATIONKEY),
+    );
+    qb.add_predicate(Predicate::eq(
+        n,
+        cols::nation::NAME,
+        nation_name(rng.random_range(0..25usize)).as_str(),
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(ps, cols::partsupp::PARTKEY)],
+        aggs: vec![AggExpr::sum(ColRef::new(ps, cols::partsupp::SUPPLYCOST))],
+    });
+    Ok(qb.build())
+}
+
+/// Q12: shipping modes and order priority (orders ⋈ lineitem).
+fn q12(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let o = qb.add_relation(tables::ORDERS);
+    let l = qb.add_relation(tables::LINEITEM);
+    qb.add_join(
+        ColRef::new(o, cols::orders::ORDERKEY),
+        ColRef::new(l, cols::lineitem::ORDERKEY),
+    );
+    let y = random_year_start(rng);
+    qb.add_predicate(Predicate::eq(
+        l,
+        cols::lineitem::SHIPMODE,
+        random_shipmode(rng),
+    ));
+    qb.add_predicate(Predicate::between(
+        l,
+        cols::lineitem::RECEIPTDATE,
+        y,
+        y + 364,
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(o, cols::orders::ORDERPRIORITY)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// Q13: customer order counts (customer ⋈ orders).
+fn q13(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let c = qb.add_relation(tables::CUSTOMER);
+    let o = qb.add_relation(tables::ORDERS);
+    qb.add_join(
+        ColRef::new(c, cols::customer::CUSTKEY),
+        ColRef::new(o, cols::orders::CUSTKEY),
+    );
+    qb.add_predicate(Predicate::eq(
+        o,
+        cols::orders::ORDERPRIORITY,
+        random_priority(rng),
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(c, cols::customer::CUSTKEY)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// Q14: promotion effect (lineitem ⋈ part), one month of shipments.
+fn q14(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let l = qb.add_relation(tables::LINEITEM);
+    let p = qb.add_relation(tables::PART);
+    qb.add_join(
+        ColRef::new(l, cols::lineitem::PARTKEY),
+        ColRef::new(p, cols::part::PARTKEY),
+    );
+    let d = random_year_start(rng) + 30 * rng.random_range(0..12i64);
+    qb.add_predicate(Predicate::between(l, cols::lineitem::SHIPDATE, d, d + 29));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// Q16: part/supplier relationship (partsupp ⋈ part).
+fn q16(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let ps = qb.add_relation(tables::PARTSUPP);
+    let p = qb.add_relation(tables::PART);
+    qb.add_join(
+        ColRef::new(ps, cols::partsupp::PARTKEY),
+        ColRef::new(p, cols::part::PARTKEY),
+    );
+    qb.add_predicate(Predicate::ne(
+        p,
+        cols::part::BRAND,
+        brand_name(random_brand(rng)).as_str(),
+    ));
+    let a = rng.random_range(1..=40i64);
+    qb.add_predicate(Predicate::between(p, cols::part::SIZE, a, a + 9));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(p, cols::part::BRAND)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// Q17 (hard): small-quantity-order revenue (lineitem ⋈ part) with the
+/// correlated `p_brand ∧ p_container` pair.
+fn q17(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let l = qb.add_relation(tables::LINEITEM);
+    let p = qb.add_relation(tables::PART);
+    qb.add_join(
+        ColRef::new(l, cols::lineitem::PARTKEY),
+        ColRef::new(p, cols::part::PARTKEY),
+    );
+    let brand = random_brand(rng);
+    qb.add_predicate(Predicate::eq(
+        p,
+        cols::part::BRAND,
+        brand_name(brand).as_str(),
+    ));
+    qb.add_predicate(Predicate::eq(
+        p,
+        cols::part::CONTAINER,
+        correlated_container(brand).as_str(),
+    ));
+    qb.add_predicate(Predicate::lt(l, cols::lineitem::QUANTITY, 10i64));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// Q18: large-volume customers (customer ⋈ orders ⋈ lineitem).
+fn q18(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let c = qb.add_relation(tables::CUSTOMER);
+    let o = qb.add_relation(tables::ORDERS);
+    let l = qb.add_relation(tables::LINEITEM);
+    qb.add_join(
+        ColRef::new(c, cols::customer::CUSTKEY),
+        ColRef::new(o, cols::orders::CUSTKEY),
+    );
+    qb.add_join(
+        ColRef::new(o, cols::orders::ORDERKEY),
+        ColRef::new(l, cols::lineitem::ORDERKEY),
+    );
+    qb.add_predicate(Predicate::gt(
+        o,
+        cols::orders::TOTALPRICE,
+        rng.random_range(40_000_000..48_000_000i64),
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(c, cols::customer::CUSTKEY)],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::QUANTITY))],
+    });
+    Ok(qb.build())
+}
+
+/// Q19: discounted revenue (lineitem ⋈ part) — correlated pair present
+/// but only one join exists, so only local transformations are possible
+/// (the paper makes the same observation).
+fn q19(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let l = qb.add_relation(tables::LINEITEM);
+    let p = qb.add_relation(tables::PART);
+    qb.add_join(
+        ColRef::new(l, cols::lineitem::PARTKEY),
+        ColRef::new(p, cols::part::PARTKEY),
+    );
+    let brand = random_brand(rng);
+    qb.add_predicate(Predicate::eq(
+        p,
+        cols::part::BRAND,
+        brand_name(brand).as_str(),
+    ));
+    qb.add_predicate(Predicate::eq(
+        p,
+        cols::part::CONTAINER,
+        correlated_container(brand).as_str(),
+    ));
+    let qlo = rng.random_range(1..=10i64);
+    qb.add_predicate(Predicate::between(
+        l,
+        cols::lineitem::QUANTITY,
+        qlo,
+        qlo + 10,
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::sum(ColRef::new(l, cols::lineitem::EXTENDEDPRICE))],
+    });
+    Ok(qb.build())
+}
+
+/// Q20: potential part promotion (part ⋈ partsupp ⋈ supplier ⋈ nation).
+fn q20(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let p = qb.add_relation(tables::PART);
+    let ps = qb.add_relation(tables::PARTSUPP);
+    let s = qb.add_relation(tables::SUPPLIER);
+    let n = qb.add_relation(tables::NATION);
+    qb.add_join(
+        ColRef::new(p, cols::part::PARTKEY),
+        ColRef::new(ps, cols::partsupp::PARTKEY),
+    );
+    qb.add_join(
+        ColRef::new(ps, cols::partsupp::SUPPKEY),
+        ColRef::new(s, cols::supplier::SUPPKEY),
+    );
+    qb.add_join(
+        ColRef::new(s, cols::supplier::NATIONKEY),
+        ColRef::new(n, cols::nation::NATIONKEY),
+    );
+    qb.add_predicate(Predicate::eq(
+        p,
+        cols::part::BRAND,
+        brand_name(random_brand(rng)).as_str(),
+    ));
+    qb.add_predicate(Predicate::eq(
+        n,
+        cols::nation::NAME,
+        nation_name(rng.random_range(0..25usize)).as_str(),
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// Q21 (hard): suppliers who kept orders waiting. The paper's
+/// `l_receiptdate > l_commitdate` correlation appears here as overlapping
+/// ship/receipt windows whose conjunction AVI misprices by ~25×.
+fn q21(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let s = qb.add_relation(tables::SUPPLIER);
+    let l = qb.add_relation(tables::LINEITEM);
+    let o = qb.add_relation(tables::ORDERS);
+    let n = qb.add_relation(tables::NATION);
+    qb.add_join(
+        ColRef::new(s, cols::supplier::SUPPKEY),
+        ColRef::new(l, cols::lineitem::SUPPKEY),
+    );
+    qb.add_join(
+        ColRef::new(l, cols::lineitem::ORDERKEY),
+        ColRef::new(o, cols::orders::ORDERKEY),
+    );
+    qb.add_join(
+        ColRef::new(s, cols::supplier::NATIONKEY),
+        ColRef::new(n, cols::nation::NATIONKEY),
+    );
+    let d = random_year_start(rng) + rng.random_range(0..200i64);
+    // Correlated windows: receipt = ship + U(1,30), so these two ranges
+    // are jointly satisfied ~25× more often than AVI's product predicts.
+    qb.add_predicate(Predicate::between(l, cols::lineitem::SHIPDATE, d, d + 59));
+    qb.add_predicate(Predicate::between(
+        l,
+        cols::lineitem::RECEIPTDATE,
+        d,
+        d + 74,
+    ));
+    qb.add_predicate(Predicate::eq(o, cols::orders::ORDERSTATUS, "F"));
+    qb.add_predicate(Predicate::eq(
+        n,
+        cols::nation::NAME,
+        nation_name(rng.random_range(0..25usize)).as_str(),
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(s, cols::supplier::SUPPKEY)],
+        aggs: vec![AggExpr::count_star()],
+    });
+    Ok(qb.build())
+}
+
+/// Q22: global sales opportunity (customer ⋈ orders).
+fn q22(rng: &mut Rng) -> Result<Query> {
+    let mut qb = QueryBuilder::new();
+    let c = qb.add_relation(tables::CUSTOMER);
+    let o = qb.add_relation(tables::ORDERS);
+    qb.add_join(
+        ColRef::new(c, cols::customer::CUSTKEY),
+        ColRef::new(o, cols::orders::CUSTKEY),
+    );
+    qb.add_predicate(Predicate::gt(
+        c,
+        cols::customer::ACCTBAL,
+        rng.random_range(500_000..900_000i64),
+    ));
+    qb.aggregate(AggSpec {
+        group_by: vec![ColRef::new(c, cols::customer::NATIONKEY)],
+        aggs: vec![AggExpr::count_star(), AggExpr::avg(ColRef::new(c, cols::customer::ACCTBAL))],
+    });
+    Ok(qb.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::RelId;
+    use crate::tpch::gen::{build_tpch_database, TpchConfig};
+    use reopt_common::rng::derive_rng_indexed;
+
+    fn db() -> Database {
+        build_tpch_database(&TpchConfig {
+            scale: 0.002,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn all_templates_instantiate_and_validate() {
+        let db = db();
+        for name in all_template_names() {
+            for inst in 0..3u64 {
+                let mut rng = derive_rng_indexed(1, name, inst);
+                let q = instantiate(&db, name, &mut rng)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                q.validate(&db)
+                    .unwrap_or_else(|e| panic!("{name} instance {inst}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn template_count_matches_paper() {
+        // 21 = 22 TPC-H queries minus Q15.
+        assert_eq!(all_template_names().len(), 21);
+        assert!(!all_template_names().contains(&"q15"));
+    }
+
+    #[test]
+    fn hard_set_is_the_papers() {
+        let hard: Vec<&str> = all_template_names()
+            .iter()
+            .copied()
+            .filter(|n| is_hard_template(n))
+            .collect();
+        assert_eq!(hard, vec!["q8", "q9", "q17", "q21"]);
+    }
+
+    #[test]
+    fn unknown_template_errors() {
+        let db = db();
+        let mut rng = derive_rng_indexed(1, "zzz", 0);
+        assert!(instantiate(&db, "q15", &mut rng).is_err());
+        assert!(instantiate(&db, "nope", &mut rng).is_err());
+    }
+
+    #[test]
+    fn instances_differ_across_rng_streams() {
+        let db = db();
+        let mut r0 = derive_rng_indexed(1, "q3", 0);
+        let mut r1 = derive_rng_indexed(1, "q3", 1);
+        let a = instantiate(&db, "q3", &mut r0).unwrap();
+        let b = instantiate(&db, "q3", &mut r1).unwrap();
+        assert_ne!(a, b, "instances should draw different constants");
+    }
+
+    #[test]
+    fn structure_spot_checks() {
+        let db = db();
+        let mut rng = derive_rng_indexed(1, "q5", 0);
+        let q5 = instantiate(&db, "q5", &mut rng).unwrap();
+        assert_eq!(q5.num_relations(), 6);
+        assert_eq!(q5.joins.len(), 6); // includes the c-s nation edge
+
+        let mut rng = derive_rng_indexed(1, "q8", 0);
+        let q8 = instantiate(&db, "q8", &mut rng).unwrap();
+        assert_eq!(q8.num_relations(), 8);
+
+        let mut rng = derive_rng_indexed(1, "q1", 0);
+        let q1 = instantiate(&db, "q1", &mut rng).unwrap();
+        assert_eq!(q1.num_relations(), 1);
+        assert!(q1.aggregate.is_some());
+    }
+
+    #[test]
+    fn hard_templates_touch_correlated_pairs() {
+        let db = db();
+        let mut rng = derive_rng_indexed(1, "q17", 0);
+        let q = instantiate(&db, "q17", &mut rng).unwrap();
+        // Both part predicates present (brand + container).
+        let part_rel = RelId::new(1);
+        assert_eq!(q.local_predicates(part_rel).len(), 2);
+    }
+}

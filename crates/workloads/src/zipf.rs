@@ -1,0 +1,126 @@
+//! Zipf-distributed value sampler.
+//!
+//! The paper's skewed TPC-H database comes from the Microsoft TPCDSkew
+//! generator, which draws each column from a Zipfian distribution with
+//! exponent `z` (`z = 0` uniform, `z = 1` for the skewed experiments).
+//! This module provides the same knob via an inverse-CDF sampler over a
+//! precomputed cumulative table (domains in this workspace are at most a
+//! few hundred thousand values, so O(n) precomputation is cheap and
+//! sampling is an O(log n) binary search).
+
+use rand::RngExt;
+use reopt_common::rng::Rng;
+
+/// A sampler over `0..n` with `P(k) ∝ 1/(k+1)^z`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for domain size `n` and exponent `z ≥ 0`.
+    pub fn new(n: usize, z: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(z >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard the tail against floating-point shortfall.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one value in `0..n`.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of value `k`.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::rng::derive_rng;
+
+    #[test]
+    fn uniform_when_z_zero() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.probability(k) - 0.1).abs() < 1e-9);
+        }
+        assert_eq!(z.domain(), 10);
+    }
+
+    #[test]
+    fn z_one_matches_harmonic_weights() {
+        let z = Zipf::new(4, 1.0);
+        let h = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+        assert!((z.probability(0) - 1.0 / h).abs() < 1e-9);
+        assert!((z.probability(1) - 0.5 / h).abs() < 1e-9);
+        assert!((z.probability(3) - 0.25 / h).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_frequency_tracks_probability() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = derive_rng(11, "zipf-test");
+        let trials = 200_000;
+        let mut counts = vec![0u64; 100];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Head value ~19%, value 9 ~1.9%.
+        let f0 = counts[0] as f64 / trials as f64;
+        assert!((f0 - z.probability(0)).abs() < 0.01, "f0 = {f0}");
+        let f9 = counts[9] as f64 / trials as f64;
+        assert!((f9 - z.probability(9)).abs() < 0.005, "f9 = {f9}");
+        // Monotone head-heavy ordering.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[80]);
+    }
+
+    #[test]
+    fn all_samples_in_domain() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = derive_rng(3, "zipf-domain");
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = derive_rng(4, "zipf-single");
+        assert_eq!(z.sample(&mut rng), 0);
+        assert!((z.probability(0) - 1.0).abs() < 1e-12);
+        assert_eq!(z.probability(5), 0.0);
+    }
+}

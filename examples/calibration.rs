@@ -1,0 +1,52 @@
+//! Cost-unit calibration (§5.1.2) and its effect on plan choice.
+//!
+//! The paper shows calibration alone (Figure 4(a) vs 4(b)) can change
+//! plans. Here: measure the five units on this machine, then optimize the
+//! same query under default and calibrated units and diff the plans.
+//!
+//! ```sh
+//! cargo run --release --example calibration
+//! ```
+
+use reopt::common::rng::derive_rng_indexed;
+use reopt::optimizer::{calibrate, Optimizer, OptimizerConfig};
+use reopt::stats::{analyze_database, AnalyzeOpts};
+use reopt::workloads::tpch::{all_template_names, build_tpch_database, instantiate, TpchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let report = calibrate(7, 1);
+    println!("calibrated cost units (seq_page_cost = 1.0):");
+    println!("  random_page_cost     = {:.3}   (PostgreSQL default 4.0)", report.units.random_page_cost);
+    println!("  cpu_tuple_cost       = {:.5} (default 0.01)", report.units.cpu_tuple_cost);
+    println!("  cpu_index_tuple_cost = {:.5} (default 0.005)", report.units.cpu_index_tuple_cost);
+    println!("  cpu_operator_cost    = {:.5} (default 0.0025)", report.units.cpu_operator_cost);
+
+    let db = build_tpch_database(&TpchConfig::default())?;
+    let stats = analyze_database(&db, &AnalyzeOpts::default())?;
+    let default_opt = Optimizer::new(&db, &stats);
+    let mut calibrated_config = OptimizerConfig::postgres_like();
+    calibrated_config.cost_units = report.units;
+    let calibrated_opt = Optimizer::with_config(&db, &stats, calibrated_config);
+
+    let mut changed = 0;
+    let mut total = 0;
+    for name in all_template_names() {
+        let mut rng = derive_rng_indexed(3, name, 0);
+        let q = instantiate(&db, name, &mut rng)?;
+        let p_default = default_opt.optimize(&q)?;
+        let p_calibrated = calibrated_opt.optimize(&q)?;
+        total += 1;
+        if !p_default.plan.same_structure(&p_calibrated.plan) {
+            changed += 1;
+            println!("\n{name}: calibration changed the plan");
+            println!("  default:\n{}", indent(&p_default.plan.explain()));
+            println!("  calibrated:\n{}", indent(&p_calibrated.plan.explain()));
+        }
+    }
+    println!("\ncalibration changed {changed}/{total} template plans");
+    Ok(())
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+}

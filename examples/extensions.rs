@@ -1,0 +1,84 @@
+//! The paper's §7 future-work items, implemented and demonstrated:
+//!
+//! 1. **Multi-seed re-optimization** — run Algorithm 1 from several seed
+//!    optimizers with a shared Γ, keep the best final plan.
+//! 2. **Conservative acceptance** — only let sampling override the
+//!    optimizer when the correction exceeds a discrepancy factor.
+//! 3. **EXPLAIN ANALYZE** — estimated vs actual rows per plan node, the
+//!    view that makes the estimation errors visible in the first place.
+//!
+//! ```sh
+//! cargo run --release --example extensions
+//! ```
+
+use reopt::core::{run_multi_seed, ReOptConfig, ReOptimizer};
+use reopt::executor::explain_analyze;
+use reopt::optimizer::{Optimizer, OptimizerConfig};
+use reopt::sampling::{SampleConfig, SampleStore};
+use reopt::stats::{analyze_database, AnalyzeOpts};
+use reopt::workloads::ott::{
+    build_ott_database, ott_query, recommended_sample_ratio, OttConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = OttConfig::default();
+    let db = build_ott_database(&config)?;
+    let stats = analyze_database(&db, &AnalyzeOpts::default())?;
+    let samples = SampleStore::build(
+        &db,
+        SampleConfig {
+            ratio: recommended_sample_ratio(&config),
+            ..Default::default()
+        },
+    )?;
+    let query = ott_query(&db, &[1, 0, 0, 0, 0])?;
+
+    // --- 3. EXPLAIN ANALYZE of the one-shot plan: see the misestimates.
+    let bushy = Optimizer::new(&db, &stats);
+    let original = bushy.optimize(&query)?;
+    println!("one-shot plan, estimated vs actual:\n");
+    println!("{}", explain_analyze(&db, &query, &original.plan)?);
+
+    // --- 1. Multi-seed: bushy + left-deep seeds sharing Γ.
+    let left_deep = Optimizer::with_config(
+        &db,
+        &stats,
+        OptimizerConfig {
+            left_deep_only: true,
+            ..OptimizerConfig::postgres_like()
+        },
+    );
+    let ms = run_multi_seed(
+        &[&bushy, &left_deep],
+        &samples,
+        &query,
+        &ReOptConfig::default(),
+    )?;
+    println!(
+        "multi-seed: winner = seed #{} ({}), rounds per seed = {:?}, cost = {:.1}",
+        ms.winner,
+        if ms.winner == 0 { "bushy" } else { "left-deep" },
+        ms.rounds_per_seed,
+        ms.final_cost
+    );
+    println!("\nmulti-seed final plan, estimated vs actual:\n");
+    println!("{}", explain_analyze(&db, &query, &ms.final_plan)?);
+
+    // --- 2. Conservative acceptance at increasing thresholds.
+    for factor in [None, Some(3.0), Some(1e9)] {
+        let cfg = ReOptConfig {
+            min_discrepancy_factor: factor,
+            ..Default::default()
+        };
+        let re = ReOptimizer::with_config(&bushy, &samples, cfg);
+        let report = re.run(&query)?;
+        println!(
+            "conservative acceptance {:>9}: {} rounds, Γ = {} entries, plan changed = {}",
+            factor.map_or("off".to_string(), |f| format!("≥{f:.0}x")),
+            report.num_rounds(),
+            report.gamma.len(),
+            report.plan_changed()
+        );
+    }
+    Ok(())
+}

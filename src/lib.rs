@@ -1,0 +1,11 @@
+//! Facade crate — re-exports the whole workspace. See README.md.
+pub use reopt_analysis as analysis;
+pub use reopt_common as common;
+pub use reopt_core as core;
+pub use reopt_executor as executor;
+pub use reopt_optimizer as optimizer;
+pub use reopt_plan as plan;
+pub use reopt_sampling as sampling;
+pub use reopt_stats as stats;
+pub use reopt_storage as storage;
+pub use reopt_workloads as workloads;
