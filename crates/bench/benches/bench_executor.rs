@@ -24,7 +24,10 @@ fn make_db(rows: usize) -> Database {
                 name,
                 schema,
                 vec![
-                    Column::from_i64(LogicalType::Int, (0..rows as i64).map(|i| i % 10_000).collect()),
+                    Column::from_i64(
+                        LogicalType::Int,
+                        (0..rows as i64).map(|i| i % 10_000).collect(),
+                    ),
                     Column::from_i64(LogicalType::Int, (0..rows as i64).collect()),
                 ],
             )?;
@@ -88,7 +91,10 @@ fn bench_joins(c: &mut Criterion) {
         let mut qb = QueryBuilder::new();
         let a = qb.add_relation(TableId::new(0));
         let b_rel = qb.add_relation(TableId::new(1));
-        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b_rel, ColId::new(0)));
+        qb.add_join(
+            ColRef::new(a, ColId::new(0)),
+            ColRef::new(b_rel, ColId::new(0)),
+        );
         let q = qb.build();
         for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::IndexNested] {
             g.bench_with_input(

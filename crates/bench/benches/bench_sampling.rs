@@ -13,19 +13,23 @@ fn bench_sample_build(c: &mut Criterion) {
     let db = build_ott_database(&OttConfig::default()).unwrap();
     let mut g = c.benchmark_group("sampling/build");
     for ratio in [0.01f64, 0.05, 0.2] {
-        g.bench_with_input(BenchmarkId::new("ratio", format!("{ratio}")), &ratio, |b, &r| {
-            b.iter(|| {
-                let s = SampleStore::build(
-                    &db,
-                    SampleConfig {
-                        ratio: r,
-                        ..Default::default()
-                    },
-                )
-                .unwrap();
-                black_box(s.database().total_rows())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ratio", format!("{ratio}")),
+            &ratio,
+            |b, &r| {
+                b.iter(|| {
+                    let s = SampleStore::build(
+                        &db,
+                        SampleConfig {
+                            ratio: r,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    black_box(s.database().total_rows())
+                })
+            },
+        );
     }
     g.finish();
 }

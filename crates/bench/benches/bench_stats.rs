@@ -41,7 +41,9 @@ fn bench_selectivity(c: &mut Criterion) {
     let s = analyze_column(&col, &AnalyzeOpts::default());
     let mut g = c.benchmark_group("stats/selectivity");
     g.bench_function("eq_mcv_hit", |b| b.iter(|| black_box(s.eq_selectivity(0))));
-    g.bench_function("eq_histogram", |b| b.iter(|| black_box(s.eq_selectivity(4321))));
+    g.bench_function("eq_histogram", |b| {
+        b.iter(|| black_box(s.eq_selectivity(4321)))
+    });
     g.bench_function("range", |b| {
         b.iter(|| black_box(s.between_selectivity(100, 2_000)))
     });

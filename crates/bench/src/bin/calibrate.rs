@@ -8,8 +8,20 @@ fn main() {
         r.seq_page_ns, r.random_page_ns, r.cpu_tuple_ns, r.cpu_index_tuple_ns, r.cpu_operator_ns);
     let u = r.units;
     println!("calibrated units (seq_page = 1.0):");
-    println!("  random_page_cost     = {:.3}  (PostgreSQL default 4.0)", u.random_page_cost);
-    println!("  cpu_tuple_cost       = {:.5}  (default 0.01)", u.cpu_tuple_cost);
-    println!("  cpu_index_tuple_cost = {:.5}  (default 0.005)", u.cpu_index_tuple_cost);
-    println!("  cpu_operator_cost    = {:.5}  (default 0.0025)", u.cpu_operator_cost);
+    println!(
+        "  random_page_cost     = {:.3}  (PostgreSQL default 4.0)",
+        u.random_page_cost
+    );
+    println!(
+        "  cpu_tuple_cost       = {:.5}  (default 0.01)",
+        u.cpu_tuple_cost
+    );
+    println!(
+        "  cpu_index_tuple_cost = {:.5}  (default 0.005)",
+        u.cpu_index_tuple_cost
+    );
+    println!(
+        "  cpu_operator_cost    = {:.5}  (default 0.0025)",
+        u.cpu_operator_cost
+    );
 }

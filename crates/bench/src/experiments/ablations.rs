@@ -95,10 +95,7 @@ fn search_space_ablation(quick: bool) -> Result<TextTable> {
         let mut rng = derive_rng_indexed(0xab1, name, 0);
         let q2 = instantiate(&db, name, &mut rng)?;
         let l = left_deep.run_query(&q2)?;
-        let differ = !b
-            .report
-            .final_plan
-            .same_structure(&l.report.final_plan);
+        let differ = !b.report.final_plan.same_structure(&l.report.final_plan);
         t.push(vec![
             name.to_string(),
             fmt_ms(b.reopt_ms),
@@ -136,7 +133,13 @@ fn leaf_validation_ablation(quick: bool) -> Result<TextTable> {
     )?;
     let mut t = TextTable::new(
         "Ablation 3 — validating joins only (paper §2) vs joins+leaf selections",
-        &["query", "rounds (joins)", "rounds (+leaves)", "reopt (joins)", "reopt (+leaves)"],
+        &[
+            "query",
+            "rounds (joins)",
+            "rounds (+leaves)",
+            "reopt (joins)",
+            "reopt (+leaves)",
+        ],
     );
     for name in all_template_names().iter().filter(|n| is_hard_template(n)) {
         let mut rng = derive_rng_indexed(0xab2, name, 0);

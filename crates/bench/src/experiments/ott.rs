@@ -102,11 +102,7 @@ pub fn run(quick: bool) -> Result<Vec<TextTable>> {
             &["query", "exec only", "reopt + exec"],
         );
         for (i, (_, _, r, ovh, _, _)) in base.rows.iter().enumerate() {
-            to.push(vec![
-                format!("{}", i + 1),
-                fmt_ms(*r),
-                fmt_ms(*r + *ovh),
-            ]);
+            to.push(vec![format!("{}", i + 1), fmt_ms(*r), fmt_ms(*r + *ovh)]);
         }
         tables.push(to);
     }

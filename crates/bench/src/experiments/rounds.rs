@@ -62,14 +62,25 @@ pub fn run(quick: bool) -> Result<Vec<TextTable>> {
         for (n, label) in [(5usize, "(a) 4-join"), (6, "(b) 5-join")] {
             let mut t = TextTable::new(
                 format!("Figure 15{label} — per-round plan runtimes, OTT"),
-                &["query", "plan#1 (original)", "plan#2", "plan#3", "plan#4", "final"],
+                &[
+                    "query",
+                    "plan#1 (original)",
+                    "plan#2",
+                    "plan#3",
+                    "plan#4",
+                    "final",
+                ],
             );
             let mut shown = 0;
             for (i, consts) in ott_query_suite(n, 4).into_iter().enumerate() {
                 let q = ott_query(&db, &consts)?;
                 let run = runner.run_query(&q)?;
                 if run.distinct_plans >= 2 {
-                    t.push(per_round_row(&format!("#{}", i + 1), &run.per_plan_ms, run.reopt_ms));
+                    t.push(per_round_row(
+                        &format!("#{}", i + 1),
+                        &run.per_plan_ms,
+                        run.reopt_ms,
+                    ));
                     shown += 1;
                 }
                 if shown >= 3 {

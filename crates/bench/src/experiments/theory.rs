@@ -17,7 +17,9 @@ pub fn run(quick: bool) -> Vec<TextTable> {
     let ns: &[u64] = if quick {
         &[1, 10, 50, 100, 500, 1000]
     } else {
-        &[1, 10, 25, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+        &[
+            1, 10, 25, 50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000,
+        ]
     };
     let trials = if quick { 2_000 } else { 10_000 };
     let series = sn_series(1000);
@@ -55,7 +57,10 @@ pub fn run(quick: bool) -> Vec<TextTable> {
     appb.push(vec![
         "underestimates only".into(),
         "N = 1000, M = 10 edges".into(),
-        format!("E[steps] ≤ S_(N/M) = {:.1}", underestimate_only_expected(1000, 10)),
+        format!(
+            "E[steps] ≤ S_(N/M) = {:.1}",
+            underestimate_only_expected(1000, 10)
+        ),
     ]);
     vec![fig3, appb]
 }

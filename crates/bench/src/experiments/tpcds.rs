@@ -9,9 +9,7 @@ use crate::harness::{fmt_ms, Runner, RunnerConfig, TextTable};
 use reopt_common::rng::derive_rng_indexed;
 use reopt_common::Result;
 use reopt_optimizer::{calibrate, OptimizerConfig};
-use reopt_workloads::tpcds::{
-    all_template_names, build_tpcds_database, instantiate, TpcdsConfig,
-};
+use reopt_workloads::tpcds::{all_template_names, build_tpcds_database, instantiate, TpcdsConfig};
 
 /// The Figures 19–20 experiment.
 pub fn run(quick: bool) -> Result<Vec<TextTable>> {
@@ -20,7 +18,11 @@ pub fn run(quick: bool) -> Result<Vec<TextTable>> {
         scale: if quick { 0.2 } else { 1.0 },
         ..Default::default()
     })?;
-    let runner = Runner::new(&db, OptimizerConfig::postgres_like(), RunnerConfig::default())?;
+    let runner = Runner::new(
+        &db,
+        OptimizerConfig::postgres_like(),
+        RunnerConfig::default(),
+    )?;
     let report = calibrate(7, 1);
     let mut calib = OptimizerConfig::postgres_like();
     calib.cost_units = report.units;
@@ -28,7 +30,13 @@ pub fn run(quick: bool) -> Result<Vec<TextTable>> {
 
     let mut t_rt = TextTable::new(
         "Figure 19 — TPC-DS-like runtimes (paper: only Q50' improves, ~57% reduction)",
-        &["query", "orig (default)", "reopt (default)", "orig (calibrated)", "reopt (calibrated)"],
+        &[
+            "query",
+            "orig (default)",
+            "reopt (default)",
+            "orig (calibrated)",
+            "reopt (calibrated)",
+        ],
     );
     let mut t_plans = TextTable::new(
         "Figure 20 — plans generated during TPC-DS re-optimization",

@@ -7,7 +7,9 @@ use crate::harness::{fmt_ms, Runner, RunnerConfig, TextTable};
 use reopt_common::rng::derive_rng_indexed;
 use reopt_common::Result;
 use reopt_optimizer::{calibrate, OptimizerConfig};
-use reopt_workloads::tpch::{all_template_names, build_tpch_database, instantiate, is_hard_template, TpchConfig};
+use reopt_workloads::tpch::{
+    all_template_names, build_tpch_database, instantiate, is_hard_template, TpchConfig,
+};
 
 /// Per-template averaged measurements for one (z, calibration) setting.
 #[derive(Debug, Clone)]
@@ -74,7 +76,11 @@ pub fn run(z: f64, quick: bool) -> Result<Vec<TextTable>> {
         zipf_z: z,
         ..Default::default()
     })?;
-    let runner = Runner::new(&db, OptimizerConfig::postgres_like(), RunnerConfig::default())?;
+    let runner = Runner::new(
+        &db,
+        OptimizerConfig::postgres_like(),
+        RunnerConfig::default(),
+    )?;
 
     // Calibrated variant: measured cost units, same stats/samples.
     let report = calibrate(7, 1);
@@ -95,7 +101,11 @@ pub fn run(z: f64, quick: bool) -> Result<Vec<TextTable>> {
     for (b, c) in base.iter().zip(&cal) {
         t_runtime.push(vec![
             b.name.to_string(),
-            if is_hard_template(b.name) { "*".into() } else { "".into() },
+            if is_hard_template(b.name) {
+                "*".into()
+            } else {
+                "".into()
+            },
             fmt_ms(b.original_ms),
             fmt_ms(b.reopt_ms),
             fmt_ms(c.original_ms),

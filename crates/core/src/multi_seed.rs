@@ -227,7 +227,9 @@ mod tests {
         let single = crate::reopt::ReOptimizer::new(&bushy, &samples)
             .run(&q)
             .unwrap();
-        let (_, single_cost) = bushy.cost_plan(&q, &single.final_plan, &report.gamma).unwrap();
+        let (_, single_cost) = bushy
+            .cost_plan(&q, &single.final_plan, &report.gamma)
+            .unwrap();
         assert!(report.final_cost <= single_cost * (1.0 + 1e-9));
     }
 

@@ -369,7 +369,10 @@ mod tests {
         let report = re.run(&q).unwrap();
         assert!(report.converged, "did not converge");
         // Γ must contain at least one near-empty validated join.
-        let has_empty = report.gamma.iter().any(|(s, rows)| s.len() >= 2 && rows <= 1.5);
+        let has_empty = report
+            .gamma
+            .iter()
+            .any(|(s, rows)| s.len() >= 2 && rows <= 1.5);
         assert!(has_empty, "no empty join discovered in Γ");
         // Theorem 5: final plan no worse than any generated plan under Γ.
         let (final_cost, costs) = re.verify_final_optimality(&q, &report).unwrap();
@@ -469,14 +472,18 @@ mod tests {
         let re = ReOptimizer::with_config(&opt, &samples, config);
         let report = re.run(&q).unwrap();
         assert!(report.converged);
-        assert!(!report.gamma.is_empty(), "large errors must still be accepted");
+        assert!(
+            !report.gamma.is_empty(),
+            "large errors must still be accepted"
+        );
         // Only the big-discrepancy sets were recorded.
         for (set, rows) in report.gamma.iter() {
-            let native = opt
-                .estimate_rows(&q, &CardOverrides::new(), set)
-                .unwrap();
+            let native = opt.estimate_rows(&q, &CardOverrides::new(), set).unwrap();
             let ratio = (rows.max(1e-9) / native.max(1e-9)).max(native / rows.max(1e-9));
-            assert!(ratio >= 2.0, "small correction slipped through: {set} {rows} vs {native}");
+            assert!(
+                ratio >= 2.0,
+                "small correction slipped through: {set} {rows} vs {native}"
+            );
         }
     }
 
@@ -505,6 +512,10 @@ mod tests {
             }
         }
         // And the loop did make progress: Γ is non-trivial at the end.
-        assert!(report.gamma.len() >= 2, "Γ has {} entries", report.gamma.len());
+        assert!(
+            report.gamma.len() >= 2,
+            "Γ has {} entries",
+            report.gamma.len()
+        );
     }
 }

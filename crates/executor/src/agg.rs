@@ -110,12 +110,7 @@ impl AggState {
 }
 
 /// Evaluate `spec` over the join result `rows`.
-pub fn aggregate(
-    db: &Database,
-    query: &Query,
-    rows: &RowSet,
-    spec: &AggSpec,
-) -> Result<AggOutput> {
+pub fn aggregate(db: &Database, query: &Query, rows: &RowSet, spec: &AggSpec) -> Result<AggOutput> {
     // Resolve input columns once.
     let gather = |c: &ColRef| -> Result<(&[i64], &[u32])> {
         let table = db.table(query.table_of(c.rel)?)?;

@@ -6,8 +6,8 @@ use crate::agg::{aggregate, AggOutput};
 use crate::metrics::ExecMetrics;
 use crate::rowset::RowSet;
 use reopt_common::{ColId, Error, FxHashMap, RelId, RelSet, Result};
-use reopt_plan::{AccessPath, CmpOp, JoinAlgo, PhysicalPlan, Predicate, Query};
 use reopt_plan::query::ColRef;
+use reopt_plan::{AccessPath, CmpOp, JoinAlgo, PhysicalPlan, Predicate, Query};
 use reopt_storage::value::NULL_SENTINEL;
 use reopt_storage::{Database, Table};
 
@@ -141,10 +141,7 @@ impl<'a> Executor<'a> {
     ) -> Result<RowSet> {
         let out = match plan {
             PhysicalPlan::Scan {
-                rel,
-                table,
-                access,
-                ..
+                rel, table, access, ..
             } => self.exec_scan(query, *rel, *table, *access, &mut state.metrics)?,
             PhysicalPlan::Join {
                 algo,
@@ -343,9 +340,8 @@ impl<'a> Executor<'a> {
         let lkeys = self.gather_keys(query, left, &lcols)?;
         let rkeys = self.gather_keys(query, right, &rcols)?;
 
-        let key_at = |cols: &[Vec<i64>], i: usize| -> Vec<i64> {
-            cols.iter().map(|c| c[i]).collect()
-        };
+        let key_at =
+            |cols: &[Vec<i64>], i: usize| -> Vec<i64> { cols.iter().map(|c| c[i]).collect() };
         let non_null = |cols: &[Vec<i64>], i: usize| cols.iter().all(|c| c[i] != NULL_SENTINEL);
 
         let mut lidx: Vec<u32> = (0..left.len() as u32)
@@ -641,10 +637,7 @@ mod tests {
         let mut qb = QueryBuilder::new();
         let a = qb.add_relation(db.table_id("t0").unwrap());
         let b = qb.add_relation(db.table_id("t1").unwrap());
-        qb.add_join(
-            ColRef::new(a, ColId::new(0)),
-            ColRef::new(b, ColId::new(0)),
-        );
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
         qb.build()
     }
 
@@ -722,13 +715,14 @@ mod tests {
         let a = qb.add_relation(db.table_id("t0").unwrap());
         let b = qb.add_relation(db.table_id("t1").unwrap());
         qb.add_predicate(Predicate::le(b, ColId::new(0), 1i64));
-        qb.add_join(
-            ColRef::new(a, ColId::new(0)),
-            ColRef::new(b, ColId::new(0)),
-        );
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
         let q = qb.build();
-        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop, JoinAlgo::IndexNested]
-        {
+        for algo in [
+            JoinAlgo::Hash,
+            JoinAlgo::Merge,
+            JoinAlgo::NestedLoop,
+            JoinAlgo::IndexNested,
+        ] {
             let p = join(
                 algo,
                 scan(0, 0, AccessPath::SeqScan),
@@ -790,13 +784,14 @@ mod tests {
         let mut qb = QueryBuilder::new();
         let a = qb.add_relation(db.table_id("l").unwrap());
         let b = qb.add_relation(db.table_id("r").unwrap());
-        qb.add_join(
-            ColRef::new(a, ColId::new(0)),
-            ColRef::new(b, ColId::new(0)),
-        );
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
         let q = qb.build();
-        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop, JoinAlgo::IndexNested]
-        {
+        for algo in [
+            JoinAlgo::Hash,
+            JoinAlgo::Merge,
+            JoinAlgo::NestedLoop,
+            JoinAlgo::IndexNested,
+        ] {
             let p = join(
                 algo,
                 scan(0, 0, AccessPath::SeqScan),
@@ -887,8 +882,12 @@ mod tests {
         ];
         // Expected: each of the five non-NULL rows matches exactly itself.
         let mut results = Vec::new();
-        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop, JoinAlgo::IndexNested]
-        {
+        for algo in [
+            JoinAlgo::Hash,
+            JoinAlgo::Merge,
+            JoinAlgo::NestedLoop,
+            JoinAlgo::IndexNested,
+        ] {
             let p = join(
                 algo,
                 scan(0, 0, AccessPath::SeqScan),
@@ -943,8 +942,12 @@ mod tests {
                 ColRef::new(RelId::new(1), ColId::new(1)),
             ),
         ];
-        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoop, JoinAlgo::IndexNested]
-        {
+        for algo in [
+            JoinAlgo::Hash,
+            JoinAlgo::Merge,
+            JoinAlgo::NestedLoop,
+            JoinAlgo::IndexNested,
+        ] {
             let p = join(
                 algo,
                 scan(0, 0, AccessPath::SeqScan),

@@ -112,7 +112,10 @@ mod tests {
                     id,
                     name,
                     schema,
-                    vec![Column::from_i64(LogicalType::Int, (0..50).map(|i| i % 10).collect())],
+                    vec![Column::from_i64(
+                        LogicalType::Int,
+                        (0..50).map(|i| i % 10).collect(),
+                    )],
                 )
             })
             .unwrap();

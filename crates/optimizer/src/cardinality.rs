@@ -261,9 +261,7 @@ mod tests {
 
     fn ott_query(db: &Database, k: usize, consts: &[i64]) -> Query {
         let mut qb = QueryBuilder::new();
-        let rels: Vec<RelId> = (0..k)
-            .map(|i| qb.add_relation(TableId::from(i)))
-            .collect();
+        let rels: Vec<RelId> = (0..k).map(|i| qb.add_relation(TableId::from(i))).collect();
         for (i, &r) in rels.iter().enumerate() {
             qb.add_predicate(Predicate::eq(r, ColId::new(0), consts[i]));
         }
@@ -378,10 +376,7 @@ mod tests {
         let mut qb = QueryBuilder::new();
         let a = qb.add_relation(TableId::new(0));
         let b = qb.add_relation(TableId::new(1));
-        qb.add_join(
-            ColRef::new(a, ColId::new(1)),
-            ColRef::new(b, ColId::new(1)),
-        );
+        qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
         let q = qb.build();
         let g = CardOverrides::new();
         let mut with_mcv = CardinalityEstimator::new(

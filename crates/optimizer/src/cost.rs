@@ -240,8 +240,7 @@ mod tests {
         assert!(m.merge_join(1e4, 1e4, 1e6) > m.merge_join(1e4, 1e4, 1e2));
         assert!(m.nested_loop(1e3, 1e3, 1e6) > m.nested_loop(1e3, 1e3, 1e2));
         assert!(
-            m.index_nested_loop(1e3, 1e3, 1e5, 1e6, 0)
-                > m.index_nested_loop(1e3, 1e3, 1e5, 1e2, 0)
+            m.index_nested_loop(1e3, 1e3, 1e5, 1e6, 0) > m.index_nested_loop(1e3, 1e3, 1e5, 1e2, 0)
         );
     }
 

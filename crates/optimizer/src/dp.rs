@@ -373,8 +373,14 @@ mod tests {
         let f = qb.add_relation(db.table_id("fact").unwrap());
         let d1 = qb.add_relation(db.table_id("dim1").unwrap());
         let d2 = qb.add_relation(db.table_id("dim2").unwrap());
-        qb.add_join(ColRef::new(f, ColId::new(0)), ColRef::new(d1, ColId::new(0)));
-        qb.add_join(ColRef::new(f, ColId::new(1)), ColRef::new(d2, ColId::new(0)));
+        qb.add_join(
+            ColRef::new(f, ColId::new(0)),
+            ColRef::new(d1, ColId::new(0)),
+        );
+        qb.add_join(
+            ColRef::new(f, ColId::new(1)),
+            ColRef::new(d2, ColId::new(0)),
+        );
         if let Some(v) = dim1_filter {
             qb.add_predicate(Predicate::eq(d1, ColId::new(0), v));
         }
@@ -438,7 +444,10 @@ mod tests {
         let mut qb = QueryBuilder::new();
         let f = qb.add_relation(db.table_id("fact").unwrap());
         let d1 = qb.add_relation(db.table_id("dim1").unwrap());
-        qb.add_join(ColRef::new(f, ColId::new(0)), ColRef::new(d1, ColId::new(0)));
+        qb.add_join(
+            ColRef::new(f, ColId::new(0)),
+            ColRef::new(d1, ColId::new(0)),
+        );
         qb.add_predicate(Predicate::eq(f, ColId::new(0), 5i64));
         let q = qb.build();
         let g = CardOverrides::new();
@@ -468,7 +477,11 @@ mod tests {
                 }
             }
         });
-        assert!(uses_index, "expected index use on fact:\n{}", plan.explain());
+        assert!(
+            uses_index,
+            "expected index use on fact:\n{}",
+            plan.explain()
+        );
     }
 
     #[test]
@@ -502,12 +515,8 @@ mod tests {
         let (p_after, _) = run_dp(&db, &stats, &q, &g2, false);
 
         // The first join of the new plan must avoid {fact, dim1}.
-        let first_join_sets = |p: &PhysicalPlan| -> Vec<RelSet> {
-            p.logical_tree().join_sets()
-        };
-        assert!(first_join_sets(&p_after)
-            .iter()
-            .all(|s| *s != fact_dim1));
+        let first_join_sets = |p: &PhysicalPlan| -> Vec<RelSet> { p.logical_tree().join_sets() };
+        assert!(first_join_sets(&p_after).iter().all(|s| *s != fact_dim1));
         // And the plans must differ structurally.
         assert!(!p_before.same_structure(&p_after));
     }

@@ -103,11 +103,7 @@ pub fn plan_geqo(
 }
 
 /// A random relation order in which every prefix is connected.
-fn random_valid_order(
-    query: &Query,
-    est: &CardinalityEstimator<'_>,
-    rng: &mut Rng,
-) -> Vec<u32> {
+fn random_valid_order(query: &Query, est: &CardinalityEstimator<'_>, rng: &mut Rng) -> Vec<u32> {
     let n = query.num_relations();
     let graph = est.graph();
     let start = rng.random_range(0..n as u32);
@@ -341,8 +337,8 @@ mod tests {
     use reopt_common::{ColId, TableId};
     use reopt_plan::{Predicate, QueryBuilder};
     use reopt_stats::{analyze_database, AnalyzeOpts, DatabaseStats};
-    use reopt_storage::{Column, ColumnDef, Database, Table, TableSchema};
     use reopt_storage::LogicalType;
+    use reopt_storage::{Column, ColumnDef, Database, Table, TableSchema};
 
     fn chain_db(k: usize) -> (Database, DatabaseStats) {
         let mut db = Database::new();
@@ -450,7 +446,11 @@ mod tests {
         g2.insert(first, 1.0e12);
         let steered = run_geqo(&db, &stats, &q, &g2, 1);
         assert!(
-            steered.logical_tree().join_sets().iter().all(|s| *s != first),
+            steered
+                .logical_tree()
+                .join_sets()
+                .iter()
+                .all(|s| *s != first),
             "poisoned join {first:?} still present"
         );
     }

@@ -69,7 +69,11 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Optimizer with an explicit configuration.
-    pub fn with_config(db: &'a Database, stats: &'a DatabaseStats, config: OptimizerConfig) -> Self {
+    pub fn with_config(
+        db: &'a Database,
+        stats: &'a DatabaseStats,
+        config: OptimizerConfig,
+    ) -> Self {
         let mut config = config;
         if config.geqo_threshold == 0 {
             config.geqo_threshold = 12;
@@ -183,10 +187,7 @@ fn cost_subtree(
     use reopt_plan::{AccessPath, CmpOp, JoinAlgo};
     match plan {
         PhysicalPlan::Scan {
-            rel,
-            table,
-            access,
-            ..
+            rel, table, access, ..
         } => {
             let t = db.table(*table)?;
             let preds = query.local_predicates(*rel);
@@ -196,9 +197,7 @@ fn cost_subtree(
             let cost = match access {
                 AccessPath::SeqScan => model.seq_scan(pages, trows, preds.len()),
                 AccessPath::IndexScan { col } => {
-                    let driving = preds
-                        .iter()
-                        .find(|p| p.col == *col && p.op == CmpOp::Eq);
+                    let driving = preds.iter().find(|p| p.col == *col && p.op == CmpOp::Eq);
                     let matched = match driving {
                         Some(p) => {
                             trows

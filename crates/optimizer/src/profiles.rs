@@ -84,7 +84,10 @@ mod tests {
         assert!(!b.cardinality.mcv_join_refinement);
         assert!(a.left_deep_only);
         assert!(!b.left_deep_only);
-        assert_ne!(b.cost_units.random_page_cost, pg.cost_units.random_page_cost);
+        assert_ne!(
+            b.cost_units.random_page_cost,
+            pg.cost_units.random_page_cost
+        );
     }
 
     #[test]

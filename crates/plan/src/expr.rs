@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-use reopt_storage::Value;
 use reopt_common::{ColId, RelId};
+use reopt_storage::Value;
 
 /// Comparison operator of a local predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -177,10 +177,7 @@ impl PhysicalPlan {
     pub fn fingerprint(&self) -> u64 {
         match self {
             PhysicalPlan::Scan {
-                rel,
-                table,
-                access,
-                ..
+                rel, table, access, ..
             } => {
                 let mut h = fx_mix(0x5ca9, rel.0 as u64);
                 h = fx_mix(h, table.0 as u64);

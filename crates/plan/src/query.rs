@@ -3,9 +3,9 @@
 use std::fmt;
 
 use crate::expr::{JoinPredicate, Predicate};
-use reopt_common::{ColId, Error, RelId, RelSet, Result};
 use reopt_common::relset::MAX_RELS;
 use reopt_common::TableId;
+use reopt_common::{ColId, Error, RelId, RelSet, Result};
 use reopt_storage::{Database, LogicalType};
 
 /// A reference to a column of a relation occurrence.
@@ -144,9 +144,7 @@ impl Query {
 
     /// Local predicates of relation `rel`.
     pub fn local_predicates(&self, rel: RelId) -> &[Predicate] {
-        self.local
-            .get(rel.index())
-            .map_or(&[], |v| v.as_slice())
+        self.local.get(rel.index()).map_or(&[], |v| v.as_slice())
     }
 
     /// Build the join graph of this query.
@@ -538,7 +536,10 @@ mod tests {
         let a = qb.add_relation(db.table_id("a").unwrap());
         qb.aggregate(AggSpec {
             group_by: vec![ColRef::new(a, ColId::new(1))],
-            aggs: vec![AggExpr::count_star(), AggExpr::sum(ColRef::new(a, ColId::new(0)))],
+            aggs: vec![
+                AggExpr::count_star(),
+                AggExpr::sum(ColRef::new(a, ColId::new(0))),
+            ],
         });
         assert!(qb.build().validate(&db).is_ok());
 

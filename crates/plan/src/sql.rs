@@ -43,11 +43,9 @@ pub fn to_sql(query: &Query, db: &Database) -> String {
                     AggFunc::Avg => "AVG",
                 };
                 match &a.input {
-                    Some(c) => items.push(format!(
-                        "{f}({}.{})",
-                        alias(c.rel),
-                        col_name(c.rel, c.col)
-                    )),
+                    Some(c) => {
+                        items.push(format!("{f}({}.{})", alias(c.rel), col_name(c.rel, c.col)))
+                    }
                     None => items.push(format!("{f}(*)")),
                 }
             }

@@ -183,7 +183,10 @@ mod tests {
     #[test]
     fn identical_trees() {
         let t = JoinTree::left_deep(&[r(0), r(1), r(2)]).unwrap();
-        assert_eq!(classify_transformation(&t, &t.clone()), TransformKind::Identical);
+        assert_eq!(
+            classify_transformation(&t, &t.clone()),
+            TransformKind::Identical
+        );
     }
 
     #[test]
@@ -322,7 +325,10 @@ mod tests {
         assert_eq!(variants.len(), 3);
         for v in &variants {
             // Operand order unchanged (never swapped)...
-            assert_eq!(v.logical_tree().ordered_joins(), plan.logical_tree().ordered_joins());
+            assert_eq!(
+                v.logical_tree().ordered_joins(),
+                plan.logical_tree().ordered_joins()
+            );
             // ...and the algorithm is no longer IndexNested.
             if let PhysicalPlan::Join { algo, .. } = v {
                 assert_ne!(*algo, JoinAlgo::IndexNested);

@@ -58,8 +58,7 @@ impl SampleStore {
             let rows: Vec<u32> = if full_rows <= config.small_table_rows || config.ratio >= 1.0 {
                 (0..full_rows as u32).collect()
             } else {
-                let mut rng =
-                    derive_rng(config.seed, &format!("sample:{}", table.name()));
+                let mut rng = derive_rng(config.seed, &format!("sample:{}", table.name()));
                 (0..full_rows as u32)
                     .filter(|_| rng.random_bool(config.ratio))
                     .collect()
@@ -145,8 +144,18 @@ mod tests {
         let a = SampleStore::build(&db, SampleConfig::default()).unwrap();
         let b = SampleStore::build(&db, SampleConfig::default()).unwrap();
         assert_eq!(
-            a.database().table(TableId::new(0)).unwrap().column(ColId::new(0)).unwrap().data(),
-            b.database().table(TableId::new(0)).unwrap().column(ColId::new(0)).unwrap().data()
+            a.database()
+                .table(TableId::new(0))
+                .unwrap()
+                .column(ColId::new(0))
+                .unwrap()
+                .data(),
+            b.database()
+                .table(TableId::new(0))
+                .unwrap()
+                .column(ColId::new(0))
+                .unwrap()
+                .data()
         );
         let c = SampleStore::build(
             &db,
@@ -156,14 +165,21 @@ mod tests {
             },
         )
         .unwrap();
-        assert_ne!(
-            a.database().table(TableId::new(0)).unwrap().row_count(),
-            0
-        );
+        assert_ne!(a.database().table(TableId::new(0)).unwrap().row_count(), 0);
         // Different seed almost surely draws a different sample.
         assert_ne!(
-            a.database().table(TableId::new(0)).unwrap().column(ColId::new(0)).unwrap().data(),
-            c.database().table(TableId::new(0)).unwrap().column(ColId::new(0)).unwrap().data()
+            a.database()
+                .table(TableId::new(0))
+                .unwrap()
+                .column(ColId::new(0))
+                .unwrap()
+                .data(),
+            c.database()
+                .table(TableId::new(0))
+                .unwrap()
+                .column(ColId::new(0))
+                .unwrap()
+                .data()
         );
     }
 

@@ -192,17 +192,20 @@ mod tests {
 
     #[test]
     fn nonempty_join_estimate_is_in_the_right_ballpark() {
-        // True size: per² = 1600 (both filters keep value 0, all pairs
+        // True size: per² = 25600 (both filters keep value 0, all pairs
         // match). With 5%+5% samples the estimate is noisy but must be
-        // within a factor of a few — far from the native estimate's ~40.
-        let db = ott_pair(100, 40);
+        // within a factor of a few — far from the native estimate's ~160.
+        // 160 rows per value keeps the Bernoulli sample of the filtered
+        // cell comfortably nonempty (≈8 expected rows per side; an empty
+        // sample would have probability ≈3e-4 per side).
+        let db = ott_pair(100, 160);
         let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
         let (q, plan) = pair_query(0, 0);
         let v = validate_plan(&q, &plan, &samples, &ValidationOpts::default()).unwrap();
         let est = v.delta.get(RelSet::first_n(2)).unwrap();
         assert!(
-            est > 200.0 && est < 8000.0,
-            "estimate {est} too far from truth 1600"
+            est > 25600.0 / 5.0 && est < 25600.0 * 5.0,
+            "estimate {est} too far from truth 25600"
         );
     }
 

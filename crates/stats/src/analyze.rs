@@ -149,8 +149,8 @@ pub fn analyze_database(db: &Database, opts: &AnalyzeOpts) -> Result<DatabaseSta
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reopt_storage::{ColumnDef, LogicalType, TableSchema};
     use reopt_common::TableId;
+    use reopt_storage::{ColumnDef, LogicalType, TableSchema};
 
     fn int_col(data: Vec<i64>) -> Column {
         Column::from_i64(LogicalType::Int, data)

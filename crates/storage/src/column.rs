@@ -99,9 +99,7 @@ impl Column {
     /// predicate on it matches nothing).
     pub fn encode_constant(&self, v: &Value) -> Result<Option<i64>> {
         match (self.ty, v) {
-            (LogicalType::Dict, Value::Str(s)) => {
-                Ok(self.dict.as_ref().and_then(|d| d.code_of(s)))
-            }
+            (LogicalType::Dict, Value::Str(s)) => Ok(self.dict.as_ref().and_then(|d| d.code_of(s))),
             (LogicalType::Dict, Value::Int(raw)) => Ok(Some(*raw)),
             (LogicalType::Dict, other) => Err(Error::invalid(format!(
                 "cannot compare dict column with {other:?}"

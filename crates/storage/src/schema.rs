@@ -67,7 +67,10 @@ impl TableSchema {
     pub fn new(columns: Vec<ColumnDef>) -> Result<Self> {
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|p| p.name == c.name) {
-                return Err(Error::invalid(format!("duplicate column name `{}`", c.name)));
+                return Err(Error::invalid(format!(
+                    "duplicate column name `{}`",
+                    c.name
+                )));
             }
         }
         Ok(TableSchema { columns })

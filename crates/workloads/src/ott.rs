@@ -410,11 +410,13 @@ mod tests {
         let g = q.join_graph();
         // Chain: endpoints have degree 1.
         assert_eq!(
-            g.neighbors(reopt_common::RelSet::single(RelId::new(0))).len(),
+            g.neighbors(reopt_common::RelSet::single(RelId::new(0)))
+                .len(),
             1
         );
         assert_eq!(
-            g.neighbors(reopt_common::RelSet::single(RelId::new(4))).len(),
+            g.neighbors(reopt_common::RelSet::single(RelId::new(4)))
+                .len(),
             1
         );
     }

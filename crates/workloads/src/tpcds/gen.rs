@@ -109,7 +109,11 @@ pub fn build_tpcds_database(config: &TpcdsConfig) -> Result<Database> {
                     int((0..n_items as i64).collect()),
                     Column::from_strings(&bcol),
                     Column::from_strings(&ccol),
-                    money((0..n_items).map(|_| rng.random_range(100..50_000i64)).collect()),
+                    money(
+                        (0..n_items)
+                            .map(|_| rng.random_range(100..50_000i64))
+                            .collect(),
+                    ),
                 ],
             )?;
             t.create_index(cols::item::ITEM_SK)?;
@@ -135,7 +139,10 @@ pub fn build_tpcds_database(config: &TpcdsConfig) -> Result<Database> {
                 id,
                 "store",
                 schema,
-                vec![int((0..n_stores as i64).collect()), Column::from_strings(&scol)],
+                vec![
+                    int((0..n_stores as i64).collect()),
+                    Column::from_strings(&scol),
+                ],
             )?;
             t.create_index(cols::store::STORE_SK)?;
             Ok(t)
@@ -323,9 +330,11 @@ pub fn build_tpcds_database(config: &TpcdsConfig) -> Result<Database> {
                 "web_sales",
                 schema,
                 vec![
-                    date((0..n_web_sales)
-                        .map(|_| rng.random_range(0..DATE_DOMAIN_DAYS))
-                        .collect()),
+                    date(
+                        (0..n_web_sales)
+                            .map(|_| rng.random_range(0..DATE_DOMAIN_DAYS))
+                            .collect(),
+                    ),
                     int((0..n_web_sales)
                         .map(|_| item_dist.sample(&mut rng) as i64)
                         .collect()),
@@ -393,7 +402,10 @@ mod tests {
         let ss_date = ss.column(cols::store_sales::SOLD_DATE_SK).unwrap().data();
         let sr_item = sr.column(cols::store_returns::ITEM_SK).unwrap().data();
         let sr_ticket = sr.column(cols::store_returns::TICKET).unwrap().data();
-        let sr_date = sr.column(cols::store_returns::RETURNED_DATE_SK).unwrap().data();
+        let sr_date = sr
+            .column(cols::store_returns::RETURNED_DATE_SK)
+            .unwrap()
+            .data();
         for i in 0..sr.row_count() {
             let sale_row = sr_ticket[i] as usize; // tickets are row ids
             assert_eq!(sr_item[i], ss_item[sale_row]);
@@ -417,8 +429,16 @@ mod tests {
         let a = build_tpcds_database(&tiny()).unwrap();
         let b = build_tpcds_database(&tiny()).unwrap();
         assert_eq!(
-            a.table(tables::STORE_SALES).unwrap().column(cols::store_sales::ITEM_SK).unwrap().data(),
-            b.table(tables::STORE_SALES).unwrap().column(cols::store_sales::ITEM_SK).unwrap().data()
+            a.table(tables::STORE_SALES)
+                .unwrap()
+                .column(cols::store_sales::ITEM_SK)
+                .unwrap()
+                .data(),
+            b.table(tables::STORE_SALES)
+                .unwrap()
+                .column(cols::store_sales::ITEM_SK)
+                .unwrap()
+                .data()
         );
     }
 }

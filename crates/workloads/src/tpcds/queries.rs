@@ -132,7 +132,11 @@ fn q7(rng: &mut Rng) -> Result<Query> {
         ColRef::new(s, cols::store::STORE_SK),
     );
     qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
-    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.add_predicate(Predicate::eq(
+        i,
+        cols::item::CATEGORY,
+        category(rng).as_str(),
+    ));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(i, cols::item::BRAND)],
         aggs: vec![AggExpr::avg(ColRef::new(ss, cols::store_sales::QUANTITY))],
@@ -166,7 +170,11 @@ fn q19(rng: &mut Rng) -> Result<Query> {
     );
     qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
     qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
-    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.add_predicate(Predicate::eq(
+        i,
+        cols::item::CATEGORY,
+        category(rng).as_str(),
+    ));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(i, cols::item::BRAND)],
         aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
@@ -207,7 +215,10 @@ fn q25(rng: &mut Rng) -> Result<Query> {
     qb.add_predicate(Predicate::eq(d2, cols::date_dim::YEAR, y));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(s, cols::store::STATE)],
-        aggs: vec![AggExpr::sum(ColRef::new(sr, cols::store_returns::RETURN_AMT))],
+        aggs: vec![AggExpr::sum(ColRef::new(
+            sr,
+            cols::store_returns::RETURN_AMT,
+        ))],
     });
     Ok(qb.build())
 }
@@ -336,7 +347,11 @@ fn q45(rng: &mut Rng) -> Result<Query> {
         ColRef::new(ws, cols::web_sales::SOLD_DATE_SK),
         ColRef::new(d, cols::date_dim::DATE_SK),
     );
-    qb.add_predicate(Predicate::eq(d, cols::date_dim::QOY, rng.random_range(0..4i64)));
+    qb.add_predicate(Predicate::eq(
+        d,
+        cols::date_dim::QOY,
+        rng.random_range(0..4i64),
+    ));
     qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(i, cols::item::CATEGORY)],
@@ -554,7 +569,11 @@ fn q99(rng: &mut Rng) -> Result<Query> {
         ColRef::new(w, cols::warehouse::WAREHOUSE_SK),
     );
     qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
-    qb.add_predicate(Predicate::eq(d, cols::date_dim::QOY, rng.random_range(0..4i64)));
+    qb.add_predicate(Predicate::eq(
+        d,
+        cols::date_dim::QOY,
+        rng.random_range(0..4i64),
+    ));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(sm, cols::ship_mode::TYPE)],
         aggs: vec![AggExpr::count_star()],
@@ -577,7 +596,11 @@ fn q26(rng: &mut Rng) -> Result<Query> {
         ColRef::new(i, cols::item::ITEM_SK),
     );
     qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
-    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.add_predicate(Predicate::eq(
+        i,
+        cols::item::CATEGORY,
+        category(rng).as_str(),
+    ));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(i, cols::item::BRAND)],
         aggs: vec![AggExpr::avg(ColRef::new(ws, cols::web_sales::QUANTITY))],
@@ -601,7 +624,11 @@ fn q37(rng: &mut Rng) -> Result<Query> {
     );
     let plo = rng.random_range(100..30_000i64);
     qb.add_predicate(Predicate::between(i, cols::item::PRICE, plo, plo + 10_000));
-    qb.add_predicate(Predicate::eq(d, cols::date_dim::QOY, rng.random_range(0..4i64)));
+    qb.add_predicate(Predicate::eq(
+        d,
+        cols::date_dim::QOY,
+        rng.random_range(0..4i64),
+    ));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(i, cols::item::BRAND)],
         aggs: vec![AggExpr::count_star()],
@@ -623,7 +650,11 @@ fn q53(rng: &mut Rng) -> Result<Query> {
         ColRef::new(ss, cols::store_sales::ITEM_SK),
         ColRef::new(i, cols::item::ITEM_SK),
     );
-    qb.add_predicate(Predicate::eq(d, cols::date_dim::QOY, rng.random_range(0..4i64)));
+    qb.add_predicate(Predicate::eq(
+        d,
+        cols::date_dim::QOY,
+        rng.random_range(0..4i64),
+    ));
     qb.add_predicate(Predicate::eq(i, cols::item::BRAND, brand(rng).as_str()));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(d, cols::date_dim::YEAR)],
@@ -647,7 +678,11 @@ fn q60(rng: &mut Rng) -> Result<Query> {
         ColRef::new(i, cols::item::ITEM_SK),
     );
     qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
-    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.add_predicate(Predicate::eq(
+        i,
+        cols::item::CATEGORY,
+        category(rng).as_str(),
+    ));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(i, cols::item::ITEM_SK)],
         aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
@@ -676,7 +711,11 @@ fn q61(rng: &mut Rng) -> Result<Query> {
     );
     qb.add_predicate(Predicate::eq(d, cols::date_dim::YEAR, year(rng)));
     qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
-    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.add_predicate(Predicate::eq(
+        i,
+        cols::item::CATEGORY,
+        category(rng).as_str(),
+    ));
     qb.aggregate(AggSpec {
         group_by: vec![],
         aggs: vec![AggExpr::sum(ColRef::new(ss, cols::store_sales::PRICE))],
@@ -721,7 +760,11 @@ fn q65(rng: &mut Rng) -> Result<Query> {
         ColRef::new(ss, cols::store_sales::ITEM_SK),
         ColRef::new(i, cols::item::ITEM_SK),
     );
-    qb.add_predicate(Predicate::eq(i, cols::item::CATEGORY, category(rng).as_str()));
+    qb.add_predicate(Predicate::eq(
+        i,
+        cols::item::CATEGORY,
+        category(rng).as_str(),
+    ));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(i, cols::item::BRAND)],
         aggs: vec![
@@ -747,8 +790,17 @@ fn q69(rng: &mut Rng) -> Result<Query> {
         ColRef::new(d, cols::date_dim::DATE_SK),
     );
     let by = rng.random_range(1930..1990i64);
-    qb.add_predicate(Predicate::between(c, cols::customer::BIRTH_YEAR, by, by + 10));
-    qb.add_predicate(Predicate::eq(d, cols::date_dim::QOY, rng.random_range(0..4i64)));
+    qb.add_predicate(Predicate::between(
+        c,
+        cols::customer::BIRTH_YEAR,
+        by,
+        by + 10,
+    ));
+    qb.add_predicate(Predicate::eq(
+        d,
+        cols::date_dim::QOY,
+        rng.random_range(0..4i64),
+    ));
     qb.aggregate(AggSpec {
         group_by: vec![],
         aggs: vec![AggExpr::count_star()],
@@ -802,7 +854,12 @@ fn q84(rng: &mut Rng) -> Result<Query> {
         ColRef::new(c, cols::customer::CUST_SK),
     );
     let by = rng.random_range(1930..1995i64);
-    qb.add_predicate(Predicate::between(c, cols::customer::BIRTH_YEAR, by, by + 5));
+    qb.add_predicate(Predicate::between(
+        c,
+        cols::customer::BIRTH_YEAR,
+        by,
+        by + 5,
+    ));
     qb.aggregate(AggSpec {
         group_by: vec![],
         aggs: vec![AggExpr::count_star()],
@@ -846,7 +903,10 @@ fn q91(rng: &mut Rng) -> Result<Query> {
     qb.add_predicate(Predicate::eq(d, cols::date_dim::MOY, moy(rng)));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(i, cols::item::CATEGORY)],
-        aggs: vec![AggExpr::sum(ColRef::new(sr, cols::store_returns::RETURN_AMT))],
+        aggs: vec![AggExpr::sum(ColRef::new(
+            sr,
+            cols::store_returns::RETURN_AMT,
+        ))],
     });
     Ok(qb.build())
 }
@@ -897,8 +957,7 @@ mod tests {
         for name in all_template_names() {
             for inst in 0..2u64 {
                 let mut rng = derive_rng_indexed(2, name, inst);
-                let q = instantiate(&db, name, &mut rng)
-                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                let q = instantiate(&db, name, &mut rng).unwrap_or_else(|e| panic!("{name}: {e}"));
                 q.validate(&db)
                     .unwrap_or_else(|e| panic!("{name} instance {inst}: {e}"));
             }

@@ -160,7 +160,11 @@ pub fn build_tpch_database(config: &TpchConfig) -> Result<Database> {
                 vec![
                     int((0..n as i64).collect()),
                     int((0..n).map(|_| rng.random_range(0..25i64)).collect()),
-                    money((0..n).map(|_| rng.random_range(-99_999..999_999i64)).collect()),
+                    money(
+                        (0..n)
+                            .map(|_| rng.random_range(-99_999..999_999i64))
+                            .collect(),
+                    ),
                 ],
             )?;
             t.create_index(cols::supplier::SUPPKEY)?;
@@ -191,7 +195,11 @@ pub fn build_tpch_database(config: &TpchConfig) -> Result<Database> {
                     int((0..n as i64).collect()),
                     int((0..n).map(|_| rng.random_range(0..25i64)).collect()),
                     Column::from_strings(&segs),
-                    money((0..n).map(|_| rng.random_range(-99_999..999_999i64)).collect()),
+                    money(
+                        (0..n)
+                            .map(|_| rng.random_range(-99_999..999_999i64))
+                            .collect(),
+                    ),
                 ],
             )?;
             t.create_index(cols::customer::CUSTKEY)?;
@@ -254,7 +262,11 @@ pub fn build_tpch_database(config: &TpchConfig) -> Result<Database> {
                     Column::from_strings(&types),
                     Column::from_strings(&containers),
                     int((0..n).map(|_| rng.random_range(1..=50i64)).collect()),
-                    money((0..n).map(|_| rng.random_range(90_000..200_000i64)).collect()),
+                    money(
+                        (0..n)
+                            .map(|_| rng.random_range(90_000..200_000i64))
+                            .collect(),
+                    ),
                 ],
             )?;
             t.create_index(cols::part::PARTKEY)?;
@@ -326,7 +338,7 @@ pub fn build_tpch_database(config: &TpchConfig) -> Result<Database> {
             let prio = rng.random_range(0..PRIORITIES.len());
             o_prio_idx.push(prio);
             o_priority.push(PRIORITIES[prio]);
-            o_status.push(ORDERSTATUS[rng.random_range(0..3)]);
+            o_status.push(ORDERSTATUS[rng.random_range(0..3usize)]);
             o_totalprice.push(rng.random_range(100_000..50_000_000i64));
         }
 
@@ -353,7 +365,8 @@ pub fn build_tpch_database(config: &TpchConfig) -> Result<Database> {
                 l_suppkey.push(supp_dist.sample(&mut lrng) as i64);
                 l_quantity.push(lrng.random_range(1..=50i64));
                 l_extprice.push(lrng.random_range(100_000..10_000_000i64));
-                l_discount.push(lrng.random_range(0..=1000i64)); // basis points
+                // Discount is in basis points.
+                l_discount.push(lrng.random_range(0..=1000i64));
                 // Correlation 1: ship date = order date + U(1, 121).
                 let ship = o_orderdate[k] + lrng.random_range(1..=121i64);
                 // Correlation 2: receipt date = ship date + U(1, 30).
@@ -362,16 +375,15 @@ pub fn build_tpch_database(config: &TpchConfig) -> Result<Database> {
                 l_ship.push(ship);
                 l_commit.push(commit);
                 l_receipt.push(receipt);
-                l_rflag.push(RETURNFLAGS[lrng.random_range(0..3)]);
-                l_status.push(LINESTATUS[lrng.random_range(0..2)]);
+                l_rflag.push(RETURNFLAGS[lrng.random_range(0..3usize)]);
+                l_status.push(LINESTATUS[lrng.random_range(0..2usize)]);
                 // Correlation 3: urgent orders overwhelmingly ship by AIR.
-                let mode = if o_prio_idx[k] <= 1
-                    && lrng.random_bool(config.correlation.clamp(0.0, 1.0))
-                {
-                    SHIPMODES[lrng.random_range(0..2)] // AIR / AIR REG
-                } else {
-                    SHIPMODES[lrng.random_range(0..SHIPMODES.len())]
-                };
+                let mode =
+                    if o_prio_idx[k] <= 1 && lrng.random_bool(config.correlation.clamp(0.0, 1.0)) {
+                        SHIPMODES[lrng.random_range(0..2usize)] // AIR / AIR REG
+                    } else {
+                        SHIPMODES[lrng.random_range(0..SHIPMODES.len())]
+                    };
                 l_mode.push(mode);
             }
         }
@@ -600,8 +612,16 @@ mod tests {
         let a = build_tpch_database(&tiny()).unwrap();
         let b = build_tpch_database(&tiny()).unwrap();
         assert_eq!(
-            a.table(tables::LINEITEM).unwrap().column(cols::lineitem::SHIPDATE).unwrap().data(),
-            b.table(tables::LINEITEM).unwrap().column(cols::lineitem::SHIPDATE).unwrap().data()
+            a.table(tables::LINEITEM)
+                .unwrap()
+                .column(cols::lineitem::SHIPDATE)
+                .unwrap()
+                .data(),
+            b.table(tables::LINEITEM)
+                .unwrap()
+                .column(cols::lineitem::SHIPDATE)
+                .unwrap()
+                .data()
         );
     }
 }

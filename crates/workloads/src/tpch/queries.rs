@@ -26,8 +26,8 @@ use reopt_storage::Database;
 
 /// All template names, in paper order.
 pub const TEMPLATE_NAMES: [&str; 21] = [
-    "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "q10", "q11", "q12", "q13", "q14",
-    "q16", "q17", "q18", "q19", "q20", "q21", "q22",
+    "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "q10", "q11", "q12", "q13", "q14", "q16",
+    "q17", "q18", "q19", "q20", "q21", "q22",
 ];
 
 /// Template names, in paper order.
@@ -104,19 +104,25 @@ fn correlated_type(brand: usize) -> String {
 }
 
 fn random_region(rng: &mut Rng) -> &'static str {
-    ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"][rng.random_range(0..5)]
+    ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"][rng.random_range(0..5usize)]
 }
 
 fn random_segment(rng: &mut Rng) -> &'static str {
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"][rng.random_range(0..5)]
+    [
+        "AUTOMOBILE",
+        "BUILDING",
+        "FURNITURE",
+        "HOUSEHOLD",
+        "MACHINERY",
+    ][rng.random_range(0..5usize)]
 }
 
 fn random_priority(rng: &mut Rng) -> &'static str {
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"][rng.random_range(0..5)]
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"][rng.random_range(0..5usize)]
 }
 
 fn random_shipmode(rng: &mut Rng) -> &'static str {
-    ["AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"][rng.random_range(0..7)]
+    ["AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"][rng.random_range(0..7usize)]
 }
 
 /// First day of a random year within the domain.
@@ -338,8 +344,16 @@ fn q7(rng: &mut Rng) -> Result<Query> {
     );
     let a = rng.random_range(0..25usize);
     let b = (a + 1 + rng.random_range(0..24usize)) % 25;
-    qb.add_predicate(Predicate::eq(n1, cols::nation::NAME, nation_name(a).as_str()));
-    qb.add_predicate(Predicate::eq(n2, cols::nation::NAME, nation_name(b).as_str()));
+    qb.add_predicate(Predicate::eq(
+        n1,
+        cols::nation::NAME,
+        nation_name(a).as_str(),
+    ));
+    qb.add_predicate(Predicate::eq(
+        n2,
+        cols::nation::NAME,
+        nation_name(b).as_str(),
+    ));
     let y = random_year_start(rng);
     qb.add_predicate(Predicate::between(
         l,
@@ -804,7 +818,10 @@ fn q22(rng: &mut Rng) -> Result<Query> {
     ));
     qb.aggregate(AggSpec {
         group_by: vec![ColRef::new(c, cols::customer::NATIONKEY)],
-        aggs: vec![AggExpr::count_star(), AggExpr::avg(ColRef::new(c, cols::customer::ACCTBAL))],
+        aggs: vec![
+            AggExpr::count_star(),
+            AggExpr::avg(ColRef::new(c, cols::customer::ACCTBAL)),
+        ],
     });
     Ok(qb.build())
 }
@@ -812,9 +829,9 @@ fn q22(rng: &mut Rng) -> Result<Query> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reopt_common::RelId;
     use crate::tpch::gen::{build_tpch_database, TpchConfig};
     use reopt_common::rng::derive_rng_indexed;
+    use reopt_common::RelId;
 
     fn db() -> Database {
         build_tpch_database(&TpchConfig {
@@ -830,8 +847,7 @@ mod tests {
         for name in all_template_names() {
             for inst in 0..3u64 {
                 let mut rng = derive_rng_indexed(1, name, inst);
-                let q = instantiate(&db, name, &mut rng)
-                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+                let q = instantiate(&db, name, &mut rng).unwrap_or_else(|e| panic!("{name}: {e}"));
                 q.validate(&db)
                     .unwrap_or_else(|e| panic!("{name} instance {inst}: {e}"));
             }

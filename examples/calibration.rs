@@ -16,10 +16,22 @@ use reopt::workloads::tpch::{all_template_names, build_tpch_database, instantiat
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = calibrate(7, 1);
     println!("calibrated cost units (seq_page_cost = 1.0):");
-    println!("  random_page_cost     = {:.3}   (PostgreSQL default 4.0)", report.units.random_page_cost);
-    println!("  cpu_tuple_cost       = {:.5} (default 0.01)", report.units.cpu_tuple_cost);
-    println!("  cpu_index_tuple_cost = {:.5} (default 0.005)", report.units.cpu_index_tuple_cost);
-    println!("  cpu_operator_cost    = {:.5} (default 0.0025)", report.units.cpu_operator_cost);
+    println!(
+        "  random_page_cost     = {:.3}   (PostgreSQL default 4.0)",
+        report.units.random_page_cost
+    );
+    println!(
+        "  cpu_tuple_cost       = {:.5} (default 0.01)",
+        report.units.cpu_tuple_cost
+    );
+    println!(
+        "  cpu_index_tuple_cost = {:.5} (default 0.005)",
+        report.units.cpu_index_tuple_cost
+    );
+    println!(
+        "  cpu_operator_cost    = {:.5} (default 0.0025)",
+        report.units.cpu_operator_cost
+    );
 
     let db = build_tpch_database(&TpchConfig::default())?;
     let stats = analyze_database(&db, &AnalyzeOpts::default())?;
@@ -48,5 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn indent(s: &str) -> String {
-    s.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

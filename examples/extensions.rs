@@ -16,9 +16,7 @@ use reopt::executor::explain_analyze;
 use reopt::optimizer::{Optimizer, OptimizerConfig};
 use reopt::sampling::{SampleConfig, SampleStore};
 use reopt::stats::{analyze_database, AnalyzeOpts};
-use reopt::workloads::ott::{
-    build_ott_database, ott_query, recommended_sample_ratio, OttConfig,
-};
+use reopt::workloads::ott::{build_ott_database, ott_query, recommended_sample_ratio, OttConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = OttConfig::default();

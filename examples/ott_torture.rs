@@ -15,15 +15,19 @@ use reopt::optimizer::Optimizer;
 use reopt::sampling::{SampleConfig, SampleStore};
 use reopt::stats::{analyze_database, AnalyzeOpts};
 use reopt::workloads::ott::{
-    build_ott_database, estimated_query_size, ott_query, recommended_sample_ratio,
-    true_query_size, OttConfig,
+    build_ott_database, estimated_query_size, ott_query, recommended_sample_ratio, true_query_size,
+    OttConfig,
 };
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = OttConfig::default();
     let db = build_ott_database(&config)?;
-    println!("OTT database: {} tables, {} total rows", db.len(), db.total_rows());
+    println!(
+        "OTT database: {} tables, {} total rows",
+        db.len(),
+        db.total_rows()
+    );
 
     let stats = analyze_database(&db, &AnalyzeOpts::default())?;
     let samples = SampleStore::build(

@@ -6,13 +6,13 @@
 //! ```
 
 use reopt::core::{ReOptConfig, ReOptimizer};
+use reopt::executor::execute_plan;
 use reopt::optimizer::Optimizer;
 use reopt::plan::query::{AggExpr, AggSpec, ColRef};
 use reopt::plan::{Predicate, QueryBuilder};
 use reopt::sampling::{SampleConfig, SampleStore};
 use reopt::stats::{analyze_database, AnalyzeOpts};
 use reopt::storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema};
-use reopt::executor::execute_plan;
 use reopt_common::ColId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vec![
                 Column::from_i64(LogicalType::Int, (0..rows).map(|i| i % n_users).collect()),
                 // kind correlates with the user's city (both derive from id).
-                Column::from_i64(LogicalType::Int, (0..rows).map(|i| (i % n_users) % 50).collect()),
+                Column::from_i64(
+                    LogicalType::Int,
+                    (0..rows).map(|i| (i % n_users) % 50).collect(),
+                ),
             ],
         )?;
         t.create_index(ColId::new(0))?;
@@ -80,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 4. One-shot optimization vs the re-optimization loop.
     let optimizer = Optimizer::new(&db, &stats);
     let original = optimizer.optimize(&query)?;
-    println!("original plan (histogram estimates):\n{}", original.plan.explain());
+    println!(
+        "original plan (histogram estimates):\n{}",
+        original.plan.explain()
+    );
 
     let re = ReOptimizer::with_config(&optimizer, &samples, ReOptConfig::default());
     let report = re.run(&query)?;
@@ -91,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.converged,
         report.reopt_time
     );
-    println!("final plan (sampling-validated estimates):\n{}", report.final_plan.explain());
+    println!(
+        "final plan (sampling-validated estimates):\n{}",
+        report.final_plan.explain()
+    );
 
     // --- 5. Execute the final plan.
     let out = execute_plan(&db, &query, &report.final_plan)?;

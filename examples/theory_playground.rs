@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = re.run(&query)?;
 
     println!("\nOTT query, 6 relations:");
-    println!("  rounds: {} (Corollary 1 guarantees termination)", report.num_rounds());
+    println!(
+        "  rounds: {} (Corollary 1 guarantees termination)",
+        report.num_rounds()
+    );
     println!(
         "  transformation chain: {:?}",
         report

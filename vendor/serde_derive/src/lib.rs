@@ -1,0 +1,482 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Registry access is unavailable, so this crate parses the derive input
+//! token stream by hand (no `syn`/`quote`) and emits impls of the shim's
+//! value-tree traits. Supported shapes — the ones this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype arity-1 and general),
+//! * unit structs,
+//! * enums with unit and tuple variants,
+//! * the container attribute `#[serde(from = "T", into = "T")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+/// Count commas at angle-bracket depth 0 to split a token list into fields.
+fn count_top_level_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1usize;
+    let mut last_was_comma = false;
+    for t in tokens {
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if last_was_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+/// Extract `from`/`into` from a `#[serde(...)]` attribute body.
+fn parse_serde_attr(
+    body: &[TokenTree],
+    from_ty: &mut Option<String>,
+    into_ty: &mut Option<String>,
+) {
+    let mut i = 0;
+    while i < body.len() {
+        if let TokenTree::Ident(key) = &body[i] {
+            let key = key.to_string();
+            if (key == "from" || key == "into")
+                && i + 2 < body.len()
+                && matches!(&body[i + 1], TokenTree::Punct(p) if p.as_char() == '=')
+            {
+                if let TokenTree::Literal(lit) = &body[i + 2] {
+                    let raw = lit.to_string();
+                    let ty = raw.trim_matches('"').to_string();
+                    if key == "from" {
+                        *from_ty = Some(ty);
+                    } else {
+                        *into_ty = Some(ty);
+                    }
+                }
+                i += 3;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Skip a run of `#[...]` attributes starting at `i`; collect serde attrs.
+fn skip_attrs(
+    tokens: &[TokenTree],
+    mut i: usize,
+    from_ty: &mut Option<String>,
+    into_ty: &mut Option<String>,
+) -> usize {
+    while i + 1 < tokens.len() {
+        let is_pound = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_pound {
+            break;
+        }
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = body.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(inner)) = body.get(1) {
+                            let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+                            parse_serde_attr(&inner, from_ty, into_ty);
+                        }
+                    }
+                }
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    i
+}
+
+/// Parse the fields of a named struct body: `{ attrs vis name: ty, ... }`.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    let mut ignore_from = None;
+    let mut ignore_into = None;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i, &mut ignore_from, &mut ignore_into);
+        // Skip visibility.
+        if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            Some(other) => panic!("serde_derive: unexpected token in struct body: {other}"),
+        }
+        i += 1;
+        // Expect `:`, then consume the type until a depth-0 comma.
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parse enum variants: `attrs Name`, `attrs Name(tys)`, optional `= disc`.
+fn parse_variants(group: &proc_macro::Group) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    let mut ignore_from = None;
+    let mut ignore_into = None;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i, &mut ignore_from, &mut ignore_into);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde_derive: unexpected token in enum body: {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive: struct-like enum variants are not supported (variant {name})")
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip to past the next depth-0 comma (covers `= discriminant`).
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut from_ty = None;
+    let mut into_ty = None;
+    let mut i = skip_attrs(&tokens, 0, &mut from_ty, &mut into_ty);
+
+    // Visibility.
+    if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: expected `struct` or `enum`"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: expected type name"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (type {name})");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(count_top_level_fields(&inner))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: expected `struct` or `enum`, got `{other}`"),
+    };
+
+    Input {
+        name,
+        shape,
+        from_ty,
+        into_ty,
+    }
+}
+
+/// Derive the shim's `Serialize` (value-tree) impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+
+    if let Some(into_ty) = &input.into_ty {
+        let code = format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     let proxy: {into_ty} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+                     ::serde::Serialize::to_value(&proxy)\n\
+                 }}\n\
+             }}"
+        );
+        return code.parse().unwrap();
+    }
+
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derive the shim's `Deserialize` (value-tree) impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+
+    if let Some(from_ty) = &input.from_ty {
+        let code = format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                     let proxy: {from_ty} = ::serde::Deserialize::from_value(v)?;\n\
+                     ::core::result::Result::Ok(::core::convert::From::from(proxy))\n\
+                 }}\n\
+             }}"
+        );
+        return code.parse().unwrap();
+    }
+
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: match v.get(\"{f}\") {{\n\
+                             Some(fv) => ::serde::Deserialize::from_value(fv)?,\n\
+                             None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                                 .map_err(|_| ::serde::DeError::msg(\n\
+                                     \"missing field `{f}` in {name}\"))?,\n\
+                         }},"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Object(_) => ::core::result::Result::Ok({name} {{ {} }}),\n\
+                     other => ::core::result::Result::Err(::serde::DeError::msg(format!(\n\
+                         \"expected object for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                inits.join("\n")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         ::serde::DeError::msg(\"{name}: missing tuple element {i}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) => ::core::result::Result::Ok({name}({})),\n\
+                     other => ::core::result::Result::Err(::serde::DeError::msg(format!(\n\
+                         \"expected array for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let str_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let obj_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, s)| match s {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                                     ::serde::DeError::msg(\"{name}::{v}: missing element {i}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => match payload {{\n\
+                                 ::serde::Value::Array(items) => ::core::result::Result::Ok({name}::{v}({})),\n\
+                                 _ => ::core::result::Result::Err(::serde::DeError::msg(\n\
+                                     \"{name}::{v}: expected array payload\")),\n\
+                             }},",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {str_arms}\n\
+                         other => ::core::result::Result::Err(::serde::DeError::msg(format!(\n\
+                             \"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, payload) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {obj_arms}\n\
+                             other => ::core::result::Result::Err(::serde::DeError::msg(format!(\n\
+                                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::core::result::Result::Err(::serde::DeError::msg(format!(\n\
+                         \"expected variant for {name}, got {{other:?}}\"))),\n\
+                 }}",
+                str_arms = str_arms.join("\n"),
+                obj_arms = obj_arms.join("\n"),
+            )
+        }
+    };
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
