@@ -1,0 +1,204 @@
+//! From-scratch vs incremental re-optimization round latency, measured on
+//! the OTT chains and the TPC-H join queries, with machine-readable output
+//! in `BENCH_incremental.json` so the perf trajectory is tracked in CI.
+//!
+//! Not a criterion harness: each workload runs the full Algorithm 1 loop
+//! under both settings of the `incremental` knob and reports total loop
+//! time, per-round mean, and the reuse counters that explain the gap.
+//! Pass `--quick` for the reduced-iteration CI configuration.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use reopt_common::rng::derive_rng_indexed;
+use reopt_core::{ReOptConfig, ReOptimizer};
+use reopt_optimizer::Optimizer;
+use reopt_plan::Query;
+use reopt_sampling::{SampleConfig, SampleStore};
+use reopt_stats::{analyze_database, AnalyzeOpts, DatabaseStats};
+use reopt_storage::Database;
+use reopt_workloads::ott::{
+    build_ott_database, ott_query, ott_query_suite, recommended_sample_ratio, OttConfig,
+};
+use reopt_workloads::tpch::{build_tpch_database, instantiate, TpchConfig};
+
+#[derive(Debug, Serialize)]
+struct ModeResult {
+    /// Total Algorithm 1 loop wall time across repetitions, milliseconds.
+    total_loop_ms: f64,
+    /// Mean wall time of one round, milliseconds.
+    mean_round_ms: f64,
+    /// Optimizer invocations per repetition.
+    rounds: usize,
+    /// DP subsets (re-)planned per repetition, summed over rounds.
+    dp_subsets_replanned: usize,
+    /// DP subsets reused from the memo per repetition.
+    dp_subsets_reused: usize,
+    /// Sample dry-run subtrees replayed from the cache per repetition.
+    sample_cache_hits: usize,
+    /// Sample dry-run subtrees executed per repetition.
+    sample_subtrees_executed: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct QueryResult {
+    workload: String,
+    query: String,
+    repetitions: usize,
+    from_scratch: ModeResult,
+    incremental: ModeResult,
+    /// total_loop_ms(from_scratch) / total_loop_ms(incremental).
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    quick: bool,
+    queries: Vec<QueryResult>,
+    /// Geometric mean of per-query speedups.
+    geomean_speedup: f64,
+}
+
+struct Bound {
+    db: Database,
+    stats: DatabaseStats,
+    samples: SampleStore,
+}
+
+impl Bound {
+    fn new(db: Database, ratio: f64) -> Self {
+        let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(
+            &db,
+            SampleConfig {
+                ratio,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        Bound { db, stats, samples }
+    }
+
+    fn measure(&self, q: &Query, incremental: bool, reps: usize) -> ModeResult {
+        let opt = Optimizer::new(&self.db, &self.stats);
+        let re = ReOptimizer::with_config(
+            &opt,
+            &self.samples,
+            ReOptConfig {
+                incremental,
+                ..Default::default()
+            },
+        );
+        // Warm-up run (page in samples, allocator steady state).
+        let _ = re.run(q).unwrap();
+        let t0 = Instant::now();
+        let mut last = None;
+        for _ in 0..reps {
+            last = Some(re.run(q).unwrap());
+        }
+        let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let report = last.unwrap();
+        ModeResult {
+            total_loop_ms: total_ms,
+            mean_round_ms: total_ms / (reps * report.num_rounds()) as f64,
+            rounds: report.num_rounds(),
+            dp_subsets_replanned: report.total_dp_subsets_replanned(),
+            dp_subsets_reused: report.total_dp_subsets_reused(),
+            sample_cache_hits: report.total_sample_cache_hits(),
+            sample_subtrees_executed: report.total_sample_subtrees_executed(),
+        }
+    }
+
+    fn run_query(&self, workload: &str, name: &str, q: &Query, reps: usize) -> QueryResult {
+        let from_scratch = self.measure(q, false, reps);
+        let incremental = self.measure(q, true, reps);
+        let speedup = from_scratch.total_loop_ms / incremental.total_loop_ms.max(1e-9);
+        QueryResult {
+            workload: workload.to_string(),
+            query: name.to_string(),
+            repetitions: reps,
+            from_scratch,
+            incremental,
+            speedup,
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 20 };
+    let mut queries = Vec::new();
+
+    // OTT chains (5- and 6-relation suites; every query has empty edges).
+    let ott_config = OttConfig {
+        rows_per_value: 12,
+        ..Default::default()
+    };
+    let ott_db = build_ott_database(&ott_config).unwrap();
+    let ott = Bound::new(ott_db, recommended_sample_ratio(&ott_config));
+    for (n, m) in [(5usize, 3usize), (6, 3)] {
+        for consts in ott_query_suite(n, m)
+            .into_iter()
+            .take(if quick { 2 } else { usize::MAX })
+        {
+            let q = ott_query(&ott.db, &consts).unwrap();
+            queries.push(ott.run_query("ott", &format!("chain{n}/{consts:?}"), &q, reps));
+        }
+    }
+
+    // TPC-H join templates.
+    let tpch_db = build_tpch_database(&TpchConfig {
+        scale: 0.01,
+        ..Default::default()
+    })
+    .unwrap();
+    let tpch = Bound::new(tpch_db, 0.05);
+    for name in ["q3", "q5", "q9", "q21"] {
+        let mut rng = derive_rng_indexed(0xbe2c, name, 0);
+        let q = instantiate(&tpch.db, name, &mut rng).unwrap();
+        queries.push(tpch.run_query("tpch", name, &q, reps));
+    }
+
+    let geomean_speedup =
+        (queries.iter().map(|r| r.speedup.ln()).sum::<f64>() / queries.len() as f64).exp();
+    let report = BenchReport {
+        bench: "bench_incremental",
+        quick,
+        queries,
+        geomean_speedup,
+    };
+
+    println!(
+        "{:<24} {:>12} {:>12} {:>8}  {:>14} {:>12}",
+        "query", "scratch ms", "incr ms", "speedup", "dp replanned", "cache hits"
+    );
+    for r in &report.queries {
+        println!(
+            "{:<24} {:>12.3} {:>12.3} {:>7.2}x  {:>6} -> {:>5} {:>12}",
+            format!("{}/{}", r.workload, r.query),
+            r.from_scratch.total_loop_ms,
+            r.incremental.total_loop_ms,
+            r.speedup,
+            r.from_scratch.dp_subsets_replanned,
+            r.incremental.dp_subsets_replanned,
+            r.incremental.sample_cache_hits,
+        );
+    }
+    println!("geomean speedup: {:.2}x", report.geomean_speedup);
+
+    // Anchor the output at the workspace root (cargo runs benches with
+    // cwd = the package directory) so CI finds one canonical path.
+    let out = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(pkg) => std::path::Path::new(&pkg)
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("BENCH_incremental.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_incremental.json"),
+    };
+    let json = serde_json::to_string(&report).unwrap();
+    std::fs::write(&out, &json).unwrap();
+    println!("wrote {}", out.display());
+}

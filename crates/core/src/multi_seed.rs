@@ -15,9 +15,9 @@
 use reopt_common::{Error, Result};
 use reopt_optimizer::{CardOverrides, Optimizer};
 use reopt_plan::{PhysicalPlan, Query};
-use reopt_sampling::{validate_plan, SampleStore};
+use reopt_sampling::SampleStore;
 
-use crate::reopt::ReOptConfig;
+use crate::reopt::{IncrementalCaches, ReOptConfig};
 use crate::report::RoundReport;
 use reopt_plan::transform::{classify_transformation, is_covered_by};
 use reopt_plan::JoinTree;
@@ -55,17 +55,33 @@ pub fn run_multi_seed(
     let mut gamma = CardOverrides::new();
     let mut finals: Vec<PhysicalPlan> = Vec::with_capacity(seeds.len());
     let mut rounds_per_seed = Vec::with_capacity(seeds.len());
+    // The sample dry-run cache depends only on (query, samples), so it is
+    // shared across *all* seeds — later seeds validate mostly from cache,
+    // the same effect the shared Γ has on their round counts.
+    let mut caches = IncrementalCaches::new(config.incremental);
 
     for optimizer in seeds {
         // Algorithm 1 with a *pre-seeded* Γ (the merge of everything
-        // validated so far across seeds).
+        // validated so far across seeds). The DP memo is bound to one
+        // optimizer configuration, so each seed starts a fresh one.
+        caches.reset_memo();
         let mut rounds: Vec<RoundReport> = Vec::new();
         let mut prev_plan: Option<PhysicalPlan> = None;
         let mut prev_trees: Vec<JoinTree> = Vec::new();
         loop {
+            // Same contract as ReOptimizer::run: a blown budget must not
+            // buy another optimize+validate cycle. Every seed still gets
+            // one round — each needs a final plan to enter the tournament.
+            if !rounds.is_empty() {
+                if let Some(budget) = config.time_budget {
+                    if start.elapsed() > budget {
+                        break;
+                    }
+                }
+            }
             let round = rounds.len() + 1;
             let t0 = Instant::now();
-            let planned = optimizer.optimize_with(query, &gamma)?;
+            let planned = caches.plan(optimizer, query, &gamma)?;
             let optimize_time = t0.elapsed();
             let tree = planned.plan.logical_tree();
             let same = prev_plan
@@ -91,10 +107,15 @@ pub fn run_multi_seed(
                     validated_cost: vcost,
                     optimize_time,
                     validation_time: Duration::ZERO,
+                    dp_subsets_reused: planned.search.subsets_reused,
+                    dp_subsets_replanned: planned.search.subsets_replanned,
+                    sample_cache_hits: 0,
+                    sample_subtrees_executed: 0,
                 });
                 break;
             }
-            let v = validate_plan(query, &planned.plan, samples, &config.validation)?;
+            let v = caches.validate(query, &planned.plan, samples, &config.validation)?;
+            caches.note_delta(&gamma, &v.delta);
             let fresh = gamma.merge(&v.delta);
             let (_, vcost) = optimizer.cost_plan(query, &planned.plan, &gamma)?;
             rounds.push(RoundReport {
@@ -108,6 +129,10 @@ pub fn run_multi_seed(
                 validated_cost: vcost,
                 optimize_time,
                 validation_time: v.elapsed,
+                dp_subsets_reused: planned.search.subsets_reused,
+                dp_subsets_replanned: planned.search.subsets_replanned,
+                sample_cache_hits: v.cache_hits,
+                sample_subtrees_executed: v.subtrees_executed,
             });
             prev_trees.push(tree);
             prev_plan = Some(planned.plan);
@@ -258,6 +283,57 @@ mod tests {
         );
         // Second run should converge almost immediately (plan + confirm).
         assert!(report.rounds_per_seed[1] <= 2);
+    }
+
+    #[test]
+    fn incremental_multi_seed_matches_from_scratch() {
+        let db = ott_db(5, 40, 10);
+        let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(
+            &db,
+            SampleConfig {
+                ratio: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let bushy = Optimizer::new(&db, &stats);
+        let left_deep = Optimizer::with_config(
+            &db,
+            &stats,
+            OptimizerConfig {
+                left_deep_only: true,
+                ..OptimizerConfig::postgres_like()
+            },
+        );
+        let q = ott_query(5, &[0, 0, 0, 0, 1]);
+        let inc = run_multi_seed(
+            &[&bushy, &left_deep],
+            &samples,
+            &q,
+            &ReOptConfig {
+                incremental: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let scratch = run_multi_seed(
+            &[&bushy, &left_deep],
+            &samples,
+            &q,
+            &ReOptConfig {
+                incremental: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(inc.winner, scratch.winner);
+        assert_eq!(inc.rounds_per_seed, scratch.rounds_per_seed);
+        assert!(inc.final_plan.same_structure(&scratch.final_plan));
+        assert_eq!(inc.gamma.len(), scratch.gamma.len());
+        for (set, rows) in inc.gamma.iter() {
+            assert_eq!(scratch.gamma.get(set), Some(rows), "Γ({set})");
+        }
     }
 
     #[test]

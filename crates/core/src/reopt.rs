@@ -21,11 +21,13 @@
 use std::time::{Duration, Instant};
 
 use crate::report::{ReoptReport, RoundReport};
-use reopt_common::Result;
-use reopt_optimizer::{CardOverrides, Optimizer};
+use reopt_common::{RelSet, Result};
+use reopt_optimizer::{CardOverrides, Optimizer, PlanMemo};
 use reopt_plan::transform::{classify_transformation, is_covered_by};
 use reopt_plan::{JoinTree, PhysicalPlan, Query};
-use reopt_sampling::{validate_plan, SampleStore, ValidationOpts};
+use reopt_sampling::{
+    validate_plan, validate_plan_cached, SampleRunCache, SampleStore, Validation, ValidationOpts,
+};
 
 /// Stopping strategy and validation knobs for the re-optimization loop.
 #[derive(Debug, Clone)]
@@ -50,6 +52,15 @@ pub struct ReOptConfig {
     /// smaller than 2×, trading repair opportunities for robustness to
     /// sampling noise.
     pub min_discrepancy_factor: Option<f64>,
+    /// Reuse work across rounds (on by default): the optimizer keeps its
+    /// DP table in a [`PlanMemo`] and re-plans only the subsets whose
+    /// cardinalities the latest Δ can affect, and plan validation replays
+    /// sample dry-run subtrees from a [`SampleRunCache`] instead of
+    /// re-executing them. Both caches are exact — the final plan and Γ are
+    /// structurally identical to the from-scratch path (`incremental:
+    /// false`, kept for A/B comparison and the `bench_incremental`
+    /// harness).
+    pub incremental: bool,
 }
 
 impl Default for ReOptConfig {
@@ -60,7 +71,82 @@ impl Default for ReOptConfig {
             pick_best_on_stop: true,
             validation: ValidationOpts::default(),
             min_discrepancy_factor: None,
+            incremental: true,
         }
+    }
+}
+
+/// The cross-round caches of one incremental run, owning the shared round
+/// protocol (plan → validate → note Δ) so [`ReOptimizer::run`] and
+/// [`crate::multi_seed::run_multi_seed`] cannot drift apart. With
+/// `enabled: false` every call falls through to the from-scratch path.
+#[derive(Debug, Default)]
+pub(crate) struct IncrementalCaches {
+    memo: PlanMemo,
+    sample_cache: SampleRunCache,
+    enabled: bool,
+}
+
+impl IncrementalCaches {
+    pub(crate) fn new(enabled: bool) -> Self {
+        IncrementalCaches {
+            enabled,
+            ..Default::default()
+        }
+    }
+
+    /// Drop the DP memo — required when switching to a differently
+    /// configured optimizer (the sample cache, keyed by (query, samples)
+    /// only, stays valid).
+    pub(crate) fn reset_memo(&mut self) {
+        self.memo.clear();
+    }
+
+    /// `GetPlanFromOptimizer(Γ)`, reusing the memo when enabled.
+    pub(crate) fn plan(
+        &mut self,
+        optimizer: &Optimizer<'_>,
+        query: &Query,
+        gamma: &CardOverrides,
+    ) -> Result<reopt_optimizer::Planned> {
+        if self.enabled {
+            optimizer.optimize_incremental(query, gamma, &mut self.memo)
+        } else {
+            optimizer.optimize_with(query, gamma)
+        }
+    }
+
+    /// `GetCardinalityEstimatesBySampling(P)`, replaying cached dry-run
+    /// subtrees when enabled.
+    pub(crate) fn validate(
+        &mut self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        samples: &SampleStore,
+        opts: &ValidationOpts,
+    ) -> Result<Validation> {
+        if self.enabled {
+            validate_plan_cached(query, plan, samples, opts, &mut self.sample_cache)
+        } else {
+            validate_plan(query, plan, samples, opts)
+        }
+    }
+
+    /// Evict the DP entries the accepted Δ can affect — the cost of a set
+    /// depends only on cardinalities of its subsets, so only supersets of
+    /// changed sets are stale. Δ re-lists sets Γ already holds
+    /// (validation is deterministic, so with the same value); those change
+    /// nothing and must not evict anything. Call *before* `gamma.merge`.
+    pub(crate) fn note_delta(&mut self, gamma: &CardOverrides, delta: &CardOverrides) {
+        if !self.enabled {
+            return;
+        }
+        let changed: Vec<RelSet> = delta
+            .iter()
+            .filter(|&(s, v)| gamma.get(s) != Some(v))
+            .map(|(s, _)| s)
+            .collect();
+        self.memo.invalidate_supersets(&changed);
     }
 }
 
@@ -109,11 +195,27 @@ impl<'a> ReOptimizer<'a> {
         let mut prev_plan: Option<PhysicalPlan> = None;
         let mut prev_trees: Vec<JoinTree> = Vec::new();
         let mut converged = false;
+        // Cross-round caches (incremental mode): the DP table survives
+        // between optimizer calls minus the stale frontier, and sample
+        // dry-run subtrees are replayed instead of re-executed.
+        let mut caches = IncrementalCaches::new(self.config.incremental);
 
         loop {
+            // A blown budget must not buy a whole extra round: check
+            // *before* starting the next optimize+validate cycle, not only
+            // after finishing one. Round 1 always runs — the caller needs
+            // at least one plan.
+            if !rounds.is_empty() {
+                if let Some(budget) = self.config.time_budget {
+                    if t_start.elapsed() > budget {
+                        break;
+                    }
+                }
+            }
+
             let round = rounds.len() + 1;
             let t0 = Instant::now();
-            let planned = self.optimizer.optimize_with(query, &gamma)?;
+            let planned = caches.plan(self.optimizer, query, &gamma)?;
             let optimize_time = t0.elapsed();
             let tree = planned.plan.logical_tree();
             let transform = prev_plan
@@ -141,16 +243,21 @@ impl<'a> ReOptimizer<'a> {
                     validated_cost: vcost,
                     optimize_time,
                     validation_time: Duration::ZERO,
+                    dp_subsets_reused: planned.search.subsets_reused,
+                    dp_subsets_replanned: planned.search.subsets_replanned,
+                    sample_cache_hits: 0,
+                    sample_subtrees_executed: 0,
                 });
                 converged = true;
                 break;
             }
 
-            let v = validate_plan(query, &planned.plan, self.samples, &self.config.validation)?;
+            let v = caches.validate(query, &planned.plan, self.samples, &self.config.validation)?;
             let delta = match self.config.min_discrepancy_factor {
                 Some(factor) => self.filter_small_corrections(query, &gamma, &v.delta, factor)?,
                 None => v.delta,
             };
+            caches.note_delta(&gamma, &delta);
             let fresh = gamma.merge(&delta);
             let (_, vcost) = self.optimizer.cost_plan(query, &planned.plan, &gamma)?;
             rounds.push(RoundReport {
@@ -164,17 +271,16 @@ impl<'a> ReOptimizer<'a> {
                 validated_cost: vcost,
                 optimize_time,
                 validation_time: v.elapsed,
+                dp_subsets_reused: planned.search.subsets_reused,
+                dp_subsets_replanned: planned.search.subsets_replanned,
+                sample_cache_hits: v.cache_hits,
+                sample_subtrees_executed: v.subtrees_executed,
             });
             prev_trees.push(tree);
             prev_plan = Some(planned.plan);
 
             if rounds.len() >= self.config.max_rounds {
                 break;
-            }
-            if let Some(budget) = self.config.time_budget {
-                if t_start.elapsed() > budget {
-                    break;
-                }
             }
         }
 
@@ -485,6 +591,154 @@ mod tests {
                 "small correction slipped through: {set} {rows} vs {native}"
             );
         }
+    }
+
+    #[test]
+    fn incremental_reuses_dp_and_sample_work() {
+        // OTT chains with an empty edge, sampled densely enough
+        // (ratio 0.5) that validation repairs the plan over several
+        // global transformations — rounds ≥ 2 must then demonstrably
+        // reuse round-1 work. The 4-relation case is the acceptance
+        // fixture; 5 relations exercises a longer trajectory.
+        for (k, consts) in [(4usize, vec![0i64, 0, 0, 1]), (5, vec![0, 0, 0, 0, 1])] {
+            let f = Fixture::new(k, 50, 20);
+            let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+            let samples = SampleStore::build(
+                &f.db,
+                SampleConfig {
+                    ratio: 0.5,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let opt = Optimizer::new(&f.db, &stats);
+            let re = ReOptimizer::new(&opt, &samples); // incremental by default
+            let q = ott_query(k, &consts);
+            let report = re.run(&q).unwrap();
+            assert!(report.converged);
+            assert!(report.plan_changed(), "k={k}: fixture must repair the plan");
+            assert!(report.num_rounds() > 2, "k={k}: need >2 rounds");
+
+            // A changed plan in round 2 shares at least its leaf scans
+            // with round 1's validated plan: the dry-run must replay them.
+            assert!(
+                report.rounds[1].sample_cache_hits >= 1,
+                "k={k}: round 2 validation hit nothing"
+            );
+
+            let r1 = &report.rounds[0];
+            // Round 1 starts cold: everything planned, nothing reused.
+            assert_eq!(r1.dp_subsets_reused, 0);
+            assert!(r1.dp_subsets_replanned > 0);
+            assert_eq!(r1.sample_cache_hits, 0);
+            for r in &report.rounds[1..] {
+                // Every later round re-plans strictly fewer DP subsets...
+                assert!(
+                    r.dp_subsets_replanned < r1.dp_subsets_replanned,
+                    "k={k}: round {} re-planned {} ≥ round 1's {}",
+                    r.round,
+                    r.dp_subsets_replanned,
+                    r1.dp_subsets_replanned
+                );
+                assert!(
+                    r.dp_subsets_reused > 0,
+                    "k={k}: round {} reused nothing",
+                    r.round
+                );
+            }
+            // ...and the dry-runs of rounds 2.. hit the sample cache at
+            // least once (shared leaf scans at minimum).
+            assert!(
+                report.total_sample_cache_hits() >= 1,
+                "k={k}: no sample-cache hit recorded"
+            );
+
+            // The caches are pure work-avoidance: from-scratch mode ends
+            // in the same place.
+            let scratch = ReOptimizer::with_config(
+                &opt,
+                &samples,
+                ReOptConfig {
+                    incremental: false,
+                    ..Default::default()
+                },
+            )
+            .run(&q)
+            .unwrap();
+            assert!(report.final_plan.same_structure(&scratch.final_plan));
+        }
+    }
+
+    #[test]
+    fn incremental_and_from_scratch_agree() {
+        // Multi-round plan-changing trajectories (ratio 0.5, see
+        // incremental_reuses_dp_and_sample_work) and trivial ones must all
+        // end in the same plan with the same Γ under both modes.
+        let f = Fixture::new(5, 50, 20);
+        let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(
+            &f.db,
+            SampleConfig {
+                ratio: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let opt = Optimizer::new(&f.db, &stats);
+        let inc = ReOptimizer::new(&opt, &samples);
+        let scratch = ReOptimizer::with_config(
+            &opt,
+            &samples,
+            ReOptConfig {
+                incremental: false,
+                ..Default::default()
+            },
+        );
+        for consts in [
+            [0, 0, 0, 0, 1],
+            [0, 0, 1, 0, 0],
+            [0, 1, 0, 1, 0],
+            [0, 0, 0, 0, 0],
+        ] {
+            let q = ott_query(5, &consts);
+            let a = inc.run(&q).unwrap();
+            let b = scratch.run(&q).unwrap();
+            assert_eq!(a.num_rounds(), b.num_rounds(), "{consts:?}");
+            for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+                assert!(
+                    ra.plan.same_structure(&rb.plan),
+                    "{consts:?}: round {} plans differ",
+                    ra.round
+                );
+            }
+            assert!(
+                a.final_plan.same_structure(&b.final_plan),
+                "{consts:?}: final plans differ"
+            );
+            assert_eq!(a.gamma.len(), b.gamma.len(), "{consts:?}");
+            for (set, rows) in a.gamma.iter() {
+                assert_eq!(b.gamma.get(set), Some(rows), "{consts:?}: Γ({set})");
+            }
+        }
+    }
+
+    #[test]
+    fn blown_budget_cannot_buy_an_extra_round() {
+        // A zero budget is exceeded the moment round 1 finishes: the loop
+        // must stop before doing any round-2 optimize/validate work.
+        let f = Fixture::new(4, 50, 20);
+        let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(&f.db, SampleConfig::default()).unwrap();
+        let opt = Optimizer::new(&f.db, &stats);
+        let config = ReOptConfig {
+            time_budget: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let re = ReOptimizer::with_config(&opt, &samples, config);
+        let q = ott_query(4, &[0, 0, 0, 1]);
+        let report = re.run(&q).unwrap();
+        assert_eq!(report.num_rounds(), 1, "budget bought an extra round");
+        assert!(!report.converged);
     }
 
     #[test]

@@ -42,6 +42,17 @@ pub struct RoundReport {
     /// Time spent validating over the samples (zero in the terminal
     /// round).
     pub validation_time: Duration,
+    /// DP subsets reused from the cross-round memo (0 when incremental
+    /// mode is off or the GEQO fallback planned the round).
+    pub dp_subsets_reused: usize,
+    /// DP subsets (re-)planned this round.
+    pub dp_subsets_replanned: usize,
+    /// Sample dry-run subtrees replayed from the cross-round cache (0 when
+    /// incremental mode is off and in the terminal round, which skips
+    /// validation).
+    pub sample_cache_hits: usize,
+    /// Sample dry-run subtrees actually executed this round.
+    pub sample_subtrees_executed: usize,
 }
 
 /// The complete trace of one re-optimization run.
@@ -104,6 +115,26 @@ impl ReoptReport {
         self.rounds.iter().map(|r| r.optimize_time).sum()
     }
 
+    /// Total DP subsets reused from the cross-round memo.
+    pub fn total_dp_subsets_reused(&self) -> usize {
+        self.rounds.iter().map(|r| r.dp_subsets_reused).sum()
+    }
+
+    /// Total DP subsets (re-)planned across all rounds.
+    pub fn total_dp_subsets_replanned(&self) -> usize {
+        self.rounds.iter().map(|r| r.dp_subsets_replanned).sum()
+    }
+
+    /// Total sample dry-run subtrees replayed from the cross-round cache.
+    pub fn total_sample_cache_hits(&self) -> usize {
+        self.rounds.iter().map(|r| r.sample_cache_hits).sum()
+    }
+
+    /// Total sample dry-run subtrees executed across all rounds.
+    pub fn total_sample_subtrees_executed(&self) -> usize {
+        self.rounds.iter().map(|r| r.sample_subtrees_executed).sum()
+    }
+
     /// Theorem 2: the chain P₁ → … → Pₙ of *distinct* plans consists of
     /// global transformations, with at most one local transformation which,
     /// if present, must be the last step. (The terminal repeat — an
@@ -144,6 +175,10 @@ impl ReoptReport {
             validation_time_us: self.total_validation_time().as_micros() as u64,
             optimize_time_us: self.total_optimize_time().as_micros() as u64,
             gamma_entries: self.gamma.len(),
+            dp_subsets_reused: self.total_dp_subsets_reused(),
+            dp_subsets_replanned: self.total_dp_subsets_replanned(),
+            sample_cache_hits: self.total_sample_cache_hits(),
+            sample_subtrees_executed: self.total_sample_subtrees_executed(),
             final_plan: self.final_plan.explain(),
             transforms: self
                 .rounds
@@ -174,6 +209,14 @@ pub struct ReoptSummary {
     pub optimize_time_us: u64,
     /// Size of the final Γ.
     pub gamma_entries: usize,
+    /// DP subsets reused from the cross-round memo (incremental mode).
+    pub dp_subsets_reused: usize,
+    /// DP subsets (re-)planned across all rounds.
+    pub dp_subsets_replanned: usize,
+    /// Sample dry-run subtrees replayed from the cross-round cache.
+    pub sample_cache_hits: usize,
+    /// Sample dry-run subtrees executed across all rounds.
+    pub sample_subtrees_executed: usize,
     /// EXPLAIN rendering of the final plan.
     pub final_plan: String,
     /// Transformation kinds along the chain.
@@ -222,6 +265,10 @@ mod tests {
             validated_cost: 1.0,
             optimize_time: Duration::from_micros(10),
             validation_time: Duration::from_micros(20),
+            dp_subsets_reused: 0,
+            dp_subsets_replanned: 3,
+            sample_cache_hits: 0,
+            sample_subtrees_executed: 3,
         }
     }
 

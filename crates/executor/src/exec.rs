@@ -35,10 +35,46 @@ impl Default for ExecOpts {
 pub struct TracedRun {
     /// Final join result.
     pub rows: RowSet,
-    /// (relation set, output rows) for every node, post-order.
+    /// (relation set, output rows) for every node, post-order. For cached
+    /// subtrees the recorded (not re-executed) cardinalities are spliced
+    /// in, so the trace is identical to an uncached run's.
     pub node_cards: Vec<(RelSet, u64)>,
-    /// Execution counters.
+    /// Execution counters (cache hits produce no scan/probe/output work).
     pub metrics: ExecMetrics,
+}
+
+/// A cross-run store of executed subtree results, consulted by
+/// [`Executor::run_traced_cached`].
+///
+/// The executor asks the cache for a *canonical fingerprint* of each plan
+/// node (the implementor decides what "same subtree" means — e.g. relation
+/// set + applied predicates + join keys, independent of join order and
+/// physical operators). On a `lookup` hit the node's own work (scan or
+/// join matching) is skipped and the stored row set stands in; the node's
+/// children are still traversed so the run's cardinality trace follows the
+/// *current* plan's structure — a canonical hit may come from a
+/// differently shaped subtree of an earlier run, whose internal
+/// decomposition must not leak into this run's trace.
+pub trait SubtreeCache {
+    /// Canonical fingerprint for `plan`; `None` exempts the node (and only
+    /// the node — its children are still offered) from caching. The
+    /// covered relation set is passed alongside the fingerprint on every
+    /// lookup/store, so implementations can key on `(set, fingerprint)`
+    /// and rule out cross-set hash collisions structurally.
+    fn fingerprint(&mut self, query: &Query, plan: &PhysicalPlan) -> Option<u64>;
+
+    /// The cached output rows for `(set, fp)`, if any.
+    fn lookup(&mut self, set: RelSet, fp: u64) -> Option<RowSet>;
+
+    /// Cardinality-only lookup: the cached row *count* for `(set, fp)`,
+    /// without materializing the rows. Used for trace entries under an
+    /// ancestor that already hit, where the rows are never consumed.
+    fn peek_rows(&mut self, set: RelSet, fp: u64) -> Option<u64> {
+        self.lookup(set, fp).map(|r| r.len() as u64)
+    }
+
+    /// Record a freshly executed node's output rows.
+    fn store(&mut self, set: RelSet, fp: u64, rows: &RowSet);
 }
 
 /// Result of running a full query.
@@ -123,6 +159,29 @@ impl<'a> Executor<'a> {
         })
     }
 
+    /// Like [`Executor::run_traced`], but skipping every subtree the
+    /// `cache` already holds — the incremental dry-run of cross-round
+    /// re-optimization. Freshly executed subtrees are stored back, so
+    /// successive runs over structurally overlapping plans only pay for
+    /// what changed.
+    pub fn run_traced_cached(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        cache: &mut dyn SubtreeCache,
+    ) -> Result<TracedRun> {
+        let start = Instant::now();
+        let mut state = ExecState::new(true);
+        state.cache = Some(cache);
+        let rows = self.exec_node(query, plan, &mut state)?;
+        state.metrics.elapsed = start.elapsed();
+        Ok(TracedRun {
+            rows,
+            node_cards: state.trace,
+            metrics: state.metrics,
+        })
+    }
+
     fn check_cap(&self, rows: u64) -> Result<()> {
         if rows > self.opts.max_intermediate_rows {
             return Err(Error::invalid(format!(
@@ -137,8 +196,71 @@ impl<'a> Executor<'a> {
         &self,
         query: &Query,
         plan: &PhysicalPlan,
-        state: &mut ExecState,
+        state: &mut ExecState<'_>,
     ) -> Result<RowSet> {
+        Ok(self
+            .exec_node_inner(query, plan, state, true)?
+            .expect("rows requested"))
+    }
+
+    /// Operator recursion. `need_rows: false` means the caller only wants
+    /// this subtree's trace entries (its own result sits in an ancestor's
+    /// cache hit) — a cached node can then answer with a row *count* and
+    /// skip materializing anything.
+    fn exec_node_inner(
+        &self,
+        query: &Query,
+        plan: &PhysicalPlan,
+        state: &mut ExecState<'_>,
+        need_rows: bool,
+    ) -> Result<Option<RowSet>> {
+        // Cached dry-run (only via `run_traced_cached`): a canonical-
+        // fingerprint hit replaces this node's own scan/join work with the
+        // stored rows. Children are *still* traversed — their (possibly
+        // cached) results feed the trace in current-plan order, which a
+        // hit from a differently shaped earlier subtree cannot provide.
+        let fp = match state.cache.as_mut() {
+            Some(c) => c.fingerprint(query, plan),
+            None => None,
+        };
+        if let Some(fp) = fp {
+            let set = plan.relset();
+            let hit = if need_rows {
+                state
+                    .cache
+                    .as_mut()
+                    .unwrap()
+                    .lookup(set, fp)
+                    .map(|r| (r.len() as u64, Some(r)))
+            } else {
+                state
+                    .cache
+                    .as_mut()
+                    .unwrap()
+                    .peek_rows(set, fp)
+                    .map(|n| (n, None))
+            };
+            if let Some((count, rows)) = hit {
+                if let PhysicalPlan::Join {
+                    algo, left, right, ..
+                } = plan
+                {
+                    self.exec_node_inner(query, left, state, false)?;
+                    // The index-nested inner is probed, never planned as a
+                    // standalone node; it has no trace entry to produce.
+                    if *algo != JoinAlgo::IndexNested {
+                        self.exec_node_inner(query, right, state, false)?;
+                    }
+                }
+                if state.tracing {
+                    state.trace.push((plan.relset(), count));
+                }
+                // A replayed result must respect *this* run's cap, which
+                // may be tighter than the one in force when it was stored.
+                self.check_cap(count)?;
+                return Ok(rows);
+            }
+        }
         let out = match plan {
             PhysicalPlan::Scan {
                 rel, table, access, ..
@@ -171,7 +293,10 @@ impl<'a> Executor<'a> {
             state.trace.push((plan.relset(), out.len() as u64));
         }
         self.check_cap(out.len() as u64)?;
-        Ok(out)
+        if let Some(fp) = fp {
+            state.cache.as_mut().unwrap().store(plan.relset(), fp, &out);
+        }
+        Ok(Some(out))
     }
 
     fn exec_scan(
@@ -497,18 +622,20 @@ impl<'a> Executor<'a> {
 }
 
 /// Mutable per-execution state threaded through the operator recursion.
-struct ExecState {
+struct ExecState<'c> {
     metrics: ExecMetrics,
     tracing: bool,
     trace: Vec<(RelSet, u64)>,
+    cache: Option<&'c mut dyn SubtreeCache>,
 }
 
-impl ExecState {
+impl<'c> ExecState<'c> {
     fn new(tracing: bool) -> Self {
         ExecState {
             metrics: ExecMetrics::default(),
             tracing,
             trace: Vec::new(),
+            cache: None,
         }
     }
 }

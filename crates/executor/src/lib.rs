@@ -22,7 +22,9 @@ pub mod metrics;
 pub mod rowset;
 
 pub use agg::AggOutput;
-pub use exec::{execute_plan, execute_query, ExecOpts, Executor, QueryOutput, TracedRun};
+pub use exec::{
+    execute_plan, execute_query, ExecOpts, Executor, QueryOutput, SubtreeCache, TracedRun,
+};
 pub use explain::explain_analyze;
 pub use metrics::ExecMetrics;
 pub use rowset::RowSet;

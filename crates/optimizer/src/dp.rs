@@ -9,7 +9,8 @@
 
 use crate::cardinality::CardinalityEstimator;
 use crate::cost::CostModel;
-use reopt_common::{Error, FxHashMap, RelId, RelSet, Result};
+use crate::memo::{MemoEntry, PlanMemo};
+use reopt_common::{Error, RelId, RelSet, Result};
 use reopt_plan::physical::PlanNodeInfo;
 use reopt_plan::query::ColRef;
 use reopt_plan::{AccessPath, CmpOp, JoinAlgo, PhysicalPlan, Query};
@@ -48,18 +49,14 @@ impl Default for OperatorSet {
 /// distinct join trees the optimizer evaluates.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchStats {
-    /// Connected subsets planned.
+    /// Connected subsets covered (re-planned + reused).
     pub subsets: usize,
     /// (subset split, orientation, operator) combinations costed.
     pub join_orders_considered: usize,
-}
-
-/// A planned subtree in the DP table.
-#[derive(Debug, Clone)]
-struct Entry {
-    plan: PhysicalPlan,
-    rows: f64,
-    cost: f64,
+    /// Subsets taken unchanged from a cross-round [`PlanMemo`].
+    pub subsets_reused: usize,
+    /// Subsets actually (re-)planned by this invocation.
+    pub subsets_replanned: usize,
 }
 
 /// Plan `query` by dynamic programming.
@@ -73,27 +70,56 @@ pub fn plan_dp(
     ops: &OperatorSet,
     left_deep_only: bool,
 ) -> Result<(PhysicalPlan, SearchStats)> {
+    let mut memo = PlanMemo::new();
+    plan_dp_incremental(db, query, est, model, ops, left_deep_only, &mut memo)
+}
+
+/// Plan `query` by dynamic programming over a persistent DP table.
+///
+/// Entries already present in `memo` are reused verbatim; only missing
+/// subsets are (re-)planned. The caller is responsible for evicting stale
+/// entries (via [`PlanMemo::invalidate_supersets`]) whenever Γ changes and
+/// for never sharing one memo across different queries or optimizer
+/// configurations. With an empty memo this is exactly the from-scratch
+/// search.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_dp_incremental(
+    db: &Database,
+    query: &Query,
+    est: &mut CardinalityEstimator<'_>,
+    model: &CostModel,
+    ops: &OperatorSet,
+    left_deep_only: bool,
+    memo: &mut PlanMemo,
+) -> Result<(PhysicalPlan, SearchStats)> {
     let n = query.num_relations();
     if n == 0 {
         return Err(Error::invalid("cannot plan an empty query"));
     }
     let mut stats = SearchStats::default();
-    let mut table: FxHashMap<RelSet, Entry> = FxHashMap::default();
 
     // Base relations: pick the best access path.
     for i in 0..n {
         let rel = RelId::from(i);
-        let entry = best_access_path(db, query, est, model, ops, rel)?;
-        table.insert(RelSet::single(rel), entry);
+        let set = RelSet::single(rel);
         stats.subsets += 1;
+        if memo.contains(set) {
+            stats.subsets_reused += 1;
+            continue;
+        }
+        let entry = best_access_path(db, query, est, model, ops, rel)?;
+        memo.insert(set, entry);
+        stats.subsets_replanned += 1;
     }
     if n == 1 {
-        let e = table.remove(&RelSet::single(RelId::new(0))).unwrap();
-        return Ok((e.plan, stats));
+        let e = memo.get(RelSet::single(RelId::new(0))).unwrap();
+        return Ok((e.plan.clone(), stats));
     }
 
     let full = RelSet::first_n(n);
-    // Increasing mask order: every proper submask precedes its superset.
+    // Increasing mask order: every proper submask precedes its superset,
+    // so by the time a set is processed all of its connected subsets are
+    // in the memo (reused or freshly planned).
     for mask in 1..=full.mask() {
         let set = RelSet::from_mask(mask);
         if set.len() < 2 || !set.is_subset_of(full) {
@@ -102,15 +128,20 @@ pub fn plan_dp(
         if !est.graph().is_set_connected(set) {
             continue;
         }
+        if memo.contains(set) {
+            stats.subsets += 1;
+            stats.subsets_reused += 1;
+            continue;
+        }
         let lowest = RelSet::single(set.min_rel().unwrap());
-        let mut best: Option<Entry> = None;
+        let mut best: Option<MemoEntry> = None;
         for s1 in set.proper_subsets() {
             // Canonical halving: s1 keeps the lowest relation.
             if !lowest.is_subset_of(s1) {
                 continue;
             }
             let s2 = set.difference(s1);
-            let (Some(e1), Some(e2)) = (table.get(&s1), table.get(&s2)) else {
+            let (Some(e1), Some(e2)) = (memo.get(s1), memo.get(s2)) else {
                 continue; // a side is disconnected
             };
             if !est.graph().connects(s1, s2) {
@@ -133,15 +164,16 @@ pub fn plan_dp(
             }
         }
         if let Some(b) = best {
-            table.insert(set, b);
+            memo.insert(set, b);
             stats.subsets += 1;
+            stats.subsets_replanned += 1;
         }
     }
 
-    let final_entry = table
-        .remove(&full)
+    let final_entry = memo
+        .get(full)
         .ok_or_else(|| Error::internal("DP failed to cover the full relation set"))?;
-    Ok((final_entry.plan, stats))
+    Ok((final_entry.plan.clone(), stats))
 }
 
 /// The equi-join keys between two disjoint relation sets, oriented
@@ -171,17 +203,17 @@ fn join_candidates(
     model: &CostModel,
     ops: &OperatorSet,
     _ls: RelSet,
-    le: &Entry,
+    le: &MemoEntry,
     rs: RelSet,
-    re: &Entry,
+    re: &MemoEntry,
     keys: &[(ColRef, ColRef)],
     out_rows: f64,
-) -> Result<Vec<Entry>> {
+) -> Result<Vec<MemoEntry>> {
     let mut out = Vec::with_capacity(4);
     let input_cost = le.cost + re.cost;
     let (lrows, rrows) = (le.rows, re.rows);
 
-    let mk = |algo: JoinAlgo, cost: f64, left: &Entry, right: &Entry| Entry {
+    let mk = |algo: JoinAlgo, cost: f64, left: &MemoEntry, right: &MemoEntry| MemoEntry {
         plan: PhysicalPlan::Join {
             algo,
             left: Box::new(left.plan.clone()),
@@ -225,7 +257,7 @@ fn join_candidates(
                     residuals,
                 );
             // Inner node: a plain scan marker (executor probes the index).
-            let inner = Entry {
+            let inner = MemoEntry {
                 plan: PhysicalPlan::Scan {
                     rel: inner_rel,
                     table: inner_table.id(),
@@ -252,7 +284,7 @@ fn best_access_path(
     model: &CostModel,
     ops: &OperatorSet,
     rel: RelId,
-) -> Result<Entry> {
+) -> Result<MemoEntry> {
     let table_id = query.table_of(rel)?;
     let table = db.table(table_id)?;
     let preds = query.local_predicates(rel);
@@ -261,7 +293,7 @@ fn best_access_path(
     let out_rows = est.rows(RelSet::single(rel));
 
     let seq_cost = model.seq_scan(pages, trows, preds.len());
-    let mut best = Entry {
+    let mut best = MemoEntry {
         plan: PhysicalPlan::Scan {
             rel,
             table: table_id,
@@ -286,7 +318,7 @@ fn best_access_path(
             let matched = (trows * sel).max(0.0);
             let cost = model.index_scan(pages, trows, matched, preds.len() - 1);
             if cost < best.cost {
-                best = Entry {
+                best = MemoEntry {
                     plan: PhysicalPlan::Scan {
                         rel,
                         table: table_id,

@@ -9,6 +9,8 @@
 //! * [`overrides`] — Γ, the paper's store of sampling-validated
 //!   cardinalities,
 //! * [`dp`] — bottom-up dynamic-programming join enumeration,
+//! * [`memo`] — the cross-round persistent DP table for incremental
+//!   re-optimization,
 //! * [`geqo`] — the genetic fallback beyond `geqo_threshold` relations,
 //! * [`calibration`] — offline measurement of the cost units,
 //! * [`profiles`] — PostgreSQL-like plus "commercial A/B" configurations
@@ -20,6 +22,7 @@ pub mod cardinality;
 pub mod cost;
 pub mod dp;
 pub mod geqo;
+pub mod memo;
 pub mod optimizer;
 pub mod overrides;
 pub mod profiles;
@@ -29,6 +32,7 @@ pub use cardinality::{CardEstConfig, CardinalityEstimator};
 pub use cost::{CostModel, CostUnits};
 pub use dp::{OperatorSet, SearchStats};
 pub use geqo::GeqoConfig;
+pub use memo::PlanMemo;
 pub use optimizer::{Optimizer, OptimizerConfig, Planned};
 pub use overrides::CardOverrides;
 pub use profiles::SystemProfile;

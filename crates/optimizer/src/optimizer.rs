@@ -9,8 +9,9 @@
 
 use crate::cardinality::{CardEstConfig, CardinalityEstimator};
 use crate::cost::{CostModel, CostUnits};
-use crate::dp::{plan_dp, OperatorSet, SearchStats};
+use crate::dp::{plan_dp, plan_dp_incremental, OperatorSet, SearchStats};
 use crate::geqo::{plan_geqo, GeqoConfig};
+use crate::memo::PlanMemo;
 use crate::overrides::CardOverrides;
 use reopt_common::Result;
 use reopt_plan::{PhysicalPlan, Query};
@@ -132,6 +133,44 @@ impl<'a> Optimizer<'a> {
                 self.config.left_deep_only,
             )?
         };
+        Ok(Planned { plan, search })
+    }
+
+    /// Like [`Optimizer::optimize_with`], but reusing (and refilling) a
+    /// cross-round DP memo — the incremental path of the re-optimization
+    /// loop. The caller owns `memo` and must (a) use it with one fixed
+    /// (query, optimizer) pair only and (b) call
+    /// [`PlanMemo::invalidate_supersets`] with every Γ delta before the
+    /// next call. Queries beyond `geqo_threshold` relations fall back to
+    /// the (memo-less) GEQO search.
+    pub fn optimize_incremental(
+        &self,
+        query: &Query,
+        overrides: &CardOverrides,
+        memo: &mut PlanMemo,
+    ) -> Result<Planned> {
+        if query.num_relations() > self.config.geqo_threshold {
+            // The genetic search keeps no DP table to reuse.
+            return self.optimize_with(query, overrides);
+        }
+        query.validate(self.db)?;
+        let mut est = CardinalityEstimator::new(
+            self.db,
+            self.stats,
+            query,
+            overrides,
+            &self.config.cardinality,
+        )?;
+        let model = CostModel::new(self.config.cost_units);
+        let (plan, search) = plan_dp_incremental(
+            self.db,
+            query,
+            &mut est,
+            &model,
+            &self.config.operators,
+            self.config.left_deep_only,
+            memo,
+        )?;
         Ok(Planned { plan, search })
     }
 

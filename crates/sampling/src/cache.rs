@@ -1,0 +1,295 @@
+//! Cross-round caching of sample dry-run results.
+//!
+//! Round i+1 of the re-optimization loop validates a plan that typically
+//! shares most of its subtrees with the plans of rounds 1..i — the loop's
+//! transformations are local or reuse whole join groups. [`SampleRunCache`]
+//! remembers every executed subtree's sample row set, keyed by a
+//! *canonical* fingerprint ([`subtree_fingerprint`]): the covered relation
+//! set, the local predicates applied to those relations, and the set of
+//! equi-join keys applied anywhere inside the subtree. The fingerprint is
+//! deliberately independent of join order and physical operators — a hash
+//! join (A ⋈ B) ⋈ C and a merge join A ⋈ (B ⋈ C) produce the same logical
+//! rows over the samples, so either one can stand in for the other. (The
+//! executor still walks a hit node's children so the validation trace
+//! follows the round's own plan shape; only the per-node scan/join work is
+//! skipped.)
+//!
+//! The cache additionally records the full-database estimate derived for
+//! each validated [`RelSet`], so an already-validated set is never
+//! re-executed *or* re-scaled in later rounds.
+//!
+//! A cache is only meaningful for one (query, [`crate::SampleStore`],
+//! [`crate::ValidationOpts`]) triple — `min_rows` is baked into the
+//! recorded estimates (the executor re-applies the row cap itself);
+//! [`crate::validate_plan_cached`] documents the contract. Row sets are
+//! stored and replayed by value: dry-run intermediates are bounded by the
+//! deliberately small sample tables, so plain clones beat the API
+//! complexity of sharing them.
+
+use reopt_common::hash::FxHasher;
+use reopt_common::{FxHashMap, RelSet};
+use reopt_executor::{RowSet, SubtreeCache};
+use reopt_plan::{PhysicalPlan, Predicate, Query};
+use reopt_storage::Value;
+use std::hash::Hasher;
+
+/// Cross-round sample dry-run cache (see the module docs).
+///
+/// Results are keyed by `(relation set, fingerprint)`: within one (query,
+/// samples, opts) contract the fingerprint is itself a function of the
+/// relation set, so the composite key makes a cross-set hash collision —
+/// which would silently replay the wrong rows — structurally impossible.
+#[derive(Debug, Clone, Default)]
+pub struct SampleRunCache {
+    /// Subtree output rows over the sample database.
+    results: FxHashMap<(RelSet, u64), RowSet>,
+    validated: FxHashMap<RelSet, f64>,
+    hits: usize,
+    executed: usize,
+}
+
+impl SampleRunCache {
+    /// Empty cache (round 1 of a re-optimization run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subtree lookups answered from the cache, over the cache's lifetime.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Subtrees actually executed (= stored) over the cache's lifetime.
+    pub fn executed(&self) -> usize {
+        self.executed
+    }
+
+    /// Number of distinct subtree results held.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The full-database estimate previously derived for `set`, if any.
+    pub fn validated_estimate(&self, set: RelSet) -> Option<f64> {
+        self.validated.get(&set).copied()
+    }
+
+    /// Record the full-database estimate derived for `set`.
+    pub(crate) fn record_validated(&mut self, set: RelSet, estimate: f64) {
+        self.validated.insert(set, estimate);
+    }
+
+    /// Drop everything — e.g. when the sample store is rebuilt.
+    pub fn clear(&mut self) {
+        self.results.clear();
+        self.validated.clear();
+    }
+}
+
+impl SubtreeCache for SampleRunCache {
+    fn fingerprint(&mut self, query: &Query, plan: &PhysicalPlan) -> Option<u64> {
+        Some(subtree_fingerprint(query, plan))
+    }
+
+    fn lookup(&mut self, set: RelSet, fp: u64) -> Option<RowSet> {
+        let cached = self.results.get(&(set, fp))?;
+        self.hits += 1;
+        Some(cached.clone())
+    }
+
+    fn peek_rows(&mut self, set: RelSet, fp: u64) -> Option<u64> {
+        let n = self.results.get(&(set, fp))?.len() as u64;
+        self.hits += 1;
+        Some(n)
+    }
+
+    fn store(&mut self, set: RelSet, fp: u64, rows: &RowSet) {
+        self.executed += 1;
+        self.results.insert((set, fp), rows.clone());
+    }
+}
+
+/// Canonical fingerprint of a plan subtree: relation set + applied local
+/// predicates + applied join keys, insensitive to join order, operand
+/// orientation and physical operator choice.
+pub fn subtree_fingerprint(query: &Query, plan: &PhysicalPlan) -> u64 {
+    let mut h = FxHasher::default();
+    let set = plan.relset();
+    h.write_u64(set.mask());
+    // Local predicates, in RelId order (the executor applies every local
+    // predicate of a covered relation at its scan).
+    for rel in set.iter() {
+        for p in query.local_predicates(rel) {
+            hash_predicate(&mut h, p);
+        }
+    }
+    // Equi-join keys applied anywhere in the subtree, canonically oriented
+    // and sorted so the same logical edge set hashes identically whatever
+    // tree shape applied it.
+    let mut edges: Vec<(u32, u32, u32, u32)> = Vec::new();
+    plan.visit(&mut |n| {
+        if let PhysicalPlan::Join { keys, .. } = n {
+            for (a, b) in keys {
+                let ka = (a.rel.0, a.col.0);
+                let kb = (b.rel.0, b.col.0);
+                let ((r1, c1), (r2, c2)) = if ka <= kb { (ka, kb) } else { (kb, ka) };
+                edges.push((r1, c1, r2, c2));
+            }
+        }
+    });
+    edges.sort_unstable();
+    edges.dedup();
+    for (r1, c1, r2, c2) in edges {
+        h.write_u32(r1);
+        h.write_u32(c1);
+        h.write_u32(r2);
+        h.write_u32(c2);
+    }
+    h.finish()
+}
+
+fn hash_predicate(h: &mut FxHasher, p: &Predicate) {
+    h.write_u32(p.rel.0);
+    h.write_u32(p.col.0);
+    h.write_u8(match p.op {
+        reopt_plan::CmpOp::Eq => 0,
+        reopt_plan::CmpOp::Ne => 1,
+        reopt_plan::CmpOp::Lt => 2,
+        reopt_plan::CmpOp::Le => 3,
+        reopt_plan::CmpOp::Gt => 4,
+        reopt_plan::CmpOp::Ge => 5,
+        reopt_plan::CmpOp::Between => 6,
+    });
+    hash_value(h, &p.value);
+    match &p.value2 {
+        Some(v) => hash_value(h, v),
+        None => h.write_u8(0xff),
+    }
+}
+
+fn hash_value(h: &mut FxHasher, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            h.write_u8(0);
+            h.write_i64(*i);
+        }
+        Value::Float(f) => {
+            h.write_u8(1);
+            h.write_u64(f.to_bits());
+        }
+        Value::Str(s) => {
+            h.write_u8(2);
+            h.write(s.as_bytes());
+        }
+        Value::Null => h.write_u8(3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::{ColId, RelId, TableId};
+    use reopt_plan::physical::PlanNodeInfo;
+    use reopt_plan::query::ColRef;
+    use reopt_plan::{AccessPath, JoinAlgo, Predicate, QueryBuilder};
+
+    fn scan(rel: u32) -> PhysicalPlan {
+        PhysicalPlan::Scan {
+            rel: RelId::new(rel),
+            table: TableId::new(rel),
+            access: AccessPath::SeqScan,
+            info: PlanNodeInfo::default(),
+        }
+    }
+
+    fn join(algo: JoinAlgo, l: PhysicalPlan, r: PhysicalPlan, a: u32, b: u32) -> PhysicalPlan {
+        PhysicalPlan::Join {
+            algo,
+            left: Box::new(l),
+            right: Box::new(r),
+            keys: vec![(
+                ColRef::new(RelId::new(a), ColId::new(1)),
+                ColRef::new(RelId::new(b), ColId::new(1)),
+            )],
+            info: PlanNodeInfo::default(),
+        }
+    }
+
+    fn chain_query(k: usize) -> Query {
+        let mut qb = QueryBuilder::new();
+        let rels: Vec<_> = (0..k).map(|i| qb.add_relation(TableId::from(i))).collect();
+        qb.add_predicate(Predicate::eq(rels[0], ColId::new(0), 0i64));
+        for w in rels.windows(2) {
+            qb.add_join(
+                ColRef::new(w[0], ColId::new(1)),
+                ColRef::new(w[1], ColId::new(1)),
+            );
+        }
+        qb.build()
+    }
+
+    #[test]
+    fn fingerprint_ignores_operator_and_orientation() {
+        let q = chain_query(2);
+        let p1 = join(JoinAlgo::Hash, scan(0), scan(1), 0, 1);
+        let p2 = join(JoinAlgo::Merge, scan(1), scan(0), 1, 0);
+        assert_eq!(subtree_fingerprint(&q, &p1), subtree_fingerprint(&q, &p2));
+    }
+
+    #[test]
+    fn fingerprint_ignores_association_order() {
+        let q = chain_query(3);
+        // ((0 ⋈ 1) ⋈ 2) vs (0 ⋈ (1 ⋈ 2)): same relations, same edges.
+        let left_deep = join(
+            JoinAlgo::Hash,
+            join(JoinAlgo::Hash, scan(0), scan(1), 0, 1),
+            scan(2),
+            1,
+            2,
+        );
+        let right_deep = join(
+            JoinAlgo::Hash,
+            scan(0),
+            join(JoinAlgo::Hash, scan(1), scan(2), 1, 2),
+            0,
+            1,
+        );
+        assert_eq!(
+            subtree_fingerprint(&q, &left_deep),
+            subtree_fingerprint(&q, &right_deep)
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_relation_sets_and_edges() {
+        let q = chain_query(3);
+        let p01 = join(JoinAlgo::Hash, scan(0), scan(1), 0, 1);
+        let p12 = join(JoinAlgo::Hash, scan(1), scan(2), 1, 2);
+        assert_ne!(subtree_fingerprint(&q, &p01), subtree_fingerprint(&q, &p12));
+        assert_ne!(
+            subtree_fingerprint(&q, &scan(0)),
+            subtree_fingerprint(&q, &scan(1))
+        );
+    }
+
+    #[test]
+    fn fingerprint_sees_local_predicates() {
+        // Same shape, different constant ⇒ different fingerprint.
+        let mk = |c: i64| {
+            let mut qb = QueryBuilder::new();
+            let a = qb.add_relation(TableId::new(0));
+            let b = qb.add_relation(TableId::new(1));
+            qb.add_predicate(Predicate::eq(a, ColId::new(0), c));
+            qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+            qb.build()
+        };
+        let (qa, qb) = (mk(0), mk(1));
+        let p = join(JoinAlgo::Hash, scan(0), scan(1), 0, 1);
+        assert_ne!(subtree_fingerprint(&qa, &p), subtree_fingerprint(&qb, &p));
+    }
+}

@@ -1,11 +1,15 @@
 //! Sampling subsystem: offline Bernoulli samples, the Haas et al. join
 //! selectivity estimator (§2.1 of the paper), and plan validation — the
-//! `GetCardinalityEstimatesBySampling` step of Algorithm 1.
+//! `GetCardinalityEstimatesBySampling` step of Algorithm 1. The [`cache`]
+//! module adds cross-round dry-run caching for incremental
+//! re-optimization.
 
+pub mod cache;
 pub mod estimator;
 pub mod sampler;
 pub mod validator;
 
+pub use cache::{subtree_fingerprint, SampleRunCache};
 pub use estimator::{cardinality_estimate, scale_up, selectivity_estimate};
 pub use sampler::{SampleConfig, SampleStore};
-pub use validator::{validate_plan, Validation, ValidationOpts};
+pub use validator::{validate_plan, validate_plan_cached, Validation, ValidationOpts};

@@ -10,7 +10,7 @@
 
 use rand::RngExt;
 use reopt_common::rng::derive_rng;
-use reopt_common::{Result, TableId};
+use reopt_common::{Error, FxHashMap, Result, TableId};
 use reopt_storage::Database;
 
 /// Sampling configuration.
@@ -39,32 +39,50 @@ impl Default for SampleConfig {
 #[derive(Debug, Clone)]
 pub struct SampleStore {
     sample_db: Database,
-    /// `full_rows / sample_rows` per table (1.0 for full copies).
-    scale: Vec<f64>,
+    /// `full_rows / sample_rows` keyed by the *base* table's id (1.0 for
+    /// full copies and empty tables).
+    scale: FxHashMap<TableId, f64>,
     config: SampleConfig,
 }
 
 impl SampleStore {
     /// Draw Bernoulli samples of every table in `db`.
+    ///
+    /// Invariant: for every sampled table,
+    /// `scale_factor(t) × sample_rows(t) == row_count(t)` exactly — the
+    /// scale is recomputed from the *materialized* sample, and a Bernoulli
+    /// draw that would come back empty retains one uniformly chosen row
+    /// instead (a 0-row sample with a finite scale would silently disagree
+    /// with the stored table).
     pub fn build(db: &Database, config: SampleConfig) -> Result<SampleStore> {
         assert!(
             config.ratio > 0.0 && config.ratio <= 1.0,
             "sampling ratio must be in (0, 1]"
         );
         let mut sample_db = Database::new();
-        let mut scale = Vec::with_capacity(db.len());
+        let mut scale: FxHashMap<TableId, f64> = FxHashMap::default();
         for table in db.tables() {
             let full_rows = table.row_count();
             let rows: Vec<u32> = if full_rows <= config.small_table_rows || config.ratio >= 1.0 {
                 (0..full_rows as u32).collect()
             } else {
                 let mut rng = derive_rng(config.seed, &format!("sample:{}", table.name()));
-                (0..full_rows as u32)
+                let mut drawn: Vec<u32> = (0..full_rows as u32)
                     .filter(|_| rng.random_bool(config.ratio))
-                    .collect()
+                    .collect();
+                if drawn.is_empty() {
+                    // Tiny ratios can draw nothing; keep one row so the
+                    // scale invariant holds against the materialized table.
+                    drawn.push(rng.random_range(0..full_rows as u32));
+                }
+                drawn
             };
-            let sample_rows = rows.len().max(1);
-            scale.push(full_rows as f64 / sample_rows as f64);
+            let factor = if rows.is_empty() {
+                1.0 // empty base table: empty sample, nothing to scale
+            } else {
+                full_rows as f64 / rows.len() as f64
+            };
+            scale.insert(table.id(), factor);
             let name = format!("{}__sample", table.name());
             sample_db.add_table_with(|id| table.subset(id, name, &rows))?;
         }
@@ -80,9 +98,13 @@ impl SampleStore {
         &self.sample_db
     }
 
-    /// Scale factor `|R| / |R^s|` for `table`.
-    pub fn scale_factor(&self, table: TableId) -> f64 {
-        self.scale.get(table.index()).copied().unwrap_or(1.0)
+    /// Scale factor `|R| / |R^s|` for `table`. Errors on a table the store
+    /// never sampled — silently returning 1.0 would quietly skip scaling.
+    pub fn scale_factor(&self, table: TableId) -> Result<f64> {
+        self.scale
+            .get(&table)
+            .copied()
+            .ok_or_else(|| Error::invalid(format!("no sample scale recorded for table {table}")))
     }
 
     /// Number of sampled rows of `table`.
@@ -126,7 +148,7 @@ mod tests {
         let n = store.sample_rows(TableId::new(0)).unwrap();
         // 5% of 100k = 5000 ± noise.
         assert!((4000..6000).contains(&n), "sample of {n} rows");
-        let s = store.scale_factor(TableId::new(0));
+        let s = store.scale_factor(TableId::new(0)).unwrap();
         assert!((s - 100_000.0 / n as f64).abs() < 1e-9);
     }
 
@@ -135,7 +157,68 @@ mod tests {
         let db = db_with_rows(150);
         let store = SampleStore::build(&db, SampleConfig::default()).unwrap();
         assert_eq!(store.sample_rows(TableId::new(0)).unwrap(), 150);
-        assert_eq!(store.scale_factor(TableId::new(0)), 1.0);
+        assert_eq!(store.scale_factor(TableId::new(0)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn empty_draw_forces_one_retained_row() {
+        // 1000 rows at ratio 1e-12: the Bernoulli draw is (essentially
+        // always) empty, but the store must still keep ≥ 1 row and record
+        // a scale that matches the materialized table exactly.
+        let db = db_with_rows(1000);
+        let store = SampleStore::build(
+            &db,
+            SampleConfig {
+                ratio: 1e-12,
+                ..SampleConfig::default()
+            },
+        )
+        .unwrap();
+        let n = store.sample_rows(TableId::new(0)).unwrap();
+        assert!(n >= 1, "materialized sample is empty");
+        let s = store.scale_factor(TableId::new(0)).unwrap();
+        assert!(
+            (s * n as f64 - 1000.0).abs() < 1e-9,
+            "scale × sample_rows = {} ≠ full_rows 1000",
+            s * n as f64
+        );
+    }
+
+    #[test]
+    fn scale_invariant_holds_for_every_table() {
+        // scale × sample_rows == full_rows exactly, across table sizes.
+        let mut db = Database::new();
+        for (i, n) in [150i64, 1000, 50_000].iter().enumerate() {
+            db.add_table_with(|id| {
+                let schema = TableSchema::new(vec![ColumnDef::new("k", LogicalType::Int)])?;
+                Table::new(
+                    id,
+                    format!("t{i}"),
+                    schema,
+                    vec![Column::from_i64(LogicalType::Int, (0..*n).collect())],
+                )
+            })
+            .unwrap();
+        }
+        let store = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        for (i, n) in [150usize, 1000, 50_000].iter().enumerate() {
+            let id = TableId::from(i);
+            let s = store.scale_factor(id).unwrap();
+            let rows = store.sample_rows(id).unwrap();
+            assert!(
+                (s * rows as f64 - *n as f64).abs() < 1e-9,
+                "table {i}: {s} × {rows} ≠ {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_table_id_is_an_error_not_a_silent_one() {
+        let db = db_with_rows(1000);
+        let store = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        // Table 0 exists; table 7 was never sampled.
+        assert!(store.scale_factor(TableId::new(0)).is_ok());
+        assert!(store.scale_factor(TableId::new(7)).is_err());
     }
 
     #[test]

@@ -9,10 +9,11 @@
 
 use std::time::Duration;
 
+use crate::cache::SampleRunCache;
 use crate::estimator::scale_up;
 use crate::sampler::SampleStore;
 use reopt_common::Result;
-use reopt_executor::{ExecOpts, Executor};
+use reopt_executor::{ExecOpts, Executor, TracedRun};
 use reopt_optimizer::CardOverrides;
 use reopt_plan::{PhysicalPlan, Query};
 
@@ -50,8 +51,15 @@ pub struct Validation {
     pub delta: CardOverrides,
     /// Wall time of the dry run.
     pub elapsed: Duration,
-    /// Rows produced while running over the samples (overhead metric).
+    /// Rows produced while running over the samples (overhead metric; a
+    /// cached run only counts rows of the subtrees it actually executed).
     pub sample_rows_produced: u64,
+    /// Subtrees answered from the dry-run cache ([`validate_plan_cached`]
+    /// only; always 0 on the from-scratch path).
+    pub cache_hits: usize,
+    /// Subtrees executed fresh by this validation (from-scratch runs count
+    /// every plan node here).
+    pub subtrees_executed: usize,
 }
 
 /// Run `plan` over the samples and return Δ.
@@ -68,28 +76,76 @@ pub fn validate_plan(
         },
     );
     let traced = exec.run_traced(query, plan)?;
+    let executed = traced.node_cards.len();
+    build_validation(query, samples, opts, traced, 0, executed, None)
+}
 
+/// Like [`validate_plan`], but consulting (and refilling) a cross-round
+/// [`SampleRunCache`]: subtrees whose canonical fingerprint was executed in
+/// an earlier round are replayed from the cache, and relation sets whose
+/// full-database estimate was already derived are never re-scaled. The
+/// caller owns the cache and must use it with one fixed (query, samples,
+/// opts) triple only — recorded estimates bake in `opts.min_rows`, so
+/// changing options requires a fresh cache (the intermediate-row cap is
+/// exempt: the executor re-checks it on every replay).
+pub fn validate_plan_cached(
+    query: &Query,
+    plan: &PhysicalPlan,
+    samples: &SampleStore,
+    opts: &ValidationOpts,
+    cache: &mut SampleRunCache,
+) -> Result<Validation> {
+    let exec = Executor::with_opts(
+        samples.database(),
+        ExecOpts {
+            max_intermediate_rows: opts.max_intermediate_rows,
+        },
+    );
+    let hits_before = cache.hits();
+    let executed_before = cache.executed();
+    let traced = exec.run_traced_cached(query, plan, cache)?;
+    let hits = cache.hits() - hits_before;
+    let executed = cache.executed() - executed_before;
+    build_validation(query, samples, opts, traced, hits, executed, Some(cache))
+}
+
+fn build_validation(
+    query: &Query,
+    samples: &SampleStore,
+    opts: &ValidationOpts,
+    traced: TracedRun,
+    cache_hits: usize,
+    subtrees_executed: usize,
+    mut cache: Option<&mut SampleRunCache>,
+) -> Result<Validation> {
     let mut delta = CardOverrides::new();
     for (set, sample_rows) in &traced.node_cards {
         if set.len() < 2 && !opts.validate_leaves {
             continue;
         }
-        let scale: f64 = set
-            .iter()
-            .map(|rel| {
-                query
-                    .table_of(rel)
-                    .map(|t| samples.scale_factor(t))
-                    .unwrap_or(1.0)
-            })
-            .product();
+        // An already-validated set keeps its recorded estimate — sampling
+        // is deterministic, so re-deriving it would produce the same
+        // number; reusing guarantees it.
+        if let Some(est) = cache.as_ref().and_then(|c| c.validated_estimate(*set)) {
+            delta.insert(*set, est);
+            continue;
+        }
+        let mut scale = 1.0;
+        for rel in set.iter() {
+            scale *= samples.scale_factor(query.table_of(rel)?)?;
+        }
         let estimate = scale_up(*sample_rows, scale, opts.min_rows);
+        if let Some(c) = cache.as_deref_mut() {
+            c.record_validated(*set, estimate);
+        }
         delta.insert(*set, estimate);
     }
     Ok(Validation {
         delta,
         elapsed: traced.metrics.elapsed,
         sample_rows_produced: traced.metrics.rows_produced,
+        cache_hits,
+        subtrees_executed,
     })
 }
 

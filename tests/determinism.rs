@@ -20,10 +20,11 @@ fn build_db() -> Database {
     .unwrap()
 }
 
+/// Per-round digest: (fingerprint, est-rows bits, est-cost bits, Γ-adds).
+type RoundDigest = (u64, u64, u64, u64);
+
 /// Everything replay-relevant in a report, with timings stripped.
-fn replay_digest(
-    report: &ReoptReport,
-) -> (Vec<(u64, u64, u64, u64)>, String, bool, Vec<(u64, u64)>) {
+fn replay_digest(report: &ReoptReport) -> (Vec<RoundDigest>, String, bool, Vec<(u64, u64)>) {
     let rounds = report
         .rounds
         .iter()

@@ -1,0 +1,158 @@
+//! Equivalence suite for incremental re-optimization: with the
+//! `incremental` knob on (cross-round DP memo + sample dry-run cache) and
+//! off (from-scratch every round), Algorithm 1 must walk the *same* round
+//! trajectory, return a structurally identical final plan, and accumulate
+//! an identical Γ — on the OTT fixtures and on a TPC-H subset. The caches
+//! are pure work-avoidance; any observable divergence is a bug.
+
+use reopt::common::rng::derive_rng_indexed;
+use reopt::core::{ReOptConfig, ReOptimizer, ReoptReport};
+use reopt::optimizer::Optimizer;
+use reopt::plan::Query;
+use reopt::sampling::{SampleConfig, SampleStore};
+use reopt::stats::{analyze_database, AnalyzeOpts, DatabaseStats};
+use reopt::storage::Database;
+use reopt::workloads::ott::{
+    build_ott_database, ott_query, ott_query_suite, recommended_sample_ratio, OttConfig,
+};
+use reopt::workloads::tpch::{build_tpch_database, instantiate, TpchConfig};
+
+struct Setup {
+    db: Database,
+    stats: DatabaseStats,
+    samples: SampleStore,
+}
+
+impl Setup {
+    fn new(db: Database, ratio: f64) -> Self {
+        let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(
+            &db,
+            SampleConfig {
+                ratio,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        Setup { db, stats, samples }
+    }
+
+    /// Run both modes and assert full observable equivalence.
+    fn assert_equivalent(&self, q: &Query, label: &str) -> (ReoptReport, ReoptReport) {
+        let opt = Optimizer::new(&self.db, &self.stats);
+        let inc = ReOptimizer::with_config(
+            &opt,
+            &self.samples,
+            ReOptConfig {
+                incremental: true,
+                ..Default::default()
+            },
+        );
+        let scratch = ReOptimizer::with_config(
+            &opt,
+            &self.samples,
+            ReOptConfig {
+                incremental: false,
+                ..Default::default()
+            },
+        );
+        let a = inc.run(q).unwrap();
+        let b = scratch.run(q).unwrap();
+        assert_eq!(a.num_rounds(), b.num_rounds(), "{label}: round counts");
+        assert_eq!(a.converged, b.converged, "{label}: convergence");
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert!(
+                ra.plan.same_structure(&rb.plan),
+                "{label}: round {} plans differ:\n{}\nvs\n{}",
+                ra.round,
+                ra.plan.explain(),
+                rb.plan.explain()
+            );
+        }
+        assert!(
+            a.final_plan.same_structure(&b.final_plan),
+            "{label}: final plans differ:\n{}\nvs\n{}",
+            a.final_plan.explain(),
+            b.final_plan.explain()
+        );
+        assert_eq!(a.gamma.len(), b.gamma.len(), "{label}: Γ sizes");
+        for (set, rows) in a.gamma.iter() {
+            assert_eq!(b.gamma.get(set), Some(rows), "{label}: Γ({set})");
+        }
+        (a, b)
+    }
+}
+
+#[test]
+fn ott_incremental_equals_from_scratch() {
+    let config = OttConfig {
+        rows_per_value: 12,
+        ..Default::default()
+    };
+    let db = build_ott_database(&config).unwrap();
+    let setup = Setup::new(db, recommended_sample_ratio(&config));
+    for (n, m) in [(5usize, 3usize), (6, 3)] {
+        for consts in ott_query_suite(n, m) {
+            let q = ott_query(&setup.db, &consts).unwrap();
+            setup.assert_equivalent(&q, &format!("ott {consts:?}"));
+        }
+    }
+}
+
+#[test]
+fn ott_incremental_mode_reuses_work() {
+    // The acceptance shape: on a plan-changing OTT trajectory, rounds ≥ 2
+    // re-plan strictly fewer DP subsets than round 1 and validation hits
+    // the sample cache, while the outcome matches from-scratch exactly
+    // (checked by assert_equivalent).
+    let config = OttConfig {
+        rows_per_value: 12,
+        ..Default::default()
+    };
+    let db = build_ott_database(&config).unwrap();
+    let setup = Setup::new(db, recommended_sample_ratio(&config));
+    let mut saw_multi_round = false;
+    for consts in ott_query_suite(5, 3) {
+        let q = ott_query(&setup.db, &consts).unwrap();
+        let (inc, _) = setup.assert_equivalent(&q, &format!("ott {consts:?}"));
+        let r1 = &inc.rounds[0];
+        assert_eq!(r1.dp_subsets_reused, 0, "{consts:?}: round 1 must be cold");
+        for r in &inc.rounds[1..] {
+            assert!(
+                r.dp_subsets_replanned < r1.dp_subsets_replanned,
+                "{consts:?}: round {} re-planned {} ≥ round 1's {}",
+                r.round,
+                r.dp_subsets_replanned,
+                r1.dp_subsets_replanned
+            );
+        }
+        if inc.num_rounds() > 2 {
+            saw_multi_round = true;
+            assert!(
+                inc.total_sample_cache_hits() >= 1,
+                "{consts:?}: multi-round run never hit the sample cache"
+            );
+        }
+    }
+    assert!(
+        saw_multi_round,
+        "suite produced no multi-round trajectory — fixture too easy"
+    );
+}
+
+#[test]
+fn tpch_incremental_equals_from_scratch() {
+    let db = build_tpch_database(&TpchConfig {
+        scale: 0.01,
+        ..Default::default()
+    })
+    .unwrap();
+    let setup = Setup::new(db, 0.05);
+    for name in ["q3", "q5", "q9", "q21"] {
+        for inst in 0..2u64 {
+            let mut rng = derive_rng_indexed(0x1c4e, name, inst);
+            let q = instantiate(&setup.db, name, &mut rng).unwrap();
+            setup.assert_equivalent(&q, &format!("tpch {name}#{inst}"));
+        }
+    }
+}
