@@ -1,0 +1,285 @@
+//! Query-service latency and throughput: cold misses (full sampling-based
+//! re-optimization), warm template hits, and contended single-flight
+//! admission, with machine-readable output in `BENCH_service.json` so the
+//! serving-layer perf trajectory is tracked in CI alongside
+//! `BENCH_incremental.json`.
+//!
+//! Not a criterion harness: each regime drives a real [`QueryService`]
+//! end to end. Pass `--quick` for the reduced-iteration CI configuration.
+//!
+//! Regimes:
+//! * **cold** — fresh template on a fresh cache: pays the whole
+//!   re-optimization loop. One measurement per template.
+//! * **warm** — the same template again: a plan-cache hash lookup. The
+//!   acceptance bar for the serving layer is `warm_speedup > 10` on every
+//!   template (recorded per query and as a geomean).
+//! * **contended** — K threads submit the same cold template through one
+//!   barrier: exactly one re-optimization may run (single-flight); the
+//!   report records `reopts_run` so a regression to thundering-herd shows
+//!   up as `reopts_run > 1`, not just as latency noise.
+//! * **throughput** — K sessions × a mixed template workload with varying
+//!   literals over a warm cache: sustained queries/second.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use reopt_sampling::SampleConfig;
+use reopt_service::{PlanSource, QueryService, ServiceConfig};
+use reopt_stats::AnalyzeOpts;
+use reopt_storage::Database;
+use reopt_workloads::ott::{
+    build_ott_database, ott_query, ott_query_suite, recommended_sample_ratio, OttConfig,
+};
+
+#[derive(Debug, Serialize)]
+struct TemplateResult {
+    workload: String,
+    template: String,
+    /// Cold-miss latency (full re-optimization), milliseconds.
+    cold_ms: f64,
+    /// Mean warm-hit latency over `warm_iters` submissions, milliseconds.
+    warm_mean_ms: f64,
+    warm_iters: usize,
+    /// cold_ms / warm_mean_ms — the acceptance bar is >10.
+    warm_speedup: f64,
+    /// Rounds of the cold re-optimization.
+    rounds: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct ContendedResult {
+    threads: usize,
+    /// Wall time for all threads to receive the plan, milliseconds.
+    wall_ms: f64,
+    /// Mean per-session latency, milliseconds.
+    mean_session_ms: f64,
+    /// Re-optimizations actually run — single-flight demands exactly 1.
+    reopts_run: u64,
+    /// Sessions that blocked on the leader (the rest warm-hit after it
+    /// landed).
+    coalesced: u64,
+    warm_hits: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ThroughputResult {
+    threads: usize,
+    queries: usize,
+    wall_ms: f64,
+    queries_per_sec: f64,
+    warm_hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    quick: bool,
+    templates: Vec<TemplateResult>,
+    /// Geometric mean of per-template warm speedups.
+    geomean_warm_speedup: f64,
+    /// Minimum per-template warm speedup (the acceptance criterion
+    /// `> 10` binds here, not just on the mean).
+    min_warm_speedup: f64,
+    contended: ContendedResult,
+    throughput: ThroughputResult,
+}
+
+fn fresh_service(db: &Arc<Database>, ratio: f64) -> Arc<QueryService> {
+    Arc::new(
+        QueryService::from_database(
+            Arc::clone(db),
+            &AnalyzeOpts::default(),
+            SampleConfig {
+                ratio,
+                ..Default::default()
+            },
+            ServiceConfig::default(),
+        )
+        .unwrap(),
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let warm_iters = if quick { 200 } else { 2000 };
+
+    let ott_config = OttConfig {
+        rows_per_value: 12,
+        ..Default::default()
+    };
+    let db = Arc::new(build_ott_database(&ott_config).unwrap());
+    let ratio = recommended_sample_ratio(&ott_config);
+
+    // --- Cold vs warm. Every OTT query of one chain length is the same
+    // *template* (the suite varies only the constants), so each length is
+    // one cold miss; the warm loop then cycles the suite's literal
+    // variants — the parameterized-reuse regime a server actually sees.
+    let mut templates = Vec::new();
+    let service = fresh_service(&db, ratio);
+    for (n, m) in [(3usize, 2usize), (4, 2), (5, 3), (6, 3)] {
+        let instances: Vec<_> = ott_query_suite(n, m)
+            .iter()
+            .map(|consts| ott_query(&db, consts).unwrap())
+            .collect();
+        let cold = service.submit(&instances[0]).unwrap();
+        assert_eq!(cold.source, PlanSource::ColdMiss);
+        let t0 = Instant::now();
+        for i in 0..warm_iters {
+            let r = service.submit(&instances[i % instances.len()]).unwrap();
+            debug_assert_eq!(r.source, PlanSource::WarmHit);
+        }
+        let warm_mean_ms = t0.elapsed().as_secs_f64() * 1e3 / warm_iters as f64;
+        let cold_ms = cold.latency.as_secs_f64() * 1e3;
+        templates.push(TemplateResult {
+            workload: "ott".into(),
+            template: format!("chain{n}"),
+            cold_ms,
+            warm_mean_ms,
+            warm_iters,
+            warm_speedup: cold_ms / warm_mean_ms.max(1e-9),
+            rounds: cold.rounds,
+        });
+    }
+    let geomean_warm_speedup =
+        (templates.iter().map(|t| t.warm_speedup.ln()).sum::<f64>() / templates.len() as f64).exp();
+    let min_warm_speedup = templates
+        .iter()
+        .map(|t| t.warm_speedup)
+        .fold(f64::INFINITY, f64::min);
+
+    // --- Contended: K sessions race one cold template. ---
+    let threads = 8usize;
+    let service = fresh_service(&db, ratio);
+    let q = ott_query(&db, &[0, 0, 0, 0, 1]).unwrap();
+    let barrier = Barrier::new(threads);
+    let t0 = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let service = &service;
+                let q = &q;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    service.submit(q).unwrap().latency
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = service.stats();
+    assert_eq!(stats.reopts_run, 1, "single-flight violated: {stats:?}");
+    let contended = ContendedResult {
+        threads,
+        wall_ms,
+        mean_session_ms: latencies.iter().map(|l| l.as_secs_f64() * 1e3).sum::<f64>()
+            / threads as f64,
+        reopts_run: stats.reopts_run,
+        coalesced: stats.coalesced,
+        warm_hits: stats.warm_hits,
+    };
+
+    // --- Throughput: a mixed warm workload (four distinct templates,
+    // varying literals) across sessions. ---
+    let service = fresh_service(&db, ratio);
+    let shapes: Vec<_> = [(3usize, 2usize), (4, 2), (5, 3), (6, 3)]
+        .iter()
+        .flat_map(|&(n, m)| {
+            ott_query_suite(n, m)
+                .iter()
+                .take(2)
+                .map(|consts| ott_query(&db, consts).unwrap())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for q in &shapes {
+        service.submit(q).unwrap(); // warm the cache
+    }
+    let per_thread = if quick { 500 } else { 5000 };
+    let barrier = Barrier::new(threads);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let service = &service;
+            let shapes = &shapes;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..per_thread {
+                    let q = &shapes[(t + i) % shapes.len()];
+                    service.submit(q).unwrap();
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed();
+    let stats = service.stats();
+    let total = threads * per_thread;
+    let throughput = ThroughputResult {
+        threads,
+        queries: total,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        queries_per_sec: total as f64 / wall.as_secs_f64(),
+        warm_hit_rate: stats.warm_hits as f64 / stats.submitted as f64,
+    };
+
+    let report = BenchReport {
+        bench: "bench_service",
+        quick,
+        templates,
+        geomean_warm_speedup,
+        min_warm_speedup,
+        contended,
+        throughput,
+    };
+
+    println!(
+        "{:<28} {:>10} {:>12} {:>10}",
+        "template", "cold ms", "warm µs", "speedup"
+    );
+    for t in &report.templates {
+        println!(
+            "{:<28} {:>10.3} {:>12.3} {:>9.0}x",
+            t.template,
+            t.cold_ms,
+            t.warm_mean_ms * 1e3,
+            t.warm_speedup
+        );
+    }
+    println!(
+        "geomean warm speedup: {:.0}x (min {:.0}x)",
+        report.geomean_warm_speedup, report.min_warm_speedup
+    );
+    println!(
+        "contended ({} threads): wall {:.3} ms, reopts_run {}, coalesced {}, warm {}",
+        report.contended.threads,
+        report.contended.wall_ms,
+        report.contended.reopts_run,
+        report.contended.coalesced,
+        report.contended.warm_hits
+    );
+    println!(
+        "throughput: {:.0} q/s over {} queries on {} threads (warm-hit rate {:.3})",
+        report.throughput.queries_per_sec,
+        report.throughput.queries,
+        report.throughput.threads,
+        report.throughput.warm_hit_rate
+    );
+
+    // Anchor the output at the workspace root (cargo runs benches with
+    // cwd = the package directory) so CI finds one canonical path.
+    let out = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(pkg) => std::path::Path::new(&pkg)
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("BENCH_service.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_service.json"),
+    };
+    let json = serde_json::to_string(&report).unwrap();
+    std::fs::write(&out, &json).unwrap();
+    println!("wrote {}", out.display());
+}

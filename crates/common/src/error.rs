@@ -24,6 +24,11 @@ pub enum Error {
     Unsupported(String),
     /// Internal invariant violation. Seeing this is a bug in the engine.
     Internal(String),
+    /// A serving-layer failure: a coalesced request whose leading session
+    /// died, a session submitted after shutdown, a poisoned service
+    /// structure. Unlike [`Error::Internal`] these are expected under
+    /// concurrency and callers are meant to retry.
+    Service(String),
 }
 
 impl Error {
@@ -46,6 +51,17 @@ impl Error {
     pub fn internal(what: impl Into<String>) -> Self {
         Error::Internal(what.into())
     }
+
+    /// Shorthand for [`Error::Service`].
+    pub fn service(what: impl Into<String>) -> Self {
+        Error::Service(what.into())
+    }
+
+    /// Whether retrying the operation can plausibly succeed — true only
+    /// for serving-layer transients.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Service(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -55,6 +71,7 @@ impl fmt::Display for Error {
             Error::Invalid(s) => write!(f, "invalid: {s}"),
             Error::Unsupported(s) => write!(f, "unsupported: {s}"),
             Error::Internal(s) => write!(f, "internal error: {s}"),
+            Error::Service(s) => write!(f, "service error: {s}"),
         }
     }
 }
@@ -81,5 +98,14 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::not_found("x"), Error::not_found("x"));
         assert_ne!(Error::not_found("x"), Error::invalid("x"));
+    }
+
+    #[test]
+    fn service_errors_are_retryable_transients() {
+        let e = Error::service("leading session panicked");
+        assert!(e.to_string().starts_with("service error:"));
+        assert!(e.is_retryable());
+        assert!(!Error::internal("dp table miss").is_retryable());
+        assert!(!Error::invalid("no relations").is_retryable());
     }
 }

@@ -1,0 +1,264 @@
+//! An owned, `Arc`-shareable re-optimization engine.
+//!
+//! [`crate::ReOptimizer`] and [`Optimizer`] are deliberately borrow-based
+//! — cheap to construct, zero setup cost per query — which is perfect for
+//! experiments but awkward for a long-lived server: a thread can't park a
+//! `ReOptimizer<'a>` inside an `Arc` without dragging `'a` through every
+//! API. [`ReoptEngine`] closes that gap. It *owns* the database, its
+//! statistics and the sample store behind `Arc`s, plus the optimizer and
+//! re-optimizer configurations, and materializes the short-lived borrowing
+//! optimizers internally on each call. The engine is `Send + Sync`
+//! (everything inside is immutable shared data), so a query service can
+//! hold one in an `Arc` and serve any number of sessions from it.
+
+use std::sync::Arc;
+
+use crate::reopt::{ReOptConfig, ReOptimizer};
+use crate::report::ReoptReport;
+use reopt_common::Result;
+use reopt_optimizer::{Optimizer, OptimizerConfig};
+use reopt_plan::Query;
+use reopt_sampling::{SampleConfig, SampleStore, SharedSampleRunCache};
+use reopt_stats::{analyze_database, AnalyzeOpts, DatabaseStats};
+use reopt_storage::Database;
+
+/// Owned re-optimization pipeline: database + statistics + samples +
+/// configuration, usable behind an `Arc` from many threads at once.
+#[derive(Debug, Clone)]
+pub struct ReoptEngine {
+    db: Arc<Database>,
+    stats: Arc<DatabaseStats>,
+    samples: Arc<SampleStore>,
+    optimizer_config: OptimizerConfig,
+    reopt_config: ReOptConfig,
+}
+
+impl ReoptEngine {
+    /// Engine over pre-built statistics and samples, with default
+    /// (PostgreSQL-like optimizer, incremental re-optimization) configs.
+    pub fn new(db: Arc<Database>, stats: Arc<DatabaseStats>, samples: Arc<SampleStore>) -> Self {
+        Self::with_configs(
+            db,
+            stats,
+            samples,
+            OptimizerConfig::postgres_like(),
+            ReOptConfig::default(),
+        )
+    }
+
+    /// Engine with explicit optimizer and re-optimization configuration.
+    pub fn with_configs(
+        db: Arc<Database>,
+        stats: Arc<DatabaseStats>,
+        samples: Arc<SampleStore>,
+        optimizer_config: OptimizerConfig,
+        reopt_config: ReOptConfig,
+    ) -> Self {
+        ReoptEngine {
+            db,
+            stats,
+            samples,
+            optimizer_config,
+            reopt_config,
+        }
+    }
+
+    /// Convenience bootstrap: ANALYZE the database and draw samples, then
+    /// build the engine — the one-stop entry point for a serving layer
+    /// that starts from raw tables.
+    pub fn from_database(
+        db: Arc<Database>,
+        analyze: &AnalyzeOpts,
+        sample: SampleConfig,
+    ) -> Result<Self> {
+        Self::from_database_with_configs(
+            db,
+            analyze,
+            sample,
+            OptimizerConfig::postgres_like(),
+            ReOptConfig::default(),
+        )
+    }
+
+    /// [`ReoptEngine::from_database`] with explicit optimizer and
+    /// re-optimization configuration.
+    pub fn from_database_with_configs(
+        db: Arc<Database>,
+        analyze: &AnalyzeOpts,
+        sample: SampleConfig,
+        optimizer_config: OptimizerConfig,
+        reopt_config: ReOptConfig,
+    ) -> Result<Self> {
+        let stats = Arc::new(analyze_database(&db, analyze)?);
+        let samples = Arc::new(SampleStore::build(&db, sample)?);
+        Ok(Self::with_configs(
+            db,
+            stats,
+            samples,
+            optimizer_config,
+            reopt_config,
+        ))
+    }
+
+    /// The database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The statistics the optimizer plans against.
+    pub fn stats(&self) -> &Arc<DatabaseStats> {
+        &self.stats
+    }
+
+    /// The sample store validations run against.
+    pub fn samples(&self) -> &Arc<SampleStore> {
+        &self.samples
+    }
+
+    /// The re-optimization configuration.
+    pub fn reopt_config(&self) -> &ReOptConfig {
+        &self.reopt_config
+    }
+
+    /// The optimizer configuration.
+    pub fn optimizer_config(&self) -> &OptimizerConfig {
+        &self.optimizer_config
+    }
+
+    /// Run Algorithm 1 on `query` with a run-private sample cache.
+    pub fn reoptimize(&self, query: &Query) -> Result<ReoptReport> {
+        self.with_reoptimizer(|re| re.run(query))
+    }
+
+    /// Run Algorithm 1 on `query`, pooling sample dry-run work through
+    /// `sample_cache` (see [`ReOptimizer::run_shared`]). The cache must
+    /// have been used only with this engine's sample store and validation
+    /// options.
+    pub fn reoptimize_shared(
+        &self,
+        query: &Query,
+        sample_cache: &SharedSampleRunCache,
+    ) -> Result<ReoptReport> {
+        self.with_reoptimizer(|re| re.run_shared(query, sample_cache))
+    }
+
+    /// Materialize the borrowing optimizer + re-optimizer and hand them to
+    /// `f`. Construction is a few clones of plain config structs — cheap
+    /// relative to even one optimizer invocation.
+    fn with_reoptimizer<T>(&self, f: impl FnOnce(&ReOptimizer<'_>) -> Result<T>) -> Result<T> {
+        let optimizer =
+            Optimizer::with_config(&self.db, &self.stats, self.optimizer_config.clone());
+        let re = ReOptimizer::with_config(&optimizer, &self.samples, self.reopt_config.clone());
+        f(&re)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::{ColId, TableId};
+    use reopt_plan::query::ColRef;
+    use reopt_plan::{Predicate, QueryBuilder};
+    use reopt_storage::{Column, ColumnDef, LogicalType, Table, TableSchema};
+
+    fn ott_db(k: usize, vals: i64, per: usize) -> Database {
+        let mut db = Database::new();
+        for t in 0..k {
+            db.add_table_with(|id| {
+                let schema = TableSchema::new(vec![
+                    ColumnDef::new("a", LogicalType::Int),
+                    ColumnDef::new("b", LogicalType::Int),
+                ])?;
+                let mut data = Vec::new();
+                for v in 0..vals {
+                    data.extend(std::iter::repeat_n(v, per));
+                }
+                let mut tbl = Table::new(
+                    id,
+                    format!("e{t}"),
+                    schema,
+                    vec![
+                        Column::from_i64(LogicalType::Int, data.clone()),
+                        Column::from_i64(LogicalType::Int, data),
+                    ],
+                )?;
+                tbl.create_index(ColId::new(0))?;
+                tbl.create_index(ColId::new(1))?;
+                Ok(tbl)
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    fn ott_query(k: usize, consts: &[i64]) -> Query {
+        let mut qb = QueryBuilder::new();
+        let rels: Vec<_> = (0..k).map(|i| qb.add_relation(TableId::from(i))).collect();
+        for (i, &r) in rels.iter().enumerate() {
+            qb.add_predicate(Predicate::eq(r, ColId::new(0), consts[i]));
+        }
+        for w in rels.windows(2) {
+            qb.add_join(
+                ColRef::new(w[0], ColId::new(1)),
+                ColRef::new(w[1], ColId::new(1)),
+            );
+        }
+        qb.build()
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReoptEngine>();
+    }
+
+    #[test]
+    fn engine_matches_borrowing_reoptimizer() {
+        let db = Arc::new(ott_db(4, 50, 20));
+        let engine = ReoptEngine::from_database(
+            db.clone(),
+            &AnalyzeOpts::default(),
+            SampleConfig::default(),
+        )
+        .unwrap();
+        let q = ott_query(4, &[0, 0, 0, 1]);
+        let from_engine = engine.reoptimize(&q).unwrap();
+
+        let optimizer = Optimizer::new(&db, engine.stats());
+        let re = ReOptimizer::new(&optimizer, engine.samples());
+        let from_borrowed = re.run(&q).unwrap();
+        assert_eq!(from_engine.num_rounds(), from_borrowed.num_rounds());
+        assert!(from_engine
+            .final_plan
+            .same_structure(&from_borrowed.final_plan));
+    }
+
+    #[test]
+    fn engine_runs_concurrently_from_many_threads() {
+        let db = Arc::new(ott_db(4, 50, 20));
+        let engine = Arc::new(
+            ReoptEngine::from_database(db, &AnalyzeOpts::default(), SampleConfig::default())
+                .unwrap(),
+        );
+        let shared = SharedSampleRunCache::new();
+        let baseline = engine.reoptimize(&ott_query(4, &[0, 0, 0, 1])).unwrap();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let engine = Arc::clone(&engine);
+                let shared = shared.clone();
+                let baseline_plan = baseline.final_plan.clone();
+                s.spawn(move || {
+                    // Half the threads share the cache, half run private.
+                    let q = ott_query(4, &[0, 0, 0, 1]);
+                    let r = if i % 2 == 0 {
+                        engine.reoptimize_shared(&q, &shared).unwrap()
+                    } else {
+                        engine.reoptimize(&q).unwrap()
+                    };
+                    assert!(r.final_plan.same_structure(&baseline_plan));
+                });
+            }
+        });
+        assert!(shared.stats().executed > 0);
+    }
+}

@@ -10,10 +10,12 @@
 //! enough to regenerate every re-optimization figure of the paper and to
 //! machine-check Theorems 1, 2 and 5 on real runs.
 
+pub mod engine;
 pub mod multi_seed;
 pub mod reopt;
 pub mod report;
 
+pub use engine::ReoptEngine;
 pub use multi_seed::{run_multi_seed, MultiSeedReport};
 pub use reopt::{ReOptConfig, ReOptimizer};
 pub use report::{ReoptReport, ReoptSummary, RoundReport};

@@ -26,7 +26,8 @@ use reopt_optimizer::{CardOverrides, Optimizer, PlanMemo};
 use reopt_plan::transform::{classify_transformation, is_covered_by};
 use reopt_plan::{JoinTree, PhysicalPlan, Query};
 use reopt_sampling::{
-    validate_plan, validate_plan_cached, SampleRunCache, SampleStore, Validation, ValidationOpts,
+    validate_plan, validate_plan_cached, SampleRunCache, SampleStore, SharedSampleRunCache,
+    Validation, ValidationCache, ValidationOpts,
 };
 
 /// Stopping strategy and validation knobs for the re-optimization loop.
@@ -80,18 +81,30 @@ impl Default for ReOptConfig {
 /// protocol (plan → validate → note Δ) so [`ReOptimizer::run`] and
 /// [`crate::multi_seed::run_multi_seed`] cannot drift apart. With
 /// `enabled: false` every call falls through to the from-scratch path.
-#[derive(Debug, Default)]
-pub(crate) struct IncrementalCaches {
+///
+/// Generic over the sample-cache handle: a run owns a private
+/// [`SampleRunCache`] by default, while the serving layer passes a
+/// [`SharedSampleRunCache`] so concurrent sessions pool validated
+/// subtrees ([`ReOptimizer::run_shared`]).
+#[derive(Debug)]
+pub(crate) struct IncrementalCaches<C = SampleRunCache> {
     memo: PlanMemo,
-    sample_cache: SampleRunCache,
+    sample_cache: C,
     enabled: bool,
 }
 
-impl IncrementalCaches {
+impl IncrementalCaches<SampleRunCache> {
     pub(crate) fn new(enabled: bool) -> Self {
+        Self::with_sample_cache(enabled, SampleRunCache::new())
+    }
+}
+
+impl<C: ValidationCache> IncrementalCaches<C> {
+    pub(crate) fn with_sample_cache(enabled: bool, sample_cache: C) -> Self {
         IncrementalCaches {
+            memo: PlanMemo::new(),
+            sample_cache,
             enabled,
-            ..Default::default()
         }
     }
 
@@ -189,16 +202,45 @@ impl<'a> ReOptimizer<'a> {
 
     /// Run Algorithm 1 on `query`.
     pub fn run(&self, query: &Query) -> Result<ReoptReport> {
+        // Cross-round caches (incremental mode): the DP table survives
+        // between optimizer calls minus the stale frontier, and sample
+        // dry-run subtrees are replayed instead of re-executed.
+        let mut caches = IncrementalCaches::new(self.config.incremental);
+        self.run_with_caches(query, &mut caches)
+    }
+
+    /// Run Algorithm 1 on `query`, pooling sample dry-run work through a
+    /// [`SharedSampleRunCache`] instead of a run-private cache. Subtrees
+    /// this run validates become visible to every other sharer (and vice
+    /// versa) — the serving layer uses this so cold misses on different
+    /// query templates share validated subtree estimates. The final plan
+    /// and Γ are identical to [`ReOptimizer::run`]'s: the cache is exact,
+    /// whoever filled it. Requires `config.incremental` (the default);
+    /// with `incremental: false` validation bypasses caches entirely and
+    /// this behaves exactly like `run`. The shared cache must belong to
+    /// the same ([`SampleStore`], [`ValidationOpts`]) contract as this
+    /// re-optimizer.
+    pub fn run_shared(
+        &self,
+        query: &Query,
+        sample_cache: &SharedSampleRunCache,
+    ) -> Result<ReoptReport> {
+        let mut caches =
+            IncrementalCaches::with_sample_cache(self.config.incremental, sample_cache.clone());
+        self.run_with_caches(query, &mut caches)
+    }
+
+    fn run_with_caches<C: ValidationCache>(
+        &self,
+        query: &Query,
+        caches: &mut IncrementalCaches<C>,
+    ) -> Result<ReoptReport> {
         let t_start = Instant::now();
         let mut gamma = CardOverrides::new();
         let mut rounds: Vec<RoundReport> = Vec::new();
         let mut prev_plan: Option<PhysicalPlan> = None;
         let mut prev_trees: Vec<JoinTree> = Vec::new();
         let mut converged = false;
-        // Cross-round caches (incremental mode): the DP table survives
-        // between optimizer calls minus the stale frontier, and sample
-        // dry-run subtrees are replayed instead of re-executed.
-        let mut caches = IncrementalCaches::new(self.config.incremental);
 
         loop {
             // A blown budget must not buy a whole extra round: check
@@ -720,6 +762,61 @@ mod tests {
                 assert_eq!(b.gamma.get(set), Some(rows), "{consts:?}: Γ({set})");
             }
         }
+    }
+
+    #[test]
+    fn shared_sample_cache_pools_work_across_queries() {
+        // Two *different* queries over one database: a 5-chain and a
+        // 4-chain whose shared prefix has identical predicates. Running
+        // both through one SharedSampleRunCache must (a) change nothing
+        // about the results and (b) let the second query replay subtrees
+        // the first one executed.
+        let f = Fixture::new(5, 50, 20);
+        let stats = analyze_database(&f.db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(
+            &f.db,
+            SampleConfig {
+                ratio: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let opt = Optimizer::new(&f.db, &stats);
+        let re = ReOptimizer::new(&opt, &samples);
+        let qa = ott_query(5, &[0, 0, 0, 0, 1]);
+        let qb = ott_query(4, &[0, 0, 0, 0]);
+
+        // Equivalence: the shared-cache run ends where the private run does.
+        let shared = SharedSampleRunCache::new();
+        let ra = re.run_shared(&qa, &shared).unwrap();
+        let base_a = re.run(&qa).unwrap();
+        assert_eq!(ra.num_rounds(), base_a.num_rounds());
+        assert!(ra.final_plan.same_structure(&base_a.final_plan));
+        assert_eq!(ra.gamma.len(), base_a.gamma.len());
+        for (set, rows) in ra.gamma.iter() {
+            assert_eq!(base_a.gamma.get(set), Some(rows), "Γ({set})");
+        }
+
+        // Cross-query pooling: qb alone (fresh cache) vs qb after qa.
+        let fresh = SharedSampleRunCache::new();
+        let rb_alone = re.run_shared(&qb, &fresh).unwrap();
+        let alone = fresh.stats();
+        let before = shared.stats();
+        let rb = re.run_shared(&qb, &shared).unwrap();
+        let after = shared.stats();
+        assert!(rb.final_plan.same_structure(&rb_alone.final_plan));
+        assert!(
+            after.hits - before.hits > alone.hits,
+            "sharing must add cross-query hits: {} vs {} alone",
+            after.hits - before.hits,
+            alone.hits
+        );
+        assert!(
+            after.executed - before.executed < alone.executed,
+            "sharing must execute fewer subtrees: {} vs {} alone",
+            after.executed - before.executed,
+            alone.executed
+        );
     }
 
     #[test]

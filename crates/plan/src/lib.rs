@@ -14,13 +14,16 @@
 //!   coverage (Definition 2),
 //! * [`physical`] — physical plans (access paths + join operators) with
 //!   structural fingerprints, the objects Algorithm 1 compares across
-//!   rounds.
+//!   rounds,
+//! * [`template`] — literal-free query *template* fingerprints, the plan
+//!   cache key of the serving layer (`reopt-service`).
 
 pub mod expr;
 pub mod join_tree;
 pub mod physical;
 pub mod query;
 pub mod sql;
+pub mod template;
 pub mod transform;
 
 pub use expr::{CmpOp, JoinPredicate, Predicate};
@@ -28,4 +31,5 @@ pub use join_tree::JoinTree;
 pub use physical::{AccessPath, JoinAlgo, PhysicalPlan, PlanNodeInfo};
 pub use query::{AggExpr, AggFunc, AggSpec, ColRef, JoinGraph, Query, QueryBuilder};
 pub use sql::to_sql;
+pub use template::{template_fingerprint, QueryTemplate};
 pub use transform::{classify_transformation, is_covered_by, local_transformations, TransformKind};

@@ -187,6 +187,62 @@ mod tests {
         assert!(sql.ends_with(';'), "{sql}");
     }
 
+    /// Golden output: the exact rendering of a 3-relation (self-)join +
+    /// aggregate query. `to_sql` silently falls back to positional column
+    /// names for anything it cannot resolve, so substring checks alone
+    /// would let the format drift unnoticed; this pins every byte.
+    #[test]
+    fn golden_multi_join_aggregate_rendering() {
+        let db = db();
+        let mut qb = QueryBuilder::new();
+        let o = qb.add_relation(db.table_id("orders").unwrap());
+        let l = qb.add_relation(db.table_id("lineitem").unwrap());
+        let l2 = qb.add_relation(db.table_id("lineitem").unwrap());
+        qb.add_join(ColRef::new(o, ColId::new(0)), ColRef::new(l, ColId::new(0)));
+        qb.add_join(
+            ColRef::new(l, ColId::new(0)),
+            ColRef::new(l2, ColId::new(0)),
+        );
+        qb.add_predicate(Predicate::between(o, ColId::new(1), 10i64, 99i64));
+        qb.add_predicate(Predicate::eq(l, ColId::new(1), "AIR"));
+        qb.add_predicate(Predicate::ne(l2, ColId::new(1), "MAIL"));
+        qb.aggregate(AggSpec {
+            group_by: vec![ColRef::new(o, ColId::new(0))],
+            aggs: vec![
+                AggExpr::count_star(),
+                AggExpr::max(ColRef::new(l, ColId::new(0))),
+            ],
+        });
+        let sql = to_sql(&qb.build(), &db);
+        let expected = "\
+SELECT t0.o_orderkey, COUNT(*), MAX(t1.l_orderkey)
+FROM orders AS t0, lineitem AS t1, lineitem AS t2
+WHERE t0.o_orderkey = t1.l_orderkey
+  AND t1.l_orderkey = t2.l_orderkey
+  AND t0.o_orderdate BETWEEN 10 AND 99
+  AND t1.l_shipmode = 'AIR'
+  AND t2.l_shipmode <> 'MAIL'
+GROUP BY t0.o_orderkey;";
+        assert_eq!(sql, expected);
+    }
+
+    /// Golden output: the unknown-column fallback renders the positional
+    /// name (`c9`) rather than erroring — pinned so the escape hatch
+    /// can't silently change shape.
+    #[test]
+    fn golden_unknown_column_fallback_rendering() {
+        let db = db();
+        let mut qb = QueryBuilder::new();
+        let o = qb.add_relation(db.table_id("orders").unwrap());
+        qb.add_predicate(Predicate::eq(o, ColId::new(9), 1i64));
+        let sql = to_sql(&qb.build(), &db);
+        let expected = "\
+SELECT *
+FROM orders AS t0
+WHERE t0.c9 = 1;";
+        assert_eq!(sql, expected);
+    }
+
     #[test]
     fn renders_select_star_without_aggregate() {
         let db = db();

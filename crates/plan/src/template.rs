@@ -1,0 +1,358 @@
+//! Query *template* fingerprints — the plan-cache key of the serving
+//! layer.
+//!
+//! A production service sees the same query *shape* over and over with
+//! different constants: `σ_{a=?}(R) ⋈ S ⋈ T` arrives once per user with a
+//! fresh literal each time. Re-optimizing every arrival from scratch wastes
+//! the sampling budget the paper works hard to keep small; caching the
+//! final plan per *template* amortizes one re-optimization across every
+//! instance of the shape (the same bet PostgreSQL's generic plans and the
+//! plan-stitch/Perron-et-al. line of work make — see PAPERS.md).
+//!
+//! [`QueryTemplate`] is the canonical normal form: relation list, local
+//! predicate *shapes* (relation, column, operator — literals parameterized
+//! out), the join edge set in canonical orientation, and the aggregate
+//! shape. [`template_fingerprint`] collapses it to 64 bits with the same
+//! `fx_mix` chain idiom the physical-plan fingerprint uses. Two queries
+//! that differ only in their literal constants — or in the order/
+//! orientation in which their join predicates were added — produce the
+//! same fingerprint; distinct shapes collide with probability ≈ 2⁻⁶⁴
+//! (property-tested in `tests/proptest_template.rs`).
+
+use crate::expr::CmpOp;
+use crate::query::Query;
+use reopt_common::hash::fx_mix;
+use reopt_common::TableId;
+
+/// The canonical, literal-free normal form of a query's shape.
+///
+/// Equality on `QueryTemplate` is the ground truth the 64-bit
+/// [`fingerprint`](QueryTemplate::fingerprint) approximates: equal
+/// templates always hash equal; unequal templates hash equal only on a
+/// 64-bit collision.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryTemplate {
+    /// Base table of each relation occurrence, in `RelId` order.
+    relations: Vec<TableId>,
+    /// Local predicate shapes `(rel, col, op)`, literals dropped, sorted.
+    /// Multiplicity is preserved: two filters on the same column are a
+    /// different shape than one.
+    predicates: Vec<(u32, u32, u8)>,
+    /// Join edges `(left_rel, left_col, right_rel, right_col)` in canonical
+    /// orientation, sorted and deduplicated.
+    joins: Vec<(u32, u32, u32, u32)>,
+    /// Aggregate grouping columns `(rel, col)`, sorted (GROUP BY order is
+    /// semantically irrelevant).
+    group_by: Vec<(u32, u32)>,
+    /// Aggregate expressions `(func, input)` in output order — projection
+    /// order is part of the query's meaning, so it stays significant.
+    aggs: Vec<(u8, Option<(u32, u32)>)>,
+}
+
+fn op_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+        CmpOp::Between => 6,
+    }
+}
+
+impl QueryTemplate {
+    /// Normalize `query` into its template.
+    pub fn of(query: &Query) -> Self {
+        let relations = query.relations.clone();
+        let mut predicates: Vec<(u32, u32, u8)> = query
+            .local
+            .iter()
+            .flatten()
+            .map(|p| (p.rel.0, p.col.0, op_tag(p.op)))
+            .collect();
+        predicates.sort_unstable();
+        // JoinPredicate is already canonically oriented (smaller RelId on
+        // the left); sorting + dedup additionally erases insertion order
+        // and duplicates from hand-built queries.
+        let mut joins: Vec<(u32, u32, u32, u32)> = query
+            .joins
+            .iter()
+            .map(|j| (j.left_rel.0, j.left_col.0, j.right_rel.0, j.right_col.0))
+            .collect();
+        joins.sort_unstable();
+        joins.dedup();
+        let (group_by, aggs) = match &query.aggregate {
+            Some(spec) => {
+                let mut gb: Vec<(u32, u32)> =
+                    spec.group_by.iter().map(|c| (c.rel.0, c.col.0)).collect();
+                gb.sort_unstable();
+                let aggs = spec
+                    .aggs
+                    .iter()
+                    .map(|a| {
+                        let func = match a.func {
+                            crate::query::AggFunc::Count => 0u8,
+                            crate::query::AggFunc::Sum => 1,
+                            crate::query::AggFunc::Min => 2,
+                            crate::query::AggFunc::Max => 3,
+                            crate::query::AggFunc::Avg => 4,
+                        };
+                        (func, a.input.map(|c| (c.rel.0, c.col.0)))
+                    })
+                    .collect();
+                (gb, aggs)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        QueryTemplate {
+            relations,
+            predicates,
+            joins,
+            group_by,
+            aggs,
+        }
+    }
+
+    /// Number of relation occurrences in the templated query.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of (distinct) join edges.
+    pub fn num_joins(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// 64-bit fingerprint of the template, consistent with template
+    /// equality. Section tags separate the variable-length parts so, e.g.,
+    /// a predicate list ending where a join list begins cannot alias a
+    /// different split of the same words.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fx_mix(0x7e3a_917b, self.relations.len() as u64);
+        for t in &self.relations {
+            h = fx_mix(h, t.0 as u64);
+        }
+        h = fx_mix(h, 0xa001 ^ self.predicates.len() as u64);
+        for &(rel, col, op) in &self.predicates {
+            h = fx_mix(h, ((rel as u64) << 32) | col as u64);
+            h = fx_mix(h, op as u64);
+        }
+        h = fx_mix(h, 0xa002 ^ self.joins.len() as u64);
+        for &(lr, lc, rr, rc) in &self.joins {
+            h = fx_mix(h, ((lr as u64) << 32) | lc as u64);
+            h = fx_mix(h, ((rr as u64) << 32) | rc as u64);
+        }
+        h = fx_mix(h, 0xa003 ^ self.group_by.len() as u64);
+        for &(rel, col) in &self.group_by {
+            h = fx_mix(h, ((rel as u64) << 32) | col as u64);
+        }
+        h = fx_mix(h, 0xa004 ^ self.aggs.len() as u64);
+        for &(func, input) in &self.aggs {
+            h = fx_mix(h, func as u64);
+            h = fx_mix(
+                h,
+                match input {
+                    Some((rel, col)) => ((rel as u64) << 32) | col as u64,
+                    None => u64::MAX,
+                },
+            );
+        }
+        h
+    }
+}
+
+/// Fingerprint of `query`'s template — shorthand for
+/// `QueryTemplate::of(query).fingerprint()`.
+pub fn template_fingerprint(query: &Query) -> u64 {
+    QueryTemplate::of(query).fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{AggExpr, AggSpec, ColRef, QueryBuilder};
+    use crate::Predicate;
+    use reopt_common::{ColId, TableId};
+
+    fn chain(consts: &[i64]) -> Query {
+        let mut qb = QueryBuilder::new();
+        let rels: Vec<_> = (0..consts.len())
+            .map(|i| qb.add_relation(TableId::from(i)))
+            .collect();
+        for (i, &r) in rels.iter().enumerate() {
+            qb.add_predicate(Predicate::eq(r, ColId::new(0), consts[i]));
+        }
+        for w in rels.windows(2) {
+            qb.add_join(
+                ColRef::new(w[0], ColId::new(1)),
+                ColRef::new(w[1], ColId::new(1)),
+            );
+        }
+        qb.build()
+    }
+
+    #[test]
+    fn literal_substitution_is_invariant() {
+        let a = chain(&[0, 0, 0, 1]);
+        let b = chain(&[7, -3, 42, 9]);
+        assert_eq!(QueryTemplate::of(&a), QueryTemplate::of(&b));
+        assert_eq!(template_fingerprint(&a), template_fingerprint(&b));
+    }
+
+    #[test]
+    fn join_commutation_and_insertion_order_are_invariant() {
+        let mk = |flip: bool| {
+            let mut qb = QueryBuilder::new();
+            let a = qb.add_relation(TableId::new(0));
+            let b = qb.add_relation(TableId::new(1));
+            let c = qb.add_relation(TableId::new(2));
+            let (e1, e2) = (
+                (ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1))),
+                (ColRef::new(b, ColId::new(1)), ColRef::new(c, ColId::new(1))),
+            );
+            if flip {
+                // Reversed insertion order and commuted operands.
+                qb.add_join(e2.1, e2.0);
+                qb.add_join(e1.1, e1.0);
+            } else {
+                qb.add_join(e1.0, e1.1);
+                qb.add_join(e2.0, e2.1);
+            }
+            qb.build()
+        };
+        let (a, b) = (mk(false), mk(true));
+        assert_eq!(QueryTemplate::of(&a), QueryTemplate::of(&b));
+        assert_eq!(template_fingerprint(&a), template_fingerprint(&b));
+    }
+
+    #[test]
+    fn shape_changes_change_the_fingerprint() {
+        let base = chain(&[0, 0, 0]);
+        // Different operator on one predicate.
+        let mut qb = QueryBuilder::new();
+        let rels: Vec<_> = (0..3usize)
+            .map(|i| qb.add_relation(TableId::from(i)))
+            .collect();
+        qb.add_predicate(Predicate::lt(rels[0], ColId::new(0), 0i64));
+        qb.add_predicate(Predicate::eq(rels[1], ColId::new(0), 0i64));
+        qb.add_predicate(Predicate::eq(rels[2], ColId::new(0), 0i64));
+        for w in rels.windows(2) {
+            qb.add_join(
+                ColRef::new(w[0], ColId::new(1)),
+                ColRef::new(w[1], ColId::new(1)),
+            );
+        }
+        let diff_op = qb.build();
+        assert_ne!(template_fingerprint(&base), template_fingerprint(&diff_op));
+
+        // Fewer relations.
+        assert_ne!(
+            template_fingerprint(&base),
+            template_fingerprint(&chain(&[0, 0]))
+        );
+
+        // Different base table under one occurrence.
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(TableId::new(0));
+        let b = qb.add_relation(TableId::new(9));
+        let c = qb.add_relation(TableId::new(2));
+        for (i, &r) in [a, b, c].iter().enumerate() {
+            let _ = i;
+            qb.add_predicate(Predicate::eq(r, ColId::new(0), 0i64));
+        }
+        qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+        qb.add_join(ColRef::new(b, ColId::new(1)), ColRef::new(c, ColId::new(1)));
+        assert_ne!(
+            template_fingerprint(&base),
+            template_fingerprint(&qb.build())
+        );
+    }
+
+    #[test]
+    fn predicate_multiplicity_is_significant() {
+        let single = chain(&[0, 0]);
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(TableId::new(0));
+        let b = qb.add_relation(TableId::new(1));
+        qb.add_predicate(Predicate::eq(a, ColId::new(0), 0i64));
+        qb.add_predicate(Predicate::eq(a, ColId::new(0), 5i64));
+        qb.add_predicate(Predicate::eq(b, ColId::new(0), 0i64));
+        qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+        let double = qb.build();
+        assert_ne!(template_fingerprint(&single), template_fingerprint(&double));
+    }
+
+    #[test]
+    fn aggregate_shape_is_part_of_the_template() {
+        let plain = chain(&[0, 0]);
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(TableId::new(0));
+        let b = qb.add_relation(TableId::new(1));
+        qb.add_predicate(Predicate::eq(a, ColId::new(0), 0i64));
+        qb.add_predicate(Predicate::eq(b, ColId::new(0), 0i64));
+        qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+        qb.aggregate(AggSpec {
+            group_by: vec![ColRef::new(a, ColId::new(1))],
+            aggs: vec![AggExpr::count_star()],
+        });
+        let agg = qb.build();
+        assert_ne!(template_fingerprint(&plain), template_fingerprint(&agg));
+
+        // GROUP BY column order is *not* significant.
+        let mk = |swap: bool| {
+            let mut qb = QueryBuilder::new();
+            let a = qb.add_relation(TableId::new(0));
+            let b = qb.add_relation(TableId::new(1));
+            qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+            let (g1, g2) = (ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
+            qb.aggregate(AggSpec {
+                group_by: if swap { vec![g2, g1] } else { vec![g1, g2] },
+                aggs: vec![AggExpr::count_star()],
+            });
+            qb.build()
+        };
+        assert_eq!(
+            template_fingerprint(&mk(false)),
+            template_fingerprint(&mk(true))
+        );
+    }
+
+    #[test]
+    fn template_accessors() {
+        let t = QueryTemplate::of(&chain(&[0, 0, 0]));
+        assert_eq!(t.num_relations(), 3);
+        assert_eq!(t.num_joins(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        // A query built without the builder's dedup still normalizes.
+        let mut q = chain(&[0, 0]);
+        let dup = q.joins[0];
+        q.joins.push(dup);
+        assert_eq!(
+            template_fingerprint(&q),
+            template_fingerprint(&chain(&[0, 0]))
+        );
+        assert_eq!(QueryTemplate::of(&q).num_joins(), 1);
+    }
+
+    #[test]
+    fn rel_id_identity_is_significant() {
+        // r0 ⋈ r1 over (t0, t1) vs (t1, t0): different templates — the
+        // occurrence→table binding matters, not just the table multiset.
+        let mk = |swap: bool| {
+            let mut qb = QueryBuilder::new();
+            let (ta, tb) = if swap { (1, 0) } else { (0, 1) };
+            let a = qb.add_relation(TableId::new(ta));
+            let b = qb.add_relation(TableId::new(tb));
+            qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+            qb.build()
+        };
+        assert_ne!(
+            template_fingerprint(&mk(false)),
+            template_fingerprint(&mk(true))
+        );
+    }
+}

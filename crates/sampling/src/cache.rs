@@ -18,8 +18,18 @@
 //! each validated [`RelSet`], so an already-validated set is never
 //! re-executed *or* re-scaled in later rounds.
 //!
-//! A cache is only meaningful for one (query, [`crate::SampleStore`],
-//! [`crate::ValidationOpts`]) triple — `min_rows` is baked into the
+//! The fingerprint also folds in the *base table* of every covered
+//! relation occurrence, which makes it safe to share one cache across
+//! *different queries* of one database: two subtrees hash alike only when
+//! they cover the same tables with the same predicates and join keys, in
+//! which case their sample row sets are identical. The serving layer
+//! exploits this through [`SharedSampleRunCache`], a clonable, thread-safe
+//! handle over one cache that concurrent sessions consult during cold
+//! misses — a 2-way join validated for one query template never re-runs
+//! for another template that embeds the same subtree.
+//!
+//! A cache is only meaningful for one ([`crate::SampleStore`],
+//! [`crate::ValidationOpts`]) pair — `min_rows` is baked into the
 //! recorded estimates (the executor re-applies the row cap itself);
 //! [`crate::validate_plan_cached`] documents the contract. Row sets are
 //! stored and replayed by value: dry-run intermediates are bounded by the
@@ -32,6 +42,7 @@ use reopt_executor::{RowSet, SubtreeCache};
 use reopt_plan::{PhysicalPlan, Predicate, Query};
 use reopt_storage::Value;
 use std::hash::Hasher;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Cross-round sample dry-run cache (see the module docs).
 ///
@@ -43,7 +54,10 @@ use std::hash::Hasher;
 pub struct SampleRunCache {
     /// Subtree output rows over the sample database.
     results: FxHashMap<(RelSet, u64), RowSet>,
-    validated: FxHashMap<RelSet, f64>,
+    /// Full-database estimates, keyed like `results` so one cache can
+    /// serve several queries whose relation sets overlap but differ in
+    /// predicates.
+    validated: FxHashMap<(RelSet, u64), f64>,
     hits: usize,
     executed: usize,
 }
@@ -74,20 +88,145 @@ impl SampleRunCache {
         self.results.is_empty()
     }
 
-    /// The full-database estimate previously derived for `set`, if any.
-    pub fn validated_estimate(&self, set: RelSet) -> Option<f64> {
-        self.validated.get(&set).copied()
+    /// The full-database estimate previously derived for `(set, fp)`, if
+    /// any.
+    pub fn validated_estimate(&self, set: RelSet, fp: u64) -> Option<f64> {
+        self.validated.get(&(set, fp)).copied()
     }
 
-    /// Record the full-database estimate derived for `set`.
-    pub(crate) fn record_validated(&mut self, set: RelSet, estimate: f64) {
-        self.validated.insert(set, estimate);
+    /// Record the full-database estimate derived for `(set, fp)`.
+    pub fn record_validated(&mut self, set: RelSet, fp: u64, estimate: f64) {
+        self.validated.insert((set, fp), estimate);
     }
 
     /// Drop everything — e.g. when the sample store is rebuilt.
     pub fn clear(&mut self) {
         self.results.clear();
         self.validated.clear();
+    }
+}
+
+/// The caching interface plan validation needs: the executor-facing
+/// [`SubtreeCache`] plus the validated full-database estimates and the
+/// lifetime counters [`crate::validate_plan_cached`] reports from.
+/// Implemented by the single-owner [`SampleRunCache`] and by the
+/// thread-safe [`SharedSampleRunCache`].
+pub trait ValidationCache: SubtreeCache {
+    /// The full-database estimate previously derived for `(set, fp)`.
+    fn validated_estimate(&mut self, set: RelSet, fp: u64) -> Option<f64>;
+
+    /// Record the full-database estimate derived for `(set, fp)`.
+    fn record_validated(&mut self, set: RelSet, fp: u64, estimate: f64);
+
+    /// Lifetime (hits, executed) counters.
+    fn counters(&mut self) -> (usize, usize);
+}
+
+impl ValidationCache for SampleRunCache {
+    fn validated_estimate(&mut self, set: RelSet, fp: u64) -> Option<f64> {
+        SampleRunCache::validated_estimate(self, set, fp)
+    }
+
+    fn record_validated(&mut self, set: RelSet, fp: u64, estimate: f64) {
+        SampleRunCache::record_validated(self, set, fp, estimate);
+    }
+
+    fn counters(&mut self) -> (usize, usize) {
+        (self.hits, self.executed)
+    }
+}
+
+/// Point-in-time counters of a [`SharedSampleRunCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleCacheStats {
+    /// Subtree lookups answered from the cache, across all sharers.
+    pub hits: usize,
+    /// Subtrees executed fresh (= stored), across all sharers.
+    pub executed: usize,
+    /// Distinct subtree row sets held.
+    pub entries: usize,
+    /// Distinct validated full-database estimates held.
+    pub validated: usize,
+}
+
+/// A clonable, thread-safe handle over one [`SampleRunCache`], shared by
+/// every session of a query service: concurrent validations of *different*
+/// queries pool their dry-run work, so a subtree validated under one
+/// template is replayed — not re-executed — when another template embeds
+/// it (the fingerprint includes base tables, predicates and join keys, so
+/// a hit is exact; see the module docs).
+///
+/// Locking is per cache operation, not per validation: two sessions
+/// validating disjoint plans proceed mostly in parallel, serializing only
+/// on the map accesses. Under concurrency the per-validation hit/executed
+/// counters attributed to one run may include a neighbor's traffic; the
+/// lifetime totals in [`SampleCacheStats`] are always exact.
+#[derive(Debug, Clone, Default)]
+pub struct SharedSampleRunCache {
+    inner: Arc<Mutex<SampleRunCache>>,
+}
+
+impl SharedSampleRunCache {
+    /// Fresh, empty shared cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All map operations are single HashMap inserts/lookups, so a sharer
+    /// that panicked mid-operation cannot leave the cache torn: recover
+    /// the guard instead of propagating the poison.
+    fn lock(&self) -> MutexGuard<'_, SampleRunCache> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> SampleCacheStats {
+        let g = self.lock();
+        SampleCacheStats {
+            hits: g.hits,
+            executed: g.executed,
+            entries: g.results.len(),
+            validated: g.validated.len(),
+        }
+    }
+
+    /// Drop everything — e.g. when the sample store is rebuilt.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+impl SubtreeCache for SharedSampleRunCache {
+    fn fingerprint(&mut self, query: &Query, plan: &PhysicalPlan) -> Option<u64> {
+        // Pure computation — no lock needed.
+        Some(subtree_fingerprint(query, plan))
+    }
+
+    fn lookup(&mut self, set: RelSet, fp: u64) -> Option<RowSet> {
+        self.lock().lookup(set, fp)
+    }
+
+    fn peek_rows(&mut self, set: RelSet, fp: u64) -> Option<u64> {
+        self.lock().peek_rows(set, fp)
+    }
+
+    fn store(&mut self, set: RelSet, fp: u64, rows: &RowSet) {
+        self.lock().store(set, fp, rows);
+    }
+}
+
+impl ValidationCache for SharedSampleRunCache {
+    fn validated_estimate(&mut self, set: RelSet, fp: u64) -> Option<f64> {
+        SampleRunCache::validated_estimate(&self.lock(), set, fp)
+    }
+
+    fn record_validated(&mut self, set: RelSet, fp: u64, estimate: f64) {
+        self.lock().record_validated(set, fp, estimate);
+    }
+
+    fn counters(&mut self) -> (usize, usize) {
+        let g = self.lock();
+        (g.hits, g.executed)
     }
 }
 
@@ -114,16 +253,27 @@ impl SubtreeCache for SampleRunCache {
     }
 }
 
-/// Canonical fingerprint of a plan subtree: relation set + applied local
-/// predicates + applied join keys, insensitive to join order, operand
-/// orientation and physical operator choice.
+/// Canonical fingerprint of a plan subtree: relation set (with each
+/// occurrence's *base table*) + applied local predicates + applied join
+/// keys, insensitive to join order, operand orientation and physical
+/// operator choice. Including the tables makes the fingerprint meaningful
+/// across different queries over one database (see
+/// [`SharedSampleRunCache`]): relation occurrence `r0` of two unrelated
+/// queries may scan different tables, and must then hash differently.
 pub fn subtree_fingerprint(query: &Query, plan: &PhysicalPlan) -> u64 {
     let mut h = FxHasher::default();
     let set = plan.relset();
     h.write_u64(set.mask());
-    // Local predicates, in RelId order (the executor applies every local
-    // predicate of a covered relation at its scan).
+    // Per covered relation: its base table, then its local predicates in
+    // RelId order (the executor applies every local predicate of a covered
+    // relation at its scan).
     for rel in set.iter() {
+        h.write_u64(match query.table_of(rel) {
+            Ok(t) => t.0 as u64,
+            // Unresolvable occurrence: poison the slot so the subtree can
+            // never alias one with a known table.
+            Err(_) => u64::MAX,
+        });
         for p in query.local_predicates(rel) {
             hash_predicate(&mut h, p);
         }
@@ -275,6 +425,52 @@ mod tests {
             subtree_fingerprint(&q, &scan(0)),
             subtree_fingerprint(&q, &scan(1))
         );
+    }
+
+    #[test]
+    fn fingerprint_sees_base_tables() {
+        // Same relation ids and shape, different base tables ⇒ different
+        // fingerprint — required for cross-query cache sharing.
+        let mk = |t0: u32, t1: u32| {
+            let mut qb = QueryBuilder::new();
+            let a = qb.add_relation(TableId::new(t0));
+            let b = qb.add_relation(TableId::new(t1));
+            qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+            qb.build()
+        };
+        let p = join(JoinAlgo::Hash, scan(0), scan(1), 0, 1);
+        assert_ne!(
+            subtree_fingerprint(&mk(0, 1), &p),
+            subtree_fingerprint(&mk(0, 2), &p)
+        );
+        // Same tables in two distinct Query values ⇒ same fingerprint:
+        // the cross-query sharing contract.
+        assert_eq!(
+            subtree_fingerprint(&mk(0, 1), &p),
+            subtree_fingerprint(&mk(0, 1), &p)
+        );
+    }
+
+    #[test]
+    fn shared_cache_pools_results_across_clones() {
+        use reopt_executor::SubtreeCache as _;
+        let q = chain_query(2);
+        let p = join(JoinAlgo::Hash, scan(0), scan(1), 0, 1);
+        let shared = SharedSampleRunCache::new();
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        let fp = a.fingerprint(&q, &p).unwrap();
+        let set = p.relset();
+        assert!(a.lookup(set, fp).is_none());
+        a.store(set, fp, &RowSet::single(RelId::new(0), vec![0, 1]));
+        // The clone sees the store immediately.
+        assert!(b.lookup(set, fp).is_some());
+        let stats = shared.stats();
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+        shared.clear();
+        assert_eq!(shared.stats().entries, 0);
     }
 
     #[test]

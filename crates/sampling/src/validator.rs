@@ -9,10 +9,10 @@
 
 use std::time::Duration;
 
-use crate::cache::SampleRunCache;
+use crate::cache::{subtree_fingerprint, SampleRunCache, ValidationCache};
 use crate::estimator::scale_up;
 use crate::sampler::SampleStore;
-use reopt_common::Result;
+use reopt_common::{FxHashMap, RelSet, Result};
 use reopt_executor::{ExecOpts, Executor, TracedRun};
 use reopt_optimizer::CardOverrides;
 use reopt_plan::{PhysicalPlan, Query};
@@ -77,23 +77,26 @@ pub fn validate_plan(
     );
     let traced = exec.run_traced(query, plan)?;
     let executed = traced.node_cards.len();
-    build_validation(query, samples, opts, traced, 0, executed, None)
+    build_validation::<SampleRunCache>(query, plan, samples, opts, traced, 0, executed, None)
 }
 
 /// Like [`validate_plan`], but consulting (and refilling) a cross-round
-/// [`SampleRunCache`]: subtrees whose canonical fingerprint was executed in
-/// an earlier round are replayed from the cache, and relation sets whose
-/// full-database estimate was already derived are never re-scaled. The
-/// caller owns the cache and must use it with one fixed (query, samples,
-/// opts) triple only — recorded estimates bake in `opts.min_rows`, so
-/// changing options requires a fresh cache (the intermediate-row cap is
-/// exempt: the executor re-checks it on every replay).
-pub fn validate_plan_cached(
+/// [`ValidationCache`] — the single-owner [`SampleRunCache`] or the
+/// thread-safe [`crate::SharedSampleRunCache`]: subtrees whose canonical
+/// fingerprint was executed before are replayed from the cache, and
+/// subtrees whose full-database estimate was already derived are never
+/// re-scaled. The cache must be used with one fixed (samples, opts) pair
+/// only — recorded estimates bake in `opts.min_rows`, so changing options
+/// requires a fresh cache (the intermediate-row cap is exempt: the
+/// executor re-checks it on every replay). Sharing one cache across
+/// *queries* of the same database is sound: entries are keyed by the
+/// table-aware canonical fingerprint.
+pub fn validate_plan_cached<C: ValidationCache>(
     query: &Query,
     plan: &PhysicalPlan,
     samples: &SampleStore,
     opts: &ValidationOpts,
-    cache: &mut SampleRunCache,
+    cache: &mut C,
 ) -> Result<Validation> {
     let exec = Executor::with_opts(
         samples.database(),
@@ -101,42 +104,67 @@ pub fn validate_plan_cached(
             max_intermediate_rows: opts.max_intermediate_rows,
         },
     );
-    let hits_before = cache.hits();
-    let executed_before = cache.executed();
+    let (hits_before, executed_before) = cache.counters();
     let traced = exec.run_traced_cached(query, plan, cache)?;
-    let hits = cache.hits() - hits_before;
-    let executed = cache.executed() - executed_before;
-    build_validation(query, samples, opts, traced, hits, executed, Some(cache))
+    let (hits_after, executed_after) = cache.counters();
+    // With a shared cache, concurrent sessions advance the counters too;
+    // saturate so a neighbor's clear() can't underflow the report.
+    let hits = hits_after.saturating_sub(hits_before);
+    let executed = executed_after.saturating_sub(executed_before);
+    build_validation(
+        query,
+        plan,
+        samples,
+        opts,
+        traced,
+        hits,
+        executed,
+        Some(cache),
+    )
 }
 
-fn build_validation(
+#[allow(clippy::too_many_arguments)]
+fn build_validation<C: ValidationCache>(
     query: &Query,
+    plan: &PhysicalPlan,
     samples: &SampleStore,
     opts: &ValidationOpts,
     traced: TracedRun,
     cache_hits: usize,
     subtrees_executed: usize,
-    mut cache: Option<&mut SampleRunCache>,
+    mut cache: Option<&mut C>,
 ) -> Result<Validation> {
+    // Canonical fingerprint of each subtree, for estimate-cache keys. The
+    // trace's relation sets are exactly the plan's node relsets, and
+    // within one plan a relset identifies its subtree uniquely.
+    let mut fps: FxHashMap<RelSet, u64> = FxHashMap::default();
+    if cache.is_some() {
+        plan.visit(&mut |n| {
+            fps.insert(n.relset(), subtree_fingerprint(query, n));
+        });
+    }
     let mut delta = CardOverrides::new();
     for (set, sample_rows) in &traced.node_cards {
         if set.len() < 2 && !opts.validate_leaves {
             continue;
         }
-        // An already-validated set keeps its recorded estimate — sampling
-        // is deterministic, so re-deriving it would produce the same
-        // number; reusing guarantees it.
-        if let Some(est) = cache.as_ref().and_then(|c| c.validated_estimate(*set)) {
-            delta.insert(*set, est);
-            continue;
+        let fp = fps.get(set).copied();
+        // An already-validated subtree keeps its recorded estimate —
+        // sampling is deterministic, so re-deriving it would produce the
+        // same number; reusing guarantees it.
+        if let (Some(c), Some(fp)) = (cache.as_mut(), fp) {
+            if let Some(est) = c.validated_estimate(*set, fp) {
+                delta.insert(*set, est);
+                continue;
+            }
         }
         let mut scale = 1.0;
         for rel in set.iter() {
             scale *= samples.scale_factor(query.table_of(rel)?)?;
         }
         let estimate = scale_up(*sample_rows, scale, opts.min_rows);
-        if let Some(c) = cache.as_deref_mut() {
-            c.record_validated(*set, estimate);
+        if let (Some(c), Some(fp)) = (cache.as_mut(), fp) {
+            c.record_validated(*set, fp, estimate);
         }
         delta.insert(*set, estimate);
     }

@@ -1,0 +1,448 @@
+//! The re-optimization-aware plan cache: template-keyed, single-flight,
+//! LRU + staleness eviction.
+//!
+//! Sampling-based re-optimization is cheap *per query* but a serving
+//! system pays it per *arrival* unless plans are reused. The cache keys
+//! final plans by [`reopt_plan::template_fingerprint`] — literals
+//! parameterized out — so every instance of a query shape after the first
+//! is a hash lookup.
+//!
+//! **Single-flight admission.** The expensive event is N sessions
+//! arriving with the same cold template at once: naively all N run the
+//! full sampling loop and N−1 results are discarded. [`PlanCache::begin`]
+//! arbitrates under one short map lock: the first arrival becomes the
+//! *leader* (it gets a [`LeadGuard`] and must compute), every concurrent
+//! arrival gets a [`Flight`] handle and blocks on a condvar until the
+//! leader publishes. Exactly one re-optimization runs; all N sessions
+//! receive the identical `Arc`'d plan. A leader that fails publishes its
+//! error to the waiters and *removes* the slot, so the next arrival
+//! retries rather than caching the failure; a leader that panics is caught
+//! by `LeadGuard::drop`, which publishes an [`Error::Service`] so waiters
+//! can retry instead of blocking forever.
+//!
+//! **Eviction.** Entries die two ways: LRU when the cache exceeds its
+//! capacity (least-recently-touched `Ready` entry goes; in-flight slots
+//! are never evicted), and staleness when the service bumps its statistics
+//! version (re-ANALYZE / sample refresh) — version checks happen lazily on
+//! lookup, so a bump is O(1) and stale plans are re-optimized on next
+//! touch, not en masse.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use reopt_common::{Error, FxHashMap, Result};
+use reopt_plan::PhysicalPlan;
+
+/// A cached re-optimization outcome for one query template.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The final plan of the re-optimization loop, shared by every session
+    /// that hits this template.
+    pub plan: Arc<PhysicalPlan>,
+    /// Rounds the loop took when the plan was computed.
+    pub rounds: usize,
+    /// Whether the loop converged (vs. stopping on a cap/budget).
+    pub converged: bool,
+    /// Wall time of the re-optimization that produced the plan.
+    pub reopt_time: Duration,
+    /// Statistics version the plan was computed under; a newer service
+    /// version makes the entry stale.
+    pub stats_version: u64,
+}
+
+/// A single-flight rendezvous: the leader publishes exactly once, waiters
+/// block until then.
+#[derive(Debug, Default)]
+pub(crate) struct Flight {
+    result: Mutex<Option<Result<CachedPlan>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    /// Block until the leader publishes, then return its result.
+    pub(crate) fn wait(&self) -> Result<CachedPlan> {
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        while guard.is_none() {
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+        guard.as_ref().expect("published above").clone()
+    }
+
+    fn publish(&self, result: Result<CachedPlan>) {
+        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    cached: CachedPlan,
+    /// Logical clock value of the last touch (monotone; higher = fresher).
+    last_used: u64,
+}
+
+#[derive(Debug)]
+enum Slot {
+    /// A leader is computing; joiners wait on the flight.
+    InFlight(Arc<Flight>),
+    /// A plan is available.
+    Ready(Entry),
+}
+
+/// Outcome of [`PlanCache::begin`] — what this session must do next.
+#[derive(Debug)]
+pub(crate) enum Admission {
+    /// Warm hit: the plan, immediately.
+    Hit(CachedPlan),
+    /// Another session is computing this template; wait on the flight.
+    Wait(Arc<Flight>),
+    /// This session leads: compute, then `complete` the guard.
+    Lead(LeadGuard),
+}
+
+/// Leadership token for one in-flight template. The leader must call
+/// [`LeadGuard::complete`]; if it unwinds first, `Drop` publishes a
+/// retryable [`Error::Service`] to the waiters and frees the slot.
+#[derive(Debug)]
+pub(crate) struct LeadGuard {
+    cache: Arc<PlanCache>,
+    fingerprint: u64,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl LeadGuard {
+    /// Publish the computation's outcome: a success is inserted into the
+    /// cache (possibly LRU-evicting) and handed to every waiter; an error
+    /// frees the slot so the next arrival retries.
+    pub(crate) fn complete(mut self, result: Result<CachedPlan>) {
+        self.completed = true;
+        self.cache
+            .finish_flight(self.fingerprint, &self.flight, result);
+    }
+}
+
+impl Drop for LeadGuard {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.cache.finish_flight(
+                self.fingerprint,
+                &self.flight,
+                Err(Error::service(
+                    "plan computation abandoned: the leading session panicked or was dropped; retry",
+                )),
+            );
+        }
+    }
+}
+
+/// The shared, thread-safe plan cache (see the module docs).
+#[derive(Debug)]
+pub struct PlanCache {
+    slots: Mutex<FxHashMap<u64, Slot>>,
+    /// Max `Ready` entries kept; ≥ 1.
+    capacity: usize,
+    /// Logical LRU clock.
+    tick: AtomicU64,
+    lru_evictions: AtomicU64,
+    stale_evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` plans (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            slots: Mutex::new(FxHashMap::default()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            lru_evictions: AtomicU64::new(0),
+            stale_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Every mutation under this lock is a single map operation, so a
+    /// panicked sharer cannot leave the map torn: recover from poison.
+    fn lock(&self) -> MutexGuard<'_, FxHashMap<u64, Slot>> {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of `Ready` plans held (in-flight slots excluded).
+    pub fn len(&self) -> usize {
+        self.lock()
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Plans evicted to stay under capacity, lifetime total.
+    pub fn lru_evictions(&self) -> u64 {
+        self.lru_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Plans evicted because their statistics version was stale, lifetime
+    /// total.
+    pub fn stale_evictions(&self) -> u64 {
+        self.stale_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drop every `Ready` entry (in-flight computations are left to land;
+    /// their results stay usable — they carry their own version).
+    pub fn clear(&self) {
+        self.lock().retain(|_, s| matches!(s, Slot::InFlight(_)));
+    }
+
+    /// Admission control for `fingerprint` under `stats_version` — decides
+    /// hit / wait / lead atomically (one map lock). `self` is taken as
+    /// `Arc` because a `Lead` admission hands the cache to the guard.
+    pub(crate) fn begin(self: &Arc<Self>, fingerprint: u64, stats_version: u64) -> Admission {
+        let mut slots = self.lock();
+        // Entries *older* than the caller's version are evicted before
+        // admission so the fall-through below re-optimizes them. Strictly
+        // older, not different: a session that snapshotted the version
+        // just before a bump may race a neighbor that already cached the
+        // post-bump plan, and evicting that fresher entry would waste a
+        // whole re-optimization only to re-insert an already-stale plan.
+        if let Some(Slot::Ready(entry)) = slots.get(&fingerprint) {
+            if entry.cached.stats_version < stats_version {
+                slots.remove(&fingerprint);
+                self.stale_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        match slots.get_mut(&fingerprint) {
+            Some(Slot::InFlight(flight)) => Admission::Wait(Arc::clone(flight)),
+            Some(Slot::Ready(entry)) => {
+                entry.last_used = self.next_tick();
+                Admission::Hit(entry.cached.clone())
+            }
+            None => {
+                let flight = Arc::new(Flight::default());
+                slots.insert(fingerprint, Slot::InFlight(Arc::clone(&flight)));
+                Admission::Lead(LeadGuard {
+                    cache: Arc::clone(self),
+                    fingerprint,
+                    flight,
+                    completed: false,
+                })
+            }
+        }
+    }
+
+    fn finish_flight(&self, fingerprint: u64, flight: &Arc<Flight>, result: Result<CachedPlan>) {
+        {
+            let mut slots = self.lock();
+            // Only touch the slot if it still belongs to this flight — a
+            // failed leader's slot may have been re-claimed by a retry.
+            let ours = matches!(
+                slots.get(&fingerprint),
+                Some(Slot::InFlight(f)) if Arc::ptr_eq(f, flight)
+            );
+            if ours {
+                match &result {
+                    Ok(cached) => {
+                        slots.insert(
+                            fingerprint,
+                            Slot::Ready(Entry {
+                                cached: cached.clone(),
+                                last_used: self.next_tick(),
+                            }),
+                        );
+                        self.evict_over_capacity(&mut slots);
+                    }
+                    Err(_) => {
+                        slots.remove(&fingerprint);
+                    }
+                }
+            }
+        }
+        flight.publish(result);
+    }
+
+    /// Evict least-recently-used `Ready` entries until at most `capacity`
+    /// remain. In-flight slots never count against capacity and are never
+    /// evicted — a waiter holds a flight reference, not a map reference,
+    /// so eviction could strand nobody anyway, but the leader's pending
+    /// insert must not be raced away.
+    fn evict_over_capacity(&self, slots: &mut FxHashMap<u64, Slot>) {
+        loop {
+            let ready = slots
+                .iter()
+                .filter_map(|(fp, s)| match s {
+                    Slot::Ready(e) => Some((*fp, e.last_used)),
+                    Slot::InFlight(_) => None,
+                })
+                .collect::<Vec<_>>();
+            if ready.len() <= self.capacity {
+                return;
+            }
+            if let Some(&(victim, _)) = ready.iter().min_by_key(|(_, used)| *used) {
+                slots.remove(&victim);
+                self.lru_evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reopt_common::{RelId, TableId};
+    use reopt_plan::physical::PlanNodeInfo;
+    use reopt_plan::AccessPath;
+
+    fn plan(rel: u32) -> CachedPlan {
+        CachedPlan {
+            plan: Arc::new(PhysicalPlan::Scan {
+                rel: RelId::new(rel),
+                table: TableId::new(rel),
+                access: AccessPath::SeqScan,
+                info: PlanNodeInfo::default(),
+            }),
+            rounds: 1,
+            converged: true,
+            reopt_time: Duration::ZERO,
+            stats_version: 0,
+        }
+    }
+
+    fn lead(cache: &Arc<PlanCache>, fp: u64) -> LeadGuard {
+        match cache.begin(fp, 0) {
+            Admission::Lead(g) => g,
+            other => panic!("expected Lead for {fp}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_arrival_leads_then_hits() {
+        let cache = Arc::new(PlanCache::new(8));
+        lead(&cache, 1).complete(Ok(plan(0)));
+        match cache.begin(1, 0) {
+            Admission::Hit(c) => assert_eq!(c.rounds, 1),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_arrivals_wait_for_the_leader() {
+        let cache = Arc::new(PlanCache::new(8));
+        let guard = lead(&cache, 7);
+        let waiter = match cache.begin(7, 0) {
+            Admission::Wait(f) => f,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        let handle = std::thread::spawn(move || waiter.wait());
+        guard.complete(Ok(plan(0)));
+        let got = handle.join().unwrap().unwrap();
+        assert!(got.converged);
+    }
+
+    #[test]
+    fn failed_leader_frees_the_slot_and_propagates() {
+        let cache = Arc::new(PlanCache::new(8));
+        let guard = lead(&cache, 9);
+        let waiter = match cache.begin(9, 0) {
+            Admission::Wait(f) => f,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        guard.complete(Err(Error::invalid("no relations")));
+        assert!(matches!(waiter.wait(), Err(Error::Invalid(_))));
+        // Slot freed: the next arrival retries as leader.
+        assert!(matches!(cache.begin(9, 0), Admission::Lead(_)));
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn abandoned_leader_publishes_a_retryable_error() {
+        let cache = Arc::new(PlanCache::new(8));
+        let guard = lead(&cache, 3);
+        let waiter = match cache.begin(3, 0) {
+            Admission::Wait(f) => f,
+            other => panic!("expected Wait, got {other:?}"),
+        };
+        drop(guard); // leader "panicked"
+        let err = waiter.wait().unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+        assert!(matches!(cache.begin(3, 0), Admission::Lead(_)));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_ready_entry() {
+        let cache = Arc::new(PlanCache::new(2));
+        lead(&cache, 1).complete(Ok(plan(1)));
+        lead(&cache, 2).complete(Ok(plan(2)));
+        // Touch 1 so 2 is the coldest.
+        assert!(matches!(cache.begin(1, 0), Admission::Hit(_)));
+        lead(&cache, 3).complete(Ok(plan(3)));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lru_evictions(), 1);
+        assert!(matches!(cache.begin(2, 0), Admission::Lead(_)), "2 evicted");
+        match cache.begin(1, 0) {
+            Admission::Hit(_) => {}
+            other => panic!("1 should have survived, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_flight_slots_are_never_evicted() {
+        let cache = Arc::new(PlanCache::new(1));
+        let guard = lead(&cache, 10); // in-flight, exempt from capacity
+        lead(&cache, 11).complete(Ok(plan(1)));
+        lead(&cache, 12).complete(Ok(plan(2))); // evicts 11
+        assert!(matches!(cache.begin(10, 0), Admission::Wait(_)));
+        guard.complete(Ok(plan(0)));
+        assert!(matches!(cache.begin(10, 0), Admission::Hit(_)));
+    }
+
+    #[test]
+    fn stale_version_forces_a_new_leader() {
+        let cache = Arc::new(PlanCache::new(8));
+        lead(&cache, 5).complete(Ok(plan(0)));
+        assert!(matches!(cache.begin(5, 0), Admission::Hit(_)));
+        // Version bump: the entry is lazily evicted, caller leads again.
+        assert!(matches!(cache.begin(5, 1), Admission::Lead(_)));
+        assert_eq!(cache.stale_evictions(), 1);
+    }
+
+    #[test]
+    fn straggler_does_not_evict_a_fresher_entry() {
+        // A session that snapshotted the version pre-bump races a
+        // neighbor that already cached the post-bump plan: it must hit
+        // the fresher entry, not evict it and re-optimize.
+        let cache = Arc::new(PlanCache::new(8));
+        let newer = CachedPlan {
+            stats_version: 1,
+            ..plan(0)
+        };
+        lead(&cache, 6).complete(Ok(newer));
+        match cache.begin(6, 0) {
+            Admission::Hit(c) => assert_eq!(c.stats_version, 1),
+            other => panic!("straggler must warm-hit, got {other:?}"),
+        }
+        assert_eq!(cache.stale_evictions(), 0);
+    }
+
+    #[test]
+    fn clear_keeps_in_flight_slots() {
+        let cache = Arc::new(PlanCache::new(8));
+        lead(&cache, 1).complete(Ok(plan(0)));
+        let guard = lead(&cache, 2);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+        assert!(matches!(cache.begin(2, 0), Admission::Wait(_)));
+        guard.complete(Ok(plan(0)));
+        assert_eq!(cache.len(), 1);
+    }
+}

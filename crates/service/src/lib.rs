@@ -1,0 +1,33 @@
+//! Concurrent query serving over sampling-based re-optimization.
+//!
+//! The paper makes per-query re-optimization cheap; a serving system makes
+//! it *rare*. This crate fronts the whole pipeline
+//! ([`reopt_core::ReoptEngine`]) with a thread-safe [`QueryService`]:
+//!
+//! * **Template plan cache** — final plans are keyed by
+//!   [`reopt_plan::template_fingerprint`] (query structure with literals
+//!   parameterized out), so repeated arrivals of a query shape cost a hash
+//!   lookup, not a sampling loop.
+//! * **Single-flight admission** — N concurrent sessions hitting the same
+//!   cold template trigger exactly one re-optimization; the other N−1
+//!   block on the leader's result and receive the identical plan
+//!   ([`cache::PlanCache`]).
+//! * **LRU + staleness eviction** — the cache is capacity-bounded, and a
+//!   statistics refresh ([`QueryService::bump_stats_version`]) lazily
+//!   invalidates every plan computed under the old statistics.
+//! * **Shared sampling state** — cold misses on *different* templates
+//!   pool their dry-run work through one
+//!   [`reopt_sampling::SharedSampleRunCache`], so a subtree validated for
+//!   one template is replayed, not re-executed, for the next.
+//!
+//! `bench_service` (in `reopt-bench`) measures the cold / warm / contended
+//! regimes and writes `BENCH_service.json`; the README's "Serving
+//! architecture" section walks through the design.
+
+pub mod cache;
+pub mod service;
+
+pub use cache::{CachedPlan, PlanCache};
+pub use service::{
+    PlanSource, QueryService, ServiceConfig, ServiceResponse, ServiceStats, Session,
+};

@@ -1,0 +1,319 @@
+//! The concurrent query service: sessions in, plans out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cache::{Admission, CachedPlan, PlanCache};
+use reopt_common::Result;
+use reopt_core::{ReOptConfig, ReoptEngine};
+use reopt_optimizer::OptimizerConfig;
+use reopt_plan::{template_fingerprint, PhysicalPlan, Query};
+use reopt_sampling::{SampleCacheStats, SampleConfig, SharedSampleRunCache};
+use reopt_stats::AnalyzeOpts;
+use reopt_storage::Database;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Max templates held in the plan cache (LRU beyond this; ≥ 1).
+    pub plan_cache_capacity: usize,
+    /// Pool sample dry-run subtrees across sessions and templates through
+    /// one [`SharedSampleRunCache`] (on by default). Off means every cold
+    /// miss validates with a run-private cache.
+    pub share_sample_runs: bool,
+    /// Re-optimization knobs applied to every cold miss.
+    pub reopt: ReOptConfig,
+    /// Optimizer configuration.
+    pub optimizer: OptimizerConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            plan_cache_capacity: 128,
+            share_sample_runs: true,
+            reopt: ReOptConfig::default(),
+            optimizer: OptimizerConfig::postgres_like(),
+        }
+    }
+}
+
+/// How a submission obtained its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// This session ran the sampling-based re-optimization itself.
+    ColdMiss,
+    /// The template was cached; no optimizer work at all.
+    WarmHit,
+    /// Another session was already re-optimizing this template; this one
+    /// blocked on its result (single-flight).
+    Coalesced,
+}
+
+/// What a session gets back for one query.
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// The plan to execute — shared, never copied per session.
+    pub plan: Arc<PhysicalPlan>,
+    /// How the plan was obtained.
+    pub source: PlanSource,
+    /// The query's template fingerprint (the cache key).
+    pub template: u64,
+    /// Rounds of the re-optimization that produced the plan (cached or
+    /// fresh).
+    pub rounds: usize,
+    /// Whether that re-optimization converged.
+    pub converged: bool,
+    /// Wall time of that re-optimization (zero only if the loop was
+    /// degenerate; warm hits report the *original* cost, not their own).
+    pub reopt_time: Duration,
+    /// Service-side latency of *this* submission, admission to response.
+    pub latency: Duration,
+}
+
+/// Point-in-time service counters. Totals are lifetime;
+/// `submitted == warm_hits + cold_misses + coalesced + errors`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Queries submitted.
+    pub submitted: u64,
+    /// Answered from the plan cache.
+    pub warm_hits: u64,
+    /// Answered by running re-optimization in the submitting session.
+    pub cold_misses: u64,
+    /// Answered by waiting on another session's in-flight re-optimization.
+    pub coalesced: u64,
+    /// Re-optimizations actually run (= cold misses that reached the
+    /// engine; the single-flight invariant under contention is
+    /// `reopts_run == 1` per cold template however many sessions raced).
+    pub reopts_run: u64,
+    /// Submissions that returned an error.
+    pub errors: u64,
+    /// Plans evicted to respect the capacity bound.
+    pub lru_evictions: u64,
+    /// Plans evicted because statistics moved underneath them.
+    pub stale_evictions: u64,
+    /// Templates currently cached.
+    pub cached_templates: usize,
+    /// Current statistics version.
+    pub stats_version: u64,
+    /// Counters of the shared sample dry-run cache.
+    pub sample_cache: SampleCacheStats,
+}
+
+/// A thread-safe query service over one database: many sessions submit
+/// queries concurrently; the service answers each with a physical plan,
+/// re-optimizing at most once per query template per statistics version.
+///
+/// All methods take `&self`; wrap the service in an `Arc` and hand clones
+/// to your session threads (or use [`QueryService::session`]).
+#[derive(Debug)]
+pub struct QueryService {
+    engine: ReoptEngine,
+    plans: Arc<PlanCache>,
+    sample_cache: SharedSampleRunCache,
+    share_sample_runs: bool,
+    stats_version: AtomicU64,
+    next_session: AtomicU64,
+    submitted: AtomicU64,
+    warm_hits: AtomicU64,
+    cold_misses: AtomicU64,
+    coalesced: AtomicU64,
+    reopts_run: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl QueryService {
+    /// Service over a pre-built engine.
+    pub fn new(engine: ReoptEngine, config: ServiceConfig) -> Self {
+        QueryService {
+            engine,
+            plans: Arc::new(PlanCache::new(config.plan_cache_capacity)),
+            sample_cache: SharedSampleRunCache::new(),
+            share_sample_runs: config.share_sample_runs,
+            stats_version: AtomicU64::new(0),
+            next_session: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            cold_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            reopts_run: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Bootstrap a service from raw tables: ANALYZE, sample, serve.
+    pub fn from_database(
+        db: Arc<Database>,
+        analyze: &AnalyzeOpts,
+        sample: SampleConfig,
+        config: ServiceConfig,
+    ) -> Result<Self> {
+        let engine = ReoptEngine::from_database_with_configs(
+            db,
+            analyze,
+            sample,
+            config.optimizer.clone(),
+            config.reopt.clone(),
+        )?;
+        Ok(Self::new(engine, config))
+    }
+
+    /// The engine the service plans with.
+    pub fn engine(&self) -> &ReoptEngine {
+        &self.engine
+    }
+
+    /// Submit one query. Thread-safe; blocks only when another session is
+    /// already re-optimizing the same template (single-flight), in which
+    /// case it returns that session's plan on completion.
+    pub fn submit(&self, query: &Query) -> Result<ServiceResponse> {
+        let t0 = Instant::now();
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        let r = self.submit_inner(query, t0);
+        if r.is_err() {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    fn submit_inner(&self, query: &Query, t0: Instant) -> Result<ServiceResponse> {
+        // Validate up front: a malformed query must fail identically
+        // whether its template is cached or not.
+        query.validate(self.engine.db())?;
+        let template = template_fingerprint(query);
+        let version = self.stats_version.load(Ordering::Acquire);
+        match self.plans.begin(template, version) {
+            Admission::Hit(cached) => {
+                self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(respond(cached, PlanSource::WarmHit, template, t0))
+            }
+            Admission::Wait(flight) => {
+                let cached = flight.wait()?;
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                Ok(respond(cached, PlanSource::Coalesced, template, t0))
+            }
+            Admission::Lead(guard) => {
+                self.reopts_run.fetch_add(1, Ordering::Relaxed);
+                let outcome = if self.share_sample_runs {
+                    self.engine.reoptimize_shared(query, &self.sample_cache)
+                } else {
+                    self.engine.reoptimize(query)
+                };
+                match outcome {
+                    Ok(report) => {
+                        let cached = CachedPlan {
+                            plan: Arc::new(report.final_plan),
+                            rounds: report.rounds.len(),
+                            converged: report.converged,
+                            reopt_time: report.reopt_time,
+                            stats_version: version,
+                        };
+                        guard.complete(Ok(cached.clone()));
+                        self.cold_misses.fetch_add(1, Ordering::Relaxed);
+                        Ok(respond(cached, PlanSource::ColdMiss, template, t0))
+                    }
+                    Err(e) => {
+                        guard.complete(Err(e.clone()));
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Declare the statistics (and/or samples) refreshed: every plan
+    /// computed under an older version is lazily evicted and re-optimized
+    /// on its next touch. Also clears the shared sample cache — its row
+    /// sets were drawn from the old samples. Returns the new version.
+    pub fn bump_stats_version(&self) -> u64 {
+        let v = self.stats_version.fetch_add(1, Ordering::AcqRel) + 1;
+        self.sample_cache.clear();
+        v
+    }
+
+    /// Current statistics version.
+    pub fn stats_version(&self) -> u64 {
+        self.stats_version.load(Ordering::Acquire)
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            cold_misses: self.cold_misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            reopts_run: self.reopts_run.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            lru_evictions: self.plans.lru_evictions(),
+            stale_evictions: self.plans.stale_evictions(),
+            cached_templates: self.plans.len(),
+            stats_version: self.stats_version(),
+            sample_cache: self.sample_cache.stats(),
+        }
+    }
+
+    /// The shared sample dry-run cache (empty and unused when
+    /// `share_sample_runs` is off).
+    pub fn sample_cache(&self) -> &SharedSampleRunCache {
+        &self.sample_cache
+    }
+
+    /// Open a session — a thin per-client handle with an id and a local
+    /// submission count.
+    pub fn session(self: &Arc<Self>) -> Session {
+        Session {
+            service: Arc::clone(self),
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+            submitted: 0,
+        }
+    }
+}
+
+fn respond(cached: CachedPlan, source: PlanSource, template: u64, t0: Instant) -> ServiceResponse {
+    ServiceResponse {
+        plan: cached.plan,
+        source,
+        template,
+        rounds: cached.rounds,
+        converged: cached.converged,
+        reopt_time: cached.reopt_time,
+        latency: t0.elapsed(),
+    }
+}
+
+/// One client's handle on the service. Sessions are cheap (an `Arc` clone
+/// and a counter) and independent: drop them freely, open one per thread.
+/// Deliberately not `Clone` — ids are unique per service, so a new thread
+/// gets its own [`QueryService::session`], never a copy.
+#[derive(Debug)]
+pub struct Session {
+    service: Arc<QueryService>,
+    id: u64,
+    submitted: u64,
+}
+
+impl Session {
+    /// This session's id (unique per service).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Queries this session has submitted.
+    pub fn queries_submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// The service this session talks to.
+    pub fn service(&self) -> &Arc<QueryService> {
+        &self.service
+    }
+
+    /// Submit one query through this session.
+    pub fn submit(&mut self, query: &Query) -> Result<ServiceResponse> {
+        self.submitted += 1;
+        self.service.submit(query)
+    }
+}

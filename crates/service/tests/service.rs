@@ -1,0 +1,305 @@
+//! End-to-end service tests over the OTT workload: single-flight
+//! admission, template reuse across literals, staleness/LRU eviction, and
+//! cross-template sample-cache pooling.
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use reopt_common::{ColId, TableId};
+use reopt_plan::query::ColRef;
+use reopt_plan::{Predicate, Query, QueryBuilder};
+use reopt_sampling::SampleConfig;
+use reopt_service::{PlanSource, QueryService, ServiceConfig};
+use reopt_stats::AnalyzeOpts;
+use reopt_storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema};
+use reopt_workloads::ott::{build_ott_database, ott_query, recommended_sample_ratio, OttConfig};
+
+fn ott_db(config: &OttConfig) -> Arc<Database> {
+    Arc::new(build_ott_database(config).unwrap())
+}
+
+fn service_with(config: &OttConfig, svc: ServiceConfig) -> Arc<QueryService> {
+    Arc::new(
+        QueryService::from_database(
+            ott_db(config),
+            &AnalyzeOpts::default(),
+            SampleConfig {
+                ratio: recommended_sample_ratio(config),
+                ..Default::default()
+            },
+            svc,
+        )
+        .unwrap(),
+    )
+}
+
+fn small_ott() -> OttConfig {
+    OttConfig {
+        rows_per_value: 12,
+        distinct_values: [60, 50, 40, 30, 20, 10],
+        ..Default::default()
+    }
+}
+
+/// ISSUE acceptance: K threads submit the same template concurrently;
+/// exactly one re-optimization runs, every thread gets the identical
+/// plan, and subsequent warm hits are an order of magnitude faster than
+/// the cold miss.
+#[test]
+fn single_flight_coalesces_concurrent_sessions() {
+    const K: usize = 8;
+    let service = service_with(&small_ott(), ServiceConfig::default());
+    let q = ott_query(service.engine().db(), &[0, 0, 0, 0, 1]).unwrap();
+    let barrier = Barrier::new(K);
+
+    let responses: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let service = &service;
+                let q = &q;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    service.submit(q).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = service.stats();
+    // Exactly one re-optimization ran, however the K arrivals raced.
+    assert_eq!(stats.reopts_run, 1, "{stats:?}");
+    assert_eq!(stats.cold_misses, 1, "{stats:?}");
+    assert_eq!(stats.submitted, K as u64);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(
+        stats.warm_hits + stats.coalesced,
+        (K - 1) as u64,
+        "{stats:?}"
+    );
+
+    // All K sessions hold the identical plan.
+    let fp0 = responses[0].plan.fingerprint();
+    for r in &responses {
+        assert_eq!(r.plan.fingerprint(), fp0);
+        assert!(r.plan.same_structure(&responses[0].plan));
+        assert!(r.rounds >= 1);
+    }
+    let cold: Vec<_> = responses
+        .iter()
+        .filter(|r| r.source == PlanSource::ColdMiss)
+        .collect();
+    assert_eq!(cold.len(), 1);
+
+    // Warm hits must be >10× cheaper than the cold miss. Average over a
+    // batch so one scheduler hiccup can't flip the assertion.
+    let cold_latency = cold[0].latency;
+    let warm_batch = 50;
+    let mut warm_total = Duration::ZERO;
+    for _ in 0..warm_batch {
+        let r = service.submit(&q).unwrap();
+        assert_eq!(r.source, PlanSource::WarmHit);
+        warm_total += r.latency;
+    }
+    let warm_mean = warm_total / warm_batch;
+    assert!(
+        cold_latency > warm_mean * 10,
+        "cold {cold_latency:?} not >10x warm mean {warm_mean:?}"
+    );
+}
+
+#[test]
+fn different_literals_share_one_template() {
+    let service = service_with(&small_ott(), ServiceConfig::default());
+    let db = service.engine().db();
+    let cold = service
+        .submit(&ott_query(db, &[0, 0, 0, 1]).unwrap())
+        .unwrap();
+    assert_eq!(cold.source, PlanSource::ColdMiss);
+    // Same shape, different constants: a warm hit on the same entry.
+    let warm = service
+        .submit(&ott_query(db, &[3, 1, 2, 0]).unwrap())
+        .unwrap();
+    assert_eq!(warm.source, PlanSource::WarmHit);
+    assert_eq!(warm.template, cold.template);
+    assert!(warm.plan.same_structure(&cold.plan));
+    // A different shape is its own entry.
+    let other = service.submit(&ott_query(db, &[0, 0, 0]).unwrap()).unwrap();
+    assert_eq!(other.source, PlanSource::ColdMiss);
+    assert_ne!(other.template, cold.template);
+    assert_eq!(service.stats().reopts_run, 2);
+}
+
+#[test]
+fn stats_bump_lazily_reoptimizes() {
+    let service = service_with(&small_ott(), ServiceConfig::default());
+    let q = ott_query(service.engine().db(), &[0, 0, 0, 1]).unwrap();
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::ColdMiss);
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::WarmHit);
+    let v = service.bump_stats_version();
+    assert_eq!(v, 1);
+    // The stale plan is evicted on touch and re-optimized once.
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::ColdMiss);
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::WarmHit);
+    let stats = service.stats();
+    assert_eq!(stats.stale_evictions, 1, "{stats:?}");
+    assert_eq!(stats.reopts_run, 2, "{stats:?}");
+    // The sample cache was flushed with the stats.
+    assert_eq!(service.stats_version(), 1);
+}
+
+#[test]
+fn plan_cache_respects_capacity() {
+    let service = service_with(
+        &small_ott(),
+        ServiceConfig {
+            plan_cache_capacity: 2,
+            ..Default::default()
+        },
+    );
+    let db = service.engine().db();
+    let q2 = ott_query(db, &[0, 0]).unwrap();
+    let q3 = ott_query(db, &[0, 0, 0]).unwrap();
+    let q4 = ott_query(db, &[0, 0, 0, 0]).unwrap();
+    service.submit(&q2).unwrap();
+    service.submit(&q3).unwrap();
+    // Touch q2 so q3 is the LRU victim when q4 lands.
+    assert_eq!(service.submit(&q2).unwrap().source, PlanSource::WarmHit);
+    service.submit(&q4).unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.cached_templates, 2, "{stats:?}");
+    assert_eq!(stats.lru_evictions, 1, "{stats:?}");
+    assert_eq!(service.submit(&q2).unwrap().source, PlanSource::WarmHit);
+    assert_eq!(service.submit(&q3).unwrap().source, PlanSource::ColdMiss);
+}
+
+/// Uniform chain database: `k` identical tables R(A, B) with B = A,
+/// `vals` distinct values × `per` rows — the fixture whose re-optimized
+/// plans demonstrably overlap in subtrees across chain lengths (OTT's
+/// selective-first chains pivot around the odd filtered relation, so
+/// prefix queries share nothing there).
+fn uniform_db(k: usize, vals: i64, per: usize) -> Arc<Database> {
+    let mut db = Database::new();
+    for t in 0..k {
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("a", LogicalType::Int),
+                ColumnDef::new("b", LogicalType::Int),
+            ])?;
+            let mut data = Vec::new();
+            for v in 0..vals {
+                data.extend(std::iter::repeat_n(v, per));
+            }
+            let mut tbl = Table::new(
+                id,
+                format!("u{t}"),
+                schema,
+                vec![
+                    Column::from_i64(LogicalType::Int, data.clone()),
+                    Column::from_i64(LogicalType::Int, data),
+                ],
+            )?;
+            tbl.create_index(ColId::new(0))?;
+            tbl.create_index(ColId::new(1))?;
+            Ok(tbl)
+        })
+        .unwrap();
+    }
+    Arc::new(db)
+}
+
+fn chain_query(consts: &[i64]) -> Query {
+    let mut qb = QueryBuilder::new();
+    let rels: Vec<_> = (0..consts.len())
+        .map(|i| qb.add_relation(TableId::from(i)))
+        .collect();
+    for (i, &r) in rels.iter().enumerate() {
+        qb.add_predicate(Predicate::eq(r, ColId::new(0), consts[i]));
+    }
+    for w in rels.windows(2) {
+        qb.add_join(
+            ColRef::new(w[0], ColId::new(1)),
+            ColRef::new(w[1], ColId::new(1)),
+        );
+    }
+    qb.build()
+}
+
+#[test]
+fn cold_misses_on_different_templates_share_sample_runs() {
+    let db = uniform_db(5, 50, 20);
+    let mk_service = |share: bool| {
+        Arc::new(
+            QueryService::from_database(
+                db.clone(),
+                &AnalyzeOpts::default(),
+                SampleConfig {
+                    ratio: 0.5,
+                    ..Default::default()
+                },
+                ServiceConfig {
+                    share_sample_runs: share,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        )
+    };
+    // Shared service: the 4-chain reuses subtrees the 5-chain validated
+    // (same tables, identical predicates on the shared prefix).
+    let shared = mk_service(true);
+    shared.submit(&chain_query(&[0, 0, 0, 0, 1])).unwrap();
+    let executed_after_first = shared.stats().sample_cache.executed;
+    shared.submit(&chain_query(&[0, 0, 0, 0])).unwrap();
+    let second_executed = shared.stats().sample_cache.executed - executed_after_first;
+
+    // Isolated service: the 4-chain alone, from a cold cache.
+    let isolated = mk_service(true);
+    isolated.submit(&chain_query(&[0, 0, 0, 0])).unwrap();
+    let alone_executed = isolated.stats().sample_cache.executed;
+
+    assert!(
+        second_executed < alone_executed,
+        "sharing must skip subtree executions: {second_executed} vs {alone_executed} alone"
+    );
+
+    // With sharing off the pooled cache stays untouched.
+    let private = mk_service(false);
+    private.submit(&chain_query(&[0, 0, 0, 0])).unwrap();
+    assert_eq!(private.stats().sample_cache.executed, 0);
+}
+
+#[test]
+fn invalid_queries_error_and_are_never_cached() {
+    let service = service_with(&small_ott(), ServiceConfig::default());
+    let db = service.engine().db();
+    // Disconnected join graph: relations 0 and 1 with no join edge.
+    let mut qb = reopt_plan::QueryBuilder::new();
+    let t0 = db.table_by_name("ott_lineitem").unwrap().id();
+    let t1 = db.table_by_name("ott_orders").unwrap().id();
+    qb.add_relation(t0);
+    qb.add_relation(t1);
+    let bad = qb.build();
+    assert!(service.submit(&bad).is_err());
+    assert!(service.submit(&bad).is_err());
+    let stats = service.stats();
+    assert_eq!(stats.errors, 2, "{stats:?}");
+    assert_eq!(stats.cached_templates, 0, "{stats:?}");
+    assert_eq!(stats.reopts_run, 0, "validation failures never plan");
+}
+
+#[test]
+fn sessions_are_independent_handles() {
+    let service = service_with(&small_ott(), ServiceConfig::default());
+    let q = ott_query(service.engine().db(), &[0, 0]).unwrap();
+    let mut a = service.session();
+    let mut b = service.session();
+    assert_ne!(a.id(), b.id());
+    a.submit(&q).unwrap();
+    a.submit(&q).unwrap();
+    b.submit(&q).unwrap();
+    assert_eq!(a.queries_submitted(), 2);
+    assert_eq!(b.queries_submitted(), 1);
+    assert_eq!(a.service().stats().submitted, 3);
+}

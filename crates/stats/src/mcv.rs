@@ -39,8 +39,11 @@ impl McvList {
     }
 
     /// Build from (value, frequency) pairs; sorts and indexes them.
+    /// Frequencies are sorted with `total_cmp`, so a NaN (e.g. from a
+    /// 0/0 upstream) cannot panic the comparator — NaN sorts as the
+    /// largest "frequency" and is otherwise carried through inert.
     pub fn new(mut entries: Vec<(i64, f64)>) -> Self {
-        entries.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        entries.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let index = entries.iter().copied().collect();
         let total = entries.iter().map(|e| e.1).sum();
         McvList {
@@ -120,6 +123,25 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.total_freq(), 0.0);
         assert_eq!(m.freq_of(1), None);
+    }
+
+    #[test]
+    fn nan_frequency_does_not_panic() {
+        // Regression: `partial_cmp(..).unwrap()` panicked on NaN. The
+        // degenerate entry must sort deterministically (total_cmp puts
+        // positive NaN above every finite frequency) and leave lookups of
+        // the sane entries intact.
+        let m = McvList::new(vec![(1, 0.1), (2, f64::NAN), (3, 0.3)]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.entries()[0].0, 2, "NaN sorts first under total_cmp");
+        assert_eq!(m.entries()[1], (3, 0.3));
+        assert_eq!(m.entries()[2], (1, 0.1));
+        assert_eq!(m.freq_of(3), Some(0.3));
+        assert!(m.freq_of(2).unwrap().is_nan());
+        // An all-NaN list is equally survivable.
+        let m = McvList::new(vec![(5, f64::NAN), (4, f64::NAN)]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.entries()[0].0, 4, "NaN ties break by value");
     }
 
     #[test]

@@ -6,6 +6,7 @@ pub use reopt_executor as executor;
 pub use reopt_optimizer as optimizer;
 pub use reopt_plan as plan;
 pub use reopt_sampling as sampling;
+pub use reopt_service as service;
 pub use reopt_stats as stats;
 pub use reopt_storage as storage;
 pub use reopt_workloads as workloads;
