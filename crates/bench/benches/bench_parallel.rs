@@ -1,0 +1,276 @@
+//! Partition-parallel executor scaling: serial vs 2/4/8 worker threads on
+//! OTT and TPC-H multi-join shapes, full-database runs and sample dry-runs
+//! measured separately, with machine-readable output in
+//! `BENCH_parallel.json` so the parallel perf trajectory is tracked in CI
+//! alongside `BENCH_incremental.json` and `BENCH_service.json`.
+//!
+//! Not a criterion harness: each point executes the workload's repaired
+//! plan end to end at a fixed [`ExecOpts::threads`] setting. Results are
+//! bit-identical at every thread count (asserted here per point, proven
+//! exhaustively by `tests/parallel_determinism.rs`), so the *only* thing
+//! that may move is wall-clock. Pass `--quick` for the reduced-iteration
+//! CI configuration.
+//!
+//! `available_parallelism` is recorded in the report: speedups are bounded
+//! by the cores the host actually grants (a 1-core container measures the
+//! partitioning overhead, not the scaling).
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use reopt_common::rng::derive_rng_indexed;
+use reopt_core::{ReOptConfig, ReOptimizer};
+use reopt_executor::{ExecOpts, Executor};
+use reopt_optimizer::Optimizer;
+use reopt_plan::{PhysicalPlan, Query};
+use reopt_sampling::{validate_plan, SampleConfig, SampleStore, ValidationOpts};
+use reopt_stats::{analyze_database, AnalyzeOpts, DatabaseStats};
+use reopt_storage::Database;
+use reopt_workloads::ott::{build_ott_database, ott_query, recommended_sample_ratio, OttConfig};
+use reopt_workloads::tpch::{build_tpch_database, instantiate, TpchConfig};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Debug, Serialize)]
+struct ThreadPoint {
+    threads: usize,
+    /// Best-of-`reps` wall time, milliseconds (min, not mean: scheduling
+    /// noise only ever adds time).
+    ms: f64,
+    /// serial_ms / ms.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ShapeResult {
+    workload: String,
+    query: String,
+    /// "full" = repaired plan over the full database; "dryrun" = the same
+    /// plan validated over the samples (Δ derivation included).
+    mode: &'static str,
+    /// Output rows of the measured run (identical at every thread count).
+    rows: u64,
+    serial_ms: f64,
+    points: Vec<ThreadPoint>,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    quick: bool,
+    /// Cores the host grants; the scaling ceiling.
+    available_parallelism: usize,
+    shapes: Vec<ShapeResult>,
+    /// Geomean full-run speedup at 4 threads across shapes.
+    full_speedup_at_4: f64,
+    /// Geomean dry-run speedup at 4 threads across shapes.
+    dryrun_speedup_at_4: f64,
+}
+
+struct Bound {
+    db: Database,
+    stats: DatabaseStats,
+    samples: SampleStore,
+}
+
+impl Bound {
+    fn new(db: Database, ratio: f64) -> Self {
+        let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(
+            &db,
+            SampleConfig {
+                ratio,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        Bound { db, stats, samples }
+    }
+
+    /// The sampling-repaired plan — what a served query actually runs.
+    fn repaired_plan(&self, q: &Query) -> PhysicalPlan {
+        let opt = Optimizer::new(&self.db, &self.stats);
+        ReOptimizer::with_config(&opt, &self.samples, ReOptConfig::with_threads(1))
+            .run(q)
+            .unwrap()
+            .final_plan
+    }
+
+    fn measure_full(&self, workload: &str, name: &str, q: &Query, reps: usize) -> ShapeResult {
+        let plan = self.repaired_plan(q);
+        let mut rows = 0u64;
+        let points = sweep(reps, |threads| {
+            let exec = Executor::with_opts(&self.db, ExecOpts::with_threads(threads));
+            let (out, _) = exec.run_rowset(q, &plan).unwrap();
+            let n = out.len() as u64;
+            if rows == 0 {
+                rows = n;
+            }
+            assert_eq!(rows, n, "thread count changed the answer");
+        });
+        shape(workload, name, "full", rows, points)
+    }
+
+    fn measure_dryrun(&self, workload: &str, name: &str, q: &Query, reps: usize) -> ShapeResult {
+        let plan = self.repaired_plan(q);
+        let mut rows = 0u64;
+        let points = sweep(reps, |threads| {
+            let opts = ValidationOpts {
+                threads,
+                ..Default::default()
+            };
+            let v = validate_plan(q, &plan, &self.samples, &opts).unwrap();
+            let n = v.delta.len() as u64;
+            if rows == 0 {
+                rows = n;
+            }
+            assert_eq!(rows, n, "thread count changed Δ");
+        });
+        shape(workload, name, "dryrun", rows, points)
+    }
+}
+
+/// Time `run(threads)` best-of-`reps` for every thread count.
+fn sweep(reps: usize, mut run: impl FnMut(usize)) -> Vec<(usize, f64)> {
+    THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            run(threads); // warm-up (allocator, page cache)
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                run(threads);
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            (threads, best)
+        })
+        .collect()
+}
+
+fn shape(
+    workload: &str,
+    name: &str,
+    mode: &'static str,
+    rows: u64,
+    raw: Vec<(usize, f64)>,
+) -> ShapeResult {
+    let serial_ms = raw[0].1;
+    ShapeResult {
+        workload: workload.to_string(),
+        query: name.to_string(),
+        mode,
+        rows,
+        serial_ms,
+        points: raw
+            .into_iter()
+            .map(|(threads, ms)| ThreadPoint {
+                threads,
+                ms,
+                speedup: serial_ms / ms.max(1e-9),
+            })
+            .collect(),
+    }
+}
+
+fn geomean_at(shapes: &[ShapeResult], mode: &str, threads: usize) -> f64 {
+    let logs: Vec<f64> = shapes
+        .iter()
+        .filter(|s| s.mode == mode)
+        .filter_map(|s| s.points.iter().find(|p| p.threads == threads))
+        .map(|p| p.speedup.ln())
+        .collect();
+    if logs.is_empty() {
+        return 1.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 10 };
+    let mut shapes = Vec::new();
+
+    // OTT chains: the non-empty all-equal query is the M^k join blow-up
+    // (real join volume); the empty-edge one is the repair fixture whose
+    // final plan is scan-dominated.
+    let ott_config = OttConfig {
+        rows_per_value: if quick { 24 } else { 48 },
+        ..Default::default()
+    };
+    let ott = Bound::new(
+        build_ott_database(&ott_config).unwrap(),
+        recommended_sample_ratio(&ott_config),
+    );
+    for consts in [vec![0i64, 0, 0, 0], vec![0, 0, 0, 0, 1]] {
+        let q = ott_query(&ott.db, &consts).unwrap();
+        let name = format!("chain{}/{consts:?}", consts.len());
+        shapes.push(ott.measure_full("ott", &name, &q, reps));
+        shapes.push(ott.measure_dryrun("ott", &name, &q, reps));
+    }
+
+    // TPC-H multi-join templates (the paper's Figure 4/7 workload).
+    let tpch = Bound::new(
+        build_tpch_database(&TpchConfig {
+            scale: if quick { 0.01 } else { 0.05 },
+            ..Default::default()
+        })
+        .unwrap(),
+        0.1,
+    );
+    for name in ["q5", "q8", "q9"] {
+        let mut rng = derive_rng_indexed(0xbe2c, name, 0);
+        let q = instantiate(&tpch.db, name, &mut rng).unwrap();
+        shapes.push(tpch.measure_full("tpch", name, &q, reps));
+        shapes.push(tpch.measure_dryrun("tpch", name, &q, reps));
+    }
+
+    let report = BenchReport {
+        bench: "bench_parallel",
+        quick,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        full_speedup_at_4: geomean_at(&shapes, "full", 4),
+        dryrun_speedup_at_4: geomean_at(&shapes, "dryrun", 4),
+        shapes,
+    };
+
+    println!(
+        "{:<28} {:<7} {:>10} {:>8} {:>8} {:>8}",
+        "shape", "mode", "serial ms", "2t", "4t", "8t"
+    );
+    for s in &report.shapes {
+        let at = |t: usize| {
+            s.points
+                .iter()
+                .find(|p| p.threads == t)
+                .map_or(0.0, |p| p.speedup)
+        };
+        println!(
+            "{:<28} {:<7} {:>10.3} {:>7.2}x {:>7.2}x {:>7.2}x",
+            format!("{}/{}", s.workload, s.query),
+            s.mode,
+            s.serial_ms,
+            at(2),
+            at(4),
+            at(8)
+        );
+    }
+    println!(
+        "available parallelism: {}; geomean speedup at 4 threads: full {:.2}x, dryrun {:.2}x",
+        report.available_parallelism, report.full_speedup_at_4, report.dryrun_speedup_at_4
+    );
+
+    // Anchor the output at the workspace root (cargo runs benches with
+    // cwd = the package directory) so CI finds one canonical path.
+    let out = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(pkg) => std::path::Path::new(&pkg)
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("BENCH_parallel.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_parallel.json"),
+    };
+    let json = serde_json::to_string(&report).unwrap();
+    std::fs::write(&out, &json).unwrap();
+    println!("wrote {}", out.display());
+}

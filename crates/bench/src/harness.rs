@@ -121,6 +121,7 @@ impl<'a> Runner<'a> {
             self.db,
             ExecOpts {
                 max_intermediate_rows: self.config.max_intermediate_rows,
+                ..Default::default()
             },
         );
         let t = Instant::now();

@@ -120,6 +120,16 @@ impl ReoptEngine {
         &self.reopt_config
     }
 
+    /// Set the dry-run executor's worker-thread knob (`0` = available
+    /// parallelism, `1` = serial) and return the engine. Dry runs are
+    /// bit-identical at every setting, so this trades nothing but
+    /// wall-clock — see
+    /// [`ValidationOpts::threads`](reopt_sampling::ValidationOpts).
+    pub fn with_validation_threads(mut self, threads: usize) -> Self {
+        self.reopt_config.validation.threads = threads;
+        self
+    }
+
     /// The optimizer configuration.
     pub fn optimizer_config(&self) -> &OptimizerConfig {
         &self.optimizer_config

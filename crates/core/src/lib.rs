@@ -16,6 +16,6 @@ pub mod reopt;
 pub mod report;
 
 pub use engine::ReoptEngine;
-pub use multi_seed::{run_multi_seed, MultiSeedReport};
+pub use multi_seed::{run_multi_seed, run_multi_seed_parallel, MultiSeedReport};
 pub use reopt::{ReOptConfig, ReOptimizer};
 pub use report::{ReoptReport, ReoptSummary, RoundReport};

@@ -65,88 +65,192 @@ pub fn run_multi_seed(
         // validated so far across seeds). The DP memo is bound to one
         // optimizer configuration, so each seed starts a fresh one.
         caches.reset_memo();
-        let mut rounds: Vec<RoundReport> = Vec::new();
-        let mut prev_plan: Option<PhysicalPlan> = None;
-        let mut prev_trees: Vec<JoinTree> = Vec::new();
-        loop {
-            // Same contract as ReOptimizer::run: a blown budget must not
-            // buy another optimize+validate cycle. Every seed still gets
-            // one round — each needs a final plan to enter the tournament.
-            if !rounds.is_empty() {
-                if let Some(budget) = config.time_budget {
-                    if start.elapsed() > budget {
-                        break;
-                    }
-                }
-            }
-            let round = rounds.len() + 1;
-            let t0 = Instant::now();
-            let planned = caches.plan(optimizer, query, &gamma)?;
-            let optimize_time = t0.elapsed();
-            let tree = planned.plan.logical_tree();
-            let same = prev_plan
-                .as_ref()
-                .is_some_and(|p| p.same_structure(&planned.plan));
-            let transform = prev_plan
-                .as_ref()
-                .map(|p| classify_transformation(&p.logical_tree(), &tree));
-            let covered = {
-                let refs: Vec<&JoinTree> = prev_trees.iter().collect();
-                is_covered_by(&tree, &refs)
-            };
-            if same {
-                let (_, vcost) = optimizer.cost_plan(query, &planned.plan, &gamma)?;
-                rounds.push(RoundReport {
-                    round,
-                    est_rows: planned.plan.est_rows(),
-                    est_cost: planned.plan.est_cost(),
-                    plan: planned.plan,
-                    transform,
-                    covered_by_previous: covered,
-                    gamma_new_entries: 0,
-                    validated_cost: vcost,
-                    optimize_time,
-                    validation_time: Duration::ZERO,
-                    dp_subsets_reused: planned.search.subsets_reused,
-                    dp_subsets_replanned: planned.search.subsets_replanned,
-                    sample_cache_hits: 0,
-                    sample_subtrees_executed: 0,
-                });
-                break;
-            }
-            let v = caches.validate(query, &planned.plan, samples, &config.validation)?;
-            caches.note_delta(&gamma, &v.delta);
-            let fresh = gamma.merge(&v.delta);
-            let (_, vcost) = optimizer.cost_plan(query, &planned.plan, &gamma)?;
-            rounds.push(RoundReport {
-                round,
-                est_rows: planned.plan.est_rows(),
-                est_cost: planned.plan.est_cost(),
-                plan: planned.plan.clone(),
-                transform,
-                covered_by_previous: covered,
-                gamma_new_entries: fresh,
-                validated_cost: vcost,
-                optimize_time,
-                validation_time: v.elapsed,
-                dp_subsets_reused: planned.search.subsets_reused,
-                dp_subsets_replanned: planned.search.subsets_replanned,
-                sample_cache_hits: v.cache_hits,
-                sample_subtrees_executed: v.subtrees_executed,
-            });
-            prev_trees.push(tree);
-            prev_plan = Some(planned.plan);
-            if rounds.len() >= config.max_rounds {
-                break;
-            }
-        }
+        let rounds = seed_loop(
+            optimizer,
+            samples,
+            query,
+            config,
+            start,
+            &mut gamma,
+            &mut caches,
+        )?;
         rounds_per_seed.push(rounds.len());
         finals.push(rounds.last().unwrap().plan.clone());
     }
 
-    // Pick the cheapest final plan under the merged Γ, costed by its own
-    // seed optimizer (each seed may use different cost units; the winner
-    // is judged by its owner's model — a tie-break documented choice).
+    pick_winner(seeds, query, finals, rounds_per_seed, gamma, start)
+}
+
+/// Run Algorithm 1 once per seed, **one scoped thread per seed** — the
+/// fan-out regime for when cores outnumber seeds. Unlike
+/// [`run_multi_seed`], seeds cannot see each other's Γ mid-flight
+/// (cross-seed Γ sharing is inherently sequential): each runs from an
+/// empty Γ with private caches, the per-seed Γs are merged in seed order
+/// afterwards, and the winner is judged under the merged Γ exactly like
+/// the sequential tournament. With `time_budget: None` (the default)
+/// every seed's trajectory depends only on its own inputs, so the outcome
+/// is deterministic and independent of thread interleaving; a set budget
+/// is shared wall-clock, and which round a seed's elapsed check trips on
+/// then depends on scheduling — exactly as in the sequential tournament,
+/// where later seeds inherit whatever time earlier ones left. The trade
+/// is wall-clock for the sequential version's warm-start acceleration of
+/// later seeds.
+///
+/// Each seed's *dry runs* additionally exploit
+/// [`ValidationOpts::threads`], so the two levels of parallelism compose.
+pub fn run_multi_seed_parallel(
+    seeds: &[&Optimizer<'_>],
+    samples: &SampleStore,
+    query: &Query,
+    config: &ReOptConfig,
+) -> Result<MultiSeedReport> {
+    if seeds.is_empty() {
+        return Err(Error::invalid("multi-seed re-optimization needs ≥1 seed"));
+    }
+    let start = Instant::now();
+    let per_seed: Vec<(Vec<RoundReport>, CardOverrides)> = std::thread::scope(|s| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|optimizer| {
+                s.spawn(move || -> Result<(Vec<RoundReport>, CardOverrides)> {
+                    let mut gamma = CardOverrides::new();
+                    let mut caches = IncrementalCaches::new(config.incremental);
+                    let rounds = seed_loop(
+                        optimizer,
+                        samples,
+                        query,
+                        config,
+                        start,
+                        &mut gamma,
+                        &mut caches,
+                    )?;
+                    Ok((rounds, gamma))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| Error::internal("multi-seed worker panicked"))?
+            })
+            .collect::<Result<Vec<_>>>()
+    })?;
+
+    // Merge Γ in seed order. Validation is deterministic, so seeds that
+    // validated the same set agree on its value; the fixed order still
+    // pins the iteration-order-sensitive internals for reproducibility.
+    let mut gamma = CardOverrides::new();
+    let mut finals = Vec::with_capacity(seeds.len());
+    let mut rounds_per_seed = Vec::with_capacity(seeds.len());
+    for (rounds, seed_gamma) in per_seed {
+        gamma.merge(&seed_gamma);
+        rounds_per_seed.push(rounds.len());
+        finals.push(rounds.last().unwrap().plan.clone());
+    }
+    pick_winner(seeds, query, finals, rounds_per_seed, gamma, start)
+}
+
+/// One seed's Algorithm 1 loop against a caller-owned Γ and cache set —
+/// the body shared by the sequential and parallel tournaments.
+fn seed_loop(
+    optimizer: &Optimizer<'_>,
+    samples: &SampleStore,
+    query: &Query,
+    config: &ReOptConfig,
+    start: Instant,
+    gamma: &mut CardOverrides,
+    caches: &mut IncrementalCaches,
+) -> Result<Vec<RoundReport>> {
+    let mut rounds: Vec<RoundReport> = Vec::new();
+    let mut prev_plan: Option<PhysicalPlan> = None;
+    let mut prev_trees: Vec<JoinTree> = Vec::new();
+    loop {
+        // Same contract as ReOptimizer::run: a blown budget must not
+        // buy another optimize+validate cycle. Every seed still gets
+        // one round — each needs a final plan to enter the tournament.
+        if !rounds.is_empty() {
+            if let Some(budget) = config.time_budget {
+                if start.elapsed() > budget {
+                    break;
+                }
+            }
+        }
+        let round = rounds.len() + 1;
+        let t0 = Instant::now();
+        let planned = caches.plan(optimizer, query, gamma)?;
+        let optimize_time = t0.elapsed();
+        let tree = planned.plan.logical_tree();
+        let same = prev_plan
+            .as_ref()
+            .is_some_and(|p| p.same_structure(&planned.plan));
+        let transform = prev_plan
+            .as_ref()
+            .map(|p| classify_transformation(&p.logical_tree(), &tree));
+        let covered = {
+            let refs: Vec<&JoinTree> = prev_trees.iter().collect();
+            is_covered_by(&tree, &refs)
+        };
+        if same {
+            let (_, vcost) = optimizer.cost_plan(query, &planned.plan, gamma)?;
+            rounds.push(RoundReport {
+                round,
+                est_rows: planned.plan.est_rows(),
+                est_cost: planned.plan.est_cost(),
+                plan: planned.plan,
+                transform,
+                covered_by_previous: covered,
+                gamma_new_entries: 0,
+                validated_cost: vcost,
+                optimize_time,
+                validation_time: Duration::ZERO,
+                dp_subsets_reused: planned.search.subsets_reused,
+                dp_subsets_replanned: planned.search.subsets_replanned,
+                sample_cache_hits: 0,
+                sample_subtrees_executed: 0,
+            });
+            break;
+        }
+        let v = caches.validate(query, &planned.plan, samples, &config.validation)?;
+        caches.note_delta(gamma, &v.delta);
+        let fresh = gamma.merge(&v.delta);
+        let (_, vcost) = optimizer.cost_plan(query, &planned.plan, gamma)?;
+        rounds.push(RoundReport {
+            round,
+            est_rows: planned.plan.est_rows(),
+            est_cost: planned.plan.est_cost(),
+            plan: planned.plan.clone(),
+            transform,
+            covered_by_previous: covered,
+            gamma_new_entries: fresh,
+            validated_cost: vcost,
+            optimize_time,
+            validation_time: v.elapsed,
+            dp_subsets_reused: planned.search.subsets_reused,
+            dp_subsets_replanned: planned.search.subsets_replanned,
+            sample_cache_hits: v.cache_hits,
+            sample_subtrees_executed: v.subtrees_executed,
+        });
+        prev_trees.push(tree);
+        prev_plan = Some(planned.plan);
+        if rounds.len() >= config.max_rounds {
+            break;
+        }
+    }
+    Ok(rounds)
+}
+
+/// Pick the cheapest final plan under the merged Γ, costed by its own
+/// seed optimizer (each seed may use different cost units; the winner
+/// is judged by its owner's model — a tie-break documented choice).
+fn pick_winner(
+    seeds: &[&Optimizer<'_>],
+    query: &Query,
+    finals: Vec<PhysicalPlan>,
+    rounds_per_seed: Vec<usize>,
+    gamma: CardOverrides,
+    start: Instant,
+) -> Result<MultiSeedReport> {
     let mut winner = 0usize;
     let mut best_cost = f64::INFINITY;
     for (i, (plan, optimizer)) in finals.iter().zip(seeds).enumerate() {
@@ -333,6 +437,58 @@ mod tests {
         assert_eq!(inc.gamma.len(), scratch.gamma.len());
         for (set, rows) in inc.gamma.iter() {
             assert_eq!(scratch.gamma.get(set), Some(rows), "Γ({set})");
+        }
+    }
+
+    #[test]
+    fn parallel_multi_seed_is_deterministic_and_sound() {
+        let db = ott_db(5, 40, 10);
+        let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+        let samples = SampleStore::build(
+            &db,
+            SampleConfig {
+                ratio: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let bushy = Optimizer::new(&db, &stats);
+        let left_deep = Optimizer::with_config(
+            &db,
+            &stats,
+            OptimizerConfig {
+                left_deep_only: true,
+                ..OptimizerConfig::postgres_like()
+            },
+        );
+        let q = ott_query(5, &[0, 0, 1, 0, 0]);
+        let config = ReOptConfig::default();
+        let seeds: [&Optimizer<'_>; 2] = [&bushy, &left_deep];
+
+        // Determinism: two parallel fan-outs land in exactly the same
+        // place — seed trajectories are interleaving-independent.
+        let a = run_multi_seed_parallel(&seeds, &samples, &q, &config).unwrap();
+        let b = run_multi_seed_parallel(&seeds, &samples, &q, &config).unwrap();
+        assert_eq!(a.winner, b.winner);
+        assert_eq!(a.rounds_per_seed, b.rounds_per_seed);
+        assert!(a.final_plan.same_structure(&b.final_plan));
+        assert_eq!(a.gamma.len(), b.gamma.len());
+        for (set, rows) in a.gamma.iter() {
+            assert_eq!(b.gamma.get(set), Some(rows), "Γ({set})");
+        }
+
+        // Soundness: every seed's trajectory equals a solo cold run of
+        // that seed (no mid-flight Γ sharing by construction), so each
+        // per-seed round count matches the solo run's.
+        for (i, opt) in seeds.iter().enumerate() {
+            let solo = crate::reopt::ReOptimizer::with_config(opt, &samples, config.clone())
+                .run(&q)
+                .unwrap();
+            assert_eq!(
+                a.rounds_per_seed[i],
+                solo.num_rounds(),
+                "seed {i} diverged from its solo run"
+            );
         }
     }
 

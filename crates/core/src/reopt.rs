@@ -77,6 +77,18 @@ impl Default for ReOptConfig {
     }
 }
 
+impl ReOptConfig {
+    /// Default configuration with the dry-run executor's thread knob set
+    /// (`0` = available parallelism, `1` = serial). Sample dry-runs are
+    /// bit-identical at every setting, so this only changes how fast the
+    /// loop turns, never where it lands.
+    pub fn with_threads(threads: usize) -> Self {
+        let mut config = ReOptConfig::default();
+        config.validation.threads = threads;
+        config
+    }
+}
+
 /// The cross-round caches of one incremental run, owning the shared round
 /// protocol (plan → validate → note Δ) so [`ReOptimizer::run`] and
 /// [`crate::multi_seed::run_multi_seed`] cannot drift apart. With

@@ -1,31 +1,106 @@
 //! Plan execution.
+//!
+//! # Intra-query parallelism
+//!
+//! [`ExecOpts::threads`] turns on partition-parallel execution of the two
+//! hot operators: sequential scans split the row space into contiguous
+//! chunks (one `std::thread::scope` worker per chunk, outputs concatenated
+//! in chunk order), and hash joins hash-partition both inputs on the join
+//! key — per-partition build tables constructed in parallel, then the
+//! probe side swept in contiguous chunk-parallel left-row order. Both
+//! strategies are **bit-identical to serial execution**: every right row
+//! with a given key lands in one partition, so each partition bucket
+//! equals the serial bucket for that key, and concatenating probe-chunk
+//! outputs in chunk order reproduces the serial `(left, right)` emission
+//! sequence exactly — and with it the `RowSet` contents, `node_cards`
+//! traces, and every downstream validated cardinality.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crate::agg::{aggregate, AggOutput};
 use crate::metrics::ExecMetrics;
 use crate::rowset::RowSet;
+use reopt_common::hash::FxHasher;
 use reopt_common::{ColId, Error, FxHashMap, RelId, RelSet, Result};
 use reopt_plan::query::ColRef;
 use reopt_plan::{AccessPath, CmpOp, JoinAlgo, PhysicalPlan, Predicate, Query};
 use reopt_storage::value::NULL_SENTINEL;
 use reopt_storage::{Database, Table};
 
-/// Executor limits.
+/// Below this many input rows a scan or join runs serially even when
+/// `threads > 1`: spawning workers costs more than the operator itself,
+/// and since the parallel paths are bit-identical to serial, thresholding
+/// cannot change any result.
+const PARALLEL_MIN_ROWS: usize = 4096;
+
+/// Executor limits and parallelism.
 #[derive(Debug, Clone)]
 pub struct ExecOpts {
     /// Abort when any single operator output exceeds this many rows —
     /// a safety valve against truly pathological plans (the OTT's bad plans
-    /// are *meant* to be painful, but not to OOM the process).
+    /// are *meant* to be painful, but not to OOM the process). Enforced
+    /// incrementally inside the join probe loops, not just on the
+    /// materialized output, so a cross-product-ish join aborts before it
+    /// allocates the result it is being capped against.
     pub max_intermediate_rows: u64,
+    /// Worker threads for partition-parallel scans and hash joins.
+    /// `0` (the default) resolves to the machine's available parallelism
+    /// (overridable via the `REOPT_THREADS` environment variable); `1` is
+    /// the fully serial executor. Results are bit-identical at every
+    /// setting (see the module docs).
+    pub threads: usize,
 }
 
 impl Default for ExecOpts {
     fn default() -> Self {
         ExecOpts {
             max_intermediate_rows: 100_000_000,
+            threads: 0,
         }
     }
+}
+
+impl ExecOpts {
+    /// Default options pinned to one thread — yesterday's serial executor.
+    pub fn serial() -> Self {
+        ExecOpts {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Default options with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOpts {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// The worker count this executor will actually use: `threads` if set,
+    /// else `REOPT_THREADS`, else `std::thread::available_parallelism()`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            return self.threads;
+        }
+        default_threads()
+    }
+}
+
+/// The auto-resolved thread count used when [`ExecOpts::threads`] is 0:
+/// the `REOPT_THREADS` environment variable if set and ≥ 1, otherwise the
+/// machine's available parallelism (1 if that cannot be determined).
+pub fn default_threads() -> usize {
+    std::env::var("REOPT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 /// Result of [`Executor::run_traced`]: the join result plus the observed
@@ -93,6 +168,10 @@ pub struct QueryOutput {
 pub struct Executor<'a> {
     db: &'a Database,
     opts: ExecOpts,
+    /// [`ExecOpts::effective_threads`] resolved once at construction —
+    /// the auto setting reads an environment variable, which must not
+    /// land on the per-operator hot path.
+    threads: usize,
 }
 
 /// Convenience: execute `plan` for `query` against `db` with default options.
@@ -108,15 +187,13 @@ pub fn execute_query(db: &Database, query: &Query, plan: &PhysicalPlan) -> Resul
 impl<'a> Executor<'a> {
     /// Executor with default options.
     pub fn new(db: &'a Database) -> Self {
-        Executor {
-            db,
-            opts: ExecOpts::default(),
-        }
+        Self::with_opts(db, ExecOpts::default())
     }
 
     /// Executor with explicit options.
     pub fn with_opts(db: &'a Database, opts: ExecOpts) -> Self {
-        Executor { db, opts }
+        let threads = opts.effective_threads();
+        Executor { db, opts, threads }
     }
 
     /// Execute the full query: join pipeline plus optional aggregation.
@@ -280,10 +357,24 @@ impl<'a> Executor<'a> {
                     let l = self.exec_node(query, left, state)?;
                     let r = self.exec_node(query, right, state)?;
                     match algo {
-                        JoinAlgo::Hash => self.exec_hash_join(query, &l, &r, keys)?,
+                        JoinAlgo::Hash => {
+                            self.exec_hash_join(query, &l, &r, keys, &mut state.metrics)?
+                        }
                         JoinAlgo::Merge => self.exec_merge_join(query, &l, &r, keys)?,
                         JoinAlgo::NestedLoop => self.exec_nested_loop(query, &l, &r, keys)?,
-                        JoinAlgo::IndexNested => unreachable!(),
+                        JoinAlgo::IndexNested => {
+                            // Handled by the arm above when well-formed; a
+                            // plan that lands here is malformed (e.g. a
+                            // future transformation emitted an index-nested
+                            // join in a generic position) and must fail the
+                            // query, not panic the process — in a serving
+                            // context a panicked leader burns every
+                            // coalesced session on its flight.
+                            return Err(Error::internal(
+                                "index-nested-loop join reached the generic join path; \
+                                 the physical plan is malformed",
+                            ));
+                        }
                     }
                 }
             },
@@ -313,17 +404,23 @@ impl<'a> Executor<'a> {
 
         let rows: Vec<u32> = match access {
             AccessPath::SeqScan => {
-                metrics.rows_scanned += table.row_count() as u64;
-                let mut out = Vec::new();
-                'rows: for row in 0..table.row_count() as u32 {
-                    for p in &compiled {
-                        if !p.matches(row) {
-                            continue 'rows;
+                let n = table.row_count();
+                let threads = self.threads;
+                if threads > 1 && n >= PARALLEL_MIN_ROWS {
+                    self.parallel_seq_scan(n as u32, &compiled, threads, metrics)?
+                } else {
+                    metrics.rows_scanned += n as u64;
+                    let mut out = Vec::new();
+                    'rows: for row in 0..n as u32 {
+                        for p in &compiled {
+                            if !p.matches(row) {
+                                continue 'rows;
+                            }
                         }
+                        out.push(row);
                     }
-                    out.push(row);
+                    out
                 }
-                out
             }
             AccessPath::IndexScan { col } => {
                 // Find the driving equality predicate on `col`.
@@ -394,6 +491,7 @@ impl<'a> Executor<'a> {
         left: &RowSet,
         right: &RowSet,
         keys: &[(ColRef, ColRef)],
+        metrics: &mut ExecMetrics,
     ) -> Result<RowSet> {
         if keys.is_empty() {
             return self.exec_nested_loop(query, left, right, keys);
@@ -402,13 +500,28 @@ impl<'a> Executor<'a> {
         let lkeys = self.gather_keys(query, left, &lcols)?;
         let rkeys = self.gather_keys(query, right, &rcols)?;
 
+        let threads = self.threads;
+        let pairs = if threads > 1 && left.len() + right.len() >= PARALLEL_MIN_ROWS {
+            self.hash_join_partitioned(&lkeys, &rkeys, threads, metrics)?
+        } else {
+            self.hash_join_serial(&lkeys, &rkeys)?
+        };
+        RowSet::combine(left, right, &pairs)
+    }
+
+    /// Serial build + probe; emits pairs in ascending `(left, right)`
+    /// lexicographic order. The intermediate-row cap is checked after each
+    /// probe row's emissions — overshoot is bounded by one bucket, which is
+    /// at most `right.len()` and therefore itself already under the cap.
+    fn hash_join_serial(&self, lkeys: &[Vec<i64>], rkeys: &[Vec<i64>]) -> Result<Vec<(u32, u32)>> {
+        let cap = self.opts.max_intermediate_rows;
         let mut pairs: Vec<(u32, u32)> = Vec::new();
-        if keys.len() == 1 {
+        if lkeys.len() == 1 {
             // Fast path: single i64 key.
             let mut table: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
-            for (i, &v) in rkeys[0].iter().enumerate() {
+            for (j, &v) in rkeys[0].iter().enumerate() {
                 if v != NULL_SENTINEL {
-                    table.entry(v).or_default().push(i as u32);
+                    table.entry(v).or_default().push(j as u32);
                 }
             }
             for (i, &v) in lkeys[0].iter().enumerate() {
@@ -419,13 +532,14 @@ impl<'a> Executor<'a> {
                     for &j in matches {
                         pairs.push((i as u32, j));
                     }
+                    check_probe_cap(pairs.len() as u64, cap)?;
                 }
             }
         } else {
             let mut table: FxHashMap<Vec<i64>, Vec<u32>> = FxHashMap::default();
-            'rrows: for j in 0..right.len() {
-                let mut k = Vec::with_capacity(keys.len());
-                for col in &rkeys {
+            'rrows: for j in 0..rkeys[0].len() {
+                let mut k = Vec::with_capacity(rkeys.len());
+                for col in rkeys {
                     if col[j] == NULL_SENTINEL {
                         continue 'rrows;
                     }
@@ -433,9 +547,9 @@ impl<'a> Executor<'a> {
                 }
                 table.entry(k).or_default().push(j as u32);
             }
-            'lrows: for i in 0..left.len() {
-                let mut k = Vec::with_capacity(keys.len());
-                for col in &lkeys {
+            'lrows: for i in 0..lkeys[0].len() {
+                let mut k = Vec::with_capacity(lkeys.len());
+                for col in lkeys {
                     if col[i] == NULL_SENTINEL {
                         continue 'lrows;
                     }
@@ -445,10 +559,202 @@ impl<'a> Executor<'a> {
                     for &j in matches {
                         pairs.push((i as u32, j));
                     }
+                    check_probe_cap(pairs.len() as u64, cap)?;
                 }
             }
         }
-        RowSet::combine(left, right, &pairs)
+        Ok(pairs)
+    }
+
+    /// Partitioned parallel hash join, two phases:
+    ///
+    /// 1. **Build** — the right input is hash-partitioned on the join key;
+    ///    worker `p` builds the hash table of the rows that hash to `p`,
+    ///    scanning them in ascending row order. Every right row with a
+    ///    given key lands in the same partition, so each bucket is
+    ///    *identical* to the serial build's bucket for that key.
+    /// 2. **Probe** — the left input is split into contiguous chunks, one
+    ///    worker each; every row routes to its key's partition table (the
+    ///    same hash) and emits matches in bucket order.
+    ///
+    /// Concatenating the chunk outputs in chunk order therefore reproduces
+    /// the serial probe's `(left, right)` emission sequence exactly — no
+    /// sort, no tie-breaking, bit-identical results.
+    ///
+    /// The intermediate-row cap is enforced *while probing* through a
+    /// shared atomic emission counter, so a cross-product-ish join aborts
+    /// long before its output materializes.
+    fn hash_join_partitioned(
+        &self,
+        lkeys: &[Vec<i64>],
+        rkeys: &[Vec<i64>],
+        threads: usize,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Vec<(u32, u32)>> {
+        let cap = self.opts.max_intermediate_rows;
+        let parts = threads as u64;
+        let lpart = partition_assignment(lkeys, parts);
+        let rpart = partition_assignment(rkeys, parts);
+
+        // Bucket the build side once — O(|R|) total, ascending row order
+        // within each bucket — so each build worker touches only its own
+        // partition's rows instead of filtering the whole input.
+        let mut rbuckets: Vec<Vec<u32>> = vec![Vec::new(); threads];
+        for (j, &part) in rpart.iter().enumerate() {
+            if part != NO_PARTITION {
+                rbuckets[part as usize].push(j as u32);
+            }
+        }
+
+        // Phase 1: per-partition build, one worker per partition.
+        let tables: Vec<PartitionTable> = std::thread::scope(|s| {
+            let handles: Vec<_> = rbuckets
+                .iter()
+                .map(|bucket| {
+                    s.spawn(move || {
+                        if lkeys.len() == 1 {
+                            let mut t: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+                            for &j in bucket {
+                                t.entry(rkeys[0][j as usize]).or_default().push(j);
+                            }
+                            PartitionTable::Single(t)
+                        } else {
+                            let mut t: FxHashMap<Vec<i64>, Vec<u32>> = FxHashMap::default();
+                            for &j in bucket {
+                                let k = rkeys
+                                    .iter()
+                                    .map(|col| col[j as usize])
+                                    .collect::<Vec<i64>>();
+                                t.entry(k).or_default().push(j);
+                            }
+                            PartitionTable::Multi(t)
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| Error::internal("parallel join build worker panicked"))
+                })
+                .collect::<Result<Vec<_>>>()
+        })?;
+
+        // Phase 2: chunk-parallel probe in left-row order.
+        let emitted = AtomicU64::new(0);
+        let n = lpart.len();
+        let chunk = n.div_ceil(threads).max(1);
+        let chunks: Vec<(Vec<(u32, u32)>, ExecMetrics)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    let (tables, lpart, emitted) = (&tables, &lpart, &emitted);
+                    s.spawn(move || -> Result<(Vec<(u32, u32)>, ExecMetrics)> {
+                        let local = ExecMetrics {
+                            parallel_workers: 1,
+                            ..Default::default()
+                        };
+                        let mut pairs: Vec<(u32, u32)> = Vec::new();
+                        let mut key = Vec::with_capacity(lkeys.len());
+                        for i in start..end {
+                            let p = lpart[i];
+                            if p == NO_PARTITION {
+                                continue;
+                            }
+                            let matches = match &tables[p as usize] {
+                                PartitionTable::Single(t) => t.get(&lkeys[0][i]),
+                                PartitionTable::Multi(t) => {
+                                    key.clear();
+                                    key.extend(lkeys.iter().map(|col| col[i]));
+                                    t.get(&key)
+                                }
+                            };
+                            if let Some(matches) = matches {
+                                for &j in matches {
+                                    pairs.push((i as u32, j));
+                                }
+                                let total = emitted
+                                    .fetch_add(matches.len() as u64, Ordering::Relaxed)
+                                    + matches.len() as u64;
+                                check_probe_cap(total, cap)?;
+                            }
+                        }
+                        Ok((pairs, local))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(join_worker)
+                .collect::<Result<Vec<_>>>()
+        })?;
+
+        metrics.parallel_ops += 1;
+        metrics.parallel_workers += threads as u64; // build workers
+        let mut pairs: Vec<(u32, u32)> =
+            Vec::with_capacity(chunks.iter().map(|(c, _)| c.len()).sum());
+        for (part, local) in &chunks {
+            // Chunk order = ascending left row = serial emission order.
+            // The worker counters are all sums, so this fold is
+            // associative and order-blind.
+            metrics.merge_worker(local);
+            pairs.extend_from_slice(part);
+        }
+        Ok(pairs)
+    }
+
+    /// Partition-parallel sequential scan: contiguous row chunks, one
+    /// worker each, outputs concatenated in chunk order — identical to the
+    /// serial scan's ascending row order.
+    fn parallel_seq_scan(
+        &self,
+        n: u32,
+        compiled: &[CompiledPred<'_>],
+        threads: usize,
+        metrics: &mut ExecMetrics,
+    ) -> Result<Vec<u32>> {
+        let chunk = (n as usize).div_ceil(threads).max(1);
+        let results: Vec<(Vec<u32>, ExecMetrics)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n as usize)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n as usize);
+                    s.spawn(move || {
+                        let local = ExecMetrics {
+                            rows_scanned: (end - start) as u64,
+                            parallel_workers: 1,
+                            ..Default::default()
+                        };
+                        let mut out = Vec::new();
+                        'rows: for row in start as u32..end as u32 {
+                            for p in compiled {
+                                if !p.matches(row) {
+                                    continue 'rows;
+                                }
+                            }
+                            out.push(row);
+                        }
+                        (out, local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| Error::internal("parallel scan worker panicked"))
+                })
+                .collect::<Result<Vec<_>>>()
+        })?;
+        metrics.parallel_ops += 1;
+        let mut rows = Vec::new();
+        for (part, local) in &results {
+            metrics.merge_worker(local);
+            rows.extend_from_slice(part);
+        }
+        Ok(rows)
     }
 
     fn exec_merge_join(
@@ -461,6 +767,7 @@ impl<'a> Executor<'a> {
         if keys.is_empty() {
             return self.exec_nested_loop(query, left, right, keys);
         }
+        let cap = self.opts.max_intermediate_rows;
         let (lcols, rcols) = Self::split_keys(keys, left);
         let lkeys = self.gather_keys(query, left, &lcols)?;
         let rkeys = self.gather_keys(query, right, &rcols)?;
@@ -498,9 +805,13 @@ impl<'a> Executor<'a> {
                         .last()
                         .unwrap()
                         + 1;
+                    // An equal-run cross product can blow up on its own
+                    // (every key identical ⇒ |L|×|R| pairs): enforce the
+                    // cap per emission, not after the run completes.
                     for &li in &lidx[i..i_end] {
                         for &rj in &ridx[j..j_end] {
                             pairs.push((li, rj));
+                            check_probe_cap(pairs.len() as u64, cap)?;
                         }
                     }
                     i = i_end;
@@ -518,6 +829,7 @@ impl<'a> Executor<'a> {
         right: &RowSet,
         keys: &[(ColRef, ColRef)],
     ) -> Result<RowSet> {
+        let cap = self.opts.max_intermediate_rows;
         let (lcols, rcols) = Self::split_keys(keys, left);
         let lkeys = self.gather_keys(query, left, &lcols)?;
         let rkeys = self.gather_keys(query, right, &rcols)?;
@@ -530,7 +842,11 @@ impl<'a> Executor<'a> {
                         continue 'inner;
                     }
                 }
+                // A keyless (or all-equal) nested loop is the textbook
+                // cross product: cap every emission, or the cap arrives
+                // only after the blow-up it exists to prevent.
                 pairs.push((i as u32, j as u32));
+                check_probe_cap(pairs.len() as u64, cap)?;
             }
         }
         RowSet::combine(left, right, &pairs)
@@ -588,6 +904,7 @@ impl<'a> Executor<'a> {
             .map(|c| table.column(c.col).map(|col| col.data()))
             .collect::<Result<_>>()?;
 
+        let cap = self.opts.max_intermediate_rows;
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         let mut inner_rows: Vec<u32> = Vec::new();
         #[allow(clippy::needless_range_loop)]
@@ -614,11 +931,68 @@ impl<'a> Executor<'a> {
                 }
                 pairs.push((i as u32, inner_rows.len() as u32));
                 inner_rows.push(row);
+                // Per-emission, not per-outer-row: unlike the other joins
+                // the inner side here is a raw base table, so one outer
+                // row's index bucket is unbounded by any prior cap check.
+                check_probe_cap(pairs.len() as u64, cap)?;
             }
         }
         let inner_set = RowSet::single(*inner_rel, inner_rows);
         RowSet::combine(outer, &inner_set, &pairs)
     }
+}
+
+/// Incremental intermediate-row cap check, shared by every join's probe
+/// loop (serial and parallel). The message deliberately carries no running
+/// count: the exact abort point depends on worker interleaving, and the
+/// error must be identical at every thread count.
+#[inline]
+fn check_probe_cap(emitted: u64, cap: u64) -> Result<()> {
+    if emitted > cap {
+        return Err(Error::invalid(format!(
+            "join output exceeds intermediate row cap {cap}; aborted during probe"
+        )));
+    }
+    Ok(())
+}
+
+/// One partition's build-side hash table, specialized for the hot
+/// single-i64-key case.
+enum PartitionTable {
+    Single(FxHashMap<i64, Vec<u32>>),
+    Multi(FxHashMap<Vec<i64>, Vec<u32>>),
+}
+
+/// Row sentinel for "this row has a NULL key and joins nothing": outside
+/// the valid partition range, so no worker ever visits it.
+const NO_PARTITION: u32 = u32::MAX;
+
+/// Deterministic partition id per row: FxHash of the full key vector,
+/// reduced mod `parts`. NULL-keyed rows get [`NO_PARTITION`].
+fn partition_assignment(keys: &[Vec<i64>], parts: u64) -> Vec<u32> {
+    let n = keys.first().map_or(0, Vec::len);
+    let mut out = Vec::with_capacity(n);
+    'rows: for row in 0..n {
+        let mut h = FxHasher::default();
+        for col in keys {
+            let v = col[row];
+            if v == NULL_SENTINEL {
+                out.push(NO_PARTITION);
+                continue 'rows;
+            }
+            std::hash::Hasher::write_i64(&mut h, v);
+        }
+        out.push((std::hash::Hasher::finish(&h) % parts) as u32);
+    }
+    out
+}
+
+/// Join a scoped worker, converting a worker panic into a structured
+/// error: in a serving context a panicked executor thread must fail the
+/// query, not take down the process (or burn a single-flight's followers).
+fn join_worker<T>(h: std::thread::ScopedJoinHandle<'_, Result<T>>) -> Result<T> {
+    h.join()
+        .map_err(|_| Error::internal("parallel executor worker panicked"))?
 }
 
 /// Mutable per-execution state threaded through the operator recursion.
@@ -945,6 +1319,7 @@ mod tests {
             &db,
             ExecOpts {
                 max_intermediate_rows: 5,
+                ..Default::default()
             },
         );
         assert!(exec.run(&q, &p).is_err());
@@ -1083,6 +1458,181 @@ mod tests {
             );
             assert_eq!(execute_plan(&db, &q, &p).unwrap().join_rows, 0, "{algo:?}");
         }
+    }
+
+    /// Two tables large enough to cross `PARALLEL_MIN_ROWS`, with keys
+    /// arranged so the join has skewed match counts (value v appears v%7+1
+    /// times on the right).
+    fn big_pair_db(n: i64) -> Database {
+        let mut db = Database::new();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("k", LogicalType::Int),
+                ColumnDef::new("v", LogicalType::Int),
+            ])?;
+            let keys: Vec<i64> = (0..n)
+                .map(|i| if i % 97 == 0 { NULL_SENTINEL } else { i % 512 })
+                .collect();
+            Table::new(
+                id,
+                "bl",
+                schema,
+                vec![
+                    Column::from_i64(LogicalType::Int, keys),
+                    Column::from_i64(LogicalType::Int, (0..n).collect()),
+                ],
+            )
+        })
+        .unwrap();
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("k", LogicalType::Int),
+                ColumnDef::new("w", LogicalType::Int),
+            ])?;
+            let mut keys = Vec::new();
+            for v in 0..512i64 {
+                for _ in 0..(v % 7 + 1) {
+                    keys.push(v);
+                }
+            }
+            while (keys.len() as i64) < n {
+                keys.push(NULL_SENTINEL);
+            }
+            let len = keys.len() as i64;
+            Table::new(
+                id,
+                "br",
+                schema,
+                vec![
+                    Column::from_i64(LogicalType::Int, keys),
+                    Column::from_i64(LogicalType::Int, (0..len).collect()),
+                ],
+            )
+        })
+        .unwrap();
+        db
+    }
+
+    fn big_pair_query(db: &Database) -> Query {
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("bl").unwrap());
+        let b = qb.add_relation(db.table_id("br").unwrap());
+        qb.add_predicate(Predicate::gt(a, ColId::new(1), 5i64));
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
+        qb.build()
+    }
+
+    fn assert_rowsets_identical(a: &RowSet, b: &RowSet) {
+        assert_eq!(a.rels(), b.rels());
+        assert_eq!(a.len(), b.len());
+        for &rel in a.rels() {
+            assert_eq!(a.rowids(rel).unwrap(), b.rowids(rel).unwrap(), "{rel}");
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical_to_serial() {
+        let db = big_pair_db(6000);
+        let q = big_pair_query(&db);
+        let p = join(
+            JoinAlgo::Hash,
+            scan(0, 0, AccessPath::SeqScan),
+            scan(1, 1, AccessPath::SeqScan),
+            keyrefs(),
+        );
+        let serial = Executor::with_opts(&db, ExecOpts::serial());
+        let (base_rows, base_metrics) = serial.run_rowset(&q, &p).unwrap();
+        let base_trace = serial.run_traced(&q, &p).unwrap().node_cards;
+        assert!(!base_rows.is_empty(), "fixture join must be non-empty");
+        for threads in [2, 4, 8] {
+            let par = Executor::with_opts(&db, ExecOpts::with_threads(threads));
+            let (rows, metrics) = par.run_rowset(&q, &p).unwrap();
+            assert_rowsets_identical(&base_rows, &rows);
+            let traced = par.run_traced(&q, &p).unwrap();
+            assert_eq!(base_trace, traced.node_cards, "threads={threads}");
+            // The comparable counters match serial exactly; only the
+            // parallel bookkeeping differs.
+            assert_eq!(metrics.rows_scanned, base_metrics.rows_scanned);
+            assert_eq!(metrics.rows_produced, base_metrics.rows_produced);
+            assert_eq!(
+                metrics.peak_intermediate_rows,
+                base_metrics.peak_intermediate_rows
+            );
+            assert!(metrics.parallel_ops > 0, "parallel path not taken");
+            assert!(metrics.parallel_workers > 0);
+        }
+        assert_eq!(base_metrics.parallel_ops, 0, "threads=1 must stay serial");
+    }
+
+    #[test]
+    fn incremental_cap_aborts_cross_product_joins_early() {
+        // Every key identical on both sides: a 3000×3000 cross product
+        // (9M pairs). With a 10k cap the probe loop must abort without
+        // materializing the output — at no point may the pair buffer grow
+        // past cap + one bucket (serial) / cap + threads·bucket (parallel).
+        // 3000 + 3000 input rows crosses PARALLEL_MIN_ROWS, so the
+        // threads=4 leg exercises the partitioned join's shared atomic
+        // emission counter, not the serial per-push check.
+        let n = 3000usize;
+        let mut db = Database::new();
+        for name in ["xl", "xr"] {
+            db.add_table_with(|id| {
+                let schema = TableSchema::new(vec![ColumnDef::new("k", LogicalType::Int)])?;
+                let mut t = Table::new(
+                    id,
+                    name,
+                    schema,
+                    vec![Column::from_i64(LogicalType::Int, vec![7i64; n])],
+                )?;
+                t.create_index(ColId::new(0))?;
+                Ok(t)
+            })
+            .unwrap();
+        }
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(db.table_id("xl").unwrap());
+        let b = qb.add_relation(db.table_id("xr").unwrap());
+        qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
+        let q = qb.build();
+        // IndexNested included: its inner is a raw indexed base table, so
+        // the key-7 bucket alone (3000 rows per outer row) must trip the
+        // per-emission check, not a post-materialization one.
+        for algo in [
+            JoinAlgo::Hash,
+            JoinAlgo::Merge,
+            JoinAlgo::NestedLoop,
+            JoinAlgo::IndexNested,
+        ] {
+            let p = join(
+                algo,
+                scan(0, 0, AccessPath::SeqScan),
+                scan(1, 1, AccessPath::SeqScan),
+                keyrefs(),
+            );
+            for threads in [1, 4] {
+                let exec = Executor::with_opts(
+                    &db,
+                    ExecOpts {
+                        max_intermediate_rows: 10_000,
+                        threads,
+                    },
+                );
+                let err = exec.run(&q, &p).unwrap_err();
+                assert!(
+                    err.to_string().contains("cap"),
+                    "{algo:?}/threads={threads}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probe_cap_error_is_identical_at_every_thread_count() {
+        // Determinism extends to the failure path: the cap error carries
+        // no interleaving-dependent counters.
+        let a = check_probe_cap(11, 10).unwrap_err();
+        let b = check_probe_cap(4_000_000, 10).unwrap_err();
+        assert_eq!(a, b);
     }
 
     #[test]

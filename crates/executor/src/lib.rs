@@ -14,6 +14,9 @@
 //!
 //! Operators: sequential scan, index scan, hash join, sort-merge join,
 //! naive nested loops, index nested loops, and a hash-aggregation epilogue.
+//! Sequential scans and hash joins execute partition-parallel under
+//! [`exec::ExecOpts::threads`], with results bit-identical to serial
+//! execution (see the [`exec`] module docs for the determinism argument).
 
 pub mod agg;
 pub mod exec;
@@ -23,7 +26,8 @@ pub mod rowset;
 
 pub use agg::AggOutput;
 pub use exec::{
-    execute_plan, execute_query, ExecOpts, Executor, QueryOutput, SubtreeCache, TracedRun,
+    default_threads, execute_plan, execute_query, ExecOpts, Executor, QueryOutput, SubtreeCache,
+    TracedRun,
 };
 pub use explain::explain_analyze;
 pub use metrics::ExecMetrics;

@@ -14,6 +14,10 @@ pub struct ExecMetrics {
     pub peak_intermediate_rows: u64,
     /// Index probes performed.
     pub index_probes: u64,
+    /// Operators executed partition-parallel (0 on a serial run).
+    pub parallel_ops: u64,
+    /// Worker tasks spawned by partition-parallel operators.
+    pub parallel_workers: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -33,7 +37,21 @@ impl ExecMetrics {
             .peak_intermediate_rows
             .max(other.peak_intermediate_rows);
         self.index_probes += other.index_probes;
+        self.parallel_ops += other.parallel_ops;
+        self.parallel_workers += other.parallel_workers;
         self.elapsed += other.elapsed;
+    }
+
+    /// Fold one parallel worker's counters into an operator's metrics.
+    /// Every merged field is a sum, so the fold is associative and
+    /// commutative — worker completion order cannot change the totals
+    /// (output rows are counted once at the operator via
+    /// [`ExecMetrics::record_output`], never by workers, and worker wall
+    /// clocks overlap, so neither is merged here).
+    pub fn merge_worker(&mut self, worker: &ExecMetrics) {
+        self.rows_scanned += worker.rows_scanned;
+        self.index_probes += worker.index_probes;
+        self.parallel_workers += worker.parallel_workers;
     }
 }
 

@@ -281,7 +281,19 @@ fn cost_subtree(
                         JoinAlgo::Hash => model.hash_join(lrows, rrows, out_rows),
                         JoinAlgo::Merge => model.merge_join(lrows, rrows, out_rows),
                         JoinAlgo::NestedLoop => model.nested_loop(lrows, rrows, out_rows),
-                        JoinAlgo::IndexNested => unreachable!(),
+                        JoinAlgo::IndexNested => {
+                            // Handled by the dedicated arm above when the
+                            // plan is well-formed; a malformed or
+                            // future-transformed plan must surface as a
+                            // costing error, not panic whoever asked for a
+                            // cost (in a service that is the single-flight
+                            // leader, taking every coalesced waiter down
+                            // with it).
+                            return Err(reopt_common::Error::internal(
+                                "index-nested-loop join reached the generic cost path; \
+                                 the physical plan is malformed",
+                            ));
+                        }
                     };
                     Ok((out_rows, lcost + rcost + join_cost))
                 }

@@ -32,6 +32,13 @@ pub struct ValidationOpts {
     /// Row cap for the dry run (samples are small; a blow-up here signals
     /// a catastrophic plan over the samples too).
     pub max_intermediate_rows: u64,
+    /// Executor worker threads for the dry run (`0` = the machine's
+    /// available parallelism, `1` = serial; see
+    /// [`reopt_executor::ExecOpts::threads`]). Parallel dry runs are
+    /// bit-identical to serial ones, so Δ is invariant under this knob —
+    /// it only buys wall-clock, i.e. more re-optimization rounds per
+    /// second.
+    pub threads: usize,
 }
 
 impl Default for ValidationOpts {
@@ -40,6 +47,7 @@ impl Default for ValidationOpts {
             validate_leaves: false,
             min_rows: 1.0,
             max_intermediate_rows: 50_000_000,
+            threads: 0,
         }
     }
 }
@@ -73,6 +81,7 @@ pub fn validate_plan(
         samples.database(),
         ExecOpts {
             max_intermediate_rows: opts.max_intermediate_rows,
+            threads: opts.threads,
         },
     );
     let traced = exec.run_traced(query, plan)?;
@@ -102,6 +111,7 @@ pub fn validate_plan_cached<C: ValidationCache>(
         samples.database(),
         ExecOpts {
             max_intermediate_rows: opts.max_intermediate_rows,
+            threads: opts.threads,
         },
     );
     let (hits_before, executed_before) = cache.counters();

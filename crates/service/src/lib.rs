@@ -29,5 +29,5 @@ pub mod service;
 
 pub use cache::{CachedPlan, PlanCache};
 pub use service::{
-    PlanSource, QueryService, ServiceConfig, ServiceResponse, ServiceStats, Session,
+    ExecutedQuery, PlanSource, QueryService, ServiceConfig, ServiceResponse, ServiceStats, Session,
 };

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use crate::cache::{Admission, CachedPlan, PlanCache};
 use reopt_common::Result;
 use reopt_core::{ReOptConfig, ReoptEngine};
+use reopt_executor::{ExecOpts, Executor, QueryOutput};
 use reopt_optimizer::OptimizerConfig;
 use reopt_plan::{template_fingerprint, PhysicalPlan, Query};
 use reopt_sampling::{SampleCacheStats, SampleConfig, SharedSampleRunCache};
@@ -22,10 +23,15 @@ pub struct ServiceConfig {
     /// one [`SharedSampleRunCache`] (on by default). Off means every cold
     /// miss validates with a run-private cache.
     pub share_sample_runs: bool,
-    /// Re-optimization knobs applied to every cold miss.
+    /// Re-optimization knobs applied to every cold miss (the dry-run
+    /// executor's thread knob lives at `reopt.validation.threads`).
     pub reopt: ReOptConfig,
     /// Optimizer configuration.
     pub optimizer: OptimizerConfig,
+    /// Executor options for [`QueryService::execute`]: served queries run
+    /// partition-parallel per [`ExecOpts::threads`] (default: available
+    /// parallelism), with results bit-identical to serial execution.
+    pub exec: ExecOpts,
 }
 
 impl Default for ServiceConfig {
@@ -35,6 +41,7 @@ impl Default for ServiceConfig {
             share_sample_runs: true,
             reopt: ReOptConfig::default(),
             optimizer: OptimizerConfig::postgres_like(),
+            exec: ExecOpts::default(),
         }
     }
 }
@@ -114,6 +121,7 @@ pub struct QueryService {
     plans: Arc<PlanCache>,
     sample_cache: SharedSampleRunCache,
     share_sample_runs: bool,
+    exec_opts: ExecOpts,
     stats_version: AtomicU64,
     next_session: AtomicU64,
     submitted: AtomicU64,
@@ -132,6 +140,13 @@ impl QueryService {
             plans: Arc::new(PlanCache::new(config.plan_cache_capacity)),
             sample_cache: SharedSampleRunCache::new(),
             share_sample_runs: config.share_sample_runs,
+            // Pin the auto thread knob to a concrete count now, so the
+            // env-var/parallelism probe inside `effective_threads` runs
+            // once per service, not once per served query.
+            exec_opts: ExecOpts {
+                threads: config.exec.effective_threads(),
+                ..config.exec.clone()
+            },
             stats_version: AtomicU64::new(0),
             next_session: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
@@ -223,6 +238,18 @@ impl QueryService {
         }
     }
 
+    /// Submit one query *and run its plan to completion* against the full
+    /// database with the service's executor options — plan admission is
+    /// identical to [`QueryService::submit`], and the execution exploits
+    /// [`ExecOpts::threads`] (partition-parallel scans and hash joins,
+    /// bit-identical results at any thread count).
+    pub fn execute(&self, query: &Query) -> Result<ExecutedQuery> {
+        let response = self.submit(query)?;
+        let exec = Executor::with_opts(self.engine.db(), self.exec_opts.clone());
+        let output = exec.run(query, &response.plan)?;
+        Ok(ExecutedQuery { response, output })
+    }
+
     /// Declare the statistics (and/or samples) refreshed: every plan
     /// computed under an older version is lazily evicted and re-optimized
     /// on its next touch. Also clears the shared sample cache — its row
@@ -272,6 +299,17 @@ impl QueryService {
     }
 }
 
+/// The result of [`QueryService::execute`]: how the plan was obtained plus
+/// what running it produced.
+#[derive(Debug, Clone)]
+pub struct ExecutedQuery {
+    /// Plan admission outcome (source, template, latency, ...).
+    pub response: ServiceResponse,
+    /// Full-database execution result (join cardinality, aggregates,
+    /// metrics — including the parallel-worker counters).
+    pub output: QueryOutput,
+}
+
 fn respond(cached: CachedPlan, source: PlanSource, template: u64, t0: Instant) -> ServiceResponse {
     ServiceResponse {
         plan: cached.plan,
@@ -315,5 +353,11 @@ impl Session {
     pub fn submit(&mut self, query: &Query) -> Result<ServiceResponse> {
         self.submitted += 1;
         self.service.submit(query)
+    }
+
+    /// Submit and execute one query through this session.
+    pub fn execute(&mut self, query: &Query) -> Result<ExecutedQuery> {
+        self.submitted += 1;
+        self.service.execute(query)
     }
 }

@@ -290,6 +290,40 @@ fn invalid_queries_error_and_are_never_cached() {
 }
 
 #[test]
+fn served_queries_execute_identically_at_every_thread_count() {
+    use reopt_executor::ExecOpts;
+    // One service per thread setting (the exec knob is service-wide);
+    // the plan, join cardinality, and aggregate-free output must agree.
+    let mk = |threads: usize| {
+        service_with(
+            &small_ott(),
+            ServiceConfig {
+                exec: ExecOpts::with_threads(threads),
+                ..Default::default()
+            },
+        )
+    };
+    let serial_svc = mk(1);
+    let q = ott_query(serial_svc.engine().db(), &[0, 0, 0, 0]).unwrap();
+    let serial = serial_svc.execute(&q).unwrap();
+    assert_eq!(serial.response.source, PlanSource::ColdMiss);
+    // A second execute is a warm hit that still runs the plan.
+    let warm = serial_svc.execute(&q).unwrap();
+    assert_eq!(warm.response.source, PlanSource::WarmHit);
+    assert_eq!(warm.output.join_rows, serial.output.join_rows);
+    for threads in [2, 8] {
+        let svc = mk(threads);
+        let q = ott_query(svc.engine().db(), &[0, 0, 0, 0]).unwrap();
+        let out = svc.execute(&q).unwrap();
+        assert_eq!(out.output.join_rows, serial.output.join_rows, "{threads}");
+        assert!(out
+            .response
+            .plan
+            .same_structure(&serial.response.plan.clone()));
+    }
+}
+
+#[test]
 fn sessions_are_independent_handles() {
     let service = service_with(&small_ott(), ServiceConfig::default());
     let q = ott_query(service.engine().db(), &[0, 0]).unwrap();

@@ -1,0 +1,233 @@
+//! The parallel-executor contract: partition-parallel execution at any
+//! thread count is **bit-identical** to serial execution — same `RowSet`
+//! contents, same `node_cards` traces, same validated Δ, same
+//! re-optimization trajectory and chosen plan — on the OTT and TPC-H
+//! workloads, including the `SubtreeCache` replay path. Parallelism may
+//! only buy wall-clock, never change an answer.
+
+use reopt::common::rng::derive_rng_indexed;
+use reopt::core::{ReOptConfig, ReOptimizer, ReoptReport};
+use reopt::executor::{ExecOpts, Executor, RowSet};
+use reopt::optimizer::Optimizer;
+use reopt::sampling::{
+    validate_plan, validate_plan_cached, SampleConfig, SampleRunCache, SampleStore, ValidationOpts,
+};
+use reopt::stats::{analyze_database, AnalyzeOpts, DatabaseStats};
+use reopt::storage::Database;
+use reopt::workloads::ott::{build_ott_database, ott_query, recommended_sample_ratio, OttConfig};
+use reopt::workloads::tpch::{build_tpch_database, instantiate, TpchConfig};
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+struct Bound {
+    db: Database,
+    stats: DatabaseStats,
+    samples: SampleStore,
+}
+
+fn ott_bound() -> Bound {
+    let config = OttConfig {
+        rows_per_value: 20,
+        ..Default::default()
+    };
+    let db = build_ott_database(&config).unwrap();
+    let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+    let samples = SampleStore::build(
+        &db,
+        SampleConfig {
+            ratio: recommended_sample_ratio(&config),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    Bound { db, stats, samples }
+}
+
+fn tpch_bound() -> Bound {
+    let db = build_tpch_database(&TpchConfig {
+        scale: 0.005,
+        ..Default::default()
+    })
+    .unwrap();
+    let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+    let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+    Bound { db, stats, samples }
+}
+
+fn assert_rowsets_identical(a: &RowSet, b: &RowSet, label: &str) {
+    assert_eq!(a.rels(), b.rels(), "{label}: relation columns");
+    assert_eq!(a.len(), b.len(), "{label}: cardinality");
+    for &rel in a.rels() {
+        assert_eq!(
+            a.rowids(rel).unwrap(),
+            b.rowids(rel).unwrap(),
+            "{label}: rowids of {rel}"
+        );
+    }
+}
+
+/// Everything replay-relevant in a report, timings stripped.
+fn replay_digest(report: &ReoptReport) -> (Vec<u64>, u64, bool, Vec<(u64, u64)>) {
+    let rounds = report.rounds.iter().map(|r| r.plan.fingerprint()).collect();
+    let mut gamma: Vec<(u64, u64)> = report
+        .gamma
+        .iter()
+        .map(|(set, rows)| (set.mask(), rows.to_bits()))
+        .collect();
+    gamma.sort_unstable();
+    (
+        rounds,
+        report.final_plan.fingerprint(),
+        report.converged,
+        gamma,
+    )
+}
+
+/// Sorted bit-exact view of a validated Δ.
+fn delta_bits(v: &reopt::sampling::Validation) -> Vec<(u64, u64)> {
+    let mut out: Vec<(u64, u64)> = v
+        .delta
+        .iter()
+        .map(|(set, rows)| (set.mask(), rows.to_bits()))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Full runs, traced runs, and cached (SubtreeCache) dry-runs over one
+/// (query, plan) pair must be bit-identical at every thread count.
+fn check_execution_invariance(bound: &Bound, query: &reopt::plan::Query, label: &str) {
+    // A deterministic, repaired plan to execute: the serial loop's answer.
+    let opt = Optimizer::new(&bound.db, &bound.stats);
+    let re = ReOptimizer::with_config(&opt, &bound.samples, ReOptConfig::with_threads(1));
+    let plan = re.run(query).unwrap().final_plan;
+
+    let serial = Executor::with_opts(&bound.db, ExecOpts::serial());
+    let (base_rows, base_metrics) = serial.run_rowset(query, &plan).unwrap();
+    let base_trace = serial.run_traced(query, &plan).unwrap().node_cards;
+
+    // The SubtreeCache replay path on the *samples* (its production home):
+    // run once cold, once fully cached, per thread count.
+    let sample_exec = |threads: usize| {
+        let exec = Executor::with_opts(bound.samples.database(), ExecOpts::with_threads(threads));
+        let mut cache = SampleRunCache::new();
+        let cold = exec.run_traced_cached(query, &plan, &mut cache).unwrap();
+        let warm = exec.run_traced_cached(query, &plan, &mut cache).unwrap();
+        assert_eq!(
+            cold.node_cards, warm.node_cards,
+            "{label}: cached replay trace diverged at threads={threads}"
+        );
+        assert!(cache.hits() > 0, "{label}: second dry-run never hit");
+        (cold.rows, cold.node_cards)
+    };
+    let (base_sample_rows, base_sample_trace) = sample_exec(1);
+
+    for threads in THREAD_COUNTS {
+        let exec = Executor::with_opts(&bound.db, ExecOpts::with_threads(threads));
+        let (rows, metrics) = exec.run_rowset(query, &plan).unwrap();
+        assert_rowsets_identical(&base_rows, &rows, &format!("{label} threads={threads}"));
+        let traced = exec.run_traced(query, &plan).unwrap();
+        assert_eq!(
+            base_trace, traced.node_cards,
+            "{label}: trace diverged at threads={threads}"
+        );
+        assert_eq!(metrics.rows_scanned, base_metrics.rows_scanned, "{label}");
+        assert_eq!(metrics.rows_produced, base_metrics.rows_produced, "{label}");
+
+        let (sample_rows, sample_trace) = sample_exec(threads);
+        assert_rowsets_identical(
+            &base_sample_rows,
+            &sample_rows,
+            &format!("{label} sample threads={threads}"),
+        );
+        assert_eq!(base_sample_trace, sample_trace, "{label}: sample trace");
+    }
+}
+
+/// Validated Δ and the whole re-optimization trajectory must be
+/// bit-identical at every thread count.
+fn check_reopt_invariance(bound: &Bound, query: &reopt::plan::Query, label: &str) {
+    let opt = Optimizer::new(&bound.db, &bound.stats);
+    let serial_re = ReOptimizer::with_config(&opt, &bound.samples, ReOptConfig::with_threads(1));
+    let base_report = serial_re.run(query).unwrap();
+    let base_digest = replay_digest(&base_report);
+    let serial_opts = ValidationOpts {
+        threads: 1,
+        ..Default::default()
+    };
+    let base_delta = delta_bits(
+        &validate_plan(query, &base_report.final_plan, &bound.samples, &serial_opts).unwrap(),
+    );
+
+    for threads in THREAD_COUNTS {
+        let opts = ValidationOpts {
+            threads,
+            ..Default::default()
+        };
+        // From-scratch validation.
+        let v = validate_plan(query, &base_report.final_plan, &bound.samples, &opts).unwrap();
+        assert_eq!(
+            base_delta,
+            delta_bits(&v),
+            "{label}: Δ at threads={threads}"
+        );
+        // Cached validation (the incremental loop's path).
+        let mut cache = SampleRunCache::new();
+        let vc = validate_plan_cached(
+            query,
+            &base_report.final_plan,
+            &bound.samples,
+            &opts,
+            &mut cache,
+        )
+        .unwrap();
+        assert_eq!(base_delta, delta_bits(&vc), "{label}: cached Δ");
+
+        // The whole loop: same rounds, same plans, same Γ, same winner.
+        let re = ReOptimizer::with_config(&opt, &bound.samples, ReOptConfig::with_threads(threads));
+        let report = re.run(query).unwrap();
+        assert_eq!(
+            base_digest,
+            replay_digest(&report),
+            "{label}: trajectory diverged at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn ott_execution_is_thread_count_invariant() {
+    let bound = ott_bound();
+    // Non-empty 4-chain (the M^4 blow-up exercises real join volume) and
+    // the empty-edge repair fixture.
+    for consts in [vec![0i64, 0, 0, 0], vec![0, 0, 0, 1]] {
+        let q = ott_query(&bound.db, &consts).unwrap();
+        check_execution_invariance(&bound, &q, &format!("ott{consts:?}"));
+    }
+}
+
+#[test]
+fn ott_reoptimization_is_thread_count_invariant() {
+    let bound = ott_bound();
+    for consts in [vec![0i64, 0, 0, 0], vec![0, 0, 0, 1], vec![0, 1, 0, 1, 0]] {
+        let q = ott_query(&bound.db, &consts).unwrap();
+        check_reopt_invariance(&bound, &q, &format!("ott{consts:?}"));
+    }
+}
+
+#[test]
+fn tpch_execution_is_thread_count_invariant() {
+    let bound = tpch_bound();
+    let mut rng = derive_rng_indexed(7, "parallel-determinism", 0);
+    let q = instantiate(&bound.db, "q8", &mut rng).unwrap();
+    check_execution_invariance(&bound, &q, "tpch/q8");
+}
+
+#[test]
+fn tpch_reoptimization_is_thread_count_invariant() {
+    let bound = tpch_bound();
+    let mut rng = derive_rng_indexed(7, "parallel-determinism", 1);
+    for name in ["q5", "q9"] {
+        let q = instantiate(&bound.db, name, &mut rng).unwrap();
+        check_reopt_invariance(&bound, &q, &format!("tpch/{name}"));
+    }
+}
