@@ -130,6 +130,14 @@ impl ReoptEngine {
         self
     }
 
+    /// Toggle mid-query re-optimization (see
+    /// [`ReOptConfig::mid_query`](crate::ReOptConfig)) and return the
+    /// engine.
+    pub fn with_mid_query(mut self, on: bool) -> Self {
+        self.reopt_config.mid_query = on;
+        self
+    }
+
     /// The optimizer configuration.
     pub fn optimizer_config(&self) -> &OptimizerConfig {
         &self.optimizer_config
@@ -150,6 +158,34 @@ impl ReoptEngine {
         sample_cache: &SharedSampleRunCache,
     ) -> Result<ReoptReport> {
         self.with_reoptimizer(|re| re.run_shared(query, sample_cache))
+    }
+
+    /// Execute an already-chosen plan with the mid-query suspend → refine
+    /// → replan → resume loop (see [`crate::midquery`]) — the serving
+    /// layer's execute path for cached plans. Γ starts empty: replans draw
+    /// on native statistics plus the exact cardinalities observed so far
+    /// (the admitted plan itself already encodes the sampling loop's
+    /// repairs). Result-equivalent to running `plan` straight through.
+    pub fn execute_plan_mid_query(
+        &self,
+        query: &Query,
+        plan: &reopt_plan::PhysicalPlan,
+        exec_opts: reopt_executor::ExecOpts,
+    ) -> Result<crate::midquery::MidQueryRun> {
+        let optimizer =
+            Optimizer::with_config(&self.db, &self.stats, self.optimizer_config.clone());
+        crate::midquery::execute_mid_query(
+            &self.db,
+            &optimizer,
+            query,
+            plan,
+            crate::midquery::MidQueryOpts {
+                exec: exec_opts,
+                max_suspensions: self.reopt_config.max_suspensions,
+                replan_discrepancy: self.reopt_config.replan_discrepancy,
+                ..crate::midquery::MidQueryOpts::new()
+            },
+        )
     }
 
     /// Materialize the borrowing optimizer + re-optimizer and hand them to

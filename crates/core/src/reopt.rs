@@ -62,6 +62,31 @@ pub struct ReOptConfig {
     /// false`, kept for A/B comparison and the `bench_incremental`
     /// harness).
     pub incremental: bool,
+    /// Mid-query re-optimization (off by default): execution suspends at
+    /// every materialization point (non-root join), folds the exact
+    /// observed cardinalities into Γ, re-plans the remainder with the
+    /// completed subtrees pinned as zero-cost leaves, and resumes —
+    /// completed work is never re-executed (see [`crate::midquery`]).
+    /// Result-equivalent to straight-through execution: only the plan that
+    /// *finishes* the query can change, never the answer. Honored by
+    /// [`ReOptimizer::execute`]/[`ReOptimizer::execute_with_opts`] and the
+    /// serving layer's execute path.
+    pub mid_query: bool,
+    /// Safety cap on mid-query suspensions per query (the loop terminates
+    /// on its own — every suspension checkpoints a new breaker — so this
+    /// only guards against pathological plans; once reached, the current
+    /// plan runs to completion unchanged).
+    pub max_suspensions: usize,
+    /// Mid-query replan gate: re-enter the optimizer only when a newly
+    /// observed join cardinality disagrees with the current belief by at
+    /// least this factor in either direction (or was never estimated at
+    /// all). Observations always land in Γ as exact entries either way —
+    /// the gate only skips DP invocations that could not change the plan
+    /// in any interesting way, which is what keeps the knob's overhead
+    /// negligible on well-estimated queries. `None` replans at every
+    /// suspension (the exhaustive mode the conformance suite also
+    /// exercises).
+    pub replan_discrepancy: Option<f64>,
 }
 
 impl Default for ReOptConfig {
@@ -73,6 +98,9 @@ impl Default for ReOptConfig {
             validation: ValidationOpts::default(),
             min_discrepancy_factor: None,
             incremental: true,
+            mid_query: false,
+            max_suspensions: 64,
+            replan_discrepancy: Some(2.0),
         }
     }
 }
@@ -175,6 +203,18 @@ impl<C: ValidationCache> IncrementalCaches<C> {
     }
 }
 
+/// The result of [`ReOptimizer::execute`]: the sampling loop's trace plus
+/// the (possibly mid-query re-optimized) execution.
+#[derive(Debug, Clone)]
+pub struct ExecutedReopt {
+    /// Algorithm 1's round-by-round report; `report.final_plan` is the
+    /// plan execution *started* with.
+    pub report: ReoptReport,
+    /// The execution: rows, aggregates, metrics, and — when mid-query
+    /// re-optimization ran — its suspension/replan trace.
+    pub run: crate::midquery::MidQueryRun,
+}
+
 /// The re-optimizer: an optimizer plus a sample store.
 #[derive(Debug)]
 pub struct ReOptimizer<'a> {
@@ -240,6 +280,57 @@ impl<'a> ReOptimizer<'a> {
         let mut caches =
             IncrementalCaches::with_sample_cache(self.config.incremental, sample_cache.clone());
         self.run_with_caches(query, &mut caches)
+    }
+
+    /// Run Algorithm 1, then execute the chosen plan against the full
+    /// database — with the suspend → refine → replan → resume loop when
+    /// `config.mid_query` is on, straight through otherwise. Exec options
+    /// default to the validation thread knob (`0` = auto); use
+    /// [`ReOptimizer::execute_with_opts`] for explicit executor control.
+    pub fn execute(&self, query: &Query) -> Result<ExecutedReopt> {
+        self.execute_with_opts(
+            query,
+            reopt_executor::ExecOpts::with_threads(self.config.validation.threads),
+        )
+    }
+
+    /// [`ReOptimizer::execute`] with explicit executor options. The
+    /// mid-query loop seeds Γ with the sampling loop's final Γ (sets never
+    /// observed keep their validated estimates while observed sets are
+    /// upgraded to exact counts) and inherits the loop's DP memo, so the
+    /// first suspension's replan re-costs only what the new exact entries
+    /// touch instead of re-running the whole search.
+    pub fn execute_with_opts(
+        &self,
+        query: &Query,
+        exec_opts: reopt_executor::ExecOpts,
+    ) -> Result<ExecutedReopt> {
+        let mut caches = IncrementalCaches::new(self.config.incremental);
+        let report = self.run_with_caches(query, &mut caches)?;
+        let run = if self.config.mid_query {
+            crate::midquery::execute_mid_query(
+                self.optimizer.database(),
+                self.optimizer,
+                query,
+                &report.final_plan,
+                crate::midquery::MidQueryOpts {
+                    gamma: report.gamma.clone(),
+                    memo: caches.memo,
+                    exec: exec_opts,
+                    max_suspensions: self.config.max_suspensions,
+                    replan_discrepancy: self.config.replan_discrepancy,
+                },
+            )?
+        } else {
+            crate::midquery::execute_straight(
+                self.optimizer.database(),
+                query,
+                &report.final_plan,
+                report.gamma.clone(),
+                exec_opts,
+            )?
+        };
+        Ok(ExecutedReopt { report, run })
     }
 
     fn run_with_caches<C: ValidationCache>(

@@ -19,12 +19,14 @@
 //! execution (see the [`exec`] module docs for the determinism argument).
 
 pub mod agg;
+pub mod checkpoint;
 pub mod exec;
 pub mod explain;
 pub mod metrics;
 pub mod rowset;
 
 pub use agg::AggOutput;
+pub use checkpoint::{CheckpointStore, ExecStep};
 pub use exec::{
     default_threads, execute_plan, execute_query, ExecOpts, Executor, QueryOutput, SubtreeCache,
     TracedRun,

@@ -59,6 +59,42 @@ pub struct SearchStats {
     pub subsets_replanned: usize,
 }
 
+/// A completed subtree pinned into a mid-query re-plan: its result is
+/// already materialized (checkpointed), so the planner treats it as an
+/// atomic, **zero-cost leaf** — never decomposed, never re-executed, with
+/// its exact observed cardinality as the row count.
+#[derive(Debug, Clone)]
+pub struct PinnedLeaf {
+    /// Relations the completed subtree covers.
+    pub set: RelSet,
+    /// The plan that computed it — spliced verbatim into the re-planned
+    /// tree so the executor's checkpoint splice finds the identical
+    /// subtree shape.
+    pub plan: PhysicalPlan,
+    /// Exact observed output cardinality.
+    pub rows: f64,
+}
+
+impl PinnedLeaf {
+    /// True when `set` can appear in a plan alongside these pins: it must
+    /// contain each pin entirely or avoid it entirely. A set that
+    /// straddles a pin boundary would force re-executing part of a
+    /// checkpointed result.
+    fn respects(pinned: &[PinnedLeaf], set: RelSet) -> bool {
+        pinned
+            .iter()
+            .all(|p| p.set.is_subset_of(set) || p.set.is_disjoint(set))
+    }
+
+    fn is_pin(pinned: &[PinnedLeaf], set: RelSet) -> bool {
+        pinned.iter().any(|p| p.set == set)
+    }
+
+    fn covers_rel(pinned: &[PinnedLeaf], rel: RelId) -> bool {
+        pinned.iter().any(|p| p.set.contains(rel))
+    }
+}
+
 /// Plan `query` by dynamic programming.
 ///
 /// `est` supplies (Γ-overridden) cardinalities; `model` the cost formulas.
@@ -92,16 +128,69 @@ pub fn plan_dp_incremental(
     left_deep_only: bool,
     memo: &mut PlanMemo,
 ) -> Result<(PhysicalPlan, SearchStats)> {
+    plan_dp_pinned(db, query, est, model, ops, left_deep_only, memo, &[])
+}
+
+/// Plan `query` by dynamic programming with completed subtrees pinned as
+/// zero-cost leaves — the mid-query re-plan of a suspended execution.
+///
+/// Each [`PinnedLeaf`] is atomic: the search never decomposes it, never
+/// costs any set that straddles its boundary (partially overlaps it), and
+/// splices its already-executed plan in verbatim at cost 0 with its exact
+/// observed row count. Consequently the returned plan can never re-execute
+/// any part of a checkpointed relation set. Pins must be disjoint (they
+/// are maximal completed breakers) and the caller must invalidate memo
+/// supersets of every pin before calling — entries planned under smaller
+/// pins may decompose across the new boundary.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_dp_pinned(
+    db: &Database,
+    query: &Query,
+    est: &mut CardinalityEstimator<'_>,
+    model: &CostModel,
+    ops: &OperatorSet,
+    left_deep_only: bool,
+    memo: &mut PlanMemo,
+    pinned: &[PinnedLeaf],
+) -> Result<(PhysicalPlan, SearchStats)> {
     let n = query.num_relations();
     if n == 0 {
         return Err(Error::invalid("cannot plan an empty query"));
     }
+    let full = RelSet::first_n(n);
     let mut stats = SearchStats::default();
 
-    // Base relations: pick the best access path.
+    // Seed the pins: atomic leaves, already paid for. Unconditional
+    // overwrite — an entry left over from before this subtree completed
+    // carries a nonzero cost (and possibly a different shape).
+    for p in pinned {
+        if !p.set.is_subset_of(full) || p.set.is_empty() {
+            return Err(Error::invalid(format!(
+                "pinned leaf {} is not part of the query",
+                p.set
+            )));
+        }
+        memo.insert(
+            p.set,
+            MemoEntry {
+                plan: p.plan.clone(),
+                rows: p.rows,
+                cost: 0.0,
+            },
+        );
+        // No stats bump here: the enumeration below finds the entry via
+        // `memo.contains` and counts it reused exactly once.
+    }
+
+    // Base relations: pick the best access path. Relations inside a
+    // (multi-relation) pin are already materialized as part of it and must
+    // not be planned as standalone leaves.
     for i in 0..n {
         let rel = RelId::from(i);
         let set = RelSet::single(rel);
+        if PinnedLeaf::covers_rel(pinned, rel) && !PinnedLeaf::is_pin(pinned, set) {
+            continue;
+        }
         stats.subsets += 1;
         if memo.contains(set) {
             stats.subsets_reused += 1;
@@ -116,13 +205,18 @@ pub fn plan_dp_incremental(
         return Ok((e.plan.clone(), stats));
     }
 
-    let full = RelSet::first_n(n);
     // Increasing mask order: every proper submask precedes its superset,
     // so by the time a set is processed all of its connected subsets are
     // in the memo (reused or freshly planned).
     for mask in 1..=full.mask() {
         let set = RelSet::from_mask(mask);
         if set.len() < 2 || !set.is_subset_of(full) {
+            continue;
+        }
+        // Pin discipline: skip any set that straddles a pin boundary
+        // (this also skips every proper subset of a pin — the pin is
+        // atomic, its interior is not re-planned).
+        if !PinnedLeaf::respects(pinned, set) {
             continue;
         }
         if !est.graph().is_set_connected(set) {
@@ -141,6 +235,12 @@ pub fn plan_dp_incremental(
                 continue;
             }
             let s2 = set.difference(s1);
+            // Neither half may straddle a pin — the memo can still hold a
+            // straddling entry planned before the pin existed, so the
+            // boundary check must gate the lookup, not trust it.
+            if !PinnedLeaf::respects(pinned, s1) || !PinnedLeaf::respects(pinned, s2) {
+                continue;
+            }
             let (Some(e1), Some(e2)) = (memo.get(s1), memo.get(s2)) else {
                 continue; // a side is disconnected
             };
@@ -149,7 +249,9 @@ pub fn plan_dp_incremental(
             }
             let out_rows = est.rows(set);
             for (ls, rs, le, re) in [(s1, s2, e1, e2), (s2, s1, e2, e1)] {
-                if left_deep_only && rs.len() != 1 {
+                // A pinned leaf *is* a leaf for the left-deep discipline:
+                // it enters the pipeline as one materialized input.
+                if left_deep_only && rs.len() != 1 && !PinnedLeaf::is_pin(pinned, rs) {
                     continue;
                 }
                 let keys = join_keys(query, ls, rs);
@@ -563,6 +665,258 @@ mod tests {
         let (p2, _) = run_dp(&db, &stats, &q, &g, false);
         assert!(p1.same_structure(&p2));
         assert_eq!(p1.fingerprint(), p2.fingerprint());
+    }
+
+    /// Plan the pin's subtree with the stock DP, then lift it into a
+    /// [`PinnedLeaf`] with an arbitrary exact count.
+    fn make_pin(
+        db: &Database,
+        stats: &DatabaseStats,
+        q: &Query,
+        set: RelSet,
+        rows: f64,
+    ) -> PinnedLeaf {
+        // Simplest faithful construction: plan the whole query, then carve
+        // out the subtree covering `set` if present; otherwise hand-build a
+        // left-deep hash join over the members.
+        let g = CardOverrides::new();
+        let (plan, _) = run_dp(db, stats, q, &g, false);
+        let mut found: Option<PhysicalPlan> = None;
+        plan.visit(&mut |n| {
+            if n.relset() == set && found.is_none() {
+                found = Some(n.clone());
+            }
+        });
+        let plan = found.unwrap_or_else(|| {
+            let mut rels = set.iter();
+            let first = rels.next().unwrap();
+            let mut acc = PhysicalPlan::Scan {
+                rel: first,
+                table: reopt_common::TableId::new(first.0),
+                access: AccessPath::SeqScan,
+                info: PlanNodeInfo::default(),
+            };
+            for rel in rels {
+                let right = PhysicalPlan::Scan {
+                    rel,
+                    table: reopt_common::TableId::new(rel.0),
+                    access: AccessPath::SeqScan,
+                    info: PlanNodeInfo::default(),
+                };
+                let keys = join_keys(q, acc.relset(), RelSet::single(rel));
+                acc = PhysicalPlan::Join {
+                    algo: JoinAlgo::Hash,
+                    left: Box::new(acc),
+                    right: Box::new(right),
+                    keys,
+                    info: PlanNodeInfo::default(),
+                };
+            }
+            acc
+        });
+        PinnedLeaf { set, plan, rows }
+    }
+
+    fn chain_db(k: usize, vals: i64, per: usize) -> Database {
+        let mut db = Database::new();
+        for t in 0..k {
+            db.add_table_with(|id| {
+                let schema = TableSchema::new(vec![
+                    ColumnDef::new("a", LogicalType::Int),
+                    ColumnDef::new("b", LogicalType::Int),
+                ])?;
+                let mut data = Vec::new();
+                for v in 0..vals {
+                    data.extend(std::iter::repeat_n(v, per));
+                }
+                let mut tbl = Table::new(
+                    id,
+                    format!("c{t}"),
+                    schema,
+                    vec![
+                        Column::from_i64(LogicalType::Int, data.clone()),
+                        Column::from_i64(LogicalType::Int, data),
+                    ],
+                )?;
+                tbl.create_index(ColId::new(0))?;
+                tbl.create_index(ColId::new(1))?;
+                Ok(tbl)
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    fn chain_query(db: &Database, k: usize) -> Query {
+        let mut qb = QueryBuilder::new();
+        let rels: Vec<_> = (0..k)
+            .map(|i| qb.add_relation(db.table_id(&format!("c{i}")).unwrap()))
+            .collect();
+        for w in rels.windows(2) {
+            qb.add_join(
+                ColRef::new(w[0], ColId::new(1)),
+                ColRef::new(w[1], ColId::new(1)),
+            );
+        }
+        qb.build()
+    }
+
+    fn run_pinned(
+        db: &Database,
+        stats: &DatabaseStats,
+        q: &Query,
+        g: &CardOverrides,
+        pins: &[PinnedLeaf],
+        left_deep: bool,
+    ) -> (PhysicalPlan, SearchStats) {
+        let mut est =
+            CardinalityEstimator::new(db, stats, q, g, &CardEstConfig::default()).unwrap();
+        let mut memo = PlanMemo::new();
+        plan_dp_pinned(
+            db,
+            q,
+            &mut est,
+            &CostModel::default(),
+            &OperatorSet::default(),
+            left_deep,
+            &mut memo,
+            pins,
+        )
+        .unwrap()
+    }
+
+    /// Every node of `plan` must contain each pin entirely or avoid it
+    /// entirely, and the pin itself must appear verbatim.
+    fn assert_pins_atomic(plan: &PhysicalPlan, pins: &[PinnedLeaf]) {
+        for p in pins {
+            let mut found = false;
+            plan.visit(&mut |n| {
+                let set = n.relset();
+                // A node may contain the pin (ancestor), avoid it
+                // (disjoint remainder), or live inside it (the pinned
+                // subtree's own nodes); it must never straddle it.
+                assert!(
+                    p.set.is_subset_of(set) || p.set.is_disjoint(set) || set.is_subset_of(p.set),
+                    "node {set} straddles pin {}:\n{}",
+                    p.set,
+                    plan.explain()
+                );
+                if set == p.set {
+                    assert!(
+                        n.same_structure(&p.plan),
+                        "pin {} was re-planned:\n{}",
+                        p.set,
+                        plan.explain()
+                    );
+                    found = true;
+                }
+            });
+            assert!(
+                found,
+                "pin {} missing from plan:\n{}",
+                p.set,
+                plan.explain()
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_leaves_are_atomic_and_verbatim() {
+        let db = chain_db(4, 50, 10);
+        let stats = setup(&db);
+        let q = chain_query(&db, 4);
+        let pin = make_pin(&db, &stats, &q, rs_of(&[0, 1]), 123.0);
+        let mut g = CardOverrides::new();
+        g.insert_exact(rs_of(&[0, 1]), 123.0);
+        for left_deep in [false, true] {
+            let (plan, _) = run_pinned(&db, &stats, &q, &g, std::slice::from_ref(&pin), left_deep);
+            assert_eq!(plan.relset(), RelSet::first_n(4));
+            assert_pins_atomic(&plan, std::slice::from_ref(&pin));
+        }
+    }
+
+    #[test]
+    fn pinned_plan_avoids_poisoned_alternatives() {
+        // Pin {0,1} with a tiny exact count while claiming {1,2} (the
+        // plan that would split the pin) is enormous: the chosen plan
+        // builds on the pin regardless.
+        let db = chain_db(4, 50, 10);
+        let stats = setup(&db);
+        let q = chain_query(&db, 4);
+        let pin = make_pin(&db, &stats, &q, rs_of(&[0, 1]), 1.0);
+        let mut g = CardOverrides::new();
+        g.insert_exact(rs_of(&[0, 1]), 1.0);
+        g.insert(rs_of(&[1, 2]), 1e9);
+        let (plan, _) = run_pinned(&db, &stats, &q, &g, std::slice::from_ref(&pin), false);
+        assert_pins_atomic(&plan, &[pin]);
+        // {1,2} straddles the pin, so it cannot appear even though Γ
+        // mentions it.
+        plan.visit(&mut |n| assert_ne!(n.relset(), rs_of(&[1, 2])));
+    }
+
+    #[test]
+    fn multiple_disjoint_pins_all_survive() {
+        let db = chain_db(5, 50, 10);
+        let stats = setup(&db);
+        let q = chain_query(&db, 5);
+        let pins = vec![
+            make_pin(&db, &stats, &q, rs_of(&[0, 1]), 40.0),
+            make_pin(&db, &stats, &q, rs_of(&[3, 4]), 7.0),
+        ];
+        let mut g = CardOverrides::new();
+        g.insert_exact(rs_of(&[0, 1]), 40.0);
+        g.insert_exact(rs_of(&[3, 4]), 7.0);
+        let (plan, _) = run_pinned(&db, &stats, &q, &g, &pins, false);
+        assert_pins_atomic(&plan, &pins);
+    }
+
+    #[test]
+    fn stale_straddling_memo_entries_are_ignored() {
+        // First plan without pins (fills the memo with entries that split
+        // {1,2} freely), then invalidate supersets of the new pin and
+        // re-plan pinned — the stale straddlers must not leak back in.
+        let db = chain_db(4, 50, 10);
+        let stats = setup(&db);
+        let q = chain_query(&db, 4);
+        let g0 = CardOverrides::new();
+        let mut est =
+            CardinalityEstimator::new(&db, &stats, &q, &g0, &CardEstConfig::default()).unwrap();
+        let mut memo = PlanMemo::new();
+        let _ = plan_dp_incremental(
+            &db,
+            &q,
+            &mut est,
+            &CostModel::default(),
+            &OperatorSet::default(),
+            false,
+            &mut memo,
+        )
+        .unwrap();
+
+        let pin = make_pin(&db, &stats, &q, rs_of(&[1, 2]), 9.0);
+        memo.invalidate_supersets(&[pin.set]);
+        let mut g = CardOverrides::new();
+        g.insert_exact(pin.set, 9.0);
+        let mut est =
+            CardinalityEstimator::new(&db, &stats, &q, &g, &CardEstConfig::default()).unwrap();
+        let (plan, stats_out) = plan_dp_pinned(
+            &db,
+            &q,
+            &mut est,
+            &CostModel::default(),
+            &OperatorSet::default(),
+            false,
+            &mut memo,
+            std::slice::from_ref(&pin),
+        )
+        .unwrap();
+        assert_pins_atomic(&plan, &[pin]);
+        // Untouched disjoint entries were reused, not re-planned.
+        assert!(stats_out.subsets_reused > 0);
+    }
+
+    fn rs_of(ids: &[u32]) -> RelSet {
+        ids.iter().map(|&i| RelId::new(i)).collect()
     }
 
     #[test]

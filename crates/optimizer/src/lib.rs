@@ -30,7 +30,7 @@ pub mod profiles;
 pub use calibration::{calibrate, CalibrationReport};
 pub use cardinality::{CardEstConfig, CardinalityEstimator};
 pub use cost::{CostModel, CostUnits};
-pub use dp::{OperatorSet, SearchStats};
+pub use dp::{OperatorSet, PinnedLeaf, SearchStats};
 pub use geqo::GeqoConfig;
 pub use memo::PlanMemo;
 pub use optimizer::{Optimizer, OptimizerConfig, Planned};

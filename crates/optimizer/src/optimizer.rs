@@ -174,6 +174,57 @@ impl<'a> Optimizer<'a> {
         Ok(Planned { plan, search })
     }
 
+    /// Like [`Optimizer::optimize_incremental`], but with completed
+    /// subtrees pinned as atomic zero-cost leaves — the mid-query re-plan
+    /// of a suspended execution (see [`crate::dp::plan_dp_pinned`]). The
+    /// returned plan contains every pin verbatim and never costs a set
+    /// that straddles a pin boundary, so it cannot re-execute any part of
+    /// a checkpointed result. The caller must invalidate memo supersets of
+    /// every pin (and of every refined Γ set) before calling.
+    ///
+    /// Pinned re-planning requires the DP search: queries beyond
+    /// `geqo_threshold` relations are rejected — the genetic fallback
+    /// cannot honor pin boundaries, and silently dropping them would make
+    /// the plan re-execute checkpointed work.
+    pub fn optimize_with_pinned(
+        &self,
+        query: &Query,
+        overrides: &CardOverrides,
+        pinned: &[crate::dp::PinnedLeaf],
+        memo: &mut PlanMemo,
+    ) -> Result<Planned> {
+        if pinned.is_empty() {
+            return self.optimize_incremental(query, overrides, memo);
+        }
+        if query.num_relations() > self.config.geqo_threshold {
+            return Err(reopt_common::Error::invalid(format!(
+                "pinned re-planning needs the DP search: {} relations exceeds geqo_threshold {}",
+                query.num_relations(),
+                self.config.geqo_threshold
+            )));
+        }
+        query.validate(self.db)?;
+        let mut est = CardinalityEstimator::new(
+            self.db,
+            self.stats,
+            query,
+            overrides,
+            &self.config.cardinality,
+        )?;
+        let model = CostModel::new(self.config.cost_units);
+        let (plan, search) = crate::dp::plan_dp_pinned(
+            self.db,
+            query,
+            &mut est,
+            &model,
+            &self.config.operators,
+            self.config.left_deep_only,
+            memo,
+            pinned,
+        )?;
+        Ok(Planned { plan, search })
+    }
+
     /// Estimate the cardinality of the join result covering `set`, under
     /// the given Γ — exposes the estimator for callers that need to compare
     /// sampling results against the optimizer's beliefs (e.g. conservative

@@ -7,12 +7,24 @@
 //! cardinality estimator consults Γ *before* its native statistics and
 //! accepts the entry unconditionally (§7 discusses this design choice).
 
-use reopt_common::{FxHashMap, RelSet};
+//! Mid-query re-optimization extends Γ with **exact** entries: when the
+//! executor suspends at a pipeline breaker it has *observed* the true
+//! cardinality of every completed node — a count, not an estimate, with no
+//! sampling scale-up (scale 1.0). Exact entries take precedence over
+//! sampled ones: [`CardOverrides::insert_exact`] overwrites any sampled
+//! value for the same set, while the sampled paths
+//! ([`CardOverrides::insert`], [`CardOverrides::merge`]) silently skip
+//! sets already known exactly — an estimate must never displace a fact.
+
+use reopt_common::{FxHashMap, FxHashSet, RelSet};
 
 /// Validated cardinalities for one query (the paper's Γ).
 #[derive(Debug, Clone, Default)]
 pub struct CardOverrides {
     map: FxHashMap<RelSet, f64>,
+    /// Sets whose entry is an exact observed count, not a sampled
+    /// estimate. Invariant: `exact ⊆ map.keys()`.
+    exact: FxHashSet<RelSet>,
 }
 
 impl CardOverrides {
@@ -31,19 +43,50 @@ impl CardOverrides {
         self.map.contains_key(&set)
     }
 
-    /// Record a validated cardinality. Overwrites an existing entry (the
-    /// newest sample run wins; in practice re-validation of the same set
-    /// yields the same number because sampling is deterministic per query).
+    /// Record a validated cardinality. Overwrites an existing sampled
+    /// entry (the newest sample run wins; in practice re-validation of the
+    /// same set yields the same number because sampling is deterministic
+    /// per query). A set already known *exactly* is left untouched: a
+    /// sampled estimate never displaces an observed count.
     pub fn insert(&mut self, set: RelSet, rows: f64) {
+        if self.exact.contains(&set) {
+            return;
+        }
         self.map.insert(set, rows.max(0.0));
+    }
+
+    /// Record an **exact observed** cardinality (mid-query
+    /// re-optimization): the executor counted `rows` output tuples for
+    /// `set` on the full database, so the entry carries no sampling scale
+    /// (scale 1.0) and overrides any sampled estimate for the same set.
+    /// Exact entries are permanent for the life of this Γ — later sampled
+    /// inserts/merges cannot touch them.
+    pub fn insert_exact(&mut self, set: RelSet, rows: f64) {
+        self.map.insert(set, rows.max(0.0));
+        self.exact.insert(set);
+    }
+
+    /// Whether `set`'s entry is an exact observed count.
+    pub fn is_exact(&self, set: RelSet) -> bool {
+        self.exact.contains(&set)
+    }
+
+    /// Number of exact observed entries.
+    pub fn exact_len(&self) -> usize {
+        self.exact.len()
     }
 
     /// Γ ← Γ ∪ Δ (line 10 of Algorithm 1). Returns the number of sets that
     /// were not previously present — zero means Δ added nothing new, the
-    /// premise of Theorem 1's convergence condition.
+    /// premise of Theorem 1's convergence condition. Δ carries sampled
+    /// estimates, so sets this Γ already knows exactly are skipped (they
+    /// count as "previously present", never as fresh).
     pub fn merge(&mut self, delta: &CardOverrides) -> usize {
         let mut fresh = 0;
         for (&set, &rows) in &delta.map {
+            if self.exact.contains(&set) {
+                continue;
+            }
             if self.map.insert(set, rows).is_none() {
                 fresh += 1;
             }
@@ -119,6 +162,42 @@ mod tests {
         d.insert(rs(&[0, 1]), 10.0);
         assert_eq!(g.merge(&d), 0);
         assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn exact_entries_override_and_survive_sampled_writes() {
+        let mut g = CardOverrides::new();
+        g.insert(rs(&[0, 1]), 10.0);
+        assert!(!g.is_exact(rs(&[0, 1])));
+
+        // Exact observation overrides the sampled estimate...
+        g.insert_exact(rs(&[0, 1]), 42.0);
+        assert_eq!(g.get(rs(&[0, 1])), Some(42.0));
+        assert!(g.is_exact(rs(&[0, 1])));
+        assert_eq!(g.exact_len(), 1);
+
+        // ...and later sampled writes cannot displace it.
+        g.insert(rs(&[0, 1]), 7.0);
+        assert_eq!(g.get(rs(&[0, 1])), Some(42.0));
+        let mut d = CardOverrides::new();
+        d.insert(rs(&[0, 1]), 9.0);
+        d.insert(rs(&[1, 2]), 5.0);
+        let fresh = g.merge(&d);
+        assert_eq!(fresh, 1, "only the genuinely new set counts");
+        assert_eq!(g.get(rs(&[0, 1])), Some(42.0));
+        assert_eq!(g.get(rs(&[1, 2])), Some(5.0));
+    }
+
+    #[test]
+    fn exact_reobservation_updates_in_place() {
+        // Re-observing a set (e.g. the same breaker after a stats refresh)
+        // keeps the newest exact count.
+        let mut g = CardOverrides::new();
+        g.insert_exact(rs(&[0]), 3.0);
+        g.insert_exact(rs(&[0]), 4.0);
+        assert_eq!(g.get(rs(&[0])), Some(4.0));
+        assert_eq!(g.exact_len(), 1);
+        assert_eq!(g.len(), 1);
     }
 
     #[test]

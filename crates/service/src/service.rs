@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use crate::cache::{Admission, CachedPlan, PlanCache};
 use reopt_common::Result;
-use reopt_core::{ReOptConfig, ReoptEngine};
+use reopt_core::{MidQueryStats, ReOptConfig, ReoptEngine};
 use reopt_executor::{ExecOpts, Executor, QueryOutput};
 use reopt_optimizer::OptimizerConfig;
 use reopt_plan::{template_fingerprint, PhysicalPlan, Query};
@@ -243,11 +243,42 @@ impl QueryService {
     /// identical to [`QueryService::submit`], and the execution exploits
     /// [`ExecOpts::threads`] (partition-parallel scans and hash joins,
     /// bit-identical results at any thread count).
+    ///
+    /// With [`ReOptConfig::mid_query`] on, the admitted plan executes
+    /// under the suspend → refine → replan → resume loop: execution pauses
+    /// at each materialization point, exact observed cardinalities re-plan
+    /// the remainder, and checkpointed subtrees are spliced into the
+    /// successor — the result is equivalent either way, and
+    /// [`ExecutedQuery::mid_query`] reports what the loop did.
     pub fn execute(&self, query: &Query) -> Result<ExecutedQuery> {
         let response = self.submit(query)?;
+        if self.engine.reopt_config().mid_query {
+            let t0 = Instant::now();
+            let run = self.engine.execute_plan_mid_query(
+                query,
+                &response.plan,
+                self.exec_opts.clone(),
+            )?;
+            let mut metrics = run.metrics.clone();
+            metrics.elapsed = t0.elapsed();
+            let output = QueryOutput {
+                join_rows: run.join_rows(),
+                agg: run.agg,
+                metrics,
+            };
+            return Ok(ExecutedQuery {
+                response,
+                output,
+                mid_query: Some(run.report.stats),
+            });
+        }
         let exec = Executor::with_opts(self.engine.db(), self.exec_opts.clone());
         let output = exec.run(query, &response.plan)?;
-        Ok(ExecutedQuery { response, output })
+        Ok(ExecutedQuery {
+            response,
+            output,
+            mid_query: None,
+        })
     }
 
     /// Declare the statistics (and/or samples) refreshed: every plan
@@ -308,6 +339,9 @@ pub struct ExecutedQuery {
     /// Full-database execution result (join cardinality, aggregates,
     /// metrics — including the parallel-worker counters).
     pub output: QueryOutput,
+    /// Mid-query re-optimization counters, present iff
+    /// [`ReOptConfig::mid_query`] was on for this service.
+    pub mid_query: Option<MidQueryStats>,
 }
 
 fn respond(cached: CachedPlan, source: PlanSource, template: u64, t0: Instant) -> ServiceResponse {

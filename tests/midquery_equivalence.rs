@@ -1,0 +1,421 @@
+//! The mid-query re-optimization contract, proven across workloads:
+//! suspending at **every** materialization point, folding the exact
+//! observed cardinalities into Γ, re-planning the remainder with completed
+//! subtrees pinned, and resuming yields results **identical** to
+//! straight-through execution — on OTT, TPC-H and TPC-DS templates, at
+//! `threads ∈ {1, 4}`, and under `SubtreeCache` replay (warm shared
+//! sample-run caches feeding the initial sampling loop, and the checkpoint
+//! splice path feeding every resume).
+//!
+//! "Identical" is canonical tuple-set identity: the loop may finish the
+//! query with a different plan than it started with (that is the point),
+//! and different plan shapes emit the same tuples in different orders, so
+//! results are compared with relations in ascending id order and tuples
+//! sorted — a bit-exact comparison of row ids, insensitive only to
+//! emission order. Aggregates over the identical tuple set are compared
+//! exactly for ints/strings and to 1e-9 relative tolerance for floats
+//! (summation order is plan-dependent).
+
+use reopt::common::rng::derive_rng_indexed;
+use reopt::common::RelId;
+use reopt::core::{execute_mid_query, MidQueryOpts, MidQueryRun, ReOptConfig, ReOptimizer};
+use reopt::executor::{AggOutput, ExecOpts, Executor, RowSet};
+use reopt::optimizer::Optimizer;
+use reopt::plan::Query;
+use reopt::sampling::{SampleConfig, SampleStore, SharedSampleRunCache};
+use reopt::stats::{analyze_database, AnalyzeOpts, DatabaseStats};
+use reopt::storage::{Database, Value};
+use reopt::workloads::ott::{build_ott_database, ott_query, recommended_sample_ratio, OttConfig};
+use reopt::workloads::{tpcds, tpch};
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+struct Bound {
+    db: Database,
+    stats: DatabaseStats,
+    samples: SampleStore,
+}
+
+fn ott_bound() -> Bound {
+    let config = OttConfig {
+        rows_per_value: 20,
+        ..Default::default()
+    };
+    let db = build_ott_database(&config).unwrap();
+    let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+    let samples = SampleStore::build(
+        &db,
+        SampleConfig {
+            ratio: recommended_sample_ratio(&config),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    Bound { db, stats, samples }
+}
+
+fn tpch_bound() -> Bound {
+    let db = tpch::build_tpch_database(&tpch::TpchConfig {
+        scale: 0.005,
+        ..Default::default()
+    })
+    .unwrap();
+    let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+    let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+    Bound { db, stats, samples }
+}
+
+fn tpcds_bound() -> Bound {
+    let db = tpcds::build_tpcds_database(&tpcds::TpcdsConfig {
+        scale: 0.05,
+        ..Default::default()
+    })
+    .unwrap();
+    let stats = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+    let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+    Bound { db, stats, samples }
+}
+
+/// Canonical tuple-set view: relations ascending, tuples sorted. Two row
+/// sets with equal canonical views hold bit-identical row ids.
+fn canonical(rows: &RowSet) -> (Vec<RelId>, Vec<Vec<u32>>) {
+    let mut rels: Vec<RelId> = rows.rels().to_vec();
+    rels.sort();
+    let mut tuples: Vec<Vec<u32>> = (0..rows.len())
+        .map(|i| rels.iter().map(|&r| rows.rowids(r).unwrap()[i]).collect())
+        .collect();
+    tuples.sort_unstable();
+    (rels, tuples)
+}
+
+/// Bitwise row-set identity (same emission order) — for comparing two runs
+/// of the *same* trajectory at different thread counts.
+fn assert_rowsets_bit_identical(a: &RowSet, b: &RowSet, label: &str) {
+    assert_eq!(a.rels(), b.rels(), "{label}: relation columns");
+    assert_eq!(a.len(), b.len(), "{label}: cardinality");
+    for &rel in a.rels() {
+        assert_eq!(
+            a.rowids(rel).unwrap(),
+            b.rowids(rel).unwrap(),
+            "{label}: rowids of {rel}"
+        );
+    }
+}
+
+fn values_equivalent(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        _ => a == b,
+    }
+}
+
+/// Aggregates over the identical input tuple set, computed under possibly
+/// different emission orders: exact except for float summation order.
+fn assert_aggs_equivalent(a: &Option<AggOutput>, b: &Option<AggOutput>, label: &str) {
+    match (a, b) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.rows.len(), b.rows.len(), "{label}: group count");
+            for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                assert_eq!(ra.keys, rb.keys, "{label}: group keys");
+                assert_eq!(ra.aggs.len(), rb.aggs.len(), "{label}");
+                for (va, vb) in ra.aggs.iter().zip(&rb.aggs) {
+                    assert!(
+                        values_equivalent(va, vb),
+                        "{label}: aggregate {va:?} vs {vb:?}"
+                    );
+                }
+            }
+        }
+        _ => panic!("{label}: one side aggregated, the other did not"),
+    }
+}
+
+/// A digest of everything trajectory-relevant in a mid-query run.
+fn trajectory_digest(run: &MidQueryRun) -> (Vec<u64>, usize, usize, usize) {
+    (
+        run.report.plans.iter().map(|p| p.fingerprint()).collect(),
+        run.report.stats.suspensions,
+        run.report.stats.plan_switches,
+        run.report.stats.splices,
+    )
+}
+
+/// The conformance check for one (workload, query):
+///
+/// 1. straight-through execution of the sampling loop's final plan is the
+///    reference result;
+/// 2. mid-query execution — suspending at every materialization point —
+///    must produce the identical canonical tuple set and equivalent
+///    aggregates, at every thread count;
+/// 3. the mid-query trajectory itself must be thread-count invariant
+///    (bit-identical rows, same plans, same counters);
+/// 4. every exact Γ entry must equal the true observed cardinality —
+///    estimate == observed, no sampling scale.
+fn check_conformance(bound: &Bound, query: &Query, label: &str) {
+    let opt = Optimizer::new(&bound.db, &bound.stats);
+    let straight = ReOptimizer::with_config(&opt, &bound.samples, ReOptConfig::with_threads(1))
+        .execute_with_opts(query, ExecOpts::serial())
+        .unwrap();
+    let reference = canonical(&straight.run.rows);
+
+    let mut runs: Vec<MidQueryRun> = Vec::new();
+    for threads in THREAD_COUNTS {
+        // Exhaustive mode — replan at every materialization point, the
+        // strongest form of the contract (the gated default skips replans
+        // that confirm beliefs; it is checked separately below).
+        let config = ReOptConfig {
+            mid_query: true,
+            replan_discrepancy: None,
+            ..ReOptConfig::with_threads(threads)
+        };
+        let mid = ReOptimizer::with_config(&opt, &bound.samples, config)
+            .execute_with_opts(query, ExecOpts::with_threads(threads))
+            .unwrap();
+
+        assert_eq!(
+            reference,
+            canonical(&mid.run.rows),
+            "{label}: mid-query result differs at threads={threads}"
+        );
+        assert_aggs_equivalent(
+            &straight.run.agg,
+            &mid.run.agg,
+            &format!("{label} threads={threads}"),
+        );
+        // Joins of ≥3 relations have at least one non-root join: mid-query
+        // must actually suspend there, once per materialization point.
+        if query.num_relations() >= 3 {
+            assert!(
+                mid.run.report.stats.suspensions >= 1,
+                "{label}: never suspended"
+            );
+            assert_eq!(
+                mid.run.report.stats.replans, mid.run.report.stats.suspensions,
+                "{label}: every suspension must replan"
+            );
+            assert!(
+                mid.run.report.stats.splices >= 1,
+                "{label}: resume never spliced a checkpoint"
+            );
+        }
+        runs.push(mid.run);
+    }
+
+    // The gated default (replan only on ≥2× disagreement) must land on
+    // the identical canonical result too — it can only skip replans,
+    // never change what a segment computes.
+    let gated = ReOptimizer::with_config(
+        &opt,
+        &bound.samples,
+        ReOptConfig {
+            mid_query: true,
+            ..ReOptConfig::with_threads(1)
+        },
+    )
+    .execute_with_opts(query, ExecOpts::serial())
+    .unwrap();
+    assert_eq!(
+        reference,
+        canonical(&gated.run.rows),
+        "{label}: gated mid-query result differs"
+    );
+    assert!(
+        gated.run.report.stats.replans <= gated.run.report.stats.suspensions,
+        "{label}: gate can only skip replans"
+    );
+
+    // Thread-count invariance of the whole trajectory.
+    let base = &runs[0];
+    for (i, run) in runs.iter().enumerate().skip(1) {
+        assert_rowsets_bit_identical(
+            &base.rows,
+            &run.rows,
+            &format!("{label}: threads={} vs 1", THREAD_COUNTS[i]),
+        );
+        assert_eq!(
+            trajectory_digest(base),
+            trajectory_digest(run),
+            "{label}: trajectory diverged at threads={}",
+            THREAD_COUNTS[i]
+        );
+    }
+
+    // Exactness: every exact Γ entry equals the true cardinality of that
+    // set wherever the finishing plan's trace covers it.
+    let exec = Executor::with_opts(&bound.db, ExecOpts::serial());
+    let trace = exec
+        .run_traced(query, base.report.final_plan())
+        .unwrap()
+        .node_cards;
+    let mut verified = 0usize;
+    for (set, rows) in trace {
+        if base.report.gamma.is_exact(set) {
+            assert_eq!(
+                base.report.gamma.get(set),
+                Some(rows as f64),
+                "{label}: exact Γ({set}) diverges from observation"
+            );
+            verified += 1;
+        }
+    }
+    if query.num_relations() >= 3 {
+        assert!(verified > 0, "{label}: no exact entry was verifiable");
+    }
+}
+
+/// The same contract when the *initial* sampling loop runs over a warm
+/// shared `SubtreeCache` (dry-run replay): replayed validation must land
+/// on the same plan, and mid-query execution from it on the same result.
+fn check_replay_conformance(bound: &Bound, query: &Query, label: &str) {
+    let opt = Optimizer::new(&bound.db, &bound.stats);
+    let config = ReOptConfig::with_threads(1);
+    let re = ReOptimizer::with_config(&opt, &bound.samples, config);
+
+    let shared = SharedSampleRunCache::new();
+    let cold = re.run_shared(query, &shared).unwrap();
+    let warm = re.run_shared(query, &shared).unwrap(); // full replay
+    assert!(
+        cold.final_plan.same_structure(&warm.final_plan),
+        "{label}: replayed loop chose a different plan"
+    );
+    assert!(
+        shared.stats().hits > 0,
+        "{label}: warm loop never hit the dry-run cache"
+    );
+
+    let mid_of = |report: &reopt::core::ReoptReport| {
+        execute_mid_query(
+            &bound.db,
+            &opt,
+            query,
+            &report.final_plan,
+            MidQueryOpts {
+                gamma: report.gamma.clone(),
+                exec: ExecOpts::serial(),
+                replan_discrepancy: None,
+                ..MidQueryOpts::new()
+            },
+        )
+        .unwrap()
+    };
+    let a = mid_of(&cold);
+    let b = mid_of(&warm);
+    assert_rowsets_bit_identical(&a.rows, &b.rows, label);
+    assert_eq!(
+        trajectory_digest(&a),
+        trajectory_digest(&b),
+        "{label}: replay changed the mid-query trajectory"
+    );
+}
+
+#[test]
+fn ott_mid_query_conformance() {
+    let bound = ott_bound();
+    for consts in [
+        vec![0i64, 0, 0, 0],
+        vec![0, 0, 0, 1],
+        vec![0, 1, 0, 1, 0],
+        vec![0, 0, 0, 0, 0],
+    ] {
+        let q = ott_query(&bound.db, &consts).unwrap();
+        check_conformance(&bound, &q, &format!("ott{consts:?}"));
+    }
+}
+
+#[test]
+fn ott_mid_query_replay_conformance() {
+    let bound = ott_bound();
+    for consts in [vec![0i64, 0, 0, 1], vec![0, 0, 0, 0, 0]] {
+        let q = ott_query(&bound.db, &consts).unwrap();
+        check_replay_conformance(&bound, &q, &format!("ott{consts:?}"));
+    }
+}
+
+#[test]
+fn tpch_mid_query_conformance() {
+    let bound = tpch_bound();
+    // q5/q9 multi-join shapes; q8 is a hard template (correlated
+    // conjunctions the native optimizer misestimates).
+    for name in ["q5", "q8", "q9"] {
+        let mut rng = derive_rng_indexed(11, "midquery-tpch", 0);
+        let q = tpch::instantiate(&bound.db, name, &mut rng).unwrap();
+        check_conformance(&bound, &q, &format!("tpch/{name}"));
+    }
+}
+
+#[test]
+fn tpch_mid_query_replay_conformance() {
+    let bound = tpch_bound();
+    let mut rng = derive_rng_indexed(11, "midquery-tpch", 1);
+    let q = tpch::instantiate(&bound.db, "q8", &mut rng).unwrap();
+    check_replay_conformance(&bound, &q, "tpch/q8");
+}
+
+#[test]
+fn tpcds_mid_query_conformance() {
+    let bound = tpcds_bound();
+    // q25/q29 are the widest sale→return→sale joins; q50p is the paper's
+    // hand-tweaked hard variant; q3 a well-estimated baseline.
+    for name in ["q3", "q25", "q50p"] {
+        let mut rng = derive_rng_indexed(11, "midquery-tpcds", 0);
+        let q = tpcds::instantiate(&bound.db, name, &mut rng).unwrap();
+        check_conformance(&bound, &q, &format!("tpcds/{name}"));
+    }
+}
+
+#[test]
+fn tpcds_mid_query_replay_conformance() {
+    let bound = tpcds_bound();
+    let mut rng = derive_rng_indexed(11, "midquery-tpcds", 1);
+    let q = tpcds::instantiate(&bound.db, "q50p", &mut rng).unwrap();
+    check_replay_conformance(&bound, &q, "tpcds/q50p");
+}
+
+/// A suspended query whose remainder replans to the same plan resumes
+/// with zero extra executor work: drive Γ to an exact fixpoint, execute
+/// mid-query from it, and demand straight-through metrics to the row.
+#[test]
+fn same_plan_resume_is_free() {
+    let bound = ott_bound();
+    let opt = Optimizer::new(&bound.db, &bound.stats);
+    let exec = Executor::with_opts(&bound.db, ExecOpts::serial());
+    let q = ott_query(&bound.db, &[0, 0, 0, 0]).unwrap();
+
+    let mut gamma = reopt::optimizer::CardOverrides::new();
+    let mut plan = opt.optimize_with(&q, &gamma).unwrap().plan;
+    for _ in 0..8 {
+        for (set, rows) in exec.run_traced(&q, &plan).unwrap().node_cards {
+            gamma.insert_exact(set, rows as f64);
+        }
+        let next = opt.optimize_with(&q, &gamma).unwrap().plan;
+        if next.same_structure(&plan) {
+            break;
+        }
+        plan = next;
+    }
+
+    let base = exec.run_traced(&q, &plan).unwrap();
+    let mid = execute_mid_query(
+        &bound.db,
+        &opt,
+        &q,
+        &plan,
+        MidQueryOpts {
+            gamma,
+            exec: ExecOpts::serial(),
+            replan_discrepancy: None,
+            ..MidQueryOpts::new()
+        },
+    )
+    .unwrap();
+    assert_eq!(mid.report.stats.plan_switches, 0, "fixture must not switch");
+    assert!(mid.report.stats.suspensions > 0);
+    assert_eq!(mid.metrics.rows_scanned, base.metrics.rows_scanned);
+    assert_eq!(mid.metrics.rows_produced, base.metrics.rows_produced);
+    assert_eq!(mid.metrics.index_probes, base.metrics.index_probes);
+    assert!(mid.report.stats.splices > 0);
+}
