@@ -1,0 +1,428 @@
+//! Columnar (batch-at-a-time) vs row-at-a-time engine: scan-filter,
+//! join-heavy, and agg-heavy microbenchmarks plus the full re-optimization
+//! loop, with machine-readable output in `BENCH_columnar.json` so the
+//! vectorization win is tracked in CI alongside `BENCH_parallel.json`.
+//!
+//! Not a criterion harness: every shape runs end to end under
+//! `ExecOpts::columnar = Some(false)` (the row engine) and `Some(true)`
+//! (the columnar engine), at serial and 4-thread settings — the engines
+//! are bit-identical (asserted here per point, proven exhaustively by
+//! `tests/parallel_determinism.rs` and `tests/midquery_equivalence.rs`),
+//! so the *only* thing that may move is wall-clock. The headline number is
+//! the geomean row/columnar speedup over the serial scan/join/agg
+//! microbenches. Pass `--quick` for the reduced CI configuration.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use reopt_common::rng::derive_rng_indexed;
+use reopt_common::{ColId, RelId};
+use reopt_core::{ReOptConfig, ReOptimizer};
+use reopt_executor::{ExecOpts, Executor};
+use reopt_optimizer::Optimizer;
+use reopt_plan::physical::PlanNodeInfo;
+use reopt_plan::query::{AggExpr, AggSpec, ColRef};
+use reopt_plan::{AccessPath, JoinAlgo, PhysicalPlan, Predicate, QueryBuilder};
+use reopt_sampling::{SampleConfig, SampleStore};
+use reopt_stats::{analyze_database, AnalyzeOpts};
+use reopt_storage::value::NULL_SENTINEL;
+use reopt_storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema};
+use reopt_workloads::ott::{build_ott_database, ott_query, recommended_sample_ratio, OttConfig};
+use reopt_workloads::tpch::{build_tpch_database, instantiate, TpchConfig};
+
+#[derive(Debug, Serialize)]
+struct EnginePoint {
+    threads: usize,
+    /// Best-of-reps wall time of the row engine, milliseconds.
+    row_ms: f64,
+    /// Best-of-reps wall time of the columnar engine, milliseconds.
+    columnar_ms: f64,
+    /// row_ms / columnar_ms.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ShapeResult {
+    /// "scan" | "join" | "agg" | "reopt".
+    kind: &'static str,
+    name: String,
+    /// Output rows (or groups) — identical under both engines.
+    rows: u64,
+    points: Vec<EnginePoint>,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    quick: bool,
+    available_parallelism: usize,
+    shapes: Vec<ShapeResult>,
+    /// Geomean serial columnar speedup over the scan/join/agg microbenches
+    /// — the acceptance headline.
+    micro_speedup_serial: f64,
+    /// Geomean columnar speedup of the full re-optimization loop shapes.
+    reopt_speedup_serial: f64,
+}
+
+/// Time `run(opts)` best-of-`reps` for both engines at each thread count.
+fn sweep(
+    reps: usize,
+    threads: &[usize],
+    mut run: impl FnMut(ExecOpts) -> u64,
+) -> (u64, Vec<EnginePoint>) {
+    let mut rows = 0u64;
+    let points = threads
+        .iter()
+        .map(|&threads| {
+            let mut best = [f64::INFINITY; 2];
+            for (slot, columnar) in [false, true].into_iter().enumerate() {
+                let opts = ExecOpts {
+                    threads,
+                    columnar: Some(columnar),
+                    ..Default::default()
+                };
+                let n = run(opts.clone()); // warm-up (allocator, page cache)
+                if rows == 0 {
+                    rows = n;
+                }
+                assert_eq!(rows, n, "engine or thread count changed the answer");
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    run(opts.clone());
+                    best[slot] = best[slot].min(t0.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            EnginePoint {
+                threads,
+                row_ms: best[0],
+                columnar_ms: best[1],
+                speedup: best[0] / best[1].max(1e-9),
+            }
+        })
+        .collect();
+    (rows, points)
+}
+
+fn scan_node(rel: u32, table: u32) -> PhysicalPlan {
+    PhysicalPlan::Scan {
+        rel: RelId::new(rel),
+        table: TableId::new(table),
+        access: AccessPath::SeqScan,
+        info: PlanNodeInfo::default(),
+    }
+}
+
+use reopt_common::TableId;
+
+/// One wide table for the scan and agg shapes: a dictionary-coded region
+/// column, a skewed group column, and two value columns with NULLs.
+fn micro_db(n: i64) -> Database {
+    let mut db = Database::new();
+    let regions = ["asia", "europe", "america", "africa", "oceania"];
+    db.add_table_with(|id| {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("region", LogicalType::Dict),
+            ColumnDef::new("grp", LogicalType::Int),
+            ColumnDef::new("a", LogicalType::Int),
+            ColumnDef::new("b", LogicalType::Int),
+        ])?;
+        let region: Vec<&str> = (0..n).map(|i| regions[(i % 5) as usize]).collect();
+        let grp: Vec<i64> = (0..n).map(|i| (i * 7919) % 200).collect();
+        let a: Vec<i64> = (0..n)
+            .map(|i| {
+                if i % 53 == 0 {
+                    NULL_SENTINEL
+                } else {
+                    (i * 2654435761) % 10_000
+                }
+            })
+            .collect();
+        let b: Vec<i64> = (0..n).map(|i| (i * 40503) % 1_000).collect();
+        Table::new(
+            id,
+            "wide",
+            schema,
+            vec![
+                Column::from_strings(&region),
+                Column::from_i64(LogicalType::Int, grp),
+                Column::from_i64(LogicalType::Int, a),
+                Column::from_i64(LogicalType::Int, b),
+            ],
+        )
+    })
+    .unwrap();
+    db
+}
+
+/// Two join tables with skewed key multiplicity (value v matches v%5+1
+/// build rows), sized to exercise both the serial and partitioned paths.
+fn join_db(n: i64) -> Database {
+    let mut db = Database::new();
+    db.add_table_with(|id| {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("k", LogicalType::Int),
+            ColumnDef::new("v", LogicalType::Int),
+        ])?;
+        let keys: Vec<i64> = (0..n)
+            .map(|i| {
+                if i % 101 == 0 {
+                    NULL_SENTINEL
+                } else {
+                    i % 4096
+                }
+            })
+            .collect();
+        Table::new(
+            id,
+            "probe",
+            schema,
+            vec![
+                Column::from_i64(LogicalType::Int, keys),
+                Column::from_i64(LogicalType::Int, (0..n).collect()),
+            ],
+        )
+    })
+    .unwrap();
+    db.add_table_with(|id| {
+        let schema = TableSchema::new(vec![
+            ColumnDef::new("k", LogicalType::Int),
+            ColumnDef::new("w", LogicalType::Int),
+        ])?;
+        let mut keys = Vec::new();
+        for v in 0..4096i64 {
+            for _ in 0..(v % 5 + 1) {
+                keys.push(v);
+            }
+        }
+        let len = keys.len() as i64;
+        Table::new(
+            id,
+            "build",
+            schema,
+            vec![
+                Column::from_i64(LogicalType::Int, keys),
+                Column::from_i64(LogicalType::Int, (0..len).collect()),
+            ],
+        )
+    })
+    .unwrap();
+    db
+}
+
+fn measure_scan(n: i64, reps: usize, threads: &[usize]) -> ShapeResult {
+    let db = micro_db(n);
+    let mut qb = QueryBuilder::new();
+    let r = qb.add_relation(db.table_id("wide").unwrap());
+    // A dictionary predicate plus two numeric ones: the columnar win here
+    // is the hoisted operator dispatch and the selection-vector refine.
+    qb.add_predicate(Predicate::eq(r, ColId::new(0), "asia"));
+    qb.add_predicate(Predicate::between(r, ColId::new(2), 1000i64, 8000i64));
+    qb.add_predicate(Predicate::gt(r, ColId::new(3), 100i64));
+    let q = qb.build();
+    let plan = scan_node(0, 0);
+    let (rows, points) = sweep(reps, threads, |opts| {
+        let exec = Executor::with_opts(&db, opts);
+        exec.run_rowset(&q, &plan).unwrap().0.len() as u64
+    });
+    ShapeResult {
+        kind: "scan",
+        name: format!("filter3/{n}rows"),
+        rows,
+        points,
+    }
+}
+
+fn measure_join(n: i64, reps: usize, threads: &[usize]) -> ShapeResult {
+    let db = join_db(n);
+    let mut qb = QueryBuilder::new();
+    let a = qb.add_relation(db.table_id("probe").unwrap());
+    let b = qb.add_relation(db.table_id("build").unwrap());
+    qb.add_predicate(Predicate::gt(a, ColId::new(1), 5i64));
+    qb.add_join(ColRef::new(a, ColId::new(0)), ColRef::new(b, ColId::new(0)));
+    let q = qb.build();
+    let plan = PhysicalPlan::Join {
+        algo: JoinAlgo::Hash,
+        left: Box::new(scan_node(0, 0)),
+        right: Box::new(scan_node(1, 1)),
+        keys: vec![(
+            ColRef::new(RelId::new(0), ColId::new(0)),
+            ColRef::new(RelId::new(1), ColId::new(0)),
+        )],
+        info: PlanNodeInfo::default(),
+    };
+    let (rows, points) = sweep(reps, threads, |opts| {
+        let exec = Executor::with_opts(&db, opts);
+        exec.run_rowset(&q, &plan).unwrap().0.len() as u64
+    });
+    ShapeResult {
+        kind: "join",
+        name: format!("hash/{n}rows"),
+        rows,
+        points,
+    }
+}
+
+fn measure_agg(n: i64, reps: usize, threads: &[usize]) -> ShapeResult {
+    let db = micro_db(n);
+    let mut qb = QueryBuilder::new();
+    let r = qb.add_relation(db.table_id("wide").unwrap());
+    let region = ColRef::new(r, ColId::new(0));
+    let grp = ColRef::new(r, ColId::new(1));
+    let a = ColRef::new(r, ColId::new(2));
+    let b = ColRef::new(r, ColId::new(3));
+    qb.aggregate(AggSpec {
+        group_by: vec![region, grp],
+        aggs: vec![
+            AggExpr::count_star(),
+            AggExpr::sum(a),
+            AggExpr::avg(a),
+            AggExpr::min(b),
+            AggExpr::max(b),
+        ],
+    });
+    let q = qb.build();
+    let plan = scan_node(0, 0);
+    let (rows, points) = sweep(reps, threads, |opts| {
+        let exec = Executor::with_opts(&db, opts);
+        let out = exec.run(&q, &plan).unwrap();
+        out.agg.map_or(0, |a| a.rows.len()) as u64
+    });
+    ShapeResult {
+        kind: "agg",
+        name: format!("group1000/{n}rows"),
+        rows,
+        points,
+    }
+}
+
+/// The full loop: sampling re-optimization (dry-runs over the samples)
+/// followed by final execution, engine pinned end to end through
+/// `ReOptConfig::validation.columnar` and `ExecOpts::columnar`.
+fn measure_reopt_query(
+    db: &Database,
+    samples: &SampleStore,
+    q: &reopt_plan::Query,
+    label: &str,
+    reps: usize,
+) -> ShapeResult {
+    let stats = analyze_database(db, &AnalyzeOpts::default()).unwrap();
+    let opt = Optimizer::new(db, &stats);
+    let (rows, points) = sweep(reps, &[1], |opts| {
+        let mut config = ReOptConfig::with_threads(1);
+        config.validation.columnar = opts.columnar;
+        let re = ReOptimizer::with_config(&opt, samples, config);
+        let out = re.execute_with_opts(q, opts).unwrap();
+        out.run.rows.len() as u64
+    });
+    ShapeResult {
+        kind: "reopt",
+        name: label.to_string(),
+        rows,
+        points,
+    }
+}
+
+fn measure_reopt_tpch(scale: f64, name: &str, reps: usize) -> ShapeResult {
+    let db = build_tpch_database(&TpchConfig {
+        scale,
+        ..Default::default()
+    })
+    .unwrap();
+    let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+    let mut rng = derive_rng_indexed(0xc01a, name, 0);
+    let q = instantiate(&db, name, &mut rng).unwrap();
+    measure_reopt_query(&db, &samples, &q, &format!("tpch/{name}"), reps)
+}
+
+/// The OTT all-equal chain is the M^k join blow-up: final execution
+/// dominates the loop, so this shape shows what vectorization buys a
+/// *served* re-optimized query rather than the planning overhead.
+fn measure_reopt_ott(rows_per_value: usize, reps: usize) -> ShapeResult {
+    let config = OttConfig {
+        rows_per_value,
+        ..Default::default()
+    };
+    let db = build_ott_database(&config).unwrap();
+    let samples = SampleStore::build(
+        &db,
+        SampleConfig {
+            ratio: recommended_sample_ratio(&config),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let q = ott_query(&db, &[0, 0, 0, 0]).unwrap();
+    measure_reopt_query(&db, &samples, &q, "ott/chain4", reps)
+}
+
+fn geomean(shapes: &[ShapeResult], pick: impl Fn(&ShapeResult) -> bool) -> f64 {
+    let logs: Vec<f64> = shapes
+        .iter()
+        .filter(|s| pick(s))
+        .filter_map(|s| s.points.iter().find(|p| p.threads == 1))
+        .map(|p| p.speedup.ln())
+        .collect();
+    if logs.is_empty() {
+        return 1.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 10 };
+    let rows = if quick { 400_000 } else { 2_000_000 };
+    let join_rows = if quick { 200_000 } else { 1_000_000 };
+    let threads = [1usize, 4];
+
+    let mut shapes = vec![
+        measure_scan(rows, reps, &threads),
+        measure_join(join_rows, reps, &threads),
+        measure_agg(rows, reps, &threads),
+        measure_reopt_ott(if quick { 24 } else { 48 }, reps),
+        measure_reopt_tpch(if quick { 0.01 } else { 0.05 }, "q5", reps),
+        measure_reopt_tpch(if quick { 0.01 } else { 0.05 }, "q9", reps),
+    ];
+    shapes.shrink_to_fit();
+
+    let report = BenchReport {
+        bench: "bench_columnar",
+        quick,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        micro_speedup_serial: geomean(&shapes, |s| s.kind != "reopt"),
+        reopt_speedup_serial: geomean(&shapes, |s| s.kind == "reopt"),
+        shapes,
+    };
+
+    println!(
+        "{:<26} {:<6} {:>9} {:>9} {:>9} {:>8}",
+        "shape", "kind", "rows", "row ms", "col ms", "speedup"
+    );
+    for s in &report.shapes {
+        for p in &s.points {
+            println!(
+                "{:<26} {:<6} {:>9} {:>9.3} {:>9.3} {:>7.2}x  (threads={})",
+                s.name, s.kind, s.rows, p.row_ms, p.columnar_ms, p.speedup, p.threads
+            );
+        }
+    }
+    println!(
+        "geomean serial speedup: micro {:.2}x, full re-opt loop {:.2}x",
+        report.micro_speedup_serial, report.reopt_speedup_serial
+    );
+
+    // Anchor the output at the workspace root (cargo runs benches with
+    // cwd = the package directory) so CI finds one canonical path.
+    let out = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(pkg) => std::path::Path::new(&pkg)
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("BENCH_columnar.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_columnar.json"),
+    };
+    let json = serde_json::to_string(&report).unwrap();
+    std::fs::write(&out, &json).unwrap();
+    println!("wrote {}", out.display());
+}

@@ -34,7 +34,7 @@
 //! sort, exactly as they would across plan shapes.
 
 use reopt_common::{RelSet, Result};
-use reopt_executor::agg::aggregate;
+use reopt_executor::agg::aggregate_opts;
 use reopt_executor::{
     AggOutput, CheckpointStore, ExecMetrics, ExecOpts, ExecStep, Executor, RowSet,
 };
@@ -181,6 +181,7 @@ pub fn execute_mid_query(
     if query.num_relations() > optimizer.config().geqo_threshold || max_suspensions == 0 {
         return execute_straight(db, query, start_plan, gamma, exec_opts);
     }
+    let columnar = exec_opts.effective_columnar();
     let exec = Executor::with_opts(db, exec_opts);
     let mut store = CheckpointStore::new();
     let mut gamma = gamma;
@@ -276,7 +277,14 @@ pub fn execute_mid_query(
 
     metrics.merge(&run.metrics);
     let agg = match &query.aggregate {
-        Some(spec) => Some(aggregate(db, query, &run.rows, spec)?),
+        Some(spec) => Some(aggregate_opts(
+            db,
+            query,
+            &run.rows,
+            spec,
+            columnar,
+            &mut metrics,
+        )?),
         None => None,
     };
     stats.checkpoints = store.len();
@@ -304,10 +312,18 @@ pub fn execute_straight(
     gamma: CardOverrides,
     exec_opts: ExecOpts,
 ) -> Result<MidQueryRun> {
+    let columnar = exec_opts.effective_columnar();
     let exec = Executor::with_opts(db, exec_opts);
-    let (rows, metrics) = exec.run_rowset(query, plan)?;
+    let (rows, mut metrics) = exec.run_rowset(query, plan)?;
     let agg = match &query.aggregate {
-        Some(spec) => Some(aggregate(db, query, &rows, spec)?),
+        Some(spec) => Some(aggregate_opts(
+            db,
+            query,
+            &rows,
+            spec,
+            columnar,
+            &mut metrics,
+        )?),
         None => None,
     };
     Ok(MidQueryRun {

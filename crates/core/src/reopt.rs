@@ -115,6 +115,18 @@ impl ReOptConfig {
         config.validation.threads = threads;
         config
     }
+
+    /// Default configuration with the executor engine pinned: columnar
+    /// (batch-at-a-time) when `true`, row-at-a-time when `false`. Both
+    /// engines are bit-identical, so Δ, the plan trajectory, and final
+    /// rows never depend on this knob — only wall-clock does. The default
+    /// (`None`) follows [`reopt_executor::default_columnar`], i.e. the
+    /// `REOPT_COLUMNAR` environment variable.
+    pub fn with_columnar(columnar: bool) -> Self {
+        let mut config = ReOptConfig::default();
+        config.validation.columnar = Some(columnar);
+        config
+    }
 }
 
 /// The cross-round caches of one incremental run, owning the shared round
@@ -290,7 +302,11 @@ impl<'a> ReOptimizer<'a> {
     pub fn execute(&self, query: &Query) -> Result<ExecutedReopt> {
         self.execute_with_opts(
             query,
-            reopt_executor::ExecOpts::with_threads(self.config.validation.threads),
+            reopt_executor::ExecOpts {
+                threads: self.config.validation.threads,
+                columnar: self.config.validation.columnar,
+                ..Default::default()
+            },
         )
     }
 

@@ -3,11 +3,24 @@
 //! SQL semantics at the granularity the workloads need: NULL inputs are
 //! skipped by `SUM`/`MIN`/`MAX`/`AVG`; `COUNT(*)` counts tuples; grouping
 //! treats NULL as a regular group key.
+//!
+//! Two engines produce bit-identical output (see [`aggregate_opts`]): the
+//! row engine builds one `Vec<i64>` key per input row and updates a
+//! key-addressed map entry per row; the columnar engine assigns every row
+//! a dense group id through a chained hash over the gathered key columns
+//! (one key vector per *group*, not per row), then updates each
+//! aggregate's accumulators column-at-a-time. Both visit rows in
+//! ascending order within every group, so even float `SUM`/`AVG`
+//! accumulation matches bit for bit; both render through the same
+//! sort-by-raw-key materialization.
 
+use crate::metrics::ExecMetrics;
 use crate::rowset::RowSet;
+use reopt_common::hash::FxHasher;
 use reopt_common::{FxHashMap, Result};
 use reopt_plan::query::{AggExpr, AggFunc, AggSpec, ColRef};
 use reopt_plan::Query;
+use reopt_storage::batch::{take_i64_buffer, take_u32_buffer, BATCH_SIZE};
 use reopt_storage::value::NULL_SENTINEL;
 use reopt_storage::{Database, Value};
 
@@ -109,21 +122,65 @@ impl AggState {
     }
 }
 
-/// Evaluate `spec` over the join result `rows`.
+/// Evaluate `spec` over the join result `rows` with the row engine.
 pub fn aggregate(db: &Database, query: &Query, rows: &RowSet, spec: &AggSpec) -> Result<AggOutput> {
+    let mut dict_hits = 0;
+    aggregate_rows(db, query, rows, spec, &mut dict_hits)
+}
+
+/// Evaluate `spec` over `rows`, choosing the columnar or row engine and
+/// folding batch counters into `metrics`. Output is bit-identical either
+/// way (see the module docs).
+pub fn aggregate_opts(
+    db: &Database,
+    query: &Query,
+    rows: &RowSet,
+    spec: &AggSpec,
+    columnar: bool,
+    metrics: &mut ExecMetrics,
+) -> Result<AggOutput> {
+    if columnar {
+        aggregate_columnar(db, query, rows, spec, metrics)
+    } else {
+        aggregate_rows(db, query, rows, spec, &mut metrics.dict_hits)
+    }
+}
+
+/// Resolve a column reference to `(column data, rowids)` over `rows`.
+fn resolve<'a>(
+    db: &'a Database,
+    query: &Query,
+    rows: &'a RowSet,
+    c: &ColRef,
+) -> Result<(&'a [i64], &'a [u32])> {
+    let table = db.table(query.table_of(c.rel)?)?;
+    let data = table.column(c.col)?.data();
+    let ids = rows.rowids(c.rel)?;
+    Ok((data, ids))
+}
+
+fn aggregate_rows(
+    db: &Database,
+    query: &Query,
+    rows: &RowSet,
+    spec: &AggSpec,
+    dict_hits: &mut u64,
+) -> Result<AggOutput> {
     // Resolve input columns once.
-    let gather = |c: &ColRef| -> Result<(&[i64], &[u32])> {
-        let table = db.table(query.table_of(c.rel)?)?;
-        let data = table.column(c.col)?.data();
-        let ids = rows.rowids(c.rel)?;
-        Ok((data, ids))
-    };
-    let key_cols: Vec<(&[i64], &[u32])> =
-        spec.group_by.iter().map(&gather).collect::<Result<_>>()?;
+    let key_cols: Vec<(&[i64], &[u32])> = spec
+        .group_by
+        .iter()
+        .map(|c| resolve(db, query, rows, c))
+        .collect::<Result<_>>()?;
     let agg_inputs: Vec<Option<(&[i64], &[u32])>> = spec
         .aggs
         .iter()
-        .map(|a| a.input.as_ref().map(&gather).transpose())
+        .map(|a| {
+            a.input
+                .as_ref()
+                .map(|c| resolve(db, query, rows, c))
+                .transpose()
+        })
         .collect::<Result<_>>()?;
 
     let mut groups: FxHashMap<Vec<i64>, Vec<AggState>> = FxHashMap::default();
@@ -148,8 +205,202 @@ pub fn aggregate(db: &Database, query: &Query, rows: &RowSet, spec: &AggSpec) ->
         }
     }
 
-    // Materialize with typed key values, sorted for determinism.
-    let mut keyed: Vec<(Vec<i64>, Vec<AggState>)> = groups.into_iter().collect();
+    let keyed: Vec<(Vec<i64>, Vec<AggState>)> = groups.into_iter().collect();
+    materialize(db, query, spec, keyed, dict_hits)
+}
+
+/// Columnar aggregation: one pass assigns every input row a dense group
+/// id via a chained hash over the gathered key columns (group keys are
+/// stored once per group), then each aggregate expression updates its
+/// per-group accumulators in a tight column-at-a-time loop. Rows are
+/// visited in ascending order throughout, so per-group accumulation order
+/// — and with it float `SUM`/`AVG` bits — matches the row engine.
+fn aggregate_columnar(
+    db: &Database,
+    query: &Query,
+    rows: &RowSet,
+    spec: &AggSpec,
+    metrics: &mut ExecMetrics,
+) -> Result<AggOutput> {
+    let n = rows.len();
+    metrics.batches_processed += (n as u64).div_ceil(BATCH_SIZE as u64);
+    metrics.batch_rows += n as u64;
+
+    // Gather the group-key columns once into pooled contiguous buffers,
+    // then work on raw slices: the pooled wrappers' `Deref` is a branch
+    // we must not pay once per row.
+    let mut keybufs = Vec::with_capacity(spec.group_by.len());
+    for c in &spec.group_by {
+        let (data, ids) = resolve(db, query, rows, c)?;
+        let mut buf = take_i64_buffer();
+        buf.extend(ids.iter().map(|&r| data[r as usize]));
+        keybufs.push(buf);
+    }
+    let keycols: Vec<&[i64]> = keybufs.iter().map(|b| &b[..]).collect();
+
+    // Assign group ids: chained hash keyed on each group's first row.
+    // NULL is a regular group key here, so the sentinel hashes like any
+    // other value — no skipping.
+    let buckets = (n.max(1) * 2).next_power_of_two();
+    let mask = buckets as u64 - 1;
+    const CHAIN_END: u32 = u32::MAX;
+    let mut heads = vec![CHAIN_END; buckets];
+    let mut first_row: Vec<u32> = Vec::new(); // group id -> first input row
+    let mut group_next: Vec<u32> = Vec::new(); // group id -> next in bucket
+    let mut gid_buf = take_u32_buffer();
+    gid_buf.reserve(n);
+    let group_ids: &mut Vec<u32> = &mut gid_buf;
+    for i in 0..n {
+        let mut h = FxHasher::default();
+        for col in &keycols {
+            std::hash::Hasher::write_i64(&mut h, col[i]);
+        }
+        let b = (std::hash::Hasher::finish(&h) & mask) as usize;
+        let mut g = heads[b];
+        while g != CHAIN_END {
+            let rep = first_row[g as usize] as usize;
+            if keycols.iter().all(|col| col[rep] == col[i]) {
+                break;
+            }
+            g = group_next[g as usize];
+        }
+        if g == CHAIN_END {
+            g = first_row.len() as u32;
+            first_row.push(i as u32);
+            group_next.push(heads[b]);
+            heads[b] = g;
+        }
+        group_ids.push(g);
+    }
+    let group_ids: &[u32] = group_ids;
+    let num_groups = first_row.len();
+
+    // Flat per-group accumulator arrays, one aggregate expression at a
+    // time: the function dispatch of `AggState::update` is hoisted out of
+    // the per-row loop, each pass touching one input column and one
+    // accumulator array. The arithmetic — `v as f64` then `+=` in
+    // ascending row order within every group — is exactly the row
+    // engine's, so float bits match.
+    enum Acc {
+        Count(Vec<u64>),
+        Sum { sum: Vec<f64>, seen: Vec<bool> },
+        Min { m: Vec<i64>, seen: Vec<bool> },
+        Max { m: Vec<i64>, seen: Vec<bool> },
+        Avg { sum: Vec<f64>, n: Vec<u64> },
+    }
+    let mut accs: Vec<Acc> = Vec::with_capacity(spec.aggs.len());
+    for a in &spec.aggs {
+        let input = a
+            .input
+            .as_ref()
+            .map(|c| resolve(db, query, rows, c))
+            .transpose()?;
+        let acc = match a.func {
+            AggFunc::Count => {
+                // COUNT counts tuples, NULL input or not.
+                let mut count = vec![0u64; num_groups];
+                for &g in group_ids.iter() {
+                    count[g as usize] += 1;
+                }
+                Acc::Count(count)
+            }
+            AggFunc::Sum => {
+                let mut sum = vec![0.0f64; num_groups];
+                let mut seen = vec![false; num_groups];
+                if let Some((data, ids)) = input {
+                    for (i, &g) in group_ids.iter().enumerate() {
+                        let v = data[ids[i] as usize];
+                        if v != NULL_SENTINEL {
+                            sum[g as usize] += v as f64;
+                            seen[g as usize] = true;
+                        }
+                    }
+                }
+                Acc::Sum { sum, seen }
+            }
+            AggFunc::Min => {
+                let mut m = vec![0i64; num_groups];
+                let mut seen = vec![false; num_groups];
+                if let Some((data, ids)) = input {
+                    for (i, &g) in group_ids.iter().enumerate() {
+                        let v = data[ids[i] as usize];
+                        let g = g as usize;
+                        if v != NULL_SENTINEL && (!seen[g] || v < m[g]) {
+                            m[g] = v;
+                            seen[g] = true;
+                        }
+                    }
+                }
+                Acc::Min { m, seen }
+            }
+            AggFunc::Max => {
+                let mut m = vec![0i64; num_groups];
+                let mut seen = vec![false; num_groups];
+                if let Some((data, ids)) = input {
+                    for (i, &g) in group_ids.iter().enumerate() {
+                        let v = data[ids[i] as usize];
+                        let g = g as usize;
+                        if v != NULL_SENTINEL && (!seen[g] || v > m[g]) {
+                            m[g] = v;
+                            seen[g] = true;
+                        }
+                    }
+                }
+                Acc::Max { m, seen }
+            }
+            AggFunc::Avg => {
+                let mut sum = vec![0.0f64; num_groups];
+                let mut n = vec![0u64; num_groups];
+                if let Some((data, ids)) = input {
+                    for (i, &g) in group_ids.iter().enumerate() {
+                        let v = data[ids[i] as usize];
+                        if v != NULL_SENTINEL {
+                            sum[g as usize] += v as f64;
+                            n[g as usize] += 1;
+                        }
+                    }
+                }
+                Acc::Avg { sum, n }
+            }
+        };
+        accs.push(acc);
+    }
+
+    let keyed: Vec<(Vec<i64>, Vec<AggState>)> = (0..num_groups)
+        .map(|g| {
+            let rep = first_row[g] as usize;
+            let raw_key: Vec<i64> = keycols.iter().map(|col| col[rep]).collect();
+            let group_states: Vec<AggState> = accs
+                .iter()
+                .map(|acc| match acc {
+                    Acc::Count(count) => AggState::Count(count[g]),
+                    Acc::Sum { sum, seen } => AggState::Sum {
+                        sum: sum[g],
+                        seen: seen[g],
+                    },
+                    Acc::Min { m, seen } => AggState::Min(seen[g].then_some(m[g])),
+                    Acc::Max { m, seen } => AggState::Max(seen[g].then_some(m[g])),
+                    Acc::Avg { sum, n } => AggState::Avg {
+                        sum: sum[g],
+                        n: n[g],
+                    },
+                })
+                .collect();
+            (raw_key, group_states)
+        })
+        .collect();
+    materialize(db, query, spec, keyed, &mut metrics.dict_hits)
+}
+
+/// Shared rendering: sort groups by raw key, decode typed key values
+/// (dictionary lookups counted in `dict_hits`), finish the accumulators.
+fn materialize(
+    db: &Database,
+    query: &Query,
+    spec: &AggSpec,
+    mut keyed: Vec<(Vec<i64>, Vec<AggState>)>,
+    dict_hits: &mut u64,
+) -> Result<AggOutput> {
     keyed.sort_by(|a, b| a.0.cmp(&b.0));
     let mut out = Vec::with_capacity(keyed.len());
     for (raw_key, states) in keyed {
@@ -162,11 +413,13 @@ pub fn aggregate(db: &Database, query: &Query, rows: &RowSet, spec: &AggSpec) ->
             } else {
                 // Reuse the column's typed rendering via its dictionary.
                 match column.dict() {
-                    Some(d) => keys.push(
-                        d.lookup(*k)
-                            .map(|s| Value::Str(s.clone()))
-                            .unwrap_or(Value::Int(*k)),
-                    ),
+                    Some(d) => match d.lookup(*k) {
+                        Some(s) => {
+                            *dict_hits += 1;
+                            keys.push(Value::Str(s.clone()));
+                        }
+                        None => keys.push(Value::Int(*k)),
+                    },
                     None => keys.push(Value::Int(*k)),
                 }
             }
@@ -319,5 +572,95 @@ mod tests {
         assert_eq!(r.aggs[2], Value::Null);
         assert_eq!(r.aggs[3], Value::Null);
         assert_eq!(r.aggs[4], Value::Int(3));
+    }
+
+    /// The two engines must agree bit for bit — including `AVG`/`SUM`
+    /// float bits (accumulation order) and typed key rendering — on a
+    /// fixture with dictionary keys, NULL group keys, NULL agg inputs,
+    /// multi-column grouping, and values whose float sums are
+    /// order-sensitive.
+    #[test]
+    fn columnar_engine_is_bit_identical_to_row_engine() {
+        let mut db = Database::new();
+        let n = 5000usize;
+        db.add_table_with(|id| {
+            let schema = TableSchema::new(vec![
+                ColumnDef::new("g", LogicalType::Dict),
+                ColumnDef::new("h", LogicalType::Int),
+                ColumnDef::new("x", LogicalType::Int),
+            ])?;
+            let names = ["red", "green", "blue", "cyan"];
+            let g: Vec<&str> = (0..n).map(|i| names[i % names.len()]).collect();
+            let h: Vec<i64> = (0..n as i64)
+                .map(|i| if i % 13 == 0 { NULL_SENTINEL } else { i % 7 })
+                .collect();
+            // Mix magnitudes so float accumulation order is observable.
+            let x: Vec<i64> = (0..n as i64)
+                .map(|i| {
+                    if i % 11 == 0 {
+                        NULL_SENTINEL
+                    } else {
+                        (i * 982_451_653) % 1_000_003 - 500_000
+                    }
+                })
+                .collect();
+            Table::new(
+                id,
+                "big",
+                schema,
+                vec![
+                    Column::from_strings(&g),
+                    Column::from_i64(LogicalType::Int, h),
+                    Column::from_i64(LogicalType::Int, x),
+                ],
+            )
+        })
+        .unwrap();
+        let g = ColRef::new(RelId::new(0), ColId::new(0));
+        let h = ColRef::new(RelId::new(0), ColId::new(1));
+        let x = ColRef::new(RelId::new(0), ColId::new(2));
+        let spec = AggSpec {
+            group_by: vec![g, h],
+            aggs: vec![
+                AggExpr::count_star(),
+                AggExpr::sum(x),
+                AggExpr::min(x),
+                AggExpr::max(x),
+                AggExpr::avg(x),
+            ],
+        };
+        let mut qb = QueryBuilder::new();
+        let _ = qb.add_relation(db.table_id("big").unwrap());
+        qb.aggregate(spec.clone());
+        let q = qb.build();
+        let rows = RowSet::single(RelId::new(0), (0..n as u32).collect());
+
+        let mut row_m = ExecMetrics::default();
+        let mut col_m = ExecMetrics::default();
+        let by_rows = aggregate_opts(&db, &q, &rows, &spec, false, &mut row_m).unwrap();
+        let by_cols = aggregate_opts(&db, &q, &rows, &spec, true, &mut col_m).unwrap();
+        assert_eq!(by_rows.num_groups(), by_cols.num_groups());
+        assert!(by_rows.num_groups() > 4, "fixture must produce many groups");
+        for (a, b) in by_rows.rows.iter().zip(&by_cols.rows) {
+            assert_eq!(a.keys, b.keys);
+            // Compare floats by bits, not approximately.
+            for (va, vb) in a.aggs.iter().zip(&b.aggs) {
+                match (va, vb) {
+                    (Value::Float(fa), Value::Float(fb)) => {
+                        assert_eq!(fa.to_bits(), fb.to_bits(), "key {:?}", a.keys)
+                    }
+                    _ => assert_eq!(va, vb, "key {:?}", a.keys),
+                }
+            }
+        }
+        assert_eq!(row_m.batches_processed, 0);
+        assert_eq!(
+            col_m.batches_processed,
+            (n as u64).div_ceil(BATCH_SIZE as u64)
+        );
+        assert_eq!(col_m.batch_rows, n as u64);
+        // Both engines render the same dictionary-coded keys.
+        assert_eq!(row_m.dict_hits, col_m.dict_hits);
+        assert!(col_m.dict_hits > 0);
     }
 }

@@ -1,5 +1,26 @@
 //! Plan execution.
 //!
+//! # Columnar (batch-at-a-time) execution
+//!
+//! [`ExecOpts::columnar`] (default on; `REOPT_COLUMNAR=0` disables)
+//! switches the hot operators from row-at-a-time to vectorized evaluation
+//! over [`reopt_storage::batch::ColumnBatch`] windows: scan filters run
+//! monomorphized comparison kernels over a selection vector ([`BATCH_SIZE`]
+//! rows at a time, scratch buffers recycled through the thread-local
+//! pool), hash joins counting-sort build rows into a bucket-packed table
+//! (contiguous runs per bucket, zero per-key allocation) instead of a map
+//! of per-key row vectors, and aggregation assigns group ids in one pass
+//! then updates accumulators column-at-a-time. Results are **bit-identical
+//! to the row engine**: selection vectors keep ascending row order, the
+//! counting sort is stable so each bucket run iterates in ascending
+//! build-row order (the map engine's insertion order), and per-group
+//! accumulator updates happen in the same
+//! ascending row order — so `RowSet`s, `node_cards`, Δ, trajectories and
+//! float aggregates match bit for bit. Materialization back to [`RowSet`]
+//! happens only at operator boundaries (the pipeline breakers), which is
+//! exactly where `CheckpointStore`, `SubtreeCache` and the
+//! observed-cardinality trace already live — their semantics are untouched.
+//!
 //! # Intra-query parallelism
 //!
 //! [`ExecOpts::threads`] turns on partition-parallel execution of the two
@@ -18,13 +39,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use crate::agg::{aggregate, AggOutput};
+use crate::agg::{aggregate_opts, AggOutput};
 use crate::metrics::ExecMetrics;
 use crate::rowset::RowSet;
 use reopt_common::hash::FxHasher;
 use reopt_common::{ColId, Error, FxHashMap, RelId, RelSet, Result};
 use reopt_plan::query::ColRef;
 use reopt_plan::{AccessPath, CmpOp, JoinAlgo, PhysicalPlan, Predicate, Query};
+use reopt_storage::batch::{take_u32_buffer, ColumnBatch, BATCH_SIZE};
 use reopt_storage::value::NULL_SENTINEL;
 use reopt_storage::{Database, Table};
 
@@ -50,6 +72,13 @@ pub struct ExecOpts {
     /// the fully serial executor. Results are bit-identical at every
     /// setting (see the module docs).
     pub threads: usize,
+    /// Vectorized columnar execution of the hot operators (scan filters,
+    /// hash-join build/probe, aggregation). `None` (the default) resolves
+    /// via the `REOPT_COLUMNAR` environment variable — unset or anything
+    /// but `0`/`false`/`off` means **on**; `Some(b)` forces it. Both
+    /// engines are bit-identical (see the module docs), so the knob only
+    /// moves wall-clock. Composes freely with [`ExecOpts::threads`].
+    pub columnar: Option<bool>,
 }
 
 impl Default for ExecOpts {
@@ -57,6 +86,7 @@ impl Default for ExecOpts {
         ExecOpts {
             max_intermediate_rows: 100_000_000,
             threads: 0,
+            columnar: None,
         }
     }
 }
@@ -78,6 +108,14 @@ impl ExecOpts {
         }
     }
 
+    /// Default options with the columnar engine explicitly on or off.
+    pub fn with_columnar(columnar: bool) -> Self {
+        ExecOpts {
+            columnar: Some(columnar),
+            ..Default::default()
+        }
+    }
+
     /// The worker count this executor will actually use: `threads` if set,
     /// else `REOPT_THREADS`, else `std::thread::available_parallelism()`.
     pub fn effective_threads(&self) -> usize {
@@ -85,6 +123,12 @@ impl ExecOpts {
             return self.threads;
         }
         default_threads()
+    }
+
+    /// Whether this executor will run the columnar engine: `columnar` if
+    /// set, else the `REOPT_COLUMNAR` environment default.
+    pub fn effective_columnar(&self) -> bool {
+        self.columnar.unwrap_or_else(default_columnar)
     }
 }
 
@@ -101,6 +145,20 @@ pub fn default_threads() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+}
+
+/// The auto-resolved columnar setting used when [`ExecOpts::columnar`] is
+/// `None`: off when `REOPT_COLUMNAR` is `0`, `false`, or `off`
+/// (case-insensitive), on otherwise — including when the variable is
+/// unset.
+pub fn default_columnar() -> bool {
+    match std::env::var("REOPT_COLUMNAR") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => true,
+    }
 }
 
 /// Result of [`Executor::run_traced`]: the join result plus the observed
@@ -172,6 +230,9 @@ pub struct Executor<'a> {
     /// the auto setting reads an environment variable, which must not
     /// land on the per-operator hot path.
     threads: usize,
+    /// [`ExecOpts::effective_columnar`] resolved once at construction,
+    /// for the same reason.
+    columnar: bool,
 }
 
 /// Convenience: execute `plan` for `query` against `db` with default options.
@@ -193,7 +254,13 @@ impl<'a> Executor<'a> {
     /// Executor with explicit options.
     pub fn with_opts(db: &'a Database, opts: ExecOpts) -> Self {
         let threads = opts.effective_threads();
-        Executor { db, opts, threads }
+        let columnar = opts.effective_columnar();
+        Executor {
+            db,
+            opts,
+            threads,
+            columnar,
+        }
     }
 
     /// Execute the full query: join pipeline plus optional aggregation.
@@ -202,7 +269,14 @@ impl<'a> Executor<'a> {
         let mut state = ExecState::new(false);
         let rows = self.exec_node(query, plan, &mut state)?;
         let agg = match &query.aggregate {
-            Some(spec) => Some(aggregate(self.db, query, &rows, spec)?),
+            Some(spec) => Some(aggregate_opts(
+                self.db,
+                query,
+                &rows,
+                spec,
+                self.columnar,
+                &mut state.metrics,
+            )?),
             None => None,
         };
         state.metrics.elapsed = start.elapsed();
@@ -275,9 +349,8 @@ impl<'a> Executor<'a> {
         plan: &PhysicalPlan,
         state: &mut ExecState<'_>,
     ) -> Result<RowSet> {
-        Ok(self
-            .exec_node_inner(query, plan, state, true)?
-            .expect("rows requested"))
+        self.exec_node_inner(query, plan, state, true)?
+            .ok_or_else(|| Error::internal("executor produced no rows for a rows-requested node"))
     }
 
     /// Operator recursion. `need_rows: false` means the caller only wants
@@ -302,20 +375,14 @@ impl<'a> Executor<'a> {
         };
         if let Some(fp) = fp {
             let set = plan.relset();
+            // `fp` can only be Some when a cache is bound; losing it here
+            // would be an executor bug, which must surface as a structured
+            // error rather than a hot-path panic.
+            let cache = state.cache.as_mut().ok_or_else(cache_vanished)?;
             let hit = if need_rows {
-                state
-                    .cache
-                    .as_mut()
-                    .unwrap()
-                    .lookup(set, fp)
-                    .map(|r| (r.len() as u64, Some(r)))
+                cache.lookup(set, fp).map(|r| (r.len() as u64, Some(r)))
             } else {
-                state
-                    .cache
-                    .as_mut()
-                    .unwrap()
-                    .peek_rows(set, fp)
-                    .map(|n| (n, None))
+                cache.peek_rows(set, fp).map(|n| (n, None))
             };
             if let Some((count, rows)) = hit {
                 if let PhysicalPlan::Join {
@@ -385,7 +452,8 @@ impl<'a> Executor<'a> {
         }
         self.check_cap(out.len() as u64)?;
         if let Some(fp) = fp {
-            state.cache.as_mut().unwrap().store(plan.relset(), fp, &out);
+            let cache = state.cache.as_mut().ok_or_else(cache_vanished)?;
+            cache.store(plan.relset(), fp, &out);
         }
         Ok(Some(out))
     }
@@ -411,13 +479,17 @@ impl<'a> Executor<'a> {
                 } else {
                     metrics.rows_scanned += n as u64;
                     let mut out = Vec::new();
-                    'rows: for row in 0..n as u32 {
-                        for p in &compiled {
-                            if !p.matches(row) {
-                                continue 'rows;
+                    if self.columnar {
+                        columnar_filter_range(&compiled, 0, n as u32, &mut out, metrics);
+                    } else {
+                        'rows: for row in 0..n as u32 {
+                            for p in &compiled {
+                                if !p.matches(row) {
+                                    continue 'rows;
+                                }
                             }
+                            out.push(row);
                         }
-                        out.push(row);
                     }
                     out
                 }
@@ -503,10 +575,37 @@ impl<'a> Executor<'a> {
         let threads = self.threads;
         let pairs = if threads > 1 && left.len() + right.len() >= PARALLEL_MIN_ROWS {
             self.hash_join_partitioned(&lkeys, &rkeys, threads, metrics)?
+        } else if self.columnar {
+            self.hash_join_packed(&lkeys, &rkeys, metrics)?
         } else {
             self.hash_join_serial(&lkeys, &rkeys)?
         };
         RowSet::combine(left, right, &pairs)
+    }
+
+    /// Columnar serial hash join: one [`PackedTable`] over the build side
+    /// (no per-key row vectors, no per-row allocation), probed in
+    /// ascending left-row order. Bucket runs iterate in ascending
+    /// build-row order, so the emitted pair sequence is identical to
+    /// [`Executor::hash_join_serial`]'s.
+    fn hash_join_packed(
+        &self,
+        lkeys: &[Vec<i64>],
+        rkeys: &[Vec<i64>],
+        metrics: &mut ExecMetrics,
+    ) -> Result<Vec<(u32, u32)>> {
+        let cap = self.opts.max_intermediate_rows;
+        let table = PackedTable::build(rkeys, None);
+        let n = lkeys.first().map_or(0, Vec::len);
+        metrics.batches_processed += (n as u64).div_ceil(BATCH_SIZE as u64);
+        metrics.batch_rows += n as u64;
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for i in 0..n {
+            if table.probe_into(lkeys, i, &mut pairs) > 0 {
+                check_probe_cap(pairs.len() as u64, cap)?;
+            }
+        }
+        Ok(pairs)
     }
 
     /// Serial build + probe; emits pairs in ascending `(left, right)`
@@ -607,12 +706,18 @@ impl<'a> Executor<'a> {
         }
 
         // Phase 1: per-partition build, one worker per partition.
-        let tables: Vec<PartitionTable> = std::thread::scope(|s| {
+        let columnar = self.columnar;
+        let tables: Vec<PartitionTable<'_>> = std::thread::scope(|s| {
             let handles: Vec<_> = rbuckets
                 .iter()
                 .map(|bucket| {
                     s.spawn(move || {
-                        if lkeys.len() == 1 {
+                        if columnar {
+                            // The bucket lists ascending right rows, so a
+                            // packed table over it probes in the same
+                            // order as the map-based builds below.
+                            PartitionTable::Packed(PackedTable::build(rkeys, Some(bucket)))
+                        } else if lkeys.len() == 1 {
                             let mut t: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
                             for &j in bucket {
                                 t.entry(rkeys[0][j as usize]).or_default().push(j);
@@ -652,10 +757,15 @@ impl<'a> Executor<'a> {
                     let end = (start + chunk).min(n);
                     let (tables, lpart, emitted) = (&tables, &lpart, &emitted);
                     s.spawn(move || -> Result<(Vec<(u32, u32)>, ExecMetrics)> {
-                        let local = ExecMetrics {
+                        let mut local = ExecMetrics {
                             parallel_workers: 1,
                             ..Default::default()
                         };
+                        if columnar {
+                            local.batches_processed +=
+                                ((end - start) as u64).div_ceil(BATCH_SIZE as u64);
+                            local.batch_rows += (end - start) as u64;
+                        }
                         let mut pairs: Vec<(u32, u32)> = Vec::new();
                         let mut key = Vec::with_capacity(lkeys.len());
                         for i in start..end {
@@ -663,21 +773,34 @@ impl<'a> Executor<'a> {
                             if p == NO_PARTITION {
                                 continue;
                             }
-                            let matches = match &tables[p as usize] {
-                                PartitionTable::Single(t) => t.get(&lkeys[0][i]),
+                            let emitted_here = match &tables[p as usize] {
+                                PartitionTable::Packed(t) => t.probe_into(lkeys, i, &mut pairs),
+                                PartitionTable::Single(t) => match t.get(&lkeys[0][i]) {
+                                    Some(matches) => {
+                                        for &j in matches {
+                                            pairs.push((i as u32, j));
+                                        }
+                                        matches.len() as u64
+                                    }
+                                    None => 0,
+                                },
                                 PartitionTable::Multi(t) => {
                                     key.clear();
                                     key.extend(lkeys.iter().map(|col| col[i]));
-                                    t.get(&key)
+                                    match t.get(&key) {
+                                        Some(matches) => {
+                                            for &j in matches {
+                                                pairs.push((i as u32, j));
+                                            }
+                                            matches.len() as u64
+                                        }
+                                        None => 0,
+                                    }
                                 }
                             };
-                            if let Some(matches) = matches {
-                                for &j in matches {
-                                    pairs.push((i as u32, j));
-                                }
-                                let total = emitted
-                                    .fetch_add(matches.len() as u64, Ordering::Relaxed)
-                                    + matches.len() as u64;
+                            if emitted_here > 0 {
+                                let total = emitted.fetch_add(emitted_here, Ordering::Relaxed)
+                                    + emitted_here;
                                 check_probe_cap(total, cap)?;
                             }
                         }
@@ -716,25 +839,36 @@ impl<'a> Executor<'a> {
         metrics: &mut ExecMetrics,
     ) -> Result<Vec<u32>> {
         let chunk = (n as usize).div_ceil(threads).max(1);
+        let columnar = self.columnar;
         let results: Vec<(Vec<u32>, ExecMetrics)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..n as usize)
                 .step_by(chunk)
                 .map(|start| {
                     let end = (start + chunk).min(n as usize);
                     s.spawn(move || {
-                        let local = ExecMetrics {
+                        let mut local = ExecMetrics {
                             rows_scanned: (end - start) as u64,
                             parallel_workers: 1,
                             ..Default::default()
                         };
                         let mut out = Vec::new();
-                        'rows: for row in start as u32..end as u32 {
-                            for p in compiled {
-                                if !p.matches(row) {
-                                    continue 'rows;
+                        if columnar {
+                            columnar_filter_range(
+                                compiled,
+                                start as u32,
+                                end as u32,
+                                &mut out,
+                                &mut local,
+                            );
+                        } else {
+                            'rows: for row in start as u32..end as u32 {
+                                for p in compiled {
+                                    if !p.matches(row) {
+                                        continue 'rows;
+                                    }
                                 }
+                                out.push(row);
                             }
-                            out.push(row);
                         }
                         (out, local)
                     })
@@ -794,17 +928,17 @@ impl<'a> Executor<'a> {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    // Extent of the equal runs on both sides.
-                    let i_end = (i..lidx.len())
-                        .take_while(|&x| key_at(&lkeys, lidx[x] as usize) == lk)
-                        .last()
-                        .unwrap()
-                        + 1;
-                    let j_end = (j..ridx.len())
-                        .take_while(|&x| key_at(&rkeys, ridx[x] as usize) == rk)
-                        .last()
-                        .unwrap()
-                        + 1;
+                    // Extent of the equal runs on both sides. Plain
+                    // bounded walks: no iterator-`last()` to unwrap, and
+                    // correct when a run touches the end of its input.
+                    let mut i_end = i + 1;
+                    while i_end < lidx.len() && key_at(&lkeys, lidx[i_end] as usize) == lk {
+                        i_end += 1;
+                    }
+                    let mut j_end = j + 1;
+                    while j_end < ridx.len() && key_at(&rkeys, ridx[j_end] as usize) == rk {
+                        j_end += 1;
+                    }
                     // An equal-run cross product can blow up on its own
                     // (every key identical ⇒ |L|×|R| pairs): enforce the
                     // cap per emission, not after the run completes.
@@ -956,11 +1090,195 @@ fn check_probe_cap(emitted: u64, cap: u64) -> Result<()> {
     Ok(())
 }
 
-/// One partition's build-side hash table, specialized for the hot
-/// single-i64-key case.
-enum PartitionTable {
+/// One partition's build-side hash table: a [`PackedTable`] under the
+/// columnar engine, a map specialized for the hot single-i64-key case
+/// under the row engine.
+enum PartitionTable<'a> {
+    Packed(PackedTable<'a>),
     Single(FxHashMap<i64, Vec<u32>>),
     Multi(FxHashMap<Vec<i64>, Vec<u32>>),
+}
+
+/// The columnar engine's build-side hash table: build positions
+/// counting-sorted by key bucket into one contiguous `order` array
+/// (`starts[b]..starts[b+1]` is bucket `b`'s run). No per-key `Vec`, no
+/// allocation past three flat arrays, and a probe walks a contiguous run
+/// instead of chasing chain links — which matters exactly when keys have
+/// high multiplicity (the M^k join blow-ups).
+///
+/// The counting sort is stable over ascending positions, so every run
+/// iterates in ascending build-row order — the emission order of the row
+/// engine's map (which pushes rows into per-key vectors in ascending scan
+/// order). That makes packed probes bit-identical to map probes, serial
+/// and partitioned alike.
+struct PackedTable<'a> {
+    /// Gathered build-side key columns (all rows, not just this table's).
+    keys: &'a [Vec<i64>],
+    /// The build rows this table holds, ascending; `None` means all rows
+    /// `0..n` (the serial, unpartitioned case).
+    rows: Option<&'a [u32]>,
+    /// Bucket run boundaries: bucket `b` owns `order[starts[b]..starts[b+1]]`.
+    starts: Vec<u32>,
+    /// Build positions grouped by bucket, ascending within each run.
+    order: Vec<u32>,
+    mask: u64,
+}
+
+/// Bucket marker for NULL keys, which never join.
+const NO_BUCKET: u32 = u32::MAX;
+
+impl<'a> PackedTable<'a> {
+    fn build(keys: &'a [Vec<i64>], rows: Option<&'a [u32]>) -> Self {
+        let n = rows.map_or_else(|| keys.first().map_or(0, Vec::len), <[u32]>::len);
+        let buckets = (n.max(1) * 2).next_power_of_two();
+        let mask = buckets as u64 - 1;
+        let mut bucket_of = vec![NO_BUCKET; n];
+        let mut starts = vec![0u32; buckets + 1];
+        for pos in 0..n {
+            let row = rows.map_or(pos as u32, |r| r[pos]);
+            if let Some(b) = key_bucket(keys, row as usize, mask) {
+                bucket_of[pos] = b as u32;
+                starts[b + 1] += 1;
+            }
+        }
+        for b in 0..buckets {
+            starts[b + 1] += starts[b];
+        }
+        let mut cursor = starts.clone();
+        let mut order = vec![0u32; starts[buckets] as usize];
+        for (pos, &b) in bucket_of.iter().enumerate() {
+            if b != NO_BUCKET {
+                let c = &mut cursor[b as usize];
+                order[*c as usize] = pos as u32;
+                *c += 1;
+            }
+        }
+        PackedTable {
+            keys,
+            rows,
+            starts,
+            order,
+            mask,
+        }
+    }
+
+    /// The bucket run for bucket `b`.
+    #[inline]
+    fn run(&self, b: usize) -> &[u32] {
+        &self.order[self.starts[b] as usize..self.starts[b + 1] as usize]
+    }
+
+    /// Emit `(i, j)` for every build row `j` whose key equals probe row
+    /// `i`'s, in ascending `j` order; returns the number of pairs emitted.
+    #[inline]
+    fn probe_into(&self, lkeys: &[Vec<i64>], i: usize, pairs: &mut Vec<(u32, u32)>) -> u64 {
+        // Single-key equi-joins dominate: skip the per-column hash fold
+        // and the per-entry column iteration.
+        if let ([bkey], [lcol]) = (self.keys, lkeys) {
+            let lk = lcol[i];
+            if lk == NULL_SENTINEL {
+                return 0;
+            }
+            let mut h = FxHasher::default();
+            std::hash::Hasher::write_i64(&mut h, lk);
+            let b = (std::hash::Hasher::finish(&h) & self.mask) as usize;
+            let mut emitted = 0u64;
+            match self.rows {
+                None => {
+                    for &j in self.run(b) {
+                        if bkey[j as usize] == lk {
+                            pairs.push((i as u32, j));
+                            emitted += 1;
+                        }
+                    }
+                }
+                Some(rows) => {
+                    for &pos in self.run(b) {
+                        let j = rows[pos as usize];
+                        if bkey[j as usize] == lk {
+                            pairs.push((i as u32, j));
+                            emitted += 1;
+                        }
+                    }
+                }
+            }
+            return emitted;
+        }
+        let Some(b) = key_bucket(lkeys, i, self.mask) else {
+            return 0; // NULL probe key
+        };
+        let mut emitted = 0u64;
+        for &pos in self.run(b) {
+            let j = self.rows.map_or(pos, |r| r[pos as usize]);
+            if self
+                .keys
+                .iter()
+                .zip(lkeys)
+                .all(|(rc, lc)| rc[j as usize] == lc[i])
+            {
+                pairs.push((i as u32, j));
+                emitted += 1;
+            }
+        }
+        emitted
+    }
+}
+
+/// FxHash bucket of row `row`'s key under `mask`; `None` when any key
+/// column is NULL (NULL never joins). The same per-column `write_i64`
+/// fold as [`partition_assignment`], so probe and build always agree.
+#[inline]
+fn key_bucket(keys: &[Vec<i64>], row: usize, mask: u64) -> Option<usize> {
+    let mut h = FxHasher::default();
+    for col in keys {
+        let v = col[row];
+        if v == NULL_SENTINEL {
+            return None;
+        }
+        std::hash::Hasher::write_i64(&mut h, v);
+    }
+    Some((std::hash::Hasher::finish(&h) & mask) as usize)
+}
+
+/// Vectorized scan filter over rows `start..end`: batch windows of
+/// [`BATCH_SIZE`], the first predicate seeding a pooled selection vector
+/// and the rest refining it in place, appended to `out` in ascending row
+/// order — the row engine's emission order exactly.
+fn columnar_filter_range(
+    compiled: &[CompiledPred<'_>],
+    start: u32,
+    end: u32,
+    out: &mut Vec<u32>,
+    metrics: &mut ExecMetrics,
+) {
+    let mut sel = take_u32_buffer();
+    let mut base = start;
+    while base < end {
+        let hi = base.saturating_add(BATCH_SIZE as u32).min(end);
+        metrics.batches_processed += 1;
+        metrics.batch_rows += (hi - base) as u64;
+        match compiled.split_first() {
+            None => out.extend(base..hi),
+            Some((first, rest)) => {
+                sel.clear();
+                first.filter_batch(base, hi, &mut sel);
+                if first.dict {
+                    metrics.dict_hits += sel.len() as u64;
+                }
+                for p in rest {
+                    if sel.is_empty() {
+                        break;
+                    }
+                    p.refine_batch(base, hi, &mut sel);
+                    if p.dict {
+                        metrics.dict_hits += sel.len() as u64;
+                    }
+                }
+                out.extend_from_slice(&sel);
+            }
+        }
+        base = hi;
+    }
 }
 
 /// Row sentinel for "this row has a NULL key and joins nothing": outside
@@ -1022,6 +1340,10 @@ struct CompiledPred<'a> {
     /// miss).
     c1: Option<i64>,
     c2: i64,
+    /// Whether the column is dictionary-encoded — the constant above was
+    /// resolved through the dictionary, so rows this predicate selects
+    /// count as [`ExecMetrics::dict_hits`].
+    dict: bool,
     data: &'a [i64],
 }
 
@@ -1035,6 +1357,48 @@ impl CompiledPred<'_> {
         match self.c1 {
             Some(c1) => self.op.eval(v, c1, self.c2),
             None => false,
+        }
+    }
+
+    /// Seed `sel` with the rows of `start..end` this predicate selects.
+    /// The `match` on the operator happens once per batch; each arm hands
+    /// [`ColumnBatch::filter_into`] a monomorphized closure, so the inner
+    /// loop is a branch-free compare instead of per-row dispatch.
+    #[inline]
+    fn filter_batch(&self, start: u32, end: u32, sel: &mut Vec<u32>) {
+        let Some(c1) = self.c1 else {
+            return; // dictionary miss: matches nothing
+        };
+        let c2 = self.c2;
+        let batch = ColumnBatch::new(&self.data[start as usize..end as usize], start);
+        match self.op {
+            CmpOp::Eq => batch.filter_into(sel, |v| v == c1),
+            CmpOp::Ne => batch.filter_into(sel, |v| v != c1),
+            CmpOp::Lt => batch.filter_into(sel, |v| v < c1),
+            CmpOp::Le => batch.filter_into(sel, |v| v <= c1),
+            CmpOp::Gt => batch.filter_into(sel, |v| v > c1),
+            CmpOp::Ge => batch.filter_into(sel, |v| v >= c1),
+            CmpOp::Between => batch.filter_into(sel, |v| v >= c1 && v <= c2),
+        }
+    }
+
+    /// Narrow an existing selection (ids within `start..end`) in place.
+    #[inline]
+    fn refine_batch(&self, start: u32, end: u32, sel: &mut Vec<u32>) {
+        let Some(c1) = self.c1 else {
+            sel.clear();
+            return;
+        };
+        let c2 = self.c2;
+        let batch = ColumnBatch::new(&self.data[start as usize..end as usize], start);
+        match self.op {
+            CmpOp::Eq => batch.refine(sel, |v| v == c1),
+            CmpOp::Ne => batch.refine(sel, |v| v != c1),
+            CmpOp::Lt => batch.refine(sel, |v| v < c1),
+            CmpOp::Le => batch.refine(sel, |v| v <= c1),
+            CmpOp::Gt => batch.refine(sel, |v| v > c1),
+            CmpOp::Ge => batch.refine(sel, |v| v >= c1),
+            CmpOp::Between => batch.refine(sel, |v| v >= c1 && v <= c2),
         }
     }
 }
@@ -1054,10 +1418,16 @@ fn compile_predicates<'a>(table: &'a Table, preds: &[Predicate]) -> Result<Vec<C
                 op: p.op,
                 c1,
                 c2,
+                dict: column.dict().is_some(),
                 data: column.data(),
             })
         })
         .collect()
+}
+
+/// Error for the impossible loss of a bound subtree cache.
+fn cache_vanished() -> Error {
+    Error::internal("subtree cache vanished between fingerprint and lookup")
 }
 
 #[cfg(test)]
@@ -1615,6 +1985,7 @@ mod tests {
                     ExecOpts {
                         max_intermediate_rows: 10_000,
                         threads,
+                        ..Default::default()
                     },
                 );
                 let err = exec.run(&q, &p).unwrap_err();
@@ -1649,5 +2020,84 @@ mod tests {
         let q = qb.build();
         let out = execute_plan(&db, &q, &scan(0, 0, AccessPath::SeqScan)).unwrap();
         assert_eq!(out.join_rows, 0);
+    }
+
+    /// Regression for the structured worker-join path: a panicking worker
+    /// thread must surface as [`Error::Internal`], never unwind through
+    /// the scope (which would abort a serving process).
+    #[test]
+    fn worker_panic_becomes_internal_error() {
+        let res: Result<()> = std::thread::scope(|scope| {
+            let h = scope.spawn(|| -> Result<()> { panic!("injected worker failure") });
+            join_worker(h)
+        });
+        match res {
+            Err(Error::Internal(msg)) => assert!(msg.contains("worker panicked"), "{msg}"),
+            other => panic!("expected Internal error, got {other:?}"),
+        }
+    }
+
+    /// The columnar engine must be bit-identical to the row engine on
+    /// rowsets, traces, and the shared counters — across serial and
+    /// partition-parallel execution, for the operators the batch paths
+    /// touch (vectorized scans feed both join algorithms here).
+    #[test]
+    fn columnar_execution_is_bit_identical_to_row_engine() {
+        let db = big_pair_db(6000);
+        let q = big_pair_query(&db);
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge] {
+            let p = join(
+                algo,
+                scan(0, 0, AccessPath::SeqScan),
+                scan(1, 1, AccessPath::SeqScan),
+                keyrefs(),
+            );
+            for threads in [1usize, 4] {
+                let row_exec = Executor::with_opts(
+                    &db,
+                    ExecOpts {
+                        threads,
+                        columnar: Some(false),
+                        ..Default::default()
+                    },
+                );
+                let col_exec = Executor::with_opts(
+                    &db,
+                    ExecOpts {
+                        threads,
+                        columnar: Some(true),
+                        ..Default::default()
+                    },
+                );
+                let (row_rows, row_m) = row_exec.run_rowset(&q, &p).unwrap();
+                let (col_rows, col_m) = col_exec.run_rowset(&q, &p).unwrap();
+                assert!(!row_rows.is_empty(), "fixture join must be non-empty");
+                assert_rowsets_identical(&row_rows, &col_rows);
+                let row_trace = row_exec.run_traced(&q, &p).unwrap().node_cards;
+                let col_trace = col_exec.run_traced(&q, &p).unwrap().node_cards;
+                assert_eq!(row_trace, col_trace, "{algo:?}/threads={threads}");
+                assert_eq!(row_m.rows_scanned, col_m.rows_scanned);
+                assert_eq!(row_m.rows_produced, col_m.rows_produced);
+                assert_eq!(row_m.peak_intermediate_rows, col_m.peak_intermediate_rows);
+                assert_eq!(row_m.batches_processed, 0, "row engine must not batch");
+                assert!(
+                    col_m.batches_processed > 0,
+                    "{algo:?}/threads={threads}: columnar path not taken"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_knob_resolution() {
+        assert!(ExecOpts::default().columnar.is_none());
+        assert!(ExecOpts::with_columnar(true).effective_columnar());
+        assert!(!ExecOpts::with_columnar(false).effective_columnar());
+        // The explicit setting wins over the environment default.
+        let pinned = ExecOpts {
+            columnar: Some(false),
+            ..Default::default()
+        };
+        assert!(!pinned.effective_columnar());
     }
 }

@@ -30,6 +30,15 @@ pub fn explain_analyze(db: &Database, query: &Query, plan: &PhysicalPlan) -> Res
         traced.rows.len(),
         traced.metrics.elapsed
     );
+    if traced.metrics.batches_processed > 0 {
+        let _ = writeln!(
+            out,
+            "Columnar: {} batches, {:.1} rows/batch avg, {} dict hits",
+            traced.metrics.batches_processed,
+            traced.metrics.avg_rows_per_batch(),
+            traced.metrics.dict_hits
+        );
+    }
     render(plan, &actual, &mut out, 0);
     Ok(out)
 }
@@ -179,6 +188,20 @@ mod tests {
         let db = db();
         let s = explain_analyze(&db, &query(), &plan(3.0)).unwrap();
         assert!(s.contains("est=3.0 actual=250  <-- misestimated"), "{s}");
+    }
+
+    #[test]
+    fn batch_counters_follow_engine() {
+        let db = db();
+        let s = explain_analyze(&db, &query(), &plan(250.0)).unwrap();
+        // `explain_analyze` uses the default executor, so the header
+        // follows the ambient REOPT_COLUMNAR knob.
+        if crate::exec::default_columnar() {
+            assert!(s.contains("Columnar:"), "{s}");
+            assert!(s.contains("rows/batch avg"), "{s}");
+        } else {
+            assert!(!s.contains("Columnar:"), "{s}");
+        }
     }
 
     #[test]

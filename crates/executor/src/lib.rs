@@ -25,11 +25,11 @@ pub mod explain;
 pub mod metrics;
 pub mod rowset;
 
-pub use agg::AggOutput;
+pub use agg::{aggregate_opts, AggOutput};
 pub use checkpoint::{CheckpointStore, ExecStep};
 pub use exec::{
-    default_threads, execute_plan, execute_query, ExecOpts, Executor, QueryOutput, SubtreeCache,
-    TracedRun,
+    default_columnar, default_threads, execute_plan, execute_query, ExecOpts, Executor,
+    QueryOutput, SubtreeCache, TracedRun,
 };
 pub use explain::explain_analyze;
 pub use metrics::ExecMetrics;

@@ -18,6 +18,16 @@ pub struct ExecMetrics {
     pub parallel_ops: u64,
     /// Worker tasks spawned by partition-parallel operators.
     pub parallel_workers: u64,
+    /// Column batches evaluated by the vectorized engine (0 on a pure
+    /// row-engine run).
+    pub batches_processed: u64,
+    /// Input rows covered by those batches; `batch_rows /
+    /// batches_processed` is the average batch fill.
+    pub batch_rows: u64,
+    /// Dictionary-encoded values touched by the columnar engine: rows
+    /// selected by dictionary-column predicates plus group keys rendered
+    /// through a dictionary.
+    pub dict_hits: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -27,6 +37,15 @@ impl ExecMetrics {
     pub fn record_output(&mut self, rows: u64) {
         self.rows_produced += rows;
         self.peak_intermediate_rows = self.peak_intermediate_rows.max(rows);
+    }
+
+    /// Average rows per column batch (0.0 when no batches ran).
+    pub fn avg_rows_per_batch(&self) -> f64 {
+        if self.batches_processed == 0 {
+            0.0
+        } else {
+            self.batch_rows as f64 / self.batches_processed as f64
+        }
     }
 
     /// Merge another metrics object (e.g. from a sub-execution).
@@ -39,6 +58,9 @@ impl ExecMetrics {
         self.index_probes += other.index_probes;
         self.parallel_ops += other.parallel_ops;
         self.parallel_workers += other.parallel_workers;
+        self.batches_processed += other.batches_processed;
+        self.batch_rows += other.batch_rows;
+        self.dict_hits += other.dict_hits;
         self.elapsed += other.elapsed;
     }
 
@@ -52,6 +74,9 @@ impl ExecMetrics {
         self.rows_scanned += worker.rows_scanned;
         self.index_probes += worker.index_probes;
         self.parallel_workers += worker.parallel_workers;
+        self.batches_processed += worker.batches_processed;
+        self.batch_rows += worker.batch_rows;
+        self.dict_hits += worker.dict_hits;
     }
 }
 
@@ -78,5 +103,27 @@ mod tests {
         assert_eq!(m.rows_produced, 113);
         assert_eq!(m.peak_intermediate_rows, 100);
         assert_eq!(m.elapsed, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn batch_counters_sum_through_both_merges() {
+        let worker = ExecMetrics {
+            batches_processed: 3,
+            batch_rows: 2600,
+            dict_hits: 40,
+            ..Default::default()
+        };
+        let mut op = ExecMetrics::default();
+        op.merge_worker(&worker);
+        op.merge_worker(&worker);
+        assert_eq!(op.batches_processed, 6);
+        assert_eq!(op.batch_rows, 5200);
+        assert_eq!(op.dict_hits, 80);
+
+        let mut total = ExecMetrics::default();
+        total.merge(&op);
+        assert_eq!(total.batches_processed, 6);
+        assert!((total.avg_rows_per_batch() - 5200.0 / 6.0).abs() < 1e-9);
+        assert_eq!(ExecMetrics::default().avg_rows_per_batch(), 0.0);
     }
 }

@@ -39,6 +39,12 @@ pub struct ValidationOpts {
     /// it only buys wall-clock, i.e. more re-optimization rounds per
     /// second.
     pub threads: usize,
+    /// Columnar (batch-at-a-time) execution for the dry run. `None`
+    /// defers to [`reopt_executor::default_columnar`] (the
+    /// `REOPT_COLUMNAR` env knob, on by default); `Some(b)` pins the
+    /// engine. Like `threads`, the engines are bit-identical, so Δ and
+    /// the plan trajectory are invariant under this knob.
+    pub columnar: Option<bool>,
 }
 
 impl Default for ValidationOpts {
@@ -48,6 +54,7 @@ impl Default for ValidationOpts {
             min_rows: 1.0,
             max_intermediate_rows: 50_000_000,
             threads: 0,
+            columnar: None,
         }
     }
 }
@@ -82,6 +89,7 @@ pub fn validate_plan(
         ExecOpts {
             max_intermediate_rows: opts.max_intermediate_rows,
             threads: opts.threads,
+            columnar: opts.columnar,
         },
     );
     let traced = exec.run_traced(query, plan)?;
@@ -112,6 +120,7 @@ pub fn validate_plan_cached<C: ValidationCache>(
         ExecOpts {
             max_intermediate_rows: opts.max_intermediate_rows,
             threads: opts.threads,
+            columnar: opts.columnar,
         },
     );
     let (hits_before, executed_before) = cache.counters();

@@ -140,11 +140,13 @@ impl QueryService {
             plans: Arc::new(PlanCache::new(config.plan_cache_capacity)),
             sample_cache: SharedSampleRunCache::new(),
             share_sample_runs: config.share_sample_runs,
-            // Pin the auto thread knob to a concrete count now, so the
-            // env-var/parallelism probe inside `effective_threads` runs
-            // once per service, not once per served query.
+            // Pin the auto thread and columnar knobs to concrete values
+            // now, so the env-var/parallelism probes inside
+            // `effective_threads`/`effective_columnar` run once per
+            // service, not once per served query.
             exec_opts: ExecOpts {
                 threads: config.exec.effective_threads(),
+                columnar: Some(config.exec.effective_columnar()),
                 ..config.exec.clone()
             },
             stats_version: AtomicU64::new(0),

@@ -1,0 +1,269 @@
+//! Column batches and the vectorized-execution substrate.
+//!
+//! The executor's columnar engine evaluates operators batch-at-a-time: a
+//! scan walks a column in [`BATCH_SIZE`]-row windows, each wrapped in a
+//! [`ColumnBatch`], and predicates communicate through a *selection
+//! vector* — the row ids still alive after the filters applied so far —
+//! instead of materializing filtered copies of the data. Dictionary-coded
+//! string columns need no special casing here: their codes are plain
+//! `i64`s, so the same comparison kernels serve ints, dates, and strings
+//! (the dictionary is consulted once per predicate to encode the constant,
+//! never per row).
+//!
+//! Selection vectors and other scratch buffers are recycled through a
+//! thread-local [`BufferPool`] so steady-state batch evaluation allocates
+//! nothing: [`take_u32_buffer`]/[`take_i64_buffer`] hand out cleared
+//! buffers that return to the pool on drop.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+use crate::value::NULL_SENTINEL;
+
+/// Rows per batch window. Small enough that a batch's selection vector and
+/// the column window it points into stay cache-resident, large enough to
+/// amortize per-batch bookkeeping.
+pub const BATCH_SIZE: usize = 1024;
+
+/// A read-only window of one column, positioned at an absolute row offset.
+///
+/// `data[k]` is the value of row `first_row + k`. Selection vectors carry
+/// *absolute* row ids so downstream operators (row-set materialization,
+/// metrics, caches) never need to know the batching; the batch translates
+/// back to window-relative indexes internally.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnBatch<'a> {
+    data: &'a [i64],
+    first_row: u32,
+}
+
+impl<'a> ColumnBatch<'a> {
+    /// A batch over `data`, whose first element is absolute row
+    /// `first_row`.
+    pub fn new(data: &'a [i64], first_row: u32) -> Self {
+        ColumnBatch { data, first_row }
+    }
+
+    /// Rows in this batch.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw window.
+    pub fn data(&self) -> &'a [i64] {
+        self.data
+    }
+
+    /// Absolute row id of the first element.
+    pub fn first_row(&self) -> u32 {
+        self.first_row
+    }
+
+    /// Seed a selection vector: append the absolute ids of the rows in
+    /// this batch whose (non-NULL) value satisfies `pred`. The predicate
+    /// receives raw `i64`s and is monomorphized per comparison operator,
+    /// so the operator dispatch happens once per batch, not once per row.
+    #[inline]
+    pub fn filter_into(&self, sel: &mut Vec<u32>, mut pred: impl FnMut(i64) -> bool) {
+        let base = self.first_row;
+        for (k, &v) in self.data.iter().enumerate() {
+            if v != NULL_SENTINEL && pred(v) {
+                sel.push(base + k as u32);
+            }
+        }
+    }
+
+    /// Refine a selection vector in place: keep only the already-selected
+    /// rows whose (non-NULL) value in this column also satisfies `pred`.
+    /// Every id in `sel` must lie inside this batch's window.
+    #[inline]
+    pub fn refine(&self, sel: &mut Vec<u32>, mut pred: impl FnMut(i64) -> bool) {
+        let base = self.first_row;
+        sel.retain(|&id| {
+            let v = self.data[(id - base) as usize];
+            v != NULL_SENTINEL && pred(v)
+        });
+    }
+
+    /// Gather the values of the selected rows into `out`.
+    #[inline]
+    pub fn gather_into(&self, sel: &[u32], out: &mut Vec<i64>) {
+        let base = self.first_row;
+        out.extend(sel.iter().map(|&id| self.data[(id - base) as usize]));
+    }
+}
+
+/// Reusable scratch buffers for batch evaluation, one pool per thread.
+///
+/// Buffers are capped in count and capacity so a single huge intermediate
+/// cannot pin memory for the life of the thread.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    u32_bufs: Vec<Vec<u32>>,
+    i64_bufs: Vec<Vec<i64>>,
+}
+
+/// Buffers kept per pool per type; excess returns are dropped.
+const POOL_MAX_BUFFERS: usize = 8;
+/// Returned buffers above this capacity are dropped rather than pooled.
+const POOL_MAX_CAPACITY: usize = 1 << 20;
+
+thread_local! {
+    static POOL: RefCell<BufferPool> = RefCell::new(BufferPool::default());
+}
+
+impl BufferPool {
+    fn take_u32(&mut self) -> Vec<u32> {
+        self.u32_bufs.pop().unwrap_or_default()
+    }
+
+    fn take_i64(&mut self) -> Vec<i64> {
+        self.i64_bufs.pop().unwrap_or_default()
+    }
+
+    fn put_u32(&mut self, mut buf: Vec<u32>) {
+        if self.u32_bufs.len() < POOL_MAX_BUFFERS && buf.capacity() <= POOL_MAX_CAPACITY {
+            buf.clear();
+            self.u32_bufs.push(buf);
+        }
+    }
+
+    fn put_i64(&mut self, mut buf: Vec<i64>) {
+        if self.i64_bufs.len() < POOL_MAX_BUFFERS && buf.capacity() <= POOL_MAX_CAPACITY {
+            buf.clear();
+            self.i64_bufs.push(buf);
+        }
+    }
+}
+
+/// An empty `Vec<u32>` borrowed from the calling thread's [`BufferPool`];
+/// returns there on drop. Dereferences to the vector.
+#[derive(Debug)]
+pub struct PooledU32(Option<Vec<u32>>);
+
+/// An empty `Vec<i64>` borrowed from the calling thread's [`BufferPool`];
+/// returns there on drop. Dereferences to the vector.
+#[derive(Debug)]
+pub struct PooledI64(Option<Vec<i64>>);
+
+/// Borrow a cleared `u32` scratch buffer from the thread's pool.
+pub fn take_u32_buffer() -> PooledU32 {
+    PooledU32(Some(POOL.with(|p| p.borrow_mut().take_u32())))
+}
+
+/// Borrow a cleared `i64` scratch buffer from the thread's pool.
+pub fn take_i64_buffer() -> PooledI64 {
+    PooledI64(Some(POOL.with(|p| p.borrow_mut().take_i64())))
+}
+
+impl Deref for PooledU32 {
+    type Target = Vec<u32>;
+    fn deref(&self) -> &Vec<u32> {
+        self.0.as_ref().expect("pooled buffer taken")
+    }
+}
+
+impl DerefMut for PooledU32 {
+    fn deref_mut(&mut self) -> &mut Vec<u32> {
+        self.0.as_mut().expect("pooled buffer taken")
+    }
+}
+
+impl Drop for PooledU32 {
+    fn drop(&mut self) {
+        if let Some(buf) = self.0.take() {
+            // The thread-local may already be torn down at thread exit;
+            // then the buffer just drops.
+            let _ = POOL.try_with(|p| p.borrow_mut().put_u32(buf));
+        }
+    }
+}
+
+impl Deref for PooledI64 {
+    type Target = Vec<i64>;
+    fn deref(&self) -> &Vec<i64> {
+        self.0.as_ref().expect("pooled buffer taken")
+    }
+}
+
+impl DerefMut for PooledI64 {
+    fn deref_mut(&mut self) -> &mut Vec<i64> {
+        self.0.as_mut().expect("pooled buffer taken")
+    }
+}
+
+impl Drop for PooledI64 {
+    fn drop(&mut self) {
+        if let Some(buf) = self.0.take() {
+            let _ = POOL.try_with(|p| p.borrow_mut().put_i64(buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_seeds_absolute_ids_and_skips_nulls() {
+        let data = vec![5, NULL_SENTINEL, 7, 2, 9];
+        let batch = ColumnBatch::new(&data, 100);
+        let mut sel = Vec::new();
+        batch.filter_into(&mut sel, |v| v > 4);
+        assert_eq!(sel, vec![100, 102, 104]);
+    }
+
+    #[test]
+    fn refine_compacts_in_place() {
+        let c1 = vec![5, 6, 7, 2, 9];
+        let c2 = vec![1, NULL_SENTINEL, 3, 4, 5];
+        let b1 = ColumnBatch::new(&c1, 0);
+        let b2 = ColumnBatch::new(&c2, 0);
+        let mut sel = Vec::new();
+        b1.filter_into(&mut sel, |v| v > 4); // rows 0,1,2,4
+        b2.refine(&mut sel, |v| v >= 3); // drops row 0 (v=1) and row 1 (NULL)
+        assert_eq!(sel, vec![2, 4]);
+    }
+
+    #[test]
+    fn gather_resolves_selected_values() {
+        let data = vec![10, 20, 30, 40];
+        let batch = ColumnBatch::new(&data, 8);
+        let mut out = Vec::new();
+        batch.gather_into(&[8, 10, 11], &mut out);
+        assert_eq!(out, vec![10, 30, 40]);
+    }
+
+    #[test]
+    fn pooled_buffers_are_recycled_cleared() {
+        let ptr = {
+            let mut b = take_u32_buffer();
+            b.extend_from_slice(&[1, 2, 3]);
+            b.as_ptr()
+        };
+        // Same allocation comes back, emptied.
+        let b2 = take_u32_buffer();
+        assert!(b2.is_empty());
+        assert_eq!(b2.as_ptr(), ptr);
+
+        let mut i = take_i64_buffer();
+        i.push(7);
+        drop(i);
+        assert!(take_i64_buffer().is_empty());
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        {
+            let mut b = take_u32_buffer();
+            b.reserve(POOL_MAX_CAPACITY + 1);
+        }
+        let b2 = take_u32_buffer();
+        assert!(b2.capacity() <= POOL_MAX_CAPACITY);
+    }
+}

@@ -8,6 +8,9 @@
 //!   [`value::Value`] is the typed API surface.
 //! * [`mod@column`] — [`column::Column`]: a typed `i64` vector with an
 //!   optional string dictionary.
+//! * [`batch`] — [`batch::ColumnBatch`] windows, selection vectors, and
+//!   the thread-local scratch-buffer pool behind the executor's
+//!   vectorized (batch-at-a-time) engine.
 //! * [`schema`] — column/table schemas and logical types.
 //! * [`table`] — [`table::Table`]: schema + columns + hash indexes.
 //! * [`database`] — [`database::Database`]: the catalog.
@@ -17,6 +20,7 @@
 //! tables in bulk, queries never mutate them. That matches the paper's
 //! setting (static benchmark databases, `ANALYZE` once, then query).
 
+pub mod batch;
 pub mod column;
 pub mod database;
 pub mod page;
@@ -24,6 +28,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use batch::{ColumnBatch, BATCH_SIZE};
 pub use column::Column;
 pub use database::Database;
 pub use schema::{ColumnDef, LogicalType, TableSchema};

@@ -312,6 +312,98 @@ fn check_replay_conformance(bound: &Bound, query: &Query, label: &str) {
     );
 }
 
+/// Cross-engine conformance: the mid-query loop under the columnar engine
+/// must be **bit-identical** to the row engine — same emission-order row
+/// sets, same trajectory (plans, suspensions, switches, splices), and
+/// bit-equal aggregates (the trajectory is identical, so even float
+/// summation order matches) — at `threads ∈ {1, 4}`.
+fn check_columnar_conformance(bound: &Bound, query: &Query, label: &str) {
+    let opt = Optimizer::new(&bound.db, &bound.stats);
+    for threads in THREAD_COUNTS {
+        let run_with = |columnar: bool| {
+            let mut config = ReOptConfig {
+                mid_query: true,
+                replan_discrepancy: None,
+                ..ReOptConfig::with_threads(threads)
+            };
+            config.validation.columnar = Some(columnar);
+            ReOptimizer::with_config(&opt, &bound.samples, config)
+                .execute_with_opts(
+                    query,
+                    ExecOpts {
+                        threads,
+                        columnar: Some(columnar),
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+        };
+        let by_rows = run_with(false);
+        let by_cols = run_with(true);
+        assert_rowsets_bit_identical(
+            &by_rows.run.rows,
+            &by_cols.run.rows,
+            &format!("{label}: engines at threads={threads}"),
+        );
+        assert_eq!(
+            trajectory_digest(&by_rows.run),
+            trajectory_digest(&by_cols.run),
+            "{label}: engine changed the mid-query trajectory at threads={threads}"
+        );
+        // Identical trajectory ⇒ identical accumulation order ⇒ the
+        // aggregates must agree bit for bit, floats included.
+        match (&by_rows.run.agg, &by_cols.run.agg) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.rows.len(), b.rows.len(), "{label}: group count");
+                for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                    assert_eq!(ra.keys, rb.keys, "{label}: group keys");
+                    for (va, vb) in ra.aggs.iter().zip(&rb.aggs) {
+                        match (va, vb) {
+                            (Value::Float(x), Value::Float(y)) => assert_eq!(
+                                x.to_bits(),
+                                y.to_bits(),
+                                "{label}: float bits diverged across engines"
+                            ),
+                            _ => assert_eq!(va, vb, "{label}"),
+                        }
+                    }
+                }
+            }
+            _ => panic!("{label}: one engine aggregated, the other did not"),
+        }
+    }
+}
+
+#[test]
+fn ott_mid_query_columnar_conformance() {
+    let bound = ott_bound();
+    for consts in [vec![0i64, 0, 0, 1], vec![0, 1, 0, 1, 0]] {
+        let q = ott_query(&bound.db, &consts).unwrap();
+        check_columnar_conformance(&bound, &q, &format!("ott{consts:?}"));
+    }
+}
+
+#[test]
+fn tpch_mid_query_columnar_conformance() {
+    let bound = tpch_bound();
+    for name in ["q5", "q9"] {
+        let mut rng = derive_rng_indexed(11, "midquery-tpch", 2);
+        let q = tpch::instantiate(&bound.db, name, &mut rng).unwrap();
+        check_columnar_conformance(&bound, &q, &format!("tpch/{name}"));
+    }
+}
+
+#[test]
+fn tpcds_mid_query_columnar_conformance() {
+    let bound = tpcds_bound();
+    for name in ["q3", "q50p"] {
+        let mut rng = derive_rng_indexed(11, "midquery-tpcds", 2);
+        let q = tpcds::instantiate(&bound.db, name, &mut rng).unwrap();
+        check_columnar_conformance(&bound, &q, &format!("tpcds/{name}"));
+    }
+}
+
 #[test]
 fn ott_mid_query_conformance() {
     let bound = ott_bound();

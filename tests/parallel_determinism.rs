@@ -194,6 +194,96 @@ fn check_reopt_invariance(bound: &Bound, query: &reopt::plan::Query, label: &str
     }
 }
 
+/// Cross-engine invariance: columnar on vs off must produce bit-identical
+/// rows, traces, Δ, and re-optimization trajectories — at serial and
+/// parallel thread counts. The engine knob, like the thread knob, may
+/// only buy wall-clock.
+fn check_columnar_invariance(bound: &Bound, query: &reopt::plan::Query, label: &str) {
+    let opt = Optimizer::new(&bound.db, &bound.stats);
+    let re = ReOptimizer::with_config(&opt, &bound.samples, ReOptConfig::with_threads(1));
+    let plan = re.run(query).unwrap().final_plan;
+
+    for threads in [1usize, 4] {
+        let engine = |columnar: bool| {
+            Executor::with_opts(
+                &bound.db,
+                ExecOpts {
+                    threads,
+                    columnar: Some(columnar),
+                    ..Default::default()
+                },
+            )
+        };
+        let (row_rows, row_m) = engine(false).run_rowset(query, &plan).unwrap();
+        let (col_rows, col_m) = engine(true).run_rowset(query, &plan).unwrap();
+        assert_rowsets_identical(
+            &row_rows,
+            &col_rows,
+            &format!("{label} columnar threads={threads}"),
+        );
+        let row_trace = engine(false).run_traced(query, &plan).unwrap().node_cards;
+        let col_trace = engine(true).run_traced(query, &plan).unwrap().node_cards;
+        assert_eq!(
+            row_trace, col_trace,
+            "{label}: cross-engine trace diverged at threads={threads}"
+        );
+        assert_eq!(row_m.rows_scanned, col_m.rows_scanned, "{label}");
+        assert_eq!(row_m.rows_produced, col_m.rows_produced, "{label}");
+        assert_eq!(row_m.batches_processed, 0, "{label}: row engine batched");
+
+        // Validation: Δ must not depend on the engine.
+        let vopts = |columnar: bool| ValidationOpts {
+            threads,
+            columnar: Some(columnar),
+            ..Default::default()
+        };
+        let row_v = validate_plan(query, &plan, &bound.samples, &vopts(false)).unwrap();
+        let col_v = validate_plan(query, &plan, &bound.samples, &vopts(true)).unwrap();
+        assert_eq!(
+            delta_bits(&row_v),
+            delta_bits(&col_v),
+            "{label}: Δ diverged across engines at threads={threads}"
+        );
+
+        // The whole loop: identical trajectory, plans, and Γ either way.
+        let config = |columnar: bool| {
+            let mut c = ReOptConfig::with_threads(threads);
+            c.validation.columnar = Some(columnar);
+            c
+        };
+        let row_report = ReOptimizer::with_config(&opt, &bound.samples, config(false))
+            .run(query)
+            .unwrap();
+        let col_report = ReOptimizer::with_config(&opt, &bound.samples, config(true))
+            .run(query)
+            .unwrap();
+        assert_eq!(
+            replay_digest(&row_report),
+            replay_digest(&col_report),
+            "{label}: trajectory diverged across engines at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn ott_columnar_engine_is_bit_identical() {
+    let bound = ott_bound();
+    for consts in [vec![0i64, 0, 0, 0], vec![0, 0, 0, 1]] {
+        let q = ott_query(&bound.db, &consts).unwrap();
+        check_columnar_invariance(&bound, &q, &format!("ott{consts:?}"));
+    }
+}
+
+#[test]
+fn tpch_columnar_engine_is_bit_identical() {
+    let bound = tpch_bound();
+    let mut rng = derive_rng_indexed(7, "parallel-determinism", 2);
+    for name in ["q5", "q8"] {
+        let q = instantiate(&bound.db, name, &mut rng).unwrap();
+        check_columnar_invariance(&bound, &q, &format!("tpch/{name}"));
+    }
+}
+
 #[test]
 fn ott_execution_is_thread_count_invariant() {
     let bound = ott_bound();
