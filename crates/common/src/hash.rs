@@ -39,6 +39,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
+            // lint: panic-ok(chunks_exact(8) yields exactly 8-byte slices, so the array conversion is infallible)
             self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
         }
         let rest = chunks.remainder();

@@ -9,15 +9,22 @@
 //!   relations of a query (the canonical key of the paper's Γ statistics),
 //! * [`hash`] — an FxHash-style fast hasher plus `FxHashMap`/`FxHashSet`
 //!   aliases (integer-keyed maps are hot in the optimizer and executor),
-//! * [`rng`] — deterministic RNG plumbing so every experiment is replayable.
+//! * [`rng`] — deterministic RNG plumbing so every experiment is replayable,
+//! * [`sync`] — the poison-recovering lock idiom shared by every crate,
+//! * [`timing`] — [`timing::Stopwatch`], the workspace's only doorway to
+//!   the wall clock (rule R3 of `reopt-lint`).
 
 pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod relset;
 pub mod rng;
+pub mod sync;
+pub mod timing;
 
 pub use error::{Error, Result};
 pub use hash::{FxHashMap, FxHashSet};
 pub use ids::{ColId, RelId, TableId};
 pub use relset::RelSet;
+pub use sync::lock_unpoisoned;
+pub use timing::Stopwatch;

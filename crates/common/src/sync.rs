@@ -1,0 +1,48 @@
+//! Shared locking idiom: poison recovery.
+//!
+//! `Mutex::lock().unwrap()` turns one panicked lock holder into a panic
+//! cascade across every thread that touches the lock afterwards — in a
+//! query service that means a single buggy session kills its neighbors.
+//! The static-analysis pass (rule R5, `reopt-lint`) bans the pattern; this
+//! helper is the prescribed replacement for the common case where every
+//! critical section leaves the data structurally whole even if it panics
+//! mid-way (single-operation sections, or sections whose partial effects
+//! are benign, like a cache missing one insert).
+//!
+//! When a section *can* tear its data, do not use this helper — propagate
+//! a structured [`crate::Error::service`] instead and rebuild the state.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock `mutex`, recovering the guard if a previous holder panicked.
+///
+/// Poisoning is only a *flag* — the data is still there; recovering is
+/// sound exactly when every critical section is atomic-enough that a
+/// mid-section panic cannot leave it torn. Callers assert that property by
+/// choosing this helper.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_after_a_panicked_holder() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("first lock cannot be poisoned");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        *lock_unpoisoned(&m) = 8;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+}

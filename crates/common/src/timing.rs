@@ -1,0 +1,52 @@
+//! The workspace's single doorway to the wall clock.
+//!
+//! Query results in this engine are bit-identical under replay; wall-clock
+//! reads scattered through library code are exactly the kind of hidden
+//! input that erodes that promise one "harmless" telemetry field at a
+//! time. The static-analysis pass (rule R3, `reopt-lint`) therefore bans
+//! `Instant::now`/`SystemTime` everywhere outside `crates/bench` — and
+//! this module holds the one waived call site. Everything that needs a
+//! duration (executor metrics, per-round optimizer timings, service
+//! latency stats, cost-model calibration, the explicit user-set
+//! `time_budget`) measures it through a [`Stopwatch`], which keeps every
+//! clock read greppable and visibly timing-only.
+//!
+//! Nothing here may feed back into plan choice or row output except the
+//! documented `ReOptConfig::time_budget` round gate, which is off by
+//! default and is an explicit user opt-in to wall-clock-dependent
+//! behavior.
+
+use std::time::Duration;
+use std::time::Instant;
+
+/// A started wall-clock timer. The only way in the workspace to read the
+/// clock; produces opaque elapsed [`Duration`]s for telemetry and explicit
+/// time budgets.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        // The workspace's single sanctioned clock read.
+        Stopwatch(Instant::now()) // lint: clock-ok(sole R3-waived site: all timing flows through Stopwatch; consumers are telemetry fields and the explicit opt-in time_budget gate)
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+    }
+}

@@ -80,6 +80,7 @@ pub struct MidQueryReport {
 impl MidQueryReport {
     /// The plan that finished the query.
     pub fn final_plan(&self) -> &PhysicalPlan {
+        // lint: panic-ok(constructor invariant: every MidQueryReport is built with the initial plan as plans[0] and plans only grows)
         self.plans.last().expect("at least the initial plan")
     }
 }

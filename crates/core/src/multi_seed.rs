@@ -12,7 +12,7 @@
 //! validated and typically converge faster. The final answer is the
 //! cheapest converged plan under the merged Γ.
 
-use reopt_common::{Error, Result};
+use reopt_common::{Error, Result, Stopwatch};
 use reopt_optimizer::{CardOverrides, Optimizer};
 use reopt_plan::{PhysicalPlan, Query};
 use reopt_sampling::SampleStore;
@@ -21,7 +21,7 @@ use crate::reopt::{IncrementalCaches, ReOptConfig};
 use crate::report::RoundReport;
 use reopt_plan::transform::{classify_transformation, is_covered_by};
 use reopt_plan::JoinTree;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Outcome of a multi-seed run.
 #[derive(Debug, Clone)]
@@ -51,7 +51,7 @@ pub fn run_multi_seed(
     if seeds.is_empty() {
         return Err(Error::invalid("multi-seed re-optimization needs ≥1 seed"));
     }
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let mut gamma = CardOverrides::new();
     let mut finals: Vec<PhysicalPlan> = Vec::with_capacity(seeds.len());
     let mut rounds_per_seed = Vec::with_capacity(seeds.len());
@@ -75,7 +75,10 @@ pub fn run_multi_seed(
             &mut caches,
         )?;
         rounds_per_seed.push(rounds.len());
-        finals.push(rounds.last().unwrap().plan.clone());
+        let last = rounds
+            .last()
+            .ok_or_else(|| Error::internal("seed_loop returned zero rounds"))?;
+        finals.push(last.plan.clone());
     }
 
     pick_winner(seeds, query, finals, rounds_per_seed, gamma, start)
@@ -107,7 +110,7 @@ pub fn run_multi_seed_parallel(
     if seeds.is_empty() {
         return Err(Error::invalid("multi-seed re-optimization needs ≥1 seed"));
     }
-    let start = Instant::now();
+    let start = Stopwatch::start();
     let per_seed: Vec<(Vec<RoundReport>, CardOverrides)> = std::thread::scope(|s| {
         let handles: Vec<_> = seeds
             .iter()
@@ -146,7 +149,10 @@ pub fn run_multi_seed_parallel(
     for (rounds, seed_gamma) in per_seed {
         gamma.merge(&seed_gamma);
         rounds_per_seed.push(rounds.len());
-        finals.push(rounds.last().unwrap().plan.clone());
+        let last = rounds
+            .last()
+            .ok_or_else(|| Error::internal("seed_loop returned zero rounds"))?;
+        finals.push(last.plan.clone());
     }
     pick_winner(seeds, query, finals, rounds_per_seed, gamma, start)
 }
@@ -158,7 +164,7 @@ fn seed_loop(
     samples: &SampleStore,
     query: &Query,
     config: &ReOptConfig,
-    start: Instant,
+    start: Stopwatch,
     gamma: &mut CardOverrides,
     caches: &mut IncrementalCaches,
 ) -> Result<Vec<RoundReport>> {
@@ -177,7 +183,7 @@ fn seed_loop(
             }
         }
         let round = rounds.len() + 1;
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let planned = caches.plan(optimizer, query, gamma)?;
         let optimize_time = t0.elapsed();
         let tree = planned.plan.logical_tree();
@@ -249,7 +255,7 @@ fn pick_winner(
     finals: Vec<PhysicalPlan>,
     rounds_per_seed: Vec<usize>,
     gamma: CardOverrides,
-    start: Instant,
+    start: Stopwatch,
 ) -> Result<MultiSeedReport> {
     let mut winner = 0usize;
     let mut best_cost = f64::INFINITY;

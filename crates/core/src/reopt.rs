@@ -18,10 +18,10 @@
 //! fallback), all of which are *off* by default so the textbook algorithm
 //! runs unmodified.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::report::{ReoptReport, RoundReport};
-use reopt_common::{RelSet, Result};
+use reopt_common::{Error, RelSet, Result, Stopwatch};
 use reopt_optimizer::{CardOverrides, Optimizer, PlanMemo};
 use reopt_plan::transform::{classify_transformation, is_covered_by};
 use reopt_plan::{JoinTree, PhysicalPlan, Query};
@@ -354,7 +354,7 @@ impl<'a> ReOptimizer<'a> {
         query: &Query,
         caches: &mut IncrementalCaches<C>,
     ) -> Result<ReoptReport> {
-        let t_start = Instant::now();
+        let t_start = Stopwatch::start();
         let mut gamma = CardOverrides::new();
         let mut rounds: Vec<RoundReport> = Vec::new();
         let mut prev_plan: Option<PhysicalPlan> = None;
@@ -375,7 +375,7 @@ impl<'a> ReOptimizer<'a> {
             }
 
             let round = rounds.len() + 1;
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let planned = caches.plan(self.optimizer, query, &gamma)?;
             let optimize_time = t0.elapsed();
             let tree = planned.plan.logical_tree();
@@ -445,10 +445,13 @@ impl<'a> ReOptimizer<'a> {
             }
         }
 
-        // Final plan selection.
-        let final_plan = if converged {
-            rounds.last().unwrap().plan.clone()
-        } else if self.config.pick_best_on_stop {
+        // Final plan selection. The loop above always runs round 1, so
+        // `rounds` is non-empty; surface a corrupted state as an error
+        // rather than a panic.
+        let last_round = rounds
+            .last()
+            .ok_or_else(|| Error::internal("re-optimization loop produced zero rounds"))?;
+        let final_plan = if !converged && self.config.pick_best_on_stop {
             // §5.4: under the final Γ, the cheapest of the generated plans.
             let mut best: Option<(f64, &PhysicalPlan)> = None;
             for r in &rounds {
@@ -457,9 +460,10 @@ impl<'a> ReOptimizer<'a> {
                     best = Some((cost, &r.plan));
                 }
             }
-            best.expect("at least one round ran").1.clone()
+            best.map(|(_, p)| p.clone())
+                .unwrap_or_else(|| last_round.plan.clone())
         } else {
-            rounds.last().unwrap().plan.clone()
+            last_round.plan.clone()
         };
 
         Ok(ReoptReport {

@@ -146,19 +146,15 @@ impl ReoptReport {
             .filter_map(|r| r.transform)
             .filter(|t| *t != TransformKind::Identical)
             .collect();
+        // `Identical` was filtered out above, so only Global/Local remain;
+        // Global steps are always legal, leaving one check per step.
         for (i, t) in transitions.iter().enumerate() {
-            match t {
-                TransformKind::Global => {}
-                TransformKind::Local => {
-                    if i + 1 != transitions.len() {
-                        return Err(format!(
-                            "local transformation at step {} of {} — only the last step may be local",
-                            i + 1,
-                            transitions.len()
-                        ));
-                    }
-                }
-                TransformKind::Identical => unreachable!("filtered above"),
+            if *t == TransformKind::Local && i + 1 != transitions.len() {
+                return Err(format!(
+                    "local transformation at step {} of {} — only the last step may be local",
+                    i + 1,
+                    transitions.len()
+                ));
             }
         }
         Ok(())

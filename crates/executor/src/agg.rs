@@ -205,6 +205,7 @@ fn aggregate_rows(
         }
     }
 
+    // lint: ordered-ok(materialize sorts `keyed` by group key before emitting, and AggState accumulation is per-group, so hash-order drain cannot reach the output)
     let keyed: Vec<(Vec<i64>, Vec<AggState>)> = groups.into_iter().collect();
     materialize(db, query, spec, keyed, dict_hits)
 }

@@ -35,8 +35,9 @@
 use crate::exec::{Executor, SubtreeCache, TracedRun};
 use crate::metrics::ExecMetrics;
 use crate::rowset::RowSet;
-use reopt_common::{FxHashMap, RelSet, Result};
+use reopt_common::{RelSet, Result};
 use reopt_plan::{JoinAlgo, PhysicalPlan, Query};
+use std::collections::BTreeMap;
 
 /// Checkpointed subtree results and observed cardinalities of one
 /// suspendable execution (one `(database, query)` pair).
@@ -44,11 +45,13 @@ use reopt_plan::{JoinAlgo, PhysicalPlan, Query};
 pub struct CheckpointStore {
     /// Materialized output of every completed node, keyed by relation set
     /// (see the module docs for why that key is sound within one query).
-    results: FxHashMap<RelSet, RowSet>,
+    /// Ordered maps (rule R1): [`CheckpointStore::observed`] walks these
+    /// and its order reaches Γ insertion order and the replan loop.
+    results: BTreeMap<RelSet, RowSet>,
     /// Exact observed output cardinality of every completed node —
     /// everything `results` holds, kept separately so callers can fold the
     /// counts into Γ without touching the row sets.
-    observed: FxHashMap<RelSet, u64>,
+    observed: BTreeMap<RelSet, u64>,
     /// Suspension history: the breaker subtree executed at each
     /// [`ExecStep::Suspended`], in order. Later breakers may strictly
     /// contain earlier ones (the remainder keeps joining on top).
@@ -75,8 +78,8 @@ impl CheckpointStore {
         self.results.contains_key(&set)
     }
 
-    /// Exact observed cardinalities of every completed node, in
-    /// unspecified order.
+    /// Exact observed cardinalities of every completed node, in ascending
+    /// [`RelSet`] order — deterministic across runs and processes.
     pub fn observed(&self) -> impl Iterator<Item = (RelSet, u64)> + '_ {
         self.observed.iter().map(|(&s, &n)| (s, n))
     }

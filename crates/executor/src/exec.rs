@@ -37,7 +37,6 @@
 //! traces, and every downstream validated cardinality.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 use crate::agg::{aggregate_opts, AggOutput};
 use crate::metrics::ExecMetrics;
@@ -265,7 +264,7 @@ impl<'a> Executor<'a> {
 
     /// Execute the full query: join pipeline plus optional aggregation.
     pub fn run(&self, query: &Query, plan: &PhysicalPlan) -> Result<QueryOutput> {
-        let start = Instant::now();
+        let start = reopt_common::Stopwatch::start();
         let mut state = ExecState::new(false);
         let rows = self.exec_node(query, plan, &mut state)?;
         let agg = match &query.aggregate {
@@ -289,7 +288,7 @@ impl<'a> Executor<'a> {
 
     /// Execute the join pipeline only, returning the row set.
     pub fn run_rowset(&self, query: &Query, plan: &PhysicalPlan) -> Result<(RowSet, ExecMetrics)> {
-        let start = Instant::now();
+        let start = reopt_common::Stopwatch::start();
         let mut state = ExecState::new(false);
         let rows = self.exec_node(query, plan, &mut state)?;
         state.metrics.elapsed = start.elapsed();
@@ -299,7 +298,7 @@ impl<'a> Executor<'a> {
     /// Execute the join pipeline and record every node's output
     /// cardinality — the sampling validator's entry point.
     pub fn run_traced(&self, query: &Query, plan: &PhysicalPlan) -> Result<TracedRun> {
-        let start = Instant::now();
+        let start = reopt_common::Stopwatch::start();
         let mut state = ExecState::new(true);
         let rows = self.exec_node(query, plan, &mut state)?;
         state.metrics.elapsed = start.elapsed();
@@ -321,7 +320,7 @@ impl<'a> Executor<'a> {
         plan: &PhysicalPlan,
         cache: &mut dyn SubtreeCache,
     ) -> Result<TracedRun> {
-        let start = Instant::now();
+        let start = reopt_common::Stopwatch::start();
         let mut state = ExecState::new(true);
         state.cache = Some(cache);
         let rows = self.exec_node(query, plan, &mut state)?;
@@ -799,6 +798,7 @@ impl<'a> Executor<'a> {
                                 }
                             };
                             if emitted_here > 0 {
+                                // lint: relaxed-ok(fetch_add RMWs on one atomic are totally ordered, so the running total is exact regardless of interleaving; the cap check needs only the count, no other memory)
                                 let total = emitted.fetch_add(emitted_here, Ordering::Relaxed)
                                     + emitted_here;
                                 check_probe_cap(total, cap)?;

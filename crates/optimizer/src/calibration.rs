@@ -13,12 +13,11 @@
 //! paper observes on a warm buffer pool.
 
 use std::hint::black_box;
-use std::time::Instant;
 
 use crate::cost::CostUnits;
 use rand::RngExt;
 use reopt_common::rng::derive_rng;
-use reopt_common::FxHashMap;
+use reopt_common::{FxHashMap, Stopwatch};
 use reopt_storage::page::PAGE_SIZE;
 
 /// Raw per-operation timings (nanoseconds) behind a calibrated unit vector.
@@ -52,7 +51,7 @@ pub fn calibrate(seed: u64, scale: usize) -> CalibrationReport {
     let n_pages = n_tuples / words_per_page;
 
     // --- cpu_tuple: touch every tuple once.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut acc = 0i64;
     for &v in &data {
         acc = acc.wrapping_add(v);
@@ -62,7 +61,7 @@ pub fn calibrate(seed: u64, scale: usize) -> CalibrationReport {
 
     // --- cpu_operator: same traversal plus 4 comparisons per tuple; the
     // delta over the plain traversal, divided by 4, isolates one operator.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut count = 0u64;
     for &v in &data {
         if v > 100 && v < 900_000 && v != 12_345 && v % 2 == 0 {
@@ -78,7 +77,7 @@ pub fn calibrate(seed: u64, scale: usize) -> CalibrationReport {
     let probes: Vec<i64> = (0..200_000)
         .map(|_| rng.random_range(0..n_tuples as i64))
         .collect();
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut hits = 0u64;
     for &p in &probes {
         if index.contains_key(&p) {
@@ -89,7 +88,7 @@ pub fn calibrate(seed: u64, scale: usize) -> CalibrationReport {
     let cpu_index_tuple_ns = t0.elapsed().as_nanos() as f64 / probes.len() as f64;
 
     // --- seq_page: stream the data page by page.
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut acc = 0i64;
     for page in data.chunks(words_per_page) {
         for &v in page {
@@ -106,7 +105,7 @@ pub fn calibrate(seed: u64, scale: usize) -> CalibrationReport {
         let j = rng.random_range(0..=i);
         order.swap(i, j);
     }
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut acc = 0i64;
     for &p in &order {
         let start = p * words_per_page;

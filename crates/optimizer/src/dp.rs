@@ -201,7 +201,9 @@ pub fn plan_dp_pinned(
         stats.subsets_replanned += 1;
     }
     if n == 1 {
-        let e = memo.get(RelSet::single(RelId::new(0))).unwrap();
+        let e = memo
+            .get(RelSet::single(RelId::new(0)))
+            .ok_or_else(|| Error::internal("single-relation memo entry missing after seeding"))?;
         return Ok((e.plan.clone(), stats));
     }
 
@@ -227,7 +229,10 @@ pub fn plan_dp_pinned(
             stats.subsets_reused += 1;
             continue;
         }
-        let lowest = RelSet::single(set.min_rel().unwrap());
+        let lowest = RelSet::single(
+            set.min_rel()
+                .ok_or_else(|| Error::internal("non-empty set has no minimum relation"))?,
+        );
         let mut best: Option<MemoEntry> = None;
         for s1 in set.proper_subsets() {
             // Canonical halving: s1 keeps the lowest relation.
@@ -344,7 +349,9 @@ fn join_candidates(
     }
     if ops.index_nested && rs.len() == 1 && !keys.is_empty() {
         // Inner must be a base scan whose first-key column is indexed.
-        let inner_rel = rs.min_rel().unwrap();
+        let inner_rel = rs
+            .min_rel()
+            .ok_or_else(|| Error::internal("singleton inner set has no relation"))?;
         let inner_table = db.table(query.table_of(inner_rel)?)?;
         let first_inner_col = keys[0].1.col;
         if inner_table.has_index(first_inner_col) {

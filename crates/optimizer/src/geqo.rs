@@ -86,8 +86,14 @@ pub fn plan_geqo(
         repair_connectivity(query, est, &mut child);
         let cost = order_cost(db, query, est, model, ops, &child)?;
         stats.join_orders_considered += 1;
-        // Replace the worst individual if the child improves on it.
-        if cost < population.last().unwrap().1 {
+        // Replace the worst individual if the child improves on it. The
+        // population was filled above, so `last()` cannot miss; treat a
+        // corrupted state as an error, not a panic.
+        let worst = population
+            .last()
+            .ok_or_else(|| Error::internal("geqo population is empty"))?
+            .1;
+        if cost < worst {
             population.pop();
             let pos = population
                 .binary_search_by(|e| e.1.total_cmp(&cost))

@@ -17,8 +17,9 @@
 //! contract and [`reopt_core`-level] callers own one memo per
 //! re-optimization run.
 
-use reopt_common::{FxHashMap, RelSet};
+use reopt_common::RelSet;
 use reopt_plan::PhysicalPlan;
+use std::collections::BTreeMap;
 
 /// One planned subtree: the DP table's value type.
 #[derive(Debug, Clone)]
@@ -33,9 +34,13 @@ pub(crate) struct MemoEntry {
 
 /// A persistent DP table keyed by [`RelSet`], reusable across
 /// re-optimization rounds.
+///
+/// Ordered map (rule R1): invalidation visits the table, and the DP's
+/// lookups are set-keyed, so an ordered walk keeps every traversal of the
+/// memo deterministic by construction.
 #[derive(Debug, Clone, Default)]
 pub struct PlanMemo {
-    entries: FxHashMap<RelSet, MemoEntry>,
+    entries: BTreeMap<RelSet, MemoEntry>,
 }
 
 impl PlanMemo {

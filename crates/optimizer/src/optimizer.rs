@@ -13,7 +13,7 @@ use crate::dp::{plan_dp, plan_dp_incremental, OperatorSet, SearchStats};
 use crate::geqo::{plan_geqo, GeqoConfig};
 use crate::memo::PlanMemo;
 use crate::overrides::CardOverrides;
-use reopt_common::Result;
+use reopt_common::{Error, Result};
 use reopt_plan::{PhysicalPlan, Query};
 use reopt_stats::DatabaseStats;
 use reopt_storage::Database;
@@ -312,7 +312,9 @@ fn cost_subtree(
             let (lrows, lcost) = cost_subtree(db, query, est, model, left)?;
             match algo {
                 JoinAlgo::IndexNested => {
-                    let inner_rel = right.relset().min_rel().unwrap();
+                    let inner_rel = right.relset().min_rel().ok_or_else(|| {
+                        Error::internal("index-nested inner subtree covers no relation")
+                    })?;
                     let inner_table = db.table(query.table_of(inner_rel)?)?;
                     let residuals =
                         query.local_predicates(inner_rel).len() + keys.len().saturating_sub(1);

@@ -16,15 +16,22 @@
 //! ([`CardOverrides::insert`], [`CardOverrides::merge`]) silently skip
 //! sets already known exactly — an estimate must never displace a fact.
 
-use reopt_common::{FxHashMap, FxHashSet, RelSet};
+use reopt_common::RelSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Validated cardinalities for one query (the paper's Γ).
+///
+/// Stored in ordered maps: Γ is iterated when merging Δ and when reports
+/// and caches walk the validated sets, and an unordered walk there is
+/// exactly the class of silent determinism hazard rule R1 of `reopt-lint`
+/// exists to catch. Γ is small (one entry per validated join subset), so
+/// the `BTreeMap` costs nothing measurable next to a sample run.
 #[derive(Debug, Clone, Default)]
 pub struct CardOverrides {
-    map: FxHashMap<RelSet, f64>,
+    map: BTreeMap<RelSet, f64>,
     /// Sets whose entry is an exact observed count, not a sampled
     /// estimate. Invariant: `exact ⊆ map.keys()`.
-    exact: FxHashSet<RelSet>,
+    exact: BTreeSet<RelSet>,
 }
 
 impl CardOverrides {
@@ -104,7 +111,8 @@ impl CardOverrides {
         self.map.is_empty()
     }
 
-    /// Iterate the validated (set, rows) pairs in unspecified order.
+    /// Iterate the validated (set, rows) pairs in ascending [`RelSet`]
+    /// order — deterministic across runs and processes.
     pub fn iter(&self) -> impl Iterator<Item = (RelSet, f64)> + '_ {
         self.map.iter().map(|(&s, &r)| (s, r))
     }

@@ -172,11 +172,11 @@ impl SharedSampleRunCache {
         Self::default()
     }
 
-    /// All map operations are single HashMap inserts/lookups, so a sharer
+    /// All map operations are single map inserts/lookups, so a sharer
     /// that panicked mid-operation cannot leave the cache torn: recover
     /// the guard instead of propagating the poison.
     fn lock(&self) -> MutexGuard<'_, SampleRunCache> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        reopt_common::lock_unpoisoned(&self.inner)
     }
 
     /// Point-in-time counters.

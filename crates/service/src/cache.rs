@@ -27,11 +27,12 @@
 //! lookup, so a bump is O(1) and stale plans are re-optimized on next
 //! touch, not en masse.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
-use reopt_common::{Error, FxHashMap, Result};
+use reopt_common::{lock_unpoisoned, Error, Result};
 use reopt_plan::PhysicalPlan;
 
 /// A cached re-optimization outcome for one query template.
@@ -62,15 +63,17 @@ pub(crate) struct Flight {
 impl Flight {
     /// Block until the leader publishes, then return its result.
     pub(crate) fn wait(&self) -> Result<CachedPlan> {
-        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
-        while guard.is_none() {
+        let mut guard = lock_unpoisoned(&self.result);
+        loop {
+            if let Some(result) = guard.as_ref() {
+                return result.clone();
+            }
             guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
-        guard.as_ref().expect("published above").clone()
     }
 
     fn publish(&self, result: Result<CachedPlan>) {
-        let mut guard = self.result.lock().unwrap_or_else(|e| e.into_inner());
+        let mut guard = lock_unpoisoned(&self.result);
         *guard = Some(result);
         self.cv.notify_all();
     }
@@ -141,7 +144,12 @@ impl Drop for LeadGuard {
 /// The shared, thread-safe plan cache (see the module docs).
 #[derive(Debug)]
 pub struct PlanCache {
-    slots: Mutex<FxHashMap<u64, Slot>>,
+    /// Fingerprint → slot. Ordered map (rule R1): eviction scans the
+    /// slots, and an ordered walk keeps that scan — and with it which
+    /// entry dies on an LRU-tick tie — deterministic by construction. The
+    /// map never exceeds `capacity` + in-flight slots, so the `BTreeMap`
+    /// lookup is noise next to the re-optimization it fronts.
+    slots: Mutex<BTreeMap<u64, Slot>>,
     /// Max `Ready` entries kept; ≥ 1.
     capacity: usize,
     /// Logical LRU clock.
@@ -154,7 +162,7 @@ impl PlanCache {
     /// Cache holding at most `capacity` plans (clamped to ≥ 1).
     pub fn new(capacity: usize) -> Self {
         PlanCache {
-            slots: Mutex::new(FxHashMap::default()),
+            slots: Mutex::new(BTreeMap::new()),
             capacity: capacity.max(1),
             tick: AtomicU64::new(0),
             lru_evictions: AtomicU64::new(0),
@@ -164,11 +172,12 @@ impl PlanCache {
 
     /// Every mutation under this lock is a single map operation, so a
     /// panicked sharer cannot leave the map torn: recover from poison.
-    fn lock(&self) -> MutexGuard<'_, FxHashMap<u64, Slot>> {
-        self.slots.lock().unwrap_or_else(|e| e.into_inner())
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<u64, Slot>> {
+        lock_unpoisoned(&self.slots)
     }
 
     fn next_tick(&self) -> u64 {
+        // lint: relaxed-ok(fetch_add RMWs on one atomic are totally ordered, so ticks are unique; ticks are compared only among themselves for LRU age, and all stores/loads of `last_used` happen under the slots lock)
         self.tick.fetch_add(1, Ordering::Relaxed)
     }
 
@@ -187,12 +196,14 @@ impl PlanCache {
 
     /// Plans evicted to stay under capacity, lifetime total.
     pub fn lru_evictions(&self) -> u64 {
+        // lint: relaxed-ok(monotonic telemetry counter; never read to make a control decision, and readers that need a settled value join the writers first)
         self.lru_evictions.load(Ordering::Relaxed)
     }
 
     /// Plans evicted because their statistics version was stale, lifetime
     /// total.
     pub fn stale_evictions(&self) -> u64 {
+        // lint: relaxed-ok(monotonic telemetry counter; never read to make a control decision)
         self.stale_evictions.load(Ordering::Relaxed)
     }
 
@@ -216,6 +227,7 @@ impl PlanCache {
         if let Some(Slot::Ready(entry)) = slots.get(&fingerprint) {
             if entry.cached.stats_version < stats_version {
                 slots.remove(&fingerprint);
+                // lint: relaxed-ok(telemetry counter bumped under the slots lock; the lock orders it with the eviction it counts)
                 self.stale_evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -273,7 +285,7 @@ impl PlanCache {
     /// evicted — a waiter holds a flight reference, not a map reference,
     /// so eviction could strand nobody anyway, but the leader's pending
     /// insert must not be raced away.
-    fn evict_over_capacity(&self, slots: &mut FxHashMap<u64, Slot>) {
+    fn evict_over_capacity(&self, slots: &mut BTreeMap<u64, Slot>) {
         loop {
             let ready = slots
                 .iter()
@@ -287,6 +299,7 @@ impl PlanCache {
             }
             if let Some(&(victim, _)) = ready.iter().min_by_key(|(_, used)| *used) {
                 slots.remove(&victim);
+                // lint: relaxed-ok(telemetry counter bumped under the slots lock; the lock orders it with the eviction it counts)
                 self.lru_evictions.fetch_add(1, Ordering::Relaxed);
             } else {
                 return;

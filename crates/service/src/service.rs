@@ -2,10 +2,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::cache::{Admission, CachedPlan, PlanCache};
-use reopt_common::Result;
+use reopt_common::{Result, Stopwatch};
 use reopt_core::{MidQueryStats, ReOptConfig, ReoptEngine};
 use reopt_executor::{ExecOpts, Executor, QueryOutput};
 use reopt_optimizer::OptimizerConfig;
@@ -186,16 +186,18 @@ impl QueryService {
     /// already re-optimizing the same template (single-flight), in which
     /// case it returns that session's plan on completion.
     pub fn submit(&self, query: &Query) -> Result<ServiceResponse> {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
+        // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
         self.submitted.fetch_add(1, Ordering::Relaxed);
         let r = self.submit_inner(query, t0);
         if r.is_err() {
+            // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
         r
     }
 
-    fn submit_inner(&self, query: &Query, t0: Instant) -> Result<ServiceResponse> {
+    fn submit_inner(&self, query: &Query, t0: Stopwatch) -> Result<ServiceResponse> {
         // Validate up front: a malformed query must fail identically
         // whether its template is cached or not.
         query.validate(self.engine.db())?;
@@ -203,15 +205,18 @@ impl QueryService {
         let version = self.stats_version.load(Ordering::Acquire);
         match self.plans.begin(template, version) {
             Admission::Hit(cached) => {
+                // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
                 self.warm_hits.fetch_add(1, Ordering::Relaxed);
                 Ok(respond(cached, PlanSource::WarmHit, template, t0))
             }
             Admission::Wait(flight) => {
                 let cached = flight.wait()?;
+                // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
                 Ok(respond(cached, PlanSource::Coalesced, template, t0))
             }
             Admission::Lead(guard) => {
+                // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
                 self.reopts_run.fetch_add(1, Ordering::Relaxed);
                 let outcome = if self.share_sample_runs {
                     self.engine.reoptimize_shared(query, &self.sample_cache)
@@ -228,6 +233,7 @@ impl QueryService {
                             stats_version: version,
                         };
                         guard.complete(Ok(cached.clone()));
+                        // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
                         self.cold_misses.fetch_add(1, Ordering::Relaxed);
                         Ok(respond(cached, PlanSource::ColdMiss, template, t0))
                     }
@@ -255,7 +261,7 @@ impl QueryService {
     pub fn execute(&self, query: &Query) -> Result<ExecutedQuery> {
         let response = self.submit(query)?;
         if self.engine.reopt_config().mid_query {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             let run = self.engine.execute_plan_mid_query(
                 query,
                 &response.plan,
@@ -301,11 +307,17 @@ impl QueryService {
     /// Point-in-time counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
+            // lint: relaxed-ok(point-in-time telemetry snapshot; each counter is independently monotonic and no cross-counter invariant is promised)
             submitted: self.submitted.load(Ordering::Relaxed),
+            // lint: relaxed-ok(point-in-time telemetry snapshot; each counter is independently monotonic and no cross-counter invariant is promised)
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            // lint: relaxed-ok(point-in-time telemetry snapshot; each counter is independently monotonic and no cross-counter invariant is promised)
             cold_misses: self.cold_misses.load(Ordering::Relaxed),
+            // lint: relaxed-ok(point-in-time telemetry snapshot; each counter is independently monotonic and no cross-counter invariant is promised)
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            // lint: relaxed-ok(point-in-time telemetry snapshot; each counter is independently monotonic and no cross-counter invariant is promised)
             reopts_run: self.reopts_run.load(Ordering::Relaxed),
+            // lint: relaxed-ok(point-in-time telemetry snapshot; each counter is independently monotonic and no cross-counter invariant is promised)
             errors: self.errors.load(Ordering::Relaxed),
             lru_evictions: self.plans.lru_evictions(),
             stale_evictions: self.plans.stale_evictions(),
@@ -326,6 +338,7 @@ impl QueryService {
     pub fn session(self: &Arc<Self>) -> Session {
         Session {
             service: Arc::clone(self),
+            // lint: relaxed-ok(fetch_add RMWs on one atomic are totally ordered, so ids are unique; no other memory is published with the id)
             id: self.next_session.fetch_add(1, Ordering::Relaxed),
             submitted: 0,
         }
@@ -346,7 +359,12 @@ pub struct ExecutedQuery {
     pub mid_query: Option<MidQueryStats>,
 }
 
-fn respond(cached: CachedPlan, source: PlanSource, template: u64, t0: Instant) -> ServiceResponse {
+fn respond(
+    cached: CachedPlan,
+    source: PlanSource,
+    template: u64,
+    t0: Stopwatch,
+) -> ServiceResponse {
     ServiceResponse {
         plan: cached.plan,
         source,

@@ -51,6 +51,7 @@ impl EquiDepthHistogram {
 
     /// Largest recorded value.
     pub fn max(&self) -> i64 {
+        // lint: panic-ok(constructor invariant: from_sorted returns None unless bounds has >= 2 entries, so last() cannot miss)
         *self.bounds.last().unwrap()
     }
 

@@ -164,12 +164,14 @@ pub fn take_i64_buffer() -> PooledI64 {
 impl Deref for PooledU32 {
     type Target = Vec<u32>;
     fn deref(&self) -> &Vec<u32> {
+        // lint: panic-ok(Deref cannot return Result; the Option is None only transiently inside Drop, which never derefs)
         self.0.as_ref().expect("pooled buffer taken")
     }
 }
 
 impl DerefMut for PooledU32 {
     fn deref_mut(&mut self) -> &mut Vec<u32> {
+        // lint: panic-ok(Deref cannot return Result; the Option is None only transiently inside Drop, which never derefs)
         self.0.as_mut().expect("pooled buffer taken")
     }
 }
@@ -187,12 +189,14 @@ impl Drop for PooledU32 {
 impl Deref for PooledI64 {
     type Target = Vec<i64>;
     fn deref(&self) -> &Vec<i64> {
+        // lint: panic-ok(Deref cannot return Result; the Option is None only transiently inside Drop, which never derefs)
         self.0.as_ref().expect("pooled buffer taken")
     }
 }
 
 impl DerefMut for PooledI64 {
     fn deref_mut(&mut self) -> &mut Vec<i64> {
+        // lint: panic-ok(Deref cannot return Result; the Option is None only transiently inside Drop, which never derefs)
         self.0.as_mut().expect("pooled buffer taken")
     }
 }

@@ -33,7 +33,9 @@ impl Zipf {
             *v /= total;
         }
         // Guard the tail against floating-point shortfall.
-        *cdf.last_mut().unwrap() = 1.0;
+        if let Some(tail) = cdf.last_mut() {
+            *tail = 1.0;
+        }
         Zipf { cdf }
     }
 
@@ -45,7 +47,7 @@ impl Zipf {
     /// Draw one value in `0..n`.
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u: f64 = rng.random_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+        match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

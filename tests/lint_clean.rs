@@ -1,0 +1,69 @@
+//! Tier-1 gate: the static-analysis pass must be clean.
+//!
+//! Runs `reopt-lint` in-process over `crates/*/src` against the checked-in
+//! `lint-baseline.toml`, so `cargo test` fails on any new violation — an
+//! unordered hash iteration in a result-producing crate, a panic path in
+//! library code, a stray wall-clock read, an unjustified `Relaxed`, or a
+//! poison-propagating `.lock().unwrap()` — exactly like the CI job
+//! (`cargo run -p reopt-lint -- --check`).
+
+use reopt_lint::{check, render_report, scan_workspace, Baseline};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load_baseline() -> Baseline {
+    let path = workspace_root().join("lint-baseline.toml");
+    let text = std::fs::read_to_string(&path).expect("lint-baseline.toml at the workspace root");
+    Baseline::parse(&text).expect("lint-baseline.toml parses")
+}
+
+#[test]
+fn workspace_has_no_new_lint_violations() {
+    let baseline = load_baseline();
+    let violations = scan_workspace(workspace_root()).expect("scan crates/*/src");
+    let outcome = check(&violations, &baseline);
+    assert!(
+        outcome.passed(),
+        "reopt-lint found problems:\n{}",
+        render_report(&outcome, &baseline)
+    );
+}
+
+#[test]
+fn burned_down_crates_stay_out_of_the_baseline() {
+    // The deny ratchet: these crates finished their burn-down with zero
+    // grandfathered debt, and the baseline must never readmit them.
+    let baseline = load_baseline();
+    for prefix in [
+        "crates/core",
+        "crates/executor",
+        "crates/optimizer",
+        "crates/service",
+    ] {
+        assert!(
+            baseline.denied(&format!("{prefix}/src/lib.rs")),
+            "{prefix} must be deny-listed in lint-baseline.toml"
+        );
+        assert!(
+            baseline.entries.iter().all(|e| !e.file.starts_with(prefix)),
+            "{prefix} has a baseline entry despite being burned down"
+        );
+    }
+}
+
+#[test]
+fn baseline_is_fully_consumed() {
+    // Entries that no longer match any finding are stale debt records and
+    // must be deleted — the ratchet only tightens.
+    let baseline = load_baseline();
+    let violations = scan_workspace(workspace_root()).expect("scan crates/*/src");
+    let outcome = check(&violations, &baseline);
+    assert!(
+        outcome.stale_entries.is_empty(),
+        "stale baseline entries (no matching findings): {:?}",
+        outcome.stale_entries
+    );
+}

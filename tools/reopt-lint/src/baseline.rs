@@ -1,0 +1,249 @@
+//! The checked-in violation baseline (`lint-baseline.toml`).
+//!
+//! The baseline grandfathers pre-existing violations so the gate is
+//! zero-new-violations from day one: a (file, rule) group may carry at most
+//! `allowed` un-waived findings, and every entry must say why it is still
+//! allowed to exist. The `deny` list is the burn-down ratchet — path
+//! prefixes (whole crates) whose baseline entries are *forbidden*, so a
+//! crate that has been cleaned can never silently regress into the
+//! baseline.
+//!
+//! Hand-parsed TOML subset (no registry deps): `#` comments, one
+//! single-line `deny = [ "…", … ]` array, and `[[entry]]` tables of
+//! `string` / integer keys.
+
+use crate::rules::Rule;
+use std::fmt;
+
+/// One grandfathered (file, rule) group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    pub rule: Rule,
+    /// Maximum number of un-waived violations tolerated.
+    pub allowed: usize,
+    /// Why the debt is still carried. Must be non-empty.
+    pub reason: String,
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Path prefixes for which baseline entries are forbidden.
+    pub deny: Vec<String>,
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// A baseline parse failure, with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Look up the entry for a (file, rule) group.
+    pub fn entry(&self, file: &str, rule: Rule) -> Option<&BaselineEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.file == file && e.rule == rule)
+    }
+
+    /// Whether `file` falls under a burned-down (deny-listed) prefix.
+    pub fn denied(&self, file: &str) -> bool {
+        self.deny.iter().any(|p| file.starts_with(p.as_str()))
+    }
+
+    /// Parse the baseline file format.
+    pub fn parse(text: &str) -> Result<Baseline, ParseError> {
+        let mut b = Baseline::default();
+        let mut current: Option<BaselineEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[entry]]" {
+                if let Some(e) = current.take() {
+                    finish_entry(e, lineno, &mut b)?;
+                }
+                current = Some(BaselineEntry {
+                    file: String::new(),
+                    rule: Rule::Panic,
+                    allowed: 0,
+                    reason: String::new(),
+                });
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("expected `key = value` or `[[entry]]`, got `{line}`"),
+                });
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match (&mut current, key) {
+                (None, "deny") => {
+                    b.deny = parse_string_array(value).ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: "deny must be a single-line array of strings".to_string(),
+                    })?;
+                }
+                (None, _) => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unknown top-level key `{key}`"),
+                    });
+                }
+                (Some(e), "file") => {
+                    e.file = parse_string(value).ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: "file must be a quoted string".to_string(),
+                    })?;
+                }
+                (Some(e), "rule") => {
+                    let id = parse_string(value).ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: "rule must be a quoted string".to_string(),
+                    })?;
+                    e.rule = Rule::from_id(&id).ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: format!("unknown rule id `{id}`"),
+                    })?;
+                    if e.rule == Rule::WaiverSyntax {
+                        return Err(ParseError {
+                            line: lineno,
+                            message: "waiver-syntax violations cannot be baselined".to_string(),
+                        });
+                    }
+                }
+                (Some(e), "allowed") => {
+                    e.allowed = value.parse().map_err(|_| ParseError {
+                        line: lineno,
+                        message: format!("allowed must be an integer, got `{value}`"),
+                    })?;
+                }
+                (Some(e), "reason") => {
+                    e.reason = parse_string(value).ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: "reason must be a quoted string".to_string(),
+                    })?;
+                }
+                (Some(_), _) => {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: format!("unknown entry key `{key}`"),
+                    });
+                }
+            }
+        }
+        let last_line = text.lines().count();
+        if let Some(e) = current.take() {
+            finish_entry(e, last_line, &mut b)?;
+        }
+        Ok(b)
+    }
+
+    /// Serialize back to the file format (stable order: file, then rule).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# reopt-lint baseline — grandfathered violations.\n\
+             #\n\
+             # Every entry documents debt: at most `allowed` un-waived findings of\n\
+             # `rule` in `file`, with a written reason. New violations are rejected.\n\
+             # Regenerate counts with `cargo run -p reopt-lint -- --write-baseline`\n\
+             # (reasons are preserved). Crates under a `deny` prefix have been burned\n\
+             # down and may never re-enter this file.\n",
+        );
+        if !self.deny.is_empty() {
+            let items = self
+                .deny
+                .iter()
+                .map(|d| format!("\"{d}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("\ndeny = [{items}]\n"));
+        }
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| (&a.file, a.rule).cmp(&(&b.file, b.rule)));
+        for e in &entries {
+            out.push_str(&format!(
+                "\n[[entry]]\nfile = \"{}\"\nrule = \"{}\"\nallowed = {}\nreason = \"{}\"\n",
+                e.file,
+                e.rule.id(),
+                e.allowed,
+                e.reason
+            ));
+        }
+        out
+    }
+}
+
+fn finish_entry(e: BaselineEntry, line: usize, b: &mut Baseline) -> Result<(), ParseError> {
+    if e.file.is_empty() {
+        return Err(ParseError {
+            line,
+            message: "entry missing `file`".to_string(),
+        });
+    }
+    if e.reason.trim().is_empty() {
+        return Err(ParseError {
+            line,
+            message: format!(
+                "entry for `{}` has no reason — every grandfathered violation must say why",
+                e.file
+            ),
+        });
+    }
+    if b.entries
+        .iter()
+        .any(|x| x.file == e.file && x.rule == e.rule)
+    {
+        return Err(ParseError {
+            line,
+            message: format!("duplicate entry for ({}, {})", e.file, e.rule),
+        });
+    }
+    b.entries.push(e);
+    Ok(())
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Option<String> {
+    let v = value.trim();
+    v.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
+}
+
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    let v = value.trim().strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for item in v.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item)?);
+    }
+    Some(out)
+}

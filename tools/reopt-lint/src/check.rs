@@ -1,0 +1,247 @@
+//! Workspace scan + baseline reconciliation.
+
+use crate::baseline::{Baseline, BaselineEntry};
+use crate::rules::{lint_source, parse_waivers, Rule, Violation, Waiver};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Scan every `crates/*/src/**/*.rs` under `root` and return all raw
+/// violations, in deterministic (path, line) order.
+pub fn scan_workspace(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for krate in sorted_dir(&crates_dir)? {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let rel = rel_path(root, &path);
+        let crate_name = crate_name_of(&rel);
+        let source = fs::read_to_string(&path)?;
+        out.extend(lint_source(&rel, &crate_name, &source));
+    }
+    Ok(out)
+}
+
+/// Every waiver comment in the scanned tree, for auditing.
+pub fn scan_waivers(root: &Path) -> io::Result<Vec<(String, Waiver)>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for krate in sorted_dir(&crates_dir)? {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        let rel = rel_path(root, &path);
+        let source = fs::read_to_string(&path)?;
+        let lexed = crate::lexer::lex(&source);
+        for (idx, l) in lexed.lines.iter().enumerate() {
+            for w in parse_waivers(&l.comment, idx + 1) {
+                out.push((rel.clone(), w));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        out.push(entry?.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for path in sorted_dir(dir)? {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn crate_name_of(rel: &str) -> String {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("")
+        .to_string()
+}
+
+/// The reconciled outcome of a `--check` run.
+#[derive(Debug, Default)]
+pub struct CheckOutcome {
+    /// Violations not covered by the baseline. Non-empty ⇒ fail.
+    pub new_violations: Vec<Violation>,
+    /// Baseline entries naming a deny-listed (burned-down) path. Fail.
+    pub denied_entries: Vec<BaselineEntry>,
+    /// Baseline entries whose actual count dropped below `allowed`
+    /// (stale debt — tighten the baseline). Warning only.
+    pub stale_entries: Vec<(BaselineEntry, usize)>,
+    /// Total violations seen, including baselined ones.
+    pub total: usize,
+    /// Violations absorbed by the baseline.
+    pub baselined: usize,
+}
+
+impl CheckOutcome {
+    pub fn passed(&self) -> bool {
+        self.new_violations.is_empty() && self.denied_entries.is_empty()
+    }
+}
+
+/// Reconcile raw violations against the baseline.
+///
+/// Grouping is (file, rule): an entry absorbs up to `allowed` findings in
+/// its group; the excess — and every finding in an un-baselined group — is
+/// a new violation. Within a group the *first* `allowed` findings (by line)
+/// are absorbed; this keeps the report stable across runs.
+pub fn check(violations: &[Violation], baseline: &Baseline) -> CheckOutcome {
+    let mut outcome = CheckOutcome {
+        total: violations.len(),
+        ..Default::default()
+    };
+
+    let mut groups: BTreeMap<(String, Rule), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        groups.entry((v.file.clone(), v.rule)).or_default().push(v);
+    }
+
+    for ((file, rule), group) in &groups {
+        let allowed = match baseline.entry(file, *rule) {
+            // Waiver-syntax findings are never absorbed (parse() also
+            // rejects such entries, so this arm is belt-and-braces).
+            Some(e) if *rule != Rule::WaiverSyntax => e.allowed,
+            _ => 0,
+        };
+        let absorbed = group.len().min(allowed);
+        outcome.baselined += absorbed;
+        for v in &group[absorbed..] {
+            outcome.new_violations.push((*v).clone());
+        }
+    }
+
+    for e in &baseline.entries {
+        if baseline.denied(&e.file) {
+            outcome.denied_entries.push(e.clone());
+        }
+        let actual = groups.get(&(e.file.clone(), e.rule)).map_or(0, Vec::len);
+        if actual < e.allowed {
+            outcome.stale_entries.push((e.clone(), actual));
+        }
+    }
+    outcome
+}
+
+/// Build a fresh baseline from the current violations, preserving reasons
+/// from `previous` where a (file, rule) group survives.
+pub fn regenerate_baseline(violations: &[Violation], previous: &Baseline) -> Baseline {
+    let mut groups: BTreeMap<(String, Rule), usize> = BTreeMap::new();
+    for v in violations {
+        if v.rule == Rule::WaiverSyntax {
+            continue; // must be fixed, not baselined
+        }
+        *groups.entry((v.file.clone(), v.rule)).or_default() += 1;
+    }
+    let mut b = Baseline {
+        deny: previous.deny.clone(),
+        entries: Vec::new(),
+    };
+    for ((file, rule), count) in groups {
+        let reason = previous
+            .entry(&file, rule)
+            .map(|e| e.reason.clone())
+            .unwrap_or_else(|| "TODO: justify or burn down".to_string());
+        b.entries.push(BaselineEntry {
+            file,
+            rule,
+            allowed: count,
+            reason,
+        });
+    }
+    b
+}
+
+/// Human-readable residual report (also uploaded as a CI artifact).
+pub fn render_report(outcome: &CheckOutcome, baseline: &Baseline) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "reopt-lint report");
+    let _ = writeln!(out, "=================");
+    let _ = writeln!(
+        out,
+        "total findings: {} ({} baselined, {} new)",
+        outcome.total,
+        outcome.baselined,
+        outcome.new_violations.len()
+    );
+    let _ = writeln!(out, "baseline entries: {}", baseline.entries.len());
+    if !baseline.deny.is_empty() {
+        let _ = writeln!(
+            out,
+            "burned-down (deny-listed): {}",
+            baseline.deny.join(", ")
+        );
+    }
+    if !outcome.new_violations.is_empty() {
+        let _ = writeln!(out, "\nNEW VIOLATIONS");
+        for v in &outcome.new_violations {
+            let _ = writeln!(out, "{v}");
+        }
+    }
+    if !outcome.denied_entries.is_empty() {
+        let _ = writeln!(out, "\nBASELINE ENTRIES IN BURNED-DOWN CRATES (forbidden)");
+        for e in &outcome.denied_entries {
+            let _ = writeln!(out, "  {} [{}] allowed={}", e.file, e.rule.id(), e.allowed);
+        }
+    }
+    if !outcome.stale_entries.is_empty() {
+        let _ = writeln!(out, "\nSTALE BASELINE ENTRIES (actual < allowed; tighten)");
+        for (e, actual) in &outcome.stale_entries {
+            let _ = writeln!(
+                out,
+                "  {} [{}] allowed={} actual={}",
+                e.file,
+                e.rule.id(),
+                e.allowed,
+                actual
+            );
+        }
+    }
+    if !baseline.entries.is_empty() {
+        let _ = writeln!(out, "\nRESIDUAL DEBT (baselined)");
+        let mut entries = baseline.entries.clone();
+        entries.sort_by(|a, b| (&a.file, a.rule).cmp(&(&b.file, b.rule)));
+        for e in &entries {
+            let _ = writeln!(
+                out,
+                "  {} [{}] allowed={} — {}",
+                e.file,
+                e.rule.id(),
+                e.allowed,
+                e.reason
+            );
+        }
+    }
+    out
+}

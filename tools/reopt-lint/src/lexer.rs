@@ -1,0 +1,317 @@
+//! A minimal Rust lexer: good enough to know, for every source line, which
+//! bytes are *code*, which are *comment*, and whether the line lives inside
+//! a `#[cfg(test)]` region.
+//!
+//! This is deliberately not a parser. The rules in [`crate::rules`] are
+//! token-pattern checks, so all the lexer must guarantee is:
+//!
+//! * string / char / raw-string literal *contents* never leak into the code
+//!   channel (a `"Instant::now"` inside an error message must not fire R3),
+//! * comment text is preserved separately (waivers live in comments),
+//! * `#[cfg(test)]` items are recognised and their whole brace-balanced
+//!   extent is marked, so test-only code is exempt from every rule.
+
+/// One source line, split into channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments removed and literal contents blanked out.
+    /// Delimiting quotes are kept so the text stays recognisably a literal.
+    pub code: String,
+    /// Concatenated comment text of this line (both `//` and `/* */`).
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A lexed source file: one [`Line`] per input line.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Number of `#` marks that close the raw string.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Lex `source` into per-line code/comment channels and mark
+/// `#[cfg(test)]` regions.
+pub fn lex(source: &str) -> LexedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    macro_rules! cur {
+        () => {
+            lines.last_mut().expect("lines starts non-empty")
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(Line::default());
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        cur!().code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    }
+                    'r' | 'b'
+                        if !prev_is_ident(&chars, i) && raw_str_hashes(&chars, i).is_some() =>
+                    {
+                        let (hashes, consumed) =
+                            raw_str_hashes(&chars, i).expect("checked in guard");
+                        cur!().code.push('"');
+                        state = State::RawStr(hashes);
+                        i += consumed;
+                    }
+                    'b' if !prev_is_ident(&chars, i) && next == Some('"') => {
+                        cur!().code.push('"');
+                        state = State::Str;
+                        i += 2;
+                    }
+                    '\'' => {
+                        // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                        // `'\n'`, `'\u{1F600}'`). A lifetime is `'` followed
+                        // by an identifier NOT closed by another `'`.
+                        if next == Some('\\') {
+                            cur!().code.push('\'');
+                            state = State::CharLit;
+                            i += 2; // consume the backslash; next char is escaped
+                            if i < chars.len() && chars[i] != '\n' {
+                                i += 1; // the escaped character itself
+                            }
+                        } else if next.is_some_and(|n| n.is_alphanumeric() || n == '_')
+                            && chars.get(i + 2).copied() != Some('\'')
+                        {
+                            cur!().code.push('\'');
+                            i += 1; // lifetime: stay in Code
+                        } else {
+                            cur!().code.push('\'');
+                            state = State::CharLit;
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        cur!().code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            State::LineComment => {
+                cur!().comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    cur!().comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Skip the escaped char (may be `"` or `\`) — unless it
+                    // is a line-continuation newline, which the top of the
+                    // loop must see to keep line numbers in sync.
+                    i += if chars.get(i + 1) == Some(&'\n') {
+                        1
+                    } else {
+                        2
+                    };
+                } else if c == '"' {
+                    cur!().code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1; // literal content: blanked
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    cur!().code.push('"');
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\'' {
+                    cur!().code.push('\'');
+                    state = State::Code;
+                }
+                i += 1;
+            }
+        }
+    }
+
+    let mut file = LexedFile { lines };
+    mark_test_regions(&mut file);
+    file
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If position `i` starts a raw string (`r"`, `r#"`, `br##"`...), return
+/// (number of hashes, chars consumed up to and including the opening `"`).
+fn raw_str_hashes(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+/// Whether the `"` at `i` is followed by `hashes` `#` marks.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item. The attribute is
+/// matched textually on the code channel; the item's extent runs from the
+/// attribute to the matching close of the first `{` that follows (or to the
+/// terminating `;` for `mod tests;` forms, which have no body here).
+fn mark_test_regions(file: &mut LexedFile) {
+    let n = file.lines.len();
+    let mut i = 0usize;
+    while i < n {
+        // `cfg(test)` (not `cfg(not(test))`, which marks *non*-test code).
+        let is_test_attr = file.lines[i].code.contains("cfg(test)");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Walk forward to the first `{` (start of the item body), then to
+        // its matching `}`. Everything in between is test-only.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        'outer: while j < n {
+            file.lines[j].in_test = true;
+            let line_code: Vec<char> = file.lines[j].code.chars().collect();
+            for &ch in &line_code {
+                match ch {
+                    '{' => {
+                        opened = true;
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            break 'outer;
+                        }
+                    }
+                    ';' if !opened => break 'outer, // `mod tests;` — no body
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"Instant::now\"; // Instant::now in comment\nlet y = 1;\n";
+        let f = lex(src);
+        assert!(!f.lines[0].code.contains("Instant::now"));
+        assert!(f.lines[0].comment.contains("Instant::now"));
+        assert!(f.lines[0].code.contains("let x = \"\""));
+        assert_eq!(f.lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src =
+            "let s = r#\"a \"quoted\" unwrap()\"#; let c = '\\n'; let l: &'static str = \"\";";
+        let f = lex(src);
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("'static"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\n unwrap() \n*/ c\n";
+        let f = lex(src);
+        assert_eq!(f.lines[0].code.trim_start().replace("  ", " "), "a b");
+        assert!(f.lines[2].code.is_empty());
+        assert!(f.lines[2].comment.contains("unwrap"));
+        assert_eq!(f.lines[3].code.trim(), "c");
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_declaration_only_mod() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() {}\n";
+        let f = lex(src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+}

@@ -1,0 +1,32 @@
+//! `reopt-lint` — the workspace determinism & robustness static-analysis
+//! pass.
+//!
+//! Execution in this workspace promises **bit-identical** results across
+//! thread counts, engines (row vs columnar), and mid-query replans. The
+//! equivalence suites check that promise on the workloads they run; this
+//! tool makes the underlying invariants *structural* by scanning every
+//! `crates/*/src` file for the hazards that break them silently:
+//!
+//! | rule | id | hazard |
+//! |------|----|--------|
+//! | R1 | `unordered-iter` | `HashMap`/`HashSet` iteration in result-producing crates |
+//! | R2 | `panic` | `unwrap`/`expect`/`panic!` in library code |
+//! | R3 | `wall-clock` | `Instant::now`/`SystemTime`/OS entropy outside `crates/bench` |
+//! | R4 | `relaxed` | `Ordering::Relaxed` without a written justification |
+//! | R5 | `lock-unwrap` | `.lock().unwrap()` poisoning panics |
+//!
+//! A site is suppressed with `// lint: <kind>-ok(<reason>)` on the same or
+//! the preceding line; the reason is mandatory. Pre-existing debt lives in
+//! `lint-baseline.toml`; burned-down crates are deny-listed there so they
+//! can never regress. See the README's "Static analysis" section.
+
+pub mod baseline;
+pub mod check;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use check::{
+    check, regenerate_baseline, render_report, scan_waivers, scan_workspace, CheckOutcome,
+};
+pub use rules::{lint_source, parse_waivers, Rule, Violation, Waiver};

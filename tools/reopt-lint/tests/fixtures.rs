@@ -1,0 +1,318 @@
+//! Per-rule fixture tests: each rule fires on its hazard, stays quiet on
+//! the safe spelling, and honors its waiver; plus baseline parsing and
+//! matching, and a workspace-wide sweep asserting every real waiver in the
+//! tree carries a known kind and a non-empty reason.
+
+use reopt_lint::baseline::ParseError;
+use reopt_lint::{check, lint_source, scan_waivers, Baseline, Rule, Violation};
+use std::path::Path;
+
+/// Lint a fixture as if it were `crates/<crate_name>/src/fixture.rs`.
+fn lint(crate_name: &str, source: &str) -> Vec<Violation> {
+    lint_source(
+        &format!("crates/{crate_name}/src/fixture.rs"),
+        crate_name,
+        source,
+    )
+}
+
+fn rules(violations: &[Violation]) -> Vec<Rule> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+// ---------------------------------------------------------------- R1
+
+#[test]
+fn r1_fires_on_hash_map_iteration_in_result_crate() {
+    let src = "fn f() {\n    let table: FxHashMap<u64, u64> = FxHashMap::default();\n    for (k, v) in table.iter() {\n        use_it(k, v);\n    }\n}\n";
+    let found = lint("executor", src);
+    assert_eq!(rules(&found), vec![Rule::UnorderedIter], "{found:?}");
+    assert_eq!(found[0].line, 3);
+}
+
+#[test]
+fn r1_fires_on_for_loop_over_hash_receiver() {
+    let src = "fn f(groups: &FxHashMap<u64, u64>) {\n    for v in groups {\n        use_it(v);\n    }\n}\n";
+    let found = lint("core", src);
+    assert_eq!(rules(&found), vec![Rule::UnorderedIter], "{found:?}");
+}
+
+#[test]
+fn r1_quiet_on_btree_map_iteration() {
+    let src = "fn f() {\n    let table: BTreeMap<u64, u64> = BTreeMap::new();\n    for (k, v) in table.iter() {\n        use_it(k, v);\n    }\n}\n";
+    assert!(lint("executor", src).is_empty());
+}
+
+#[test]
+fn r1_quiet_on_hash_map_point_lookup() {
+    let src = "fn f(table: &FxHashMap<u64, u64>) -> Option<&u64> {\n    table.get(&7)\n}\n";
+    assert!(lint("executor", src).is_empty());
+}
+
+#[test]
+fn r1_does_not_apply_outside_result_producing_crates() {
+    let src = "fn f(table: &FxHashMap<u64, u64>) {\n    for v in table.values() {\n        use_it(v);\n    }\n}\n";
+    assert!(lint("stats", src).is_empty());
+}
+
+#[test]
+fn r1_waiver_on_preceding_line_suppresses() {
+    let src = "fn f(table: &FxHashMap<u64, u64>) {\n    // lint: ordered-ok(results are sorted before emission)\n    for v in table.values() {\n        use_it(v);\n    }\n}\n";
+    assert!(lint("executor", src).is_empty());
+}
+
+#[test]
+fn r1_catches_rustfmt_split_chains() {
+    // The receiver sits on the previous line after rustfmt splits a chain.
+    let src = "fn f(table: &FxHashMap<u64, u64>) -> Vec<u64> {\n    table\n        .values()\n        .copied()\n        .collect()\n}\n";
+    let found = lint("service", src);
+    assert_eq!(rules(&found), vec![Rule::UnorderedIter], "{found:?}");
+}
+
+// ---------------------------------------------------------------- R2
+
+#[test]
+fn r2_fires_on_unwrap_expect_and_macros() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    let a = x.unwrap();\n    let b = x.expect(\"msg\");\n    if a > b { panic!(\"boom\"); }\n    unreachable!()\n}\n";
+    let found = lint("plan", src);
+    assert_eq!(found.len(), 4, "{found:?}");
+    assert!(found.iter().all(|v| v.rule == Rule::Panic));
+}
+
+#[test]
+fn r2_quiet_on_unwrap_or_family() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    x.unwrap_or(0).max(x.unwrap_or_else(|| 1)).max(x.unwrap_or_default())\n}\n";
+    assert!(lint("plan", src).is_empty());
+}
+
+#[test]
+fn r2_skips_cfg_test_regions() {
+    let src = "fn f() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n";
+    assert!(lint("plan", src).is_empty());
+}
+
+#[test]
+fn r2_skips_comments_and_strings() {
+    let src = "fn f() -> &'static str {\n    // .unwrap() in a comment is fine\n    \"call .unwrap() on it\"\n}\n";
+    assert!(lint("plan", src).is_empty());
+}
+
+#[test]
+fn r2_waiver_suppresses_with_reason() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    x.unwrap() // lint: panic-ok(constructor invariant: always Some)\n}\n";
+    assert!(lint("plan", src).is_empty());
+}
+
+#[test]
+fn r2_does_not_apply_in_bench() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\n";
+    assert!(lint("bench", src).is_empty());
+}
+
+// ---------------------------------------------------------------- R3
+
+#[test]
+fn r3_fires_on_instant_now_and_os_entropy() {
+    let src = "fn f() {\n    let t = Instant::now();\n    let s = SystemTime::now();\n}\n";
+    let found = lint("sampling", src);
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found.iter().all(|v| v.rule == Rule::WallClock));
+}
+
+#[test]
+fn r3_waiver_suppresses() {
+    let src = "fn f() {\n    let t = Instant::now(); // lint: clock-ok(telemetry only)\n}\n";
+    assert!(lint("sampling", src).is_empty());
+}
+
+#[test]
+fn r3_does_not_apply_in_bench() {
+    let src = "fn f() {\n    let t = Instant::now();\n}\n";
+    assert!(lint("bench", src).is_empty());
+}
+
+// ---------------------------------------------------------------- R4
+
+#[test]
+fn r4_every_relaxed_needs_a_waiver() {
+    let src = "fn f(c: &AtomicU64) -> u64 {\n    c.load(Ordering::Relaxed)\n}\n";
+    let found = lint("common", src);
+    assert_eq!(rules(&found), vec![Rule::RelaxedOrdering], "{found:?}");
+}
+
+#[test]
+fn r4_waived_relaxed_is_fine() {
+    let src = "fn f(c: &AtomicU64) -> u64 {\n    // lint: relaxed-ok(telemetry counter, never drives control flow)\n    c.load(Ordering::Relaxed)\n}\n";
+    assert!(lint("common", src).is_empty());
+}
+
+#[test]
+fn r4_quiet_on_stronger_orderings() {
+    let src = "fn f(c: &AtomicU64) -> u64 {\n    c.fetch_add(1, Ordering::AcqRel);\n    c.load(Ordering::Acquire)\n}\n";
+    assert!(lint("common", src).is_empty());
+}
+
+// ---------------------------------------------------------------- R5
+
+#[test]
+fn r5_fires_once_not_doubly_as_r2() {
+    let src = "fn f(m: &Mutex<u64>) -> u64 {\n    *m.lock().unwrap()\n}\n";
+    let found = lint("sampling", src);
+    assert_eq!(rules(&found), vec![Rule::LockUnwrap], "{found:?}");
+}
+
+#[test]
+fn r5_quiet_on_poison_recovering_idiom() {
+    let src =
+        "fn f(m: &Mutex<u64>) -> u64 {\n    *m.lock().unwrap_or_else(|p| p.into_inner())\n}\n";
+    assert!(lint("sampling", src).is_empty());
+}
+
+// ------------------------------------------------------- waiver syntax
+
+#[test]
+fn unknown_waiver_kind_is_a_violation() {
+    let src = "fn f() {\n    // lint: sorted-ok(wrong kind name)\n    let x = 1;\n}\n";
+    let found = lint("plan", src);
+    assert_eq!(rules(&found), vec![Rule::WaiverSyntax], "{found:?}");
+}
+
+#[test]
+fn empty_waiver_reason_is_a_violation() {
+    let src = "fn f() {\n    // lint: panic-ok()\n    let x = 1;\n}\n";
+    let found = lint("plan", src);
+    assert_eq!(rules(&found), vec![Rule::WaiverSyntax], "{found:?}");
+}
+
+#[test]
+fn reasonless_waiver_does_not_suppress() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n    x.unwrap() // lint: panic-ok()\n}\n";
+    let found = lint("plan", src);
+    // Both the un-suppressed panic and the broken waiver are reported.
+    assert!(found.iter().any(|v| v.rule == Rule::Panic), "{found:?}");
+    assert!(
+        found.iter().any(|v| v.rule == Rule::WaiverSyntax),
+        "{found:?}"
+    );
+}
+
+#[test]
+fn waivers_in_test_code_are_still_syntax_checked() {
+    let src =
+        "#[cfg(test)]\nmod tests {\n    // lint: bogus-ok(kind does not exist)\n    fn t() {}\n}\n";
+    let found = lint("plan", src);
+    assert_eq!(rules(&found), vec![Rule::WaiverSyntax], "{found:?}");
+}
+
+// ------------------------------------------------------------ baseline
+
+fn violation(file: &str, rule: Rule) -> Violation {
+    Violation {
+        file: file.to_string(),
+        line: 1,
+        rule,
+        excerpt: "x".to_string(),
+        message: "m".to_string(),
+    }
+}
+
+#[test]
+fn baseline_parses_and_round_trips() {
+    let text = "deny = [\"crates/executor\"]\n\n[[entry]]\nfile = \"crates/stats/src/a.rs\"\nrule = \"panic\"\nallowed = 2\nreason = \"legacy\"\n";
+    let b = Baseline::parse(text).unwrap();
+    assert_eq!(b.deny, vec!["crates/executor"]);
+    assert_eq!(b.entries.len(), 1);
+    assert_eq!(b.entries[0].allowed, 2);
+    let again = Baseline::parse(&b.render()).unwrap();
+    assert_eq!(again, b);
+}
+
+#[test]
+fn baseline_rejects_empty_reason_and_duplicates() {
+    let no_reason = "[[entry]]\nfile = \"a.rs\"\nrule = \"panic\"\nallowed = 1\nreason = \"\"\n";
+    assert!(matches!(Baseline::parse(no_reason), Err(ParseError { .. })));
+    let dup = "[[entry]]\nfile = \"a.rs\"\nrule = \"panic\"\nallowed = 1\nreason = \"x\"\n\n[[entry]]\nfile = \"a.rs\"\nrule = \"panic\"\nallowed = 2\nreason = \"y\"\n";
+    assert!(matches!(Baseline::parse(dup), Err(ParseError { .. })));
+}
+
+#[test]
+fn baseline_absorbs_up_to_allowed_then_rejects() {
+    let text = "[[entry]]\nfile = \"crates/stats/src/a.rs\"\nrule = \"panic\"\nallowed = 2\nreason = \"legacy\"\n";
+    let b = Baseline::parse(text).unwrap();
+    let two = vec![
+        violation("crates/stats/src/a.rs", Rule::Panic),
+        violation("crates/stats/src/a.rs", Rule::Panic),
+    ];
+    let outcome = check(&two, &b);
+    assert!(outcome.passed(), "{outcome:?}");
+    assert_eq!(outcome.baselined, 2);
+
+    let three = vec![
+        violation("crates/stats/src/a.rs", Rule::Panic),
+        violation("crates/stats/src/a.rs", Rule::Panic),
+        violation("crates/stats/src/a.rs", Rule::Panic),
+    ];
+    let outcome = check(&three, &b);
+    assert!(!outcome.passed());
+    assert_eq!(outcome.new_violations.len(), 1);
+}
+
+#[test]
+fn baseline_entry_does_not_cover_other_rule_or_file() {
+    let text = "[[entry]]\nfile = \"crates/stats/src/a.rs\"\nrule = \"panic\"\nallowed = 5\nreason = \"legacy\"\n";
+    let b = Baseline::parse(text).unwrap();
+    let v = vec![
+        violation("crates/stats/src/a.rs", Rule::WallClock),
+        violation("crates/stats/src/b.rs", Rule::Panic),
+    ];
+    let outcome = check(&v, &b);
+    assert_eq!(outcome.new_violations.len(), 2);
+}
+
+#[test]
+fn deny_listed_prefixes_reject_baseline_entries() {
+    let text = "deny = [\"crates/executor\"]\n\n[[entry]]\nfile = \"crates/executor/src/exec.rs\"\nrule = \"panic\"\nallowed = 1\nreason = \"should not be allowed\"\n";
+    let b = Baseline::parse(text).unwrap();
+    let outcome = check(&[], &b);
+    assert!(!outcome.passed(), "{outcome:?}");
+    assert!(!outcome.denied_entries.is_empty());
+}
+
+#[test]
+fn waiver_syntax_violations_cannot_be_baselined() {
+    let text = "[[entry]]\nfile = \"a.rs\"\nrule = \"waiver\"\nallowed = 1\nreason = \"never\"\n";
+    assert!(Baseline::parse(text).is_err());
+}
+
+// ---------------------------------------------- real-workspace waivers
+
+#[test]
+fn every_workspace_waiver_has_a_known_kind_and_a_reason() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let waivers = scan_waivers(&root).expect("workspace scan");
+    assert!(
+        !waivers.is_empty(),
+        "expected at least the Stopwatch clock-ok waiver"
+    );
+    for (file, w) in &waivers {
+        assert!(
+            [
+                "ordered-ok",
+                "panic-ok",
+                "clock-ok",
+                "relaxed-ok",
+                "lock-ok"
+            ]
+            .contains(&w.kind.as_str()),
+            "{file}:{}: unknown waiver kind `{}`",
+            w.line,
+            w.kind
+        );
+        assert!(
+            !w.reason.trim().is_empty(),
+            "{file}:{}: waiver `{}` has an empty reason",
+            w.line,
+            w.kind
+        );
+    }
+}
