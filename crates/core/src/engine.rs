@@ -148,6 +148,17 @@ impl ReoptEngine {
         self.with_reoptimizer(|re| re.run(query))
     }
 
+    /// [`Self::reoptimize`] with spans recorded under `tracer` (see
+    /// [`reopt_telemetry`]). A disabled tracer makes this identical to
+    /// `reoptimize`; recording never changes any planning decision.
+    pub fn reoptimize_traced(
+        &self,
+        query: &Query,
+        tracer: &reopt_telemetry::Tracer,
+    ) -> Result<ReoptReport> {
+        self.with_reoptimizer(|re| re.run_traced(query, tracer))
+    }
+
     /// Run Algorithm 1 on `query`, pooling sample dry-run work through
     /// `sample_cache` (see [`ReOptimizer::run_shared`]). The cache must
     /// have been used only with this engine's sample store and validation
@@ -158,6 +169,16 @@ impl ReoptEngine {
         sample_cache: &SharedSampleRunCache,
     ) -> Result<ReoptReport> {
         self.with_reoptimizer(|re| re.run_shared(query, sample_cache))
+    }
+
+    /// [`Self::reoptimize_shared`] with spans recorded under `tracer`.
+    pub fn reoptimize_shared_traced(
+        &self,
+        query: &Query,
+        sample_cache: &SharedSampleRunCache,
+        tracer: &reopt_telemetry::Tracer,
+    ) -> Result<ReoptReport> {
+        self.with_reoptimizer(|re| re.run_shared_traced(query, sample_cache, tracer))
     }
 
     /// Execute an already-chosen plan with the mid-query suspend → refine

@@ -41,6 +41,7 @@ use reopt_executor::{
 use reopt_optimizer::{CardOverrides, Optimizer, PinnedLeaf, PlanMemo};
 use reopt_plan::{PhysicalPlan, Query};
 use reopt_storage::Database;
+use reopt_telemetry::names;
 use serde::Serialize;
 
 /// Small, copyable counters of one mid-query execution — what a serving
@@ -182,8 +183,17 @@ pub fn execute_mid_query(
     if query.num_relations() > optimizer.config().geqo_threshold || max_suspensions == 0 {
         return execute_straight(db, query, start_plan, gamma, exec_opts);
     }
+    // Resolve the env-backed executor knobs once up front: segments below
+    // each construct their own (cheap) executor so operator spans nest
+    // under their segment span, and none of them may re-read environment
+    // variables on the way.
+    let tracer = exec_opts.tracer.clone();
+    let mut exec_opts = exec_opts;
+    exec_opts.threads = exec_opts.effective_threads();
+    exec_opts.columnar = Some(exec_opts.effective_columnar());
     let columnar = exec_opts.effective_columnar();
-    let exec = Executor::with_opts(db, exec_opts);
+    let mut run_span = tracer.span(names::MIDQUERY_RUN);
+    let run_tracer = tracer.under(&run_span);
     let mut store = CheckpointStore::new();
     let mut gamma = gamma;
     let mut memo = memo;
@@ -194,11 +204,34 @@ pub fn execute_mid_query(
     let exact_before = gamma.exact_len();
 
     let run = loop {
-        match exec.run_step(query, &plan, &mut store)? {
+        let seg_span = run_tracer.span(names::MIDQUERY_SEGMENT);
+        let seg_tracer = run_tracer.under(&seg_span);
+        let splices_before = store.splices();
+        let exec = Executor::with_opts(
+            db,
+            ExecOpts {
+                tracer: seg_tracer.clone(),
+                ..exec_opts.clone()
+            },
+        );
+        let step = exec.run_step(query, &plan, &mut store)?;
+        if seg_span.is_recording() {
+            let spliced = store.splices().saturating_sub(splices_before);
+            if spliced > 0 {
+                // Zero-duration marker: this segment reused checkpointed
+                // work instead of executing it.
+                let mut sp = seg_tracer.span(names::MIDQUERY_SPLICE);
+                sp.attr_u64("reused", spliced as u64);
+            }
+        }
+        match step {
             ExecStep::Complete(run) => break run,
             ExecStep::Suspended {
-                metrics: segment, ..
+                breaker,
+                breaker_rows,
+                metrics: segment,
             } => {
+                drop(seg_span);
                 stats.suspensions += 1;
                 metrics.merge(&segment);
                 if stats.suspensions >= max_suspensions {
@@ -206,7 +239,20 @@ pub fn execute_mid_query(
                     // plan in one sealed segment instead of stepping (and
                     // checkpointing) breaker by breaker for nothing.
                     store.seal();
+                    let seal_span = run_tracer.span(names::MIDQUERY_SEGMENT);
+                    let exec = Executor::with_opts(
+                        db,
+                        ExecOpts {
+                            tracer: run_tracer.under(&seal_span),
+                            ..exec_opts.clone()
+                        },
+                    );
                     break exec.run_traced_cached(query, &plan, &mut store)?;
+                }
+                let mut sus_span = run_tracer.span(names::MIDQUERY_SUSPEND);
+                if sus_span.is_recording() {
+                    sus_span.attr_display("breaker", &breaker);
+                    sus_span.attr_u64("breaker_rows", breaker_rows);
                 }
 
                 // Refine: every observed count becomes an exact Γ entry.
@@ -244,6 +290,10 @@ pub fn execute_mid_query(
                     gamma.insert_exact(set, v);
                 }
                 memo.invalidate_supersets(&changed);
+                if sus_span.is_recording() {
+                    sus_span.attr_u64("refined", changed.len() as u64);
+                    sus_span.attr_bool("replan", disagree);
+                }
                 if !disagree {
                     continue; // observations confirm the plan: keep going
                 }
@@ -265,9 +315,15 @@ pub fn execute_mid_query(
                 memo.invalidate_supersets(&pin_sets);
 
                 // Replan the remainder with completed subtrees pinned.
+                let mut replan_span = run_tracer.under(&sus_span).span(names::MIDQUERY_REPLAN);
                 let planned = optimizer.optimize_with_pinned(query, &gamma, &pins, &mut memo)?;
                 stats.replans += 1;
-                if !planned.plan.same_structure(&plan) {
+                let switched = !planned.plan.same_structure(&plan);
+                if replan_span.is_recording() {
+                    replan_span.attr_u64("pins", pins.len() as u64);
+                    replan_span.attr_bool("switched", switched);
+                }
+                if switched {
                     stats.plan_switches += 1;
                     plans.push(planned.plan.clone());
                 }
@@ -291,6 +347,12 @@ pub fn execute_mid_query(
     stats.checkpoints = store.len();
     stats.splices = store.splices();
     stats.exact_gamma_entries = gamma.exact_len() - exact_before;
+    if run_span.is_recording() {
+        run_span.attr_u64("suspensions", stats.suspensions as u64);
+        run_span.attr_u64("replans", stats.replans as u64);
+        run_span.attr_u64("plan_switches", stats.plan_switches as u64);
+        run_span.attr_u64("splices", stats.splices as u64);
+    }
     Ok(MidQueryRun {
         rows: run.rows,
         agg,

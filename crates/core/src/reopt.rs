@@ -29,6 +29,7 @@ use reopt_sampling::{
     validate_plan, validate_plan_cached, SampleRunCache, SampleStore, SharedSampleRunCache,
     Validation, ValidationCache, ValidationOpts,
 };
+use reopt_telemetry::{names, Tracer};
 
 /// Stopping strategy and validation knobs for the re-optimization loop.
 #[derive(Debug, Clone)]
@@ -270,7 +271,16 @@ impl<'a> ReOptimizer<'a> {
         // between optimizer calls minus the stale frontier, and sample
         // dry-run subtrees are replayed instead of re-executed.
         let mut caches = IncrementalCaches::new(self.config.incremental);
-        self.run_with_caches(query, &mut caches)
+        self.run_with_caches(query, &mut caches, &self.config.validation.tracer)
+    }
+
+    /// [`ReOptimizer::run`] with an explicit span recorder: the loop emits
+    /// `reopt.loop` → `reopt.round` → (`optimizer.dp`, `sampling.dry_run`)
+    /// spans under the caller's tracer. Recording never feeds back into
+    /// planning, so the report is identical to an untraced run's.
+    pub fn run_traced(&self, query: &Query, tracer: &Tracer) -> Result<ReoptReport> {
+        let mut caches = IncrementalCaches::new(self.config.incremental);
+        self.run_with_caches(query, &mut caches, tracer)
     }
 
     /// Run Algorithm 1 on `query`, pooling sample dry-run work through a
@@ -291,7 +301,20 @@ impl<'a> ReOptimizer<'a> {
     ) -> Result<ReoptReport> {
         let mut caches =
             IncrementalCaches::with_sample_cache(self.config.incremental, sample_cache.clone());
-        self.run_with_caches(query, &mut caches)
+        self.run_with_caches(query, &mut caches, &self.config.validation.tracer)
+    }
+
+    /// [`ReOptimizer::run_shared`] with an explicit span recorder (see
+    /// [`ReOptimizer::run_traced`]).
+    pub fn run_shared_traced(
+        &self,
+        query: &Query,
+        sample_cache: &SharedSampleRunCache,
+        tracer: &Tracer,
+    ) -> Result<ReoptReport> {
+        let mut caches =
+            IncrementalCaches::with_sample_cache(self.config.incremental, sample_cache.clone());
+        self.run_with_caches(query, &mut caches, tracer)
     }
 
     /// Run Algorithm 1, then execute the chosen plan against the full
@@ -322,7 +345,10 @@ impl<'a> ReOptimizer<'a> {
         exec_opts: reopt_executor::ExecOpts,
     ) -> Result<ExecutedReopt> {
         let mut caches = IncrementalCaches::new(self.config.incremental);
-        let report = self.run_with_caches(query, &mut caches)?;
+        // One tracer covers the whole journey: the sampling loop's spans
+        // and the execution's land in the same trace.
+        let tracer = exec_opts.tracer.clone();
+        let report = self.run_with_caches(query, &mut caches, &tracer)?;
         let run = if self.config.mid_query {
             crate::midquery::execute_mid_query(
                 self.optimizer.database(),
@@ -353,8 +379,11 @@ impl<'a> ReOptimizer<'a> {
         &self,
         query: &Query,
         caches: &mut IncrementalCaches<C>,
+        tracer: &Tracer,
     ) -> Result<ReoptReport> {
         let t_start = Stopwatch::start();
+        let mut loop_span = tracer.span(names::REOPT_LOOP);
+        let loop_tracer = tracer.under(&loop_span);
         let mut gamma = CardOverrides::new();
         let mut rounds: Vec<RoundReport> = Vec::new();
         let mut prev_plan: Option<PhysicalPlan> = None;
@@ -375,8 +404,20 @@ impl<'a> ReOptimizer<'a> {
             }
 
             let round = rounds.len() + 1;
+            let mut round_span = loop_tracer.span(names::REOPT_ROUND);
+            round_span.attr_u64("round", round as u64);
+            let round_tracer = loop_tracer.under(&round_span);
             let t0 = Stopwatch::start();
-            let planned = caches.plan(self.optimizer, query, &gamma)?;
+            let planned = {
+                let mut dp_span = round_tracer.span(names::OPTIMIZER_DP);
+                let planned = caches.plan(self.optimizer, query, &gamma)?;
+                if dp_span.is_recording() {
+                    dp_span.attr_u64("subsets_reused", planned.search.subsets_reused as u64);
+                    dp_span.attr_u64("subsets_replanned", planned.search.subsets_replanned as u64);
+                    dp_span.attr_f64("est_cost", planned.plan.est_cost());
+                }
+                planned
+            };
             let optimize_time = t0.elapsed();
             let tree = planned.plan.logical_tree();
             let transform = prev_plan
@@ -409,11 +450,21 @@ impl<'a> ReOptimizer<'a> {
                     sample_cache_hits: 0,
                     sample_subtrees_executed: 0,
                 });
+                round_span.attr_bool("terminal", true);
                 converged = true;
                 break;
             }
 
-            let v = caches.validate(query, &planned.plan, self.samples, &self.config.validation)?;
+            // Hand the round's tracer to the validator so the dry-run's
+            // spans nest under this round. Clone-on-enabled keeps the
+            // common untraced path allocation-free.
+            let v = if round_tracer.is_enabled() {
+                let mut vopts = self.config.validation.clone();
+                vopts.tracer = round_tracer.clone();
+                caches.validate(query, &planned.plan, self.samples, &vopts)?
+            } else {
+                caches.validate(query, &planned.plan, self.samples, &self.config.validation)?
+            };
             let delta = match self.config.min_discrepancy_factor {
                 Some(factor) => self.filter_small_corrections(query, &gamma, &v.delta, factor)?,
                 None => v.delta,
@@ -437,6 +488,10 @@ impl<'a> ReOptimizer<'a> {
                 sample_cache_hits: v.cache_hits,
                 sample_subtrees_executed: v.subtrees_executed,
             });
+            if round_span.is_recording() {
+                round_span.attr_u64("gamma_new", fresh as u64);
+                round_span.attr_f64("validated_cost", vcost);
+            }
             prev_trees.push(tree);
             prev_plan = Some(planned.plan);
 
@@ -466,6 +521,11 @@ impl<'a> ReOptimizer<'a> {
             last_round.plan.clone()
         };
 
+        if loop_span.is_recording() {
+            loop_span.attr_u64("rounds", rounds.len() as u64);
+            loop_span.attr_bool("converged", converged);
+            loop_span.attr_u64("gamma_len", gamma.len() as u64);
+        }
         Ok(ReoptReport {
             rounds,
             final_plan,

@@ -48,6 +48,7 @@ use reopt_plan::{AccessPath, CmpOp, JoinAlgo, PhysicalPlan, Predicate, Query};
 use reopt_storage::batch::{take_u32_buffer, ColumnBatch, BATCH_SIZE};
 use reopt_storage::value::NULL_SENTINEL;
 use reopt_storage::{Database, Table};
+use reopt_telemetry::{names, Tracer};
 
 /// Below this many input rows a scan or join runs serially even when
 /// `threads > 1`: spawning workers costs more than the operator itself,
@@ -78,6 +79,11 @@ pub struct ExecOpts {
     /// engines are bit-identical (see the module docs), so the knob only
     /// moves wall-clock. Composes freely with [`ExecOpts::threads`].
     pub columnar: Option<bool>,
+    /// Span recorder threaded through the operator recursion. The default
+    /// (disabled) tracer is a true no-op — no clock reads, no allocation —
+    /// and recording can never influence plan choice or row output, so the
+    /// executor stays bit-identical with tracing on or off.
+    pub tracer: Tracer,
 }
 
 impl Default for ExecOpts {
@@ -86,6 +92,7 @@ impl Default for ExecOpts {
             max_intermediate_rows: 100_000_000,
             threads: 0,
             columnar: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -265,17 +272,22 @@ impl<'a> Executor<'a> {
     /// Execute the full query: join pipeline plus optional aggregation.
     pub fn run(&self, query: &Query, plan: &PhysicalPlan) -> Result<QueryOutput> {
         let start = reopt_common::Stopwatch::start();
-        let mut state = ExecState::new(false);
+        let mut state = ExecState::new(false, self.opts.tracer.clone());
         let rows = self.exec_node(query, plan, &mut state)?;
         let agg = match &query.aggregate {
-            Some(spec) => Some(aggregate_opts(
-                self.db,
-                query,
-                &rows,
-                spec,
-                self.columnar,
-                &mut state.metrics,
-            )?),
+            Some(spec) => {
+                let mut span = self.opts.tracer.span(names::EXEC_AGGREGATE);
+                let agg = aggregate_opts(
+                    self.db,
+                    query,
+                    &rows,
+                    spec,
+                    self.columnar,
+                    &mut state.metrics,
+                )?;
+                span.attr_u64("groups", agg.num_groups() as u64);
+                Some(agg)
+            }
             None => None,
         };
         state.metrics.elapsed = start.elapsed();
@@ -289,7 +301,7 @@ impl<'a> Executor<'a> {
     /// Execute the join pipeline only, returning the row set.
     pub fn run_rowset(&self, query: &Query, plan: &PhysicalPlan) -> Result<(RowSet, ExecMetrics)> {
         let start = reopt_common::Stopwatch::start();
-        let mut state = ExecState::new(false);
+        let mut state = ExecState::new(false, self.opts.tracer.clone());
         let rows = self.exec_node(query, plan, &mut state)?;
         state.metrics.elapsed = start.elapsed();
         Ok((rows, state.metrics))
@@ -299,7 +311,7 @@ impl<'a> Executor<'a> {
     /// cardinality — the sampling validator's entry point.
     pub fn run_traced(&self, query: &Query, plan: &PhysicalPlan) -> Result<TracedRun> {
         let start = reopt_common::Stopwatch::start();
-        let mut state = ExecState::new(true);
+        let mut state = ExecState::new(true, self.opts.tracer.clone());
         let rows = self.exec_node(query, plan, &mut state)?;
         state.metrics.elapsed = start.elapsed();
         Ok(TracedRun {
@@ -321,7 +333,7 @@ impl<'a> Executor<'a> {
         cache: &mut dyn SubtreeCache,
     ) -> Result<TracedRun> {
         let start = reopt_common::Stopwatch::start();
-        let mut state = ExecState::new(true);
+        let mut state = ExecState::new(true, self.opts.tracer.clone());
         state.cache = Some(cache);
         let rows = self.exec_node(query, plan, &mut state)?;
         state.metrics.elapsed = start.elapsed();
@@ -363,6 +375,18 @@ impl<'a> Executor<'a> {
         state: &mut ExecState<'_>,
         need_rows: bool,
     ) -> Result<Option<RowSet>> {
+        // One span per operator. With a disabled tracer all of this is
+        // branch-on-None and costs nothing; recording re-parents
+        // `state.tracer` so child operators nest under this span (restored
+        // at both successful exits; error paths abort the whole run).
+        let mut span = state.tracer.span(names::EXEC_OPERATOR);
+        if span.is_recording() {
+            span.attr_str("op", op_label(plan));
+            span.attr_u64("node", plan.relset().mask());
+            span.attr_display("rels", &plan.relset());
+        }
+        let child = state.tracer.under(&span);
+        let saved = std::mem::replace(&mut state.tracer, child);
         // Cached dry-run (only via `run_traced_cached`): a canonical-
         // fingerprint hit replaces this node's own scan/join work with the
         // stored rows. Children are *still* traversed — their (possibly
@@ -401,6 +425,11 @@ impl<'a> Executor<'a> {
                 // A replayed result must respect *this* run's cap, which
                 // may be tighter than the one in force when it was stored.
                 self.check_cap(count)?;
+                if span.is_recording() {
+                    span.attr_bool("cache_hit", true);
+                    span.attr_u64("rows", count);
+                }
+                state.tracer = saved;
                 return Ok(rows);
             }
         }
@@ -454,6 +483,11 @@ impl<'a> Executor<'a> {
             let cache = state.cache.as_mut().ok_or_else(cache_vanished)?;
             cache.store(plan.relset(), fp, &out);
         }
+        if span.is_recording() {
+            span.attr_u64("rows", out.len() as u64);
+            span.attr_u64("batches", state.metrics.batches_processed);
+        }
+        state.tracer = saved;
         Ok(Some(out))
     }
 
@@ -1313,21 +1347,41 @@ fn join_worker<T>(h: std::thread::ScopedJoinHandle<'_, Result<T>>) -> Result<T> 
         .map_err(|_| Error::internal("parallel executor worker panicked"))?
 }
 
+/// Physical operator label for span attributes and `EXPLAIN ANALYZE`.
+pub fn op_label(plan: &PhysicalPlan) -> &'static str {
+    match plan {
+        PhysicalPlan::Scan { access, .. } => match access {
+            AccessPath::SeqScan => "SeqScan",
+            AccessPath::IndexScan { .. } => "IndexScan",
+        },
+        PhysicalPlan::Join { algo, .. } => match algo {
+            JoinAlgo::Hash => "HashJoin",
+            JoinAlgo::Merge => "MergeJoin",
+            JoinAlgo::NestedLoop => "NestedLoopJoin",
+            JoinAlgo::IndexNested => "IndexNestedLoopJoin",
+        },
+    }
+}
+
 /// Mutable per-execution state threaded through the operator recursion.
 struct ExecState<'c> {
     metrics: ExecMetrics,
     tracing: bool,
     trace: Vec<(RelSet, u64)>,
     cache: Option<&'c mut dyn SubtreeCache>,
+    /// Current span-emission handle; `exec_node_inner` re-parents it around
+    /// each operator so child operators nest under their parent's span.
+    tracer: Tracer,
 }
 
 impl<'c> ExecState<'c> {
-    fn new(tracing: bool) -> Self {
+    fn new(tracing: bool, tracer: Tracer) -> Self {
         ExecState {
             metrics: ExecMetrics::default(),
             tracing,
             trace: Vec::new(),
             cache: None,
+            tracer,
         }
     }
 }

@@ -8,10 +8,11 @@
 
 use std::fmt::Write as _;
 
-use crate::exec::Executor;
+use crate::exec::{ExecOpts, Executor};
 use reopt_common::{FxHashMap, RelSet, Result};
 use reopt_plan::{AccessPath, PhysicalPlan, Query};
 use reopt_storage::Database;
+use reopt_telemetry::{names, Tracer};
 
 /// Execute `plan` and render it with per-node estimated vs actual rows.
 ///
@@ -39,11 +40,76 @@ pub fn explain_analyze(db: &Database, query: &Query, plan: &PhysicalPlan) -> Res
             traced.metrics.dict_hits
         );
     }
-    render(plan, &actual, &mut out, 0);
+    render(plan, &actual, None, &mut out, 0);
     Ok(out)
 }
 
-fn render(plan: &PhysicalPlan, actual: &FxHashMap<RelSet, u64>, out: &mut String, depth: usize) {
+/// Per-node observations joined back from `exec.operator` spans.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeObs {
+    dur_us: u64,
+    batches: u64,
+}
+
+/// [`explain_analyze`] enriched with span-level observations: the plan is
+/// executed under an enabled [`Tracer`], and each node line additionally
+/// reports the wall time and column-batch count of its `exec.operator`
+/// span (joined on the `node` attribute, the covered relation-set mask).
+pub fn explain_analyze_traced(db: &Database, query: &Query, plan: &PhysicalPlan) -> Result<String> {
+    let tracer = Tracer::enabled();
+    let exec = Executor::with_opts(
+        db,
+        ExecOpts {
+            tracer: tracer.clone(),
+            ..ExecOpts::default()
+        },
+    );
+    let traced = exec.run_traced(query, plan)?;
+    let trace = tracer.finish();
+    let mut actual: FxHashMap<RelSet, u64> = FxHashMap::default();
+    for (set, rows) in &traced.node_cards {
+        actual.insert(*set, *rows);
+    }
+    let mut obs: FxHashMap<RelSet, NodeObs> = FxHashMap::default();
+    for s in trace.spans() {
+        if s.name != names::EXEC_OPERATOR {
+            continue;
+        }
+        let Some(mask) = s.attr_u64("node") else {
+            continue;
+        };
+        let e = obs.entry(RelSet::from_mask(mask)).or_default();
+        e.dur_us += s.dur_us;
+        e.batches += s.attr_u64("batches").unwrap_or(0);
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ExplainAnalyze (traced): {} output rows in {:?}, {} spans",
+        traced.rows.len(),
+        traced.metrics.elapsed,
+        trace.len()
+    );
+    if traced.metrics.batches_processed > 0 {
+        let _ = writeln!(
+            out,
+            "Columnar: {} batches, {:.1} rows/batch avg, {} dict hits",
+            traced.metrics.batches_processed,
+            traced.metrics.avg_rows_per_batch(),
+            traced.metrics.dict_hits
+        );
+    }
+    render(plan, &actual, Some(&obs), &mut out, 0);
+    Ok(out)
+}
+
+fn render(
+    plan: &PhysicalPlan,
+    actual: &FxHashMap<RelSet, u64>,
+    obs: Option<&FxHashMap<RelSet, NodeObs>>,
+    out: &mut String,
+    depth: usize,
+) {
     for _ in 0..depth {
         out.push_str("  ");
     }
@@ -51,6 +117,16 @@ fn render(plan: &PhysicalPlan, actual: &FxHashMap<RelSet, u64>, out: &mut String
         .get(&plan.relset())
         .map(|r| r.to_string())
         .unwrap_or_else(|| "?".to_string());
+    let timing = obs
+        .and_then(|m| m.get(&plan.relset()))
+        .map(|o| {
+            if o.batches > 0 {
+                format!("  time={}us batches={}", o.dur_us, o.batches)
+            } else {
+                format!("  time={}us", o.dur_us)
+            }
+        })
+        .unwrap_or_default();
     match plan {
         PhysicalPlan::Scan {
             rel,
@@ -64,7 +140,7 @@ fn render(plan: &PhysicalPlan, actual: &FxHashMap<RelSet, u64>, out: &mut String
             };
             let _ = writeln!(
                 out,
-                "{path} {rel} (table {table})  est={:.1} actual={observed}",
+                "{path} {rel} (table {table})  est={:.1} actual={observed}{timing}",
                 info.est_rows
             );
         }
@@ -95,10 +171,10 @@ fn render(plan: &PhysicalPlan, actual: &FxHashMap<RelSet, u64>, out: &mut String
             };
             let _ = writeln!(
                 out,
-                "{algo:?}Join on [{keys_s}]  est={est:.1} actual={observed}{marker}",
+                "{algo:?}Join on [{keys_s}]  est={est:.1} actual={observed}{timing}{marker}",
             );
-            render(left, actual, out, depth + 1);
-            render(right, actual, out, depth + 1);
+            render(left, actual, obs, out, depth + 1);
+            render(right, actual, obs, out, depth + 1);
         }
     }
 }
@@ -202,6 +278,16 @@ mod tests {
         } else {
             assert!(!s.contains("Columnar:"), "{s}");
         }
+    }
+
+    #[test]
+    fn traced_explain_reports_per_node_time() {
+        let db = db();
+        let s = explain_analyze_traced(&db, &query(), &plan(250.0)).unwrap();
+        assert!(s.contains("ExplainAnalyze (traced):"), "{s}");
+        assert!(s.contains("actual=250"), "{s}");
+        // Every node line carries its exec.operator span's wall time.
+        assert_eq!(s.matches("time=").count(), 3, "{s}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 /// Counters collected while executing one plan.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecMetrics {
     /// Rows read from base tables by scans (before filtering).
     pub rows_scanned: u64,
@@ -125,5 +125,74 @@ mod tests {
         assert_eq!(total.batches_processed, 6);
         assert!((total.avg_rows_per_batch() - 5200.0 / 6.0).abs() < 1e-9);
         assert_eq!(ExecMetrics::default().avg_rows_per_batch(), 0.0);
+    }
+
+    /// Three structurally distinct metrics with every field populated and
+    /// deliberately *asymmetric* peaks, so max-semantics bugs in
+    /// `peak_intermediate_rows` can't hide behind equal values.
+    fn samples() -> [ExecMetrics; 3] {
+        let mk = |k: u64| ExecMetrics {
+            rows_scanned: 10 * k + 1,
+            rows_produced: 20 * k + 3,
+            peak_intermediate_rows: [7, 500, 31][k as usize],
+            index_probes: 3 * k,
+            parallel_ops: k,
+            parallel_workers: 2 * k,
+            batches_processed: 5 * k + 1,
+            batch_rows: 100 * k + 17,
+            dict_hits: 8 * k,
+            elapsed: Duration::from_micros(1000 * k + 5),
+        };
+        [mk(0), mk(1), mk(2)]
+    }
+
+    fn merged(a: &ExecMetrics, b: &ExecMetrics) -> ExecMetrics {
+        let mut m = a.clone();
+        m.merge(b);
+        m
+    }
+
+    #[test]
+    fn merge_is_commutative_over_all_fields() {
+        let [a, b, c] = samples();
+        assert_eq!(merged(&a, &b), merged(&b, &a));
+        assert_eq!(merged(&a, &c), merged(&c, &a));
+        assert_eq!(merged(&b, &c), merged(&c, &b));
+    }
+
+    #[test]
+    fn merge_is_associative_over_all_fields() {
+        let [a, b, c] = samples();
+        assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+        // ...and against the max-carrier in every position, since
+        // `peak_intermediate_rows` folds by max, not sum.
+        assert_eq!(merged(&merged(&b, &a), &c), merged(&b, &merged(&a, &c)));
+        assert_eq!(merged(&merged(&c, &b), &a), merged(&c, &merged(&b, &a)));
+    }
+
+    #[test]
+    fn merge_identity_is_default() {
+        let [a, _, _] = samples();
+        assert_eq!(merged(&a, &ExecMetrics::default()), a);
+        assert_eq!(merged(&ExecMetrics::default(), &a), a);
+    }
+
+    #[test]
+    fn merge_worker_is_commutative_and_associative() {
+        let [a, b, c] = samples();
+        let fold = |x: &ExecMetrics, y: &ExecMetrics| {
+            let mut m = x.clone();
+            m.merge_worker(y);
+            m
+        };
+        // merge_worker only sums worker-side counters; operator-side
+        // fields of the receiver pass through untouched, so commutativity
+        // is asserted on the summed fields.
+        let ab = fold(&fold(&ExecMetrics::default(), &a), &b);
+        let ba = fold(&fold(&ExecMetrics::default(), &b), &a);
+        assert_eq!(ab, ba);
+        let abc = fold(&fold(&fold(&ExecMetrics::default(), &a), &b), &c);
+        let cba = fold(&fold(&fold(&ExecMetrics::default(), &c), &b), &a);
+        assert_eq!(abc, cba);
     }
 }

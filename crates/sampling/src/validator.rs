@@ -16,6 +16,7 @@ use reopt_common::{FxHashMap, RelSet, Result};
 use reopt_executor::{ExecOpts, Executor, TracedRun};
 use reopt_optimizer::CardOverrides;
 use reopt_plan::{PhysicalPlan, Query};
+use reopt_telemetry::{names, Span, Tracer};
 
 /// Validation options.
 #[derive(Debug, Clone)]
@@ -45,6 +46,10 @@ pub struct ValidationOpts {
     /// engine. Like `threads`, the engines are bit-identical, so Δ and
     /// the plan trajectory are invariant under this knob.
     pub columnar: Option<bool>,
+    /// Span recorder for the dry run (`sampling.dry_run` plus nested
+    /// `exec.operator` spans). Disabled by default; recording never feeds
+    /// back into Δ, so validation results are invariant under this knob.
+    pub tracer: Tracer,
 }
 
 impl Default for ValidationOpts {
@@ -55,6 +60,7 @@ impl Default for ValidationOpts {
             max_intermediate_rows: 50_000_000,
             threads: 0,
             columnar: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -84,17 +90,32 @@ pub fn validate_plan(
     samples: &SampleStore,
     opts: &ValidationOpts,
 ) -> Result<Validation> {
+    let mut span = opts.tracer.span(names::SAMPLING_DRY_RUN);
     let exec = Executor::with_opts(
         samples.database(),
         ExecOpts {
             max_intermediate_rows: opts.max_intermediate_rows,
             threads: opts.threads,
             columnar: opts.columnar,
+            tracer: opts.tracer.under(&span),
         },
     );
     let traced = exec.run_traced(query, plan)?;
     let executed = traced.node_cards.len();
-    build_validation::<SampleRunCache>(query, plan, samples, opts, traced, 0, executed, None)
+    let v =
+        build_validation::<SampleRunCache>(query, plan, samples, opts, traced, 0, executed, None)?;
+    annotate_dry_run(&mut span, &v);
+    Ok(v)
+}
+
+/// Attach the validation outcome to its `sampling.dry_run` span.
+fn annotate_dry_run(span: &mut Span, v: &Validation) {
+    if span.is_recording() {
+        span.attr_u64("cache_hits", v.cache_hits as u64);
+        span.attr_u64("subtrees_executed", v.subtrees_executed as u64);
+        span.attr_u64("sample_rows", v.sample_rows_produced);
+        span.attr_u64("delta_len", v.delta.len() as u64);
+    }
 }
 
 /// Like [`validate_plan`], but consulting (and refilling) a cross-round
@@ -115,12 +136,14 @@ pub fn validate_plan_cached<C: ValidationCache>(
     opts: &ValidationOpts,
     cache: &mut C,
 ) -> Result<Validation> {
+    let mut span = opts.tracer.span(names::SAMPLING_DRY_RUN);
     let exec = Executor::with_opts(
         samples.database(),
         ExecOpts {
             max_intermediate_rows: opts.max_intermediate_rows,
             threads: opts.threads,
             columnar: opts.columnar,
+            tracer: opts.tracer.under(&span),
         },
     );
     let (hits_before, executed_before) = cache.counters();
@@ -130,7 +153,7 @@ pub fn validate_plan_cached<C: ValidationCache>(
     // saturate so a neighbor's clear() can't underflow the report.
     let hits = hits_after.saturating_sub(hits_before);
     let executed = executed_after.saturating_sub(executed_before);
-    build_validation(
+    let v = build_validation(
         query,
         plan,
         samples,
@@ -139,7 +162,9 @@ pub fn validate_plan_cached<C: ValidationCache>(
         hits,
         executed,
         Some(cache),
-    )
+    )?;
+    annotate_dry_run(&mut span, &v);
+    Ok(v)
 }
 
 #[allow(clippy::too_many_arguments)]

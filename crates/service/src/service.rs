@@ -13,6 +13,14 @@ use reopt_plan::{template_fingerprint, PhysicalPlan, Query};
 use reopt_sampling::{SampleCacheStats, SampleConfig, SharedSampleRunCache};
 use reopt_stats::AnalyzeOpts;
 use reopt_storage::Database;
+use reopt_telemetry::{
+    env_trace_default, names, LatencySummary, MetricsRegistry, QueryTrace, TelemetrySnapshot,
+    Tracer,
+};
+
+fn micros(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -32,6 +40,12 @@ pub struct ServiceConfig {
     /// partition-parallel per [`ExecOpts::threads`] (default: available
     /// parallelism), with results bit-identical to serial execution.
     pub exec: ExecOpts,
+    /// Record a structured span trace for every submission (`Some(true)`),
+    /// never (`Some(false)`), or per the `REOPT_TRACE` environment
+    /// variable (`None`, the default; truthy values are `1`/`true`/`on`).
+    /// Tracing is observability only — plan choice and row output are
+    /// bit-identical either way.
+    pub trace: Option<bool>,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +56,7 @@ impl Default for ServiceConfig {
             reopt: ReOptConfig::default(),
             optimizer: OptimizerConfig::postgres_like(),
             exec: ExecOpts::default(),
+            trace: None,
         }
     }
 }
@@ -77,6 +92,11 @@ pub struct ServiceResponse {
     pub reopt_time: Duration,
     /// Service-side latency of *this* submission, admission to response.
     pub latency: Duration,
+    /// The finished span trace of this submission, present iff tracing was
+    /// on (see [`ServiceConfig::trace`]) and the trace was not claimed by
+    /// an enclosing [`QueryService::execute`] (which attaches the combined
+    /// trace to [`ExecutedQuery::trace`] instead).
+    pub trace: Option<Arc<QueryTrace>>,
 }
 
 /// Point-in-time service counters. Totals are lifetime;
@@ -107,6 +127,10 @@ pub struct ServiceStats {
     pub stats_version: u64,
     /// Counters of the shared sample dry-run cache.
     pub sample_cache: SampleCacheStats,
+    /// Submission latency distribution (µs): count, mean, max, and
+    /// p50/p95/p99 upper bounds from a fixed-bucket log₂ histogram
+    /// (≤ 12.5 % relative quantile error).
+    pub latency: LatencySummary,
 }
 
 /// A thread-safe query service over one database: many sessions submit
@@ -130,6 +154,8 @@ pub struct QueryService {
     coalesced: AtomicU64,
     reopts_run: AtomicU64,
     errors: AtomicU64,
+    registry: MetricsRegistry,
+    trace_default: bool,
 }
 
 impl QueryService {
@@ -157,6 +183,10 @@ impl QueryService {
             coalesced: AtomicU64::new(0),
             reopts_run: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            registry: MetricsRegistry::new(),
+            // Like the executor knobs above: consult REOPT_TRACE once at
+            // construction, never per submission.
+            trace_default: config.trace.unwrap_or_else(env_trace_default),
         }
     }
 
@@ -185,46 +215,92 @@ impl QueryService {
     /// Submit one query. Thread-safe; blocks only when another session is
     /// already re-optimizing the same template (single-flight), in which
     /// case it returns that session's plan on completion.
+    ///
+    /// With tracing on (see [`ServiceConfig::trace`]) the finished span
+    /// trace rides back on [`ServiceResponse::trace`].
     pub fn submit(&self, query: &Query) -> Result<ServiceResponse> {
+        let tracer = self.new_tracer();
+        let mut r = self.submit_with_tracer(query, &tracer)?;
+        if tracer.is_enabled() {
+            r.trace = Some(Arc::new(tracer.finish()));
+        }
+        Ok(r)
+    }
+
+    /// [`QueryService::submit`] with an explicit tracer: spans record under
+    /// `tracer`'s current parent and the caller keeps ownership of the
+    /// trace (so [`ServiceResponse::trace`] stays `None`). This is how
+    /// [`QueryService::execute`] nests admission spans under its own root.
+    pub fn submit_with_tracer(&self, query: &Query, tracer: &Tracer) -> Result<ServiceResponse> {
         let t0 = Stopwatch::start();
         // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
         self.submitted.fetch_add(1, Ordering::Relaxed);
-        let r = self.submit_inner(query, t0);
-        if r.is_err() {
-            // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
-            self.errors.fetch_add(1, Ordering::Relaxed);
+        let r = self.submit_inner(query, t0, tracer);
+        match &r {
+            Ok(resp) => self
+                .registry
+                .observe_micros("service.submit_us", micros(resp.latency)),
+            Err(_) => {
+                // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
         r
     }
 
-    fn submit_inner(&self, query: &Query, t0: Stopwatch) -> Result<ServiceResponse> {
+    fn submit_inner(
+        &self,
+        query: &Query,
+        t0: Stopwatch,
+        tracer: &Tracer,
+    ) -> Result<ServiceResponse> {
+        let mut root = tracer.span(names::SERVICE_SUBMIT);
+        let sub = tracer.under(&root);
         // Validate up front: a malformed query must fail identically
         // whether its template is cached or not.
         query.validate(self.engine.db())?;
         let template = template_fingerprint(query);
         let version = self.stats_version.load(Ordering::Acquire);
-        match self.plans.begin(template, version) {
+        let mut adm_span = sub.span(names::SERVICE_ADMISSION);
+        if adm_span.is_recording() {
+            adm_span.attr_u64("template", template);
+            adm_span.attr_u64("stats_version", version);
+        }
+        let out = match self.plans.begin(template, version) {
             Admission::Hit(cached) => {
+                adm_span.attr_str("source", "warm_hit");
+                drop(adm_span);
                 // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
                 self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                self.registry.add("service.warm_hits", 1);
                 Ok(respond(cached, PlanSource::WarmHit, template, t0))
             }
             Admission::Wait(flight) => {
+                adm_span.attr_str("source", "coalesced");
+                // The wait on the leading session's re-optimization stays
+                // inside the admission span: its duration is this
+                // submission's admission cost.
                 let cached = flight.wait()?;
+                drop(adm_span);
                 // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
+                self.registry.add("service.coalesced", 1);
                 Ok(respond(cached, PlanSource::Coalesced, template, t0))
             }
             Admission::Lead(guard) => {
+                adm_span.attr_str("source", "cold_miss");
+                drop(adm_span);
                 // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
                 self.reopts_run.fetch_add(1, Ordering::Relaxed);
                 let outcome = if self.share_sample_runs {
-                    self.engine.reoptimize_shared(query, &self.sample_cache)
+                    self.engine
+                        .reoptimize_shared_traced(query, &self.sample_cache, &sub)
                 } else {
-                    self.engine.reoptimize(query)
+                    self.engine.reoptimize_traced(query, &sub)
                 };
                 match outcome {
                     Ok(report) => {
+                        self.record_reopt(&report);
                         let cached = CachedPlan {
                             plan: Arc::new(report.final_plan),
                             rounds: report.rounds.len(),
@@ -235,6 +311,7 @@ impl QueryService {
                         guard.complete(Ok(cached.clone()));
                         // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
                         self.cold_misses.fetch_add(1, Ordering::Relaxed);
+                        self.registry.add("service.cold_misses", 1);
                         Ok(respond(cached, PlanSource::ColdMiss, template, t0))
                     }
                     Err(e) => {
@@ -243,7 +320,34 @@ impl QueryService {
                     }
                 }
             }
+        };
+        if root.is_recording() {
+            if let Ok(resp) = &out {
+                root.attr_u64("template", template);
+                root.attr_str(
+                    "source",
+                    match resp.source {
+                        PlanSource::ColdMiss => "cold_miss",
+                        PlanSource::WarmHit => "warm_hit",
+                        PlanSource::Coalesced => "coalesced",
+                    },
+                );
+                root.attr_u64("rounds", resp.rounds as u64);
+            }
         }
+        out
+    }
+
+    /// Fold one re-optimization report into the metrics registry.
+    fn record_reopt(&self, report: &reopt_core::ReoptReport) {
+        self.registry.add("reopt.runs", 1);
+        self.registry
+            .add("reopt.rounds", report.rounds.len() as u64);
+        if report.converged {
+            self.registry.add("reopt.converged", 1);
+        }
+        self.registry
+            .observe_micros("reopt.time_us", micros(report.reopt_time));
     }
 
     /// Submit one query *and run its plan to completion* against the full
@@ -259,14 +363,50 @@ impl QueryService {
     /// successor — the result is equivalent either way, and
     /// [`ExecutedQuery::mid_query`] reports what the loop did.
     pub fn execute(&self, query: &Query) -> Result<ExecutedQuery> {
-        let response = self.submit(query)?;
-        if self.engine.reopt_config().mid_query {
+        self.execute_with_tracer(query, self.new_tracer())
+    }
+
+    /// [`QueryService::execute`] with tracing forced on for this query,
+    /// whatever [`ServiceConfig::trace`] says. The finished trace — one
+    /// span tree covering admission, every re-optimization round, any
+    /// mid-query suspensions, and per-operator execution — rides back on
+    /// [`ExecutedQuery::trace`].
+    pub fn execute_traced(&self, query: &Query) -> Result<ExecutedQuery> {
+        self.execute_with_tracer(query, Tracer::enabled())
+    }
+
+    fn execute_with_tracer(&self, query: &Query, tracer: Tracer) -> Result<ExecutedQuery> {
+        let t0 = Stopwatch::start();
+        let r = self.execute_inner(query, &tracer);
+        if let Ok(eq) = &r {
+            self.registry
+                .observe_micros("service.execute_us", micros(t0.elapsed()));
+            self.record_execution(eq);
+        }
+        match r {
+            Ok(mut eq) => {
+                if tracer.is_enabled() {
+                    eq.trace = Some(Arc::new(tracer.finish()));
+                }
+                Ok(eq)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn execute_inner(&self, query: &Query, tracer: &Tracer) -> Result<ExecutedQuery> {
+        let mut root = tracer.span(names::SERVICE_EXECUTE);
+        let inner = tracer.under(&root);
+        let response = self.submit_with_tracer(query, &inner)?;
+        let exec_opts = ExecOpts {
+            tracer: inner.clone(),
+            ..self.exec_opts.clone()
+        };
+        let out = if self.engine.reopt_config().mid_query {
             let t0 = Stopwatch::start();
-            let run = self.engine.execute_plan_mid_query(
-                query,
-                &response.plan,
-                self.exec_opts.clone(),
-            )?;
+            let run = self
+                .engine
+                .execute_plan_mid_query(query, &response.plan, exec_opts)?;
             let mut metrics = run.metrics.clone();
             metrics.elapsed = t0.elapsed();
             let output = QueryOutput {
@@ -274,19 +414,68 @@ impl QueryService {
                 agg: run.agg,
                 metrics,
             };
-            return Ok(ExecutedQuery {
+            ExecutedQuery {
                 response,
                 output,
                 mid_query: Some(run.report.stats),
-            });
+                trace: None,
+            }
+        } else {
+            let exec = Executor::with_opts(self.engine.db(), exec_opts);
+            let output = exec.run(query, &response.plan)?;
+            ExecutedQuery {
+                response,
+                output,
+                mid_query: None,
+                trace: None,
+            }
+        };
+        if root.is_recording() {
+            root.attr_u64("join_rows", out.output.join_rows);
+            root.attr_bool("mid_query", out.mid_query.is_some());
         }
-        let exec = Executor::with_opts(self.engine.db(), self.exec_opts.clone());
-        let output = exec.run(query, &response.plan)?;
-        Ok(ExecutedQuery {
-            response,
-            output,
-            mid_query: None,
-        })
+        Ok(out)
+    }
+
+    /// Fold one execution's counters into the metrics registry.
+    fn record_execution(&self, eq: &ExecutedQuery) {
+        let m = &eq.output.metrics;
+        self.registry.add("exec.queries", 1);
+        self.registry.add("exec.rows_scanned", m.rows_scanned);
+        self.registry.add("exec.rows_produced", m.rows_produced);
+        self.registry.add("exec.index_probes", m.index_probes);
+        self.registry.add("exec.parallel_ops", m.parallel_ops);
+        self.registry
+            .add("exec.parallel_workers", m.parallel_workers);
+        self.registry
+            .add("exec.batches_processed", m.batches_processed);
+        self.registry.add("exec.batch_rows", m.batch_rows);
+        self.registry.add("exec.dict_hits", m.dict_hits);
+        self.registry
+            .observe_micros("exec.time_us", micros(m.elapsed));
+        if let Some(mq) = &eq.mid_query {
+            self.registry
+                .add("midquery.suspensions", mq.suspensions as u64);
+            self.registry.add("midquery.replans", mq.replans as u64);
+            self.registry
+                .add("midquery.plan_switches", mq.plan_switches as u64);
+            self.registry
+                .add("midquery.checkpoints", mq.checkpoints as u64);
+            self.registry.add("midquery.splices", mq.splices as u64);
+            self.registry.add(
+                "midquery.exact_gamma_entries",
+                mq.exact_gamma_entries as u64,
+            );
+        }
+    }
+
+    /// A tracer honoring the service's tracing default.
+    fn new_tracer(&self) -> Tracer {
+        if self.trace_default {
+            Tracer::enabled()
+        } else {
+            Tracer::disabled()
+        }
     }
 
     /// Declare the statistics (and/or samples) refreshed: every plan
@@ -324,7 +513,33 @@ impl QueryService {
             cached_templates: self.plans.len(),
             stats_version: self.stats_version(),
             sample_cache: self.sample_cache.stats(),
+            latency: self.registry.latency_summary("service.submit_us"),
         }
+    }
+
+    /// Point-in-time snapshot of the unified metrics registry: counters and
+    /// latency histograms accumulated from served queries (`service.*`,
+    /// `reopt.*`, `exec.*`, `midquery.*`), overlaid with the live service
+    /// and cache counters. Keys are stable and ordered; see the README's
+    /// Telemetry section for the catalog.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.registry.snapshot();
+        let s = self.stats();
+        snap.set_counter("service.submitted", s.submitted);
+        snap.set_counter("service.warm_hits", s.warm_hits);
+        snap.set_counter("service.cold_misses", s.cold_misses);
+        snap.set_counter("service.coalesced", s.coalesced);
+        snap.set_counter("service.reopts_run", s.reopts_run);
+        snap.set_counter("service.errors", s.errors);
+        snap.set_counter("plan_cache.lru_evictions", s.lru_evictions);
+        snap.set_counter("plan_cache.stale_evictions", s.stale_evictions);
+        snap.set_gauge("plan_cache.templates", s.cached_templates as f64);
+        snap.set_gauge("service.stats_version", s.stats_version as f64);
+        snap.set_counter("sample_cache.hits", s.sample_cache.hits as u64);
+        snap.set_counter("sample_cache.executed", s.sample_cache.executed as u64);
+        snap.set_gauge("sample_cache.entries", s.sample_cache.entries as f64);
+        snap.set_gauge("sample_cache.validated", s.sample_cache.validated as f64);
+        snap
     }
 
     /// The shared sample dry-run cache (empty and unused when
@@ -357,6 +572,10 @@ pub struct ExecutedQuery {
     /// Mid-query re-optimization counters, present iff
     /// [`ReOptConfig::mid_query`] was on for this service.
     pub mid_query: Option<MidQueryStats>,
+    /// The finished span trace — admission through per-operator execution —
+    /// present iff tracing was on for this query (see
+    /// [`ServiceConfig::trace`] and [`QueryService::execute_traced`]).
+    pub trace: Option<Arc<QueryTrace>>,
 }
 
 fn respond(
@@ -373,6 +592,7 @@ fn respond(
         converged: cached.converged,
         reopt_time: cached.reopt_time,
         latency: t0.elapsed(),
+        trace: None,
     }
 }
 
@@ -413,5 +633,12 @@ impl Session {
     pub fn execute(&mut self, query: &Query) -> Result<ExecutedQuery> {
         self.submitted += 1;
         self.service.execute(query)
+    }
+
+    /// Submit and execute one query with tracing forced on (see
+    /// [`QueryService::execute_traced`]).
+    pub fn execute_traced(&mut self, query: &Query) -> Result<ExecutedQuery> {
+        self.submitted += 1;
+        self.service.execute_traced(query)
     }
 }

@@ -1,0 +1,212 @@
+//! Trace export: Chrome trace format (loadable in Perfetto / `ui.perfetto.dev`
+//! and `chrome://tracing`) and JSON-lines.
+//!
+//! The JSON is hand-rolled so the crate stays dependency-free; a dev-test
+//! round-trips the output through `serde_json` to prove validity.
+
+use crate::span::{AttrValue, QueryTrace, SpanRecord};
+
+fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn attr_value_into(v: &AttrValue, out: &mut String) {
+    match v {
+        AttrValue::U64(n) => out.push_str(&n.to_string()),
+        AttrValue::I64(n) => out.push_str(&n.to_string()),
+        AttrValue::F64(n) => {
+            if n.is_finite() {
+                out.push_str(&format!("{n}"));
+                // `{}` prints integral floats without a dot; keep it a
+                // JSON number either way (both forms are valid).
+            } else {
+                out.push_str("null");
+            }
+        }
+        AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        AttrValue::Str(s) => {
+            out.push('"');
+            escape_json_into(s, out);
+            out.push('"');
+        }
+    }
+}
+
+fn args_into(span: &SpanRecord, out: &mut String) {
+    out.push_str("{\"span_id\":");
+    out.push_str(&span.id.to_string());
+    out.push_str(",\"parent_id\":");
+    out.push_str(&span.parent.to_string());
+    for (k, v) in &span.attrs {
+        out.push_str(",\"");
+        escape_json_into(k, out);
+        out.push_str("\":");
+        attr_value_into(v, out);
+    }
+    out.push('}');
+}
+
+fn event_into(span: &SpanRecord, out: &mut String) {
+    out.push_str("{\"name\":\"");
+    escape_json_into(span.name, out);
+    out.push_str("\",\"cat\":\"reopt\",\"ph\":\"X\",\"ts\":");
+    out.push_str(&span.start_us.to_string());
+    out.push_str(",\"dur\":");
+    out.push_str(&span.dur_us.to_string());
+    out.push_str(",\"pid\":1,\"tid\":1,\"args\":");
+    args_into(span, out);
+    out.push('}');
+}
+
+impl QueryTrace {
+    /// One JSON document in Chrome trace-event format. All spans are
+    /// complete (`"ph":"X"`) events on a single pid/tid; ts/dur nesting
+    /// reconstructs the tree in the Perfetto timeline, and the exact
+    /// parent links ride along in `args`.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, span) in self.spans().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            event_into(span, &mut out);
+        }
+        out.push_str("\n]}");
+        out
+    }
+
+    /// One JSON object per line:
+    /// `{"id":..,"parent":..,"name":..,"start_us":..,"dur_us":..,"attrs":{..}}`
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for span in self.spans() {
+            out.push_str("{\"id\":");
+            out.push_str(&span.id.to_string());
+            out.push_str(",\"parent\":");
+            out.push_str(&span.parent.to_string());
+            out.push_str(",\"name\":\"");
+            escape_json_into(span.name, &mut out);
+            out.push_str("\",\"start_us\":");
+            out.push_str(&span.start_us.to_string());
+            out.push_str(",\"dur_us\":");
+            out.push_str(&span.dur_us.to_string());
+            out.push_str(",\"attrs\":{");
+            for (i, (k, v)) in span.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json_into(k, &mut out);
+                out.push_str("\":");
+                attr_value_into(v, &mut out);
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::span::Tracer;
+    use serde_json::Value;
+
+    fn sample_trace() -> crate::span::QueryTrace {
+        let t = Tracer::enabled();
+        let mut root = t.span("service.execute");
+        root.attr_str("query", "q \"quoted\"\nline2");
+        root.attr_f64("cost", 1.5);
+        root.attr_f64("bad", f64::NAN);
+        root.attr_bool("hit", true);
+        root.attr_i64("delta", -3);
+        let child = t.under(&root).span("exec.operator");
+        drop(child);
+        drop(root);
+        t.finish()
+    }
+
+    fn num(v: &Value) -> i64 {
+        match v {
+            Value::Int(i) => *i,
+            Value::UInt(u) => *u as i64,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_shape() {
+        let json = sample_trace().to_chrome_trace();
+        let doc = serde_json::value_from_str(&json).unwrap();
+        let events = match doc.get("traceEvents").unwrap() {
+            Value::Array(items) => items.clone(),
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 2);
+        for e in &events {
+            assert_eq!(e.get("ph").unwrap(), &Value::Str("X".into()));
+            assert_eq!(num(e.get("pid").unwrap()), 1);
+            assert_eq!(num(e.get("tid").unwrap()), 1);
+            assert!(num(e.get("ts").unwrap()) >= 0);
+            assert!(num(e.get("dur").unwrap()) >= 0);
+            let args = e.get("args").unwrap();
+            assert!(num(args.get("span_id").unwrap()) > 0);
+        }
+        let root = &events[0];
+        assert_eq!(
+            root.get("name").unwrap(),
+            &Value::Str("service.execute".into())
+        );
+        let args = root.get("args").unwrap();
+        assert_eq!(num(args.get("parent_id").unwrap()), 0);
+        assert_eq!(
+            args.get("query").unwrap(),
+            &Value::Str("q \"quoted\"\nline2".into())
+        );
+        assert_eq!(args.get("cost").unwrap(), &Value::Float(1.5));
+        assert_eq!(args.get("bad").unwrap(), &Value::Null);
+        assert_eq!(args.get("hit").unwrap(), &Value::Bool(true));
+        assert_eq!(num(args.get("delta").unwrap()), -3);
+        let child_args = events[1].get("args").unwrap();
+        assert_eq!(
+            num(child_args.get("parent_id").unwrap()),
+            num(args.get("span_id").unwrap())
+        );
+    }
+
+    #[test]
+    fn json_lines_parse_individually() {
+        let lines = sample_trace().to_json_lines();
+        let mut n = 0;
+        for line in lines.lines() {
+            let doc = serde_json::value_from_str(line).unwrap();
+            assert!(num(doc.get("id").unwrap()) > 0);
+            assert!(matches!(doc.get("name").unwrap(), Value::Str(_)));
+            n += 1;
+        }
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let trace = Tracer::disabled().finish();
+        let doc = serde_json::value_from_str(&trace.to_chrome_trace()).unwrap();
+        match doc.get("traceEvents").unwrap() {
+            Value::Array(items) => assert!(items.is_empty()),
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert_eq!(trace.to_json_lines(), "");
+    }
+}

@@ -9,4 +9,5 @@ pub use reopt_sampling as sampling;
 pub use reopt_service as service;
 pub use reopt_stats as stats;
 pub use reopt_storage as storage;
+pub use reopt_telemetry as telemetry;
 pub use reopt_workloads as workloads;

@@ -42,6 +42,7 @@ fn burned_down_crates_stay_out_of_the_baseline() {
         "crates/executor",
         "crates/optimizer",
         "crates/service",
+        "crates/telemetry",
     ] {
         assert!(
             baseline.denied(&format!("{prefix}/src/lib.rs")),

@@ -375,6 +375,81 @@ fn check_columnar_conformance(bound: &Bound, query: &Query, label: &str) {
     }
 }
 
+/// Tracing invariance: running the identical mid-query configuration with
+/// span recording on must be **bit-identical** to running it with the
+/// tracer off — same emission-order row sets, same trajectory, equivalent
+/// aggregates — at `threads ∈ {1, 4}` under both engines. Telemetry is
+/// observation only; it must never feed back into a plan or a row.
+fn check_tracing_invariance(bound: &Bound, query: &Query, label: &str) {
+    use reopt::telemetry::{names, Tracer};
+    let opt = Optimizer::new(&bound.db, &bound.stats);
+    for threads in THREAD_COUNTS {
+        for columnar in [false, true] {
+            let run_with = |tracer: Tracer| {
+                let mut config = ReOptConfig {
+                    mid_query: true,
+                    replan_discrepancy: None,
+                    ..ReOptConfig::with_threads(threads)
+                };
+                config.validation.columnar = Some(columnar);
+                ReOptimizer::with_config(&opt, &bound.samples, config)
+                    .execute_with_opts(
+                        query,
+                        ExecOpts {
+                            threads,
+                            columnar: Some(columnar),
+                            tracer,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap()
+            };
+            let off = run_with(Tracer::disabled());
+            let tracer = Tracer::enabled();
+            let on = run_with(tracer.clone());
+            let ctx = format!("{label}: threads={threads} columnar={columnar}");
+            assert_rowsets_bit_identical(&off.run.rows, &on.run.rows, &ctx);
+            assert_eq!(
+                trajectory_digest(&off.run),
+                trajectory_digest(&on.run),
+                "{ctx}: tracing changed the mid-query trajectory"
+            );
+            assert_aggs_equivalent(&off.run.agg, &on.run.agg, &ctx);
+            let trace = tracer.finish();
+            assert!(
+                trace.count(names::MIDQUERY_RUN) >= 1,
+                "{ctx}: no midquery.run span recorded"
+            );
+            assert!(
+                trace.count(names::MIDQUERY_SEGMENT) >= 1,
+                "{ctx}: no midquery.segment span recorded"
+            );
+            if query.num_relations() >= 3 {
+                assert_eq!(
+                    trace.count(names::MIDQUERY_SUSPEND),
+                    on.run.report.stats.suspensions,
+                    "{ctx}: one suspend span per suspension"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ott_mid_query_tracing_invariance() {
+    let bound = ott_bound();
+    let q = ott_query(&bound.db, &[0i64, 0, 0, 1]).unwrap();
+    check_tracing_invariance(&bound, &q, "ott[0,0,0,1]");
+}
+
+#[test]
+fn tpch_mid_query_tracing_invariance() {
+    let bound = tpch_bound();
+    let mut rng = derive_rng_indexed(11, "midquery-tpch-trace", 2);
+    let q = tpch::instantiate(&bound.db, "q5", &mut rng).unwrap();
+    check_tracing_invariance(&bound, &q, "tpch/q5");
+}
+
 #[test]
 fn ott_mid_query_columnar_conformance() {
     let bound = ott_bound();

@@ -265,6 +265,126 @@ fn check_columnar_invariance(bound: &Bound, query: &reopt::plan::Query, label: &
     }
 }
 
+/// Tracing invariance: span recording must be pure observation. Rows,
+/// traces, validated Δ, and whole re-optimization trajectories with the
+/// tracer on must be bit-identical to the tracer-off runs — at
+/// `threads ∈ {1, 4}` under both engines.
+fn check_tracing_invariance(bound: &Bound, query: &reopt::plan::Query, label: &str) {
+    use reopt::telemetry::{names, Tracer};
+    let opt = Optimizer::new(&bound.db, &bound.stats);
+    let re = ReOptimizer::with_config(&opt, &bound.samples, ReOptConfig::with_threads(1));
+    let plan = re.run(query).unwrap().final_plan;
+
+    for threads in [1usize, 4] {
+        for columnar in [false, true] {
+            let ctx = format!("{label}: threads={threads} columnar={columnar}");
+            let engine = |tracer: Tracer| {
+                Executor::with_opts(
+                    &bound.db,
+                    ExecOpts {
+                        threads,
+                        columnar: Some(columnar),
+                        tracer,
+                        ..Default::default()
+                    },
+                )
+            };
+            let (off_rows, off_m) = engine(Tracer::disabled()).run_rowset(query, &plan).unwrap();
+            let tracer = Tracer::enabled();
+            let (on_rows, on_m) = engine(tracer.clone()).run_rowset(query, &plan).unwrap();
+            assert_rowsets_identical(&off_rows, &on_rows, &ctx);
+            assert_eq!(off_m.rows_scanned, on_m.rows_scanned, "{ctx}");
+            assert_eq!(off_m.rows_produced, on_m.rows_produced, "{ctx}");
+            let trace = tracer.finish();
+            // Every executed node gets an exec.operator span. Index-nested
+            // inners are probed, not executed standalone, so the count is
+            // plan-shaped: at least one per join + leftmost scan, at most
+            // one per node.
+            let ops = trace.count(names::EXEC_OPERATOR);
+            assert!(
+                (query.num_relations()..2 * query.num_relations()).contains(&ops),
+                "{ctx}: {ops} operator spans for {} relations",
+                query.num_relations()
+            );
+            // The root operator's span reports the true output cardinality.
+            let root = trace
+                .spans()
+                .iter()
+                .find(|s| {
+                    s.name == names::EXEC_OPERATOR
+                        && s.attr_u64("node") == Some(plan.relset().mask())
+                })
+                .unwrap_or_else(|| panic!("{ctx}: no root operator span"));
+            assert_eq!(
+                root.attr_u64("rows"),
+                Some(off_rows.len() as u64),
+                "{ctx}: root span rows"
+            );
+
+            // Validation: Δ must not depend on the tracer.
+            let vopts = |tracer: Tracer| ValidationOpts {
+                threads,
+                columnar: Some(columnar),
+                tracer,
+                ..Default::default()
+            };
+            let off_v =
+                validate_plan(query, &plan, &bound.samples, &vopts(Tracer::disabled())).unwrap();
+            let vtracer = Tracer::enabled();
+            let on_v =
+                validate_plan(query, &plan, &bound.samples, &vopts(vtracer.clone())).unwrap();
+            assert_eq!(
+                delta_bits(&off_v),
+                delta_bits(&on_v),
+                "{ctx}: Δ diverged under tracing"
+            );
+            assert_eq!(
+                vtracer.finish().count(names::SAMPLING_DRY_RUN),
+                1,
+                "{ctx}: dry-run span"
+            );
+
+            // The whole loop: identical trajectory with and without spans.
+            let mut config = ReOptConfig::with_threads(threads);
+            config.validation.columnar = Some(columnar);
+            let off_report = ReOptimizer::with_config(&opt, &bound.samples, config.clone())
+                .run(query)
+                .unwrap();
+            let ltracer = Tracer::enabled();
+            let on_report = ReOptimizer::with_config(&opt, &bound.samples, config)
+                .run_traced(query, &ltracer)
+                .unwrap();
+            assert_eq!(
+                replay_digest(&off_report),
+                replay_digest(&on_report),
+                "{ctx}: trajectory diverged under tracing"
+            );
+            let ltrace = ltracer.finish();
+            assert_eq!(ltrace.count(names::REOPT_LOOP), 1, "{ctx}");
+            assert_eq!(
+                ltrace.count(names::REOPT_ROUND),
+                on_report.rounds.len(),
+                "{ctx}: one round span per round"
+            );
+        }
+    }
+}
+
+#[test]
+fn ott_tracing_is_bit_identical() {
+    let bound = ott_bound();
+    let q = ott_query(&bound.db, &[0i64, 0, 0, 1]).unwrap();
+    check_tracing_invariance(&bound, &q, "ott[0,0,0,1]");
+}
+
+#[test]
+fn tpch_tracing_is_bit_identical() {
+    let bound = tpch_bound();
+    let mut rng = derive_rng_indexed(7, "parallel-determinism-trace", 2);
+    let q = instantiate(&bound.db, "q5", &mut rng).unwrap();
+    check_tracing_invariance(&bound, &q, "tpch/q5");
+}
+
 #[test]
 fn ott_columnar_engine_is_bit_identical() {
     let bound = ott_bound();

@@ -80,7 +80,7 @@ impl Rule {
             Rule::UnorderedIter => {
                 matches!(
                     crate_name,
-                    "executor" | "optimizer" | "plan" | "core" | "service"
+                    "executor" | "optimizer" | "plan" | "core" | "service" | "telemetry"
                 )
             }
             // Bench binaries are experiment drivers; panicking on a broken

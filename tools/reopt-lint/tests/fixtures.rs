@@ -284,6 +284,41 @@ fn waiver_syntax_violations_cannot_be_baselined() {
     assert!(Baseline::parse(text).is_err());
 }
 
+// ------------------------------------------------- telemetry crate
+
+#[test]
+fn r1_applies_to_the_telemetry_crate() {
+    // Trace export and snapshot rendering iterate their maps into
+    // user-visible output, so the telemetry crate is held to the same
+    // ordered-iteration rule as the result-producing crates.
+    let src = "fn f(attrs: &FxHashMap<u64, u64>) {\n    for v in attrs.values() {\n        use_it(v);\n    }\n}\n";
+    let found = lint("telemetry", src);
+    assert_eq!(rules(&found), vec![Rule::UnorderedIter], "{found:?}");
+}
+
+#[test]
+fn telemetry_crate_introduces_no_clock_sites() {
+    // R3 guard: span timing must flow through `Stopwatch` (the one waived
+    // clock site in reopt-common), never through new `Instant::now()` /
+    // `SystemTime::now()` reads — so the telemetry crate needs zero
+    // clock-ok waivers and produces zero wall-clock findings.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let waivers = scan_waivers(&root).expect("workspace scan");
+    for (file, w) in &waivers {
+        assert!(
+            !(file.starts_with("crates/telemetry") && w.kind == "clock-ok"),
+            "{file}:{}: the telemetry crate must not waive a clock site",
+            w.line
+        );
+    }
+    let violations = reopt_lint::scan_workspace(&root).expect("workspace scan");
+    let clock_hits: Vec<_> = violations
+        .iter()
+        .filter(|v| v.file.starts_with("crates/telemetry") && v.rule == Rule::WallClock)
+        .collect();
+    assert!(clock_hits.is_empty(), "{clock_hits:?}");
+}
+
 // ---------------------------------------------- real-workspace waivers
 
 #[test]
