@@ -1,0 +1,270 @@
+//! Cached-plan latency under churn: drift-triggered eviction on vs off,
+//! with machine-readable output in `BENCH_drift.json` and a regression
+//! guardrail asserted in-process.
+//!
+//! Not a criterion harness: each regime drives a real [`QueryService`]
+//! through the ingest API end to end. Pass `--quick` for the
+//! reduced-iteration CI configuration.
+//!
+//! Scenario: a warm template workload over the OTT database while
+//! `ott_lineitem` takes a skew storm (batches of one hot value). Two
+//! services see the identical churn:
+//!
+//! * **eviction on** (default `DriftConfig`) — measured drift crosses the
+//!   threshold mid-storm, samples are redrawn, stale plans evicted, and
+//!   the template re-optimizes once against post-drift data. The
+//!   guardrail binds here: post-drift *warm* latency must stay within
+//!   `GUARDRAIL_WARM_RATIO`× the pre-drift warm mean — eviction may cost
+//!   one cold miss, not a permanently slower steady state.
+//! * **eviction off** (`auto_refresh: false`) — the baseline a static
+//!   system degrades to: stale plans keep serving and nothing re-learns.
+//!
+//! The report also tracks ingest cost itself (incremental ANALYZE + drift
+//! scoring per batch) so regressions in the ingest path are visible, and
+//! `refreshes`/`stale_evictions` counters so a silently-disabled drift
+//! monitor fails the guardrail instead of shipping.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use reopt_sampling::SampleConfig;
+use reopt_service::{DriftConfig, PlanSource, QueryService, ServiceConfig};
+use reopt_stats::AnalyzeOpts;
+use reopt_storage::Value;
+use reopt_workloads::ott::{build_ott_database, ott_query, recommended_sample_ratio, OttConfig};
+
+/// Post-drift warm latency may be at most this multiple of the pre-drift
+/// warm mean. Generous (warm hits are microseconds, so scheduler noise is
+/// a real hazard) but far below the cold-miss cost the eviction path pays
+/// — a service that re-optimizes on *every* submission blows through it.
+const GUARDRAIL_WARM_RATIO: f64 = 25.0;
+
+#[derive(Debug, Serialize)]
+struct ChurnResult {
+    ingests: usize,
+    rows_ingested: usize,
+    /// Mean / max wall time of one ingest call (mutate + incremental
+    /// ANALYZE + drift scoring + possible refresh), milliseconds.
+    mean_ingest_ms: f64,
+    max_ingest_ms: f64,
+    /// Sample rebuild + engine swap events (drift crossings).
+    refreshes: u64,
+    /// Worst drift observed across the storm.
+    max_drift: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct RegimeResult {
+    /// Warm-hit mean latency after the storm settled, milliseconds.
+    post_drift_warm_ms: f64,
+    /// Cold (re-optimization) latencies paid after the storm — the price
+    /// of eviction. Empty when nothing was evicted.
+    post_drift_cold_ms: Vec<f64>,
+    stale_evictions: u64,
+    reopts_run: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    bench: &'static str,
+    quick: bool,
+    /// Warm-hit mean latency before any churn, milliseconds.
+    pre_drift_warm_ms: f64,
+    churn: ChurnResult,
+    eviction_on: RegimeResult,
+    eviction_off: RegimeResult,
+    /// post_drift_warm_ms (eviction on) / pre_drift_warm_ms.
+    warm_ratio: f64,
+    warm_ratio_limit: f64,
+}
+
+fn fresh_service(config: &OttConfig, drift: DriftConfig) -> Arc<QueryService> {
+    Arc::new(
+        QueryService::from_database(
+            Arc::new(build_ott_database(config).unwrap()),
+            &AnalyzeOpts::default(),
+            SampleConfig {
+                ratio: recommended_sample_ratio(config),
+                ..Default::default()
+            },
+            ServiceConfig {
+                drift,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    )
+}
+
+fn warm_mean_ms(service: &QueryService, queries: &[reopt_plan::Query], iters: usize) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let r = service.submit(&queries[i % queries.len()]).unwrap();
+        debug_assert_eq!(r.source, PlanSource::WarmHit);
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let warm_iters = if quick { 200 } else { 2000 };
+    let storm_batches = if quick { 6 } else { 12 };
+
+    let ott_config = OttConfig {
+        rows_per_value: 12,
+        ..Default::default()
+    };
+    let lineitem_rows = ott_config.distinct_values[0] * ott_config.rows_per_value;
+    // Each batch adds half of ott_lineitem's original size, all one value.
+    let batch: Vec<Vec<Value>> = (0..lineitem_rows / 2)
+        .map(|_| vec![Value::Int(0), Value::Int(0)])
+        .collect();
+
+    let svc_on = fresh_service(&ott_config, DriftConfig::default());
+    let svc_off = fresh_service(
+        &ott_config,
+        DriftConfig {
+            auto_refresh: false,
+            ..Default::default()
+        },
+    );
+
+    // Warm both services on three distinct templates (a template is the
+    // query *structure*, so distinct chain lengths, not distinct literals).
+    let consts: [&[i64]; 3] = [&[0, 0, 1], &[0, 0, 0, 1], &[0, 0, 0, 0, 1]];
+    let queries: Vec<_> = {
+        let engine = svc_on.engine();
+        consts
+            .iter()
+            .map(|c| ott_query(engine.db(), c).unwrap())
+            .collect()
+    };
+    for q in &queries {
+        assert_eq!(svc_on.submit(q).unwrap().source, PlanSource::ColdMiss);
+        assert_eq!(svc_off.submit(q).unwrap().source, PlanSource::ColdMiss);
+    }
+    let pre_drift_warm_ms = warm_mean_ms(&svc_on, &queries, warm_iters);
+
+    // --- The skew storm, identical on both services. ---
+    let mut ingest_ms = Vec::with_capacity(storm_batches);
+    let mut max_drift = 0f64;
+    let mut rows_ingested = 0usize;
+    for _ in 0..storm_batches {
+        let t0 = Instant::now();
+        let report = svc_on.append_rows("ott_lineitem", &batch).unwrap();
+        ingest_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        max_drift = max_drift.max(report.drift);
+        rows_ingested += report.rows_appended;
+        svc_off.append_rows("ott_lineitem", &batch).unwrap();
+    }
+    let refreshes = svc_on.telemetry_snapshot().counter("ingest.refreshes");
+    assert!(
+        refreshes >= 1,
+        "the storm never crossed the drift threshold (max drift {max_drift})"
+    );
+    let churn = ChurnResult {
+        ingests: storm_batches,
+        rows_ingested,
+        mean_ingest_ms: ingest_ms.iter().sum::<f64>() / ingest_ms.len() as f64,
+        max_ingest_ms: ingest_ms.iter().fold(0f64, |a, &b| a.max(b)),
+        refreshes,
+        max_drift,
+    };
+
+    // --- Post-drift: eviction on pays cold misses, then is warm again. ---
+    let mut post_drift_cold_ms = Vec::new();
+    for q in &queries {
+        let r = svc_on.submit(q).unwrap();
+        if r.source == PlanSource::ColdMiss {
+            post_drift_cold_ms.push(r.latency.as_secs_f64() * 1e3);
+        }
+    }
+    assert!(
+        !post_drift_cold_ms.is_empty(),
+        "drift refresh evicted nothing"
+    );
+    let on_warm = warm_mean_ms(&svc_on, &queries, warm_iters);
+    let on_stats = svc_on.stats();
+    let eviction_on = RegimeResult {
+        post_drift_warm_ms: on_warm,
+        post_drift_cold_ms,
+        stale_evictions: on_stats.stale_evictions,
+        reopts_run: on_stats.reopts_run,
+    };
+
+    // --- Eviction off: stale plans keep serving, nothing re-learns. ---
+    let off_warm = warm_mean_ms(&svc_off, &queries, warm_iters);
+    let off_stats = svc_off.stats();
+    assert_eq!(
+        off_stats.stale_evictions, 0,
+        "auto_refresh=false must not evict"
+    );
+    let eviction_off = RegimeResult {
+        post_drift_warm_ms: off_warm,
+        post_drift_cold_ms: Vec::new(),
+        stale_evictions: off_stats.stale_evictions,
+        reopts_run: off_stats.reopts_run,
+    };
+
+    let warm_ratio = eviction_on.post_drift_warm_ms / pre_drift_warm_ms.max(1e-9);
+    let report = BenchReport {
+        bench: "bench_drift",
+        quick,
+        pre_drift_warm_ms,
+        churn,
+        eviction_on,
+        eviction_off,
+        warm_ratio,
+        warm_ratio_limit: GUARDRAIL_WARM_RATIO,
+    };
+
+    println!(
+        "pre-drift warm {:.1} µs | storm: {} ingests, {} rows, {} refreshes, max drift {:.3}, mean ingest {:.3} ms",
+        report.pre_drift_warm_ms * 1e3,
+        report.churn.ingests,
+        report.churn.rows_ingested,
+        report.churn.refreshes,
+        report.churn.max_drift,
+        report.churn.mean_ingest_ms,
+    );
+    println!(
+        "eviction on:  post-drift warm {:.1} µs (ratio {:.2}, limit {}), {} cold misses paid, {} stale evictions",
+        report.eviction_on.post_drift_warm_ms * 1e3,
+        report.warm_ratio,
+        report.warm_ratio_limit,
+        report.eviction_on.post_drift_cold_ms.len(),
+        report.eviction_on.stale_evictions,
+    );
+    println!(
+        "eviction off: post-drift warm {:.1} µs, {} stale evictions (stale plans kept serving)",
+        report.eviction_off.post_drift_warm_ms * 1e3,
+        report.eviction_off.stale_evictions,
+    );
+
+    // The regression guardrail: eviction must restore the warm steady
+    // state, not replace it with repeated re-optimization.
+    assert!(
+        report.warm_ratio <= GUARDRAIL_WARM_RATIO,
+        "post-drift warm latency regressed: {:.1} µs vs pre-drift {:.1} µs (ratio {:.2} > {})",
+        report.eviction_on.post_drift_warm_ms * 1e3,
+        report.pre_drift_warm_ms * 1e3,
+        report.warm_ratio,
+        GUARDRAIL_WARM_RATIO,
+    );
+
+    // Anchor the output at the workspace root (cargo runs benches with
+    // cwd = the package directory) so CI finds one canonical path.
+    let out = match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(pkg) => std::path::Path::new(&pkg)
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .join("BENCH_drift.json"),
+        Err(_) => std::path::PathBuf::from("BENCH_drift.json"),
+    };
+    let json = serde_json::to_string(&report).unwrap();
+    std::fs::write(&out, &json).unwrap();
+    println!("wrote {}", out.display());
+}

@@ -119,7 +119,8 @@ fn main() {
         columnar: Some(ExecOpts::default().effective_columnar()),
         ..Default::default()
     };
-    let exec = Executor::with_opts(svc_off.engine().db(), exec_opts);
+    let engine_off = svc_off.engine();
+    let exec = Executor::with_opts(engine_off.db(), exec_opts);
     let (baseline_ms, base_rows) = best_of(reps, || {
         queries
             .iter()

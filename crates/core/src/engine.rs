@@ -31,6 +31,10 @@ pub struct ReoptEngine {
     samples: Arc<SampleStore>,
     optimizer_config: OptimizerConfig,
     reopt_config: ReOptConfig,
+    /// The ANALYZE knobs the statistics were (re)built with — retained so
+    /// the serving layer's incremental re-ANALYZE after an ingest uses the
+    /// exact same derivation.
+    analyze: AnalyzeOpts,
 }
 
 impl ReoptEngine {
@@ -60,6 +64,7 @@ impl ReoptEngine {
             samples,
             optimizer_config,
             reopt_config,
+            analyze: AnalyzeOpts::default(),
         }
     }
 
@@ -91,13 +96,9 @@ impl ReoptEngine {
     ) -> Result<Self> {
         let stats = Arc::new(analyze_database(&db, analyze)?);
         let samples = Arc::new(SampleStore::build(&db, sample)?);
-        Ok(Self::with_configs(
-            db,
-            stats,
-            samples,
-            optimizer_config,
-            reopt_config,
-        ))
+        let mut engine = Self::with_configs(db, stats, samples, optimizer_config, reopt_config);
+        engine.analyze = analyze.clone();
+        Ok(engine)
     }
 
     /// The database.
@@ -113,6 +114,36 @@ impl ReoptEngine {
     /// The sample store validations run against.
     pub fn samples(&self) -> &Arc<SampleStore> {
         &self.samples
+    }
+
+    /// The ANALYZE knobs this engine's statistics were built with.
+    pub fn analyze_opts(&self) -> &AnalyzeOpts {
+        &self.analyze
+    }
+
+    /// The database's [`reopt_storage::DataVersion`] this engine serves.
+    pub fn data_version(&self) -> reopt_storage::DataVersion {
+        self.db.data_version()
+    }
+
+    /// Rebuild the engine around new data, statistics and samples, keeping
+    /// every configuration knob — the serving layer's refresh path after
+    /// an ingest (cheap: the configs are plain structs, the data is
+    /// `Arc`-shared).
+    pub fn with_data(
+        &self,
+        db: Arc<Database>,
+        stats: Arc<DatabaseStats>,
+        samples: Arc<SampleStore>,
+    ) -> Self {
+        ReoptEngine {
+            db,
+            stats,
+            samples,
+            optimizer_config: self.optimizer_config.clone(),
+            reopt_config: self.reopt_config.clone(),
+            analyze: self.analyze.clone(),
+        }
     }
 
     /// The re-optimization configuration.

@@ -171,12 +171,16 @@ pub fn execute_mid_query(
     opts: MidQueryOpts,
 ) -> Result<MidQueryRun> {
     let MidQueryOpts {
-        gamma,
-        memo,
+        mut gamma,
+        mut memo,
         exec: exec_opts,
         max_suspensions,
         replan_discrepancy,
     } = opts;
+    // Exact counts observed mid-query describe *this* database state; the
+    // carried memo must likewise match it (it self-clears if not).
+    gamma.set_data_version(db.data_version());
+    memo.set_data_version(db.data_version());
     // Queries the DP cannot re-plan (GEQO territory) gain nothing from
     // stepping — and neither does a zero suspension budget: run those
     // straight through, no checkpoint copies.
@@ -195,8 +199,6 @@ pub fn execute_mid_query(
     let mut run_span = tracer.span(names::MIDQUERY_RUN);
     let run_tracer = tracer.under(&run_span);
     let mut store = CheckpointStore::new();
-    let mut gamma = gamma;
-    let mut memo = memo;
     let mut plan = start_plan.clone();
     let mut plans = vec![plan.clone()];
     let mut stats = MidQueryStats::default();

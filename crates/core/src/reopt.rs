@@ -168,6 +168,14 @@ impl<C: ValidationCache> IncrementalCaches<C> {
         self.memo.clear();
     }
 
+    /// Pin the memo and sample cache to the data version the run's
+    /// samples were drawn at: the memo self-clears on a version change,
+    /// and the sample cache's lookups/stores become qualified with it.
+    pub(crate) fn pin_data_version(&mut self, version: reopt_storage::DataVersion) {
+        self.memo.set_data_version(version);
+        self.sample_cache.set_data_version(version);
+    }
+
     /// `GetPlanFromOptimizer(Γ)`, reusing the memo when enabled.
     pub(crate) fn plan(
         &mut self,
@@ -384,7 +392,13 @@ impl<'a> ReOptimizer<'a> {
         let t_start = Stopwatch::start();
         let mut loop_span = tracer.span(names::REOPT_LOOP);
         let loop_tracer = tracer.under(&loop_span);
+        // Pin every per-run cache to the data state the samples were
+        // drawn from: the DP memo self-clears if it was (improperly)
+        // carried across an ingest, and Γ entries carry the stamp drift
+        // rebasing later relies on.
+        caches.pin_data_version(self.samples.data_version());
         let mut gamma = CardOverrides::new();
+        gamma.set_data_version(self.samples.data_version());
         let mut rounds: Vec<RoundReport> = Vec::new();
         let mut prev_plan: Option<PhysicalPlan> = None;
         let mut prev_trees: Vec<JoinTree> = Vec::new();

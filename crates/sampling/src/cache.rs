@@ -40,24 +40,30 @@ use reopt_common::hash::FxHasher;
 use reopt_common::{FxHashMap, RelSet};
 use reopt_executor::{RowSet, SubtreeCache};
 use reopt_plan::{PhysicalPlan, Predicate, Query};
-use reopt_storage::Value;
+use reopt_storage::{DataVersion, Value};
 use std::hash::Hasher;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Cross-round sample dry-run cache (see the module docs).
 ///
-/// Results are keyed by `(relation set, fingerprint)`: within one (query,
-/// samples, opts) contract the fingerprint is itself a function of the
-/// relation set, so the composite key makes a cross-set hash collision —
-/// which would silently replay the wrong rows — structurally impossible.
+/// Results are keyed by `(relation set, fingerprint, data version)`:
+/// within one (query, samples, opts) contract the fingerprint is itself a
+/// function of the relation set, so the composite key makes a cross-set
+/// hash collision — which would silently replay the wrong rows —
+/// structurally impossible. The [`DataVersion`] component (set from the
+/// sample store's [`crate::SampleStore::data_version`] before use) makes a
+/// cross-version hit equally impossible: rows dry-run before an ingest can
+/// never answer a lookup issued after it.
 #[derive(Debug, Clone, Default)]
 pub struct SampleRunCache {
     /// Subtree output rows over the sample database.
-    results: FxHashMap<(RelSet, u64), RowSet>,
+    results: FxHashMap<(RelSet, u64, DataVersion), RowSet>,
     /// Full-database estimates, keyed like `results` so one cache can
     /// serve several queries whose relation sets overlap but differ in
     /// predicates.
-    validated: FxHashMap<(RelSet, u64), f64>,
+    validated: FxHashMap<(RelSet, u64, DataVersion), f64>,
+    /// The data version qualifying every lookup and store.
+    version: DataVersion,
     hits: usize,
     executed: usize,
 }
@@ -88,15 +94,31 @@ impl SampleRunCache {
         self.results.is_empty()
     }
 
-    /// The full-database estimate previously derived for `(set, fp)`, if
-    /// any.
-    pub fn validated_estimate(&self, set: RelSet, fp: u64) -> Option<f64> {
-        self.validated.get(&(set, fp)).copied()
+    /// The data version qualifying lookups and stores ([`DataVersion::ZERO`]
+    /// until [`SampleRunCache::set_data_version`] is called — matching a
+    /// never-ingested database).
+    pub fn data_version(&self) -> DataVersion {
+        self.version
     }
 
-    /// Record the full-database estimate derived for `(set, fp)`.
+    /// Qualify all subsequent lookups and stores with `version`. Entries
+    /// recorded under other versions stay resident but become unreachable
+    /// until the version is set back — a stale replay is structurally
+    /// impossible rather than merely unlikely.
+    pub fn set_data_version(&mut self, version: DataVersion) {
+        self.version = version;
+    }
+
+    /// The full-database estimate previously derived for `(set, fp)` at
+    /// the current data version, if any.
+    pub fn validated_estimate(&self, set: RelSet, fp: u64) -> Option<f64> {
+        self.validated.get(&(set, fp, self.version)).copied()
+    }
+
+    /// Record the full-database estimate derived for `(set, fp)` at the
+    /// current data version.
     pub fn record_validated(&mut self, set: RelSet, fp: u64, estimate: f64) {
-        self.validated.insert((set, fp), estimate);
+        self.validated.insert((set, fp, self.version), estimate);
     }
 
     /// Drop everything — e.g. when the sample store is rebuilt.
@@ -120,6 +142,13 @@ pub trait ValidationCache: SubtreeCache {
 
     /// Lifetime (hits, executed) counters.
     fn counters(&mut self) -> (usize, usize);
+
+    /// Qualify all subsequent lookups and stores with `version` (see
+    /// [`SampleRunCache::set_data_version`]).
+    fn set_data_version(&mut self, version: DataVersion);
+
+    /// The data version currently qualifying lookups and stores.
+    fn data_version(&mut self) -> DataVersion;
 }
 
 impl ValidationCache for SampleRunCache {
@@ -133,6 +162,14 @@ impl ValidationCache for SampleRunCache {
 
     fn counters(&mut self) -> (usize, usize) {
         (self.hits, self.executed)
+    }
+
+    fn set_data_version(&mut self, version: DataVersion) {
+        SampleRunCache::set_data_version(self, version);
+    }
+
+    fn data_version(&mut self) -> DataVersion {
+        self.version
     }
 }
 
@@ -161,9 +198,17 @@ pub struct SampleCacheStats {
 /// on the map accesses. Under concurrency the per-validation hit/executed
 /// counters attributed to one run may include a neighbor's traffic; the
 /// lifetime totals in [`SampleCacheStats`] are always exact.
+/// Each *handle* carries its own [`DataVersion`] (set via
+/// [`ValidationCache::set_data_version`], copied by `clone`): a session
+/// that was admitted under an older database snapshot keeps reading and
+/// writing entries qualified with *its* version even while the serving
+/// layer has already moved newer sessions forward — the shared map simply
+/// holds both generations, and neither can answer the other's lookups.
 #[derive(Debug, Clone, Default)]
 pub struct SharedSampleRunCache {
     inner: Arc<Mutex<SampleRunCache>>,
+    /// Handle-local: deliberately outside the mutex (see above).
+    version: DataVersion,
 }
 
 impl SharedSampleRunCache {
@@ -203,30 +248,48 @@ impl SubtreeCache for SharedSampleRunCache {
     }
 
     fn lookup(&mut self, set: RelSet, fp: u64) -> Option<RowSet> {
-        self.lock().lookup(set, fp)
+        let mut g = self.lock();
+        g.set_data_version(self.version);
+        g.lookup(set, fp)
     }
 
     fn peek_rows(&mut self, set: RelSet, fp: u64) -> Option<u64> {
-        self.lock().peek_rows(set, fp)
+        let mut g = self.lock();
+        g.set_data_version(self.version);
+        g.peek_rows(set, fp)
     }
 
     fn store(&mut self, set: RelSet, fp: u64, rows: &RowSet) {
-        self.lock().store(set, fp, rows);
+        let mut g = self.lock();
+        g.set_data_version(self.version);
+        g.store(set, fp, rows);
     }
 }
 
 impl ValidationCache for SharedSampleRunCache {
     fn validated_estimate(&mut self, set: RelSet, fp: u64) -> Option<f64> {
-        SampleRunCache::validated_estimate(&self.lock(), set, fp)
+        let mut g = self.lock();
+        g.set_data_version(self.version);
+        SampleRunCache::validated_estimate(&g, set, fp)
     }
 
     fn record_validated(&mut self, set: RelSet, fp: u64, estimate: f64) {
-        self.lock().record_validated(set, fp, estimate);
+        let mut g = self.lock();
+        g.set_data_version(self.version);
+        g.record_validated(set, fp, estimate);
     }
 
     fn counters(&mut self) -> (usize, usize) {
         let g = self.lock();
         (g.hits, g.executed)
+    }
+
+    fn set_data_version(&mut self, version: DataVersion) {
+        self.version = version;
+    }
+
+    fn data_version(&mut self) -> DataVersion {
+        self.version
     }
 }
 
@@ -236,20 +299,20 @@ impl SubtreeCache for SampleRunCache {
     }
 
     fn lookup(&mut self, set: RelSet, fp: u64) -> Option<RowSet> {
-        let cached = self.results.get(&(set, fp))?;
+        let cached = self.results.get(&(set, fp, self.version))?;
         self.hits += 1;
         Some(cached.clone())
     }
 
     fn peek_rows(&mut self, set: RelSet, fp: u64) -> Option<u64> {
-        let n = self.results.get(&(set, fp))?.len() as u64;
+        let n = self.results.get(&(set, fp, self.version))?.len() as u64;
         self.hits += 1;
         Some(n)
     }
 
     fn store(&mut self, set: RelSet, fp: u64, rows: &RowSet) {
         self.executed += 1;
-        self.results.insert((set, fp), rows.clone());
+        self.results.insert((set, fp, self.version), rows.clone());
     }
 }
 
@@ -471,6 +534,30 @@ mod tests {
         assert_eq!(stats.entries, 1);
         shared.clear();
         assert_eq!(shared.stats().entries, 0);
+    }
+
+    #[test]
+    fn shared_cache_handles_isolate_data_versions() {
+        use reopt_executor::SubtreeCache as _;
+        let q = chain_query(2);
+        let p = join(JoinAlgo::Hash, scan(0), scan(1), 0, 1);
+        let shared = SharedSampleRunCache::new();
+        let mut old_session = shared.clone();
+        let mut new_session = shared.clone();
+        ValidationCache::set_data_version(&mut old_session, DataVersion::new(1));
+        ValidationCache::set_data_version(&mut new_session, DataVersion::new(2));
+        let fp = old_session.fingerprint(&q, &p).unwrap();
+        let set = p.relset();
+        old_session.store(set, fp, &RowSet::single(RelId::new(0), vec![0, 1]));
+        old_session.record_validated(set, fp, 42.0);
+        // A session admitted after the ingest sees nothing from before it…
+        assert!(new_session.lookup(set, fp).is_none());
+        assert!(new_session.validated_estimate(set, fp).is_none());
+        // …while the old-snapshot session keeps replaying its own entries,
+        // even though both share one underlying cache.
+        assert!(old_session.lookup(set, fp).is_some());
+        assert_eq!(old_session.validated_estimate(set, fp), Some(42.0));
+        assert_eq!(shared.stats().entries, 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use rand::RngExt;
 use reopt_common::rng::derive_rng;
 use reopt_common::{Error, FxHashMap, Result, TableId};
-use reopt_storage::Database;
+use reopt_storage::{DataVersion, Database};
 
 /// Sampling configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +43,10 @@ pub struct SampleStore {
     /// full copies and empty tables).
     scale: FxHashMap<TableId, f64>,
     config: SampleConfig,
+    /// The base database's [`DataVersion`] at draw time — samples describe
+    /// exactly that data state, and every cache keyed off this store
+    /// qualifies its entries with it.
+    data_version: DataVersion,
 }
 
 impl SampleStore {
@@ -90,6 +94,7 @@ impl SampleStore {
             sample_db,
             scale,
             config,
+            data_version: db.data_version(),
         })
     }
 
@@ -115,6 +120,11 @@ impl SampleStore {
     /// The configuration used to build this store.
     pub fn config(&self) -> &SampleConfig {
         &self.config
+    }
+
+    /// The base database's [`DataVersion`] these samples were drawn at.
+    pub fn data_version(&self) -> DataVersion {
+        self.data_version
     }
 }
 

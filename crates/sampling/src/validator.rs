@@ -137,6 +137,11 @@ pub fn validate_plan_cached<C: ValidationCache>(
     cache: &mut C,
 ) -> Result<Validation> {
     let mut span = opts.tracer.span(names::SAMPLING_DRY_RUN);
+    // Qualify every cache operation with the samples' data version: a
+    // dry-run recorded before an ingest is unreachable from lookups issued
+    // against samples drawn after it (and vice versa), so a stale replay
+    // is structurally impossible.
+    cache.set_data_version(samples.data_version());
     let exec = Executor::with_opts(
         samples.database(),
         ExecOpts {
@@ -188,6 +193,8 @@ fn build_validation<C: ValidationCache>(
         });
     }
     let mut delta = CardOverrides::new();
+    // Δ's entries describe the data state the samples were drawn from.
+    delta.set_data_version(samples.data_version());
     for (set, sample_rows) in &traced.node_cards {
         if set.len() < 2 && !opts.validate_leaves {
             continue;
@@ -345,6 +352,51 @@ mod tests {
         let v = validate_plan(&q, &plan, &samples, &ValidationOpts::default()).unwrap();
         let est = v.delta.get(RelSet::first_n(2)).unwrap();
         assert_eq!(est, 1.0, "empty join must clamp to min_rows");
+    }
+
+    #[test]
+    fn cached_validation_cannot_replay_pre_ingest_dry_runs() {
+        use crate::cache::SampleRunCache;
+        use reopt_storage::Value;
+
+        // Regression: before cache keys carried a DataVersion, appending
+        // rows and rebuilding samples left the old dry-run row sets
+        // reachable under the same fingerprint — the "same query after
+        // ingest" returned the pre-ingest estimate. Tables are small
+        // enough to be copied whole (scale 1.0), so estimates are exact
+        // and the staleness would be bit-visible.
+        let mut db = ott_pair(10, 4); // 40 rows/table: sampled as full copies
+        let samples = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        let (q, plan) = pair_query(0, 0);
+        let opts = ValidationOpts::default();
+        let mut cache = SampleRunCache::new();
+
+        let before = validate_plan_cached(&q, &plan, &samples, &opts, &mut cache).unwrap();
+        let est_before = before.delta.get(RelSet::first_n(2)).unwrap();
+        assert_eq!(est_before, 16.0); // 4 × 4 matching pairs at value 0
+
+        // Same (query, samples, cache): a pure replay.
+        let replay = validate_plan_cached(&q, &plan, &samples, &opts, &mut cache).unwrap();
+        assert!(replay.cache_hits > 0);
+        assert_eq!(replay.delta.get(RelSet::first_n(2)).unwrap(), est_before);
+
+        // Ingest doubles value 0 on one side, samples are rebuilt.
+        let rows: Vec<Vec<Value>> = (0..4).map(|_| vec![Value::Int(0), Value::Int(0)]).collect();
+        db.append_rows(TableId::new(0), &rows).unwrap();
+        let samples2 = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        assert_ne!(samples2.data_version(), samples.data_version());
+
+        // The SAME cache must not answer from the pre-ingest entries.
+        let after = validate_plan_cached(&q, &plan, &samples2, &opts, &mut cache).unwrap();
+        assert_eq!(after.cache_hits, 0, "stale pre-ingest dry-run replayed");
+        assert!(after.subtrees_executed > 0);
+        let est_after = after.delta.get(RelSet::first_n(2)).unwrap();
+        assert_eq!(est_after, 32.0); // 8 × 4 matching pairs now
+        assert_ne!(est_after, est_before);
+
+        // And matches a from-scratch validation exactly.
+        let fresh = validate_plan(&q, &plan, &samples2, &opts).unwrap();
+        assert_eq!(fresh.delta.get(RelSet::first_n(2)).unwrap(), est_after);
     }
 
     #[test]

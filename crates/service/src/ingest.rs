@@ -1,0 +1,235 @@
+//! Streaming ingest with drift-triggered re-optimization.
+//!
+//! The paper's setting is a static database: ANALYZE once, sample once,
+//! then serve. This module is what changes when the data refuses to hold
+//! still. Every ingest operation ([`QueryService::append_rows`],
+//! [`QueryService::expire_older_than`]) runs the same loop:
+//!
+//! 1. **Mutate a copy.** The live [`reopt_storage::Database`] is cloned
+//!    (table `Arc` pointers — copy-on-write), the mutation lands on the
+//!    copy, and the database's [`DataVersion`] advances. Sessions admitted
+//!    earlier keep their snapshot untouched.
+//! 2. **Re-ANALYZE incrementally.** [`reopt_stats::analyze_incremental`]
+//!    touches only the rows appended since the last pass (bit-identical to
+//!    a full re-scan; quiescent tables are reused outright).
+//! 3. **Measure drift** against the *baseline* — the statistics the cached
+//!    plans were last validated under, not the previous ingest's — so
+//!    small ingests accumulate instead of each hiding below the threshold.
+//! 4. **Refresh if over threshold.** Samples are redrawn from the new
+//!    data, the engine is swapped, the baseline re-anchored, and
+//!    [`QueryService::bump_stats_version`] lazily evicts every cached plan
+//!    and dry-run row set — no manual bump required, which is the point.
+//!    Under the threshold the new data and statistics go live immediately
+//!    while samples and cached plans keep serving (their validations still
+//!    describe the distribution to within the threshold).
+//!
+//! Every step records spans (`service.ingest`, `ingest.analyze`,
+//! `ingest.drift`, `ingest.refresh`) and `ingest.*` counters, so an
+//! operator can see *why* plans were or weren't evicted.
+
+use std::sync::Arc;
+
+use crate::service::QueryService;
+use reopt_common::{lock_unpoisoned, Result, TableId};
+use reopt_sampling::SampleStore;
+use reopt_stats::{analyze_incremental, database_drift};
+use reopt_storage::{DataVersion, Database, Value};
+use reopt_telemetry::{names, QueryTrace};
+
+/// Drift-monitor knobs (part of [`crate::ServiceConfig`]).
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Refresh when any table's drift score reaches this value. The score
+    /// is the max of relative row-count / n-distinct deviation, absolute
+    /// null-fraction change, and MCV total-variation distance (see
+    /// [`reopt_stats::drift`]); 0.25 means "a quarter of the distribution
+    /// moved".
+    pub threshold: f64,
+    /// Automatically rebuild samples and evict stale plans when the
+    /// threshold is crossed (on by default). Off means ingests only
+    /// report drift; eviction waits for a manual
+    /// [`QueryService::bump_stats_version`].
+    pub auto_refresh: bool,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            threshold: 0.25,
+            auto_refresh: true,
+        }
+    }
+}
+
+/// What one ingest operation did — data, statistics, and cache effects.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// The mutated table.
+    pub table: TableId,
+    /// Rows appended by this operation.
+    pub rows_appended: usize,
+    /// Rows deleted/expired by this operation.
+    pub rows_deleted: usize,
+    /// The mutated table's new version (equals `data_version`).
+    pub table_version: DataVersion,
+    /// The database version this ingest landed at.
+    pub data_version: DataVersion,
+    /// Incremental-ANALYZE work: tables reused verbatim.
+    pub tables_reused: usize,
+    /// Tables whose appended tail was scanned and merged.
+    pub tables_merged: usize,
+    /// Tables fully re-scanned.
+    pub tables_rescanned: usize,
+    /// Worst per-table drift versus the validation baseline, after this
+    /// ingest.
+    pub drift: f64,
+    /// Whether this ingest crossed the threshold and refreshed: samples
+    /// redrawn, engine swapped, cached plans + dry-run row sets evicted.
+    pub refreshed: bool,
+    /// The service's statistics version after this ingest (bumped iff
+    /// `refreshed`).
+    pub stats_version: u64,
+    /// Span trace of this ingest, present iff tracing is on (see
+    /// [`crate::ServiceConfig::trace`]).
+    pub trace: Option<Arc<QueryTrace>>,
+}
+
+impl QueryService {
+    /// Append typed rows to `table`, then run the drift loop (see the
+    /// module docs). The batch is validated before anything mutates; an
+    /// invalid row leaves the service entirely untouched.
+    pub fn append_rows(&self, table: &str, rows: &[Vec<Value>]) -> Result<IngestReport> {
+        self.apply_ingest(table, |db, id| {
+            let stamp = db.append_rows(id, rows)?;
+            Ok((stamp, rows.len(), 0))
+        })
+    }
+
+    /// TTL expiry: delete every row of `table` whose value in the ordered
+    /// column `col` is non-NULL and strictly below `cutoff`, then run the
+    /// drift loop.
+    pub fn expire_older_than(&self, table: &str, col: &str, cutoff: i64) -> Result<IngestReport> {
+        self.apply_ingest(table, |db, id| {
+            let col = db.table(id)?.schema().col_by_name(col)?;
+            let (stamp, deleted) = db.expire_older_than(id, col, cutoff)?;
+            Ok((stamp, 0, deleted))
+        })
+    }
+
+    /// The shared ingest loop: mutate a copy-on-write clone, incremental
+    /// ANALYZE, measure drift against the baseline, refresh when over
+    /// threshold. `mutate` returns `(stamp, rows_appended, rows_deleted)`.
+    fn apply_ingest<F>(&self, table: &str, mutate: F) -> Result<IngestReport>
+    where
+        F: FnOnce(&mut Database, TableId) -> Result<(DataVersion, usize, usize)>,
+    {
+        let tracer = self.new_tracer();
+        let mut root = tracer.span(names::SERVICE_INGEST);
+        let sub = tracer.under(&root);
+
+        let mut st = lock_unpoisoned(&self.state);
+        let id = st.engine.db().table_id(table)?;
+        let mut db = Database::clone(st.engine.db());
+        let (stamp, appended, deleted) = mutate(&mut db, id)?;
+
+        let mut an_span = sub.span(names::INGEST_ANALYZE);
+        let inc = analyze_incremental(&db, st.engine.stats(), st.engine.analyze_opts())?;
+        if an_span.is_recording() {
+            an_span.attr_u64("reused", inc.tables_reused as u64);
+            an_span.attr_u64("merged", inc.tables_merged as u64);
+            an_span.attr_u64("rescanned", inc.tables_rescanned as u64);
+        }
+        drop(an_span);
+
+        let mut drift_span = sub.span(names::INGEST_DRIFT);
+        let report = database_drift(&st.baseline, &inc.stats);
+        let drift = report.max();
+        let refresh = self.drift.auto_refresh && drift >= self.drift.threshold;
+        if drift_span.is_recording() {
+            drift_span.attr_f64("max", drift);
+            drift_span.attr_f64("threshold", self.drift.threshold);
+            drift_span.attr_u64(
+                "tables_over",
+                report.over(self.drift.threshold).len() as u64,
+            );
+        }
+        drop(drift_span);
+
+        let db = Arc::new(db);
+        let stats = Arc::new(inc.stats);
+        let stats_version = if refresh {
+            let mut refresh_span = sub.span(names::INGEST_REFRESH);
+            let samples = Arc::new(SampleStore::build(
+                &db,
+                st.engine.samples().config().clone(),
+            )?);
+            st.engine = st
+                .engine
+                .with_data(Arc::clone(&db), Arc::clone(&stats), samples);
+            st.baseline = Arc::clone(&stats);
+            drop(st);
+            // After the lock: eviction touches only the plan cache and the
+            // shared sample cache, and new admissions may already use the
+            // fresh engine.
+            let v = self.bump_stats_version();
+            self.registry.add("ingest.refreshes", 1);
+            if refresh_span.is_recording() {
+                refresh_span.attr_u64("stats_version", v);
+            }
+            v
+        } else {
+            // Under threshold: fresh data + statistics go live, samples
+            // and cached plans keep serving. The engine's samples keep
+            // their older data version, so every sample-cache entry stays
+            // keyed to the data state the dry runs actually ran over.
+            let samples = Arc::clone(st.engine.samples());
+            st.engine = st
+                .engine
+                .with_data(Arc::clone(&db), Arc::clone(&stats), samples);
+            drop(st);
+            self.stats_version()
+        };
+
+        self.registry.add("ingest.ops", 1);
+        self.registry.add("ingest.rows_appended", appended as u64);
+        self.registry.add("ingest.rows_deleted", deleted as u64);
+        self.registry
+            .add("ingest.tables_reused", inc.tables_reused as u64);
+        self.registry
+            .add("ingest.tables_merged", inc.tables_merged as u64);
+        self.registry
+            .add("ingest.tables_rescanned", inc.tables_rescanned as u64);
+        self.registry.set_gauge("ingest.drift", drift);
+        self.registry
+            .set_gauge("service.data_version", stamp.get() as f64);
+
+        if root.is_recording() {
+            root.attr_str("table", table);
+            root.attr_u64("rows_appended", appended as u64);
+            root.attr_u64("rows_deleted", deleted as u64);
+            root.attr_u64("data_version", stamp.get());
+            root.attr_f64("drift", drift);
+            root.attr_bool("refreshed", refresh);
+        }
+        drop(root);
+
+        Ok(IngestReport {
+            table: id,
+            rows_appended: appended,
+            rows_deleted: deleted,
+            table_version: stamp,
+            data_version: stamp,
+            tables_reused: inc.tables_reused,
+            tables_merged: inc.tables_merged,
+            tables_rescanned: inc.tables_rescanned,
+            drift,
+            refreshed: refresh,
+            stats_version,
+            trace: if tracer.is_enabled() {
+                Some(Arc::new(tracer.finish()))
+            } else {
+                None
+            },
+        })
+    }
+}

@@ -25,9 +25,11 @@
 //! architecture" section walks through the design.
 
 pub mod cache;
+pub mod ingest;
 pub mod service;
 
 pub use cache::{CachedPlan, PlanCache};
+pub use ingest::{DriftConfig, IngestReport};
 pub use service::{
     ExecutedQuery, PlanSource, QueryService, ServiceConfig, ServiceResponse, ServiceStats, Session,
 };

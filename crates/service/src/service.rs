@@ -5,18 +5,20 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::cache::{Admission, CachedPlan, PlanCache};
-use reopt_common::{Result, Stopwatch};
+use crate::ingest::DriftConfig;
+use reopt_common::{lock_unpoisoned, Result, Stopwatch};
 use reopt_core::{MidQueryStats, ReOptConfig, ReoptEngine};
 use reopt_executor::{ExecOpts, Executor, QueryOutput};
 use reopt_optimizer::OptimizerConfig;
 use reopt_plan::{template_fingerprint, PhysicalPlan, Query};
 use reopt_sampling::{SampleCacheStats, SampleConfig, SharedSampleRunCache};
-use reopt_stats::AnalyzeOpts;
+use reopt_stats::{AnalyzeOpts, DatabaseStats};
 use reopt_storage::Database;
 use reopt_telemetry::{
     env_trace_default, names, LatencySummary, MetricsRegistry, QueryTrace, TelemetrySnapshot,
     Tracer,
 };
+use std::sync::Mutex;
 
 fn micros(d: Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
@@ -46,6 +48,9 @@ pub struct ServiceConfig {
     /// Tracing is observability only — plan choice and row output are
     /// bit-identical either way.
     pub trace: Option<bool>,
+    /// Drift monitoring for the ingest path (threshold + auto refresh);
+    /// see [`crate::ingest`].
+    pub drift: DriftConfig,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +62,7 @@ impl Default for ServiceConfig {
             optimizer: OptimizerConfig::postgres_like(),
             exec: ExecOpts::default(),
             trace: None,
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -139,9 +145,24 @@ pub struct ServiceStats {
 ///
 /// All methods take `&self`; wrap the service in an `Arc` and hand clones
 /// to your session threads (or use [`QueryService::session`]).
+/// The mutable heart of the service: the engine (data + statistics +
+/// samples) and the statistics *baseline* the resident cached plans were
+/// last validated against. Swapped atomically under one mutex by the
+/// ingest path; submissions take a cheap snapshot (a handful of `Arc`
+/// clones) at admission, so in-flight queries keep the exact data state
+/// they were admitted under.
+#[derive(Debug)]
+pub(crate) struct EngineState {
+    pub(crate) engine: ReoptEngine,
+    /// Statistics the cached plans' validations are anchored to — drift is
+    /// measured baseline → fresh, not last-ingest → fresh, so many small
+    /// ingests accumulate instead of each hiding below the threshold.
+    pub(crate) baseline: Arc<DatabaseStats>,
+}
+
 #[derive(Debug)]
 pub struct QueryService {
-    engine: ReoptEngine,
+    pub(crate) state: Mutex<EngineState>,
     plans: Arc<PlanCache>,
     sample_cache: SharedSampleRunCache,
     share_sample_runs: bool,
@@ -154,15 +175,17 @@ pub struct QueryService {
     coalesced: AtomicU64,
     reopts_run: AtomicU64,
     errors: AtomicU64,
-    registry: MetricsRegistry,
+    pub(crate) registry: MetricsRegistry,
     trace_default: bool,
+    pub(crate) drift: DriftConfig,
 }
 
 impl QueryService {
     /// Service over a pre-built engine.
     pub fn new(engine: ReoptEngine, config: ServiceConfig) -> Self {
+        let baseline = Arc::clone(engine.stats());
         QueryService {
-            engine,
+            state: Mutex::new(EngineState { engine, baseline }),
             plans: Arc::new(PlanCache::new(config.plan_cache_capacity)),
             sample_cache: SharedSampleRunCache::new(),
             share_sample_runs: config.share_sample_runs,
@@ -187,6 +210,7 @@ impl QueryService {
             // Like the executor knobs above: consult REOPT_TRACE once at
             // construction, never per submission.
             trace_default: config.trace.unwrap_or_else(env_trace_default),
+            drift: config.drift,
         }
     }
 
@@ -207,9 +231,22 @@ impl QueryService {
         Ok(Self::new(engine, config))
     }
 
-    /// The engine the service plans with.
-    pub fn engine(&self) -> &ReoptEngine {
-        &self.engine
+    /// A snapshot of the engine the service currently plans with. Owned
+    /// (a few `Arc` clones): the ingest path swaps the live engine
+    /// underneath, and a snapshot keeps reading its own consistent
+    /// (database, statistics, samples) triple.
+    pub fn engine(&self) -> ReoptEngine {
+        lock_unpoisoned(&self.state).engine.clone()
+    }
+
+    /// The database snapshot the service currently serves.
+    pub fn database(&self) -> Arc<Database> {
+        Arc::clone(lock_unpoisoned(&self.state).engine.db())
+    }
+
+    /// The statistics the optimizer currently plans against.
+    pub fn database_stats(&self) -> Arc<DatabaseStats> {
+        Arc::clone(lock_unpoisoned(&self.state).engine.stats())
     }
 
     /// Submit one query. Thread-safe; blocks only when another session is
@@ -256,9 +293,13 @@ impl QueryService {
     ) -> Result<ServiceResponse> {
         let mut root = tracer.span(names::SERVICE_SUBMIT);
         let sub = tracer.under(&root);
+        // One engine snapshot per submission: everything below — validation,
+        // re-optimization, caching — sees a single consistent data state
+        // even if an ingest swaps the live engine mid-flight.
+        let engine = self.engine();
         // Validate up front: a malformed query must fail identically
         // whether its template is cached or not.
-        query.validate(self.engine.db())?;
+        query.validate(engine.db())?;
         let template = template_fingerprint(query);
         let version = self.stats_version.load(Ordering::Acquire);
         let mut adm_span = sub.span(names::SERVICE_ADMISSION);
@@ -293,10 +334,9 @@ impl QueryService {
                 // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
                 self.reopts_run.fetch_add(1, Ordering::Relaxed);
                 let outcome = if self.share_sample_runs {
-                    self.engine
-                        .reoptimize_shared_traced(query, &self.sample_cache, &sub)
+                    engine.reoptimize_shared_traced(query, &self.sample_cache, &sub)
                 } else {
-                    self.engine.reoptimize_traced(query, &sub)
+                    engine.reoptimize_traced(query, &sub)
                 };
                 match outcome {
                     Ok(report) => {
@@ -402,11 +442,10 @@ impl QueryService {
             tracer: inner.clone(),
             ..self.exec_opts.clone()
         };
-        let out = if self.engine.reopt_config().mid_query {
+        let engine = self.engine();
+        let out = if engine.reopt_config().mid_query {
             let t0 = Stopwatch::start();
-            let run = self
-                .engine
-                .execute_plan_mid_query(query, &response.plan, exec_opts)?;
+            let run = engine.execute_plan_mid_query(query, &response.plan, exec_opts)?;
             let mut metrics = run.metrics.clone();
             metrics.elapsed = t0.elapsed();
             let output = QueryOutput {
@@ -421,7 +460,7 @@ impl QueryService {
                 trace: None,
             }
         } else {
-            let exec = Executor::with_opts(self.engine.db(), exec_opts);
+            let exec = Executor::with_opts(engine.db(), exec_opts);
             let output = exec.run(query, &response.plan)?;
             ExecutedQuery {
                 response,
@@ -470,7 +509,7 @@ impl QueryService {
     }
 
     /// A tracer honoring the service's tracing default.
-    fn new_tracer(&self) -> Tracer {
+    pub(crate) fn new_tracer(&self) -> Tracer {
         if self.trace_default {
             Tracer::enabled()
         } else {
@@ -535,6 +574,10 @@ impl QueryService {
         snap.set_counter("plan_cache.stale_evictions", s.stale_evictions);
         snap.set_gauge("plan_cache.templates", s.cached_templates as f64);
         snap.set_gauge("service.stats_version", s.stats_version as f64);
+        snap.set_gauge(
+            "service.data_version",
+            lock_unpoisoned(&self.state).engine.data_version().get() as f64,
+        );
         snap.set_counter("sample_cache.hits", s.sample_cache.hits as u64);
         snap.set_counter("sample_cache.executed", s.sample_cache.executed as u64);
         snap.set_gauge("sample_cache.entries", s.sample_cache.entries as f64);

@@ -1,0 +1,246 @@
+//! The drifting-workload suite: cached plans must survive benign ingest
+//! and die — automatically, from *measured* drift — when the data moves
+//! underneath them. No test here calls `bump_stats_version`; eviction is
+//! the drift monitor's job now.
+
+use std::sync::Arc;
+
+use reopt_sampling::SampleConfig;
+use reopt_service::{DriftConfig, PlanSource, QueryService, ServiceConfig};
+use reopt_stats::AnalyzeOpts;
+use reopt_storage::Value;
+use reopt_telemetry::names;
+use reopt_workloads::ott::{build_ott_database, ott_query, recommended_sample_ratio, OttConfig};
+
+fn small_ott() -> OttConfig {
+    OttConfig {
+        rows_per_value: 12,
+        distinct_values: [60, 50, 40, 30, 20, 10],
+        ..Default::default()
+    }
+}
+
+fn service_with(svc: ServiceConfig) -> Arc<QueryService> {
+    let config = small_ott();
+    Arc::new(
+        QueryService::from_database(
+            Arc::new(build_ott_database(&config).unwrap()),
+            &AnalyzeOpts::default(),
+            SampleConfig {
+                ratio: recommended_sample_ratio(&config),
+                ..Default::default()
+            },
+            svc,
+        )
+        .unwrap(),
+    )
+}
+
+/// `n` rows of `(v, v)` — OTT-shaped, so appends stay join-compatible.
+fn rows_of(v: i64, n: usize) -> Vec<Vec<Value>> {
+    (0..n).map(|_| vec![Value::Int(v), Value::Int(v)]).collect()
+}
+
+/// A small batch that follows the existing uniform distribution: one row
+/// per live value. Nudges row counts without moving the shape much.
+fn uniform_batch(values: i64) -> Vec<Vec<Value>> {
+    (0..values)
+        .map(|v| vec![Value::Int(v), Value::Int(v)])
+        .collect()
+}
+
+#[test]
+fn under_threshold_ingest_keeps_cached_plans() {
+    let service = service_with(ServiceConfig::default());
+    let q = {
+        let engine = service.engine();
+        ott_query(engine.db(), &[0, 0, 0, 1]).unwrap()
+    };
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::ColdMiss);
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::WarmHit);
+
+    let before = service.engine().data_version();
+    let report = service
+        .append_rows("ott_lineitem", &uniform_batch(60))
+        .unwrap();
+    assert_eq!(report.rows_appended, 60);
+    assert!(!report.refreshed, "benign ingest must not refresh");
+    assert!(
+        report.drift < 0.25,
+        "uniform one-per-value batch read as drift {}",
+        report.drift
+    );
+    assert!(report.drift > 0.0, "row counts did move");
+    assert!(report.data_version > before);
+    assert_eq!(report.stats_version, 0);
+
+    // The new rows are live (the served database grew) …
+    let engine = service.engine();
+    let table = engine.db().table_by_name("ott_lineitem").unwrap();
+    assert_eq!(table.row_count(), 60 * 12 + 60);
+    // … and the cached plan kept serving: no eviction of any kind.
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::WarmHit);
+    let stats = service.stats();
+    assert_eq!(stats.stale_evictions, 0);
+    assert_eq!(stats.reopts_run, 1);
+}
+
+#[test]
+fn measured_drift_auto_evicts_stale_plans() {
+    let service = service_with(ServiceConfig::default());
+    let q = {
+        let engine = service.engine();
+        ott_query(engine.db(), &[0, 0, 0, 1]).unwrap()
+    };
+    let cold = service.submit(&q).unwrap();
+    assert_eq!(cold.source, PlanSource::ColdMiss);
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::WarmHit);
+
+    // Skew storm: quadruple ott_lineitem with a single hot value. The MCV
+    // mass collapses onto 0, so total-variation distance alone crosses the
+    // threshold — nobody calls bump_stats_version.
+    let report = service
+        .append_rows("ott_lineitem", &rows_of(0, 3 * 60 * 12))
+        .unwrap();
+    assert!(
+        report.drift >= 0.25,
+        "skew storm only measured drift {}",
+        report.drift
+    );
+    assert!(report.refreshed, "over-threshold drift must refresh");
+    assert_eq!(report.stats_version, 1, "refresh bumps the stats version");
+
+    // The stale plan is evicted on its next touch and re-optimized against
+    // the post-drift samples.
+    let redo = service.submit(&q).unwrap();
+    assert_eq!(
+        redo.source,
+        PlanSource::ColdMiss,
+        "stale plan must not keep serving after measured drift"
+    );
+    let stats = service.stats();
+    assert!(stats.stale_evictions >= 1, "{stats:?}");
+    assert_eq!(stats.reopts_run, 2, "{stats:?}");
+
+    // Post-refresh, the template is warm again.
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::WarmHit);
+}
+
+#[test]
+fn zero_row_ingest_is_a_quiescent_no_op() {
+    let service = service_with(ServiceConfig::default());
+    let q = {
+        let engine = service.engine();
+        ott_query(engine.db(), &[0, 0, 0, 1]).unwrap()
+    };
+    let cold = service.submit(&q).unwrap();
+
+    let report = service.append_rows("ott_lineitem", &[]).unwrap();
+    assert_eq!(report.rows_appended, 0);
+    assert_eq!(report.drift, 0.0, "nothing changed, nothing drifted");
+    assert!(!report.refreshed);
+    // The touched table tail-merges an empty range; the other five are
+    // reused verbatim; nobody rescans.
+    assert_eq!(report.tables_merged, 1);
+    assert_eq!(report.tables_reused, 5);
+    assert_eq!(report.tables_rescanned, 0);
+
+    let warm = service.submit(&q).unwrap();
+    assert_eq!(warm.source, PlanSource::WarmHit);
+    assert_eq!(warm.plan.fingerprint(), cold.plan.fingerprint());
+    assert_eq!(service.stats().stale_evictions, 0);
+}
+
+#[test]
+fn ttl_expiry_deletes_and_rescans() {
+    let service = service_with(ServiceConfig::default());
+    let before = {
+        let engine = service.engine();
+        engine
+            .db()
+            .table_by_name("ott_lineitem")
+            .unwrap()
+            .row_count()
+    };
+
+    // Expire the low half of the value domain out of ott_lineitem.
+    let report = service.expire_older_than("ott_lineitem", "a", 30).unwrap();
+    assert_eq!(report.rows_appended, 0);
+    assert_eq!(report.rows_deleted, 30 * 12);
+    // An in-place rewrite invalidates the append-only history: the table
+    // must be fully re-scanned, not tail-merged.
+    assert_eq!(report.tables_rescanned, 1);
+    assert!(report.drift > 0.0);
+
+    let engine = service.engine();
+    let table = engine.db().table_by_name("ott_lineitem").unwrap();
+    assert_eq!(table.row_count(), before - 30 * 12);
+    // Every surviving `a` value is ≥ the cutoff.
+    let col = table.column_by_name("a").unwrap();
+    assert!(col.data().iter().all(|&v| v >= 30));
+}
+
+#[test]
+fn auto_refresh_off_reports_drift_without_evicting() {
+    let service = service_with(ServiceConfig {
+        drift: DriftConfig {
+            threshold: 0.25,
+            auto_refresh: false,
+        },
+        ..Default::default()
+    });
+    let q = {
+        let engine = service.engine();
+        ott_query(engine.db(), &[0, 0, 0, 1]).unwrap()
+    };
+    service.submit(&q).unwrap();
+
+    let report = service
+        .append_rows("ott_lineitem", &rows_of(0, 3 * 60 * 12))
+        .unwrap();
+    assert!(report.drift >= 0.25);
+    assert!(!report.refreshed, "auto_refresh=false only observes");
+    assert_eq!(report.stats_version, 0);
+    // Manual mode: the stale plan keeps serving until an operator acts.
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::WarmHit);
+    assert_eq!(service.stats().stale_evictions, 0);
+}
+
+#[test]
+fn ingest_emits_spans_and_counters() {
+    let service = service_with(ServiceConfig {
+        trace: Some(true),
+        ..Default::default()
+    });
+
+    // Benign ingest: root + analyze + drift spans, no refresh span.
+    let benign = service
+        .append_rows("ott_lineitem", &uniform_batch(60))
+        .unwrap();
+    let trace = benign.trace.as_ref().expect("tracing is on");
+    let root = trace.find(names::SERVICE_INGEST).expect("ingest root span");
+    assert_eq!(root.attr_u64("rows_appended"), Some(60));
+    let analyze = trace.find(names::INGEST_ANALYZE).expect("analyze span");
+    assert_eq!(analyze.parent, root.id);
+    assert_eq!(analyze.attr_u64("merged"), Some(1));
+    let drift = trace.find(names::INGEST_DRIFT).expect("drift span");
+    assert_eq!(drift.parent, root.id);
+    assert_eq!(trace.count(names::INGEST_REFRESH), 0);
+
+    // Drift storm: the refresh span appears, parented under the root.
+    let storm = service
+        .append_rows("ott_lineitem", &rows_of(0, 3 * 60 * 12))
+        .unwrap();
+    let trace = storm.trace.as_ref().expect("tracing is on");
+    let root = trace.find(names::SERVICE_INGEST).unwrap();
+    let refresh = trace.find(names::INGEST_REFRESH).expect("refresh span");
+    assert_eq!(refresh.parent, root.id);
+
+    // The unified registry saw all of it.
+    let snap = service.telemetry_snapshot();
+    assert_eq!(snap.counter("ingest.ops"), 2);
+    assert_eq!(snap.counter("ingest.rows_appended"), 60 + 3 * 60 * 12);
+    assert_eq!(snap.counter("ingest.refreshes"), 1);
+    assert!(snap.gauge("ingest.drift").unwrap() >= 0.25);
+    assert!(snap.gauge("service.data_version").unwrap() >= 2.0);
+}

@@ -112,7 +112,8 @@ fn single_flight_coalesces_concurrent_sessions() {
 #[test]
 fn different_literals_share_one_template() {
     let service = service_with(&small_ott(), ServiceConfig::default());
-    let db = service.engine().db();
+    let engine = service.engine();
+    let db = engine.db();
     let cold = service
         .submit(&ott_query(db, &[0, 0, 0, 1]).unwrap())
         .unwrap();
@@ -158,7 +159,8 @@ fn plan_cache_respects_capacity() {
             ..Default::default()
         },
     );
-    let db = service.engine().db();
+    let engine = service.engine();
+    let db = engine.db();
     let q2 = ott_query(db, &[0, 0]).unwrap();
     let q3 = ott_query(db, &[0, 0, 0]).unwrap();
     let q4 = ott_query(db, &[0, 0, 0, 0]).unwrap();
@@ -273,7 +275,8 @@ fn cold_misses_on_different_templates_share_sample_runs() {
 #[test]
 fn invalid_queries_error_and_are_never_cached() {
     let service = service_with(&small_ott(), ServiceConfig::default());
-    let db = service.engine().db();
+    let engine = service.engine();
+    let db = engine.db();
     // Disconnected join graph: relations 0 and 1 with no join edge.
     let mut qb = reopt_plan::QueryBuilder::new();
     let t0 = db.table_by_name("ott_lineitem").unwrap().id();

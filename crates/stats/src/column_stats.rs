@@ -4,9 +4,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::counts::TableAnalyzeState;
 use crate::histogram::EquiDepthHistogram;
 use crate::mcv::McvList;
 use reopt_common::{ColId, Error, Result, TableId};
+use reopt_storage::DataVersion;
 
 /// Lower bound applied to every selectivity so downstream cost arithmetic
 /// never sees exact zeros from the *statistical* estimator. (The sampling
@@ -142,6 +144,14 @@ pub struct TableStats {
     pub row_count: u64,
     /// Per-column stats, positionally aligned with the schema.
     pub columns: Vec<ColumnStats>,
+    /// The table's [`DataVersion`] when these stats were computed —
+    /// [`crate::analyze_incremental`] compares it against the live table
+    /// to decide between reuse, tail-merge and full re-scan.
+    pub as_of: DataVersion,
+    /// Exact per-column value counts retained for incremental ANALYZE
+    /// (`None` when unavailable, e.g. stats assembled by hand — a later
+    /// incremental ANALYZE then falls back to a full re-scan).
+    pub state: Option<TableAnalyzeState>,
 }
 
 impl TableStats {
@@ -300,11 +310,15 @@ mod tests {
             table: TableId::new(0),
             row_count: 10,
             columns: vec![ColumnStats::empty()],
+            as_of: DataVersion::ZERO,
+            state: None,
         };
         let t1 = TableStats {
             table: TableId::new(1),
             row_count: 20,
             columns: vec![],
+            as_of: DataVersion::ZERO,
+            state: None,
         };
         let db = DatabaseStats::new(vec![t0, t1]).unwrap();
         assert_eq!(db.table(TableId::new(1)).unwrap().row_count, 20);
@@ -320,6 +334,8 @@ mod tests {
             table: TableId::new(0),
             row_count: 1000,
             columns: vec![s],
+            as_of: DataVersion::ZERO,
+            state: None,
         };
         let db = DatabaseStats::new(vec![t]).unwrap();
         let json = db.to_json().unwrap();
@@ -346,6 +362,8 @@ mod tests {
             table: TableId::new(1),
             row_count: 20,
             columns: vec![],
+            as_of: DataVersion::ZERO,
+            state: None,
         };
         assert!(DatabaseStats::new(vec![t1]).is_err());
     }

@@ -1,0 +1,159 @@
+//! Exact per-column value-count multisets — the retained state behind
+//! incremental ANALYZE.
+//!
+//! [`crate::analyze`] derives every published statistic (MCVs, histogram,
+//! n_distinct, min/max, null fraction) from a [`ValueCounts`]: the exact
+//! multiset of a column's values. Because the derivation is a pure function
+//! of the multiset, and multisets merge exactly, re-analyzing a table whose
+//! history since the last ANALYZE is append-only reduces to scanning just
+//! the appended tail and merging — with output *bit-identical* to a full
+//! re-scan. That equivalence is what the quiescence suite proves and what
+//! lets the serving layer run ANALYZE after every ingest without paying
+//! full-table costs.
+//!
+//! Counts are kept sorted by value in a plain `Vec`, never a hash map, so
+//! every traversal is deterministic by construction (rule R1 of
+//! `reopt-lint`) and serialization is stable.
+
+use serde::{Deserialize, Serialize};
+
+use reopt_storage::value::NULL_SENTINEL;
+
+/// The exact multiset of one column's values: a NULL count plus
+/// `(value, occurrences)` pairs sorted by value ascending.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValueCounts {
+    /// Number of NULL rows.
+    pub nulls: u64,
+    /// Non-NULL `(value, occurrences)` pairs, sorted by value ascending.
+    pub counts: Vec<(i64, u64)>,
+}
+
+impl ValueCounts {
+    /// Count a raw column slice ([`NULL_SENTINEL`] encodes NULL).
+    pub fn scan(data: &[i64]) -> ValueCounts {
+        let mut vals: Vec<i64> = data
+            .iter()
+            .copied()
+            .filter(|&v| v != NULL_SENTINEL)
+            .collect();
+        let nulls = (data.len() - vals.len()) as u64;
+        vals.sort_unstable();
+        let mut counts: Vec<(i64, u64)> = Vec::new();
+        for v in vals {
+            match counts.last_mut() {
+                Some((last, c)) if *last == v => *c += 1,
+                _ => counts.push((v, 1)),
+            }
+        }
+        ValueCounts { nulls, counts }
+    }
+
+    /// Exact multiset union: fold `other` into `self` (sorted-list merge).
+    /// `scan(a ++ b)` equals `scan(a).merge(&scan(b))` — the identity that
+    /// makes tail-merge ANALYZE exact.
+    pub fn merge(&mut self, other: &ValueCounts) {
+        self.nulls += other.nulls;
+        if other.counts.is_empty() {
+            return;
+        }
+        let mut merged: Vec<(i64, u64)> = Vec::with_capacity(self.counts.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.counts.len() || j < other.counts.len() {
+            let pick = match (self.counts.get(i), other.counts.get(j)) {
+                (Some(&(a, ca)), Some(&(b, cb))) => {
+                    if a == b {
+                        i += 1;
+                        j += 1;
+                        (a, ca + cb)
+                    } else if a < b {
+                        i += 1;
+                        (a, ca)
+                    } else {
+                        j += 1;
+                        (b, cb)
+                    }
+                }
+                (Some(&(a, ca)), None) => {
+                    i += 1;
+                    (a, ca)
+                }
+                (None, Some(&(b, cb))) => {
+                    j += 1;
+                    (b, cb)
+                }
+                (None, None) => break,
+            };
+            merged.push(pick);
+        }
+        self.counts = merged;
+    }
+
+    /// Total rows counted (NULLs included).
+    pub fn row_count(&self) -> u64 {
+        self.nulls + self.non_null()
+    }
+
+    /// Non-NULL rows counted.
+    pub fn non_null(&self) -> u64 {
+        self.counts.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// The retained ANALYZE state of one table: per-column value counts,
+/// positionally aligned with the schema. Carried inside
+/// [`crate::TableStats`] so the next (incremental) ANALYZE can merge a
+/// dirty tail instead of re-scanning history.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableAnalyzeState {
+    /// Per-column value counts in schema order.
+    pub columns: Vec<ValueCounts>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_counts_and_sorts() {
+        let c = ValueCounts::scan(&[5, 1, NULL_SENTINEL, 5, 1, 5]);
+        assert_eq!(c.nulls, 1);
+        assert_eq!(c.counts, vec![(1, 2), (5, 3)]);
+        assert_eq!(c.row_count(), 6);
+        assert_eq!(c.non_null(), 5);
+        assert_eq!(c.distinct(), 2);
+    }
+
+    #[test]
+    fn scan_of_empty_is_empty() {
+        let c = ValueCounts::scan(&[]);
+        assert_eq!(c, ValueCounts::default());
+        assert_eq!(c.row_count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_scan_of_concatenation() {
+        let a = [3, 1, NULL_SENTINEL, 3];
+        let b = [2, 3, NULL_SENTINEL, 7, 1];
+        let mut merged = ValueCounts::scan(&a);
+        merged.merge(&ValueCounts::scan(&b));
+        let together: Vec<i64> = a.iter().chain(b.iter()).copied().collect();
+        assert_eq!(merged, ValueCounts::scan(&together));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut c = ValueCounts::scan(&[1, 2, 2]);
+        let orig = c.clone();
+        c.merge(&ValueCounts::default());
+        assert_eq!(c, orig);
+        let mut empty = ValueCounts::default();
+        empty.merge(&orig);
+        assert_eq!(empty, orig);
+    }
+}

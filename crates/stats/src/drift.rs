@@ -1,0 +1,182 @@
+//! Statistics drift: how far a database has moved from the statistics a
+//! plan cache was validated under.
+//!
+//! The paper's setting is a static database — ANALYZE once, then query.
+//! Under streaming ingest the cached plans (and the Γ card-override store
+//! feeding re-optimization) were all validated against *yesterday's*
+//! distribution; the serving layer needs a cheap, deterministic signal for
+//! "the data has moved enough that those validations are stale". This
+//! module provides it: compare a fresh (incremental) ANALYZE against the
+//! baseline stats and reduce the difference to one scalar per table.
+//!
+//! The score is the maximum over a table's columns of:
+//!
+//! * relative row-count deviation,
+//! * relative `n_distinct` deviation,
+//! * absolute `null_frac` change,
+//! * total-variation distance between the MCV distributions (halved sum of
+//!   absolute frequency differences — the classic statistical distance).
+//!
+//! A score of 0.0 means the distributions are unchanged at the granularity
+//! the optimizer sees; 1.0 means maximal divergence (e.g. a table appeared
+//! or its schema changed shape). [`crate::DriftReport::max`] drives the
+//! serving layer's refresh decision against a configured threshold.
+
+use std::collections::BTreeMap;
+
+use crate::column_stats::{ColumnStats, DatabaseStats, TableStats};
+use reopt_common::TableId;
+
+/// Relative deviation of `new` from `old`, with a floor of 1 on the
+/// denominator so empty baselines don't divide by zero.
+fn rel_dev(old: f64, new: f64) -> f64 {
+    (new - old).abs() / old.max(1.0)
+}
+
+/// Total-variation distance between two MCV frequency distributions:
+/// `½ · Σ_v |p(v) − q(v)|` over the union of their supports. Ranges over
+/// `[0, 1]`; 0 iff the lists agree exactly.
+fn mcv_total_variation(old: &ColumnStats, new: &ColumnStats) -> f64 {
+    let mut freqs: BTreeMap<i64, (f64, f64)> = BTreeMap::new();
+    for &(v, f) in old.mcv.entries() {
+        freqs.entry(v).or_insert((0.0, 0.0)).0 = f;
+    }
+    for &(v, f) in new.mcv.entries() {
+        freqs.entry(v).or_insert((0.0, 0.0)).1 = f;
+    }
+    0.5 * freqs.values().map(|&(p, q)| (p - q).abs()).sum::<f64>()
+}
+
+/// Drift score of one column: the worst of its per-statistic deviations.
+pub fn column_drift(old: &ColumnStats, new: &ColumnStats) -> f64 {
+    let row = rel_dev(old.row_count as f64, new.row_count as f64);
+    let distinct = rel_dev(old.n_distinct, new.n_distinct);
+    let nulls = (old.null_frac - new.null_frac).abs();
+    let mcv = mcv_total_variation(old, new);
+    row.max(distinct).max(nulls).max(mcv)
+}
+
+/// Drift score of one table: table-level row-count deviation, maxed with
+/// every column's drift. Shape changes (different column counts) score the
+/// maximal 1.0 — stats that can't even be compared are certainly stale.
+pub fn table_drift(old: &TableStats, new: &TableStats) -> f64 {
+    if old.columns.len() != new.columns.len() {
+        return 1.0;
+    }
+    let mut score = rel_dev(old.row_count as f64, new.row_count as f64);
+    for (o, n) in old.columns.iter().zip(&new.columns) {
+        score = score.max(column_drift(o, n));
+    }
+    score
+}
+
+/// Per-table drift scores for a whole database.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// `(table, score)` in table-id order, one entry per table of `new`.
+    pub tables: Vec<(TableId, f64)>,
+}
+
+impl DriftReport {
+    /// The worst per-table score; 0.0 for an empty database.
+    pub fn max(&self) -> f64 {
+        self.tables.iter().map(|&(_, s)| s).fold(0.0, f64::max)
+    }
+
+    /// Tables whose score is at least `threshold`, in id order.
+    pub fn over(&self, threshold: f64) -> Vec<TableId> {
+        self.tables
+            .iter()
+            .filter(|&&(_, s)| s >= threshold)
+            .map(|&(t, _)| t)
+            .collect()
+    }
+}
+
+/// Compare fresh statistics against a baseline, table by table. Tables the
+/// baseline has never seen score 1.0.
+pub fn database_drift(old: &DatabaseStats, new: &DatabaseStats) -> DriftReport {
+    let tables = new
+        .tables()
+        .iter()
+        .map(|n| {
+            let score = match old.table(n.table) {
+                Ok(o) => table_drift(o, n),
+                Err(_) => 1.0,
+            };
+            (n.table, score)
+        })
+        .collect();
+    DriftReport { tables }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze_database, AnalyzeOpts};
+    use reopt_storage::{Column, ColumnDef, Database, LogicalType, Table, TableSchema, Value};
+
+    fn db_with(data: Vec<i64>) -> Database {
+        let schema = TableSchema::new(vec![ColumnDef::new("a", LogicalType::Int)]).unwrap();
+        let mut db = Database::new();
+        db.add_table_with(|id| {
+            Table::new(
+                id,
+                "t",
+                schema.clone(),
+                vec![Column::from_i64(LogicalType::Int, data.clone())],
+            )
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn identical_stats_have_zero_drift() {
+        let db = db_with((0..100).map(|i| i % 5).collect());
+        let s = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+        let r = database_drift(&s, &s);
+        assert_eq!(r.max(), 0.0);
+        assert!(r.over(0.25).is_empty());
+    }
+
+    #[test]
+    fn skew_shift_registers_as_mcv_drift() {
+        // Baseline: uniform over 5 values. After: value 0 dominates.
+        let db = db_with((0..100).map(|i| i % 5).collect());
+        let old = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+        let mut db2 = db_with((0..100).map(|i| i % 5).collect());
+        let id = db2.table_id("t").unwrap();
+        let rows: Vec<Vec<Value>> = (0..100).map(|_| vec![Value::Int(0)]).collect();
+        db2.append_rows(id, &rows).unwrap();
+        let new = analyze_database(&db2, &AnalyzeOpts::default()).unwrap();
+        let r = database_drift(&old, &new);
+        // Rows doubled → relative row deviation 1.0; MCV mass of value 0
+        // went from 0.2 to 0.6 → TV distance 0.4. Max picks the former.
+        assert!(r.max() >= 0.4, "got {}", r.max());
+        assert_eq!(r.over(0.25), vec![db2.table_id("t").unwrap()]);
+    }
+
+    #[test]
+    fn small_append_stays_under_threshold() {
+        let db = db_with((0..1000).map(|i| i % 5).collect());
+        let old = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+        let mut db2 = db_with((0..1000).map(|i| i % 5).collect());
+        let id = db2.table_id("t").unwrap();
+        // 2% more rows, same distribution.
+        let rows: Vec<Vec<Value>> = (0..20).map(|i| vec![Value::Int(i % 5)]).collect();
+        db2.append_rows(id, &rows).unwrap();
+        let new = analyze_database(&db2, &AnalyzeOpts::default()).unwrap();
+        let r = database_drift(&old, &new);
+        assert!(r.max() < 0.25, "got {}", r.max());
+    }
+
+    #[test]
+    fn unseen_table_scores_maximal_drift() {
+        let db = db_with(vec![1, 2, 3]);
+        let new = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+        let empty = DatabaseStats::new(vec![]).unwrap();
+        let r = database_drift(&empty, &new);
+        assert_eq!(r.max(), 1.0);
+    }
+}

@@ -9,7 +9,12 @@
 //! * an equi-depth histogram over the non-MCV values,
 //! * null fraction and min/max.
 //!
-//! [`analyze`] builds these from stored tables (`ANALYZE`);
+//! [`analyze`] builds these from stored tables (`ANALYZE`), either from
+//! scratch or incrementally ([`analyze_incremental`]) by merging exact
+//! per-column value counts ([`counts`]) over just the rows appended since
+//! the last pass; [`drift`] reduces the gap between two ANALYZE results to
+//! per-table drift scores so a serving layer can tell when cached plans
+//! were validated against a distribution that no longer exists;
 //! [`column_stats::ColumnStats`] answers selectivity questions
 //! for local predicates; [`join`] implements the System-R / PostgreSQL
 //! `eqjoinsel` logic for equi-join predicates, including the MCV-join
@@ -22,13 +27,20 @@
 
 pub mod analyze;
 pub mod column_stats;
+pub mod counts;
+pub mod drift;
 pub mod hist2d;
 pub mod histogram;
 pub mod join;
 pub mod mcv;
 
-pub use analyze::{analyze_column, analyze_database, analyze_table, AnalyzeOpts};
+pub use analyze::{
+    analyze_column, analyze_database, analyze_incremental, analyze_table, AnalyzeOpts,
+    IncrementalAnalyze,
+};
 pub use column_stats::{ColumnStats, DatabaseStats, TableStats};
+pub use counts::{TableAnalyzeState, ValueCounts};
+pub use drift::{column_drift, database_drift, table_drift, DriftReport};
 pub use histogram::EquiDepthHistogram;
 pub use join::eq_join_selectivity;
 pub use mcv::McvList;

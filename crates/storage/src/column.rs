@@ -116,6 +116,53 @@ impl Column {
     pub fn gather(&self, rows: &[u32]) -> Vec<i64> {
         rows.iter().map(|&r| self.data[r as usize]).collect()
     }
+
+    /// Check that `v` can be appended to this column without mutating
+    /// anything: NULL is always accepted, dictionary columns take strings,
+    /// every other type takes integers. [`Table::append_rows`]
+    /// (crate::Table::append_rows) vets a whole batch with this before
+    /// applying any of it, which is what makes batch application atomic.
+    pub fn can_append(&self, v: &Value) -> Result<()> {
+        match (self.ty, v) {
+            (_, Value::Null) => Ok(()),
+            (LogicalType::Dict, Value::Str(_)) => Ok(()),
+            (LogicalType::Dict, other) => Err(Error::invalid(format!(
+                "cannot append {other:?} to a dict column"
+            ))),
+            (_, Value::Int(_)) => Ok(()),
+            (ty, other) => Err(Error::invalid(format!(
+                "cannot append {other:?} to a {ty:?} column"
+            ))),
+        }
+    }
+
+    /// Append a value previously vetted by [`Column::can_append`] and
+    /// return the raw representation pushed (for index maintenance).
+    /// Strings are interned in arrival order — the same order a fresh
+    /// [`Column::from_strings`] build would intern them, so dictionary
+    /// codes after incremental appends match a from-scratch build over the
+    /// same row sequence (the quiescence bit-identity contract). A value
+    /// that was never vetted degrades to NULL rather than corrupting the
+    /// column.
+    pub fn append_value(&mut self, v: &Value) -> i64 {
+        let raw = match (self.ty, v) {
+            (_, Value::Null) => NULL_SENTINEL,
+            (LogicalType::Dict, Value::Str(s)) => {
+                let dict = self.dict.get_or_insert_with(|| Arc::new(StringDict::new()));
+                Arc::make_mut(dict).intern(s)
+            }
+            (_, other) => other.as_int().unwrap_or(NULL_SENTINEL),
+        };
+        self.data.push(raw);
+        raw
+    }
+
+    /// Keep only the rows listed in `keep` (ascending), dropping the rest —
+    /// the rewrite primitive behind `delete_where`. The dictionary is left
+    /// untouched: codes of deleted rows simply become unreferenced.
+    pub(crate) fn retain_rows(&mut self, keep: &[u32]) {
+        self.data = self.gather(keep);
+    }
 }
 
 #[cfg(test)]

@@ -1,19 +1,44 @@
-//! The database catalog: a set of named tables.
+//! The database catalog: a set of named tables, plus the ingest API.
+//!
+//! Tables sit behind `Arc`s so a mutating database can be snapshotted for
+//! free: cloning a [`Database`] clones the table *pointers*, and a later
+//! mutation copies only the tables it touches ([`Arc::make_mut`]). A
+//! serving layer hands each query a clone and keeps ingesting into its own
+//! copy — in-flight queries keep reading the exact data state they were
+//! admitted under (snapshot isolation at the whole-table granularity).
+//!
+//! Every mutation bumps the database's monotonic [`DataVersion`] and
+//! stamps the touched table with it; see [`crate::version`] for how that
+//! clock flows through statistics, samples and plan caches.
+
+use std::sync::Arc;
 
 use crate::table::Table;
-use reopt_common::{Error, FxHashMap, Result, TableId};
+use crate::value::Value;
+use crate::version::DataVersion;
+use reopt_common::{ColId, Error, FxHashMap, Result, TableId};
 
 /// An in-memory database: tables addressable by id or name.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    tables: Vec<Table>,
+    tables: Vec<Arc<Table>>,
     by_name: FxHashMap<String, TableId>,
+    version: DataVersion,
 }
 
 impl Database {
     /// Empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The version of the last mutation; [`DataVersion::ZERO`] for a
+    /// freshly built database that never ingested anything. Registering
+    /// tables and creating indexes do not count as mutations — the clock
+    /// tracks *data* changes, which is what statistics and sample caches
+    /// depend on.
+    pub fn data_version(&self) -> DataVersion {
+        self.version
     }
 
     /// Next table id to be assigned by [`Database::add_table_with`].
@@ -40,7 +65,7 @@ impl Database {
         }
         let id = table.id();
         self.by_name.insert(table.name().to_owned(), id);
-        self.tables.push(table);
+        self.tables.push(Arc::new(table));
         Ok(id)
     }
 
@@ -58,13 +83,16 @@ impl Database {
     pub fn table(&self, id: TableId) -> Result<&Table> {
         self.tables
             .get(id.index())
+            .map(|t| t.as_ref())
             .ok_or_else(|| Error::not_found(format!("table {id}")))
     }
 
-    /// Mutable table by id (index creation).
+    /// Mutable table by id (index creation). Copy-on-write: if the table is
+    /// shared with a snapshot, it is cloned first.
     pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
         self.tables
             .get_mut(id.index())
+            .map(Arc::make_mut)
             .ok_or_else(|| Error::not_found(format!("table {id}")))
     }
 
@@ -87,7 +115,7 @@ impl Database {
     }
 
     /// All tables in id order.
-    pub fn tables(&self) -> &[Table] {
+    pub fn tables(&self) -> &[Arc<Table>] {
         &self.tables
     }
 
@@ -103,7 +131,61 @@ impl Database {
 
     /// Total rows across all tables (diagnostics).
     pub fn total_rows(&self) -> usize {
-        self.tables.iter().map(Table::row_count).sum()
+        self.tables.iter().map(|t| t.row_count()).sum()
+    }
+
+    /// Append a batch of typed rows to `table`, bumping the database
+    /// version and stamping the table with it. The batch is validated
+    /// before anything mutates (see [`Table::append_rows`]), so an invalid
+    /// row leaves both the table and the version clock untouched. Returns
+    /// the version the append landed at.
+    pub fn append_rows(&mut self, table: TableId, rows: &[Vec<Value>]) -> Result<DataVersion> {
+        let stamp = self.version.next();
+        let t = self
+            .tables
+            .get_mut(table.index())
+            .ok_or_else(|| Error::not_found(format!("table {table}")))?;
+        Arc::make_mut(t).append_rows(rows, stamp)?;
+        self.version = stamp;
+        Ok(stamp)
+    }
+
+    /// Delete every row of `table` whose raw value in `col` satisfies
+    /// `pred` (an in-place rewrite; see [`Table::delete_where`]). Returns
+    /// the new version and the number of rows deleted.
+    pub fn delete_where<F: Fn(i64) -> bool>(
+        &mut self,
+        table: TableId,
+        col: ColId,
+        pred: F,
+    ) -> Result<(DataVersion, usize)> {
+        let stamp = self.version.next();
+        let t = self
+            .tables
+            .get_mut(table.index())
+            .ok_or_else(|| Error::not_found(format!("table {table}")))?;
+        let deleted = Arc::make_mut(t).delete_where(col, pred, stamp)?;
+        self.version = stamp;
+        Ok((stamp, deleted))
+    }
+
+    /// TTL expiry: delete every row of `table` whose value in the ordered
+    /// column `col` is non-NULL and strictly below `cutoff`. Returns the
+    /// new version and the number of rows expired.
+    pub fn expire_older_than(
+        &mut self,
+        table: TableId,
+        col: ColId,
+        cutoff: i64,
+    ) -> Result<(DataVersion, usize)> {
+        let stamp = self.version.next();
+        let t = self
+            .tables
+            .get_mut(table.index())
+            .ok_or_else(|| Error::not_found(format!("table {table}")))?;
+        let deleted = Arc::make_mut(t).expire_older_than(col, cutoff, stamp)?;
+        self.version = stamp;
+        Ok((stamp, deleted))
     }
 }
 
@@ -134,6 +216,8 @@ mod tests {
         assert_eq!(db.len(), 1);
         assert!(!db.is_empty());
         assert_eq!(db.total_rows(), 3);
+        // Registering tables is not a data mutation.
+        assert_eq!(db.data_version(), DataVersion::ZERO);
     }
 
     #[test]
@@ -152,5 +236,72 @@ mod tests {
         assert!(db.table(TableId::new(0)).is_err());
         assert!(db.table_by_name("a").is_err());
         assert!(db.table_id("a").is_err());
+    }
+
+    #[test]
+    fn append_bumps_version_and_stamps_table() {
+        let mut db = Database::new();
+        let id = db.add_table_with(|id| Ok(tiny_table(id, "a"))).unwrap();
+        let v1 = db.append_rows(id, &[vec![Value::Int(4)]]).unwrap();
+        assert_eq!(v1, DataVersion::new(1));
+        assert_eq!(db.data_version(), v1);
+        let t = db.table(id).unwrap();
+        assert_eq!(t.version(), v1);
+        assert_eq!(t.last_rewrite(), DataVersion::ZERO);
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.column(ColId::new(0)).unwrap().data(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn failed_append_leaves_version_untouched() {
+        let mut db = Database::new();
+        let id = db.add_table_with(|id| Ok(tiny_table(id, "a"))).unwrap();
+        // Wrong arity: rejected atomically.
+        assert!(db.append_rows(id, &[vec![]]).is_err());
+        assert_eq!(db.data_version(), DataVersion::ZERO);
+        assert_eq!(db.table(id).unwrap().row_count(), 3);
+        // Unknown table: ditto.
+        assert!(db.append_rows(TableId::new(9), &[]).is_err());
+        assert_eq!(db.data_version(), DataVersion::ZERO);
+    }
+
+    #[test]
+    fn mutation_does_not_disturb_snapshots() {
+        let mut db = Database::new();
+        let id = db.add_table_with(|id| Ok(tiny_table(id, "a"))).unwrap();
+        let snapshot = db.clone();
+        db.append_rows(id, &[vec![Value::Int(9)]]).unwrap();
+        let (_, deleted) = db.delete_where(id, ColId::new(0), |v| v == 1).unwrap();
+        assert_eq!(deleted, 1);
+        // The snapshot still sees the original three rows at version zero.
+        assert_eq!(snapshot.table(id).unwrap().row_count(), 3);
+        assert_eq!(snapshot.data_version(), DataVersion::ZERO);
+        assert_eq!(db.table(id).unwrap().row_count(), 3); // 4 - 1
+        assert_eq!(db.data_version(), DataVersion::new(2));
+        assert_eq!(db.table(id).unwrap().last_rewrite(), DataVersion::new(2));
+    }
+
+    #[test]
+    fn expiry_drops_old_rows() {
+        let mut db = Database::new();
+        let id = db
+            .add_table_with(|id| {
+                let schema =
+                    TableSchema::new(vec![ColumnDef::new("day", LogicalType::Date)]).unwrap();
+                Table::new(
+                    id,
+                    "events",
+                    schema,
+                    vec![Column::from_i64(LogicalType::Date, vec![10, 20, 30])],
+                )
+            })
+            .unwrap();
+        let (v, expired) = db.expire_older_than(id, ColId::new(0), 25).unwrap();
+        assert_eq!(expired, 2);
+        assert_eq!(v, DataVersion::new(1));
+        assert_eq!(
+            db.table(id).unwrap().column(ColId::new(0)).unwrap().data(),
+            &[30]
+        );
     }
 }

@@ -15,10 +15,17 @@
 //! * [`table`] — [`table::Table`]: schema + columns + hash indexes.
 //! * [`database`] — [`database::Database`]: the catalog.
 //! * [`page`] — page accounting used by the optimizer's I/O cost model.
+//! * [`version`] — [`version::DataVersion`], the monotonic clock bumped by
+//!   every mutation and threaded through statistics, samples and plan
+//!   caches so nothing derived from data can silently go stale.
 //!
-//! The engine is read-optimized and append-only: workload generators build
-//! tables in bulk, queries never mutate them. That matches the paper's
-//! setting (static benchmark databases, `ANALYZE` once, then query).
+//! The engine is read-optimized: queries never mutate tables, and
+//! workload generators build them in bulk — the paper's setting (static
+//! benchmark databases, `ANALYZE` once, then query). On top of that, the
+//! [`database::Database`] ingest API (`append_rows`, `delete_where`, TTL
+//! expiry) supports the serving layer's streaming workloads: mutations go
+//! through copy-on-write table `Arc`s, so snapshots handed to in-flight
+//! queries are immutable and free.
 
 pub mod batch;
 pub mod column;
@@ -27,6 +34,7 @@ pub mod page;
 pub mod schema;
 pub mod table;
 pub mod value;
+pub mod version;
 
 pub use batch::{ColumnBatch, BATCH_SIZE};
 pub use column::Column;
@@ -34,3 +42,4 @@ pub use database::Database;
 pub use schema::{ColumnDef, LogicalType, TableSchema};
 pub use table::Table;
 pub use value::Value;
+pub use version::DataVersion;

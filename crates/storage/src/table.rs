@@ -1,9 +1,13 @@
 //! Tables: schema + columns + optional hash indexes.
 
+use std::collections::BTreeMap;
+use std::ops::Range;
+
 use crate::column::Column;
 use crate::page::{pages_for, PAGE_SIZE};
 use crate::schema::TableSchema;
-use crate::value::NULL_SENTINEL;
+use crate::value::{Value, NULL_SENTINEL};
+use crate::version::DataVersion;
 use reopt_common::{ColId, Error, FxHashMap, Result, TableId};
 
 /// An equality (hash) index over one column: value → row ids.
@@ -37,17 +41,41 @@ impl HashIndex {
     pub fn distinct_keys(&self) -> usize {
         self.map.len()
     }
+
+    /// Register one appended row. Callers must insert rows in ascending
+    /// row-id order: each posting list then stays sorted exactly as a fresh
+    /// [`HashIndex::build`] over the extended column would leave it, which
+    /// keeps incremental ingest bit-identical to a from-scratch build.
+    pub fn insert(&mut self, value: i64, row: u32) {
+        if value != NULL_SENTINEL {
+            self.map.entry(value).or_default().push(row);
+        }
+    }
 }
 
 /// A stored base table.
+///
+/// Tables are versioned: [`Table::version`] is the database-wide
+/// [`DataVersion`] in force when this table last changed, and
+/// [`Table::last_rewrite`] the version of its last *in-place rewrite*
+/// (delete / TTL expiry). Appends only ever extend columns, so a consumer
+/// that analyzed the table at version `v ≥ last_rewrite` knows every row it
+/// saw is still there, unchanged, at its old position — the contract
+/// [`Table::dirty_tail`] exposes for incremental ANALYZE.
+///
+/// Indexes live in an ordered map so every traversal (subset
+/// materialization, post-delete rebuilds) visits columns in [`ColId`]
+/// order — deterministic by construction (rule R1 of `reopt-lint`).
 #[derive(Debug, Clone)]
 pub struct Table {
     id: TableId,
     name: String,
     schema: TableSchema,
     columns: Vec<Column>,
-    indexes: FxHashMap<ColId, HashIndex>,
+    indexes: BTreeMap<ColId, HashIndex>,
     row_count: usize,
+    version: DataVersion,
+    last_rewrite: DataVersion,
 }
 
 impl Table {
@@ -88,8 +116,10 @@ impl Table {
             name,
             schema,
             columns,
-            indexes: FxHashMap::default(),
+            indexes: BTreeMap::new(),
             row_count,
+            version: DataVersion::ZERO,
+            last_rewrite: DataVersion::ZERO,
         })
     }
 
@@ -157,6 +187,126 @@ impl Table {
     /// Bytes per page, re-exported for cost-model readability.
     pub fn page_size(&self) -> u64 {
         PAGE_SIZE
+    }
+
+    /// Version of the last mutation (appends included); `ZERO` for a table
+    /// that never changed after construction.
+    pub fn version(&self) -> DataVersion {
+        self.version
+    }
+
+    /// Version of the last in-place rewrite (delete / TTL expiry); `ZERO`
+    /// when the table's history is append-only.
+    pub fn last_rewrite(&self) -> DataVersion {
+        self.last_rewrite
+    }
+
+    /// The contiguous row range that changed since a consumer observed
+    /// this table at version `as_of` holding `rows_then` rows.
+    ///
+    /// Returns `Some(rows_then..row_count)` — possibly empty — when every
+    /// mutation since `as_of` was an append, so the old prefix is
+    /// untouched and re-scanning just the tail is exact. Returns `None`
+    /// when the table was rewritten in place after `as_of` (or the claimed
+    /// prior row count is inconsistent): the caller must re-scan the whole
+    /// table.
+    pub fn dirty_tail(&self, as_of: DataVersion, rows_then: usize) -> Option<Range<usize>> {
+        if as_of < self.last_rewrite || rows_then > self.row_count {
+            return None;
+        }
+        Some(rows_then..self.row_count)
+    }
+
+    /// Append a batch of typed rows, stamping the table with `stamp`.
+    ///
+    /// The whole batch is validated (arity + per-column type check) before
+    /// anything mutates, so a bad row leaves the table untouched. Indexes
+    /// are extended in ascending row order — bit-identical to rebuilding
+    /// them from scratch over the extended columns. Returns the number of
+    /// rows appended.
+    pub fn append_rows(&mut self, rows: &[Vec<Value>], stamp: DataVersion) -> Result<usize> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != self.schema.arity() {
+                return Err(Error::invalid(format!(
+                    "table `{}`: appended row {i} has {} values for arity-{} schema",
+                    self.name,
+                    row.len(),
+                    self.schema.arity()
+                )));
+            }
+            for (col, v) in self.columns.iter().zip(row) {
+                col.can_append(v).map_err(|e| {
+                    Error::invalid(format!("table `{}`: appended row {i}: {e}", self.name))
+                })?;
+            }
+        }
+        let base = self.row_count;
+        for (r, row) in rows.iter().enumerate() {
+            let row_id = (base + r) as u32;
+            for (ci, v) in row.iter().enumerate() {
+                let raw = self.columns[ci].append_value(v);
+                if let Some(idx) = self.indexes.get_mut(&ColId::from(ci)) {
+                    idx.insert(raw, row_id);
+                }
+            }
+        }
+        self.row_count += rows.len();
+        self.version = stamp;
+        Ok(rows.len())
+    }
+
+    /// Delete every row whose raw value in `col` satisfies `pred`,
+    /// stamping the table with `stamp`. This is an in-place rewrite:
+    /// surviving rows are compacted (relative order preserved), every
+    /// index is rebuilt, and [`Table::last_rewrite`] advances — consumers
+    /// of [`Table::dirty_tail`] from before the delete fall back to a full
+    /// re-scan. Returns the number of rows deleted.
+    pub fn delete_where<F: Fn(i64) -> bool>(
+        &mut self,
+        col: ColId,
+        pred: F,
+        stamp: DataVersion,
+    ) -> Result<usize> {
+        let data = self.column(col)?.data();
+        let keep: Vec<u32> = data
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| !pred(v))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let deleted = self.row_count - keep.len();
+        if deleted > 0 {
+            for c in &mut self.columns {
+                c.retain_rows(&keep);
+            }
+            self.row_count = keep.len();
+            let indexed: Vec<ColId> = self.indexes.keys().copied().collect();
+            for col in indexed {
+                self.create_index(col)?;
+            }
+            self.last_rewrite = stamp;
+        }
+        self.version = stamp;
+        Ok(deleted)
+    }
+
+    /// TTL expiry: delete every row whose value in `col` is non-NULL and
+    /// strictly below `cutoff` (snorkel-style time sharding, with `col`
+    /// an ordered column such as a date). NULL timestamps never expire.
+    pub fn expire_older_than(
+        &mut self,
+        col: ColId,
+        cutoff: i64,
+        stamp: DataVersion,
+    ) -> Result<usize> {
+        let ty = self.column(col)?.ty();
+        if !ty.is_ordered() {
+            return Err(Error::invalid(format!(
+                "table `{}`: cannot expire by unordered column {col} ({ty:?})",
+                self.name
+            )));
+        }
+        self.delete_where(col, |v| v != NULL_SENTINEL && v < cutoff, stamp)
     }
 
     /// Derive a new table holding only `rows` (used to materialize sample
@@ -262,6 +412,135 @@ mod tests {
         assert_eq!(s.column(ColId::new(1)).unwrap().data(), &[10, 21]);
         // Index was rebuilt on the subset.
         assert_eq!(s.index(ColId::new(0)).unwrap().probe(2), &[1]);
+    }
+
+    #[test]
+    fn append_extends_columns_and_indexes_bit_identically() {
+        let mut t = sample_table();
+        t.create_index(ColId::new(0)).unwrap();
+        let appended = t
+            .append_rows(
+                &[
+                    vec![Value::Int(2), Value::Int(22)],
+                    vec![Value::Null, Value::Int(40)],
+                ],
+                DataVersion::new(1),
+            )
+            .unwrap();
+        assert_eq!(appended, 2);
+        assert_eq!(t.row_count(), 6);
+        assert_eq!(t.version(), DataVersion::new(1));
+        assert_eq!(t.last_rewrite(), DataVersion::ZERO);
+        assert_eq!(
+            t.column(ColId::new(0)).unwrap().data(),
+            &[1, 2, 2, 3, 2, NULL_SENTINEL]
+        );
+        // The incrementally-extended index matches a from-scratch build.
+        let fresh = HashIndex::build(t.column(ColId::new(0)).unwrap().data());
+        assert_eq!(t.index(ColId::new(0)).unwrap().probe(2), fresh.probe(2));
+        assert_eq!(t.index(ColId::new(0)).unwrap().probe(2), &[1, 2, 4]);
+        assert_eq!(
+            t.index(ColId::new(0)).unwrap().distinct_keys(),
+            fresh.distinct_keys()
+        );
+    }
+
+    #[test]
+    fn append_is_atomic_on_invalid_rows() {
+        let mut t = sample_table();
+        // Second row has the wrong arity: nothing must change.
+        let err = t.append_rows(
+            &[vec![Value::Int(1), Value::Int(2)], vec![Value::Int(3)]],
+            DataVersion::new(1),
+        );
+        assert!(err.is_err());
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.version(), DataVersion::ZERO);
+        // Type mismatch likewise.
+        assert!(t
+            .append_rows(
+                &[vec![Value::from("x"), Value::Int(2)]],
+                DataVersion::new(1)
+            )
+            .is_err());
+        assert_eq!(t.row_count(), 4);
+    }
+
+    #[test]
+    fn appended_dict_strings_intern_like_a_fresh_build() {
+        let schema = TableSchema::new(vec![ColumnDef::new("s", LogicalType::Dict)]).unwrap();
+        let mut t = Table::new(
+            TableId::new(0),
+            "d",
+            schema.clone(),
+            vec![Column::from_strings(&["ASIA", "EUROPE"])],
+        )
+        .unwrap();
+        t.append_rows(
+            &[
+                vec![Value::from("ASIA")],
+                vec![Value::from("AFRICA")],
+                vec![Value::Null],
+            ],
+            DataVersion::new(1),
+        )
+        .unwrap();
+        let fresh = Column::from_strings(&["ASIA", "EUROPE", "ASIA", "AFRICA"]);
+        let got = t.column(ColId::new(0)).unwrap();
+        assert_eq!(&got.data()[..4], fresh.data());
+        assert_eq!(got.data()[4], NULL_SENTINEL);
+        assert_eq!(got.value(3), Value::from("AFRICA"));
+    }
+
+    #[test]
+    fn delete_rewrites_and_dirty_tail_tracks_history() {
+        let mut t = sample_table();
+        t.create_index(ColId::new(0)).unwrap();
+        // Append-only history: the old prefix is clean.
+        t.append_rows(&[vec![Value::Int(5), Value::Int(50)]], DataVersion::new(1))
+            .unwrap();
+        assert_eq!(t.dirty_tail(DataVersion::ZERO, 4), Some(4..5));
+        assert_eq!(t.dirty_tail(DataVersion::new(1), 5), Some(5..5));
+        let deleted = t
+            .delete_where(ColId::new(0), |v| v == 2, DataVersion::new(2))
+            .unwrap();
+        assert_eq!(deleted, 2);
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column(ColId::new(0)).unwrap().data(), &[1, 3, 5]);
+        assert_eq!(t.last_rewrite(), DataVersion::new(2));
+        // Indexes were rebuilt on the compacted rows.
+        assert_eq!(t.index(ColId::new(0)).unwrap().probe(3), &[1]);
+        assert_eq!(t.index(ColId::new(0)).unwrap().probe(2), &[] as &[u32]);
+        // Observers from before the rewrite must re-scan in full...
+        assert_eq!(t.dirty_tail(DataVersion::new(1), 5), None);
+        // ...observers from at/after it can tail-scan again.
+        assert_eq!(t.dirty_tail(DataVersion::new(2), 3), Some(3..3));
+        // An inconsistent prior row count is rejected.
+        assert_eq!(t.dirty_tail(DataVersion::new(2), 9), None);
+    }
+
+    #[test]
+    fn expiry_requires_an_ordered_column() {
+        let schema = TableSchema::new(vec![ColumnDef::new("s", LogicalType::Dict)]).unwrap();
+        let mut t = Table::new(
+            TableId::new(0),
+            "d",
+            schema,
+            vec![Column::from_strings(&["a", "b"])],
+        )
+        .unwrap();
+        assert!(t
+            .expire_older_than(ColId::new(0), 10, DataVersion::new(1))
+            .is_err());
+        // NULLs never expire.
+        let mut t2 = sample_table();
+        t2.append_rows(&[vec![Value::Null, Value::Null]], DataVersion::new(1))
+            .unwrap();
+        let expired = t2
+            .expire_older_than(ColId::new(0), 3, DataVersion::new(2))
+            .unwrap();
+        assert_eq!(expired, 3); // values 1, 2, 2 — the NULL row survives
+        assert_eq!(t2.row_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! `DataVersion` — the monotonic clock every data-derived artifact keys on.
+//!
+//! A [`Database`](crate::Database) starts at [`DataVersion::ZERO`] and bumps
+//! its version on every mutation (append, delete, TTL expiry). Each mutated
+//! [`Table`](crate::Table) is stamped with the database version in force
+//! when it changed, so a consumer holding statistics, samples, cached plans
+//! or validated cardinalities can tell *exactly* which tables moved since
+//! the artifact was derived — and a cache entry keyed by the version it was
+//! computed at can never be confused with one from a different data state.
+//!
+//! The version is deliberately a plain monotonic counter, not a content
+//! hash: two databases with identical contents may carry different
+//! versions (one freshly built, one having ingested and expired back to
+//! the same rows). Equality of versions within one database lineage means
+//! "no mutation happened in between"; it is never compared across
+//! databases.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A monotonic data version. Ordered, hashable and serializable so it can
+/// ride inside cache keys and persisted statistics.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DataVersion(pub u64);
+
+impl DataVersion {
+    /// The version of a freshly built, never-mutated database.
+    pub const ZERO: DataVersion = DataVersion(0);
+
+    /// Construct from a raw counter value.
+    pub const fn new(raw: u64) -> Self {
+        DataVersion(raw)
+    }
+
+    /// The raw counter value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The successor version (one mutation later).
+    pub const fn next(self) -> Self {
+        DataVersion(self.0 + 1)
+    }
+}
+
+impl fmt::Display for DataVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_next() {
+        let v0 = DataVersion::ZERO;
+        let v1 = v0.next();
+        assert!(v0 < v1);
+        assert_eq!(v1.get(), 1);
+        assert_eq!(DataVersion::new(7), DataVersion(7));
+        assert_eq!(v1.to_string(), "v1");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(DataVersion::default(), DataVersion::ZERO);
+    }
+}

@@ -63,4 +63,16 @@ pub mod names {
     pub const EXEC_OPERATOR: &str = "exec.operator";
     /// Final aggregation over join output.
     pub const EXEC_AGGREGATE: &str = "exec.aggregate";
+    /// One ingest operation root (attrs: `table`, `rows_appended`,
+    /// `rows_deleted`, `data_version`, `drift`, `refreshed`).
+    pub const SERVICE_INGEST: &str = "service.ingest";
+    /// Post-ingest incremental ANALYZE (attrs: `reused`, `merged`,
+    /// `rescanned`).
+    pub const INGEST_ANALYZE: &str = "ingest.analyze";
+    /// Drift measurement against the validation baseline (attrs: `max`,
+    /// `threshold`, `tables_over`).
+    pub const INGEST_DRIFT: &str = "ingest.drift";
+    /// Sample rebuild + engine swap + cache eviction after drift crossed
+    /// the threshold (attrs: `stats_version`, `gamma` none — see counters).
+    pub const INGEST_REFRESH: &str = "ingest.refresh";
 }

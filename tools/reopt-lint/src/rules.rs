@@ -74,13 +74,23 @@ impl Rule {
     /// Whether the rule applies to `crate_name` (the `crates/<name>` stem).
     pub fn applies_to(self, crate_name: &str) -> bool {
         match self {
-            // Only crates whose output feeds query results; stats/storage
-            // map iteration is covered transitively when values reach a
-            // result-producing crate.
+            // Every crate whose output feeds query results — including,
+            // since the ingest refactor, the data-bearing crates: storage
+            // mutates tables, stats derives the published statistics and
+            // drift scores, sampling replays dry-run row sets. Unordered
+            // iteration in any of them can leak into plan choice.
             Rule::UnorderedIter => {
                 matches!(
                     crate_name,
-                    "executor" | "optimizer" | "plan" | "core" | "service" | "telemetry"
+                    "executor"
+                        | "optimizer"
+                        | "plan"
+                        | "core"
+                        | "service"
+                        | "telemetry"
+                        | "storage"
+                        | "stats"
+                        | "sampling"
                 )
             }
             // Bench binaries are experiment drivers; panicking on a broken

@@ -52,7 +52,13 @@ fn r1_quiet_on_hash_map_point_lookup() {
 #[test]
 fn r1_does_not_apply_outside_result_producing_crates() {
     let src = "fn f(table: &FxHashMap<u64, u64>) {\n    for v in table.values() {\n        use_it(v);\n    }\n}\n";
-    assert!(lint("stats", src).is_empty());
+    // Analysis post-processes already-emitted results; order can't leak
+    // into query output from there.
+    assert!(lint("analysis", src).is_empty());
+    // The data-bearing crates joined the scope with the ingest refactor.
+    assert_eq!(rules(&lint("stats", src)), vec![Rule::UnorderedIter]);
+    assert_eq!(rules(&lint("storage", src)), vec![Rule::UnorderedIter]);
+    assert_eq!(rules(&lint("sampling", src)), vec![Rule::UnorderedIter]);
 }
 
 #[test]
