@@ -1,39 +1,53 @@
-//! Cached-plan latency under churn: drift-triggered eviction on vs off,
-//! with machine-readable output in `BENCH_drift.json` and a regression
-//! guardrail asserted in-process.
+//! Cached-plan latency under churn: surgical drift reaction vs full
+//! flush vs no eviction, with machine-readable output in
+//! `BENCH_drift.json` and regression guardrails asserted in-process.
 //!
 //! Not a criterion harness: each regime drives a real [`QueryService`]
 //! through the ingest API end to end. Pass `--quick` for the
 //! reduced-iteration CI configuration.
 //!
-//! Scenario: a warm template workload over the OTT database while
-//! `ott_lineitem` takes a skew storm (batches of one hot value). Two
+//! Scenario: a warm template workload — one template over the stormed
+//! table, five over tables the storm never touches — while
+//! `ott_lineitem` takes a skew storm (batches of one hot value). Three
 //! services see the identical churn:
 //!
-//! * **eviction on** (default `DriftConfig`) — measured drift crosses the
-//!   threshold mid-storm, samples are redrawn, stale plans evicted, and
-//!   the template re-optimizes once against post-drift data. The
-//!   guardrail binds here: post-drift *warm* latency must stay within
-//!   `GUARDRAIL_WARM_RATIO`× the pre-drift warm mean — eviction may cost
-//!   one cold miss, not a permanently slower steady state.
-//! * **eviction off** (`auto_refresh: false`) — the baseline a static
-//!   system degrades to: stale plans keep serving and nothing re-learns.
+//! * **surgical** (default `DriftConfig`) — measured drift crosses the
+//!   threshold mid-storm; only the drifted table's samples are redrawn
+//!   and only the plans touching it are marked. The untouched templates
+//!   must keep serving warm straight through: the post-storm warm-hit
+//!   rate is the headline number, and the guardrail demands it stay
+//!   *strictly above* the full-flush regime's. The classic warm-latency
+//!   guardrail binds here too: post-drift warm latency within
+//!   `GUARDRAIL_WARM_RATIO`× the pre-drift warm mean.
+//! * **full flush** — `auto_refresh: false` plus a manual
+//!   [`QueryService::refresh_full`] once the storm ends: the old
+//!   indiscriminate reaction. Every template pays re-optimization,
+//!   drifted or not.
+//! * **eviction off** (`auto_refresh: false`, nobody refreshes) — the
+//!   baseline a static system degrades to: stale plans keep serving and
+//!   nothing re-learns.
 //!
 //! The report also tracks ingest cost itself (incremental ANALYZE + drift
 //! scoring per batch) so regressions in the ingest path are visible, and
-//! `refreshes`/`stale_evictions` counters so a silently-disabled drift
-//! monitor fails the guardrail instead of shipping.
+//! the `refreshes` / `tables_refreshed` / eviction counters so a
+//! silently-disabled drift monitor fails the guardrail instead of
+//! shipping.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use serde::Serialize;
 
+use reopt_plan::query::ColRef;
+use reopt_plan::{Predicate, Query, QueryBuilder};
 use reopt_sampling::SampleConfig;
 use reopt_service::{DriftConfig, PlanSource, QueryService, ServiceConfig};
 use reopt_stats::AnalyzeOpts;
 use reopt_storage::Value;
-use reopt_workloads::ott::{build_ott_database, ott_query, recommended_sample_ratio, OttConfig};
+use reopt_workloads::ott::{
+    build_ott_database, ott_query, recommended_sample_ratio, OttConfig, COL_A, COL_B,
+    OTT_TABLE_NAMES,
+};
 
 /// Post-drift warm latency may be at most this multiple of the pre-drift
 /// warm mean. Generous (warm hits are microseconds, so scheduler noise is
@@ -49,20 +63,33 @@ struct ChurnResult {
     /// ANALYZE + drift scoring + possible refresh), milliseconds.
     mean_ingest_ms: f64,
     max_ingest_ms: f64,
-    /// Sample rebuild + engine swap events (drift crossings).
+    /// Refresh events on the surgical service (drift crossings).
     refreshes: u64,
+    /// Per-table sample redraws across those refreshes — the whole point:
+    /// one drifting table means this stays ≈ `refreshes`, not 6×.
+    tables_refreshed: u64,
     /// Worst drift observed across the storm.
     max_drift: f64,
 }
 
 #[derive(Debug, Serialize)]
 struct RegimeResult {
-    /// Warm-hit mean latency after the storm settled, milliseconds.
+    /// First post-storm submission of each template: fraction answered
+    /// straight from cache. The surgical regime keeps the untouched
+    /// templates warm; a full flush drops everything to zero.
+    warm_hit_rate: f64,
+    /// Latency of that first post-storm pass over all templates (cold
+    /// and warm alike), milliseconds.
+    post_drift_probe_ms: f64,
+    /// Warm-hit mean latency after the probe settled, milliseconds.
     post_drift_warm_ms: f64,
-    /// Cold (re-optimization) latencies paid after the storm — the price
-    /// of eviction. Empty when nothing was evicted.
-    post_drift_cold_ms: Vec<f64>,
+    /// Re-learn (non-warm) latencies paid in the probe — the price of
+    /// the regime's eviction policy. Empty when nothing was evicted.
+    post_drift_relearn_ms: Vec<f64>,
     stale_evictions: u64,
+    table_evictions: u64,
+    revalidations: u64,
+    revalidations_saved: u64,
     reopts_run: u64,
 }
 
@@ -73,9 +100,10 @@ struct BenchReport {
     /// Warm-hit mean latency before any churn, milliseconds.
     pre_drift_warm_ms: f64,
     churn: ChurnResult,
-    eviction_on: RegimeResult,
+    surgical: RegimeResult,
+    full_flush: RegimeResult,
     eviction_off: RegimeResult,
-    /// post_drift_warm_ms (eviction on) / pre_drift_warm_ms.
+    /// surgical.post_drift_warm_ms / pre_drift_warm_ms.
     warm_ratio: f64,
     warm_ratio_limit: f64,
 }
@@ -98,13 +126,74 @@ fn fresh_service(config: &OttConfig, drift: DriftConfig) -> Arc<QueryService> {
     )
 }
 
-fn warm_mean_ms(service: &QueryService, queries: &[reopt_plan::Query], iters: usize) -> f64 {
+/// A chain query over an arbitrary run of OTT tables (`ott_query` always
+/// starts at `ott_lineitem`; the untouched templates must not).
+fn chain_query(service: &QueryService, tables: &[usize], constant: i64) -> Query {
+    let engine = service.engine();
+    let db = engine.db();
+    let mut qb = QueryBuilder::new();
+    let mut rels = Vec::new();
+    for &t in tables {
+        let rel = qb.add_relation(db.table_by_name(OTT_TABLE_NAMES[t]).unwrap().id());
+        qb.add_predicate(Predicate::eq(rel, COL_A, constant));
+        rels.push(rel);
+    }
+    for w in rels.windows(2) {
+        qb.add_join(ColRef::new(w[0], COL_B), ColRef::new(w[1], COL_B));
+    }
+    qb.build()
+}
+
+fn warm_mean_ms(service: &QueryService, queries: &[Query], iters: usize) -> f64 {
     let t0 = Instant::now();
     for i in 0..iters {
         let r = service.submit(&queries[i % queries.len()]).unwrap();
         debug_assert_eq!(r.source, PlanSource::WarmHit);
     }
     t0.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+/// One post-storm pass over every template: warm-hit rate, total probe
+/// latency, and the individual re-learn (non-warm) latencies.
+fn probe(service: &QueryService, queries: &[Query]) -> (f64, f64, Vec<f64>) {
+    let t0 = Instant::now();
+    let mut warm = 0usize;
+    let mut relearn_ms = Vec::new();
+    for q in queries {
+        let r = service.submit(q).unwrap();
+        if r.source == PlanSource::WarmHit {
+            warm += 1;
+        } else {
+            relearn_ms.push(r.latency.as_secs_f64() * 1e3);
+        }
+    }
+    let probe_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (warm as f64 / queries.len() as f64, probe_ms, relearn_ms)
+}
+
+fn regime(
+    service: &QueryService,
+    queries: &[Query],
+    warm_iters: usize,
+) -> (RegimeResult, f64, f64) {
+    let (warm_hit_rate, probe_ms, relearn_ms) = probe(service, queries);
+    let warm_ms = warm_mean_ms(service, queries, warm_iters);
+    let stats = service.stats();
+    (
+        RegimeResult {
+            warm_hit_rate,
+            post_drift_probe_ms: probe_ms,
+            post_drift_warm_ms: warm_ms,
+            post_drift_relearn_ms: relearn_ms,
+            stale_evictions: stats.stale_evictions,
+            table_evictions: stats.table_evictions,
+            revalidations: stats.revalidations,
+            revalidations_saved: stats.revalidations_saved,
+            reopts_run: stats.reopts_run,
+        },
+        warm_hit_rate,
+        warm_ms,
+    )
 }
 
 fn main() {
@@ -122,133 +211,144 @@ fn main() {
         .map(|_| vec![Value::Int(0), Value::Int(0)])
         .collect();
 
-    let svc_on = fresh_service(&ott_config, DriftConfig::default());
-    let svc_off = fresh_service(
-        &ott_config,
-        DriftConfig {
-            auto_refresh: false,
-            ..Default::default()
-        },
-    );
-
-    // Warm both services on three distinct templates (a template is the
-    // query *structure*, so distinct chain lengths, not distinct literals).
-    let consts: [&[i64]; 3] = [&[0, 0, 1], &[0, 0, 0, 1], &[0, 0, 0, 0, 1]];
-    let queries: Vec<_> = {
-        let engine = svc_on.engine();
-        consts
-            .iter()
-            .map(|c| ott_query(engine.db(), c).unwrap())
-            .collect()
+    let svc_surgical = fresh_service(&ott_config, DriftConfig::default());
+    let no_auto = DriftConfig {
+        auto_refresh: false,
+        ..Default::default()
     };
+    let svc_full = fresh_service(&ott_config, no_auto.clone());
+    let svc_off = fresh_service(&ott_config, no_auto);
+
+    // Six distinct templates (a template is the query *structure*): one
+    // over the storm target, five over tables the storm never touches.
+    let mut queries: Vec<Query> = vec![ott_query(svc_surgical.engine().db(), &[0, 0, 1]).unwrap()];
+    for tables in [
+        &[1usize, 2] as &[usize],
+        &[2, 3],
+        &[3, 4],
+        &[1, 2, 3],
+        &[2, 3, 4],
+    ] {
+        queries.push(chain_query(&svc_surgical, tables, 0));
+    }
     for q in &queries {
-        assert_eq!(svc_on.submit(q).unwrap().source, PlanSource::ColdMiss);
+        assert_eq!(svc_surgical.submit(q).unwrap().source, PlanSource::ColdMiss);
+        assert_eq!(svc_full.submit(q).unwrap().source, PlanSource::ColdMiss);
         assert_eq!(svc_off.submit(q).unwrap().source, PlanSource::ColdMiss);
     }
-    let pre_drift_warm_ms = warm_mean_ms(&svc_on, &queries, warm_iters);
+    let pre_drift_warm_ms = warm_mean_ms(&svc_surgical, &queries, warm_iters);
 
-    // --- The skew storm, identical on both services. ---
+    // --- The skew storm, identical on all three services. ---
     let mut ingest_ms = Vec::with_capacity(storm_batches);
     let mut max_drift = 0f64;
     let mut rows_ingested = 0usize;
     for _ in 0..storm_batches {
         let t0 = Instant::now();
-        let report = svc_on.append_rows("ott_lineitem", &batch).unwrap();
+        let report = svc_surgical.append_rows("ott_lineitem", &batch).unwrap();
         ingest_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         max_drift = max_drift.max(report.drift);
         rows_ingested += report.rows_appended;
+        svc_full.append_rows("ott_lineitem", &batch).unwrap();
         svc_off.append_rows("ott_lineitem", &batch).unwrap();
     }
-    let refreshes = svc_on.telemetry_snapshot().counter("ingest.refreshes");
+    let snap = svc_surgical.telemetry_snapshot();
+    let refreshes = snap.counter("ingest.refreshes");
+    let tables_refreshed = snap.counter("ingest.tables_refreshed");
     assert!(
         refreshes >= 1,
         "the storm never crossed the drift threshold (max drift {max_drift})"
     );
+    assert_eq!(
+        tables_refreshed, refreshes,
+        "a one-table storm must redraw exactly one table per refresh"
+    );
+    // The full-flush regime reacts once, indiscriminately, after the storm.
+    svc_full.refresh_full().unwrap();
     let churn = ChurnResult {
         ingests: storm_batches,
         rows_ingested,
         mean_ingest_ms: ingest_ms.iter().sum::<f64>() / ingest_ms.len() as f64,
         max_ingest_ms: ingest_ms.iter().fold(0f64, |a, &b| a.max(b)),
         refreshes,
+        tables_refreshed,
         max_drift,
     };
 
-    // --- Post-drift: eviction on pays cold misses, then is warm again. ---
-    let mut post_drift_cold_ms = Vec::new();
-    for q in &queries {
-        let r = svc_on.submit(q).unwrap();
-        if r.source == PlanSource::ColdMiss {
-            post_drift_cold_ms.push(r.latency.as_secs_f64() * 1e3);
-        }
-    }
+    // --- Post-drift probes: one pass over every template per regime. ---
+    let (surgical, surgical_rate, surgical_warm_ms) = regime(&svc_surgical, &queries, warm_iters);
     assert!(
-        !post_drift_cold_ms.is_empty(),
-        "drift refresh evicted nothing"
+        !surgical.post_drift_relearn_ms.is_empty(),
+        "the surgical refresh evicted nothing"
     );
-    let on_warm = warm_mean_ms(&svc_on, &queries, warm_iters);
-    let on_stats = svc_on.stats();
-    let eviction_on = RegimeResult {
-        post_drift_warm_ms: on_warm,
-        post_drift_cold_ms,
-        stale_evictions: on_stats.stale_evictions,
-        reopts_run: on_stats.reopts_run,
-    };
-
-    // --- Eviction off: stale plans keep serving, nothing re-learns. ---
-    let off_warm = warm_mean_ms(&svc_off, &queries, warm_iters);
-    let off_stats = svc_off.stats();
+    let (full_flush, full_rate, _) = regime(&svc_full, &queries, warm_iters);
+    let (eviction_off, _, _) = regime(&svc_off, &queries, warm_iters);
     assert_eq!(
-        off_stats.stale_evictions, 0,
+        eviction_off.stale_evictions + eviction_off.table_evictions,
+        0,
         "auto_refresh=false must not evict"
     );
-    let eviction_off = RegimeResult {
-        post_drift_warm_ms: off_warm,
-        post_drift_cold_ms: Vec::new(),
-        stale_evictions: off_stats.stale_evictions,
-        reopts_run: off_stats.reopts_run,
-    };
 
-    let warm_ratio = eviction_on.post_drift_warm_ms / pre_drift_warm_ms.max(1e-9);
+    let warm_ratio = surgical_warm_ms / pre_drift_warm_ms.max(1e-9);
     let report = BenchReport {
         bench: "bench_drift",
         quick,
         pre_drift_warm_ms,
         churn,
-        eviction_on,
+        surgical,
+        full_flush,
         eviction_off,
         warm_ratio,
         warm_ratio_limit: GUARDRAIL_WARM_RATIO,
     };
 
     println!(
-        "pre-drift warm {:.1} µs | storm: {} ingests, {} rows, {} refreshes, max drift {:.3}, mean ingest {:.3} ms",
+        "pre-drift warm {:.1} µs | storm: {} ingests, {} rows, {} refreshes ({} tables redrawn), max drift {:.3}, mean ingest {:.3} ms",
         report.pre_drift_warm_ms * 1e3,
         report.churn.ingests,
         report.churn.rows_ingested,
         report.churn.refreshes,
+        report.churn.tables_refreshed,
         report.churn.max_drift,
         report.churn.mean_ingest_ms,
     );
     println!(
-        "eviction on:  post-drift warm {:.1} µs (ratio {:.2}, limit {}), {} cold misses paid, {} stale evictions",
-        report.eviction_on.post_drift_warm_ms * 1e3,
+        "surgical:    warm-hit rate {:.2}, probe {:.2} ms, post-drift warm {:.1} µs (ratio {:.2}, limit {}), {} re-learns, {} table evictions, {} revalidations ({} saved)",
+        report.surgical.warm_hit_rate,
+        report.surgical.post_drift_probe_ms,
+        report.surgical.post_drift_warm_ms * 1e3,
         report.warm_ratio,
         report.warm_ratio_limit,
-        report.eviction_on.post_drift_cold_ms.len(),
-        report.eviction_on.stale_evictions,
+        report.surgical.post_drift_relearn_ms.len(),
+        report.surgical.table_evictions,
+        report.surgical.revalidations,
+        report.surgical.revalidations_saved,
     );
     println!(
-        "eviction off: post-drift warm {:.1} µs, {} stale evictions (stale plans kept serving)",
+        "full flush:  warm-hit rate {:.2}, probe {:.2} ms, post-drift warm {:.1} µs, {} re-learns, {} stale evictions",
+        report.full_flush.warm_hit_rate,
+        report.full_flush.post_drift_probe_ms,
+        report.full_flush.post_drift_warm_ms * 1e3,
+        report.full_flush.post_drift_relearn_ms.len(),
+        report.full_flush.stale_evictions,
+    );
+    println!(
+        "eviction off: warm-hit rate {:.2}, post-drift warm {:.1} µs (stale plans kept serving)",
+        report.eviction_off.warm_hit_rate,
         report.eviction_off.post_drift_warm_ms * 1e3,
-        report.eviction_off.stale_evictions,
     );
 
-    // The regression guardrail: eviction must restore the warm steady
-    // state, not replace it with repeated re-optimization.
+    // Guardrail 1: the surgical reaction must keep strictly more of the
+    // cache warm than the indiscriminate flush — that is its whole claim.
+    assert!(
+        surgical_rate > full_rate,
+        "surgical warm-hit rate {surgical_rate:.2} must be strictly above full-flush {full_rate:.2}"
+    );
+    // Guardrail 2: eviction must restore the warm steady state, not
+    // replace it with repeated re-optimization.
     assert!(
         report.warm_ratio <= GUARDRAIL_WARM_RATIO,
         "post-drift warm latency regressed: {:.1} µs vs pre-drift {:.1} µs (ratio {:.2} > {})",
-        report.eviction_on.post_drift_warm_ms * 1e3,
+        report.surgical.post_drift_warm_ms * 1e3,
         report.pre_drift_warm_ms * 1e3,
         report.warm_ratio,
         GUARDRAIL_WARM_RATIO,

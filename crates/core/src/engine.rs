@@ -212,6 +212,54 @@ impl ReoptEngine {
         self.with_reoptimizer(|re| re.run_shared_traced(query, sample_cache, tracer))
     }
 
+    /// Re-validate an already-chosen plan against this engine's (fresh)
+    /// samples without running the re-optimization loop: one dry run
+    /// yields Δ(plan), and the plan is re-costed under it. For a plan
+    /// whose final Γ entries all came from its own subtrees — which holds
+    /// for every plan Algorithm 1 returns — this reproduces
+    /// [`ReoptReport::final_validated_cost`] exactly when the samples
+    /// haven't moved, so the serving layer can compare the two costs to
+    /// decide whether a surgically-evicted plan is still good.
+    pub fn revalidate_plan(
+        &self,
+        query: &Query,
+        plan: &reopt_plan::PhysicalPlan,
+        tracer: &reopt_telemetry::Tracer,
+    ) -> Result<f64> {
+        let mut cache = reopt_sampling::SampleRunCache::new();
+        self.revalidate_with_cache(query, plan, tracer, &mut cache)
+    }
+
+    /// [`Self::revalidate_plan`], pooling the dry run through the serving
+    /// layer's shared sample-run cache — subtrees another session already
+    /// validated against the current samples are replayed, not re-run.
+    pub fn revalidate_plan_shared(
+        &self,
+        query: &Query,
+        plan: &reopt_plan::PhysicalPlan,
+        sample_cache: &SharedSampleRunCache,
+        tracer: &reopt_telemetry::Tracer,
+    ) -> Result<f64> {
+        let mut handle = sample_cache.clone();
+        self.revalidate_with_cache(query, plan, tracer, &mut handle)
+    }
+
+    fn revalidate_with_cache<C: reopt_sampling::ValidationCache>(
+        &self,
+        query: &Query,
+        plan: &reopt_plan::PhysicalPlan,
+        tracer: &reopt_telemetry::Tracer,
+        cache: &mut C,
+    ) -> Result<f64> {
+        let mut opts = self.reopt_config.validation.clone();
+        opts.tracer = tracer.clone();
+        let v = reopt_sampling::validate_plan_cached(query, plan, &self.samples, &opts, cache)?;
+        let optimizer =
+            Optimizer::with_config(&self.db, &self.stats, self.optimizer_config.clone());
+        let (_, cost) = optimizer.cost_plan(query, plan, &v.delta)?;
+        Ok(cost)
+    }
+
     /// Execute an already-chosen plan with the mid-query suspend → refine
     /// → replan → resume loop (see [`crate::midquery`]) — the serving
     /// layer's execute path for cached plans. Γ starts empty: replans draw
@@ -329,6 +377,33 @@ mod tests {
         assert!(from_engine
             .final_plan
             .same_structure(&from_borrowed.final_plan));
+    }
+
+    #[test]
+    fn revalidation_reproduces_final_validated_cost_without_drift() {
+        let db = Arc::new(ott_db(4, 50, 20));
+        let engine =
+            ReoptEngine::from_database(db, &AnalyzeOpts::default(), SampleConfig::default())
+                .unwrap();
+        let q = ott_query(4, &[0, 0, 0, 1]);
+        let report = engine.reoptimize(&q).unwrap();
+        let tracer = reopt_telemetry::Tracer::disabled();
+        let cost = engine
+            .revalidate_plan(&q, &report.final_plan, &tracer)
+            .unwrap();
+        assert!(
+            (cost - report.final_validated_cost).abs()
+                < 1e-6 * report.final_validated_cost.max(1.0),
+            "revalidated {cost} vs loop {0}",
+            report.final_validated_cost
+        );
+        // The shared-cache variant agrees and leaves entries behind.
+        let shared = SharedSampleRunCache::new();
+        let c2 = engine
+            .revalidate_plan_shared(&q, &report.final_plan, &shared, &tracer)
+            .unwrap();
+        assert_eq!(c2, cost);
+        assert!(shared.stats().entries > 0);
     }
 
     #[test]

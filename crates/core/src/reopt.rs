@@ -520,7 +520,7 @@ impl<'a> ReOptimizer<'a> {
         let last_round = rounds
             .last()
             .ok_or_else(|| Error::internal("re-optimization loop produced zero rounds"))?;
-        let final_plan = if !converged && self.config.pick_best_on_stop {
+        let (final_plan, final_validated_cost) = if !converged && self.config.pick_best_on_stop {
             // §5.4: under the final Γ, the cheapest of the generated plans.
             let mut best: Option<(f64, &PhysicalPlan)> = None;
             for r in &rounds {
@@ -529,10 +529,15 @@ impl<'a> ReOptimizer<'a> {
                     best = Some((cost, &r.plan));
                 }
             }
-            best.map(|(_, p)| p.clone())
-                .unwrap_or_else(|| last_round.plan.clone())
+            match best {
+                Some((cost, p)) => (p.clone(), cost),
+                None => (last_round.plan.clone(), last_round.validated_cost),
+            }
         } else {
-            last_round.plan.clone()
+            // Every round records its plan's cost under the then-current Γ;
+            // the terminal round's entry is already the final plan under
+            // the final Γ (no new Δ was merged after it).
+            (last_round.plan.clone(), last_round.validated_cost)
         };
 
         if loop_span.is_recording() {
@@ -543,6 +548,7 @@ impl<'a> ReOptimizer<'a> {
         Ok(ReoptReport {
             rounds,
             final_plan,
+            final_validated_cost,
             converged,
             reopt_time: t_start.elapsed(),
             gamma,

@@ -63,6 +63,9 @@ pub struct ReoptReport {
     pub rounds: Vec<RoundReport>,
     /// The plan Algorithm 1 returned.
     pub final_plan: PhysicalPlan,
+    /// `final_plan`'s cost under the final Γ — the reference value the
+    /// serving layer's cached-plan re-validation compares against.
+    pub final_validated_cost: f64,
     /// Whether the loop terminated by plan repetition (vs round/time cap).
     pub converged: bool,
     /// Total wall time of the loop (optimize + validate, all rounds).
@@ -269,10 +272,12 @@ mod tests {
     }
 
     fn report(rounds: Vec<RoundReport>) -> ReoptReport {
-        let final_plan = rounds.last().unwrap().plan.clone();
+        let last = rounds.last().unwrap();
+        let (final_plan, final_validated_cost) = (last.plan.clone(), last.validated_cost);
         ReoptReport {
             rounds,
             final_plan,
+            final_validated_cost,
             converged: true,
             reopt_time: Duration::from_micros(100),
             gamma: CardOverrides::new(),

@@ -119,6 +119,17 @@ impl QueryTemplate {
         self.relations.len()
     }
 
+    /// The set of base tables the templated query touches, sorted and
+    /// deduplicated — the serving layer's plan cache indexes entries by
+    /// this set so drift in one table can evict exactly the plans that
+    /// read it.
+    pub fn base_tables(&self) -> Vec<TableId> {
+        let mut tables = self.relations.clone();
+        tables.sort_unstable();
+        tables.dedup();
+        tables
+    }
+
     /// Number of (distinct) join edges.
     pub fn num_joins(&self) -> usize {
         self.joins.len()
@@ -323,6 +334,22 @@ mod tests {
         let t = QueryTemplate::of(&chain(&[0, 0, 0]));
         assert_eq!(t.num_relations(), 3);
         assert_eq!(t.num_joins(), 2);
+        assert_eq!(
+            t.base_tables(),
+            vec![TableId::new(0), TableId::new(1), TableId::new(2)]
+        );
+    }
+
+    #[test]
+    fn base_tables_dedup_self_joins() {
+        let mut qb = QueryBuilder::new();
+        let a = qb.add_relation(TableId::new(5));
+        let b = qb.add_relation(TableId::new(5)); // self-join occurrence
+        let c = qb.add_relation(TableId::new(2));
+        qb.add_join(ColRef::new(a, ColId::new(1)), ColRef::new(b, ColId::new(1)));
+        qb.add_join(ColRef::new(b, ColId::new(1)), ColRef::new(c, ColId::new(1)));
+        let t = QueryTemplate::of(&qb.build());
+        assert_eq!(t.base_tables(), vec![TableId::new(2), TableId::new(5)]);
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //! complexity of sharing them.
 
 use reopt_common::hash::FxHasher;
-use reopt_common::{FxHashMap, RelSet};
+use reopt_common::{FxHashMap, RelSet, TableId};
 use reopt_executor::{RowSet, SubtreeCache};
 use reopt_plan::{PhysicalPlan, Predicate, Query};
 use reopt_storage::{DataVersion, Value};
@@ -62,6 +62,11 @@ pub struct SampleRunCache {
     /// serve several queries whose relation sets overlap but differ in
     /// predicates.
     validated: FxHashMap<(RelSet, u64, DataVersion), f64>,
+    /// Base tables covered by each fingerprint, recorded when the
+    /// fingerprint is computed. Lets a partial sample refresh migrate
+    /// entries whose tables were untouched instead of dropping the whole
+    /// cache (see [`SampleRunCache::migrate_version`]).
+    tables_of: FxHashMap<u64, Vec<TableId>>,
     /// The data version qualifying every lookup and store.
     version: DataVersion,
     hits: usize,
@@ -125,6 +130,83 @@ impl SampleRunCache {
     pub fn clear(&mut self) {
         self.results.clear();
         self.validated.clear();
+        self.tables_of.clear();
+    }
+
+    /// Remember which base tables `fp` covers (first sighting wins — the
+    /// fingerprint already folds the tables in, so later sightings agree).
+    fn note_tables(&mut self, fp: u64, query: &Query, plan: &PhysicalPlan) {
+        self.tables_of.entry(fp).or_insert_with(|| {
+            let mut tables: Vec<TableId> = plan
+                .relset()
+                .iter()
+                .filter_map(|rel| query.table_of(rel).ok())
+                .collect();
+            tables.sort_unstable();
+            tables.dedup();
+            tables
+        });
+    }
+
+    /// Surgical-refresh migration: re-key every entry recorded at `from`
+    /// to `to` when its fingerprint touches none of the `refreshed` base
+    /// tables, and drop the rest — their sample rows were redrawn.
+    /// Untouched tables' samples are pointer-identical across a
+    /// [`crate::SampleStore::refresh_tables`], so a migrated entry's rows
+    /// are exactly what a fresh dry-run at `to` would produce. Entries
+    /// whose fingerprint was never sighted via [`SubtreeCache::fingerprint`]
+    /// are dropped conservatively. Returns `(kept, dropped)`.
+    pub fn migrate_version(
+        &mut self,
+        from: DataVersion,
+        to: DataVersion,
+        refreshed: &[TableId],
+    ) -> (usize, usize) {
+        if from == to {
+            return (0, 0);
+        }
+        let survives = |tables_of: &FxHashMap<u64, Vec<TableId>>, fp: u64| {
+            tables_of
+                .get(&fp)
+                .is_some_and(|ts| ts.iter().all(|t| !refreshed.contains(t)))
+        };
+        let mut kept = 0usize;
+        let mut dropped = 0usize;
+        let result_keys: Vec<_> = self
+            .results
+            // lint: ordered-ok(re-keying is per-entry; visit order is irrelevant)
+            .keys()
+            .filter(|k| k.2 == from)
+            .copied()
+            .collect();
+        for key in result_keys {
+            if let Some(rows) = self.results.remove(&key) {
+                if survives(&self.tables_of, key.1) {
+                    self.results.insert((key.0, key.1, to), rows);
+                    kept += 1;
+                } else {
+                    dropped += 1;
+                }
+            }
+        }
+        let validated_keys: Vec<_> = self
+            .validated
+            // lint: ordered-ok(re-keying is per-entry; visit order is irrelevant)
+            .keys()
+            .filter(|k| k.2 == from)
+            .copied()
+            .collect();
+        for key in validated_keys {
+            if let Some(est) = self.validated.remove(&key) {
+                if survives(&self.tables_of, key.1) {
+                    self.validated.insert((key.0, key.1, to), est);
+                    kept += 1;
+                } else {
+                    dropped += 1;
+                }
+            }
+        }
+        (kept, dropped)
     }
 }
 
@@ -239,12 +321,26 @@ impl SharedSampleRunCache {
     pub fn clear(&self) {
         self.lock().clear();
     }
+
+    /// Surgical-refresh migration across all sharers — see
+    /// [`SampleRunCache::migrate_version`]. Returns `(kept, dropped)`.
+    pub fn migrate_version(
+        &self,
+        from: DataVersion,
+        to: DataVersion,
+        refreshed: &[TableId],
+    ) -> (usize, usize) {
+        self.lock().migrate_version(from, to, refreshed)
+    }
 }
 
 impl SubtreeCache for SharedSampleRunCache {
     fn fingerprint(&mut self, query: &Query, plan: &PhysicalPlan) -> Option<u64> {
-        // Pure computation — no lock needed.
-        Some(subtree_fingerprint(query, plan))
+        let fp = subtree_fingerprint(query, plan);
+        // Record the covered base tables so a partial sample refresh can
+        // tell which entries survive (see `migrate_version`).
+        self.lock().note_tables(fp, query, plan);
+        Some(fp)
     }
 
     fn lookup(&mut self, set: RelSet, fp: u64) -> Option<RowSet> {
@@ -295,7 +391,9 @@ impl ValidationCache for SharedSampleRunCache {
 
 impl SubtreeCache for SampleRunCache {
     fn fingerprint(&mut self, query: &Query, plan: &PhysicalPlan) -> Option<u64> {
-        Some(subtree_fingerprint(query, plan))
+        let fp = subtree_fingerprint(query, plan);
+        self.note_tables(fp, query, plan);
+        Some(fp)
     }
 
     fn lookup(&mut self, set: RelSet, fp: u64) -> Option<RowSet> {
@@ -558,6 +656,51 @@ mod tests {
         assert!(old_session.lookup(set, fp).is_some());
         assert_eq!(old_session.validated_estimate(set, fp), Some(42.0));
         assert_eq!(shared.stats().entries, 1);
+    }
+
+    #[test]
+    fn migrate_version_keeps_disjoint_entries_and_drops_touched_ones() {
+        use reopt_executor::SubtreeCache as _;
+        let q = chain_query(3);
+        let p01 = join(JoinAlgo::Hash, scan(0), scan(1), 0, 1);
+        let p12 = join(JoinAlgo::Hash, scan(1), scan(2), 1, 2);
+        let shared = SharedSampleRunCache::new();
+        let mut h = shared.clone();
+        ValidationCache::set_data_version(&mut h, DataVersion::new(1));
+        let fp01 = h.fingerprint(&q, &p01).unwrap();
+        let fp12 = h.fingerprint(&q, &p12).unwrap();
+        h.store(p01.relset(), fp01, &RowSet::single(RelId::new(0), vec![0]));
+        h.store(p12.relset(), fp12, &RowSet::single(RelId::new(1), vec![1]));
+        h.record_validated(p01.relset(), fp01, 10.0);
+        h.record_validated(p12.relset(), fp12, 20.0);
+        // Table 2 was refreshed: the {1,2} entries die, the {0,1} migrate.
+        let (kept, dropped) =
+            shared.migrate_version(DataVersion::new(1), DataVersion::new(2), &[TableId::new(2)]);
+        assert_eq!((kept, dropped), (2, 2));
+        let mut at2 = shared.clone();
+        ValidationCache::set_data_version(&mut at2, DataVersion::new(2));
+        assert!(at2.lookup(p01.relset(), fp01).is_some());
+        assert_eq!(at2.validated_estimate(p01.relset(), fp01), Some(10.0));
+        assert!(at2.lookup(p12.relset(), fp12).is_none());
+        assert!(at2.validated_estimate(p12.relset(), fp12).is_none());
+        // Nothing is left behind at the old version either.
+        let mut at1 = shared.clone();
+        ValidationCache::set_data_version(&mut at1, DataVersion::new(1));
+        assert!(at1.lookup(p01.relset(), fp01).is_none());
+        assert!(at1.lookup(p12.relset(), fp12).is_none());
+    }
+
+    #[test]
+    fn migrate_version_drops_unsighted_fingerprints() {
+        // An entry stored without ever passing through `fingerprint` has
+        // no recorded table set and must be dropped conservatively.
+        let mut cache = SampleRunCache::new();
+        cache.set_data_version(DataVersion::new(1));
+        let set = RelSet::single(RelId::new(0));
+        cache.store(set, 0xdead, &RowSet::single(RelId::new(0), vec![0]));
+        let (kept, dropped) =
+            cache.migrate_version(DataVersion::new(1), DataVersion::new(2), &[TableId::new(9)]);
+        assert_eq!((kept, dropped), (0, 1));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use rand::RngExt;
 use reopt_common::rng::derive_rng;
 use reopt_common::{Error, FxHashMap, Result, TableId};
-use reopt_storage::{DataVersion, Database};
+use reopt_storage::{DataVersion, Database, Table};
 
 /// Sampling configuration.
 #[derive(Debug, Clone)]
@@ -66,26 +66,7 @@ impl SampleStore {
         let mut sample_db = Database::new();
         let mut scale: FxHashMap<TableId, f64> = FxHashMap::default();
         for table in db.tables() {
-            let full_rows = table.row_count();
-            let rows: Vec<u32> = if full_rows <= config.small_table_rows || config.ratio >= 1.0 {
-                (0..full_rows as u32).collect()
-            } else {
-                let mut rng = derive_rng(config.seed, &format!("sample:{}", table.name()));
-                let mut drawn: Vec<u32> = (0..full_rows as u32)
-                    .filter(|_| rng.random_bool(config.ratio))
-                    .collect();
-                if drawn.is_empty() {
-                    // Tiny ratios can draw nothing; keep one row so the
-                    // scale invariant holds against the materialized table.
-                    drawn.push(rng.random_range(0..full_rows as u32));
-                }
-                drawn
-            };
-            let factor = if rows.is_empty() {
-                1.0 // empty base table: empty sample, nothing to scale
-            } else {
-                full_rows as f64 / rows.len() as f64
-            };
+            let (rows, factor) = draw_rows(table, &config);
             scale.insert(table.id(), factor);
             let name = format!("{}__sample", table.name());
             sample_db.add_table_with(|id| table.subset(id, name, &rows))?;
@@ -94,6 +75,40 @@ impl SampleStore {
             sample_db,
             scale,
             config,
+            data_version: db.data_version(),
+        })
+    }
+
+    /// Redraw samples for `tables` only, reusing every other table's
+    /// sample `Arc` verbatim — the serving layer's surgical reaction to
+    /// per-table drift. The draw is the same seed-derived Bernoulli as
+    /// [`SampleStore::build`], so a refreshed table's sample is
+    /// bit-identical to what a full rebuild over `db` would produce.
+    ///
+    /// The returned store is stamped with `db`'s current [`DataVersion`];
+    /// untouched tables keep describing the data state they were drawn at,
+    /// which is exactly the under-threshold staleness the drift monitor
+    /// already tolerates for them.
+    pub fn refresh_tables(&self, db: &Database, tables: &[TableId]) -> Result<SampleStore> {
+        let mut sample_db = self.sample_db.clone();
+        let mut scale = self.scale.clone();
+        let mut todo: Vec<TableId> = tables.to_vec();
+        todo.sort_unstable();
+        todo.dedup();
+        for &tid in &todo {
+            let table = db.table(tid)?;
+            let (rows, factor) = draw_rows(table, &self.config);
+            // Sample tables carry their base table's id and a derived
+            // name; both must already exist — refreshing a table the
+            // store never sampled is a caller bug, not a growth path.
+            let name = sample_db.table(tid)?.name().to_owned();
+            sample_db.replace_table(table.subset(tid, name, &rows)?)?;
+            scale.insert(tid, factor);
+        }
+        Ok(SampleStore {
+            sample_db,
+            scale,
+            config: self.config.clone(),
             data_version: db.data_version(),
         })
     }
@@ -126,6 +141,34 @@ impl SampleStore {
     pub fn data_version(&self) -> DataVersion {
         self.data_version
     }
+}
+
+/// One table's Bernoulli draw: the retained row indices plus the exact
+/// scale factor `full_rows / sample_rows` (1.0 for full copies and empty
+/// tables). Deterministic per `(seed, table name)`, so redrawing a single
+/// table reproduces exactly what a whole-database build would draw for it.
+fn draw_rows(table: &Table, config: &SampleConfig) -> (Vec<u32>, f64) {
+    let full_rows = table.row_count();
+    let rows: Vec<u32> = if full_rows <= config.small_table_rows || config.ratio >= 1.0 {
+        (0..full_rows as u32).collect()
+    } else {
+        let mut rng = derive_rng(config.seed, &format!("sample:{}", table.name()));
+        let mut drawn: Vec<u32> = (0..full_rows as u32)
+            .filter(|_| rng.random_bool(config.ratio))
+            .collect();
+        if drawn.is_empty() {
+            // Tiny ratios can draw nothing; keep one row so the
+            // scale invariant holds against the materialized table.
+            drawn.push(rng.random_range(0..full_rows as u32));
+        }
+        drawn
+    };
+    let factor = if rows.is_empty() {
+        1.0 // empty base table: empty sample, nothing to scale
+    } else {
+        full_rows as f64 / rows.len() as f64
+    };
+    (rows, factor)
 }
 
 #[cfg(test)]
@@ -274,6 +317,93 @@ mod tests {
                 .unwrap()
                 .data()
         );
+    }
+
+    fn multi_table_db(sizes: &[i64]) -> Database {
+        let mut db = Database::new();
+        for (i, n) in sizes.iter().enumerate() {
+            db.add_table_with(|id| {
+                let schema = TableSchema::new(vec![ColumnDef::new("k", LogicalType::Int)])?;
+                let mut t = Table::new(
+                    id,
+                    format!("t{i}"),
+                    schema,
+                    vec![Column::from_i64(LogicalType::Int, (0..*n).collect())],
+                )?;
+                t.create_index(ColId::new(0))?;
+                Ok(t)
+            })
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn refresh_tables_matches_full_rebuild_bit_for_bit() {
+        let mut db = multi_table_db(&[20_000, 20_000, 20_000]);
+        let store = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        // Mutate table 1 only, then refresh just that table.
+        let rows: Vec<Vec<reopt_storage::Value>> = (0..5000)
+            .map(|_| vec![reopt_storage::Value::Int(7)])
+            .collect();
+        db.append_rows(TableId::new(1), &rows).unwrap();
+        let surgical = store.refresh_tables(&db, &[TableId::new(1)]).unwrap();
+        let full = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        for t in 0..3 {
+            let id = TableId::new(t);
+            assert_eq!(
+                surgical
+                    .database()
+                    .table(id)
+                    .unwrap()
+                    .column(ColId::new(0))
+                    .unwrap()
+                    .data(),
+                full.database()
+                    .table(id)
+                    .unwrap()
+                    .column(ColId::new(0))
+                    .unwrap()
+                    .data(),
+                "table {t} sample diverged from full rebuild"
+            );
+            assert_eq!(
+                surgical.scale_factor(id).unwrap(),
+                full.scale_factor(id).unwrap()
+            );
+        }
+        assert_eq!(surgical.data_version(), db.data_version());
+    }
+
+    #[test]
+    fn refresh_tables_reuses_untouched_arcs() {
+        let db = multi_table_db(&[20_000, 20_000]);
+        let store = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        let refreshed = store.refresh_tables(&db, &[TableId::new(0)]).unwrap();
+        let old_t1 = store.database().table_arc(TableId::new(1)).unwrap();
+        let new_t1 = refreshed.database().table_arc(TableId::new(1)).unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(&old_t1, &new_t1),
+            "untouched table's sample Arc was rebuilt"
+        );
+        let old_t0 = store.database().table_arc(TableId::new(0)).unwrap();
+        let new_t0 = refreshed.database().table_arc(TableId::new(0)).unwrap();
+        assert!(
+            !std::sync::Arc::ptr_eq(&old_t0, &new_t0),
+            "refreshed table still shares its old sample Arc"
+        );
+        // Same data, same seed → same draw, even through the new Arc.
+        assert_eq!(
+            old_t0.column(ColId::new(0)).unwrap().data(),
+            new_t0.column(ColId::new(0)).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn refresh_of_unknown_table_errors() {
+        let db = multi_table_db(&[1000]);
+        let store = SampleStore::build(&db, SampleConfig::default()).unwrap();
+        assert!(store.refresh_tables(&db, &[TableId::new(9)]).is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use crate::cache::{subtree_fingerprint, SampleRunCache, ValidationCache};
+use crate::cache::{SampleRunCache, ValidationCache};
 use crate::estimator::scale_up;
 use crate::sampler::SampleStore;
 use reopt_common::{FxHashMap, RelSet, Result};
@@ -185,11 +185,15 @@ fn build_validation<C: ValidationCache>(
 ) -> Result<Validation> {
     // Canonical fingerprint of each subtree, for estimate-cache keys. The
     // trace's relation sets are exactly the plan's node relsets, and
-    // within one plan a relset identifies its subtree uniquely.
+    // within one plan a relset identifies its subtree uniquely. Routed
+    // through the cache's own `fingerprint` so it records each subtree's
+    // base tables for surgical-refresh migration.
     let mut fps: FxHashMap<RelSet, u64> = FxHashMap::default();
-    if cache.is_some() {
+    if let Some(c) = cache.as_mut() {
         plan.visit(&mut |n| {
-            fps.insert(n.relset(), subtree_fingerprint(query, n));
+            if let Some(fp) = c.fingerprint(query, n) {
+                fps.insert(n.relset(), fp);
+            }
         });
     }
     let mut delta = CardOverrides::new();

@@ -20,19 +20,25 @@
 //! by `LeadGuard::drop`, which publishes an [`Error::Service`] so waiters
 //! can retry instead of blocking forever.
 //!
-//! **Eviction.** Entries die two ways: LRU when the cache exceeds its
+//! **Eviction.** Entries die three ways: LRU when the cache exceeds its
 //! capacity (least-recently-touched `Ready` entry goes; in-flight slots
-//! are never evicted), and staleness when the service bumps its statistics
-//! version (re-ANALYZE / sample refresh) — version checks happen lazily on
-//! lookup, so a bump is O(1) and stale plans are re-optimized on next
-//! touch, not en masse.
+//! are never evicted); staleness when the service bumps its statistics
+//! version (re-ANALYZE / full sample refresh) — version checks happen
+//! lazily on lookup, so a bump is O(1) and stale plans are re-optimized on
+//! next touch, not en masse; and *surgically* via
+//! [`PlanCache::evict_tables`] after a partial sample refresh — entries
+//! whose template touches a drifted base table are marked for
+//! re-validation (not dropped: the next admission gets the stale plan back
+//! via [`Admission::Revalidate`] and may cheaply re-admit it when its
+//! re-validated cost still holds), while templates over untouched tables
+//! keep warm-hitting.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
-use reopt_common::{lock_unpoisoned, Error, Result};
+use reopt_common::{lock_unpoisoned, Error, Result, TableId};
 use reopt_plan::PhysicalPlan;
 
 /// A cached re-optimization outcome for one query template.
@@ -50,6 +56,12 @@ pub struct CachedPlan {
     /// Statistics version the plan was computed under; a newer service
     /// version makes the entry stale.
     pub stats_version: u64,
+    /// The plan's cost under the final Γ of the run that produced it —
+    /// the reference value re-validation compares against.
+    pub validated_cost: f64,
+    /// Base tables the template touches (sorted, deduplicated), driving
+    /// per-table eviction.
+    pub base_tables: Vec<TableId>,
 }
 
 /// A single-flight rendezvous: the leader publishes exactly once, waiters
@@ -84,6 +96,10 @@ struct Entry {
     cached: CachedPlan,
     /// Logical clock value of the last touch (monotone; higher = fresher).
     last_used: u64,
+    /// Set by [`PlanCache::evict_tables`]: a base table this plan touches
+    /// had its sample refreshed, so the next admission must re-validate
+    /// the plan before serving it again.
+    revalidate: bool,
 }
 
 #[derive(Debug)]
@@ -103,6 +119,10 @@ pub(crate) enum Admission {
     Wait(Arc<Flight>),
     /// This session leads: compute, then `complete` the guard.
     Lead(LeadGuard),
+    /// This session leads, holding a surgically-evicted plan: re-validate
+    /// `stale` against the fresh samples and either re-admit it or fall
+    /// through to a full re-optimization, then `complete` the guard.
+    Revalidate { guard: LeadGuard, stale: CachedPlan },
 }
 
 /// Leadership token for one in-flight template. The leader must call
@@ -141,39 +161,85 @@ impl Drop for LeadGuard {
     }
 }
 
+/// The cache's interior state: the slots plus two side indexes kept in
+/// lockstep under one lock. All ordered maps/sets (rule R1): eviction and
+/// per-table marking scan them, and ordered walks keep those scans — and
+/// with them which entry dies on an LRU-tick tie — deterministic by
+/// construction.
+#[derive(Debug, Default)]
+struct CacheMap {
+    /// Template fingerprint → slot. The map never exceeds `capacity` +
+    /// in-flight slots, so the `BTreeMap` lookup is noise next to the
+    /// re-optimization it fronts.
+    slots: BTreeMap<u64, Slot>,
+    /// Base table → fingerprints of `Ready` entries touching it — the
+    /// index [`PlanCache::evict_tables`] walks. In-flight slots are
+    /// indexed only once they land (their base tables travel in the
+    /// [`CachedPlan`]).
+    by_table: BTreeMap<TableId, BTreeSet<u64>>,
+    /// Fingerprints whose *in-flight* computation overlapped a surgical
+    /// refresh: the leader validated against the pre-refresh samples but
+    /// will land under an unchanged stats version, so its entry is marked
+    /// for re-validation the moment it becomes `Ready`.
+    pending_revalidate: BTreeSet<u64>,
+}
+
+impl CacheMap {
+    /// Remove a `Ready` slot, unindexing it everywhere. In-flight slots
+    /// are left alone (a leader's pending insert must not be raced away).
+    fn remove_ready(&mut self, fingerprint: u64) -> Option<Entry> {
+        if !matches!(self.slots.get(&fingerprint), Some(Slot::Ready(_))) {
+            return None;
+        }
+        let Some(Slot::Ready(entry)) = self.slots.remove(&fingerprint) else {
+            return None;
+        };
+        for t in &entry.cached.base_tables {
+            if let Some(set) = self.by_table.get_mut(t) {
+                set.remove(&fingerprint);
+                if set.is_empty() {
+                    self.by_table.remove(t);
+                }
+            }
+        }
+        self.pending_revalidate.remove(&fingerprint);
+        Some(entry)
+    }
+}
+
 /// The shared, thread-safe plan cache (see the module docs).
 #[derive(Debug)]
 pub struct PlanCache {
-    /// Fingerprint → slot. Ordered map (rule R1): eviction scans the
-    /// slots, and an ordered walk keeps that scan — and with it which
-    /// entry dies on an LRU-tick tie — deterministic by construction. The
-    /// map never exceeds `capacity` + in-flight slots, so the `BTreeMap`
-    /// lookup is noise next to the re-optimization it fronts.
-    slots: Mutex<BTreeMap<u64, Slot>>,
+    map: Mutex<CacheMap>,
     /// Max `Ready` entries kept; ≥ 1.
     capacity: usize,
     /// Logical LRU clock.
     tick: AtomicU64,
     lru_evictions: AtomicU64,
     stale_evictions: AtomicU64,
+    /// Plans marked for re-validation by [`PlanCache::evict_tables`],
+    /// lifetime total.
+    table_evictions: AtomicU64,
 }
 
 impl PlanCache {
     /// Cache holding at most `capacity` plans (clamped to ≥ 1).
     pub fn new(capacity: usize) -> Self {
         PlanCache {
-            slots: Mutex::new(BTreeMap::new()),
+            map: Mutex::new(CacheMap::default()),
             capacity: capacity.max(1),
             tick: AtomicU64::new(0),
             lru_evictions: AtomicU64::new(0),
             stale_evictions: AtomicU64::new(0),
+            table_evictions: AtomicU64::new(0),
         }
     }
 
-    /// Every mutation under this lock is a single map operation, so a
-    /// panicked sharer cannot leave the map torn: recover from poison.
-    fn lock(&self) -> MutexGuard<'_, BTreeMap<u64, Slot>> {
-        lock_unpoisoned(&self.slots)
+    /// Every mutation under this lock is a handful of map operations kept
+    /// consistent as a unit, so a panicked sharer cannot leave the maps
+    /// torn: recover from poison.
+    fn lock(&self) -> MutexGuard<'_, CacheMap> {
+        lock_unpoisoned(&self.map)
     }
 
     fn next_tick(&self) -> u64 {
@@ -184,6 +250,7 @@ impl PlanCache {
     /// Number of `Ready` plans held (in-flight slots excluded).
     pub fn len(&self) -> usize {
         self.lock()
+            .slots
             .values()
             .filter(|s| matches!(s, Slot::Ready(_)))
             .count()
@@ -207,31 +274,106 @@ impl PlanCache {
         self.stale_evictions.load(Ordering::Relaxed)
     }
 
+    /// Plans marked for re-validation because a base table they touch had
+    /// its sample refreshed, lifetime total.
+    pub fn table_evictions(&self) -> u64 {
+        // lint: relaxed-ok(monotonic telemetry counter; never read to make a control decision)
+        self.table_evictions.load(Ordering::Relaxed)
+    }
+
     /// Drop every `Ready` entry (in-flight computations are left to land;
     /// their results stay usable — they carry their own version).
     pub fn clear(&self) {
-        self.lock().retain(|_, s| matches!(s, Slot::InFlight(_)));
+        let mut map = self.lock();
+        map.slots.retain(|_, s| matches!(s, Slot::InFlight(_)));
+        map.by_table.clear();
+        // A full flush supersedes any pending surgical marks: in-flight
+        // results carry their (now old) stats version and will be stale-
+        // evicted lazily on next touch.
+        map.pending_revalidate.clear();
+    }
+
+    /// Surgical reaction to a partial sample refresh: mark every `Ready`
+    /// entry touching one of `tables` for re-validation (the entry stays
+    /// resident — its next admission returns [`Admission::Revalidate`]),
+    /// and mark every in-flight computation too: a leader mid-flight
+    /// validated against the *pre*-refresh samples, yet its result lands
+    /// under an unchanged stats version, so without the mark it would read
+    /// as fresh forever. Plans over untouched tables are not perturbed.
+    /// Returns the number of plans newly marked.
+    pub fn evict_tables(&self, tables: &[TableId]) -> u64 {
+        let mut map = self.lock();
+        let mut fps: BTreeSet<u64> = BTreeSet::new();
+        for t in tables {
+            if let Some(set) = map.by_table.get(t) {
+                fps.extend(set.iter().copied());
+            }
+        }
+        let mut marked = 0u64;
+        for fp in fps {
+            if let Some(Slot::Ready(entry)) = map.slots.get_mut(&fp) {
+                if !entry.revalidate {
+                    entry.revalidate = true;
+                    marked += 1;
+                }
+            }
+        }
+        let in_flight: Vec<u64> = map
+            .slots
+            .iter()
+            .filter_map(|(fp, s)| matches!(s, Slot::InFlight(_)).then_some(*fp))
+            .collect();
+        for fp in in_flight {
+            if map.pending_revalidate.insert(fp) {
+                marked += 1;
+            }
+        }
+        // lint: relaxed-ok(telemetry counter bumped under the map lock; the lock orders it with the marks it counts)
+        self.table_evictions.fetch_add(marked, Ordering::Relaxed);
+        marked
     }
 
     /// Admission control for `fingerprint` under `stats_version` — decides
     /// hit / wait / lead atomically (one map lock). `self` is taken as
     /// `Arc` because a `Lead` admission hands the cache to the guard.
     pub(crate) fn begin(self: &Arc<Self>, fingerprint: u64, stats_version: u64) -> Admission {
-        let mut slots = self.lock();
+        let mut map = self.lock();
         // Entries *older* than the caller's version are evicted before
         // admission so the fall-through below re-optimizes them. Strictly
         // older, not different: a session that snapshotted the version
         // just before a bump may race a neighbor that already cached the
         // post-bump plan, and evicting that fresher entry would waste a
         // whole re-optimization only to re-insert an already-stale plan.
-        if let Some(Slot::Ready(entry)) = slots.get(&fingerprint) {
+        // A full flush wins over a surgical mark: the removed entry is
+        // gone, not offered for re-validation.
+        if let Some(Slot::Ready(entry)) = map.slots.get(&fingerprint) {
             if entry.cached.stats_version < stats_version {
-                slots.remove(&fingerprint);
-                // lint: relaxed-ok(telemetry counter bumped under the slots lock; the lock orders it with the eviction it counts)
+                map.remove_ready(fingerprint);
+                // lint: relaxed-ok(telemetry counter bumped under the map lock; the lock orders it with the eviction it counts)
                 self.stale_evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        match slots.get_mut(&fingerprint) {
+        // A surgically-marked entry leads a re-validation flight: the
+        // stale plan travels with the guard, the slot flips to in-flight
+        // so concurrent arrivals wait for one verdict instead of each
+        // re-validating.
+        if matches!(map.slots.get(&fingerprint), Some(Slot::Ready(e)) if e.revalidate) {
+            if let Some(entry) = map.remove_ready(fingerprint) {
+                let flight = Arc::new(Flight::default());
+                map.slots
+                    .insert(fingerprint, Slot::InFlight(Arc::clone(&flight)));
+                return Admission::Revalidate {
+                    guard: LeadGuard {
+                        cache: Arc::clone(self),
+                        fingerprint,
+                        flight,
+                        completed: false,
+                    },
+                    stale: entry.cached,
+                };
+            }
+        }
+        match map.slots.get_mut(&fingerprint) {
             Some(Slot::InFlight(flight)) => Admission::Wait(Arc::clone(flight)),
             Some(Slot::Ready(entry)) => {
                 entry.last_used = self.next_tick();
@@ -239,7 +381,8 @@ impl PlanCache {
             }
             None => {
                 let flight = Arc::new(Flight::default());
-                slots.insert(fingerprint, Slot::InFlight(Arc::clone(&flight)));
+                map.slots
+                    .insert(fingerprint, Slot::InFlight(Arc::clone(&flight)));
                 Admission::Lead(LeadGuard {
                     cache: Arc::clone(self),
                     fingerprint,
@@ -252,27 +395,36 @@ impl PlanCache {
 
     fn finish_flight(&self, fingerprint: u64, flight: &Arc<Flight>, result: Result<CachedPlan>) {
         {
-            let mut slots = self.lock();
+            let mut map = self.lock();
             // Only touch the slot if it still belongs to this flight — a
             // failed leader's slot may have been re-claimed by a retry.
             let ours = matches!(
-                slots.get(&fingerprint),
+                map.slots.get(&fingerprint),
                 Some(Slot::InFlight(f)) if Arc::ptr_eq(f, flight)
             );
             if ours {
                 match &result {
                     Ok(cached) => {
-                        slots.insert(
+                        // A surgical refresh that raced this flight left a
+                        // pending mark: the fresh entry starts life
+                        // needing re-validation.
+                        let revalidate = map.pending_revalidate.remove(&fingerprint);
+                        for t in &cached.base_tables {
+                            map.by_table.entry(*t).or_default().insert(fingerprint);
+                        }
+                        map.slots.insert(
                             fingerprint,
                             Slot::Ready(Entry {
                                 cached: cached.clone(),
                                 last_used: self.next_tick(),
+                                revalidate,
                             }),
                         );
-                        self.evict_over_capacity(&mut slots);
+                        self.evict_over_capacity(&mut map);
                     }
                     Err(_) => {
-                        slots.remove(&fingerprint);
+                        map.slots.remove(&fingerprint);
+                        map.pending_revalidate.remove(&fingerprint);
                     }
                 }
             }
@@ -285,9 +437,10 @@ impl PlanCache {
     /// evicted — a waiter holds a flight reference, not a map reference,
     /// so eviction could strand nobody anyway, but the leader's pending
     /// insert must not be raced away.
-    fn evict_over_capacity(&self, slots: &mut BTreeMap<u64, Slot>) {
+    fn evict_over_capacity(&self, map: &mut CacheMap) {
         loop {
-            let ready = slots
+            let ready = map
+                .slots
                 .iter()
                 .filter_map(|(fp, s)| match s {
                     Slot::Ready(e) => Some((*fp, e.last_used)),
@@ -298,8 +451,8 @@ impl PlanCache {
                 return;
             }
             if let Some(&(victim, _)) = ready.iter().min_by_key(|(_, used)| *used) {
-                slots.remove(&victim);
-                // lint: relaxed-ok(telemetry counter bumped under the slots lock; the lock orders it with the eviction it counts)
+                map.remove_ready(victim);
+                // lint: relaxed-ok(telemetry counter bumped under the map lock; the lock orders it with the eviction it counts)
                 self.lru_evictions.fetch_add(1, Ordering::Relaxed);
             } else {
                 return;
@@ -327,6 +480,8 @@ mod tests {
             converged: true,
             reopt_time: Duration::ZERO,
             stats_version: 0,
+            validated_cost: 1.0,
+            base_tables: vec![TableId::new(rel)],
         }
     }
 
@@ -445,6 +600,66 @@ mod tests {
             other => panic!("straggler must warm-hit, got {other:?}"),
         }
         assert_eq!(cache.stale_evictions(), 0);
+    }
+
+    #[test]
+    fn evict_tables_marks_only_touching_plans() {
+        let cache = Arc::new(PlanCache::new(8));
+        lead(&cache, 1).complete(Ok(plan(0))); // touches table 0
+        lead(&cache, 2).complete(Ok(plan(1))); // touches table 1
+        assert_eq!(cache.evict_tables(&[TableId::new(0)]), 1);
+        assert_eq!(cache.table_evictions(), 1);
+        // The untouched template keeps warm-hitting…
+        assert!(matches!(cache.begin(2, 0), Admission::Hit(_)));
+        // …while the touched one leads a re-validation flight carrying
+        // the stale plan.
+        match cache.begin(1, 0) {
+            Admission::Revalidate { guard, stale } => {
+                assert_eq!(stale.base_tables, vec![TableId::new(0)]);
+                // Concurrent arrivals wait on the verdict.
+                assert!(matches!(cache.begin(1, 0), Admission::Wait(_)));
+                // Re-admission makes it a plain hit again.
+                guard.complete(Ok(stale));
+            }
+            other => panic!("expected Revalidate, got {other:?}"),
+        }
+        assert!(matches!(cache.begin(1, 0), Admission::Hit(_)));
+        // Marking is idempotent per mark: re-marking an already-marked
+        // plan counts nothing new.
+        cache.evict_tables(&[TableId::new(0)]);
+        cache.evict_tables(&[TableId::new(0)]);
+        assert_eq!(cache.table_evictions(), 2);
+    }
+
+    #[test]
+    fn evict_tables_marks_in_flight_computations() {
+        // A leader that was admitted before the refresh validated against
+        // the old samples but lands under the same stats version — it
+        // must not read as fresh.
+        let cache = Arc::new(PlanCache::new(8));
+        let guard = lead(&cache, 4);
+        assert_eq!(cache.evict_tables(&[TableId::new(9)]), 1);
+        guard.complete(Ok(plan(0)));
+        assert!(matches!(cache.begin(4, 0), Admission::Revalidate { .. }));
+    }
+
+    #[test]
+    fn full_flush_wins_over_a_surgical_mark() {
+        let cache = Arc::new(PlanCache::new(8));
+        lead(&cache, 5).complete(Ok(plan(0)));
+        cache.evict_tables(&[TableId::new(0)]);
+        // Version bump: the marked entry is dropped outright, not offered
+        // for re-validation against stats it can't survive.
+        assert!(matches!(cache.begin(5, 1), Admission::Lead(_)));
+        assert_eq!(cache.stale_evictions(), 1);
+    }
+
+    #[test]
+    fn evict_tables_ignores_untracked_tables() {
+        let cache = Arc::new(PlanCache::new(8));
+        lead(&cache, 1).complete(Ok(plan(0)));
+        assert_eq!(cache.evict_tables(&[TableId::new(42)]), 0);
+        assert!(matches!(cache.begin(1, 0), Admission::Hit(_)));
     }
 
     #[test]

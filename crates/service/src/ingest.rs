@@ -15,10 +15,17 @@
 //! 3. **Measure drift** against the *baseline* — the statistics the cached
 //!    plans were last validated under, not the previous ingest's — so
 //!    small ingests accumulate instead of each hiding below the threshold.
-//! 4. **Refresh if over threshold.** Samples are redrawn from the new
-//!    data, the engine is swapped, the baseline re-anchored, and
-//!    [`QueryService::bump_stats_version`] lazily evicts every cached plan
-//!    and dry-run row set — no manual bump required, which is the point.
+//! 4. **Refresh surgically if over threshold.** Only the *drifted*
+//!    tables' samples are redrawn ([`SampleStore::refresh_tables`] — the
+//!    rest keep their `Arc`s), the engine is swapped, the drifted tables'
+//!    baseline entries re-anchored, and the reaction stays proportional:
+//!    cached plans touching a drifted table are marked for re-validation
+//!    ([`QueryService::evict_tables`]), shared dry-run entries touching
+//!    only untouched tables are migrated to the new data version instead
+//!    of dropped, and the statistics version does **not** move — plans
+//!    and entries over untouched tables keep serving warm.
+//!    [`QueryService::bump_stats_version`] (or
+//!    [`QueryService::refresh_full`]) remains the full-flush fallback.
 //!    Under the threshold the new data and statistics go live immediately
 //!    while samples and cached plans keep serving (their validations still
 //!    describe the distribution to within the threshold).
@@ -30,9 +37,9 @@
 use std::sync::Arc;
 
 use crate::service::QueryService;
-use reopt_common::{lock_unpoisoned, Result, TableId};
+use reopt_common::{lock_unpoisoned, Error, Result, TableId};
 use reopt_sampling::SampleStore;
-use reopt_stats::{analyze_incremental, database_drift};
+use reopt_stats::{analyze_incremental, database_drift, DatabaseStats};
 use reopt_storage::{DataVersion, Database, Value};
 use reopt_telemetry::{names, QueryTrace};
 
@@ -45,11 +52,19 @@ pub struct DriftConfig {
     /// [`reopt_stats::drift`]); 0.25 means "a quarter of the distribution
     /// moved".
     pub threshold: f64,
-    /// Automatically rebuild samples and evict stale plans when the
-    /// threshold is crossed (on by default). Off means ingests only
-    /// report drift; eviction waits for a manual
+    /// Automatically refresh drifted tables' samples and mark their plans
+    /// for re-validation when the threshold is crossed (on by default).
+    /// Off means ingests only report drift; eviction waits for a manual
+    /// [`QueryService::evict_tables`] /
     /// [`QueryService::bump_stats_version`].
     pub auto_refresh: bool,
+    /// Acceptance band for cached-plan re-validation: a surgically-evicted
+    /// plan is re-admitted without re-optimization when its re-validated
+    /// cost is within this factor of the cached cost *in both directions*
+    /// (`new ≤ old·r` and `old ≤ new·r`). `None` disables the tier —
+    /// every surgically-evicted plan re-optimizes in full. Must be ≥ 1.0;
+    /// 1.0 accepts only an (essentially) unchanged cost.
+    pub revalidate_ratio: Option<f64>,
 }
 
 impl Default for DriftConfig {
@@ -57,7 +72,39 @@ impl Default for DriftConfig {
         DriftConfig {
             threshold: 0.25,
             auto_refresh: true,
+            revalidate_ratio: Some(2.0),
         }
+    }
+}
+
+impl DriftConfig {
+    /// Reject configurations that would silently misbehave: a NaN
+    /// threshold makes `drift >= threshold` always false (auto-refresh
+    /// off with no diagnostic), a negative threshold pretends to be
+    /// stricter than "refresh on every ingest" but isn't, and a
+    /// re-validation ratio below 1.0 (or NaN) can never accept.
+    pub fn validate(&self) -> Result<()> {
+        if self.threshold.is_nan() {
+            return Err(Error::invalid(
+                "drift threshold is NaN: `drift >= NaN` is always false, which would \
+                 silently disable auto-refresh",
+            ));
+        }
+        if self.threshold < 0.0 {
+            return Err(Error::invalid(format!(
+                "drift threshold {} is negative; use 0.0 to refresh on every ingest",
+                self.threshold
+            )));
+        }
+        if let Some(r) = self.revalidate_ratio {
+            if r.is_nan() || r < 1.0 {
+                return Err(Error::invalid(format!(
+                    "revalidate_ratio {r} must be ≥ 1.0 (1.0 accepts only an unchanged \
+                     cost; use None to disable re-validation)"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -83,18 +130,67 @@ pub struct IngestReport {
     /// Worst per-table drift versus the validation baseline, after this
     /// ingest.
     pub drift: f64,
-    /// Whether this ingest crossed the threshold and refreshed: samples
-    /// redrawn, engine swapped, cached plans + dry-run row sets evicted.
+    /// Tables whose drift score reached the threshold (in `TableId`
+    /// order), whether or not auto-refresh acted on them.
+    pub drifted_tables: Vec<TableId>,
+    /// Whether this ingest crossed the threshold and refreshed
+    /// surgically: drifted tables' samples redrawn, engine swapped, plans
+    /// touching them marked for re-validation.
     pub refreshed: bool,
-    /// The service's statistics version after this ingest (bumped iff
-    /// `refreshed`).
+    /// The service's statistics version after this ingest. A surgical
+    /// refresh does *not* bump it — only a full flush
+    /// ([`QueryService::refresh_full`] /
+    /// [`QueryService::bump_stats_version`]) does.
     pub stats_version: u64,
     /// Span trace of this ingest, present iff tracing is on (see
     /// [`crate::ServiceConfig::trace`]).
     pub trace: Option<Arc<QueryTrace>>,
 }
 
+/// The post-refresh validation baseline: refreshed tables restart from
+/// the fresh statistics, everything else keeps its old baseline entry so
+/// drift on untouched tables continues to accumulate. Tables new since
+/// the old baseline start fresh.
+fn reanchor_baseline(
+    old: &DatabaseStats,
+    fresh: &DatabaseStats,
+    refreshed: &[TableId],
+) -> Result<DatabaseStats> {
+    let tables = fresh
+        .tables()
+        .iter()
+        .map(|t| {
+            if refreshed.contains(&t.table) {
+                t.clone()
+            } else {
+                old.table(t.table).cloned().unwrap_or_else(|_| t.clone())
+            }
+        })
+        .collect();
+    DatabaseStats::new(tables)
+}
+
 impl QueryService {
+    /// Full-flush fallback to the surgical drift reaction: rebuild *all*
+    /// samples from the live data, re-anchor the whole baseline, and bump
+    /// the statistics version (lazily evicting every cached plan and
+    /// dry-run row set). Returns the new statistics version.
+    pub fn refresh_full(&self) -> Result<u64> {
+        let mut st = lock_unpoisoned(&self.state);
+        let db = Arc::clone(st.engine.db());
+        let stats = Arc::clone(st.engine.stats());
+        let samples = Arc::new(SampleStore::build(
+            &db,
+            st.engine.samples().config().clone(),
+        )?);
+        st.engine = st.engine.with_data(db, Arc::clone(&stats), samples);
+        st.baseline = stats;
+        drop(st);
+        let v = self.bump_stats_version();
+        self.registry.add("ingest.refreshes", 1);
+        Ok(v)
+    }
+
     /// Append typed rows to `table`, then run the drift loop (see the
     /// module docs). The batch is validated before anything mutates; an
     /// invalid row leaves the service entirely untouched.
@@ -144,14 +240,19 @@ impl QueryService {
         let mut drift_span = sub.span(names::INGEST_DRIFT);
         let report = database_drift(&st.baseline, &inc.stats);
         let drift = report.max();
-        let refresh = self.drift.auto_refresh && drift >= self.drift.threshold;
+        let drifted = report.over(self.drift.threshold);
+        // Baseline-only tables (dropped from the database) score 1.0 but
+        // have no samples to redraw; react to tables that still exist.
+        let refreshable: Vec<TableId> = drifted
+            .iter()
+            .copied()
+            .filter(|&t| db.table(t).is_ok())
+            .collect();
+        let refresh = self.drift.auto_refresh && !refreshable.is_empty();
         if drift_span.is_recording() {
             drift_span.attr_f64("max", drift);
             drift_span.attr_f64("threshold", self.drift.threshold);
-            drift_span.attr_u64(
-                "tables_over",
-                report.over(self.drift.threshold).len() as u64,
-            );
+            drift_span.attr_u64("tables_over", drifted.len() as u64);
         }
         drop(drift_span);
 
@@ -159,24 +260,36 @@ impl QueryService {
         let stats = Arc::new(inc.stats);
         let stats_version = if refresh {
             let mut refresh_span = sub.span(names::INGEST_REFRESH);
-            let samples = Arc::new(SampleStore::build(
-                &db,
-                st.engine.samples().config().clone(),
-            )?);
+            // Redraw only the drifted tables' samples; the rest keep their
+            // `Arc`s, so their dry-run results stay bit-identical.
+            let old_samples_version = st.engine.samples().data_version();
+            let samples = Arc::new(st.engine.samples().refresh_tables(&db, &refreshable)?);
+            // Re-anchor the baseline per-table: drifted tables restart
+            // their drift accumulation from the fresh statistics; the
+            // untouched tables' plans were *not* refreshed, so their drift
+            // keeps accumulating against the original baseline.
+            st.baseline = Arc::new(reanchor_baseline(&st.baseline, &stats, &refreshable)?);
             st.engine = st
                 .engine
                 .with_data(Arc::clone(&db), Arc::clone(&stats), samples);
-            st.baseline = Arc::clone(&stats);
             drop(st);
             // After the lock: eviction touches only the plan cache and the
             // shared sample cache, and new admissions may already use the
-            // fresh engine.
-            let v = self.bump_stats_version();
+            // fresh engine. The statistics version does NOT move — plans
+            // over untouched tables stay warm.
+            let plans_marked = self.evict_tables(&refreshable);
+            let (entries_kept, entries_dropped) =
+                self.migrate_sample_cache(old_samples_version, stamp, &refreshable);
             self.registry.add("ingest.refreshes", 1);
+            self.registry
+                .add("ingest.tables_refreshed", refreshable.len() as u64);
             if refresh_span.is_recording() {
-                refresh_span.attr_u64("stats_version", v);
+                refresh_span.attr_u64("tables_refreshed", refreshable.len() as u64);
+                refresh_span.attr_u64("plans_evicted", plans_marked);
+                refresh_span.attr_u64("sample_entries_kept", entries_kept as u64);
+                refresh_span.attr_u64("sample_entries_dropped", entries_dropped as u64);
             }
-            v
+            self.stats_version()
         } else {
             // Under threshold: fresh data + statistics go live, samples
             // and cached plans keep serving. The engine's samples keep
@@ -223,6 +336,7 @@ impl QueryService {
             tables_merged: inc.tables_merged,
             tables_rescanned: inc.tables_rescanned,
             drift,
+            drifted_tables: drifted,
             refreshed: refresh,
             stats_version,
             trace: if tracer.is_enabled() {

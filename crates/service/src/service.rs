@@ -4,13 +4,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::cache::{Admission, CachedPlan, PlanCache};
+use crate::cache::{Admission, CachedPlan, LeadGuard, PlanCache};
 use crate::ingest::DriftConfig;
-use reopt_common::{lock_unpoisoned, Result, Stopwatch};
+use reopt_common::{lock_unpoisoned, Result, Stopwatch, TableId};
 use reopt_core::{MidQueryStats, ReOptConfig, ReoptEngine};
 use reopt_executor::{ExecOpts, Executor, QueryOutput};
 use reopt_optimizer::OptimizerConfig;
-use reopt_plan::{template_fingerprint, PhysicalPlan, Query};
+use reopt_plan::{PhysicalPlan, Query, QueryTemplate};
 use reopt_sampling::{SampleCacheStats, SampleConfig, SharedSampleRunCache};
 use reopt_stats::{AnalyzeOpts, DatabaseStats};
 use reopt_storage::Database;
@@ -77,6 +77,10 @@ pub enum PlanSource {
     /// Another session was already re-optimizing this template; this one
     /// blocked on its result (single-flight).
     Coalesced,
+    /// A surgically-evicted plan was re-validated against the fresh
+    /// samples (one dry run, no re-optimization loop) and re-admitted —
+    /// its cost still held within [`DriftConfig::revalidate_ratio`].
+    Revalidated,
 }
 
 /// What a session gets back for one query.
@@ -96,6 +100,10 @@ pub struct ServiceResponse {
     /// Wall time of that re-optimization (zero only if the loop was
     /// degenerate; warm hits report the *original* cost, not their own).
     pub reopt_time: Duration,
+    /// The plan's validated cost: under the final Γ of the loop that
+    /// produced it, or — for [`PlanSource::Revalidated`] — under the fresh
+    /// Δ of the re-validation dry run.
+    pub validated_cost: f64,
     /// Service-side latency of *this* submission, admission to response.
     pub latency: Duration,
     /// The finished span trace of this submission, present iff tracing was
@@ -127,6 +135,14 @@ pub struct ServiceStats {
     pub lru_evictions: u64,
     /// Plans evicted because statistics moved underneath them.
     pub stale_evictions: u64,
+    /// Plans marked for re-validation because a base table they touch had
+    /// its sample surgically refreshed.
+    pub table_evictions: u64,
+    /// Cached-plan re-validations attempted (dry run + re-cost, no loop).
+    pub revalidations: u64,
+    /// Re-validations that re-admitted the cached plan, saving a full
+    /// re-optimization.
+    pub revalidations_saved: u64,
     /// Templates currently cached.
     pub cached_templates: usize,
     /// Current statistics version.
@@ -175,16 +191,22 @@ pub struct QueryService {
     coalesced: AtomicU64,
     reopts_run: AtomicU64,
     errors: AtomicU64,
+    revalidations: AtomicU64,
+    revalidations_saved: AtomicU64,
     pub(crate) registry: MetricsRegistry,
     trace_default: bool,
     pub(crate) drift: DriftConfig,
 }
 
 impl QueryService {
-    /// Service over a pre-built engine.
-    pub fn new(engine: ReoptEngine, config: ServiceConfig) -> Self {
+    /// Service over a pre-built engine. Errors when the drift
+    /// configuration is invalid (NaN or negative threshold, bad
+    /// re-validation ratio) — a silent bad threshold would disable
+    /// auto-refresh with no diagnostic.
+    pub fn new(engine: ReoptEngine, config: ServiceConfig) -> Result<Self> {
+        config.drift.validate()?;
         let baseline = Arc::clone(engine.stats());
-        QueryService {
+        Ok(QueryService {
             state: Mutex::new(EngineState { engine, baseline }),
             plans: Arc::new(PlanCache::new(config.plan_cache_capacity)),
             sample_cache: SharedSampleRunCache::new(),
@@ -206,12 +228,14 @@ impl QueryService {
             coalesced: AtomicU64::new(0),
             reopts_run: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            revalidations: AtomicU64::new(0),
+            revalidations_saved: AtomicU64::new(0),
             registry: MetricsRegistry::new(),
             // Like the executor knobs above: consult REOPT_TRACE once at
             // construction, never per submission.
             trace_default: config.trace.unwrap_or_else(env_trace_default),
             drift: config.drift,
-        }
+        })
     }
 
     /// Bootstrap a service from raw tables: ANALYZE, sample, serve.
@@ -221,6 +245,7 @@ impl QueryService {
         sample: SampleConfig,
         config: ServiceConfig,
     ) -> Result<Self> {
+        config.drift.validate()?;
         let engine = ReoptEngine::from_database_with_configs(
             db,
             analyze,
@@ -228,7 +253,7 @@ impl QueryService {
             config.optimizer.clone(),
             config.reopt.clone(),
         )?;
-        Ok(Self::new(engine, config))
+        Self::new(engine, config)
     }
 
     /// A snapshot of the engine the service currently plans with. Owned
@@ -300,7 +325,8 @@ impl QueryService {
         // Validate up front: a malformed query must fail identically
         // whether its template is cached or not.
         query.validate(engine.db())?;
-        let template = template_fingerprint(query);
+        let tmpl = QueryTemplate::of(query);
+        let template = tmpl.fingerprint();
         let version = self.stats_version.load(Ordering::Acquire);
         let mut adm_span = sub.span(names::SERVICE_ADMISSION);
         if adm_span.is_recording() {
@@ -331,33 +357,25 @@ impl QueryService {
             Admission::Lead(guard) => {
                 adm_span.attr_str("source", "cold_miss");
                 drop(adm_span);
-                // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
-                self.reopts_run.fetch_add(1, Ordering::Relaxed);
-                let outcome = if self.share_sample_runs {
-                    engine.reoptimize_shared_traced(query, &self.sample_cache, &sub)
-                } else {
-                    engine.reoptimize_traced(query, &sub)
-                };
-                match outcome {
-                    Ok(report) => {
-                        self.record_reopt(&report);
-                        let cached = CachedPlan {
-                            plan: Arc::new(report.final_plan),
-                            rounds: report.rounds.len(),
-                            converged: report.converged,
-                            reopt_time: report.reopt_time,
-                            stats_version: version,
-                        };
+                self.lead_reoptimize(query, &engine, &tmpl, version, guard, &sub, t0)
+            }
+            Admission::Revalidate { guard, stale } => {
+                adm_span.attr_str("source", "revalidate");
+                drop(adm_span);
+                // Cheapest tier first: one dry run of the stale plan. On
+                // acceptance the plan is re-admitted under the fresh
+                // samples; otherwise (ratio unset, dry-run error, or cost
+                // moved too far) fall through to a full re-optimization —
+                // the guard transfers, so waiters still get one verdict.
+                match self.try_revalidate(query, &engine, &stale, version, &sub) {
+                    Some(cached) => {
                         guard.complete(Ok(cached.clone()));
                         // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
-                        self.cold_misses.fetch_add(1, Ordering::Relaxed);
-                        self.registry.add("service.cold_misses", 1);
-                        Ok(respond(cached, PlanSource::ColdMiss, template, t0))
+                        self.revalidations_saved.fetch_add(1, Ordering::Relaxed);
+                        self.registry.add("plan_cache.revalidations_saved", 1);
+                        Ok(respond(cached, PlanSource::Revalidated, template, t0))
                     }
-                    Err(e) => {
-                        guard.complete(Err(e.clone()));
-                        Err(e)
-                    }
+                    None => self.lead_reoptimize(query, &engine, &tmpl, version, guard, &sub, t0),
                 }
             }
         };
@@ -370,12 +388,114 @@ impl QueryService {
                         PlanSource::ColdMiss => "cold_miss",
                         PlanSource::WarmHit => "warm_hit",
                         PlanSource::Coalesced => "coalesced",
+                        PlanSource::Revalidated => "revalidated",
                     },
                 );
                 root.attr_u64("rounds", resp.rounds as u64);
             }
         }
         out
+    }
+
+    /// Run the full re-optimization loop as the leading session and
+    /// publish the outcome through `guard` — the cold-miss path, also the
+    /// fallback when a re-validation rejects its cached plan.
+    #[allow(clippy::too_many_arguments)]
+    fn lead_reoptimize(
+        &self,
+        query: &Query,
+        engine: &ReoptEngine,
+        tmpl: &QueryTemplate,
+        version: u64,
+        guard: LeadGuard,
+        sub: &Tracer,
+        t0: Stopwatch,
+    ) -> Result<ServiceResponse> {
+        // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
+        self.reopts_run.fetch_add(1, Ordering::Relaxed);
+        let outcome = if self.share_sample_runs {
+            engine.reoptimize_shared_traced(query, &self.sample_cache, sub)
+        } else {
+            engine.reoptimize_traced(query, sub)
+        };
+        match outcome {
+            Ok(report) => {
+                self.record_reopt(&report);
+                let cached = CachedPlan {
+                    plan: Arc::new(report.final_plan),
+                    rounds: report.rounds.len(),
+                    converged: report.converged,
+                    reopt_time: report.reopt_time,
+                    stats_version: version,
+                    validated_cost: report.final_validated_cost,
+                    base_tables: tmpl.base_tables(),
+                };
+                guard.complete(Ok(cached.clone()));
+                // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
+                self.cold_misses.fetch_add(1, Ordering::Relaxed);
+                self.registry.add("service.cold_misses", 1);
+                Ok(respond(
+                    cached,
+                    PlanSource::ColdMiss,
+                    tmpl.fingerprint(),
+                    t0,
+                ))
+            }
+            Err(e) => {
+                guard.complete(Err(e.clone()));
+                Err(e)
+            }
+        }
+    }
+
+    /// The re-validation tier: dry-run `stale`'s plan against the fresh
+    /// samples, re-cost it under the resulting Δ, and re-admit it when the
+    /// new cost is within [`DriftConfig::revalidate_ratio`] of the cached
+    /// one *in both directions* (a plan whose cost collapsed may no longer
+    /// be the best choice either). Returns `None` — meaning "run the full
+    /// loop" — when the ratio is unset, the dry run fails, the costs are
+    /// non-finite, or the cost moved too far.
+    fn try_revalidate(
+        &self,
+        query: &Query,
+        engine: &ReoptEngine,
+        stale: &CachedPlan,
+        version: u64,
+        tracer: &Tracer,
+    ) -> Option<CachedPlan> {
+        let ratio = self.drift.revalidate_ratio?;
+        // lint: relaxed-ok(monotonic telemetry counter; only read by stats(), never drives a control decision)
+        self.revalidations.fetch_add(1, Ordering::Relaxed);
+        self.registry.add("plan_cache.revalidations", 1);
+        let mut span = tracer.span(names::SERVICE_REVALIDATE);
+        let sub = tracer.under(&span);
+        let outcome = if self.share_sample_runs {
+            engine.revalidate_plan_shared(query, &stale.plan, &self.sample_cache, &sub)
+        } else {
+            engine.revalidate_plan(query, &stale.plan, &sub)
+        };
+        let cost = outcome.ok()?;
+        let accepted = cost.is_finite()
+            && stale.validated_cost.is_finite()
+            && cost <= stale.validated_cost * ratio
+            && stale.validated_cost <= cost * ratio;
+        if span.is_recording() {
+            span.attr_f64("cached_cost", stale.validated_cost);
+            span.attr_f64("revalidated_cost", cost);
+            span.attr_bool("accepted", accepted);
+        }
+        if !accepted {
+            return None;
+        }
+        Some(CachedPlan {
+            plan: Arc::clone(&stale.plan),
+            rounds: stale.rounds,
+            converged: stale.converged,
+            reopt_time: stale.reopt_time,
+            stats_version: version,
+            validated_cost: cost,
+            base_tables: stale.base_tables.clone(),
+        })
     }
 
     /// Fold one re-optimization report into the metrics registry.
@@ -527,6 +647,32 @@ impl QueryService {
         v
     }
 
+    /// Surgical reaction to per-table drift: mark every cached plan
+    /// touching one of `tables` for re-validation on its next admission
+    /// (see [`Admission::Revalidate`] and
+    /// [`DriftConfig::revalidate_ratio`]). Plans over untouched tables
+    /// keep warm-hitting, and the statistics version does *not* move —
+    /// this is the proportional alternative to
+    /// [`QueryService::bump_stats_version`]. Returns the number of plans
+    /// newly marked. The ingest path calls this automatically after a
+    /// partial sample refresh; it is public for manual use.
+    pub fn evict_tables(&self, tables: &[TableId]) -> u64 {
+        let marked = self.plans.evict_tables(tables);
+        self.registry.add("plan_cache.table_evictions", marked);
+        marked
+    }
+
+    /// Migrate shared sample-cache entries across a surgical refresh: keep
+    /// (re-key) entries touching only untouched tables, drop the rest.
+    pub(crate) fn migrate_sample_cache(
+        &self,
+        from: reopt_storage::DataVersion,
+        to: reopt_storage::DataVersion,
+        refreshed: &[TableId],
+    ) -> (usize, usize) {
+        self.sample_cache.migrate_version(from, to, refreshed)
+    }
+
     /// Current statistics version.
     pub fn stats_version(&self) -> u64 {
         self.stats_version.load(Ordering::Acquire)
@@ -549,6 +695,11 @@ impl QueryService {
             errors: self.errors.load(Ordering::Relaxed),
             lru_evictions: self.plans.lru_evictions(),
             stale_evictions: self.plans.stale_evictions(),
+            table_evictions: self.plans.table_evictions(),
+            // lint: relaxed-ok(point-in-time telemetry snapshot; each counter is independently monotonic and no cross-counter invariant is promised)
+            revalidations: self.revalidations.load(Ordering::Relaxed),
+            // lint: relaxed-ok(point-in-time telemetry snapshot; each counter is independently monotonic and no cross-counter invariant is promised)
+            revalidations_saved: self.revalidations_saved.load(Ordering::Relaxed),
             cached_templates: self.plans.len(),
             stats_version: self.stats_version(),
             sample_cache: self.sample_cache.stats(),
@@ -572,6 +723,9 @@ impl QueryService {
         snap.set_counter("service.errors", s.errors);
         snap.set_counter("plan_cache.lru_evictions", s.lru_evictions);
         snap.set_counter("plan_cache.stale_evictions", s.stale_evictions);
+        snap.set_counter("plan_cache.table_evictions", s.table_evictions);
+        snap.set_counter("plan_cache.revalidations", s.revalidations);
+        snap.set_counter("plan_cache.revalidations_saved", s.revalidations_saved);
         snap.set_gauge("plan_cache.templates", s.cached_templates as f64);
         snap.set_gauge("service.stats_version", s.stats_version as f64);
         snap.set_gauge(
@@ -634,6 +788,7 @@ fn respond(
         rounds: cached.rounds,
         converged: cached.converged,
         reopt_time: cached.reopt_time,
+        validated_cost: cached.validated_cost,
         latency: t0.elapsed(),
         trace: None,
     }

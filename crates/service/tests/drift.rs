@@ -87,7 +87,16 @@ fn under_threshold_ingest_keeps_cached_plans() {
 
 #[test]
 fn measured_drift_auto_evicts_stale_plans() {
-    let service = service_with(ServiceConfig::default());
+    // revalidate_ratio: None pins the surgical path to a full
+    // re-optimization on the next touch (the re-validation tiers get
+    // their own tests below).
+    let service = service_with(ServiceConfig {
+        drift: DriftConfig {
+            revalidate_ratio: None,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
     let q = {
         let engine = service.engine();
         ott_query(engine.db(), &[0, 0, 0, 1]).unwrap()
@@ -108,10 +117,18 @@ fn measured_drift_auto_evicts_stale_plans() {
         report.drift
     );
     assert!(report.refreshed, "over-threshold drift must refresh");
-    assert_eq!(report.stats_version, 1, "refresh bumps the stats version");
+    assert_eq!(
+        report.drifted_tables,
+        vec![service.engine().db().table_id("ott_lineitem").unwrap()],
+        "exactly the stormed table drifted"
+    );
+    assert_eq!(
+        report.stats_version, 0,
+        "a surgical refresh must NOT bump the global stats version"
+    );
 
-    // The stale plan is evicted on its next touch and re-optimized against
-    // the post-drift samples.
+    // The stale plan is marked on the surgical eviction and re-optimized
+    // against the post-drift samples on its next touch.
     let redo = service.submit(&q).unwrap();
     assert_eq!(
         redo.source,
@@ -119,11 +136,83 @@ fn measured_drift_auto_evicts_stale_plans() {
         "stale plan must not keep serving after measured drift"
     );
     let stats = service.stats();
-    assert!(stats.stale_evictions >= 1, "{stats:?}");
+    assert!(stats.table_evictions >= 1, "{stats:?}");
+    assert_eq!(
+        stats.stale_evictions, 0,
+        "surgical eviction must not masquerade as a version flush: {stats:?}"
+    );
     assert_eq!(stats.reopts_run, 2, "{stats:?}");
 
     // Post-refresh, the template is warm again.
     assert_eq!(service.submit(&q).unwrap().source, PlanSource::WarmHit);
+}
+
+#[test]
+fn revalidation_readmits_a_plan_within_the_band() {
+    // An enormous acceptance band: whatever the re-validated cost is, the
+    // stale plan is re-admitted after one dry run — no re-optimization.
+    let service = service_with(ServiceConfig {
+        drift: DriftConfig {
+            revalidate_ratio: Some(1e18),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let q = {
+        let engine = service.engine();
+        ott_query(engine.db(), &[0, 0, 0, 1]).unwrap()
+    };
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::ColdMiss);
+
+    service
+        .append_rows("ott_lineitem", &rows_of(0, 3 * 60 * 12))
+        .unwrap();
+
+    let redo = service.submit(&q).unwrap();
+    assert_eq!(
+        redo.source,
+        PlanSource::Revalidated,
+        "{:?}",
+        service.stats()
+    );
+    let stats = service.stats();
+    assert_eq!(
+        stats.reopts_run, 1,
+        "re-admission skips the loop: {stats:?}"
+    );
+    assert_eq!(stats.revalidations, 1, "{stats:?}");
+    assert_eq!(stats.revalidations_saved, 1, "{stats:?}");
+    // The re-admitted plan serves warm from here on.
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::WarmHit);
+}
+
+#[test]
+fn revalidation_rejects_an_out_of_band_cost() {
+    // ratio 1.0 accepts only a bit-identical cost; the skew storm moves
+    // the validated cost, so the re-validation runs — and then rejects.
+    let service = service_with(ServiceConfig {
+        drift: DriftConfig {
+            revalidate_ratio: Some(1.0),
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let q = {
+        let engine = service.engine();
+        ott_query(engine.db(), &[0, 0, 0, 1]).unwrap()
+    };
+    assert_eq!(service.submit(&q).unwrap().source, PlanSource::ColdMiss);
+
+    service
+        .append_rows("ott_lineitem", &rows_of(0, 3 * 60 * 12))
+        .unwrap();
+
+    let redo = service.submit(&q).unwrap();
+    assert_eq!(redo.source, PlanSource::ColdMiss, "{:?}", service.stats());
+    let stats = service.stats();
+    assert_eq!(stats.revalidations, 1, "the tier ran: {stats:?}");
+    assert_eq!(stats.revalidations_saved, 0, "… and rejected: {stats:?}");
+    assert_eq!(stats.reopts_run, 2, "{stats:?}");
 }
 
 #[test]
@@ -186,6 +275,7 @@ fn auto_refresh_off_reports_drift_without_evicting() {
         drift: DriftConfig {
             threshold: 0.25,
             auto_refresh: false,
+            ..Default::default()
         },
         ..Default::default()
     });
@@ -201,6 +291,10 @@ fn auto_refresh_off_reports_drift_without_evicting() {
     assert!(report.drift >= 0.25);
     assert!(!report.refreshed, "auto_refresh=false only observes");
     assert_eq!(report.stats_version, 0);
+    assert!(
+        !report.drifted_tables.is_empty(),
+        "observation mode still names the drifted tables"
+    );
     // Manual mode: the stale plan keeps serving until an operator acts.
     assert_eq!(service.submit(&q).unwrap().source, PlanSource::WarmHit);
     assert_eq!(service.stats().stale_evictions, 0);
@@ -217,6 +311,7 @@ fn ingest_emits_spans_and_counters() {
     let benign = service
         .append_rows("ott_lineitem", &uniform_batch(60))
         .unwrap();
+    assert!(benign.drifted_tables.is_empty());
     let trace = benign.trace.as_ref().expect("tracing is on");
     let root = trace.find(names::SERVICE_INGEST).expect("ingest root span");
     assert_eq!(root.attr_u64("rows_appended"), Some(60));
@@ -231,16 +326,78 @@ fn ingest_emits_spans_and_counters() {
     let storm = service
         .append_rows("ott_lineitem", &rows_of(0, 3 * 60 * 12))
         .unwrap();
+    assert_eq!(storm.drifted_tables.len(), 1);
     let trace = storm.trace.as_ref().expect("tracing is on");
     let root = trace.find(names::SERVICE_INGEST).unwrap();
     let refresh = trace.find(names::INGEST_REFRESH).expect("refresh span");
     assert_eq!(refresh.parent, root.id);
+    assert_eq!(refresh.attr_u64("tables_refreshed"), Some(1));
 
     // The unified registry saw all of it.
     let snap = service.telemetry_snapshot();
     assert_eq!(snap.counter("ingest.ops"), 2);
     assert_eq!(snap.counter("ingest.rows_appended"), 60 + 3 * 60 * 12);
     assert_eq!(snap.counter("ingest.refreshes"), 1);
+    assert_eq!(snap.counter("ingest.tables_refreshed"), 1);
     assert!(snap.gauge("ingest.drift").unwrap() >= 0.25);
     assert!(snap.gauge("service.data_version").unwrap() >= 2.0);
+}
+
+#[test]
+fn drift_config_validation_rejects_silent_misconfigurations() {
+    let bad = [
+        DriftConfig {
+            threshold: f64::NAN,
+            ..Default::default()
+        },
+        DriftConfig {
+            threshold: -0.1,
+            ..Default::default()
+        },
+        DriftConfig {
+            revalidate_ratio: Some(f64::NAN),
+            ..Default::default()
+        },
+        DriftConfig {
+            revalidate_ratio: Some(0.5),
+            ..Default::default()
+        },
+    ];
+    for drift in bad {
+        let err = drift.validate().expect_err(&format!("{drift:?}"));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("threshold") || msg.contains("revalidate_ratio"),
+            "unhelpful diagnostic: {msg}"
+        );
+
+        // Service construction rejects the config up front — a NaN
+        // threshold used to silently disable auto-refresh instead.
+        let config = small_ott();
+        let res = QueryService::from_database(
+            Arc::new(build_ott_database(&config).unwrap()),
+            &AnalyzeOpts::default(),
+            SampleConfig::default(),
+            ServiceConfig {
+                drift: drift.clone(),
+                ..Default::default()
+            },
+        );
+        assert!(res.is_err(), "{drift:?} must not construct a service");
+    }
+
+    // Boundary values are legal: refresh-every-ingest and exact-match-only.
+    DriftConfig {
+        threshold: 0.0,
+        revalidate_ratio: Some(1.0),
+        ..Default::default()
+    }
+    .validate()
+    .unwrap();
+    DriftConfig {
+        revalidate_ratio: None,
+        ..Default::default()
+    }
+    .validate()
+    .unwrap();
 }

@@ -94,9 +94,11 @@ impl DriftReport {
 }
 
 /// Compare fresh statistics against a baseline, table by table. Tables the
-/// baseline has never seen score 1.0.
+/// baseline has never seen score 1.0 — and so do tables the baseline *has*
+/// seen but the fresh stats lack: a dropped table invalidates every plan
+/// that touched it just as surely as an appeared one.
 pub fn database_drift(old: &DatabaseStats, new: &DatabaseStats) -> DriftReport {
-    let tables = new
+    let mut tables: Vec<(TableId, f64)> = new
         .tables()
         .iter()
         .map(|n| {
@@ -107,6 +109,14 @@ pub fn database_drift(old: &DatabaseStats, new: &DatabaseStats) -> DriftReport {
             (n.table, score)
         })
         .collect();
+    for o in old.tables() {
+        if new.table(o.table).is_err() {
+            tables.push((o.table, 1.0));
+        }
+    }
+    // Baseline-only tables were appended after the fresh ones; restore the
+    // documented id order.
+    tables.sort_unstable_by_key(|&(t, _)| t);
     DriftReport { tables }
 }
 
@@ -178,5 +188,20 @@ mod tests {
         let empty = DatabaseStats::new(vec![]).unwrap();
         let r = database_drift(&empty, &new);
         assert_eq!(r.max(), 1.0);
+    }
+
+    #[test]
+    fn baseline_only_table_scores_maximal_drift() {
+        // Regression: a table present in the baseline but missing from the
+        // fresh stats used to contribute nothing — the report iterated only
+        // the fresh side, so a dropped table read as zero drift.
+        let db = db_with(vec![1, 2, 3]);
+        let old = analyze_database(&db, &AnalyzeOpts::default()).unwrap();
+        let empty = DatabaseStats::new(vec![]).unwrap();
+        let r = database_drift(&old, &empty);
+        assert_eq!(r.max(), 1.0);
+        let id = db.table_id("t").unwrap();
+        assert_eq!(r.over(0.25), vec![id]);
+        assert_eq!(r.tables, vec![(id, 1.0)]);
     }
 }

@@ -87,6 +87,15 @@ impl Database {
             .ok_or_else(|| Error::not_found(format!("table {id}")))
     }
 
+    /// The shared handle for `id` — lets callers check sharing across
+    /// copy-on-write snapshots via `Arc::ptr_eq`.
+    pub fn table_arc(&self, id: TableId) -> Result<Arc<Table>> {
+        self.tables
+            .get(id.index())
+            .cloned()
+            .ok_or_else(|| Error::not_found(format!("table {id}")))
+    }
+
     /// Mutable table by id (index creation). Copy-on-write: if the table is
     /// shared with a snapshot, it is cloned first.
     pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
@@ -132,6 +141,28 @@ impl Database {
     /// Total rows across all tables (diagnostics).
     pub fn total_rows(&self) -> usize {
         self.tables.iter().map(|t| t.row_count()).sum()
+    }
+
+    /// Swap in a fully-rebuilt `table` over the slot its id names. The
+    /// replacement must keep the registered name — this is a catalog-level
+    /// swap (the sample store's per-table refresh), not a rename. The
+    /// version clock is deliberately untouched: it tracks mutations of
+    /// *this* database's data, while a replacement carries whatever
+    /// versioning its builder derived elsewhere.
+    pub fn replace_table(&mut self, table: Table) -> Result<()> {
+        let slot = self
+            .tables
+            .get_mut(table.id().index())
+            .ok_or_else(|| Error::not_found(format!("table {}", table.id())))?;
+        if slot.name() != table.name() {
+            return Err(Error::invalid(format!(
+                "replace_table would rename `{}` to `{}`",
+                slot.name(),
+                table.name()
+            )));
+        }
+        *slot = Arc::new(table);
+        Ok(())
     }
 
     /// Append a batch of typed rows to `table`, bumping the database
@@ -263,6 +294,22 @@ mod tests {
         // Unknown table: ditto.
         assert!(db.append_rows(TableId::new(9), &[]).is_err());
         assert_eq!(db.data_version(), DataVersion::ZERO);
+    }
+
+    #[test]
+    fn replace_table_swaps_without_touching_the_clock() {
+        let mut db = Database::new();
+        let id = db.add_table_with(|id| Ok(tiny_table(id, "a"))).unwrap();
+        db.append_rows(id, &[vec![Value::Int(4)]]).unwrap();
+        let v = db.data_version();
+        let rebuilt = tiny_table(id, "a");
+        db.replace_table(rebuilt).unwrap();
+        assert_eq!(db.table(id).unwrap().row_count(), 3);
+        assert_eq!(db.data_version(), v, "replace is not a data mutation");
+        assert_eq!(db.table_by_name("a").unwrap().id(), id);
+        // Unknown slot and renames are rejected.
+        assert!(db.replace_table(tiny_table(TableId::new(7), "x")).is_err());
+        assert!(db.replace_table(tiny_table(id, "renamed")).is_err());
     }
 
     #[test]

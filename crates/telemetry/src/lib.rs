@@ -72,7 +72,13 @@ pub mod names {
     /// Drift measurement against the validation baseline (attrs: `max`,
     /// `threshold`, `tables_over`).
     pub const INGEST_DRIFT: &str = "ingest.drift";
-    /// Sample rebuild + engine swap + cache eviction after drift crossed
-    /// the threshold (attrs: `stats_version`, `gamma` none — see counters).
+    /// Surgical refresh after drift crossed the threshold: drifted
+    /// tables' samples redrawn, their plans marked, disjoint dry-run
+    /// entries migrated (attrs: `tables_refreshed`, `plans_evicted`,
+    /// `sample_entries_kept`, `sample_entries_dropped`).
     pub const INGEST_REFRESH: &str = "ingest.refresh";
+    /// Cached-plan re-validation on admission of a surgically-evicted
+    /// template (attrs: `template`, `cached_cost`, `revalidated_cost`,
+    /// `accepted`).
+    pub const SERVICE_REVALIDATE: &str = "service.revalidate";
 }
